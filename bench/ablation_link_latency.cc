@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: sensitivity to the core-DECA link latency. TEPL issues
+ * speculatively and overlaps communication, so its throughput barely
+ * moves as the link slows; the store+fence protocol exposes the full
+ * round trip every iteration and degrades steeply — the architectural
+ * argument for the TEPL extension (Sec. 5.2/5.3).
+ */
+
+#include "bench_util.h"
+
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const auto scheme = compress::schemeQ8(0.05);  // latency-sensitive
+    TableWriter t("Ablation: core-DECA link latency (Q8_5%, HBM, N=1, "
+                  "TFLOPS)");
+    t.setHeader({"LinkCycles", "Store+Fence", "TEPL", "TEPL gain"});
+
+    for (Cycles link : {6u, 12u, 24u, 48u}) {
+        sim::SimParams p = sim::sprHbmParams();
+        p.coreToDecaStore = link;
+        p.decaToCoreRead = link;
+        kernels::DecaIntegration store =
+            kernels::DecaIntegration::full();
+        store.invocation = kernels::Invocation::StoreFence;
+        const auto w = bench::makeWorkload(scheme, 1);
+        const double sf =
+            kernels::runGemmSteady(
+                p, kernels::KernelConfig::decaKernel(
+                       accel::decaBestConfig(), store),
+                w)
+                .tflops;
+        const double tepl =
+            kernels::runGemmSteady(p, kernels::KernelConfig::decaKernel(),
+                                   w)
+                .tflops;
+        t.addRow({std::to_string(link), TableWriter::num(sf, 3),
+                  TableWriter::num(tepl, 3),
+                  TableWriter::num(tepl / sf, 2)});
+    }
+    bench::emit(t);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: DECA's dual Loaders / hardware double buffering (Fig. 8).
+ * One Loader serializes tile fetch with tile processing and halves the
+ * TEPL in-flight limit; two Loaders overlap them. The gap quantifies the
+ * value of the duplicated modules (Sec. 6.1 "Duplicated Modules").
+ */
+
+#include "bench_util.h"
+
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const u32 n = 1;
+
+    TableWriter t("Ablation: 1 vs 2 DECA Loaders (HBM, N=1, TFLOPS)");
+    t.setHeader({"Scheme", "1 Loader", "2 Loaders", "Gain"});
+    for (const auto &s :
+         {compress::schemeQ8Dense(), compress::schemeQ8(0.5),
+          compress::schemeQ8(0.2), compress::schemeQ8(0.05),
+          compress::schemeMxfp4()}) {
+        kernels::DecaIntegration one = kernels::DecaIntegration::full();
+        one.numLoaders = 1;
+        const auto w = bench::makeWorkload(s, n);
+        const double tf1 =
+            kernels::runGemmSteady(
+                p, kernels::KernelConfig::decaKernel(
+                       accel::decaBestConfig(), one),
+                w)
+                .tflops;
+        const double tf2 =
+            kernels::runGemmSteady(p, kernels::KernelConfig::decaKernel(),
+                                   w)
+                .tflops;
+        t.addRow({s.name, TableWriter::num(tf1, 3),
+                  TableWriter::num(tf2, 3),
+                  TableWriter::num(tf2 / tf1, 2)});
+    }
+    bench::emit(t);
+    return 0;
+}

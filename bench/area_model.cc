@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Section 8 area estimate: 56 DECA PEs at {W=32, L=8} in 7 nm, with the
+ * component breakdown and die overhead the paper reports, plus the
+ * scaling across the Fig. 16 design points.
+ */
+
+#include "bench_util.h"
+
+#include "deca/area_model.h"
+
+using namespace deca;
+
+int
+main()
+{
+    TableWriter t("Section 8: DECA area model (7 nm, 56 PEs)");
+    t.setHeader({"Design", "Loaders+Queues", "LUT array", "Rest",
+                 "Total mm2", "Die overhead"});
+    for (const auto &cfg :
+         {accel::decaUnderConfig(), accel::decaBestConfig(),
+          accel::decaOverConfig()}) {
+        const accel::PeArea a = accel::estimatePeArea(cfg);
+        const double total = accel::estimateTotalArea(cfg, 56);
+        t.addRow({"{W=" + std::to_string(cfg.w) + ",L=" +
+                      std::to_string(cfg.l) + "}",
+                  TableWriter::num(a.loadersAndQueues * 56, 2),
+                  TableWriter::num(a.lutArray * 56, 2),
+                  TableWriter::num(a.datapathRest * 56, 2),
+                  TableWriter::num(total, 2),
+                  TableWriter::pct(accel::dieOverhead(cfg, 56), 3)});
+    }
+    bench::emit(t);
+    std::cout << "paper: 2.51 mm2 total, <0.2% of a ~1600 mm2 die; "
+                 "55% loaders/queues/TOut, 22% LUT array, 23% rest\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries. Every bench
+ * regenerates one table or figure of the paper and prints the same
+ * rows/series the paper reports, plus CSV for plotting.
+ */
+
+#ifndef DECA_BENCH_BENCH_UTIL_H
+#define DECA_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "compress/scheme.h"
+#include "kernels/gemm_sim.h"
+#include "llm/inference.h"
+#include "roofsurface/machine.h"
+#include "roofsurface/roof_surface.h"
+
+namespace deca::bench {
+
+/** Default measurement length for steady-state GeMM runs. */
+inline constexpr u32 kBenchTiles = 224;
+inline constexpr u32 kBenchPool = 32;
+
+/** Build the standard workload for a scheme at batch N. */
+inline kernels::GemmWorkload
+makeWorkload(const compress::CompressionScheme &s, u32 batch_n,
+             u32 tiles = kBenchTiles, u32 pool = kBenchPool)
+{
+    kernels::GemmWorkload w;
+    w.scheme = s;
+    w.batchN = batch_n;
+    w.tilesPerCore = tiles;
+    w.poolTiles = pool;
+    return w;
+}
+
+/** Print a table and its CSV twin. */
+inline void
+emit(const TableWriter &t)
+{
+    std::cout << t.render() << "\ncsv:\n" << t.csv() << "\n";
+}
+
+/** Roofline-optimal TFLOPS for a scheme (all VEC overhead hidden). */
+inline double
+optimalTflops(const roofsurface::MachineConfig &mach,
+              const compress::CompressionScheme &s, u32 batch_n)
+{
+    roofsurface::KernelSignature sig;
+    sig.aixm = s.aixm();
+    const auto p = roofsurface::evaluateRoofline(mach, sig);
+    return p.flops(batch_n) / kTera;
+}
+
+} // namespace deca::bench
+
+#endif // DECA_BENCH_BENCH_UTIL_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 13: compressed GeMM speedup over the uncompressed BF16
+ * baseline on HBM at N=1 — Software-only vs DECA vs Optimal. The
+ * paper's headline: DECA helps almost every scheme, reaching ~4x over
+ * software, and lands near-optimal.
+ */
+
+#include "bench_util.h"
+
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const auto mach = roofsurface::sprHbm();
+    const u32 n = 1;
+
+    const kernels::GemmResult base = kernels::runGemmSteady(
+        p, kernels::KernelConfig::uncompressedBf16(),
+        bench::makeWorkload(compress::schemeBf16(), n));
+
+    TableWriter t("Figure 13: compressed GeMM speedup vs BF16 (HBM, N=1)");
+    t.setHeader({"Scheme", "Software", "DECA", "Optimal", "DECA/SW"});
+    double max_ratio = 0.0;
+    for (const auto &s : compress::paperSchemes()) {
+        const kernels::GemmResult sw = kernels::runGemmSteady(
+            p, kernels::KernelConfig::software(), bench::makeWorkload(s, n));
+        const kernels::GemmResult deca = kernels::runGemmSteady(
+            p, kernels::KernelConfig::decaKernel(),
+            bench::makeWorkload(s, n));
+        const double opt = bench::optimalTflops(mach, s, n) / base.tflops;
+        const double ratio = deca.tflops / sw.tflops;
+        max_ratio = std::max(max_ratio, ratio);
+        t.addRow({s.name, TableWriter::num(sw.speedupOver(base), 2),
+                  TableWriter::num(deca.speedupOver(base), 2),
+                  TableWriter::num(opt, 2), TableWriter::num(ratio, 2)});
+    }
+    bench::emit(t);
+    std::cout << "max DECA/SW speedup on HBM: "
+              << TableWriter::num(max_ratio, 2) << " (paper: up to 4.0x)\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 14: average TFLOPS across all compression schemes vs active
+ * core count on DDR at N=4, software vs DECA. The paper's headline:
+ * 16 DECA-augmented cores outperform 56 conventional cores.
+ */
+
+#include "bench_util.h"
+
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const u32 n = 4;
+    const auto schemes = compress::paperSchemes();
+
+    TableWriter t("Figure 14: avg TFLOPS vs active cores (DDR, N=4)");
+    t.setHeader({"Cores", "Software", "DECA"});
+
+    double sw56 = 0.0;
+    double deca16 = 0.0;
+    for (u32 cores : {8u, 16u, 24u, 32u, 40u, 48u, 56u}) {
+        sim::SimParams p = sim::sprDdrParams();
+        p.cores = cores;
+        double sw_total = 0.0;
+        double deca_total = 0.0;
+        for (const auto &s : schemes) {
+            const auto w = bench::makeWorkload(s, n, 128, 24);
+            sw_total +=
+                kernels::runGemmSteady(p, kernels::KernelConfig::software(),
+                                       w)
+                    .tflops;
+            deca_total += kernels::runGemmSteady(
+                              p, kernels::KernelConfig::decaKernel(), w)
+                              .tflops;
+        }
+        const double sw_avg = sw_total / schemes.size();
+        const double deca_avg = deca_total / schemes.size();
+        if (cores == 56)
+            sw56 = sw_avg;
+        if (cores == 16)
+            deca16 = deca_avg;
+        t.addRow({std::to_string(cores), TableWriter::num(sw_avg, 3),
+                  TableWriter::num(deca_avg, 3)});
+    }
+    bench::emit(t);
+    std::cout << "16 DECA cores vs 56 software cores: "
+              << TableWriter::num(deca16, 3) << " vs "
+              << TableWriter::num(sw56, 3)
+              << " TFLOPS (paper: 16 DECA cores win)\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 15: DECA vs traditional CPU vector scaling on HBM at N=1 —
+ * 4x more AVX units (front-end capped) and 4x wider AVX2048 units
+ * (memory ops still cache-line sized) vs a DECA-augmented core.
+ */
+
+#include "bench_util.h"
+
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const u32 n = 1;
+
+    const kernels::GemmResult base = kernels::runGemmSteady(
+        p, kernels::KernelConfig::uncompressedBf16(),
+        bench::makeWorkload(compress::schemeBf16(), n));
+
+    TableWriter t("Figure 15: DECA vs vector scaling (HBM, N=1), "
+                  "speedup vs uncompressed BF16");
+    t.setHeader({"Scheme", "MoreAVXUnits", "WiderAVXUnits", "DECA"});
+    for (const auto &s : compress::paperSchemes()) {
+        const auto w = bench::makeWorkload(s, n);
+        const double more =
+            kernels::runGemmSteady(
+                p,
+                kernels::KernelConfig::software(
+                    kernels::VectorScaling::MoreUnits),
+                w)
+                .speedupOver(base);
+        const double wider =
+            kernels::runGemmSteady(
+                p,
+                kernels::KernelConfig::software(
+                    kernels::VectorScaling::WiderUnits),
+                w)
+                .speedupOver(base);
+        const double deca =
+            kernels::runGemmSteady(p, kernels::KernelConfig::decaKernel(),
+                                   w)
+                .speedupOver(base);
+        t.addRow({s.name, TableWriter::num(more, 2),
+                  TableWriter::num(wider, 2), TableWriter::num(deca, 2)});
+    }
+    bench::emit(t);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 16 / Section 9.2: design-space exploration over DECA's {W, L}.
+ * Prints the BORD classification of every kernel without DECA and with
+ * the under/best/over-provisioned DECAs, the analytical DSE pick, and
+ * the simulated validation (best ~2x under; over <3% above best).
+ */
+
+#include "bench_util.h"
+
+#include "roofsurface/dse.h"
+#include "roofsurface/signature.h"
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const auto schemes = compress::paperSchemes();
+    const auto cpu_mach = roofsurface::sprHbm();
+    const auto deca_mach = cpu_mach.withDecaVectorEngine();
+
+    // (a) BORD classification table.
+    TableWriter t("Figure 16: BORD classification without/with DECA");
+    t.setHeader({"Kernel", "NoDECA(sw)", "DECA{8,4}", "DECA{32,8}",
+                 "DECA{64,64}"});
+    for (const auto &s : schemes) {
+        auto cls = [&](u32 w, u32 l) {
+            return roofsurface::boundName(roofsurface::bordClassify(
+                deca_mach, roofsurface::decaSignature(s, w, l)));
+        };
+        t.addRow({s.name,
+                  roofsurface::boundName(roofsurface::bordClassify(
+                      cpu_mach, roofsurface::softwareSignature(s))),
+                  cls(8, 4), cls(32, 8), cls(64, 64)});
+    }
+    bench::emit(t);
+
+    // (b) Analytical pick.
+    const auto best = roofsurface::pickBalancedDesign(
+        cpu_mach, schemes, {8, 16, 32, 64}, {4, 8, 16, 32, 64});
+    std::cout << "analytical DSE pick: {W=" << best.w << ", L=" << best.l
+              << "} (paper: {32, 8})\n\n";
+
+    // (c) Simulated validation across the three sizes.
+    const sim::SimParams p = sim::sprHbmParams();
+    auto total = [&](const accel::DecaConfig &cfg) {
+        double sum = 0.0;
+        for (const auto &s : schemes) {
+            sum += kernels::runGemmSteady(
+                       p, kernels::KernelConfig::decaKernel(cfg),
+                       bench::makeWorkload(s, 1, 128, 24))
+                       .tflops;
+        }
+        return sum / schemes.size();
+    };
+    const double t_under = total(accel::decaUnderConfig());
+    const double t_best = total(accel::decaBestConfig());
+    const double t_over = total(accel::decaOverConfig());
+    TableWriter v("Simulated validation (avg TFLOPS, HBM, N=1)");
+    v.setHeader({"Design", "TFLOPS", "vs best"});
+    v.addRow({"{W=8,L=4} under", TableWriter::num(t_under, 3),
+              TableWriter::num(t_under / t_best, 2)});
+    v.addRow({"{W=32,L=8} best", TableWriter::num(t_best, 3), "1.00"});
+    v.addRow({"{W=64,L=64} over", TableWriter::num(t_over, 3),
+              TableWriter::num(t_over / t_best, 2)});
+    bench::emit(v);
+    std::cout << "paper: best ~2x under-provisioned; over-provisioned "
+                 "<3% above best\n";
+    return 0;
+}

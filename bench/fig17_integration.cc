@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 17: DECA integration-feature ablation for Q8 at different
+ * densities (HBM, N=4). Base reads the LLC with no prefetcher, writes
+ * output via the L2, and is invoked with stores+fences; features are
+ * then enabled cumulatively: +Reads L2 (L2 stream prefetcher),
+ * +DECA prefetcher, +TOut registers, +TEPL.
+ */
+
+#include "bench_util.h"
+
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const u32 n = 4;
+
+    using kernels::DecaIntegration;
+    using kernels::Invocation;
+
+    DecaIntegration base = DecaIntegration::base();
+    DecaIntegration reads_l2 = base;
+    reads_l2.readsL2 = true;
+    DecaIntegration deca_pf = reads_l2;
+    deca_pf.decaPrefetcher = true;
+    DecaIntegration tout = deca_pf;
+    tout.toutRegs = true;
+    DecaIntegration tepl = tout;
+    tepl.invocation = Invocation::Tepl;
+
+    const std::vector<std::pair<std::string, DecaIntegration>> steps = {
+        {"Base", base},
+        {"+Reads L2", reads_l2},
+        {"+DECA prefetcher", deca_pf},
+        {"+TOut Regs", tout},
+        {"+TEPL (DECA)", tepl},
+    };
+
+    TableWriter t("Figure 17: integration ablation, speedup vs Base "
+                  "(Q8, HBM, N=4)");
+    std::vector<std::string> header = {"Density"};
+    for (const auto &[name, integ] : steps)
+        header.push_back(name);
+    t.setHeader(header);
+
+    for (double d : {1.0, 0.5, 0.3, 0.2, 0.1, 0.05}) {
+        const compress::CompressionScheme s =
+            d < 1.0 ? compress::schemeQ8(d) : compress::schemeQ8Dense();
+        const auto w = bench::makeWorkload(s, n);
+        double base_tflops = 0.0;
+        std::vector<std::string> row = {TableWriter::pct(d, 0)};
+        for (const auto &[name, integ] : steps) {
+            const kernels::GemmResult r = kernels::runGemmSteady(
+                p,
+                kernels::KernelConfig::decaKernel(accel::decaBestConfig(),
+                                                  integ),
+                w);
+            if (base_tflops == 0.0)
+                base_tflops = r.tflops;
+            row.push_back(TableWriter::num(r.tflops / base_tflops, 2));
+        }
+        t.addRow(row);
+    }
+    bench::emit(t);
+    std::cout << "paper: TEPLs double performance at 5% density\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 3: traditional 2D rooflines for an FC GeMM at N=4 on DDR and
+ * HBM. For every compression scheme we report the traditional
+ * arithmetic intensity, the roofline-optimal TFLOPS, the observed
+ * (simulated, software-kernel) TFLOPS, and the divergence ratio that
+ * motivates the Roof-Surface model (Sec. 3.3: 4.94x at BF8_5% on HBM).
+ */
+
+#include "bench_util.h"
+
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const u32 n = 4;
+    for (const sim::SimParams &p :
+         {sim::sprDdrParams(), sim::sprHbmParams()}) {
+        const roofsurface::MachineConfig mach =
+            p.memKind == sim::MemoryKind::DDR5 ? roofsurface::sprDdr()
+                                               : roofsurface::sprHbm();
+        TableWriter t("Figure 3 (" + mach.name +
+                      "): roofline optimal vs observed, N=4");
+        t.setHeader({"Scheme", "AI(FLOP/B)", "Optimal TF", "Observed TF",
+                     "Opt/Obs"});
+
+        auto schemes = compress::paperSchemes();
+        schemes.insert(schemes.begin(), compress::schemeBf16());
+        for (const auto &s : schemes) {
+            const double opt = bench::optimalTflops(mach, s, n);
+            const auto cfg = s.name == "BF16"
+                                 ? kernels::KernelConfig::uncompressedBf16()
+                                 : kernels::KernelConfig::software();
+            const kernels::GemmResult r = kernels::runGemmSteady(
+                p, cfg, bench::makeWorkload(s, n));
+            t.addRow({s.name, TableWriter::num(s.flopPerByte(n), 1),
+                      TableWriter::num(opt, 2),
+                      TableWriter::num(r.tflops, 2),
+                      TableWriter::num(opt / r.tflops, 2)});
+        }
+        bench::emit(t);
+    }
+    return 0;
+}

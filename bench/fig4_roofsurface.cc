@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 4: (a) the 3D Roof-Surface sampled as a CSV grid (aixm, aixv,
+ * tflops, bounding region) for plotting, and (b) the optimal-performance
+ * table comparing the roofline (R-L), the Roof-Surface (R-S), and the
+ * real (simulated software kernel) TFLOPS at N=4 on HBM.
+ */
+
+#include "bench_util.h"
+
+#include "roofsurface/signature.h"
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const u32 n = 4;
+    const roofsurface::MachineConfig mach = roofsurface::sprHbm();
+    const sim::SimParams p = sim::sprHbmParams();
+
+    // (a) Surface samples.
+    TableWriter grid("Figure 4a: Roof-Surface samples (HBM, N=4)");
+    grid.setHeader({"aixm", "aixv", "tflops", "bound"});
+    for (const auto &s :
+         roofsurface::sampleSurface(mach, n, 0.0155, 0.045, 12)) {
+        grid.addRow({TableWriter::num(s.aixm, 5),
+                     TableWriter::num(s.aixv, 5),
+                     TableWriter::num(s.tflops, 2),
+                     roofsurface::boundName(s.bound)});
+    }
+    std::cout << "csv (fig4a surface):\n" << grid.csv() << "\n";
+
+    // (b) R-L vs R-S vs real.
+    TableWriter t("Figure 4b: optimal vs real TFLOPS (HBM, N=4)");
+    t.setHeader({"Kernel", "R-L", "R-S", "Real", "Bound(R-S)"});
+    // The paper's Fig. 4b kernel order.
+    const std::vector<compress::CompressionScheme> schemes = {
+        compress::schemeMxfp4(),   compress::schemeQ8Dense(),
+        compress::schemeQ8(0.50),  compress::schemeQ8(0.30),
+        compress::schemeQ8(0.20),  compress::schemeQ8(0.10),
+        compress::schemeQ8(0.05),  compress::schemeQ16(0.50),
+        compress::schemeQ16(0.30), compress::schemeQ16(0.20),
+        compress::schemeQ16(0.10), compress::schemeQ16(0.05),
+    };
+    for (const auto &s : schemes) {
+        const auto sig = roofsurface::softwareSignature(s);
+        const auto rl = roofsurface::evaluateRoofline(mach, sig);
+        const auto rs = roofsurface::evaluate(mach, sig);
+        const kernels::GemmResult r = kernels::runGemmSteady(
+            p, kernels::KernelConfig::software(),
+            bench::makeWorkload(s, n));
+        t.addRow({s.name, TableWriter::num(rl.flops(n) / kTera, 1),
+                  TableWriter::num(rs.flops(n) / kTera, 1),
+                  TableWriter::num(r.tflops, 1),
+                  roofsurface::boundName(rs.bound)});
+    }
+    bench::emit(t);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 5: the 2D Bounding Region Diagrams (BORD) for HBM and DDR SPR:
+ * region separator lines and the classification of every software
+ * kernel.
+ */
+
+#include "bench_util.h"
+
+#include "roofsurface/bord.h"
+#include "roofsurface/signature.h"
+
+using namespace deca;
+
+namespace {
+
+void
+printBord(const roofsurface::MachineConfig &mach)
+{
+    const auto g = roofsurface::bordGeometry(mach);
+    std::cout << "== Figure 5 BORD for " << mach.name << " ==\n"
+              << "  MEM/VEC separator: y = " << g.memVecSlope << " * x\n"
+              << "  MEM/MTX separator: x = " << g.memMtxX << "\n"
+              << "  VEC/MTX separator: y = " << g.vecMtxY << "\n"
+              << "  MTX region visible in plot window: "
+              << (roofsurface::mtxRegionVisible(mach, 0.0155, 0.045)
+                      ? "yes"
+                      : "no")
+              << "\n";
+
+    TableWriter t("Kernel classification (" + mach.name + ")");
+    t.setHeader({"Kernel", "AIXM", "AIXV", "Bound"});
+    auto schemes = compress::paperSchemes();
+    for (const auto &s : schemes) {
+        const auto sig = roofsurface::softwareSignature(s);
+        t.addRow({s.name, TableWriter::num(sig.aixm, 5),
+                  TableWriter::num(sig.aixv, 5),
+                  roofsurface::boundName(
+                      roofsurface::bordClassify(mach, sig))});
+    }
+    bench::emit(t);
+}
+
+} // namespace
+
+int
+main()
+{
+    printBord(roofsurface::sprHbm());  // Fig. 5a
+    printBord(roofsurface::sprDdr());  // Fig. 5b
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot paths: tile
+ * compression, golden decompression, the DECA pipeline (functional and
+ * timing-only), the prefix-sum/crossbar stage, the event kernel, and a
+ * small end-to-end GeMM simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "compress/quantizer.h"
+#include "compress/reference_decompress.h"
+#include "deca/pipeline.h"
+#include "deca/expansion.h"
+#include "kernels/gemm_sim.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace deca;
+
+compress::DenseTile
+randomTile(double density, u64 seed)
+{
+    Rng rng(seed);
+    compress::DenseTile t;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        if (rng.bernoulli(density)) {
+            float v = rng.gaussian(0.02f);
+            t[i] = Bf16::fromFloat(v == 0.0f ? 0.02f : v);
+        }
+    }
+    return t;
+}
+
+compress::CompressionScheme
+schemeForIndex(i64 idx)
+{
+    switch (idx) {
+      case 0:
+        return compress::schemeQ8Dense();
+      case 1:
+        return compress::schemeQ8(0.5);
+      case 2:
+        return compress::schemeQ8(0.05);
+      default:
+        return compress::schemeMxfp4();
+    }
+}
+
+void
+BM_CompressTile(benchmark::State &state)
+{
+    const auto scheme = schemeForIndex(state.range(0));
+    const auto tile = randomTile(scheme.density, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compress::compressTile(tile, scheme));
+    state.SetLabel(scheme.name);
+}
+BENCHMARK(BM_CompressTile)->DenseRange(0, 3);
+
+void
+BM_ReferenceDecompress(benchmark::State &state)
+{
+    const auto scheme = schemeForIndex(state.range(0));
+    const auto ct = compress::compressTile(randomTile(scheme.density, 2),
+                                           scheme);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compress::referenceDecompress(ct));
+    state.SetLabel(scheme.name);
+}
+BENCHMARK(BM_ReferenceDecompress)->DenseRange(0, 3);
+
+void
+BM_DecaPipelineFunctional(benchmark::State &state)
+{
+    const auto scheme = schemeForIndex(state.range(0));
+    accel::DecaPipeline pipe(accel::decaBestConfig());
+    pipe.configure(scheme);
+    const auto ct = compress::compressTile(randomTile(scheme.density, 3),
+                                           scheme);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.decompress(ct));
+    state.SetLabel(scheme.name);
+}
+BENCHMARK(BM_DecaPipelineFunctional)->DenseRange(0, 3);
+
+void
+BM_DecaPipelineTimingOnly(benchmark::State &state)
+{
+    const auto scheme = schemeForIndex(state.range(0));
+    accel::DecaPipeline pipe(accel::decaBestConfig());
+    pipe.configure(scheme);
+    const auto ct = compress::compressTile(randomTile(scheme.density, 4),
+                                           scheme);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.tileCycles(ct));
+    state.SetLabel(scheme.name);
+}
+BENCHMARK(BM_DecaPipelineTimingOnly)->DenseRange(0, 3);
+
+void
+BM_PrefixSumCrossbar(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<u8> bits(static_cast<size_t>(state.range(0)));
+    for (auto &b : bits)
+        b = rng.bernoulli(0.5) ? 1 : 0;
+    std::vector<Bf16> sparse(accel::popcountWindow(bits),
+                             Bf16::fromFloat(1.0f));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(accel::crossbarExpand(bits, sparse));
+}
+BENCHMARK(BM_PrefixSumCrossbar)->Arg(8)->Arg(32)->Arg(64);
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        for (int i = 0; i < 10000; ++i)
+            q.schedule(static_cast<Cycles>(i % 97), [] {});
+        q.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void
+BM_GemmSimulationSmall(benchmark::State &state)
+{
+    // End-to-end simulator throughput: 8 cores x 64 tiles, Q8_20%.
+    sim::SimParams p = sim::sprHbmParams();
+    p.cores = 8;
+    kernels::GemmWorkload w;
+    w.scheme = compress::schemeQ8(0.2);
+    w.tilesPerCore = 64;
+    w.poolTiles = 16;
+    const bool deca = state.range(0) == 1;
+    const auto cfg = deca ? kernels::KernelConfig::decaKernel()
+                          : kernels::KernelConfig::software();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kernels::runGemm(p, cfg, w));
+    state.SetLabel(deca ? "deca" : "software");
+}
+BENCHMARK(BM_GemmSimulationSmall)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 1: contribution of the FC-layer GeMMs to next-token time for
+ * Llama2-70B (uncompressed BF16), on DDR and HBM, for 32/128 input
+ * tokens and batch sizes 1/4/16.
+ */
+
+#include "bench_util.h"
+
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const llm::ModelConfig model = llm::llama2_70b();
+
+    TableWriter t("Table 1: FC GeMM share of next-token time "
+                  "(Llama2-70B, BF16)");
+    t.setHeader({"Memory", "InputTokens", "N=1", "N=4", "N=16"});
+
+    for (const sim::SimParams &p :
+         {sim::sprDdrParams(), sim::sprHbmParams()}) {
+        const llm::NonGemmModel ng =
+            llm::InferenceModel::calibrateForMachine(model, p);
+        const llm::InferenceModel inf(model, p, ng);
+
+        // One steady BF16 GeMM simulation serves all cells (batch does
+        // not change tile timing).
+        kernels::GemmWorkload w =
+            bench::makeWorkload(compress::schemeBf16(), 1);
+        const kernels::GemmResult r = kernels::runGemmSteady(
+            p, kernels::KernelConfig::uncompressedBf16(), w);
+
+        const std::string mem_label =
+            p.memKind == sim::MemoryKind::DDR5
+                ? "DDR (260GB/s)"
+                : "HBM (850GB/s)";
+        for (u32 tokens : {32u, 128u}) {
+            std::vector<std::string> row = {mem_label,
+                                            std::to_string(tokens)};
+            for (u32 n : {1u, 4u, 16u}) {
+                const llm::NextTokenLatency lat =
+                    inf.nextTokenWithTps(r.tilesPerSecond, n, tokens);
+                row.push_back(TableWriter::pct(lat.fcFraction()));
+            }
+            t.addRow(row);
+        }
+    }
+    bench::emit(t);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table 3: component utilization (memory bandwidth, TMUL, and AVX or
+ * DECA) for Q8 at densities 100/50/20/5%, N=1, HBM — software-only vs
+ * DECA. The most-utilized component is the bottleneck, validating the
+ * Roof-Surface attribution.
+ */
+
+#include "bench_util.h"
+
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const u32 n = 1;
+
+    TableWriter t("Table 3: component utilization (Q8, N=1, HBM)");
+    t.setHeader({"Density", "SW:MEM", "SW:TMUL", "SW:AVX", "DECA:MEM",
+                 "DECA:TMUL", "DECA:DECA"});
+
+    for (double d : {1.0, 0.5, 0.2, 0.05}) {
+        const compress::CompressionScheme s =
+            d < 1.0 ? compress::schemeQ8(d) : compress::schemeQ8Dense();
+        const auto w = bench::makeWorkload(s, n, 288, 32);
+        const kernels::GemmResult sw =
+            kernels::runGemmSteady(p, kernels::KernelConfig::software(), w);
+        const kernels::GemmResult deca = kernels::runGemmSteady(
+            p, kernels::KernelConfig::decaKernel(), w);
+        t.addRow({TableWriter::pct(d, 0), TableWriter::pct(sw.utilMem, 0),
+                  TableWriter::pct(sw.utilTmul, 0),
+                  TableWriter::pct(sw.utilVec, 0),
+                  TableWriter::pct(deca.utilMem, 0),
+                  TableWriter::pct(deca.utilTmul, 0),
+                  TableWriter::pct(deca.utilDeca, 0)});
+    }
+    bench::emit(t);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scenario: re-dimensioning DECA for a future server.
+ *
+ * An architect ports DECA to a hypothetical 128-core, 1.6 TB/s machine.
+ * The example uses the Roof-Surface/BORD machinery to (1) show which
+ * kernels would be VEC-bound with the paper's {32, 8} PE on the new
+ * machine, (2) re-run the analytical DSE to pick a new balanced design,
+ * and (3) compare area cost of the candidates.
+ *
+ * Build & run:  ./build/examples/accelerator_dse
+ */
+
+#include <cstdio>
+
+#include "deca/area_model.h"
+#include "roofsurface/dse.h"
+#include "roofsurface/signature.h"
+
+using namespace deca;
+
+int
+main()
+{
+    // The future machine: HBM3e-class bandwidth on a 64-core part, so
+    // bandwidth per core more than doubles and the old PE dimensioning
+    // becomes the bottleneck.
+    roofsurface::MachineConfig future = roofsurface::sprHbm();
+    future.name = "future-64c-hbm3e";
+    future.cores = 64;
+    future.memBwBytesPerSec = gbPerSec(2000.0);
+
+    const auto schemes = compress::paperSchemes();
+
+    std::printf("Machine %s: MOS=%.2fe9 tiles/s, DECA VOS=%.2fe9 vOps/s, "
+                "MBW=%.0f GB/s\n\n",
+                future.name.c_str(), future.mosPerSec() / 1e9,
+                future.withDecaVectorEngine().vosPerSec() / 1e9,
+                future.memBwBytesPerSec / 1e9);
+
+    // (1) Does the paper's design still suffice?
+    const auto deca_mach = future.withDecaVectorEngine();
+    std::printf("%-10s  %-12s %-12s\n", "kernel", "DECA{32,8}",
+                "DECA{64,16}");
+    u32 vec_bound_old = 0;
+    for (const auto &s : schemes) {
+        const auto b_old = roofsurface::bordClassify(
+            deca_mach, roofsurface::decaSignature(s, 32, 8));
+        const auto b_new = roofsurface::bordClassify(
+            deca_mach, roofsurface::decaSignature(s, 64, 16));
+        vec_bound_old += b_old == roofsurface::Bound::VEC;
+        std::printf("%-10s  %-12s %-12s\n", s.name.c_str(),
+                    roofsurface::boundName(b_old).c_str(),
+                    roofsurface::boundName(b_new).c_str());
+    }
+    std::printf("\n{32,8} leaves %u kernels VEC-bound on the bigger "
+                "machine\n\n",
+                vec_bound_old);
+
+    // (2) Re-run the analytical DSE.
+    const auto best = roofsurface::pickBalancedDesign(
+        future, schemes, {8, 16, 32, 64, 128}, {4, 8, 16, 32, 64});
+    std::printf("re-dimensioned balanced design: {W=%u, L=%u} "
+                "(%u kernels VEC-bound)\n\n",
+                best.w, best.l, best.vecBoundKernels);
+
+    // (3) Area comparison at the new core count.
+    std::vector<accel::DecaConfig> designs = {
+        accel::DecaConfig{32, 8, 3}, accel::decaOverConfig()};
+    if (best.w != 32 || best.l != 8)
+        designs.insert(designs.begin() + 1,
+                       accel::DecaConfig{best.w, best.l, 3});
+    for (const auto &cfg : designs) {
+        std::printf("area of %ux {W=%u,L=%u}: %.2f mm2 (%.3f%% of a "
+                    "1600 mm2 die)\n",
+                    future.cores, cfg.w, cfg.l,
+                    accel::estimateTotalArea(cfg, future.cores),
+                    100.0 * accel::dieOverhead(cfg, future.cores));
+    }
+    return 0;
+}

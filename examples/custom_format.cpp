@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Scenario: hosting a future quantization format on unmodified DECA
+ * hardware (the Section 6.1 generality claim).
+ *
+ * The example programs the LUT array for OCP FP6 (E3M2) — a format the
+ * paper never evaluated and libxsmm has no kernel for — combined with
+ * 30% unstructured sparsity, then (1) validates bit-exact functional
+ * decompression against the golden model, (2) shows the sub-LUT banking
+ * giving 4L lookups/cycle, and (3) compares analytic throughput against
+ * a hypothetical software sequence.
+ *
+ * Build & run:  ./build/examples/custom_format
+ */
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "compress/quantizer.h"
+#include "compress/reference_decompress.h"
+#include "deca/pipeline.h"
+#include "roofsurface/roof_surface.h"
+#include "roofsurface/signature.h"
+
+using namespace deca;
+
+int
+main()
+{
+    // A format DECA was never "designed for": FP6 E3M2, 30% density,
+    // with MX-style group scales.
+    compress::CompressionScheme fp6;
+    fp6.name = "FP6_30%";
+    fp6.format = compress::ElemFormat::FP6_E3M2;
+    fp6.density = 0.3;
+    fp6.groupQuant = true;
+    fp6.groupSize = kMxGroupSize;
+
+    std::printf("scheme %s: %.1f bytes/tile, CF %.2fx\n",
+                fp6.name.c_str(), fp6.bytesPerTile(),
+                fp6.compressionFactor());
+
+    // (1) Reprogram the PE and validate functionally.
+    accel::DecaPipeline pipe(accel::decaBestConfig());
+    pipe.configure(fp6);
+    Rng rng(3);
+    u32 matches = 0;
+    const u32 trials = 32;
+    Cycles total_cycles = 0;
+    for (u32 i = 0; i < trials; ++i) {
+        compress::DenseTile t;
+        for (u32 j = 0; j < kTileElems; ++j) {
+            if (rng.bernoulli(fp6.density)) {
+                float v = rng.gaussian(0.02f);
+                t[j] = Bf16::fromFloat(v == 0.0f ? 0.02f : v);
+            }
+        }
+        const compress::CompressedTile ct = compress::compressTile(t, fp6);
+        const accel::TileDecompression out = pipe.decompress(ct);
+        matches += out.tile == compress::referenceDecompress(ct);
+        total_cycles += out.cycles;
+    }
+    std::printf("functional check: %u/%u tiles bit-exact vs golden\n",
+                matches, trials);
+
+    // (2) Sub-LUT banking: 6-bit codes use all four banks.
+    std::printf("LUT array lookups/cycle at 6 bits: %u (L=%u big LUTs "
+                "x 4 sub-LUTs)\n",
+                pipe.lutArray().lookupsPerCycle(6),
+                pipe.lutArray().numLuts());
+    std::printf("avg DECA cycles/tile: %.1f (16 vOps + rare bubbles)\n",
+                static_cast<double>(total_cycles) / trials);
+
+    // (3) Analytic comparison vs a software path on HBM.
+    const auto mach = roofsurface::sprHbm();
+    const auto sw = roofsurface::evaluate(
+        mach, roofsurface::softwareSignature(fp6));
+    const auto deca = roofsurface::evaluate(
+        mach.withDecaVectorEngine(),
+        roofsurface::decaSignature(fp6, 32, 8));
+    std::printf("Roof-Surface @N=1: software %.2f TFLOPS (%s-bound) vs "
+                "DECA %.2f TFLOPS (%s-bound) -> %.1fx\n",
+                sw.flops(1) / kTera,
+                roofsurface::boundName(sw.bound).c_str(),
+                deca.flops(1) / kTera,
+                roofsurface::boundName(deca.bound).c_str(),
+                deca.tps / sw.tps);
+    return 0;
+}

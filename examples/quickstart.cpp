@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: the end-to-end DECA workflow on one weight matrix.
+ *
+ *  1. Generate a weight matrix and compress it offline (BF8 + 20%
+ *     density, bitmask sparse format).
+ *  2. Decompress one tile through the DECA PE pipeline and check it is
+ *     bit-identical to the golden decompressor.
+ *  3. Ask the Roof-Surface model who bounds the software and DECA
+ *     kernels on an HBM server.
+ *  4. Run the cycle-level multicore simulation for both kernels and
+ *     compare with the analytical prediction.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "compress/quantizer.h"
+#include "compress/reference_decompress.h"
+#include "compress/weight_matrix.h"
+#include "deca/pipeline.h"
+#include "kernels/gemm_sim.h"
+#include "roofsurface/roof_surface.h"
+#include "roofsurface/signature.h"
+#include "sim/params.h"
+
+using namespace deca;
+
+int
+main()
+{
+    // --- 1. Offline compression -------------------------------------
+    const compress::CompressionScheme scheme = compress::schemeQ8(0.2);
+    Rng rng(42);
+    const compress::WeightMatrix weights =
+        compress::generateWeights(256, 256, scheme.density, rng);
+    const compress::CompressedMatrix cm(weights, scheme);
+    std::printf("compressed %u x %u weights with %s: %.2fx smaller "
+                "(paper formula: %.2fx)\n",
+                weights.rows(), weights.cols(), scheme.name.c_str(),
+                cm.measuredCompressionFactor(),
+                scheme.compressionFactor());
+
+    // --- 2. DECA functional decompression ---------------------------
+    accel::DecaPipeline pipeline(accel::decaBestConfig());
+    pipeline.configure(scheme);
+    const compress::CompressedTile &ct = cm.tile(0, 0);
+    const accel::TileDecompression out = pipeline.decompress(ct);
+    const compress::DenseTile golden = compress::referenceDecompress(ct);
+    std::printf("DECA pipeline output %s the golden decompressor "
+                "(%u vOps, %u bubbles, %llu cycles)\n",
+                out.tile == golden ? "matches" : "DIFFERS FROM",
+                out.vops, out.bubbles,
+                static_cast<unsigned long long>(out.cycles));
+
+    // --- 3. Analytical prediction ------------------------------------
+    const auto mach = roofsurface::sprHbm();
+    const auto sw_sig = roofsurface::softwareSignature(scheme);
+    const auto deca_sig = roofsurface::decaSignature(scheme, 32, 8);
+    const auto sw_pred = roofsurface::evaluate(mach, sw_sig);
+    const auto deca_pred = roofsurface::evaluate(
+        mach.withDecaVectorEngine(), deca_sig);
+    std::printf("Roof-Surface: software is %s-bound (%.2f TFLOPS), "
+                "DECA is %s-bound (%.2f TFLOPS)\n",
+                roofsurface::boundName(sw_pred.bound).c_str(),
+                sw_pred.flops(1) / kTera,
+                roofsurface::boundName(deca_pred.bound).c_str(),
+                deca_pred.flops(1) / kTera);
+
+    // --- 4. Cycle-level simulation ------------------------------------
+    const sim::SimParams params = sim::sprHbmParams();
+    kernels::GemmWorkload w;
+    w.scheme = scheme;
+    w.batchN = 1;
+    w.tilesPerCore = 192;
+    w.poolTiles = 24;
+    const kernels::GemmResult sw = kernels::runGemmSteady(
+        params, kernels::KernelConfig::software(), w);
+    const kernels::GemmResult deca = kernels::runGemmSteady(
+        params, kernels::KernelConfig::decaKernel(), w);
+    std::printf("simulated: software %.2f TFLOPS, DECA %.2f TFLOPS "
+                "(%.2fx speedup)\n",
+                sw.tflops, deca.tflops, deca.speedupOver(sw));
+    return 0;
+}

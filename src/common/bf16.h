@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bit-exact BF16 (brain floating point) scalar type.
+ *
+ * BF16 is the storage format of uncompressed weights and the output format
+ * of every decompression path in this reproduction (the TMUL consumes BF16
+ * tiles). BF16 is the top 16 bits of an IEEE-754 binary32 value; conversion
+ * from float rounds to nearest-even.
+ */
+
+#ifndef DECA_COMMON_BF16_H
+#define DECA_COMMON_BF16_H
+
+#include <cstring>
+#include <compare>
+
+#include "common/types.h"
+
+namespace deca {
+
+/** A 16-bit brain floating point value stored as its raw bit pattern. */
+class Bf16
+{
+  public:
+    constexpr Bf16() : bits_(0) {}
+
+    /** Construct from a raw 16-bit pattern. */
+    static constexpr Bf16 fromBits(u16 bits)
+    {
+        Bf16 v;
+        v.bits_ = bits;
+        return v;
+    }
+
+    /** Convert from binary32 with round-to-nearest-even. */
+    static Bf16
+    fromFloat(float f)
+    {
+        u32 x;
+        std::memcpy(&x, &f, sizeof(x));
+        // NaN: preserve a quiet NaN pattern rather than rounding it to inf.
+        if ((x & 0x7f800000u) == 0x7f800000u && (x & 0x007fffffu) != 0) {
+            return fromBits(static_cast<u16>((x >> 16) | 0x0040u));
+        }
+        // Round to nearest even on the 16 bits that get dropped.
+        const u32 rounding_bias = 0x7fffu + ((x >> 16) & 1u);
+        x += rounding_bias;
+        return fromBits(static_cast<u16>(x >> 16));
+    }
+
+    /** Widen to binary32 (exact). */
+    float
+    toFloat() const
+    {
+        const u32 x = static_cast<u32>(bits_) << 16;
+        float f;
+        std::memcpy(&f, &x, sizeof(f));
+        return f;
+    }
+
+    constexpr u16 bits() const { return bits_; }
+
+    constexpr bool isZero() const { return (bits_ & 0x7fffu) == 0; }
+
+    friend constexpr bool
+    operator==(const Bf16 &a, const Bf16 &b)
+    {
+        return a.bits_ == b.bits_;
+    }
+
+  private:
+    u16 bits_;
+};
+
+static_assert(sizeof(Bf16) == 2, "Bf16 must be exactly two bytes");
+
+/** Multiply two BF16 values in binary32 and round back to BF16. */
+inline Bf16
+mulBf16(Bf16 a, Bf16 b)
+{
+    return Bf16::fromFloat(a.toFloat() * b.toFloat());
+}
+
+} // namespace deca
+
+#endif // DECA_COMMON_BF16_H

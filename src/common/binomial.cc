@@ -1,0 +1,48 @@
+#include "common/binomial.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deca {
+
+double
+binomialPmf(u32 n, u32 k, double p)
+{
+    DECA_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range");
+    if (k > n)
+        return 0.0;
+    if (p == 0.0)
+        return k == 0 ? 1.0 : 0.0;
+    if (p == 1.0)
+        return k == n ? 1.0 : 0.0;
+    // Work in log space: log C(n,k) + k log p + (n-k) log(1-p).
+    const double log_choose = std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                              std::lgamma(n - k + 1.0);
+    const double log_pmf = log_choose + k * std::log(p) +
+                           (n - k) * std::log1p(-p);
+    return std::exp(log_pmf);
+}
+
+double
+binomialCdf(i64 k, u32 n, double p)
+{
+    if (k < 0)
+        return 0.0;
+    if (k >= static_cast<i64>(n))
+        return 1.0;
+    double acc = 0.0;
+    for (u32 i = 0; i <= static_cast<u32>(k); ++i)
+        acc += binomialPmf(n, i, p);
+    return acc < 1.0 ? acc : 1.0;
+}
+
+double
+binomialCdfExclusive(double k, u32 n, double p)
+{
+    // P(X < k) = P(X <= ceil(k) - 1).
+    const i64 upper = static_cast<i64>(std::ceil(k)) - 1;
+    return binomialCdf(upper, n, p);
+}
+
+} // namespace deca

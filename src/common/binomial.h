@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Binomial distribution helpers for the Roof-Surface bubble model.
+ *
+ * Section 6.2 of the paper models the number of nonzeros inside a vOp
+ * window of W matrix elements, for a matrix of density d, as Binomial(W,d).
+ * The expected bubble count per vOp is computed from the binomial CDF.
+ */
+
+#ifndef DECA_COMMON_BINOMIAL_H
+#define DECA_COMMON_BINOMIAL_H
+
+#include "common/types.h"
+
+namespace deca {
+
+/** P(X = k) for X ~ Binomial(n, p). Numerically stable for n <= ~1000. */
+double binomialPmf(u32 n, u32 k, double p);
+
+/**
+ * P(X < k) for X ~ Binomial(n, p) — the strict-inequality CDF convention
+ * F(k; n, p) used by the paper's bubble expectation formula, where
+ * F((k+1)*Lq) - F(k*Lq) sums P(X = k*Lq .. (k+1)*Lq - 1).
+ */
+double binomialCdfExclusive(double k, u32 n, double p);
+
+/** P(X <= k), the conventional inclusive CDF. */
+double binomialCdf(i64 k, u32 n, double p);
+
+} // namespace deca
+
+#endif // DECA_COMMON_BINOMIAL_H

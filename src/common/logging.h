@@ -1,0 +1,72 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic() for internal invariant
+ * violations, fatal() for user-caused unrecoverable conditions, warn() and
+ * inform() for advisory messages.
+ */
+
+#ifndef DECA_COMMON_LOGGING_H
+#define DECA_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace deca {
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug (something that should never happen
+ * regardless of user input) and abort.
+ */
+#define DECA_PANIC(...) \
+    ::deca::detail::panicImpl(__FILE__, __LINE__, \
+                              ::deca::detail::concat(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user-caused error (bad configuration, invalid
+ * arguments) and exit(1).
+ */
+#define DECA_FATAL(...) \
+    ::deca::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::deca::detail::concat(__VA_ARGS__))
+
+/** Warn about questionable-but-survivable conditions. */
+#define DECA_WARN(...) \
+    ::deca::detail::warnImpl(::deca::detail::concat(__VA_ARGS__))
+
+/** Informative status message. */
+#define DECA_INFORM(...) \
+    ::deca::detail::informImpl(::deca::detail::concat(__VA_ARGS__))
+
+/** Assert an invariant; panics with the expression text on failure. */
+#define DECA_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            DECA_PANIC("assertion failed: " #cond " ", \
+                       ::deca::detail::concat("" __VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace deca
+
+#endif // DECA_COMMON_LOGGING_H

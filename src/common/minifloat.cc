@@ -1,0 +1,150 @@
+#include "common/minifloat.h"
+
+#include <algorithm>
+
+namespace deca {
+
+float
+minifloatDecode(const MinifloatSpec &spec, u32 code)
+{
+    DECA_ASSERT(spec.expBits >= 1 && spec.expBits <= 8);
+    DECA_ASSERT(spec.totalBits() <= 8);
+
+    code &= (1u << spec.totalBits()) - 1u;
+    const u32 sign = code >> (spec.expBits + spec.manBits);
+    const u32 exp_field =
+        (code >> spec.manBits) & ((1u << spec.expBits) - 1u);
+    const u32 man_field = code & ((1u << spec.manBits) - 1u);
+    const float sgn = sign ? -1.0f : 1.0f;
+
+    const u32 exp_top = (1u << spec.expBits) - 1u;
+    if (spec.hasInfNan && exp_field == exp_top) {
+        if (man_field == 0)
+            return sgn * std::numeric_limits<float>::infinity();
+        return std::numeric_limits<float>::quiet_NaN();
+    }
+    // OCP E4M3: exponent all-ones with mantissa all-ones is NaN.
+    if (!spec.hasInfNan && spec.expBits == 4 && spec.manBits == 3 &&
+        exp_field == exp_top && man_field == ((1u << spec.manBits) - 1u)) {
+        return std::numeric_limits<float>::quiet_NaN();
+    }
+
+    if (exp_field == 0) {
+        // Subnormal: value = man/2^manBits * 2^(1-bias).
+        const float man = static_cast<float>(man_field) /
+                          static_cast<float>(1u << spec.manBits);
+        return sgn * man *
+               std::ldexp(1.0f, 1 - static_cast<int>(spec.bias()));
+    }
+
+    const float man = 1.0f + static_cast<float>(man_field) /
+                                 static_cast<float>(1u << spec.manBits);
+    return sgn * man *
+           std::ldexp(1.0f, static_cast<int>(exp_field) -
+                                static_cast<int>(spec.bias()));
+}
+
+u32
+minifloatEncode(const MinifloatSpec &spec, float value)
+{
+    DECA_ASSERT(spec.totalBits() <= 8);
+
+    const u32 sign_shift = spec.expBits + spec.manBits;
+    u32 sign = std::signbit(value) ? 1u : 0u;
+
+    if (std::isnan(value)) {
+        if (spec.hasInfNan) {
+            // Quiet NaN: top exponent, non-zero mantissa.
+            const u32 exp_top = (1u << spec.expBits) - 1u;
+            return (sign << sign_shift) | (exp_top << spec.manBits) | 1u;
+        }
+        if (spec.expBits == 4 && spec.manBits == 3) {
+            // OCP E4M3 NaN code.
+            return (sign << sign_shift) | 0x7fu;
+        }
+        // Formats with no NaN encode NaN as max magnitude (saturate).
+        value = sign ? -static_cast<float>(spec.maxFinite())
+                     : static_cast<float>(spec.maxFinite());
+    }
+
+    const double max_finite = spec.maxFinite();
+    double mag = std::abs(static_cast<double>(value));
+
+    if (std::isinf(value) || mag > max_finite) {
+        if (spec.hasInfNan) {
+            // Values that round past max finite become infinity only if
+            // truly out of range after RNE; we follow saturate-to-inf for
+            // simplicity, matching x86 vcvtneps2bf8-style semantics.
+            const u32 exp_top = (1u << spec.expBits) - 1u;
+            if (std::isinf(value)) {
+                return (sign << sign_shift) | (exp_top << spec.manBits);
+            }
+        }
+        mag = max_finite;
+    }
+
+    if (mag == 0.0) {
+        return sign << sign_shift;
+    }
+
+    // Decompose: mag = frac * 2^exp2 with frac in [0.5, 1).
+    int exp2 = 0;
+    std::frexp(mag, &exp2);
+    i32 e = exp2 - 1;  // mag = m * 2^e with m in [1, 2)
+
+    const i32 bias = spec.bias();
+    const i32 min_normal_exp = 1 - bias;
+
+    u32 exp_field;
+    u32 man_field;
+    if (e < min_normal_exp) {
+        // Subnormal: quantum is 2^(min_normal_exp - manBits).
+        const double quantum =
+            std::ldexp(1.0, min_normal_exp - static_cast<int>(spec.manBits));
+        double q = mag / quantum;
+        // Round to nearest even.
+        double r = std::nearbyint(q);
+        if (std::abs(q - std::floor(q) - 0.5) < 1e-12) {
+            // Exactly halfway: round to even.
+            const double fl = std::floor(q);
+            r = (static_cast<i64>(fl) % 2 == 0) ? fl : fl + 1.0;
+        }
+        u32 iq = static_cast<u32>(r);
+        if (iq >= (1u << spec.manBits)) {
+            // Rounded up into the normal range.
+            exp_field = 1;
+            man_field = 0;
+        } else {
+            exp_field = 0;
+            man_field = iq;
+        }
+    } else {
+        // Normal: mantissa in units of 2^-manBits.
+        const double m = mag / std::ldexp(1.0, e);  // in [1, 2)
+        double q = (m - 1.0) * static_cast<double>(1u << spec.manBits);
+        double r = std::nearbyint(q);
+        if (std::abs(q - std::floor(q) - 0.5) < 1e-12) {
+            const double fl = std::floor(q);
+            r = (static_cast<i64>(fl) % 2 == 0) ? fl : fl + 1.0;
+        }
+        u32 iq = static_cast<u32>(r);
+        if (iq >= (1u << spec.manBits)) {
+            iq = 0;
+            ++e;
+        }
+        if (e > spec.maxExp()) {
+            // Overflowed past the largest finite exponent; saturate.
+            e = spec.maxExp();
+            iq = (1u << spec.manBits) - 1u;
+            if (!spec.hasInfNan && spec.expBits == 4 && spec.manBits == 3) {
+                iq = (1u << spec.manBits) - 2u;  // avoid the E4M3 NaN code
+            }
+        }
+        exp_field = static_cast<u32>(e + bias);
+        man_field = iq;
+    }
+
+    return (sign << sign_shift) | (exp_field << spec.manBits) | man_field;
+}
+
+} // namespace deca

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Generic low-bit minifloat encode/decode used for the quantized weight
+ * element formats evaluated in the paper:
+ *
+ *  - BF8   = E5M2 (IEEE-style, has inf/NaN) — the paper's 8-bit format,
+ *  - FP8   = E4M3 (OCP FP8 variant, no inf) — extra format DECA can host
+ *            by reprogramming its LUT array,
+ *  - FP4   = E2M1 (OCP MXFP4 element, no inf/NaN),
+ *  - plus any 1..8-bit format expressible as sign/exponent/mantissa, which
+ *    matches DECA's claim of supporting arbitrary <=8-bit LUT formats.
+ *
+ * Encoding uses round-to-nearest-even with saturation to the largest finite
+ * magnitude for formats without infinity.
+ */
+
+#ifndef DECA_COMMON_MINIFLOAT_H
+#define DECA_COMMON_MINIFLOAT_H
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace deca {
+
+/** Static description of a sign/exponent/mantissa minifloat format. */
+struct MinifloatSpec
+{
+    u32 expBits;
+    u32 manBits;
+    /** True for IEEE-style formats that reserve the top exponent for
+     *  inf/NaN (e.g. E5M2); false for OCP-style saturating formats. */
+    bool hasInfNan;
+
+    constexpr u32 totalBits() const { return 1 + expBits + manBits; }
+    constexpr i32 bias() const { return (1 << (expBits - 1)) - 1; }
+
+    /** Largest finite exponent (unbiased) representable by the format. */
+    constexpr i32
+    maxExp() const
+    {
+        const i32 top = (1 << expBits) - 1;
+        return (hasInfNan ? top - 1 : top) - bias();
+    }
+
+    /** Largest finite value of the format. */
+    double
+    maxFinite() const
+    {
+        const double man_max = 2.0 - std::ldexp(1.0, -static_cast<int>(manBits));
+        // OCP E4M3 reserves mantissa==all-ones at top exponent for NaN.
+        if (!hasInfNan && expBits == 4 && manBits == 3) {
+            const double man = 2.0 - 2.0 * std::ldexp(1.0, -3);
+            return man * std::ldexp(1.0, maxExp());
+        }
+        return man_max * std::ldexp(1.0, maxExp());
+    }
+
+    constexpr u32 numCodes() const { return 1u << totalBits(); }
+};
+
+inline constexpr MinifloatSpec kBf8Spec{5, 2, true};    // E5M2
+inline constexpr MinifloatSpec kFp8E4m3Spec{4, 3, false};
+inline constexpr MinifloatSpec kFp4Spec{2, 1, false};   // MXFP4 element
+inline constexpr MinifloatSpec kFp6E3m2Spec{3, 2, false};
+inline constexpr MinifloatSpec kFp6E2m3Spec{2, 3, false};
+
+/**
+ * Decode one minifloat code to binary32.
+ *
+ * @param spec The format description.
+ * @param code Raw code; only the low totalBits() bits are used.
+ * @return The decoded value (NaN/inf only for formats with hasInfNan).
+ */
+float minifloatDecode(const MinifloatSpec &spec, u32 code);
+
+/**
+ * Encode a binary32 value to the nearest minifloat code (round to nearest
+ * even, saturating for formats without infinity).
+ */
+u32 minifloatEncode(const MinifloatSpec &spec, float value);
+
+} // namespace deca
+
+#endif // DECA_COMMON_MINIFLOAT_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * OCP Microscaling (MX) shared scale factors.
+ *
+ * MXFP4 groups 32 consecutive weights and stores one shared E8M0 scale
+ * (a power of two with an 8-bit exponent) per group. The dequantized value
+ * of an element is element_value * 2^(scale_code - 127).
+ */
+
+#ifndef DECA_COMMON_MX_SCALE_H
+#define DECA_COMMON_MX_SCALE_H
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace deca {
+
+/** Number of elements sharing one scale factor in MXFP4 (OCP MX spec). */
+inline constexpr u32 kMxGroupSize = 32;
+
+/** E8M0 exponent bias. Code 127 represents scale 1.0. */
+inline constexpr i32 kE8m0Bias = 127;
+
+/** Decode an E8M0 scale code to its (power-of-two) float value. */
+inline float
+e8m0Decode(u8 code)
+{
+    return std::ldexp(1.0f, static_cast<int>(code) - kE8m0Bias);
+}
+
+/** Encode the largest power-of-two scale <= |x|'s exponent headroom. */
+inline u8
+e8m0Encode(i32 unbiased_exp)
+{
+    i32 code = unbiased_exp + kE8m0Bias;
+    if (code < 0)
+        code = 0;
+    if (code > 254)
+        code = 254;  // 255 is the E8M0 NaN code.
+    return static_cast<u8>(code);
+}
+
+/**
+ * Pick the shared E8M0 scale for a group per the OCP MX algorithm:
+ * scale exponent = floor(log2(max_abs)) - emax_elem, where emax_elem is the
+ * largest exponent representable by the element format.
+ *
+ * @param max_abs Largest magnitude in the group (0 allowed).
+ * @param elem_max_exp Largest unbiased exponent of the element format
+ *        (2 for E2M1).
+ */
+inline u8
+mxChooseScale(float max_abs, i32 elem_max_exp)
+{
+    if (max_abs == 0.0f || !std::isfinite(max_abs)) {
+        return static_cast<u8>(kE8m0Bias);  // scale 1.0
+    }
+    int exp2 = 0;
+    std::frexp(max_abs, &exp2);
+    const i32 floor_log2 = exp2 - 1;
+    return e8m0Encode(floor_log2 - elem_max_exp);
+}
+
+} // namespace deca
+
+#endif // DECA_COMMON_MX_SCALE_H

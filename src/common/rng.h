@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every generator in the repository is seeded explicitly so that tests and
+ * benchmarks are exactly reproducible run-to-run.
+ */
+
+#ifndef DECA_COMMON_RNG_H
+#define DECA_COMMON_RNG_H
+
+#include <random>
+
+#include "common/types.h"
+
+namespace deca {
+
+/** A thin, explicitly-seeded wrapper around a 64-bit Mersenne twister. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed) : engine_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniformFloat(float lo, float hi)
+    {
+        return std::uniform_real_distribution<float>(lo, hi)(engine_);
+    }
+
+    /** Standard normal scaled by sigma (typical weight distribution). */
+    float
+    gaussian(float sigma)
+    {
+        return std::normal_distribution<float>(0.0f, sigma)(engine_);
+    }
+
+    /** Uniform integer in [0, n). */
+    u64
+    below(u64 n)
+    {
+        return std::uniform_int_distribution<u64>(0, n - 1)(engine_);
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace deca
+
+#endif // DECA_COMMON_RNG_H

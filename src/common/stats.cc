@@ -1,0 +1,16 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace deca {
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : stats_)
+        os << name_ << '.' << k << ' ' << v << '\n';
+    return os.str();
+}
+
+} // namespace deca

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Lightweight statistics package for simulator components.
+ *
+ * Components register named scalar counters in a StatGroup. Benchmarks and
+ * tests read them back by name, and the group can be dumped as a formatted
+ * listing. This mirrors (a small slice of) the gem5 stats package.
+ */
+
+#ifndef DECA_COMMON_STATS_H
+#define DECA_COMMON_STATS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace deca {
+
+/** A named group of scalar statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Add (or fetch) a counter, returning a stable reference. */
+    double &
+    scalar(const std::string &stat_name)
+    {
+        return stats_[stat_name];
+    }
+
+    /** Increment a counter by amount (default 1). */
+    void
+    inc(const std::string &stat_name, double amount = 1.0)
+    {
+        stats_[stat_name] += amount;
+    }
+
+    /** Read a counter; zero if never touched. */
+    double
+    get(const std::string &stat_name) const
+    {
+        auto it = stats_.find(stat_name);
+        return it == stats_.end() ? 0.0 : it->second;
+    }
+
+    bool
+    has(const std::string &stat_name) const
+    {
+        return stats_.count(stat_name) != 0;
+    }
+
+    void
+    reset()
+    {
+        for (auto &kv : stats_)
+            kv.second = 0.0;
+    }
+
+    const std::string &name() const { return name_; }
+
+    const std::map<std::string, double> &all() const { return stats_; }
+
+    /** Render "group.stat value" lines. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, double> stats_;
+};
+
+} // namespace deca
+
+#endif // DECA_COMMON_STATS_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Console table and CSV emission for benchmark output.
+ *
+ * Every bench binary reproduces one paper table or figure; TableWriter
+ * renders the same rows/series the paper reports, both human-readable and
+ * as CSV (for plotting).
+ */
+
+#ifndef DECA_COMMON_TABLE_H
+#define DECA_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deca {
+
+/** Accumulates rows of string cells and renders them aligned or as CSV. */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; cell count should match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render an aligned, boxed console table. */
+    std::string render() const;
+
+    /** Render as CSV (header then rows). */
+    std::string csv() const;
+
+    /** Print the aligned table to the stream. */
+    void print(std::ostream &os) const;
+
+    const std::string &title() const { return title_; }
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a ratio as a percentage string, e.g. "89.5%". */
+    static std::string pct(double ratio, int precision = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace deca
+
+#endif // DECA_COMMON_TABLE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental integer aliases and simulation time types used across the
+ * DECA reproduction.
+ */
+
+#ifndef DECA_COMMON_TYPES_H
+#define DECA_COMMON_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace deca {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated clock cycles. All on-chip agents run at the same frequency. */
+using Cycles = std::uint64_t;
+
+/** Simulated time in picoseconds (used when converting cycles to time). */
+using Picoseconds = std::uint64_t;
+
+/** An address in the simulated (virtual) address space. */
+using Addr = std::uint64_t;
+
+/** Size of a cache line in bytes, matching the SPR target. */
+inline constexpr u32 kCacheLineBytes = 64;
+
+/** AMX tile geometry for BF16 weight tiles (Section 2.3 of the paper). */
+inline constexpr u32 kTileRows = 16;
+inline constexpr u32 kTileCols = 32;
+inline constexpr u32 kTileElems = kTileRows * kTileCols;  // 512
+inline constexpr u32 kTileBytes = kTileElems * 2;         // 1 KB in BF16
+
+/** FMAs performed by one TMUL tile operation per batch row (Sec. 2.3). */
+inline constexpr u32 kFmasPerTileOpPerBatchRow = 512;
+
+} // namespace deca
+
+#endif // DECA_COMMON_TYPES_H

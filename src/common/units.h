@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Unit helpers for rates and sizes used throughout the model
+ * (bytes/second, operations/second, FLOPS).
+ */
+
+#ifndef DECA_COMMON_UNITS_H
+#define DECA_COMMON_UNITS_H
+
+#include "common/types.h"
+
+namespace deca {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/** Convert GB/s to bytes/second. */
+inline constexpr double
+gbPerSec(double gb)
+{
+    return gb * kGiga;
+}
+
+/** Convert GHz to Hz. */
+inline constexpr double
+gigahertz(double ghz)
+{
+    return ghz * kGiga;
+}
+
+/** Bytes for a KiB/MiB/GiB count. */
+inline constexpr u64 kKiB = 1024;
+inline constexpr u64 kMiB = 1024 * kKiB;
+inline constexpr u64 kGiB = 1024 * kMiB;
+
+} // namespace deca
+
+#endif // DECA_COMMON_UNITS_H

@@ -1,0 +1,67 @@
+#include "compress/bitmask.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace deca::compress {
+
+u32
+TileBitmask::popcount() const
+{
+    u32 n = 0;
+    for (u64 w : words_)
+        n += static_cast<u32>(std::popcount(w));
+    return n;
+}
+
+u32
+TileBitmask::popcountWindow(u32 begin, u32 len) const
+{
+    DECA_ASSERT(begin + len <= kTileElems, "window out of range");
+    u32 n = 0;
+    for (u32 i = begin; i < begin + len; ++i)
+        n += get(i) ? 1 : 0;
+    return n;
+}
+
+std::vector<i32>
+TileBitmask::expansionIndices(u32 begin, u32 len) const
+{
+    DECA_ASSERT(begin + len <= kTileElems, "window out of range");
+    std::vector<i32> idx(len, -1);
+    i32 running = 0;  // prefix sum of ones inside the window
+    for (u32 j = 0; j < len; ++j) {
+        if (get(begin + j)) {
+            idx[j] = running;
+            ++running;
+        }
+    }
+    return idx;
+}
+
+std::array<u8, kTileElems / 8>
+TileBitmask::toBytes() const
+{
+    std::array<u8, kTileElems / 8> out{};
+    for (u32 w = 0; w < words_.size(); ++w) {
+        for (u32 b = 0; b < 8; ++b)
+            out[w * 8 + b] = static_cast<u8>(words_[w] >> (8 * b));
+    }
+    return out;
+}
+
+TileBitmask
+TileBitmask::fromBytes(const std::array<u8, kTileElems / 8> &b)
+{
+    TileBitmask m;
+    for (u32 w = 0; w < m.words_.size(); ++w) {
+        u64 v = 0;
+        for (u32 i = 0; i < 8; ++i)
+            v |= static_cast<u64>(b[w * 8 + i]) << (8 * i);
+        m.words_[w] = v;
+    }
+    return m;
+}
+
+} // namespace deca::compress

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * 512-bit sparsity bitmask for one tile.
+ *
+ * Bit i set means tile element i (row-major) is nonzero and stored in the
+ * nonzero array. The mask supports the window operations DECA's POPCNT and
+ * parallel-prefix-sum circuits perform: counting ones inside a W-element
+ * window and producing crossbar expansion indices.
+ */
+
+#ifndef DECA_COMPRESS_BITMASK_H
+#define DECA_COMPRESS_BITMASK_H
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deca::compress {
+
+/** Sparsity bitmask covering the 512 elements of one tile. */
+class TileBitmask
+{
+  public:
+    TileBitmask() = default;
+
+    void
+    set(u32 i, bool v)
+    {
+        const u64 bit = u64{1} << (i & 63);
+        if (v)
+            words_[i >> 6] |= bit;
+        else
+            words_[i >> 6] &= ~bit;
+    }
+
+    bool
+    get(u32 i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Total number of set bits (tile nonzero count). */
+    u32 popcount() const;
+
+    /** Number of set bits among elements [begin, begin+len). */
+    u32 popcountWindow(u32 begin, u32 len) const;
+
+    /**
+     * Expansion indices for the window [begin, begin+len): for each output
+     * lane j in the window, the index (relative to the window's first
+     * nonzero) of the compacted nonzero that lands there, or -1 when the
+     * lane is a zero. This is what the prefix-sum + crossbar compute.
+     */
+    std::vector<i32> expansionIndices(u32 begin, u32 len) const;
+
+    /** Serialize to the 64-byte memory image. */
+    std::array<u8, kTileElems / 8> toBytes() const;
+
+    /** Deserialize from the 64-byte memory image. */
+    static TileBitmask fromBytes(const std::array<u8, kTileElems / 8> &b);
+
+    friend bool
+    operator==(const TileBitmask &a, const TileBitmask &b)
+    {
+        return a.words_ == b.words_;
+    }
+
+  private:
+    std::array<u64, kTileElems / 64> words_{};
+};
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_BITMASK_H

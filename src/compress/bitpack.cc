@@ -1,0 +1,52 @@
+#include "compress/bitpack.h"
+
+#include "common/logging.h"
+
+namespace deca::compress {
+
+void
+BitPacker::append(u32 code, u32 bits)
+{
+    DECA_ASSERT(bits >= 1 && bits <= 16, "code width out of range");
+    for (u32 b = 0; b < bits; ++b) {
+        const u64 pos = bit_count_ + b;
+        const u64 byte = pos >> 3;
+        if (byte >= bytes_.size())
+            bytes_.push_back(0);
+        if ((code >> b) & 1u)
+            bytes_[byte] |= static_cast<u8>(1u << (pos & 7));
+    }
+    bit_count_ += bits;
+}
+
+std::vector<u8>
+BitPacker::finish()
+{
+    return std::move(bytes_);
+}
+
+u32
+BitUnpacker::next(u32 bits)
+{
+    const u32 v = at(bit_pos_ / bits, bits);
+    bit_pos_ += bits;
+    return v;
+}
+
+u32
+BitUnpacker::at(u64 i, u32 bits) const
+{
+    DECA_ASSERT(bits >= 1 && bits <= 16, "code width out of range");
+    const u64 start = i * bits;
+    DECA_ASSERT((start + bits + 7) / 8 <= bytes_.size(),
+                "unpack past end of stream");
+    u32 v = 0;
+    for (u32 b = 0; b < bits; ++b) {
+        const u64 pos = start + b;
+        if ((bytes_[pos >> 3] >> (pos & 7)) & 1u)
+            v |= 1u << b;
+    }
+    return v;
+}
+
+} // namespace deca::compress

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bit-level packing of quantized element codes into the nonzero array.
+ *
+ * Codes of 1..16 bits are packed little-endian-first into a byte stream,
+ * matching a compact memory image with no padding between elements.
+ */
+
+#ifndef DECA_COMPRESS_BITPACK_H
+#define DECA_COMPRESS_BITPACK_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace deca::compress {
+
+/** Append the low `bits` bits of `code` to the packed stream. */
+class BitPacker
+{
+  public:
+    void append(u32 code, u32 bits);
+
+    /** Flush and return the packed bytes (tail padded with zero bits). */
+    std::vector<u8> finish();
+
+    u64 bitCount() const { return bit_count_; }
+
+  private:
+    std::vector<u8> bytes_;
+    u64 bit_count_ = 0;
+};
+
+/** Sequentially extract fixed-width codes from a packed stream. */
+class BitUnpacker
+{
+  public:
+    explicit BitUnpacker(const std::vector<u8> &bytes) : bytes_(bytes) {}
+
+    /** Read the next `bits`-wide code. */
+    u32 next(u32 bits);
+
+    /** Read the code at element index i of width `bits` (random access). */
+    u32 at(u64 i, u32 bits) const;
+
+    u64 bitPos() const { return bit_pos_; }
+
+  private:
+    const std::vector<u8> &bytes_;
+    u64 bit_pos_ = 0;
+};
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_BITPACK_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The in-memory image of one compressed weight tile: the three data
+ * structures DECA's Loaders fetch (nonzero array, bitmask, scale factors)
+ * plus the scheme needed to interpret them (Figure 1 / Section 5.2).
+ */
+
+#ifndef DECA_COMPRESS_COMPRESSED_TILE_H
+#define DECA_COMPRESS_COMPRESSED_TILE_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "compress/bitmask.h"
+#include "compress/scheme.h"
+
+namespace deca::compress {
+
+/** One compressed tile as laid out in memory. */
+struct CompressedTile
+{
+    CompressionScheme scheme;
+
+    /** Bit-packed quantized nonzero codes in tile row-major order. */
+    std::vector<u8> data;
+
+    /** Number of quantized codes stored in `data`. */
+    u32 numNonzeros = 0;
+
+    /** Present iff scheme.sparse(). */
+    TileBitmask bitmask;
+
+    /** E8M0 scale codes, one per group, iff scheme.groupQuant. Groups are
+     *  defined over the original dense element positions. */
+    std::vector<u8> scales;
+
+    /** Bytes of the nonzero data structure. */
+    u64 dataBytes() const { return data.size(); }
+
+    /** Bytes of the bitmask structure (0 when dense). */
+    u64
+    bitmaskBytes() const
+    {
+        return scheme.sparse() ? kTileElems / 8 : 0;
+    }
+
+    /** Bytes of the scale-factor structure (0 without group quant). */
+    u64 scaleBytes() const { return scales.size(); }
+
+    /** Total bytes that must be fetched from memory for this tile. */
+    u64
+    totalBytes() const
+    {
+        return dataBytes() + bitmaskBytes() + scaleBytes();
+    }
+};
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_COMPRESSED_TILE_H

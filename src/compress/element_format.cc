@@ -1,0 +1,47 @@
+#include "compress/element_format.h"
+
+#include "common/logging.h"
+
+namespace deca::compress {
+
+const MinifloatSpec &
+elemFormatSpec(ElemFormat f)
+{
+    switch (f) {
+      case ElemFormat::BF8:
+        return kBf8Spec;
+      case ElemFormat::FP8_E4M3:
+        return kFp8E4m3Spec;
+      case ElemFormat::FP6_E3M2:
+        return kFp6E3m2Spec;
+      case ElemFormat::FP6_E2M3:
+        return kFp6E2m3Spec;
+      case ElemFormat::FP4_E2M1:
+        return kFp4Spec;
+      case ElemFormat::BF16:
+        break;
+    }
+    DECA_PANIC("BF16 has no minifloat spec (it is stored directly)");
+}
+
+std::string
+elemFormatName(ElemFormat f)
+{
+    switch (f) {
+      case ElemFormat::BF16:
+        return "BF16";
+      case ElemFormat::BF8:
+        return "BF8";
+      case ElemFormat::FP8_E4M3:
+        return "FP8-E4M3";
+      case ElemFormat::FP6_E3M2:
+        return "FP6-E3M2";
+      case ElemFormat::FP6_E2M3:
+        return "FP6-E2M3";
+      case ElemFormat::FP4_E2M1:
+        return "MXFP4";
+    }
+    return "?";
+}
+
+} // namespace deca::compress

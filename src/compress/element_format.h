@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quantized element formats supported by the compression pipeline.
+ *
+ * DECA is programmable for any <=8-bit LUT-expressible format (Sec. 6.1);
+ * we enumerate the formats the paper evaluates (BF16, BF8, MXFP4) plus a
+ * few extra OCP formats that exercise DECA's generality claims.
+ */
+
+#ifndef DECA_COMPRESS_ELEMENT_FORMAT_H
+#define DECA_COMPRESS_ELEMENT_FORMAT_H
+
+#include <string>
+
+#include "common/minifloat.h"
+#include "common/types.h"
+
+namespace deca::compress {
+
+/** Storage format of one weight element. */
+enum class ElemFormat
+{
+    BF16,     ///< Uncompressed 16-bit brain float (no LUT needed).
+    BF8,      ///< E5M2 8-bit brain float (paper's Q8).
+    FP8_E4M3, ///< OCP FP8 E4M3 variant.
+    FP6_E3M2, ///< OCP FP6 variant.
+    FP6_E2M3, ///< OCP FP6 variant.
+    FP4_E2M1, ///< OCP MXFP4 element format (paper's Q4).
+};
+
+/** Bit width of the element format. */
+constexpr u32
+elemFormatBits(ElemFormat f)
+{
+    switch (f) {
+      case ElemFormat::BF16:
+        return 16;
+      case ElemFormat::BF8:
+      case ElemFormat::FP8_E4M3:
+        return 8;
+      case ElemFormat::FP6_E3M2:
+      case ElemFormat::FP6_E2M3:
+        return 6;
+      case ElemFormat::FP4_E2M1:
+        return 4;
+    }
+    return 16;
+}
+
+/** Minifloat spec for sub-16-bit formats. Must not be called for BF16. */
+const MinifloatSpec &elemFormatSpec(ElemFormat f);
+
+/** Human-readable name ("BF8", "MXFP4", ...). */
+std::string elemFormatName(ElemFormat f);
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_ELEMENT_FORMAT_H

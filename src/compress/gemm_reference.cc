@@ -1,0 +1,53 @@
+#include "compress/gemm_reference.h"
+
+#include "common/logging.h"
+#include "compress/reference_decompress.h"
+
+namespace deca::compress {
+
+void
+tmulTileOp(const FloatMatrix &a, u32 a_col0, const DenseTile &w,
+           FloatMatrix &c, u32 c_col0)
+{
+    DECA_ASSERT(a_col0 + kTileCols <= a.cols(), "A slice out of range");
+    DECA_ASSERT(c_col0 + kTileRows <= c.cols(), "C slice out of range");
+    for (u32 n = 0; n < a.rows(); ++n) {
+        for (u32 m = 0; m < kTileRows; ++m) {
+            float acc = c.at(n, c_col0 + m);
+            for (u32 k = 0; k < kTileCols; ++k)
+                acc += a.at(n, a_col0 + k) * w.at(m, k).toFloat();
+            c.at(n, c_col0 + m) = acc;
+        }
+    }
+}
+
+FloatMatrix
+gemmReference(const FloatMatrix &x, const WeightMatrix &w)
+{
+    DECA_ASSERT(x.cols() == w.cols(), "inner dimensions must match");
+    FloatMatrix y(x.rows(), w.rows());
+    for (u32 tr = 0; tr < w.tileRows(); ++tr) {
+        for (u32 tc = 0; tc < w.tileCols(); ++tc) {
+            tmulTileOp(x, tc * kTileCols, w.tile(tr, tc), y,
+                       tr * kTileRows);
+        }
+    }
+    return y;
+}
+
+FloatMatrix
+gemmCompressed(const FloatMatrix &x, const CompressedMatrix &cw)
+{
+    DECA_ASSERT(x.cols() == cw.tileCols() * kTileCols,
+                "inner dimensions must match");
+    FloatMatrix y(x.rows(), cw.tileRows() * kTileRows);
+    for (u32 tr = 0; tr < cw.tileRows(); ++tr) {
+        for (u32 tc = 0; tc < cw.tileCols(); ++tc) {
+            const DenseTile w = referenceDecompress(cw.tile(tr, tc));
+            tmulTileOp(x, tc * kTileCols, w, y, tr * kTileRows);
+        }
+    }
+    return y;
+}
+
+} // namespace deca::compress

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Functional GeMM reference: the computation the TMUL performs on each
+ * tile pair (A[N×32] × W[16×32]^T accumulated into C[N×16], Sec. 2.3) and
+ * a whole-matrix GeMM built from it. Used by examples and end-to-end
+ * correctness tests of the decompression paths.
+ */
+
+#ifndef DECA_COMPRESS_GEMM_REFERENCE_H
+#define DECA_COMPRESS_GEMM_REFERENCE_H
+
+#include <vector>
+
+#include "common/bf16.h"
+#include "compress/tile.h"
+#include "compress/weight_matrix.h"
+
+namespace deca::compress {
+
+/** A small row-major float matrix for activations/outputs. */
+class FloatMatrix
+{
+  public:
+    FloatMatrix(u32 rows, u32 cols)
+        : rows_(rows), cols_(cols), data_(u64{rows} * cols, 0.0f)
+    {}
+
+    u32 rows() const { return rows_; }
+    u32 cols() const { return cols_; }
+    float &at(u32 r, u32 c) { return data_[u64{r} * cols_ + c]; }
+    float at(u32 r, u32 c) const { return data_[u64{r} * cols_ + c]; }
+
+  private:
+    u32 rows_;
+    u32 cols_;
+    std::vector<float> data_;
+};
+
+/**
+ * One TMUL tile operation: accumulate A(N×32) × W(16×32)^T into C(N×16).
+ * A rows are the batch; W rows are output features.
+ */
+void tmulTileOp(const FloatMatrix &a, u32 a_col0, const DenseTile &w,
+                FloatMatrix &c, u32 c_col0);
+
+/**
+ * Full GeMM Y(N×M) = X(N×K) × W(M×K)^T over a dense weight matrix, built
+ * from TMUL tile operations (golden model).
+ */
+FloatMatrix gemmReference(const FloatMatrix &x, const WeightMatrix &w);
+
+/**
+ * Same GeMM over a *compressed* weight matrix: each tile is decompressed
+ * with the golden decompressor before the TMUL op. This is the functional
+ * contract both the software kernel and DECA must satisfy.
+ */
+FloatMatrix gemmCompressed(const FloatMatrix &x, const CompressedMatrix &cw);
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_GEMM_REFERENCE_H

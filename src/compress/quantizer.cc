@@ -1,0 +1,81 @@
+#include "compress/quantizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "compress/bitpack.h"
+
+namespace deca::compress {
+
+u32
+quantizeValue(float value, const CompressionScheme &scheme, float group_scale)
+{
+    if (scheme.format == ElemFormat::BF16) {
+        return Bf16::fromFloat(value).bits();
+    }
+    const float scaled = scheme.groupQuant ? value / group_scale : value;
+    return minifloatEncode(elemFormatSpec(scheme.format), scaled);
+}
+
+float
+dequantizeCode(u32 code, const CompressionScheme &scheme)
+{
+    if (scheme.format == ElemFormat::BF16) {
+        return Bf16::fromBits(static_cast<u16>(code)).toFloat();
+    }
+    return minifloatDecode(elemFormatSpec(scheme.format), code);
+}
+
+std::vector<u8>
+computeGroupScales(const DenseTile &tile, const CompressionScheme &scheme)
+{
+    DECA_ASSERT(scheme.groupQuant);
+    DECA_ASSERT(kTileElems % scheme.groupSize == 0,
+                "group size must divide the tile");
+    const u32 num_groups = kTileElems / scheme.groupSize;
+    const i32 elem_max_exp = elemFormatSpec(scheme.format).maxExp();
+
+    std::vector<u8> scales(num_groups);
+    for (u32 g = 0; g < num_groups; ++g) {
+        float max_abs = 0.0f;
+        for (u32 j = 0; j < scheme.groupSize; ++j) {
+            const float v =
+                std::abs(tile[g * scheme.groupSize + j].toFloat());
+            if (v > max_abs)
+                max_abs = v;
+        }
+        scales[g] = mxChooseScale(max_abs, elem_max_exp);
+    }
+    return scales;
+}
+
+CompressedTile
+compressTile(const DenseTile &tile, const CompressionScheme &scheme)
+{
+    CompressedTile out;
+    out.scheme = scheme;
+
+    if (scheme.groupQuant)
+        out.scales = computeGroupScales(tile, scheme);
+
+    BitPacker packer;
+    const u32 qbits = scheme.quantBits();
+    for (u32 i = 0; i < kTileElems; ++i) {
+        const float v = tile[i].toFloat();
+        const bool nonzero = !tile[i].isZero();
+        if (scheme.sparse()) {
+            out.bitmask.set(i, nonzero);
+            if (!nonzero)
+                continue;
+        }
+        float scale = 1.0f;
+        if (scheme.groupQuant)
+            scale = e8m0Decode(out.scales[i / scheme.groupSize]);
+        packer.append(quantizeValue(v, scheme, scale), qbits);
+        ++out.numNonzeros;
+    }
+    out.data = packer.finish();
+    return out;
+}
+
+} // namespace deca::compress

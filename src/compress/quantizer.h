@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Offline weight compression (Figure 1, left): quantize a dense BF16 tile
+ * to a low-bit format, optionally with MX group scales, and pack the
+ * nonzeros plus bitmask into the compressed memory image.
+ */
+
+#ifndef DECA_COMPRESS_QUANTIZER_H
+#define DECA_COMPRESS_QUANTIZER_H
+
+#include "compress/compressed_tile.h"
+#include "compress/tile.h"
+
+namespace deca::compress {
+
+/**
+ * Compress one dense tile under the given scheme.
+ *
+ * Zero elements are treated as pruned: for sparse schemes they are omitted
+ * from the nonzero array and cleared in the bitmask. For dense schemes all
+ * 512 elements (including zeros) are stored.
+ */
+CompressedTile compressTile(const DenseTile &tile,
+                            const CompressionScheme &scheme);
+
+/**
+ * Quantize one scalar to the scheme's element format and return the code.
+ * For group-quantized schemes the value is divided by the group scale
+ * before encoding.
+ */
+u32 quantizeValue(float value, const CompressionScheme &scheme,
+                  float group_scale);
+
+/** Decode one element code back to a float (before group scaling). */
+float dequantizeCode(u32 code, const CompressionScheme &scheme);
+
+/**
+ * Compute per-group E8M0 scales for a tile under an MX-style scheme.
+ * Groups cover consecutive dense positions; each scale is chosen from the
+ * group's max magnitude per the OCP algorithm.
+ */
+std::vector<u8> computeGroupScales(const DenseTile &tile,
+                                   const CompressionScheme &scheme);
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_QUANTIZER_H

@@ -1,0 +1,61 @@
+#include "compress/reference_decompress.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "compress/bitpack.h"
+#include "compress/quantizer.h"
+
+namespace deca::compress {
+
+DenseTile
+referenceDecompress(const CompressedTile &ct)
+{
+    DenseTile out;
+    BitUnpacker unpacker(ct.data);
+    const u32 qbits = ct.scheme.quantBits();
+
+    u32 consumed = 0;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        const bool present = ct.scheme.sparse() ? ct.bitmask.get(i) : true;
+        if (!present) {
+            out[i] = Bf16();  // explicit zero inserted by expansion
+            continue;
+        }
+        const u32 code = unpacker.next(qbits);
+        ++consumed;
+        float v = dequantizeCode(code, ct.scheme);
+        if (ct.scheme.groupQuant) {
+            const float scale =
+                e8m0Decode(ct.scales[i / ct.scheme.groupSize]);
+            v *= scale;
+        }
+        // Canonicalize negative zero (a nonzero weight that quantized to
+        // the zero code) so decompressed zeros are bit-identical to
+        // pruned zeros and recompression is idempotent.
+        out[i] = v == 0.0f ? Bf16() : Bf16::fromFloat(v);
+    }
+    DECA_ASSERT(consumed == ct.numNonzeros,
+                "nonzero count mismatch during decompression");
+    return out;
+}
+
+DenseTile
+roundTrip(const DenseTile &tile, const CompressionScheme &scheme)
+{
+    return referenceDecompress(compressTile(tile, scheme));
+}
+
+float
+maxAbsError(const DenseTile &a, const DenseTile &b)
+{
+    float worst = 0.0f;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        const float e = std::abs(a[i].toFloat() - b[i].toFloat());
+        if (e > worst)
+            worst = e;
+    }
+    return worst;
+}
+
+} // namespace deca::compress

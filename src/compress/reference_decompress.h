@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Golden-model tile decompression (Figure 1, right): the functional
+ * specification every hardware/software decompression path must match.
+ *
+ * The steps mirror DECA's pipeline: dequantize the nonzero codes, expand
+ * them into their dense positions using the bitmask, and apply group
+ * scales. The output is a dense BF16 tile ready for the TMUL.
+ */
+
+#ifndef DECA_COMPRESS_REFERENCE_DECOMPRESS_H
+#define DECA_COMPRESS_REFERENCE_DECOMPRESS_H
+
+#include "compress/compressed_tile.h"
+#include "compress/tile.h"
+
+namespace deca::compress {
+
+/** Decompress one tile functionally (the golden reference). */
+DenseTile referenceDecompress(const CompressedTile &ct);
+
+/**
+ * Compress-then-decompress round trip: the lossy projection of a tile onto
+ * the scheme's representable values. Useful for accuracy studies.
+ */
+DenseTile roundTrip(const DenseTile &tile, const CompressionScheme &scheme);
+
+/**
+ * Maximum absolute element error between two tiles (for quantization
+ * accuracy tests).
+ */
+float maxAbsError(const DenseTile &a, const DenseTile &b);
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_REFERENCE_DECOMPRESS_H

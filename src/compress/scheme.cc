@@ -1,0 +1,109 @@
+#include "compress/scheme.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace deca::compress {
+
+namespace {
+
+std::string
+densitySuffix(double density)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "_%.0f%%", density * 100.0);
+    return buf;
+}
+
+} // namespace
+
+CompressionScheme
+schemeBf16()
+{
+    CompressionScheme s;
+    s.name = "BF16";
+    s.format = ElemFormat::BF16;
+    s.density = 1.0;
+    return s;
+}
+
+CompressionScheme
+schemeQ16(double density)
+{
+    DECA_ASSERT(density > 0.0 && density < 1.0);
+    CompressionScheme s;
+    s.name = "Q16" + densitySuffix(density);
+    s.format = ElemFormat::BF16;
+    s.density = density;
+    return s;
+}
+
+CompressionScheme
+schemeQ8Dense()
+{
+    CompressionScheme s;
+    s.name = "Q8";
+    s.format = ElemFormat::BF8;
+    s.density = 1.0;
+    return s;
+}
+
+CompressionScheme
+schemeQ8(double density)
+{
+    DECA_ASSERT(density > 0.0 && density < 1.0);
+    CompressionScheme s;
+    s.name = "Q8" + densitySuffix(density);
+    s.format = ElemFormat::BF8;
+    s.density = density;
+    return s;
+}
+
+CompressionScheme
+schemeMxfp4()
+{
+    CompressionScheme s;
+    s.name = "Q4";
+    s.format = ElemFormat::FP4_E2M1;
+    s.density = 1.0;
+    s.groupQuant = true;
+    s.groupSize = kMxGroupSize;
+    return s;
+}
+
+CompressionScheme
+schemeMxfp4Sparse(double density)
+{
+    DECA_ASSERT(density > 0.0 && density < 1.0);
+    CompressionScheme s;
+    s.name = "Q4" + densitySuffix(density);
+    s.format = ElemFormat::FP4_E2M1;
+    s.density = density;
+    s.groupQuant = true;
+    s.groupSize = kMxGroupSize;
+    return s;
+}
+
+std::vector<CompressionScheme>
+paperSchemes()
+{
+    return {
+        schemeQ16(0.50), schemeQ8Dense(), schemeQ16(0.30), schemeQ8(0.50),
+        schemeMxfp4(),   schemeQ16(0.20), schemeQ8(0.30),  schemeQ16(0.10),
+        schemeQ8(0.20),  schemeQ16(0.05), schemeQ8(0.10),  schemeQ8(0.05),
+    };
+}
+
+std::vector<CompressionScheme>
+paperSparseSchemes()
+{
+    std::vector<CompressionScheme> out;
+    for (auto &s : paperSchemes()) {
+        if (s.sparse())
+            out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace deca::compress

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Compression scheme descriptors (quantization format × density) and the
+ * size/arithmetic-intensity math of Section 2.2.
+ *
+ * A scheme with Q quantization bits and density d stores, per 512-element
+ * tile: 512*d elements of Q bits each, a 512-bit bitmask when d < 1, and
+ * one 8-bit E8M0 scale per 32-element group when group quantization is on.
+ * The paper's Compression Factor 16/(Q*d + 1) corresponds to the sparse
+ * case without group scales.
+ */
+
+#ifndef DECA_COMPRESS_SCHEME_H
+#define DECA_COMPRESS_SCHEME_H
+
+#include <string>
+#include <vector>
+
+#include "common/mx_scale.h"
+#include "common/types.h"
+#include "compress/element_format.h"
+
+namespace deca::compress {
+
+/** Full description of how a weight matrix is compressed. */
+struct CompressionScheme
+{
+    std::string name;        ///< e.g. "Q8_20%", "MXFP4", "BF16".
+    ElemFormat format = ElemFormat::BF16;
+    /** Fraction of nonzero weights, in (0, 1]. 1.0 means dense. */
+    double density = 1.0;
+    /** True when a shared E8M0 scale is stored per group (MX-style). */
+    bool groupQuant = false;
+    u32 groupSize = kMxGroupSize;
+
+    /** True when a bitmask is stored (any density below 1.0). */
+    bool sparse() const { return density < 1.0; }
+
+    u32 quantBits() const { return elemFormatBits(format); }
+
+    /** Expected nonzero count in one 512-element tile. */
+    double
+    nonzerosPerTile() const
+    {
+        return density * kTileElems;
+    }
+
+    /** Expected bytes of nonzero data per tile (bit-packed). */
+    double
+    dataBytesPerTile() const
+    {
+        return nonzerosPerTile() * quantBits() / 8.0;
+    }
+
+    /** Bitmask bytes per tile (zero for dense schemes). */
+    double
+    bitmaskBytesPerTile() const
+    {
+        return sparse() ? kTileElems / 8.0 : 0.0;
+    }
+
+    /** Scale-factor bytes per tile (zero without group quantization). */
+    double
+    scaleBytesPerTile() const
+    {
+        return groupQuant ? static_cast<double>(kTileElems) / groupSize
+                          : 0.0;
+    }
+
+    /** Total compressed bytes fetched from memory per tile. */
+    double
+    bytesPerTile() const
+    {
+        return dataBytesPerTile() + bitmaskBytesPerTile() +
+               scaleBytesPerTile();
+    }
+
+    /** Compression factor relative to a dense BF16 tile (1 KB). */
+    double
+    compressionFactor() const
+    {
+        return static_cast<double>(kTileBytes) / bytesPerTile();
+    }
+
+    /**
+     * matriX-to-Memory arithmetic intensity (Sec. 4.1): matrix (tile)
+     * operations per compressed byte loaded from memory.
+     */
+    double
+    aixm() const
+    {
+        return 1.0 / bytesPerTile();
+    }
+
+    /** Traditional FLOP/byte arithmetic intensity for batch size n. */
+    double
+    flopPerByte(u32 n) const
+    {
+        return kFmasPerTileOpPerBatchRow * static_cast<double>(n) /
+               bytesPerTile();
+    }
+};
+
+/** Uncompressed dense BF16 baseline. */
+CompressionScheme schemeBf16();
+
+/** BF16 values with unstructured sparsity (paper's Q16_d%). */
+CompressionScheme schemeQ16(double density);
+
+/** Dense BF8 (paper's Q8 / BF8 100%). */
+CompressionScheme schemeQ8Dense();
+
+/** BF8 with unstructured sparsity (paper's Q8_d%). */
+CompressionScheme schemeQ8(double density);
+
+/** Dense MXFP4: E2M1 elements with E8M0 group scales (paper's Q4). */
+CompressionScheme schemeMxfp4();
+
+/** MXFP4 with unstructured sparsity (supported by DECA; not in libxsmm). */
+CompressionScheme schemeMxfp4Sparse(double density);
+
+/**
+ * The twelve schemes of Figures 12/13 in the paper's order of increasing
+ * compression factor: Q16_50%, Q8, Q16_30%, Q8_50%, Q4, Q16_20%, Q8_30%,
+ * Q16_10%, Q8_20%, Q16_5%, Q8_10%, Q8_5%.
+ */
+std::vector<CompressionScheme> paperSchemes();
+
+/** The subset of paperSchemes() that is sparse. */
+std::vector<CompressionScheme> paperSparseSchemes();
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_SCHEME_H

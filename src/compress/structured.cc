@@ -1,0 +1,57 @@
+#include "compress/structured.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace deca::compress {
+
+void
+structuredPrune(WeightMatrix &w, u32 n, u32 m)
+{
+    DECA_ASSERT(n >= 1 && n < m, "need 1 <= N < M");
+    DECA_ASSERT(w.cols() % m == 0, "M must divide the row length");
+    std::vector<std::pair<float, u32>> group(m);
+    for (u32 r = 0; r < w.rows(); ++r) {
+        for (u32 g = 0; g < w.cols(); g += m) {
+            for (u32 j = 0; j < m; ++j) {
+                group[j] = {std::abs(w.at(r, g + j).toFloat()), j};
+            }
+            // Keep the n largest magnitudes; zero the rest.
+            std::partial_sort(group.begin(), group.begin() + n,
+                              group.end(), std::greater<>());
+            for (u32 j = n; j < m; ++j)
+                w.at(r, g + group[j].second) = Bf16();
+        }
+    }
+}
+
+bool
+checkStructured(const WeightMatrix &w, u32 n, u32 m)
+{
+    for (u32 r = 0; r < w.rows(); ++r) {
+        for (u32 g = 0; g < w.cols(); g += m) {
+            u32 nz = 0;
+            for (u32 j = 0; j < m; ++j)
+                nz += w.at(r, g + j).isZero() ? 0 : 1;
+            if (nz > n)
+                return false;
+        }
+    }
+    return true;
+}
+
+CompressionScheme
+schemeStructured(ElemFormat format, u32 n, u32 m)
+{
+    CompressionScheme s;
+    s.name = elemFormatName(format) + "_" + std::to_string(n) + ":" +
+             std::to_string(m);
+    s.format = format;
+    s.density = static_cast<double>(n) / m;
+    return s;
+}
+
+} // namespace deca::compress

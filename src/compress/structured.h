@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Structured N:M sparsity support (Table 2: DECA handles structured as
+ * well as unstructured sparsity — a structured pattern is just a
+ * constrained bitmask).
+ *
+ * N:M sparsity keeps the N largest-magnitude weights in every group of
+ * M consecutive elements along a row (2:4 is the TensorCore/VEGETA
+ * pattern). Because at most N of every M bitmask bits are set, DECA's
+ * per-window nonzero counts — and therefore its bubble behaviour —
+ * become deterministic.
+ */
+
+#ifndef DECA_COMPRESS_STRUCTURED_H
+#define DECA_COMPRESS_STRUCTURED_H
+
+#include "compress/weight_matrix.h"
+
+namespace deca::compress {
+
+/**
+ * Prune a matrix in place to N:M structured sparsity along rows: in
+ * every aligned group of M elements, only the N largest magnitudes
+ * survive.
+ */
+void structuredPrune(WeightMatrix &w, u32 n, u32 m);
+
+/** True when every aligned M-group of the matrix has at most N nonzeros. */
+bool checkStructured(const WeightMatrix &w, u32 n, u32 m);
+
+/**
+ * Scheme descriptor for an N:M structured variant of a quantized format
+ * (density = N/M, stored with the same bitmask format — DECA needs no
+ * special casing).
+ */
+CompressionScheme schemeStructured(ElemFormat format, u32 n, u32 m);
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_STRUCTURED_H

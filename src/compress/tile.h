@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dense AMX weight tiles: 16 rows × 32 BF16 columns (1 KB), the unit the
+ * TMUL consumes and the unit every decompression path produces.
+ */
+
+#ifndef DECA_COMPRESS_TILE_H
+#define DECA_COMPRESS_TILE_H
+
+#include <array>
+
+#include "common/bf16.h"
+#include "common/types.h"
+
+namespace deca::compress {
+
+/** A dense 16×32 BF16 tile in row-major order. */
+class DenseTile
+{
+  public:
+    DenseTile() = default;
+
+    Bf16 &
+    at(u32 row, u32 col)
+    {
+        return elems_[row * kTileCols + col];
+    }
+
+    Bf16
+    at(u32 row, u32 col) const
+    {
+        return elems_[row * kTileCols + col];
+    }
+
+    /** Flat (row-major) element access, index in [0, 512). */
+    Bf16 &operator[](u32 i) { return elems_[i]; }
+    Bf16 operator[](u32 i) const { return elems_[i]; }
+
+    /** Count nonzero elements. */
+    u32
+    countNonzeros() const
+    {
+        u32 n = 0;
+        for (const auto &e : elems_)
+            n += e.isZero() ? 0 : 1;
+        return n;
+    }
+
+    /** Density of the tile in [0, 1]. */
+    double
+    density() const
+    {
+        return static_cast<double>(countNonzeros()) / kTileElems;
+    }
+
+    friend bool
+    operator==(const DenseTile &a, const DenseTile &b)
+    {
+        return a.elems_ == b.elems_;
+    }
+
+  private:
+    std::array<Bf16, kTileElems> elems_{};
+};
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_TILE_H

@@ -1,0 +1,144 @@
+#include "compress/weight_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "compress/quantizer.h"
+
+namespace deca::compress {
+
+WeightMatrix::WeightMatrix(u32 rows, u32 cols)
+    : rows_(rows), cols_(cols), data_(u64{rows} * cols)
+{
+    DECA_ASSERT(rows % kTileRows == 0, "rows must be a multiple of 16");
+    DECA_ASSERT(cols % kTileCols == 0, "cols must be a multiple of 32");
+}
+
+DenseTile
+WeightMatrix::tile(u32 tr, u32 tc) const
+{
+    DECA_ASSERT(tr < tileRows() && tc < tileCols(), "tile out of range");
+    DenseTile t;
+    for (u32 r = 0; r < kTileRows; ++r) {
+        for (u32 c = 0; c < kTileCols; ++c)
+            t.at(r, c) = at(tr * kTileRows + r, tc * kTileCols + c);
+    }
+    return t;
+}
+
+void
+WeightMatrix::setTile(u32 tr, u32 tc, const DenseTile &t)
+{
+    DECA_ASSERT(tr < tileRows() && tc < tileCols(), "tile out of range");
+    for (u32 r = 0; r < kTileRows; ++r) {
+        for (u32 c = 0; c < kTileCols; ++c)
+            at(tr * kTileRows + r, tc * kTileCols + c) = t.at(r, c);
+    }
+}
+
+double
+WeightMatrix::density() const
+{
+    u64 nz = 0;
+    for (u32 r = 0; r < rows_; ++r) {
+        for (u32 c = 0; c < cols_; ++c)
+            nz += at(r, c).isZero() ? 0 : 1;
+    }
+    return static_cast<double>(nz) / static_cast<double>(numElems());
+}
+
+WeightMatrix
+generateWeights(u32 rows, u32 cols, double density, Rng &rng, float sigma)
+{
+    DECA_ASSERT(density > 0.0 && density <= 1.0, "density out of range");
+    WeightMatrix w(rows, cols);
+    for (u32 r = 0; r < rows; ++r) {
+        for (u32 c = 0; c < cols; ++c) {
+            float v = rng.gaussian(sigma);
+            // Avoid exact zeros among kept weights so the bitmask density
+            // is exactly what pruning dictates.
+            if (v == 0.0f)
+                v = sigma * 0.01f;
+            w.at(r, c) = Bf16::fromFloat(v);
+        }
+    }
+    if (density < 1.0)
+        magnitudePrune(w, density);
+    return w;
+}
+
+void
+magnitudePrune(WeightMatrix &w, double density)
+{
+    DECA_ASSERT(density > 0.0 && density <= 1.0, "density out of range");
+    if (density >= 1.0)
+        return;
+    const u64 n = w.numElems();
+    const u64 keep = static_cast<u64>(std::llround(density * n));
+    if (keep == n)
+        return;
+
+    std::vector<float> mags;
+    mags.reserve(n);
+    for (u32 r = 0; r < w.rows(); ++r) {
+        for (u32 c = 0; c < w.cols(); ++c)
+            mags.push_back(std::abs(w.at(r, c).toFloat()));
+    }
+    // Threshold = magnitude of the (n-keep)-th smallest element.
+    std::nth_element(mags.begin(), mags.begin() + (n - keep), mags.end());
+    const float threshold = mags[n - keep];
+
+    // Prune strictly-below-threshold first, then trim ties to hit the
+    // exact count.
+    u64 pruned = 0;
+    const u64 target = n - keep;
+    for (u32 r = 0; r < w.rows() && pruned < target; ++r) {
+        for (u32 c = 0; c < w.cols() && pruned < target; ++c) {
+            if (std::abs(w.at(r, c).toFloat()) < threshold &&
+                !w.at(r, c).isZero()) {
+                w.at(r, c) = Bf16();
+                ++pruned;
+            }
+        }
+    }
+    for (u32 r = 0; r < w.rows() && pruned < target; ++r) {
+        for (u32 c = 0; c < w.cols() && pruned < target; ++c) {
+            if (!w.at(r, c).isZero() &&
+                std::abs(w.at(r, c).toFloat()) <= threshold) {
+                w.at(r, c) = Bf16();
+                ++pruned;
+            }
+        }
+    }
+}
+
+CompressedMatrix::CompressedMatrix(const WeightMatrix &w,
+                                   const CompressionScheme &scheme)
+    : scheme_(scheme), tile_rows_(w.tileRows()), tile_cols_(w.tileCols())
+{
+    tiles_.reserve(w.numTiles());
+    for (u32 tr = 0; tr < tile_rows_; ++tr) {
+        for (u32 tc = 0; tc < tile_cols_; ++tc)
+            tiles_.push_back(compressTile(w.tile(tr, tc), scheme));
+    }
+}
+
+u64
+CompressedMatrix::totalBytes() const
+{
+    u64 total = 0;
+    for (const auto &t : tiles_)
+        total += t.totalBytes();
+    return total;
+}
+
+double
+CompressedMatrix::measuredCompressionFactor() const
+{
+    const u64 dense_bytes = u64{tile_rows_} * tile_cols_ * kTileBytes;
+    return static_cast<double>(dense_bytes) /
+           static_cast<double>(totalBytes());
+}
+
+} // namespace deca::compress

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Weight matrices, synthetic weight generation, magnitude pruning, and
+ * tiling into AMX weight tiles.
+ *
+ * FC-layer weight matrices are stored as M (output features) × K (input
+ * features) BF16 and split into 16×32 tiles: M/16 tile-rows by K/32
+ * tile-columns. A compressed matrix stores one CompressedTile per tile.
+ */
+
+#ifndef DECA_COMPRESS_WEIGHT_MATRIX_H
+#define DECA_COMPRESS_WEIGHT_MATRIX_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/compressed_tile.h"
+#include "compress/tile.h"
+
+namespace deca::compress {
+
+/** A dense BF16 weight matrix with tile access. */
+class WeightMatrix
+{
+  public:
+    /** Construct a zeroed matrix; rows/cols must be tile multiples. */
+    WeightMatrix(u32 rows, u32 cols);
+
+    u32 rows() const { return rows_; }
+    u32 cols() const { return cols_; }
+    u32 tileRows() const { return rows_ / kTileRows; }
+    u32 tileCols() const { return cols_ / kTileCols; }
+    u64 numTiles() const { return u64{tileRows()} * tileCols(); }
+    u64 numElems() const { return u64{rows_} * cols_; }
+
+    Bf16 &at(u32 r, u32 c) { return data_[u64{r} * cols_ + c]; }
+    Bf16 at(u32 r, u32 c) const { return data_[u64{r} * cols_ + c]; }
+
+    /** Extract the dense tile at tile coordinates (tr, tc). */
+    DenseTile tile(u32 tr, u32 tc) const;
+
+    /** Overwrite the tile at (tr, tc). */
+    void setTile(u32 tr, u32 tc, const DenseTile &t);
+
+    /** Fraction of nonzero elements. */
+    double density() const;
+
+  private:
+    u32 rows_;
+    u32 cols_;
+    std::vector<Bf16> data_;
+};
+
+/**
+ * Generate a synthetic Gaussian weight matrix with exactly the requested
+ * density: the (1 - density) fraction of smallest-magnitude weights is
+ * pruned to zero, mimicking magnitude pruning (SparseGPT-style outcomes).
+ */
+WeightMatrix generateWeights(u32 rows, u32 cols, double density, Rng &rng,
+                             float sigma = 0.02f);
+
+/**
+ * Prune the smallest-magnitude weights of an existing matrix in place
+ * until only `density` fraction remain nonzero.
+ */
+void magnitudePrune(WeightMatrix &w, double density);
+
+/** A weight matrix compressed tile-by-tile under one scheme. */
+class CompressedMatrix
+{
+  public:
+    CompressedMatrix(const WeightMatrix &w, const CompressionScheme &scheme);
+
+    const CompressionScheme &scheme() const { return scheme_; }
+    u32 tileRows() const { return tile_rows_; }
+    u32 tileCols() const { return tile_cols_; }
+    u64 numTiles() const { return tiles_.size(); }
+
+    const CompressedTile &
+    tile(u32 tr, u32 tc) const
+    {
+        return tiles_[u64{tr} * tile_cols_ + tc];
+    }
+
+    const CompressedTile &tileAt(u64 flat) const { return tiles_[flat]; }
+
+    /** Total compressed bytes across all tiles. */
+    u64 totalBytes() const;
+
+    /** Measured compression factor vs the dense BF16 matrix. */
+    double measuredCompressionFactor() const;
+
+  private:
+    CompressionScheme scheme_;
+    u32 tile_rows_;
+    u32 tile_cols_;
+    std::vector<CompressedTile> tiles_;
+};
+
+} // namespace deca::compress
+
+#endif // DECA_COMPRESS_WEIGHT_MATRIX_H

@@ -1,0 +1,61 @@
+#include "deca/area_model.h"
+
+#include <cmath>
+
+namespace deca::accel {
+
+namespace {
+
+// Calibration anchor: 56 PEs at {W=32, L=8} total 2.51 mm^2 (Sec. 8),
+// i.e. 0.044821 mm^2 per PE, split 55% / 22% / 23%.
+constexpr double kAnchorPeTotal = 2.51 / 56.0;
+constexpr double kAnchorLoaders = kAnchorPeTotal * 0.55;
+constexpr double kAnchorLut = kAnchorPeTotal * 0.22;
+constexpr double kAnchorRest = kAnchorPeTotal * 0.23;
+constexpr u32 kAnchorW = 32;
+constexpr u32 kAnchorL = 8;
+
+} // namespace
+
+PeArea
+estimatePeArea(const DecaConfig &cfg)
+{
+    PeArea a{};
+
+    // LUT array: storage scales linearly with L (256 BF16 entries each).
+    a.lutArray = kAnchorLut * static_cast<double>(cfg.l) / kAnchorL;
+
+    // Loaders/queues/TOut: the TOut registers (2x 1KB), LDQ and input
+    // queues have capacities set by the tile size, not W, so most of the
+    // block is W-independent; the SQQ/DD/SD register write widths scale
+    // with W. Calibrated split: 75% fixed, 25% proportional to W.
+    const double w_ratio = static_cast<double>(cfg.w) / kAnchorW;
+    a.loadersAndQueues = kAnchorLoaders * (0.75 + 0.25 * w_ratio);
+
+    // Datapath rest: the W x W crossbar grows ~quadratically with lane
+    // count; prefix sum grows W log W; scaling multipliers grow with W.
+    // Calibrated split of the anchor: 45% crossbar, 25% prefix sum,
+    // 30% multipliers + control.
+    const double xbar = 0.45 * kAnchorRest * w_ratio * w_ratio;
+    const double lw = std::log2(static_cast<double>(cfg.w));
+    const double lw0 = std::log2(static_cast<double>(kAnchorW));
+    const double psum = 0.25 * kAnchorRest * (w_ratio * lw / lw0);
+    const double mult = 0.30 * kAnchorRest * w_ratio;
+    a.datapathRest = xbar + psum + mult;
+
+    return a;
+}
+
+double
+estimateTotalArea(const DecaConfig &cfg, u32 num_pes)
+{
+    return estimatePeArea(cfg).total() * num_pes;
+}
+
+double
+dieOverhead(const DecaConfig &cfg, u32 num_pes, double die_mm2)
+{
+    return estimateTotalArea(cfg, num_pes) / die_mm2;
+}
+
+} // namespace deca::accel

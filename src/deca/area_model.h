@@ -1,0 +1,46 @@
+/**
+ * @file
+ * DECA area model (Section 8).
+ *
+ * The paper estimates the W=32, L=8 design at ~2.51 mm^2 for 56 PEs in
+ * 7 nm (CACTI for memories/registers/LUTs, published numbers for the
+ * crossbar and BF16 multipliers, scaled with Stillmaker-Baas equations),
+ * split ~55% loaders/queues/TOut, ~22% LUT array, ~23% datapath rest.
+ * We bake those calibrated component densities in and scale them with
+ * {W, L} so design-space candidates can be cost-compared.
+ */
+
+#ifndef DECA_DECA_AREA_MODEL_H
+#define DECA_DECA_AREA_MODEL_H
+
+#include "deca/deca_config.h"
+
+namespace deca::accel {
+
+/** Area breakdown of one DECA PE in mm^2 (7 nm). */
+struct PeArea
+{
+    double loadersAndQueues; ///< LDQs, SQQs, bitmask/scale queues, TOut
+    double lutArray;
+    double datapathRest;     ///< prefix sum, crossbar, multipliers, ctrl
+
+    double
+    total() const
+    {
+        return loadersAndQueues + lutArray + datapathRest;
+    }
+};
+
+/** Estimate the area of one PE for a configuration. */
+PeArea estimatePeArea(const DecaConfig &cfg);
+
+/** Total area of `num_pes` PEs in mm^2. */
+double estimateTotalArea(const DecaConfig &cfg, u32 num_pes);
+
+/** Die overhead fraction for `num_pes` PEs on a die of `die_mm2`. */
+double dieOverhead(const DecaConfig &cfg, u32 num_pes,
+                   double die_mm2 = 1600.0);
+
+} // namespace deca::accel
+
+#endif // DECA_DECA_AREA_MODEL_H

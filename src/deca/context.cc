@@ -1,0 +1,62 @@
+#include "deca/context.h"
+
+#include "common/logging.h"
+
+namespace deca::accel {
+
+DecaContextManager::DecaContextManager(DecaPipeline &pipeline,
+                                       ContextSwitchCosts costs)
+    : pipeline_(pipeline), costs_(costs)
+{}
+
+u64
+DecaContextManager::stateBytes() const
+{
+    DecaContext ctx;
+    return ctx.stateBytes(pipeline_.config());
+}
+
+Cycles
+DecaContextManager::switchCost() const
+{
+    const u64 lines = (stateBytes() + kCacheLineBytes - 1) /
+                      kCacheLineBytes;
+    // Save the old image and restore/program the new one.
+    return costs_.trapCycles + 2 * lines * costs_.cyclesPerLine;
+}
+
+Cycles
+DecaContextManager::acquire(u32 pid, const compress::CompressionScheme &s)
+{
+    ++acquires_;
+    // The eager policy pays a save+restore on every acquire that
+    // follows a different process, even if ownership would have
+    // round-tripped back for free; model it as paying on every acquire
+    // after the first.
+    if (acquires_ > 1)
+        eager_cycles_ += switchCost();
+
+    if (owner_ && *owner_ == pid && pipeline_.configuredFor(s)) {
+        ++stat_hits_;
+        return 0;
+    }
+
+    // Trap: save the current owner's state, install the new one.
+    ++stat_traps_;
+    if (owner_) {
+        DecaContext old;
+        old.scheme = saved_.count(*owner_) ? saved_[*owner_].scheme
+                                           : old.scheme;
+        // The live configuration is what gets saved.
+        saved_[*owner_] = old;
+    }
+    pipeline_.configure(s);
+    saved_[pid] = DecaContext{s};
+    owner_ = pid;
+
+    const Cycles cost = switchCost();
+    stat_trap_cycles_ += cost;
+    return cost;
+}
+
+} // namespace deca::accel

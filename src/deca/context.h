@@ -1,0 +1,100 @@
+/**
+ * @file
+ * DECA state management across context switches (Section 5.1).
+ *
+ * The paper proposes lazy ownership: DECA retains its configuration
+ * (control registers + LUT array contents) across context switches, and
+ * when a *different* process touches the DECA, a trap to the OS saves
+ * the old state and installs the new process's configuration. With TEPL
+ * (Sec. 5.3) only the control registers and LUTs — never tile data —
+ * are part of the saved state, because context switches happen between
+ * instructions.
+ */
+
+#ifndef DECA_DECA_CONTEXT_H
+#define DECA_DECA_CONTEXT_H
+
+#include <map>
+#include <optional>
+
+#include "compress/scheme.h"
+#include "deca/pipeline.h"
+
+namespace deca::accel {
+
+/** The per-process architectural DECA state (what a trap saves). */
+struct DecaContext
+{
+    compress::CompressionScheme scheme;
+    /** Configuration-register image size: scheme descriptor plus the
+     *  LUT array contents (L x 256 BF16 entries). */
+    u64
+    stateBytes(const DecaConfig &cfg) const
+    {
+        return 64 + u64{cfg.l} * LutArray::kBigLutEntries * sizeof(Bf16);
+    }
+};
+
+/** Cost parameters of the lazy-switch protocol. */
+struct ContextSwitchCosts
+{
+    /** Trap entry/exit overhead in cycles. */
+    Cycles trapCycles = 1200;
+    /** Cycles per 64 bytes of state saved or restored. */
+    Cycles cyclesPerLine = 4;
+};
+
+/**
+ * Lazy DECA ownership manager for one PE.
+ *
+ * acquire(pid) models a process touching the DECA: free when the PE
+ * already belongs to the process, otherwise a trap that saves the old
+ * owner's state and installs the new one. Statistics expose how often
+ * the lazy policy pays off versus eager save/restore on every switch.
+ */
+class DecaContextManager
+{
+  public:
+    DecaContextManager(DecaPipeline &pipeline, ContextSwitchCosts costs);
+
+    /**
+     * A process begins (or resumes) using the PE with the given scheme.
+     *
+     * @return cycles spent in the trap (0 on an ownership hit).
+     */
+    Cycles acquire(u32 pid, const compress::CompressionScheme &scheme);
+
+    /** Current owner, if any. */
+    std::optional<u32> owner() const { return owner_; }
+
+    /** The state image a trap moves for the current configuration. */
+    u64 stateBytes() const;
+
+    u64 statTraps() const { return stat_traps_; }
+    u64 statOwnershipHits() const { return stat_hits_; }
+    Cycles statTrapCycles() const { return stat_trap_cycles_; }
+
+    /**
+     * Cycles an eager save/restore-on-every-switch policy would have
+     * spent for the same acquire sequence (for comparison).
+     */
+    Cycles eagerAlternativeCycles() const { return eager_cycles_; }
+
+  private:
+    Cycles switchCost() const;
+
+    DecaPipeline &pipeline_;
+    ContextSwitchCosts costs_;
+    std::optional<u32> owner_;
+    /** Saved state images per process (the OS-side save area). */
+    std::map<u32, DecaContext> saved_;
+    u64 stat_traps_ = 0;
+    u64 stat_hits_ = 0;
+    Cycles stat_trap_cycles_ = 0;
+    Cycles eager_cycles_ = 0;
+    u64 acquires_ = 0;
+};
+
+} // namespace deca::accel
+
+#endif // DECA_DECA_CONTEXT_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DECA PE configuration: the {W, L} dimensioning parameters of Section 6
+ * plus pipeline constants.
+ *
+ *  - W: output elements produced per vOp (datapath width of the
+ *    expansion/scaling stages and the TOut write port).
+ *  - L: number of 256-entry "big" LUTs in the dequantization stage; each
+ *    big LUT is banked into four 64-entry sub-LUTs, so formats of 6 bits
+ *    or fewer can perform 4L lookups per cycle (Sec. 6.1).
+ */
+
+#ifndef DECA_DECA_CONFIG_H
+#define DECA_DECA_CONFIG_H
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace deca::accel {
+
+/** Dimensioning of one DECA processing element. */
+struct DecaConfig
+{
+    /** Elements per vOp. Must divide the 512-element tile. */
+    u32 w = 32;
+    /** Number of 256-entry LUTs. */
+    u32 l = 8;
+    /** Pipeline stages: dequantization, expansion, scaling (Sec. 6.1). */
+    u32 pipelineDepth = 3;
+
+    void
+    validate() const
+    {
+        DECA_ASSERT(w >= 1 && kTileElems % w == 0,
+                    "W must divide the tile size");
+        DECA_ASSERT(l >= 1, "L must be at least 1");
+        DECA_ASSERT(l <= w, "more LUTs than datapath lanes is wasted");
+    }
+
+    /** vOps needed per tile in the absence of bubbles. */
+    u32 vopsPerTile() const { return kTileElems / w; }
+};
+
+/** The paper's balanced design point (Sec. 9.2). */
+inline DecaConfig
+decaBestConfig()
+{
+    return DecaConfig{32, 8, 3};
+}
+
+/** The underprovisioned comparison point of Fig. 16. */
+inline DecaConfig
+decaUnderConfig()
+{
+    return DecaConfig{8, 4, 3};
+}
+
+/** The overprovisioned comparison point of Fig. 16. */
+inline DecaConfig
+decaOverConfig()
+{
+    return DecaConfig{64, 64, 3};
+}
+
+} // namespace deca::accel
+
+#endif // DECA_DECA_CONFIG_H

@@ -1,0 +1,63 @@
+#include "deca/expansion.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace deca::accel {
+
+std::vector<u32>
+parallelPrefixSum(const std::vector<u8> &bits)
+{
+    // Sklansky network: lg(n) levels of span-doubling adds. We model the
+    // wire pattern faithfully so the function is a drop-in spec for the
+    // RTL, then tests compare it with a sequential scan.
+    const u32 n = static_cast<u32>(bits.size());
+    std::vector<u32> sum(n);
+    for (u32 i = 0; i < n; ++i)
+        sum[i] = bits[i] ? 1 : 0;
+
+    for (u32 span = 1; span < n; span *= 2) {
+        std::vector<u32> next = sum;
+        for (u32 i = span; i < n; ++i)
+            next[i] = sum[i] + sum[i - span];
+        sum.swap(next);
+    }
+
+    // Convert inclusive prefix counts to exclusive ones.
+    std::vector<u32> out(n);
+    for (u32 i = 0; i < n; ++i)
+        out[i] = sum[i] - (bits[i] ? 1 : 0);
+    return out;
+}
+
+u32
+popcountWindow(const std::vector<u8> &window_bits)
+{
+    u32 n = 0;
+    for (u8 b : window_bits)
+        n += b ? 1 : 0;
+    return n;
+}
+
+std::vector<Bf16>
+crossbarExpand(const std::vector<u8> &window_bits,
+               const std::vector<Bf16> &sparse_values)
+{
+    const std::vector<u32> idx = parallelPrefixSum(window_bits);
+    std::vector<Bf16> dense(window_bits.size());
+    u32 used = 0;
+    for (u32 j = 0; j < window_bits.size(); ++j) {
+        if (window_bits[j]) {
+            DECA_ASSERT(idx[j] < sparse_values.size(),
+                        "crossbar index past the sparse window");
+            dense[j] = sparse_values[idx[j]];
+            ++used;
+        }
+    }
+    DECA_ASSERT(used == sparse_values.size(),
+                "window popcount does not match the sparse value count");
+    return dense;
+}
+
+} // namespace deca::accel

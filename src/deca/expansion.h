@@ -1,0 +1,43 @@
+/**
+ * @file
+ * DECA's expansion (de-sparsification) stage: the POPCNT circuitry that
+ * sizes each vOp's window, the parallel prefix-sum that turns a bitmask
+ * window into crossbar expansion indices, and the crossbar itself
+ * (Section 6.1, Figure 11).
+ */
+
+#ifndef DECA_DECA_EXPANSION_H
+#define DECA_DECA_EXPANSION_H
+
+#include <vector>
+
+#include "common/bf16.h"
+#include "common/types.h"
+
+namespace deca::accel {
+
+/**
+ * Hardware-style parallel prefix sum (Sklansky network) over a window of
+ * bitmask bits: out[j] = number of set bits strictly before position j.
+ * The golden equivalent is TileBitmask::expansionIndices.
+ */
+std::vector<u32> parallelPrefixSum(const std::vector<u8> &bits);
+
+/**
+ * Crossbar expansion: scatter the compacted nonzero values into their
+ * dense lane positions, inserting zeros elsewhere.
+ *
+ * @param window_bits Bitmask bits of the window (1 = nonzero present).
+ * @param sparse_values Compacted values; sparse_values.size() must equal
+ *        the popcount of window_bits.
+ * @return Dense window of window_bits.size() elements.
+ */
+std::vector<Bf16> crossbarExpand(const std::vector<u8> &window_bits,
+                                 const std::vector<Bf16> &sparse_values);
+
+/** POPCNT circuit: ones in the window (the vOp's Wnd size). */
+u32 popcountWindow(const std::vector<u8> &window_bits);
+
+} // namespace deca::accel
+
+#endif // DECA_DECA_EXPANSION_H

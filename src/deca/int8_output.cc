@@ -1,0 +1,38 @@
+#include "deca/int8_output.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deca::accel {
+
+Int8Tile
+requantizeToInt8(const compress::DenseTile &tile, float scale)
+{
+    DECA_ASSERT(scale > 0.0f, "int8 output scale must be positive");
+    Int8Tile out;
+    out.scale = scale;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        const float q = tile[i].toFloat() / scale;
+        float r = std::nearbyintf(q);
+        if (r > 127.0f)
+            r = 127.0f;
+        if (r < -127.0f)
+            r = -127.0f;  // symmetric: avoid -128
+        out.data[i] = static_cast<i8>(r);
+    }
+    return out;
+}
+
+float
+chooseInt8Scale(const compress::DenseTile &tile)
+{
+    float max_abs = 0.0f;
+    for (u32 i = 0; i < kTileElems; ++i)
+        max_abs = std::max(max_abs, std::abs(tile[i].toFloat()));
+    if (max_abs == 0.0f)
+        return 1.0f;
+    return max_abs / 127.0f;
+}
+
+} // namespace deca::accel

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * I8 output mode (Section 6: "DECA can be trivially configured to
+ * produce I8 output tiles").
+ *
+ * When the TMUL runs in INT8 mode, DECA's scaling stage requantizes the
+ * dequantized BF16 values to signed 8-bit integers against a configured
+ * per-matrix output scale (the scale is chosen offline, like AWQ-style
+ * INT schemes, and programmed with the rest of the configuration).
+ */
+
+#ifndef DECA_DECA_INT8_OUTPUT_H
+#define DECA_DECA_INT8_OUTPUT_H
+
+#include <array>
+
+#include "compress/tile.h"
+
+namespace deca::accel {
+
+/** A dense 16x32 signed 8-bit tile (TMUL INT8 weight operand). */
+struct Int8Tile
+{
+    std::array<i8, kTileElems> data{};
+    /** Real value = data[i] * scale. */
+    float scale = 1.0f;
+
+    friend bool
+    operator==(const Int8Tile &a, const Int8Tile &b)
+    {
+        return a.scale == b.scale && a.data == b.data;
+    }
+};
+
+/**
+ * Golden requantizer: symmetric round-to-nearest-even mapping of a BF16
+ * tile onto int8 at the given scale, saturating at +-127.
+ */
+Int8Tile requantizeToInt8(const compress::DenseTile &tile, float scale);
+
+/** Pick the smallest symmetric scale covering max|tile| (offline). */
+float chooseInt8Scale(const compress::DenseTile &tile);
+
+} // namespace deca::accel
+
+#endif // DECA_DECA_INT8_OUTPUT_H

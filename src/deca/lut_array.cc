@@ -1,0 +1,64 @@
+#include "deca/lut_array.h"
+
+#include "common/logging.h"
+
+namespace deca::accel {
+
+LutArray::LutArray(u32 num_luts) : num_luts_(num_luts), luts_(num_luts)
+{
+    DECA_ASSERT(num_luts >= 1, "LUT array needs at least one LUT");
+}
+
+void
+LutArray::programFormat(const MinifloatSpec &spec)
+{
+    DECA_ASSERT(spec.totalBits() <= 8, "LUT formats are at most 8 bits");
+    programmed_bits_ = spec.totalBits();
+    const u32 codes = spec.numCodes();
+    for (auto &lut : luts_) {
+        for (u32 entry = 0; entry < kBigLutEntries; ++entry) {
+            // Narrow formats replicate across the table so that any bank
+            // can serve any lane's low-order code bits.
+            const u32 code = entry % codes;
+            lut[entry] = Bf16::fromFloat(minifloatDecode(spec, code));
+        }
+    }
+}
+
+void
+LutArray::programFormat(compress::ElemFormat fmt)
+{
+    if (fmt == compress::ElemFormat::BF16) {
+        programmed_bits_ = 16;  // dequantization stage will be skipped
+        return;
+    }
+    programFormat(compress::elemFormatSpec(fmt));
+}
+
+void
+LutArray::writeEntry(u32 lut, u32 index, Bf16 value)
+{
+    DECA_ASSERT(lut < num_luts_ && index < kBigLutEntries);
+    luts_[lut][index] = value;
+}
+
+Bf16
+LutArray::lookup(u32 lut, u32 code, u32 bits) const
+{
+    DECA_ASSERT(lut < num_luts_, "LUT index out of range");
+    DECA_ASSERT(bits >= 1 && bits <= 8, "lookup width out of range");
+    const u32 mask = (1u << bits) - 1u;
+    return luts_[lut][code & mask];
+}
+
+u32
+LutArray::lookupsPerCycle(u32 bits) const
+{
+    if (bits >= 8)
+        return num_luts_;
+    if (bits == 7)
+        return 2 * num_luts_;
+    return kSubLuts * num_luts_;  // 6 bits and below fit one sub-LUT
+}
+
+} // namespace deca::accel

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DECA's dequantization LUT array (Section 6.1).
+ *
+ * The array holds L "big" LUTs of 256 BF16 entries. Each big LUT is
+ * internally banked into four 64-entry sub-LUTs with one read port each:
+ * an 8-bit format uses all four banks of one big LUT for a single lookup
+ * (L lookups/cycle across the array), a 7-bit format uses bank pairs
+ * (2L lookups/cycle), and formats of 6 bits or fewer address one bank per
+ * lookup (4L lookups/cycle).
+ *
+ * Reprogramming the array (a privileged configuration step, Sec. 5.1) is
+ * how DECA supports new quantization formats without hardware changes.
+ */
+
+#ifndef DECA_DECA_LUT_ARRAY_H
+#define DECA_DECA_LUT_ARRAY_H
+
+#include <array>
+#include <vector>
+
+#include "common/bf16.h"
+#include "common/minifloat.h"
+#include "compress/element_format.h"
+
+namespace deca::accel {
+
+/** The programmable dequantization table array. */
+class LutArray
+{
+  public:
+    static constexpr u32 kBigLutEntries = 256;
+    static constexpr u32 kSubLuts = 4;
+    static constexpr u32 kSubLutEntries = kBigLutEntries / kSubLuts;
+
+    /** @param num_luts The PE's L parameter. */
+    explicit LutArray(u32 num_luts);
+
+    /**
+     * Program every big LUT with the decode table of a minifloat format.
+     * Codes wider than the format's bit count replicate (upper address
+     * bits ignored at runtime), matching sub-LUT bank addressing.
+     */
+    void programFormat(const MinifloatSpec &spec);
+
+    /** Program for an ElemFormat (convenience; BF16 clears to identity
+     *  passthrough and lookups must not be used). */
+    void programFormat(compress::ElemFormat fmt);
+
+    /** Raw entry write (privileged store interface). */
+    void writeEntry(u32 lut, u32 index, Bf16 value);
+
+    /** One lookup of a `bits`-wide code through big LUT `lut`. */
+    Bf16 lookup(u32 lut, u32 code, u32 bits) const;
+
+    /** Lookups the whole array can serve per cycle for a bit width. */
+    u32 lookupsPerCycle(u32 bits) const;
+
+    u32 numLuts() const { return num_luts_; }
+
+    /** Bytes of storage in the array (for the area model). */
+    u64
+    storageBytes() const
+    {
+        return u64{num_luts_} * kBigLutEntries * sizeof(Bf16);
+    }
+
+  private:
+    u32 num_luts_;
+    /** One big LUT = 256 BF16 entries; banked view is index/64. */
+    std::vector<std::array<Bf16, kBigLutEntries>> luts_;
+    u32 programmed_bits_ = 0;
+};
+
+} // namespace deca::accel
+
+#endif // DECA_DECA_LUT_ARRAY_H

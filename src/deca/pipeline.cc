@@ -1,0 +1,145 @@
+#include "deca/pipeline.h"
+
+#include "common/logging.h"
+#include "common/mx_scale.h"
+#include "compress/bitpack.h"
+#include "deca/expansion.h"
+#include "roofsurface/bubble_model.h"
+
+namespace deca::accel {
+
+using compress::CompressedTile;
+using compress::CompressionScheme;
+using compress::DenseTile;
+
+DecaPipeline::DecaPipeline(const DecaConfig &cfg)
+    : cfg_(cfg), lut_array_(cfg.l)
+{
+    cfg_.validate();
+}
+
+void
+DecaPipeline::configure(const CompressionScheme &scheme)
+{
+    lut_array_.programFormat(scheme.format);
+    scheme_ = scheme;
+    configured_ = true;
+}
+
+u32
+DecaPipeline::vopBubbles(u32 nz) const
+{
+    return roofsurface::bubblesForWindow(nz, cfg_.l, scheme_.quantBits());
+}
+
+TileDecompression
+DecaPipeline::decompress(const CompressedTile &ct) const
+{
+    DECA_ASSERT(configured_, "pipeline used before configuration");
+    DECA_ASSERT(ct.scheme.name == scheme_.name,
+                "tile scheme does not match the configured scheme");
+
+    TileDecompression out;
+    compress::BitUnpacker unpacker(ct.data);
+    const u32 qbits = scheme_.quantBits();
+    const bool sparse = scheme_.sparse();
+    const u32 w = cfg_.w;
+
+    for (u32 base = 0; base < kTileElems; base += w) {
+        // POPCNT stage: measure this vOp's window of nonzero codes.
+        std::vector<u8> window_bits(w, 1);
+        if (sparse) {
+            for (u32 j = 0; j < w; ++j)
+                window_bits[j] = ct.bitmask.get(base + j) ? 1 : 0;
+        }
+        const u32 nz = popcountWindow(window_bits);
+
+        // Dequantization stage: translate the window's codes through the
+        // LUT array (lane assignment round-robins across big LUTs).
+        std::vector<Bf16> sparse_vals;
+        sparse_vals.reserve(nz);
+        for (u32 k = 0; k < nz; ++k) {
+            const u32 code = unpacker.next(qbits);
+            if (scheme_.format == compress::ElemFormat::BF16) {
+                // 16-bit elements bypass the LUT array entirely.
+                sparse_vals.push_back(
+                    Bf16::fromBits(static_cast<u16>(code)));
+            } else {
+                sparse_vals.push_back(
+                    lut_array_.lookup(k % cfg_.l, code, qbits));
+            }
+        }
+
+        // Expansion stage: prefix sum + crossbar insert the zeros.
+        const std::vector<Bf16> dense =
+            sparse ? crossbarExpand(window_bits, sparse_vals)
+                   : sparse_vals;
+
+        // Scaling stage: apply the per-group E8M0 factors. Zeros are
+        // written canonically (+0) regardless of the quantized sign bit,
+        // matching the golden decompressor.
+        for (u32 j = 0; j < w; ++j) {
+            Bf16 v = dense[j];
+            if (v.isZero()) {
+                out.tile[base + j] = Bf16();
+                continue;
+            }
+            if (scheme_.groupQuant) {
+                const u32 group = (base + j) / scheme_.groupSize;
+                const float scale = e8m0Decode(ct.scales[group]);
+                v = Bf16::fromFloat(v.toFloat() * scale);
+            }
+            out.tile[base + j] = v;
+        }
+
+        const u32 bubbles = vopBubbles(nz);
+        out.trace.push_back({nz, bubbles});
+        ++out.vops;
+        out.bubbles += bubbles;
+    }
+
+    // One vOp leaves the pipeline per cycle absent bubbles; add the fill
+    // latency of the remaining stages for the last vOp.
+    out.cycles = out.vops + out.bubbles + (cfg_.pipelineDepth - 1);
+    return out;
+}
+
+void
+DecaPipeline::configureInt8Output(float output_scale)
+{
+    DECA_ASSERT(output_scale > 0.0f, "int8 output scale must be positive");
+    int8_scale_ = output_scale;
+}
+
+DecaPipeline::Int8Decompression
+DecaPipeline::decompressInt8(const CompressedTile &ct) const
+{
+    DECA_ASSERT(int8OutputEnabled(),
+                "I8 output mode used before configureInt8Output");
+    // The BF16 datapath runs unchanged; the output requantizer replaces
+    // the TOut write format.
+    const TileDecompression bf16 = decompress(ct);
+    Int8Decompression out;
+    out.tile = requantizeToInt8(bf16.tile, int8_scale_);
+    out.cycles = bf16.cycles;
+    return out;
+}
+
+Cycles
+DecaPipeline::tileCycles(const CompressedTile &ct) const
+{
+    DECA_ASSERT(configured_, "pipeline used before configuration");
+    const u32 w = cfg_.w;
+    u32 vops = 0;
+    u32 bubbles = 0;
+    for (u32 base = 0; base < kTileElems; base += w) {
+        const u32 nz = ct.scheme.sparse()
+                           ? ct.bitmask.popcountWindow(base, w)
+                           : w;
+        ++vops;
+        bubbles += vopBubbles(nz);
+    }
+    return vops + bubbles + (cfg_.pipelineDepth - 1);
+}
+
+} // namespace deca::accel

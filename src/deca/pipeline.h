@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The DECA PE vector pipeline (Section 6.1, Figure 11): dequantization
+ * (LUT array) -> expansion (POPCNT + prefix sum + crossbar) -> scaling
+ * (E8M0 multiply), producing BF16 output tiles in TOut.
+ *
+ * The pipeline is modelled functionally (bit-exact against the golden
+ * decompressor) and in timing: a tile takes 512/W vOps; a vOp whose
+ * window holds more nonzeros than the dequantization stage can translate
+ * per cycle injects bubbles (ceil(nz/Lq) - 1), so sparse tiles naturally
+ * run faster than dense ones on the same hardware.
+ */
+
+#ifndef DECA_DECA_PIPELINE_H
+#define DECA_DECA_PIPELINE_H
+
+#include <vector>
+
+#include "compress/compressed_tile.h"
+#include "compress/tile.h"
+#include "deca/deca_config.h"
+#include "deca/int8_output.h"
+#include "deca/lut_array.h"
+
+namespace deca::accel {
+
+/** Timing/occupancy record of one vOp. */
+struct VopTrace
+{
+    u32 windowNonzeros; ///< Wnd size measured by the POPCNT circuit
+    u32 bubbles;        ///< dequantization-stage stall cycles injected
+};
+
+/** Result of pushing one tile through the pipeline. */
+struct TileDecompression
+{
+    compress::DenseTile tile; ///< functional TOut contents
+    u32 vops = 0;
+    u32 bubbles = 0;
+    /** Cycles from first vOp issue to last TOut write, including fill of
+     *  the 3-stage pipeline. */
+    Cycles cycles = 0;
+    std::vector<VopTrace> trace;
+};
+
+/** A configured DECA PE vector pipeline. */
+class DecaPipeline
+{
+  public:
+    explicit DecaPipeline(const DecaConfig &cfg);
+
+    /**
+     * Privileged (re)configuration for a compression scheme: programs the
+     * LUT array and records which stages are active (Sec. 5.1). BF16
+     * schemes skip the dequantization stage; dense schemes skip
+     * expansion; non-group schemes skip scaling.
+     */
+    void configure(const compress::CompressionScheme &scheme);
+
+    /** Decompress one tile, producing functional output and timing. */
+    TileDecompression decompress(const compress::CompressedTile &ct) const;
+
+    /** Result of an I8-output decompression. */
+    struct Int8Decompression
+    {
+        Int8Tile tile;
+        Cycles cycles = 0;
+    };
+
+    /**
+     * I8 output mode (Sec. 6): enable requantization of output tiles to
+     * signed 8-bit against a configured per-matrix scale. The
+     * requantizer sits in the scaling stage, so timing is identical to
+     * the BF16 path.
+     */
+    void configureInt8Output(float output_scale);
+    bool int8OutputEnabled() const { return int8_scale_ > 0.0f; }
+    float int8OutputScale() const { return int8_scale_; }
+
+    /** Decompress one tile in I8 output mode. */
+    Int8Decompression decompressInt8(
+        const compress::CompressedTile &ct) const;
+
+    /**
+     * Timing-only fast path: cycles to decompress the tile (identical to
+     * decompress().cycles, without producing data). Used by the
+     * cycle-level kernel simulations where functional output equality is
+     * already established by tests.
+     */
+    Cycles tileCycles(const compress::CompressedTile &ct) const;
+
+    const DecaConfig &config() const { return cfg_; }
+    const LutArray &lutArray() const { return lut_array_; }
+
+    /** True when `scheme` was the last configured scheme. */
+    bool
+    configuredFor(const compress::CompressionScheme &scheme) const
+    {
+        return configured_ && scheme_.name == scheme.name;
+    }
+
+  private:
+    /** Per-vOp stall cycles for a window of `nz` nonzero codes. */
+    u32 vopBubbles(u32 nz) const;
+
+    DecaConfig cfg_;
+    LutArray lut_array_;
+    bool configured_ = false;
+    compress::CompressionScheme scheme_;
+    /** I8 output scale; <= 0 means BF16 output mode. */
+    float int8_scale_ = 0.0f;
+};
+
+} // namespace deca::accel
+
+#endif // DECA_DECA_PIPELINE_H

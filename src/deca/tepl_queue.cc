@@ -1,0 +1,133 @@
+#include "deca/tepl_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deca::accel {
+
+TeplQueue::TeplQueue(u32 capacity, u32 num_ports)
+    : capacity_(capacity), num_ports_(num_ports),
+      port_busy_(num_ports, false)
+{
+    DECA_ASSERT(capacity >= num_ports, "queue smaller than port count");
+}
+
+bool
+TeplQueue::allocate(u64 seq_num, u32 dest_tile_reg)
+{
+    if (entries_.size() >= capacity_)
+        return false;
+    DECA_ASSERT(entries_.empty() || entries_.back().seqNum < seq_num,
+                "allocation must follow program order");
+    entries_.push_back(TeplEntry{seq_num, 0, dest_tile_reg});
+    return true;
+}
+
+TeplEntry *
+TeplQueue::findMutable(u64 seq_num)
+{
+    auto it = std::find_if(
+        entries_.begin(), entries_.end(),
+        [&](const TeplEntry &e) { return e.seqNum == seq_num; });
+    return it == entries_.end() ? nullptr : &*it;
+}
+
+const TeplEntry *
+TeplQueue::find(u64 seq_num) const
+{
+    return const_cast<TeplQueue *>(this)->findMutable(seq_num);
+}
+
+void
+TeplQueue::markReady(u64 seq_num, u64 metadata)
+{
+    TeplEntry *e = findMutable(seq_num);
+    DECA_ASSERT(e, "markReady on unknown TEPL");
+    DECA_ASSERT(e->state == TeplState::Allocated,
+                "TEPL became ready twice");
+    e->metadata = metadata;
+    e->state = TeplState::Ready;
+}
+
+u32
+TeplQueue::freePorts() const
+{
+    u32 n = 0;
+    for (bool b : port_busy_)
+        n += b ? 0 : 1;
+    return n;
+}
+
+std::optional<TeplEntry>
+TeplQueue::issueOldestReady()
+{
+    // Find a free port first (the structural hazard).
+    i32 port = -1;
+    for (u32 p = 0; p < num_ports_; ++p) {
+        if (!port_busy_[p]) {
+            port = static_cast<i32>(p);
+            break;
+        }
+    }
+    if (port < 0)
+        return std::nullopt;
+
+    for (auto &e : entries_) {
+        if (e.state == TeplState::Ready) {
+            e.state = TeplState::Issued;
+            e.port = port;
+            port_busy_[static_cast<u32>(port)] = true;
+            ++stat_issued_;
+            return e;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+TeplQueue::complete(u64 seq_num)
+{
+    TeplEntry *e = findMutable(seq_num);
+    DECA_ASSERT(e, "completion for unknown TEPL (late after squash?)");
+    DECA_ASSERT(e->state == TeplState::Issued, "completing non-issued");
+    port_busy_[static_cast<u32>(e->port)] = false;
+    e->port = -1;
+    e->state = TeplState::Completed;
+}
+
+void
+TeplQueue::retire()
+{
+    DECA_ASSERT(!entries_.empty(), "retire on empty queue");
+    DECA_ASSERT(entries_.front().state == TeplState::Completed,
+                "retiring a TEPL that has not completed");
+    entries_.pop_front();
+    ++stat_retired_;
+}
+
+std::vector<u32>
+TeplQueue::squashYoungerThan(u64 flush_seq)
+{
+    std::vector<u32> aborted_ports;
+    while (!entries_.empty() && entries_.back().seqNum > flush_seq) {
+        TeplEntry &e = entries_.back();
+        if (e.state == TeplState::Issued) {
+            // The Loader must abort whatever stage the tile is in; the
+            // abort is always safe since DECA never writes memory.
+            aborted_ports.push_back(static_cast<u32>(e.port));
+            port_busy_[static_cast<u32>(e.port)] = false;
+        }
+        ++stat_squashed_;
+        entries_.pop_back();
+    }
+    return aborted_ports;
+}
+
+const TeplEntry *
+TeplQueue::head() const
+{
+    return entries_.empty() ? nullptr : &entries_.front();
+}
+
+} // namespace deca::accel

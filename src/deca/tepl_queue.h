@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Architectural model of the core-side TEPL machinery (Section 5.3):
+ * the TEPL Queue (akin to a load-store queue), the two TEPL execution
+ * ports (one per DECA Loader), speculative out-of-order issue, and the
+ * squash protocol on pipeline flushes.
+ *
+ * Invoking DECA speculatively is always safe because DECA never updates
+ * memory state; on a flush the core sends a squash signal, DECA aborts
+ * the affected tile operations, and the core may re-issue the same TEPL.
+ */
+
+#ifndef DECA_DECA_TEPL_QUEUE_H
+#define DECA_DECA_TEPL_QUEUE_H
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deca::accel {
+
+/** Lifecycle of one TEPL instruction in the queue. */
+enum class TeplState
+{
+    Allocated, ///< in the ROB/TEPL queue, source register not ready
+    Ready,     ///< metadata available, waiting for a free port
+    Issued,    ///< executing on a DECA Loader
+    Completed, ///< tile landed in the destination tile register
+    Squashed,  ///< flushed; the Loader was told to abort
+};
+
+/** One TEPL queue entry. */
+struct TeplEntry
+{
+    u64 seqNum;       ///< program-order sequence number (ROB id)
+    u64 metadata;     ///< opaque tile metadata (addresses/lengths)
+    u32 destTileReg;  ///< renamed destination tile register
+    TeplState state = TeplState::Allocated;
+    i32 port = -1;    ///< execution port (Loader) while issued
+};
+
+/**
+ * The TEPL queue with out-of-order issue and squash semantics.
+ *
+ * The queue is sized like a small LSQ; at most `numPorts` entries (one
+ * per DECA Loader) may be in the Issued state simultaneously — the
+ * structural hazard of Section 5.3.
+ */
+class TeplQueue
+{
+  public:
+    TeplQueue(u32 capacity, u32 num_ports);
+
+    /** Allocate an entry at dispatch. Returns false when full (the
+     *  front end must stall). */
+    bool allocate(u64 seq_num, u32 dest_tile_reg);
+
+    /** The source register became available; entry may issue. */
+    void markReady(u64 seq_num, u64 metadata);
+
+    /**
+     * Issue stage: pick the oldest Ready entry if a port is free.
+     * Returns the issued entry (port assigned), or nullopt.
+     */
+    std::optional<TeplEntry> issueOldestReady();
+
+    /** DECA finished the tile for `seq_num`; frees its port. */
+    void complete(u64 seq_num);
+
+    /** Retire the queue head (must be Completed). */
+    void retire();
+
+    /**
+     * Pipeline flush: squash every entry younger than `flush_seq`
+     * (exclusive). Issued entries release their port and a squash
+     * signal is recorded for the corresponding Loader; the caller
+     * re-issues the TEPLs after the flush resolves.
+     *
+     * @return the ports whose Loaders must abort their in-flight tile.
+     */
+    std::vector<u32> squashYoungerThan(u64 flush_seq);
+
+    u32 size() const { return static_cast<u32>(entries_.size()); }
+    u32 capacity() const { return capacity_; }
+    u32 freePorts() const;
+    bool empty() const { return entries_.empty(); }
+
+    /** Oldest entry (program order head), if any. */
+    const TeplEntry *head() const;
+
+    /** Find an entry by sequence number (nullptr when squashed away). */
+    const TeplEntry *find(u64 seq_num) const;
+
+    u64 statIssued() const { return stat_issued_; }
+    u64 statSquashed() const { return stat_squashed_; }
+    u64 statRetired() const { return stat_retired_; }
+
+  private:
+    TeplEntry *findMutable(u64 seq_num);
+
+    u32 capacity_;
+    u32 num_ports_;
+    std::vector<bool> port_busy_;
+    std::deque<TeplEntry> entries_;  // program order
+    u64 stat_issued_ = 0;
+    u64 stat_squashed_ = 0;
+    u64 stat_retired_ = 0;
+};
+
+} // namespace deca::accel
+
+#endif // DECA_DECA_TEPL_QUEUE_H

@@ -1,0 +1,36 @@
+#include "kernels/energy_model.h"
+
+#include "common/logging.h"
+
+namespace deca::kernels {
+
+EnergyResult
+estimateEnergy(const GemmResult &r,
+               const compress::CompressionScheme &scheme,
+               const sim::SimParams &params, u32 total_cores,
+               const EnergyParams &ep)
+{
+    DECA_ASSERT(total_cores >= params.cores,
+                "die cannot have fewer cores than the run used");
+    EnergyResult e;
+    e.seconds = static_cast<double>(r.cycles) / params.freqHz();
+
+    const u32 active = params.cores;
+    const u32 gated = total_cores - active;
+    e.coreJ = ep.corePowerW * active * e.seconds;
+    e.gatedJ = ep.gatedCorePowerW * gated * e.seconds;
+    // DECA PEs burn power proportionally to their utilization; inactive
+    // PEs (software runs) burn nothing (clock gated).
+    e.decaJ = ep.decaPePowerW * active * r.utilDeca * e.seconds;
+    e.uncoreJ = ep.uncorePowerW * e.seconds;
+
+    const double bytes = static_cast<double>(r.tilesProcessed) *
+                         scheme.bytesPerTile();
+    const double per_byte = params.memKind == sim::MemoryKind::HBM
+                                ? ep.hbmEnergyPerByte
+                                : ep.ddrEnergyPerByte;
+    e.dramJ = bytes * per_byte;
+    return e;
+}
+
+} // namespace deca::kernels

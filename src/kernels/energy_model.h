@@ -1,0 +1,84 @@
+/**
+ * @file
+ * First-order energy model for the core-freeing claim of Section 9.1:
+ * "the extra cores can either be freed-up for other workloads ... or
+ * power-gated to save energy."
+ *
+ * Energy = active-core power x active cores x time
+ *        + gated-core power x gated cores x time
+ *        + DECA PE energy (utilization-weighted)
+ *        + uncore/fabric power x time
+ *        + DRAM access energy per byte.
+ *
+ * Constants are first-order server-class figures (documented per field)
+ * — the comparisons between configurations, not the absolute joules,
+ * are the point.
+ */
+
+#ifndef DECA_KERNELS_ENERGY_MODEL_H
+#define DECA_KERNELS_ENERGY_MODEL_H
+
+#include "compress/scheme.h"
+#include "kernels/gemm_sim.h"
+#include "sim/params.h"
+
+namespace deca::kernels {
+
+/** Power/energy constants of the modelled server. */
+struct EnergyParams
+{
+    /** Average active-core power running the GeMM loop (W). */
+    double corePowerW = 3.5;
+    /** Power-gated core residual power (W). */
+    double gatedCorePowerW = 0.25;
+    /** One DECA PE at full utilization (W); ~0.2% of die area scales to
+     *  a commensurately small power budget. */
+    double decaPePowerW = 0.20;
+    /** Shared uncore/mesh/LLC power (W). */
+    double uncorePowerW = 45.0;
+    /** DRAM energy per byte: ~6 pJ/b HBM, ~12 pJ/b DDR5. */
+    double hbmEnergyPerByte = 6e-12 * 8;
+    double ddrEnergyPerByte = 12e-12 * 8;
+};
+
+/** Energy accounting for one simulated GeMM run. */
+struct EnergyResult
+{
+    double seconds = 0.0;
+    double coreJ = 0.0;
+    double gatedJ = 0.0;
+    double decaJ = 0.0;
+    double uncoreJ = 0.0;
+    double dramJ = 0.0;
+
+    double
+    totalJ() const
+    {
+        return coreJ + gatedJ + decaJ + uncoreJ + dramJ;
+    }
+
+    /** Energy-delay product (J*s). */
+    double edp() const { return totalJ() * seconds; }
+
+    /** Joules per processed tile. */
+    double joulesPerTile(u64 tiles) const { return totalJ() / tiles; }
+};
+
+/**
+ * Estimate the energy of a GeMM run.
+ *
+ * @param r The simulation result (active cores = the run's core count).
+ * @param scheme The compression scheme (determines DRAM bytes).
+ * @param params The machine simulated.
+ * @param total_cores Cores present on the die; cores beyond the run's
+ *        active count are charged at gated power.
+ * @param ep Energy constants.
+ */
+EnergyResult estimateEnergy(const GemmResult &r,
+                            const compress::CompressionScheme &scheme,
+                            const sim::SimParams &params, u32 total_cores,
+                            const EnergyParams &ep = EnergyParams{});
+
+} // namespace deca::kernels
+
+#endif // DECA_KERNELS_ENERGY_MODEL_H

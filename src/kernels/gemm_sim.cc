@@ -1,0 +1,461 @@
+#include "kernels/gemm_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "kernels/sw_cost_model.h"
+
+namespace deca::kernels {
+
+using sim::Delay;
+using sim::FetchStream;
+using sim::FetchStreamConfig;
+using sim::PrefetchPolicy;
+using sim::Semaphore;
+using sim::Signal;
+using sim::SimTask;
+
+/** Per-core simulation state: resources, signals, and the fetch stream. */
+struct GemmSimulation::Core
+{
+    Core(sim::EventQueue &q, u32 id, u32 num_tiles, u32 num_loaders)
+        : tmul(q, "tmul" + std::to_string(id)),
+          avx(q, "avx" + std::to_string(id)),
+          deca(q, "deca" + std::to_string(id)), bufSlots(q, 2),
+          readyTiles(q, 0), teplSlots(q, num_loaders)
+    {
+        invoked.reserve(num_tiles);
+        dataReady.reserve(num_tiles);
+        tileDone.reserve(num_tiles);
+        tregReady.reserve(num_tiles);
+        for (u32 t = 0; t < num_tiles; ++t) {
+            invoked.push_back(std::make_unique<Signal>(q));
+            dataReady.push_back(std::make_unique<Signal>(q));
+            tileDone.push_back(std::make_unique<Signal>(q));
+            tregReady.push_back(std::make_unique<Signal>(q));
+        }
+    }
+
+    /** Software engines use one stream; the DECA engine has one stream
+     *  per Loader (even/odd tiles) so the dual Loaders overlap their
+     *  fetches exactly as the hardware double-buffering does. */
+    std::unique_ptr<FetchStream> stream;
+    std::unique_ptr<FetchStream> loaderStream[2];
+
+    sim::BusyResource tmul;
+    sim::BusyResource avx;
+    sim::BusyResource deca;
+
+    /** Double software buffer (libxsmm) / tile-register slots. */
+    Semaphore bufSlots;
+    /** Decompressed tiles waiting for the AMX loop. */
+    Semaphore readyTiles;
+    /** TEPL structural hazard: one slot per DECA Loader (Sec. 5.3). */
+    Semaphore teplSlots;
+
+    /** Per-tile lifecycle events of the DECA path. */
+    std::vector<std::unique_ptr<Signal>> invoked;
+    std::vector<std::unique_ptr<Signal>> dataReady;
+    std::vector<std::unique_ptr<Signal>> tileDone;
+    std::vector<std::unique_ptr<Signal>> tregReady;
+};
+
+GemmSimulation::GemmSimulation(const sim::SimParams &params,
+                               const KernelConfig &config,
+                               const GemmWorkload &workload,
+                               const TilePool &pool)
+    : params_(params), config_(config), workload_(workload), pool_(pool)
+{
+    DECA_ASSERT(pool.scheme().name == workload.scheme.name,
+                "pool was built for a different scheme");
+
+    mem_ = std::make_unique<sim::MemorySystem>(
+        q_, params_.memBytesPerCycle(), params_.memLatency);
+
+    if (config_.engine == Engine::Deca) {
+        accel::DecaPipeline pipeline(config_.deca);
+        pipeline.configure(workload_.scheme);
+        deca_cycles_.reserve(pool_.size());
+        for (u32 i = 0; i < pool_.size(); ++i)
+            deca_cycles_.push_back(pipeline.tileCycles(pool_.tile(i)));
+    } else if (config_.engine == Engine::Software) {
+        sw_cycles_ = swDecompressCycles(workload_.scheme,
+                                        config_.vectorScaling, params_);
+    }
+}
+
+GemmSimulation::~GemmSimulation() = default;
+
+u32
+GemmSimulation::poolIndex(u32 c, u32 t) const
+{
+    // Offset each core into the pool so cores do not process identical
+    // tile sequences in lockstep.
+    return (c * 17 + t) % pool_.size();
+}
+
+u64
+GemmSimulation::tileBytes(u32 c, u32 t) const
+{
+    return pool_.tileBytes(poolIndex(c, t));
+}
+
+Cycles
+GemmSimulation::decaTileCycles(u32 c, u32 t) const
+{
+    return deca_cycles_[poolIndex(c, t)];
+}
+
+Cycles
+GemmSimulation::outputReadLatency() const
+{
+    if (config_.integration.toutRegs)
+        return params_.decaToCoreRead;
+    // Without TOut registers the tile takes the longer path through the
+    // L2: the core's tload hits the L2 where DECA deposited it.
+    return params_.l2Latency + params_.tloadL1Cycles;
+}
+
+void
+GemmSimulation::coreFinished()
+{
+    ++cores_done_;
+}
+
+// ---------------------------------------------------------------------
+// Software / uncompressed kernels (Fig. 2 structure)
+// ---------------------------------------------------------------------
+
+SimTask
+GemmSimulation::swDecompressProc(u32 c)
+{
+    Core &pc = *cores_[c];
+    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
+        // Wait for a free half of the double software buffer.
+        co_await pc.bufSlots.acquire();
+        // Compressed bytes must have arrived from memory.
+        co_await pc.stream->fetch(tileBytes(c, t));
+        // The AVX decompression sequence for this tile, plus the scalar
+        // loop bookkeeping that is not hidden by the vector work.
+        if (sw_cycles_ > 0) {
+            co_await pc.avx.busy(sw_cycles_);
+            co_await Delay(q_, params_.swTileOverhead);
+        }
+        pc.readyTiles.release();
+    }
+}
+
+SimTask
+GemmSimulation::swGemmProc(u32 c)
+{
+    Core &pc = *cores_[c];
+    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
+        co_await pc.readyTiles.acquire();
+        // tload from the L1-resident buffer overlaps with the previous
+        // TComp under out-of-order execution; the TMUL occupancy is the
+        // serializing resource.
+        co_await pc.tmul.busy(params_.tmulCycles);
+        pc.bufSlots.release();
+    }
+    coreFinished();
+}
+
+// ---------------------------------------------------------------------
+// DECA kernels (Secs. 5.2-5.3)
+// ---------------------------------------------------------------------
+
+SimTask
+GemmSimulation::decaFeedProc(u32 c, u32 loader)
+{
+    // Each Loader handles alternating tiles with its own LDQ/prefetch
+    // stream, so the fetch of tile t+1 overlaps the fetch and
+    // processing of tile t even without a prefetcher (hardware double
+    // buffering, Fig. 8).
+    Core &pc = *cores_[c];
+    const u32 stride = config_.integration.numLoaders;
+    for (u32 t = loader; t < workload_.tilesPerCore; t += stride) {
+        // A Loader starts fetching when its control register is written.
+        co_await pc.invoked[t]->wait();
+        co_await pc.loaderStream[loader]->fetch(tileBytes(c, t));
+        pc.dataReady[t]->set();
+    }
+}
+
+SimTask
+GemmSimulation::decaPeProc(u32 c)
+{
+    Core &pc = *cores_[c];
+    const bool via_l2 = !config_.integration.toutRegs;
+    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
+        co_await pc.dataReady[t]->wait();
+        Cycles cycles = decaTileCycles(c, t);
+        // Without TOut registers the PE must also push the 16 output
+        // lines of the decompressed tile into the L2.
+        if (via_l2)
+            cycles += kTileRows;
+        co_await pc.deca.busy(cycles);
+        pc.tileDone[t]->set();
+    }
+}
+
+SimTask
+GemmSimulation::decaTransferProc(u32 c)
+{
+    // TOut -> tile-register transfer: the completion leg of a TEPL. It
+    // proceeds independently of the AMX loop, so consecutive transfers
+    // overlap with TComp execution (this is what hides the
+    // communication latency, Sec. 5.3).
+    Core &pc = *cores_[c];
+    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
+        co_await pc.tileDone[t]->wait();
+        co_await Delay(q_, outputReadLatency());
+        pc.tregReady[t]->set();
+        pc.teplSlots.release();  // the Loader/TOut pair is free again
+    }
+}
+
+SimTask
+GemmSimulation::teplIssueProc(u32 c)
+{
+    Core &pc = *cores_[c];
+    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
+        // Structural hazard: at most #Loaders TEPLs in flight.
+        co_await pc.teplSlots.acquire();
+        // The metadata store reaches the Loader after the link latency;
+        // issue is speculative and out-of-order, so the issuing core
+        // does not stall.
+        Signal *sig = pc.invoked[t].get();
+        q_.schedule(params_.coreToDecaStore, [sig] { sig->set(); });
+    }
+}
+
+SimTask
+GemmSimulation::teplGemmProc(u32 c)
+{
+    Core &pc = *cores_[c];
+    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
+        co_await pc.tregReady[t]->wait();
+        co_await pc.tmul.busy(params_.tmulCycles);
+    }
+    coreFinished();
+}
+
+SimTask
+GemmSimulation::storeFenceCoreProc(u32 c)
+{
+    // Figure 9: every iteration executes ST M(i+1); Fence; TLoad T(i);
+    // TComp serially — the fence and the ROB-head store expose the full
+    // core-DECA communication latency each iteration.
+    Core &pc = *cores_[c];
+    const u32 total = workload_.tilesPerCore;
+
+    // Preamble: prime each Loader (ST M0; Fence; ST M1; Fence; ...).
+    const u32 loaders = config_.integration.numLoaders;
+    for (u32 k = 0; k < std::min<u32>(loaders, total); ++k) {
+        co_await Delay(q_, params_.coreToDecaStore);
+        pc.invoked[k]->set();
+        co_await Delay(q_, params_.fenceCycles);
+    }
+
+    for (u32 t = 0; t < total; ++t) {
+        co_await pc.tileDone[t]->wait();
+        // TLoad from TOut (or via the L2) executes at the ROB head.
+        co_await Delay(q_, outputReadLatency());
+        co_await pc.tmul.busy(params_.tmulCycles);
+        if (t + loaders < total) {
+            co_await Delay(q_, params_.coreToDecaStore);
+            pc.invoked[t + loaders]->set();
+            co_await Delay(q_, params_.fenceCycles);
+        }
+    }
+    coreFinished();
+}
+
+// ---------------------------------------------------------------------
+// Run orchestration
+// ---------------------------------------------------------------------
+
+GemmResult
+GemmSimulation::run()
+{
+    const u32 n_cores = params_.cores;
+    const u32 tiles = workload_.tilesPerCore;
+
+    // Per-core total stream length.
+    cores_.clear();
+    cores_.reserve(n_cores);
+    for (u32 c = 0; c < n_cores; ++c) {
+        const u32 loaders = config_.engine == Engine::Deca
+                                ? config_.integration.numLoaders
+                                : 2;
+        auto core = std::make_unique<Core>(q_, c, tiles, loaders);
+
+        FetchStreamConfig fc;
+        fc.mshrs = params_.l2Mshrs;
+        fc.prefetchLines = params_.l2PrefetchLines;
+        if (config_.engine == Engine::Deca) {
+            const auto &integ = config_.integration;
+            if (integ.decaPrefetcher) {
+                fc.policy = PrefetchPolicy::DecaPf;
+                fc.onChipLatency = params_.l2Latency + params_.llcLatency;
+            } else if (integ.readsL2) {
+                // The generic L2 stream prefetcher sees a Loader's
+                // interleaved nonzero/bitmask/scale accesses as broken
+                // streams, so its effective lookahead is weaker than on
+                // a pure sequential stream — the reason DECA carries
+                // its own prefetcher (Sec. 6.1).
+                fc.policy = PrefetchPolicy::L2Stream;
+                fc.prefetchLines = std::max<u32>(
+                    1, params_.l2PrefetchLines / 2);
+                fc.onChipLatency = params_.l2Latency + params_.llcLatency;
+            } else {
+                // Base: read straight from the LLC, no prefetcher.
+                fc.policy = PrefetchPolicy::None;
+                fc.onChipLatency = params_.llcLatency;
+            }
+        } else {
+            // Cores always read through their L2 with the stream
+            // prefetcher enabled; on long streams the prefetcher ramps
+            // its degree with the demand footprint.
+            fc.policy = PrefetchPolicy::L2Stream;
+            fc.onChipLatency = params_.l2Latency + params_.llcLatency;
+            const double mean_lines = pool_.meanTileBytes() /
+                                      kCacheLineBytes;
+            fc.prefetchLines = std::max<u32>(
+                params_.l2PrefetchLines,
+                static_cast<u32>(2.0 * mean_lines));
+        }
+
+        if (config_.engine == Engine::Deca) {
+            // One stream per Loader over its (even or odd) tile
+            // subsequence; the Loaders split the L2 MSHR budget.
+            fc.mshrs = std::max<u32>(1, fc.mshrs / loaders);
+            for (u32 lid = 0; lid < loaders; ++lid) {
+                u64 bytes = 0;
+                for (u32 t = lid; t < tiles; t += loaders)
+                    bytes += tileBytes(c, t);
+                core->loaderStream[lid] =
+                    std::make_unique<FetchStream>(q_, *mem_, fc, bytes);
+            }
+        } else {
+            u64 total_bytes = 0;
+            for (u32 t = 0; t < tiles; ++t)
+                total_bytes += tileBytes(c, t);
+            core->stream = std::make_unique<FetchStream>(q_, *mem_, fc,
+                                                         total_bytes);
+        }
+        cores_.push_back(std::move(core));
+    }
+
+    cores_done_ = 0;
+    for (u32 c = 0; c < n_cores; ++c) {
+        switch (config_.engine) {
+          case Engine::None:
+          case Engine::Software:
+            swDecompressProc(c);
+            swGemmProc(c);
+            break;
+          case Engine::Deca:
+            for (u32 lid = 0; lid < config_.integration.numLoaders; ++lid)
+                decaFeedProc(c, lid);
+            decaPeProc(c);
+            if (config_.integration.invocation == Invocation::Tepl) {
+                decaTransferProc(c);
+                teplIssueProc(c);
+                teplGemmProc(c);
+            } else {
+                storeFenceCoreProc(c);
+            }
+            break;
+        }
+    }
+
+    const Cycles end = q_.run();
+    DECA_ASSERT(cores_done_ == n_cores, "a core did not finish its work");
+
+    GemmResult r;
+    r.kernel = config_.describe();
+    r.schemeName = workload_.scheme.name;
+    r.batchN = workload_.batchN;
+    r.cycles = end;
+    r.tilesProcessed = u64{n_cores} * tiles;
+
+    const double seconds = static_cast<double>(end) / params_.freqHz();
+    r.tilesPerSecond = static_cast<double>(r.tilesProcessed) / seconds;
+    r.tflops = kFmasPerTileOpPerBatchRow *
+               static_cast<double>(workload_.batchN) * r.tilesPerSecond /
+               kTera;
+
+    // Component utilizations over the whole run.
+    r.utilMem = mem_->utilization(0, end);
+    u64 tmul_busy = 0;
+    u64 avx_busy = 0;
+    u64 deca_busy = 0;
+    for (const auto &core : cores_) {
+        tmul_busy += core->tmul.busyCycles();
+        avx_busy += core->avx.busyCycles();
+        deca_busy += core->deca.busyCycles();
+    }
+    const double core_cycles = static_cast<double>(end) * n_cores;
+    r.utilTmul = static_cast<double>(tmul_busy) / core_cycles;
+    // Each AVX "busy cycle" occupies the core's SIMD issue, normalized
+    // to the full vector engine (all units).
+    r.utilVec = static_cast<double>(avx_busy) / core_cycles;
+    r.utilDeca = static_cast<double>(deca_busy) / core_cycles;
+    return r;
+}
+
+GemmResult
+runGemm(const sim::SimParams &params, const KernelConfig &config,
+        const GemmWorkload &workload)
+{
+    TilePool pool(workload.scheme, workload.poolTiles, workload.seed);
+    GemmSimulation sim(params, config, workload, pool);
+    return sim.run();
+}
+
+GemmResult
+runGemmSteady(const sim::SimParams &params, const KernelConfig &config,
+              const GemmWorkload &workload, u32 warmup_tiles)
+{
+    TilePool pool(workload.scheme, workload.poolTiles, workload.seed);
+
+    GemmWorkload full = workload;
+    full.tilesPerCore = workload.tilesPerCore + warmup_tiles;
+    GemmWorkload warm = workload;
+    warm.tilesPerCore = warmup_tiles;
+
+    GemmSimulation sim_full(params, config, full, pool);
+    GemmResult a = sim_full.run();
+    GemmSimulation sim_warm(params, config, warm, pool);
+    GemmResult b = sim_warm.run();
+
+    DECA_ASSERT(a.cycles > b.cycles, "warmup longer than the full run");
+
+    GemmResult r = a;
+    r.cycles = a.cycles - b.cycles;
+    r.tilesProcessed = a.tilesProcessed - b.tilesProcessed;
+    const double seconds = static_cast<double>(r.cycles) / params.freqHz();
+    r.tilesPerSecond = static_cast<double>(r.tilesProcessed) / seconds;
+    r.tflops = kFmasPerTileOpPerBatchRow *
+               static_cast<double>(workload.batchN) * r.tilesPerSecond /
+               kTera;
+
+    // Utilizations over the steady window: difference the accumulated
+    // busy time (util * window) of the two runs.
+    auto steady_util = [&](double ua, double ub) {
+        const double busy = ua * static_cast<double>(a.cycles) -
+                            ub * static_cast<double>(b.cycles);
+        double u = busy / static_cast<double>(r.cycles);
+        if (u < 0.0)
+            u = 0.0;
+        return u > 1.0 ? 1.0 : u;
+    };
+    r.utilMem = steady_util(a.utilMem, b.utilMem);
+    r.utilTmul = steady_util(a.utilTmul, b.utilTmul);
+    r.utilVec = steady_util(a.utilVec, b.utilVec);
+    r.utilDeca = steady_util(a.utilDeca, b.utilDeca);
+    return r;
+}
+
+} // namespace deca::kernels

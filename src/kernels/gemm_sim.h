@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cycle-level multicore simulation of one compressed GeMM run.
+ *
+ * Every core runs the selected kernel variant against its own stream of
+ * compressed tiles while all cores share the memory channel:
+ *
+ *  - Engine::None       : tload tiles straight from memory (BF16 base).
+ *  - Engine::Software   : AVX decompression double-buffered with AMX
+ *                         (libxsmm structure, Fig. 2), with optional
+ *                         vector-scaling what-ifs (Fig. 15).
+ *  - Engine::Deca       : per-core DECA PE with dual loaders, invoked
+ *                         either with store+fence (Fig. 9) or TEPL
+ *                         (Fig. 10), with the integration ablation axes
+ *                         of Fig. 17.
+ *
+ * The simulation reports steady-state tiles/s, TFLOPS, and component
+ * utilizations (memory channel, TMUL, AVX or DECA) for Table 3.
+ */
+
+#ifndef DECA_KERNELS_GEMM_SIM_H
+#define DECA_KERNELS_GEMM_SIM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deca/pipeline.h"
+#include "kernels/kernel_config.h"
+#include "kernels/workload.h"
+#include "sim/coro.h"
+#include "sim/fetch_stream.h"
+#include "sim/memory_system.h"
+#include "sim/params.h"
+#include "sim/resource.h"
+
+namespace deca::kernels {
+
+/** Measured outcome of one GeMM simulation. */
+struct GemmResult
+{
+    std::string kernel;
+    std::string schemeName;
+    u32 batchN = 1;
+    Cycles cycles = 0;
+    u64 tilesProcessed = 0;
+
+    double tilesPerSecond = 0.0;
+    double tflops = 0.0;
+
+    double utilMem = 0.0;
+    double utilTmul = 0.0;
+    double utilVec = 0.0;  ///< AVX utilization (software engines)
+    double utilDeca = 0.0; ///< DECA PE utilization (DECA engines)
+
+    /** Speedup of this result over a baseline result. */
+    double
+    speedupOver(const GemmResult &base) const
+    {
+        return tflops / base.tflops;
+    }
+};
+
+/** One compressed-GeMM run on the simulated multicore. */
+class GemmSimulation
+{
+  public:
+    GemmSimulation(const sim::SimParams &params, const KernelConfig &config,
+                   const GemmWorkload &workload, const TilePool &pool);
+    ~GemmSimulation();
+
+    GemmSimulation(const GemmSimulation &) = delete;
+    GemmSimulation &operator=(const GemmSimulation &) = delete;
+
+    /** Execute the run and return the measurements. */
+    GemmResult run();
+
+  private:
+    struct Core;
+
+    /** Pool tile index that core `c` processes as its t-th tile. */
+    u32 poolIndex(u32 c, u32 t) const;
+    u64 tileBytes(u32 c, u32 t) const;
+    Cycles decaTileCycles(u32 c, u32 t) const;
+
+    /** Latency of the core's read of a finished output tile. */
+    Cycles outputReadLatency() const;
+
+    // Simulation processes (one per core each).
+    sim::SimTask swDecompressProc(u32 c);
+    sim::SimTask swGemmProc(u32 c);
+    sim::SimTask decaFeedProc(u32 c, u32 loader);
+    sim::SimTask decaPeProc(u32 c);
+    sim::SimTask decaTransferProc(u32 c);
+    sim::SimTask teplIssueProc(u32 c);
+    sim::SimTask teplGemmProc(u32 c);
+    sim::SimTask storeFenceCoreProc(u32 c);
+
+    void coreFinished();
+
+    sim::SimParams params_;
+    KernelConfig config_;
+    GemmWorkload workload_;
+    const TilePool &pool_;
+
+    sim::EventQueue q_;
+    std::unique_ptr<sim::MemorySystem> mem_;
+    std::vector<std::unique_ptr<Core>> cores_;
+
+    /** Per-pool-tile DECA pipeline cycles (precomputed). */
+    std::vector<Cycles> deca_cycles_;
+    /** Software decompression cycles per tile (scheme-constant). */
+    Cycles sw_cycles_ = 0;
+
+    u32 cores_done_ = 0;
+};
+
+/** Convenience driver: build the pool and run one simulation. */
+GemmResult runGemm(const sim::SimParams &params, const KernelConfig &config,
+                   const GemmWorkload &workload);
+
+/**
+ * Steady-state measurement: runs the workload twice — once with only
+ * `warmup_tiles` per core and once with warmup plus the workload's
+ * tilesPerCore — and reports the difference, removing cold-start ramp
+ * (empty prefetch windows, initial channel burst) from rates and
+ * utilizations. This mirrors measuring the paper's ~250M-parameter FC
+ * cascades in their bandwidth-steady regime.
+ */
+GemmResult runGemmSteady(const sim::SimParams &params,
+                         const KernelConfig &config,
+                         const GemmWorkload &workload,
+                         u32 warmup_tiles = 48);
+
+} // namespace deca::kernels
+
+#endif // DECA_KERNELS_GEMM_SIM_H

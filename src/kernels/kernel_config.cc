@@ -1,0 +1,44 @@
+#include "kernels/kernel_config.h"
+
+#include <sstream>
+
+namespace deca::kernels {
+
+std::string
+DecaIntegration::describe() const
+{
+    std::ostringstream os;
+    os << (readsL2 ? "+ReadsL2" : "LLC-direct");
+    os << (decaPrefetcher ? " +DecaPF" : "");
+    os << (toutRegs ? " +TOutRegs" : " via-L2");
+    os << (invocation == Invocation::Tepl ? " +TEPL" : " store+fence");
+    return os.str();
+}
+
+std::string
+KernelConfig::describe() const
+{
+    switch (engine) {
+      case Engine::None:
+        return "uncompressed-bf16";
+      case Engine::Software:
+        switch (vectorScaling) {
+          case VectorScaling::Standard:
+            return "software";
+          case VectorScaling::MoreUnits:
+            return "software-4x-avx-units";
+          case VectorScaling::WiderUnits:
+            return "software-avx2048";
+        }
+        return "software";
+      case Engine::Deca: {
+        std::ostringstream os;
+        os << "deca{W=" << deca.w << ",L=" << deca.l << "} "
+           << integration.describe();
+        return os.str();
+      }
+    }
+    return "?";
+}
+
+} // namespace deca::kernels

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Kernel variant descriptors: which decompression engine runs, how a DECA
+ * PE is integrated with the core (the Fig. 17 ablation axes), and which
+ * CPU vector-engine scaling alternative is modelled (Fig. 15).
+ */
+
+#ifndef DECA_KERNELS_KERNEL_CONFIG_H
+#define DECA_KERNELS_KERNEL_CONFIG_H
+
+#include <string>
+
+#include "deca/deca_config.h"
+
+namespace deca::kernels {
+
+/** Who performs tile decompression. */
+enum class Engine
+{
+    /** Uncompressed BF16: tiles tload directly from memory, no
+     *  decompression at all. */
+    None,
+    /** libxsmm-style AVX software sequence on the core (Sec. 2.4). */
+    Software,
+    /** DECA near-core accelerator (Secs. 5-6). */
+    Deca,
+};
+
+/** CPU vector-resource scaling alternatives for the Software engine. */
+enum class VectorScaling
+{
+    Standard,   ///< 2 AVX-512 units (the SPR baseline)
+    MoreUnits,  ///< 4x AVX-512 units, superscalar width unchanged
+    WiderUnits, ///< AVX2048: 4x wider ops, memory ops still line-sized
+};
+
+/** How the core invokes the DECA PE (Sec. 5.2/5.3). */
+enum class Invocation
+{
+    StoreFence, ///< memory-mapped stores + per-iteration fences (Fig. 9)
+    Tepl,       ///< out-of-order TEPL instructions (Fig. 10)
+};
+
+/** DECA integration feature set — the Fig. 17 ablation. */
+struct DecaIntegration
+{
+    /** Read compressed tiles through the L2 (enables the L2 stream
+     *  prefetcher) instead of directly from the LLC. */
+    bool readsL2 = true;
+    /** Use DECA's own MSHR-occupancy-driven prefetcher. */
+    bool decaPrefetcher = true;
+    /** Deliver output tiles via TOut registers instead of the L2. */
+    bool toutRegs = true;
+    Invocation invocation = Invocation::Tepl;
+    /** DECA Loaders (and TOut registers, and max in-flight TEPLs).
+     *  The paper's design has two; one disables the hardware double
+     *  buffering (ablation). */
+    u32 numLoaders = 2;
+
+    /** The paper's final DECA configuration (all features on). */
+    static DecaIntegration
+    full()
+    {
+        return DecaIntegration{};
+    }
+
+    /** The Fig. 17 "Base" configuration (everything off). */
+    static DecaIntegration
+    base()
+    {
+        return DecaIntegration{false, false, false,
+                               Invocation::StoreFence};
+    }
+
+    std::string describe() const;
+};
+
+/** Complete kernel configuration for one simulation run. */
+struct KernelConfig
+{
+    Engine engine = Engine::Software;
+    VectorScaling vectorScaling = VectorScaling::Standard;
+    accel::DecaConfig deca = accel::decaBestConfig();
+    DecaIntegration integration = DecaIntegration::full();
+
+    static KernelConfig
+    uncompressedBf16()
+    {
+        KernelConfig k;
+        k.engine = Engine::None;
+        return k;
+    }
+
+    static KernelConfig
+    software(VectorScaling vs = VectorScaling::Standard)
+    {
+        KernelConfig k;
+        k.engine = Engine::Software;
+        k.vectorScaling = vs;
+        return k;
+    }
+
+    static KernelConfig
+    decaKernel(accel::DecaConfig cfg = accel::decaBestConfig(),
+               DecaIntegration integ = DecaIntegration::full())
+    {
+        KernelConfig k;
+        k.engine = Engine::Deca;
+        k.deca = cfg;
+        k.integration = integ;
+        return k;
+    }
+
+    std::string describe() const;
+};
+
+} // namespace deca::kernels
+
+#endif // DECA_KERNELS_KERNEL_CONFIG_H

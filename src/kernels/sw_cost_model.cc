@@ -1,0 +1,68 @@
+#include "kernels/sw_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "roofsurface/signature.h"
+
+namespace deca::kernels {
+
+using compress::CompressionScheme;
+using compress::ElemFormat;
+
+VopBreakdown
+swVopBreakdownPerRow(const CompressionScheme &s)
+{
+    // Memory ops: the compressed-chunk load and the software-buffer
+    // store, plus the scale-factor load for MX group quantization;
+    // everything else in softwareVopsPerTileRow's derivation is
+    // compute. Dense BF16 bypasses the sequence entirely.
+    const u32 total = roofsurface::softwareVopsPerTileRow(s);
+    if (total == 0)
+        return VopBreakdown{0, 0};
+    const u32 mem = 2 + (s.groupQuant ? 1 : 0);
+    return VopBreakdown{mem, total - mem};
+}
+
+double
+swVopsPerTile(const CompressionScheme &s, VectorScaling scaling)
+{
+    const VopBreakdown row = swVopBreakdownPerRow(s);
+    if (row.total() == 0)
+        return 0.0;
+    // Consistency check against the Roof-Surface signature model.
+    DECA_ASSERT(row.total() == roofsurface::softwareVopsPerTileRow(s),
+                "cost model diverged from the signature model");
+
+    double per_row;
+    switch (scaling) {
+      case VectorScaling::Standard:
+      case VectorScaling::MoreUnits:
+        per_row = row.total();
+        break;
+      case VectorScaling::WiderUnits:
+        per_row = static_cast<double>(row.computeOps) / 4.0 + row.memOps;
+        break;
+      default:
+        DECA_PANIC("unhandled vector scaling");
+    }
+    return per_row * kTileRows;
+}
+
+Cycles
+swDecompressCycles(const CompressionScheme &s, VectorScaling scaling,
+                   const sim::SimParams &p)
+{
+    const double vops = swVopsPerTile(s, scaling);
+    if (vops == 0.0)
+        return 0;
+    u32 units = p.avxUnitsPerCore;
+    if (scaling == VectorScaling::MoreUnits)
+        units *= 4;
+    // The front end bounds vector issue regardless of unit count.
+    const u32 issue = std::min(units, p.maxVectorIssuePerCycle);
+    return static_cast<Cycles>(std::ceil(vops / issue));
+}
+
+} // namespace deca::kernels

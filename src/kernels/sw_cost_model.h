@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cycle cost of the libxsmm-style AVX decompression sequence, including
+ * the vector-scaling what-ifs of Section 7 / Figure 15.
+ *
+ * Per-tile vector-op totals come from the per-row counts documented in
+ * roofsurface/signature.h, split into memory ops (loads/stores of
+ * cache-line operands) and compute ops (expands, permutes, converts,
+ * mask arithmetic):
+ *
+ *   - AVX2048 ("wider"): compute ops cover 4 rows each, but every memory
+ *     op still executes as 4 cache-line-sized operations, so per-row cost
+ *     becomes compute/4 + mem (Sec. 9.1 modelling).
+ *   - 4x units ("more"): issue is still bounded by the core's front end
+ *     (maxVectorIssuePerCycle), since the superscalar width is not
+ *     scaled.
+ */
+
+#ifndef DECA_KERNELS_SW_COST_MODEL_H
+#define DECA_KERNELS_SW_COST_MODEL_H
+
+#include "compress/scheme.h"
+#include "kernels/kernel_config.h"
+#include "sim/params.h"
+
+namespace deca::kernels {
+
+/** Vector-op breakdown of one tile row's decompression. */
+struct VopBreakdown
+{
+    u32 memOps;     ///< cache-line loads/stores
+    u32 computeOps; ///< everything else
+    u32 total() const { return memOps + computeOps; }
+};
+
+/** Per-row op breakdown for a scheme (see signature.h derivation). */
+VopBreakdown swVopBreakdownPerRow(const compress::CompressionScheme &s);
+
+/** Effective vector ops per tile under a scaling variant. */
+double swVopsPerTile(const compress::CompressionScheme &s,
+                     VectorScaling scaling);
+
+/**
+ * Cycles the core's vector engine needs per tile: ops divided by the
+ * effective issue rate (units capped by the front end).
+ */
+Cycles swDecompressCycles(const compress::CompressionScheme &s,
+                          VectorScaling scaling, const sim::SimParams &p);
+
+} // namespace deca::kernels
+
+#endif // DECA_KERNELS_SW_COST_MODEL_H

@@ -1,0 +1,179 @@
+#include "kernels/sw_decompress.h"
+
+#include "common/logging.h"
+#include "common/mx_scale.h"
+#include "compress/bitpack.h"
+#include "compress/quantizer.h"
+
+namespace deca::kernels {
+
+using compress::CompressedTile;
+using compress::CompressionScheme;
+using compress::DenseTile;
+using compress::ElemFormat;
+
+namespace {
+
+/** Number of weights in one output row (one 512-bit register). */
+constexpr u32 kRowElems = kTileCols;
+
+/** Count helper that tolerates a null sink. */
+struct Counter
+{
+    AvxOpCounts *c;
+    void load(u32 n = 1) { if (c) c->loads += n; }
+    void store(u32 n = 1) { if (c) c->stores += n; }
+    void mask(u32 n = 1) { if (c) c->masks += n; }
+    void expand(u32 n = 1) { if (c) c->expands += n; }
+    void convert(u32 n = 1) { if (c) c->converts += n; }
+    void permute(u32 n = 1) { if (c) c->permutes += n; }
+    void arith(u32 n = 1) { if (c) c->arith += n; }
+};
+
+} // namespace
+
+DenseTile
+swDecompressTile(const CompressedTile &ct, AvxOpCounts *counts)
+{
+    const CompressionScheme &s = ct.scheme;
+    const bool sparse = s.sparse();
+    const u32 qbits = s.quantBits();
+    Counter ops{counts};
+    DenseTile out;
+
+    compress::BitUnpacker unpacker(ct.data);
+
+    // Uncompressed BF16 tiles are never routed through the AVX
+    // sequence at all — the AMX tload reads them straight from memory —
+    // so the functional copy below counts zero vector operations.
+    const bool needs_avx_sequence =
+        sparse || s.format != ElemFormat::BF16;
+
+    for (u32 row = 0; row < kTileRows; ++row) {
+        const u32 base = row * kRowElems;
+
+        // -- Gather this row's nonzero codes (the compressed chunk the
+        //    row's vector load covers).
+        u32 row_nz = kRowElems;
+        if (sparse)
+            row_nz = ct.bitmask.popcountWindow(base, kRowElems);
+
+        // Load of the compressed data chunk for this row.
+        if (needs_avx_sequence)
+            ops.load();
+
+        std::array<float, kRowElems> vals{};
+        for (u32 k = 0; k < row_nz; ++k) {
+            const u32 code = unpacker.next(qbits);
+            vals[k] = compress::dequantizeCode(code, s);
+        }
+
+        // -- Format-specific widening/dequantization work.
+        switch (s.format) {
+          case ElemFormat::BF16:
+            // 16-bit elements are already BF16; no conversion ops.
+            break;
+          case ElemFormat::BF8:
+          case ElemFormat::FP8_E4M3:
+            // Byte -> BF16 widen: permute-based exponent rebias plus a
+            // shift/insert (two AVX ops on SPR).
+            ops.convert(2);
+            break;
+          case ElemFormat::FP6_E3M2:
+          case ElemFormat::FP6_E2M3:
+            // 6-bit codes straddle byte boundaries: two shifts plus an
+            // or-merge plus a lane realign, then the double vpermb
+            // lookup, then the final merge.
+            ops.arith(4);
+            ops.permute(2);
+            ops.arith(1);
+            break;
+          case ElemFormat::FP4_E2M1:
+            // Nibble split (shift + mask) and two vpermb LUT lookups
+            // plus a merge.
+            ops.arith(2);
+            ops.permute(2);
+            ops.arith(1);
+            break;
+        }
+
+        // -- Expansion (only for sparse schemes): mask chunk move plus
+        //    the masked expand, plus popcount/pointer advance for the
+        //    nonzero cursor and the mask cursor.
+        std::array<float, kRowElems> dense{};
+        if (sparse) {
+            ops.mask();    // kmov of this row's 32 mask bits
+            ops.expand();  // vpexpandw/b
+            u32 k = 0;
+            for (u32 j = 0; j < kRowElems; ++j) {
+                if (ct.bitmask.get(base + j))
+                    dense[j] = vals[k++];
+            }
+            DECA_ASSERT(k == row_nz, "row expand consumed wrong count");
+            // popcnt + pointer bookkeeping; byte formats need a second
+            // cursor update for the sub-byte packing.
+            ops.arith(s.format == ElemFormat::BF16 ? 1 : 2);
+        } else {
+            for (u32 j = 0; j < kRowElems; ++j)
+                dense[j] = vals[j];
+        }
+
+        // -- MX group scaling: load/broadcast the scale(s) covering this
+        //    row, convert E8M0 to a multiplicand, multiply.
+        if (s.groupQuant) {
+            ops.load();     // scale-factor load/broadcast
+            ops.arith(1);   // e8m0 -> fp32 exponent insert
+            ops.arith(1);   // vector multiply (fp32)
+            ops.convert(1); // fp32 -> BF16 downconvert of the product
+            for (u32 j = 0; j < kRowElems; ++j) {
+                const u32 group = (base + j) / s.groupSize;
+                dense[j] *= e8m0Decode(ct.scales[group]);
+            }
+        }
+
+        // -- Store the finished row into the L1 software buffer, plus
+        //    the scalar loop-control overhead that occupies an issue
+        //    slot per row.
+        if (needs_avx_sequence) {
+            ops.store();
+            ops.arith(1);
+        }
+        for (u32 j = 0; j < kRowElems; ++j) {
+            const float v = dense[j];
+            out[base + j] = v == 0.0f ? Bf16() : Bf16::fromFloat(v);
+        }
+    }
+    return out;
+}
+
+AvxOpCounts
+swOpCountsPerRow(const CompressionScheme &scheme)
+{
+    // Derive by running one representative tile and dividing: the ops
+    // per row are identical across rows (masked expands process whole
+    // rows regardless of density).
+    DenseTile t;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        // Simple deterministic pattern at roughly the scheme's density.
+        const bool keep =
+            !scheme.sparse() ||
+            (i * 2654435761u % 1000) < scheme.density * 1000;
+        if (keep)
+            t[i] = Bf16::fromFloat(0.5f + (i % 7) * 0.25f);
+    }
+    const CompressedTile ct = compress::compressTile(t, scheme);
+    AvxOpCounts counts;
+    swDecompressTile(ct, &counts);
+
+    AvxOpCounts per_row;
+    per_row.loads = counts.loads / kTileRows;
+    per_row.stores = counts.stores / kTileRows;
+    per_row.masks = counts.masks / kTileRows;
+    per_row.expands = counts.expands / kTileRows;
+    per_row.converts = counts.converts / kTileRows;
+    per_row.permutes = counts.permutes / kTileRows;
+    per_row.arith = counts.arith / kTileRows;
+    return per_row;
+}
+
+} // namespace deca::kernels

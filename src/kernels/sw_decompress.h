@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional model of the libxsmm-style AVX software decompression
+ * sequence (Section 2.4).
+ *
+ * The kernel processes one tile row (32 BF16 outputs = one 512-bit
+ * register = one cache line) per loop iteration, exactly like the JIT'ed
+ * AVX code: load the next compressed chunk, expand it against the
+ * bitmask with a masked vpexpand, widen/dequantize, apply MX scales,
+ * and store to the L1 software buffer. Every emulated vector operation
+ * is counted by category, so the per-row operation counts that the
+ * Roof-Surface signature model and the cycle-level cost model use are
+ * *derived* from this implementation rather than asserted — a test
+ * checks all three agree.
+ */
+
+#ifndef DECA_KERNELS_SW_DECOMPRESS_H
+#define DECA_KERNELS_SW_DECOMPRESS_H
+
+#include "compress/compressed_tile.h"
+#include "compress/tile.h"
+
+namespace deca::kernels {
+
+/** Vector-operation counts by category for one decompression run. */
+struct AvxOpCounts
+{
+    u32 loads = 0;    ///< cache-line loads of compressed data/scales
+    u32 stores = 0;   ///< stores to the L1 software buffer
+    u32 masks = 0;    ///< kmov/mask-register manipulation
+    u32 expands = 0;  ///< vpexpandb/w (masked de-sparsification)
+    u32 converts = 0; ///< format widening (BF8->BF16 etc.)
+    u32 permutes = 0; ///< vpermb LUT-style lookups (4/6-bit formats)
+    u32 arith = 0;    ///< shifts, merges, multiplies, popcnt/pointer,
+                      ///< loop overhead
+
+    u32
+    total() const
+    {
+        return loads + stores + masks + expands + converts + permutes +
+               arith;
+    }
+
+    /** Cache-line-sized memory operations (the AVX2048 non-shrinkable
+     *  part, Sec. 7). */
+    u32 memOps() const { return loads + stores; }
+    u32 computeOps() const { return total() - memOps(); }
+};
+
+/**
+ * Decompress one tile with the emulated AVX sequence.
+ *
+ * @param ct The compressed tile.
+ * @param counts Optional: accumulates the emulated vector-op counts.
+ * @return The dense BF16 tile (bit-exact vs the golden decompressor).
+ */
+compress::DenseTile swDecompressTile(const compress::CompressedTile &ct,
+                                     AvxOpCounts *counts = nullptr);
+
+/** Emulated op counts for one tile row of a scheme (derivation hook). */
+AvxOpCounts swOpCountsPerRow(const compress::CompressionScheme &scheme);
+
+} // namespace deca::kernels
+
+#endif // DECA_KERNELS_SW_DECOMPRESS_H

@@ -1,0 +1,32 @@
+#include "kernels/workload.h"
+
+#include "common/logging.h"
+
+namespace deca::kernels {
+
+TilePool::TilePool(const compress::CompressionScheme &scheme, u32 num_tiles,
+                   u64 seed)
+    : scheme_(scheme)
+{
+    DECA_ASSERT(num_tiles >= 1, "pool needs at least one tile");
+    // One tall matrix column of tiles gives num_tiles distinct tiles.
+    Rng rng(seed);
+    const u32 rows = num_tiles * kTileRows;
+    compress::WeightMatrix w =
+        compress::generateWeights(rows, kTileCols, scheme.density, rng);
+    compress::CompressedMatrix cm(w, scheme);
+    tiles_.reserve(cm.numTiles());
+    for (u32 tr = 0; tr < cm.tileRows(); ++tr)
+        tiles_.push_back(cm.tile(tr, 0));
+}
+
+double
+TilePool::meanTileBytes() const
+{
+    u64 total = 0;
+    for (const auto &t : tiles_)
+        total += t.totalBytes();
+    return static_cast<double>(total) / static_cast<double>(tiles_.size());
+}
+
+} // namespace deca::kernels

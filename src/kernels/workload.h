@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Compressed-GeMM workloads for the cycle-level simulation.
+ *
+ * The paper's GeMM benchmark streams ~250M-parameter FC weight matrices
+ * with no reuse, so steady-state tile throughput is independent of matrix
+ * size. We therefore synthesize a pool of compressed tiles from a real
+ * (pruned, quantized) weight matrix and let each core stream a configured
+ * number of tiles from the pool; timing-relevant per-tile properties
+ * (byte counts, bitmask window statistics) are exactly those of the
+ * underlying matrix.
+ */
+
+#ifndef DECA_KERNELS_WORKLOAD_H
+#define DECA_KERNELS_WORKLOAD_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/weight_matrix.h"
+
+namespace deca::kernels {
+
+/** A pool of compressed tiles drawn from one weight matrix. */
+class TilePool
+{
+  public:
+    /**
+     * Build a pool of `num_tiles` tiles compressed under `scheme`, from a
+     * synthetic Gaussian matrix pruned to the scheme's density.
+     */
+    TilePool(const compress::CompressionScheme &scheme, u32 num_tiles,
+             u64 seed);
+
+    const compress::CompressionScheme &scheme() const { return scheme_; }
+    u32 size() const { return static_cast<u32>(tiles_.size()); }
+
+    const compress::CompressedTile &
+    tile(u32 i) const
+    {
+        return tiles_[i % tiles_.size()];
+    }
+
+    /** Compressed bytes of pool tile i. */
+    u64
+    tileBytes(u32 i) const
+    {
+        return tiles_[i % tiles_.size()].totalBytes();
+    }
+
+    /** Mean compressed bytes per tile over the pool. */
+    double meanTileBytes() const;
+
+  private:
+    compress::CompressionScheme scheme_;
+    std::vector<compress::CompressedTile> tiles_;
+};
+
+/** One compressed-GeMM measurement workload. */
+struct GemmWorkload
+{
+    compress::CompressionScheme scheme;
+    /** Batch size N (affects reported FLOPS, not tile timing). */
+    u32 batchN = 1;
+    /** Tiles each core processes during the measured run. */
+    u32 tilesPerCore = 256;
+    /** Distinct tiles in the pool (content statistics source). */
+    u32 poolTiles = 64;
+    u64 seed = 0x5eed;
+};
+
+} // namespace deca::kernels
+
+#endif // DECA_KERNELS_WORKLOAD_H

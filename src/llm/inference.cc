@@ -1,0 +1,60 @@
+#include "llm/inference.h"
+
+#include "common/logging.h"
+
+namespace deca::llm {
+
+InferenceModel::InferenceModel(ModelConfig model, sim::SimParams params,
+                               NonGemmModel ng)
+    : model_(std::move(model)), params_(std::move(params)), ng_(ng)
+{}
+
+NextTokenLatency
+InferenceModel::nextTokenWithTps(double tiles_per_second, u32 batch_n,
+                                 u32 tokens) const
+{
+    DECA_ASSERT(tiles_per_second > 0.0);
+    NextTokenLatency lat;
+    lat.fcSeconds =
+        static_cast<double>(model_.totalFcTiles()) / tiles_per_second;
+    lat.nonGemmSeconds = ng_.seconds(batch_n, tokens);
+    return lat;
+}
+
+NextTokenLatency
+InferenceModel::nextToken(const compress::CompressionScheme &scheme,
+                          const kernels::KernelConfig &kernel, u32 batch_n,
+                          u32 tokens) const
+{
+    kernels::GemmWorkload w;
+    w.scheme = scheme;
+    w.batchN = batch_n;
+    w.tilesPerCore = 256;
+    w.poolTiles = 48;
+    const kernels::GemmResult r =
+        kernels::runGemmSteady(params_, kernel, w);
+    return nextTokenWithTps(r.tilesPerSecond, batch_n, tokens);
+}
+
+NonGemmModel
+InferenceModel::calibrateForMachine(const ModelConfig &model,
+                                    const sim::SimParams &params)
+{
+    // Simulate the uncompressed BF16 baseline to anchor the FC time.
+    kernels::GemmWorkload w;
+    w.scheme = compress::schemeBf16();
+    w.batchN = 1;
+    w.tilesPerCore = 256;
+    w.poolTiles = 16;
+    const kernels::GemmResult r = kernels::runGemmSteady(
+        params, kernels::KernelConfig::uncompressedBf16(), w);
+    const double t_fc =
+        static_cast<double>(model.totalFcTiles()) / r.tilesPerSecond;
+
+    // Table 1 anchor fractions (N=1/32 tokens and N=16/128 tokens).
+    if (params.memKind == sim::MemoryKind::HBM)
+        return calibrateNonGemm(t_fc, 0.898, 0.859);
+    return calibrateNonGemm(t_fc, 0.974, 0.955);
+}
+
+} // namespace deca::llm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * End-to-end next-token latency estimation (Sections 3.1 and 9.4).
+ *
+ * Next-token time = FC-GeMM time + non-GeMM time. The FC-GeMM time comes
+ * from the cycle-level GeMM simulation: the model's FC tiles divided by
+ * the steady-state tile throughput of the chosen (scheme, kernel) pair on
+ * the chosen machine. The non-GeMM time uses the calibrated model of
+ * nongemm_model.h.
+ */
+
+#ifndef DECA_LLM_INFERENCE_H
+#define DECA_LLM_INFERENCE_H
+
+#include "kernels/gemm_sim.h"
+#include "llm/model_config.h"
+#include "llm/nongemm_model.h"
+
+namespace deca::llm {
+
+/** Breakdown of one next-token latency estimate. */
+struct NextTokenLatency
+{
+    double fcSeconds = 0.0;
+    double nonGemmSeconds = 0.0;
+
+    double total() const { return fcSeconds + nonGemmSeconds; }
+    double
+    fcFraction() const
+    {
+        return fcSeconds / total();
+    }
+    double milliseconds() const { return total() * 1e3; }
+};
+
+/** Next-token latency estimator for one model on one machine. */
+class InferenceModel
+{
+  public:
+    /**
+     * @param model The transformer shape.
+     * @param params The simulated machine.
+     * @param ng The calibrated non-GeMM model for this machine.
+     */
+    InferenceModel(ModelConfig model, sim::SimParams params,
+                   NonGemmModel ng);
+
+    /**
+     * Estimate next-token latency for a compression scheme executed with
+     * the given kernel. Runs a steady-state GeMM simulation to obtain
+     * tile throughput.
+     *
+     * @param scheme Weight compression scheme.
+     * @param kernel Kernel/engine configuration.
+     * @param batch_n Batch size (1..16).
+     * @param tokens Attended context length (input + generated so far).
+     */
+    NextTokenLatency nextToken(const compress::CompressionScheme &scheme,
+                               const kernels::KernelConfig &kernel,
+                               u32 batch_n, u32 tokens) const;
+
+    /** Latency when the FC tile throughput is already known. */
+    NextTokenLatency nextTokenWithTps(double tiles_per_second, u32 batch_n,
+                                      u32 tokens) const;
+
+    /**
+     * Calibration helper: the Table 1 anchor fractions for this machine
+     * kind (DDR vs HBM), from the paper's measurements.
+     */
+    static NonGemmModel calibrateForMachine(const ModelConfig &model,
+                                            const sim::SimParams &params);
+
+    const ModelConfig &model() const { return model_; }
+
+  private:
+    ModelConfig model_;
+    sim::SimParams params_;
+    NonGemmModel ng_;
+};
+
+} // namespace deca::llm
+
+#endif // DECA_LLM_INFERENCE_H

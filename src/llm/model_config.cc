@@ -1,0 +1,53 @@
+#include "llm/model_config.h"
+
+namespace deca::llm {
+
+u64
+ModelConfig::fcParamsPerLayer() const
+{
+    u64 total = 0;
+    for (const auto &fc : layerFc)
+        total += fc.params();
+    return total;
+}
+
+ModelConfig
+llama2_70b()
+{
+    ModelConfig m;
+    m.name = "Llama2-70B";
+    m.layers = 80;
+    m.hidden = 8192;
+    m.heads = 64;
+    m.kvHeads = 8;
+    m.ffn = 28672;
+    const u32 head_dim = m.hidden / m.heads;  // 128
+    const u32 kv_dim = m.kvHeads * head_dim;  // 1024
+    m.layerFc = {
+        {"wq", m.hidden, m.hidden}, {"wk", kv_dim, m.hidden},
+        {"wv", kv_dim, m.hidden},   {"wo", m.hidden, m.hidden},
+        {"gate", m.ffn, m.hidden},  {"up", m.ffn, m.hidden},
+        {"down", m.hidden, m.ffn},
+    };
+    return m;
+}
+
+ModelConfig
+opt_66b()
+{
+    ModelConfig m;
+    m.name = "OPT-66B";
+    m.layers = 64;
+    m.hidden = 9216;
+    m.heads = 72;
+    m.kvHeads = 72;
+    m.ffn = 4 * m.hidden;  // 36864
+    m.layerFc = {
+        {"wq", m.hidden, m.hidden},  {"wk", m.hidden, m.hidden},
+        {"wv", m.hidden, m.hidden},  {"wo", m.hidden, m.hidden},
+        {"fc1", m.ffn, m.hidden},    {"fc2", m.hidden, m.ffn},
+    };
+    return m;
+}
+
+} // namespace deca::llm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Transformer model shapes for the end-to-end next-token latency study
+ * (Section 9.4): Llama2-70B and OPT-66B.
+ *
+ * Only the fully-connected (FC) weight GeMMs are compressible; their
+ * parameter counts follow from the published architectures:
+ *
+ *  - Llama2-70B: 80 layers, hidden 8192, 64 heads with 8 KV heads (GQA),
+ *    SwiGLU FFN of 28672 (three FFN matrices). Per layer:
+ *    Q/O 8192x8192, K/V 8192x1024, gate/up 28672x8192, down 8192x28672.
+ *  - OPT-66B: 64 layers, hidden 9216, 72 heads, GeLU FFN of 36864 (two
+ *    FFN matrices). Per layer: Q/K/V/O 9216x9216, fc1/fc2 9216x36864.
+ */
+
+#ifndef DECA_LLM_MODEL_CONFIG_H
+#define DECA_LLM_MODEL_CONFIG_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deca::llm {
+
+/** One FC weight matrix shape (rows = output features). */
+struct FcShape
+{
+    std::string name;
+    u32 rows;
+    u32 cols;
+
+    u64 params() const { return u64{rows} * cols; }
+};
+
+/** Shape description of one decoder-only transformer. */
+struct ModelConfig
+{
+    std::string name;
+    u32 layers;
+    u32 hidden;
+    u32 heads;
+    u32 kvHeads;
+    u32 ffn;
+    /** FC matrices of one decoder layer. */
+    std::vector<FcShape> layerFc;
+
+    /** FC parameters in one decoder layer. */
+    u64 fcParamsPerLayer() const;
+
+    /** FC parameters across all layers. */
+    u64 totalFcParams() const { return fcParamsPerLayer() * layers; }
+
+    /** AMX weight tiles across all FC layers (512 params per tile). */
+    u64
+    totalFcTiles() const
+    {
+        return totalFcParams() / kTileElems;
+    }
+};
+
+/** The Llama2-70B configuration. */
+ModelConfig llama2_70b();
+
+/** The OPT-66B configuration. */
+ModelConfig opt_66b();
+
+} // namespace deca::llm
+
+#endif // DECA_LLM_MODEL_CONFIG_H

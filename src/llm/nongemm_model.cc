@@ -1,0 +1,30 @@
+#include "llm/nongemm_model.h"
+
+#include "common/logging.h"
+
+namespace deca::llm {
+
+NonGemmModel
+calibrateNonGemm(double t_fc_seconds, double frac_n1_tok32,
+                 double frac_n16_tok128)
+{
+    DECA_ASSERT(t_fc_seconds > 0.0);
+    DECA_ASSERT(frac_n1_tok32 > 0.0 && frac_n1_tok32 < 1.0);
+    DECA_ASSERT(frac_n16_tok128 > 0.0 && frac_n16_tok128 < 1.0);
+
+    // t_ng = t_fc * (1 - f) / f at each anchor.
+    const double x1 = t_fc_seconds * (1.0 - frac_n1_tok32) / frac_n1_tok32;
+    const double x2 =
+        t_fc_seconds * (1.0 - frac_n16_tok128) / frac_n16_tok128;
+
+    // x1 = A + B*32, x2 = A + B*2048.
+    NonGemmModel m;
+    m.bSeconds = (x2 - x1) / (2048.0 - 32.0);
+    if (m.bSeconds < 0.0)
+        m.bSeconds = 0.0;
+    m.aSeconds = x1 - m.bSeconds * 32.0;
+    DECA_ASSERT(m.aSeconds >= 0.0, "calibration produced negative time");
+    return m;
+}
+
+} // namespace deca::llm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Non-GeMM next-token time model.
+ *
+ * The generation-phase time outside the FC weight GeMMs (attention
+ * score/context GeMMs over the KV cache, softmax, norms, embedding,
+ * framework overheads) is small but visible — Table 1 puts it at ~3% of
+ * next-token time on DDR and ~10-14% on HBM, growing mildly with batch
+ * size and context length. Weight compression does not apply to it.
+ *
+ * We model it as t_ng(N, tokens) = A + B * N * tokens: a fixed per-layer
+ * component plus a KV-cache/attention component proportional to attended
+ * tokens times batch. A and B are calibrated per machine so the BF16
+ * baseline reproduces the paper's Table 1 fractions; the same constants
+ * then predict every other (scheme, N, tokens) cell.
+ */
+
+#ifndef DECA_LLM_NONGEMM_MODEL_H
+#define DECA_LLM_NONGEMM_MODEL_H
+
+#include "common/types.h"
+
+namespace deca::llm {
+
+/** Calibrated non-GeMM time model for one model on one machine. */
+struct NonGemmModel
+{
+    double aSeconds = 0.0; ///< fixed component
+    double bSeconds = 0.0; ///< per (batch row x attended token)
+
+    double
+    seconds(u32 batch_n, u32 tokens) const
+    {
+        return aSeconds +
+               bSeconds * static_cast<double>(batch_n) * tokens;
+    }
+};
+
+/**
+ * Calibrate A and B from the simulated BF16 FC time and two target
+ * GeMM-time fractions (Table 1 anchor cells):
+ *
+ *   fraction(N, tok) = t_fc / (t_fc + A + B*N*tok)
+ *
+ * @param t_fc_seconds Simulated FC-GeMM next-token time of the BF16
+ *        baseline on the calibration machine.
+ * @param frac_n1_tok32 Target fraction at N=1, 32 input tokens.
+ * @param frac_n16_tok128 Target fraction at N=16, 128 input tokens.
+ */
+NonGemmModel calibrateNonGemm(double t_fc_seconds, double frac_n1_tok32,
+                              double frac_n16_tok128);
+
+} // namespace deca::llm
+
+#endif // DECA_LLM_NONGEMM_MODEL_H

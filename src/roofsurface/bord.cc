@@ -1,0 +1,42 @@
+#include "roofsurface/bord.h"
+
+namespace deca::roofsurface {
+
+BordGeometry
+bordGeometry(const MachineConfig &mach)
+{
+    BordGeometry g{};
+    g.memVecSlope = mach.memBwBytesPerSec / mach.vosPerSec();
+    g.memMtxX = mach.mosPerSec() / mach.memBwBytesPerSec;
+    g.vecMtxY = mach.mosPerSec() / mach.vosPerSec();
+    return g;
+}
+
+Bound
+bordClassify(const MachineConfig &mach, const KernelSignature &sig)
+{
+    return evaluate(mach, sig).bound;
+}
+
+std::vector<BordPoint>
+bordClassifyAll(const MachineConfig &mach,
+                const std::vector<KernelSignature> &sigs)
+{
+    std::vector<BordPoint> out;
+    out.reserve(sigs.size());
+    for (const auto &s : sigs)
+        out.push_back({s, bordClassify(mach, s)});
+    return out;
+}
+
+bool
+mtxRegionVisible(const MachineConfig &mach, double aixm_max,
+                 double aixv_max)
+{
+    // The MTX region exists where x > MOS/MBW and y > MOS/VOS; it shows
+    // inside the window iff its lower-left corner is inside.
+    const BordGeometry g = bordGeometry(mach);
+    return g.memMtxX < aixm_max && g.vecMtxY < aixv_max;
+}
+
+} // namespace deca::roofsurface

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The 2D Bounding Region Diagram (Section 4.2): the projection of the
+ * roofsurface onto the (AIXM, AIXV) plane. The three regions are separated
+ * by the lines
+ *
+ *   y = (MBW / VOS) · x    (MEM/VEC boundary),
+ *   x = MOS / MBW          (MEM/MTX boundary),
+ *   y = MOS / VOS          (VEC/MTX boundary).
+ */
+
+#ifndef DECA_ROOFSURFACE_BORD_H
+#define DECA_ROOFSURFACE_BORD_H
+
+#include <vector>
+
+#include "roofsurface/roof_surface.h"
+
+namespace deca::roofsurface {
+
+/** The geometric boundaries of a machine's BORD. */
+struct BordGeometry
+{
+    /** Slope of the MEM/VEC separator y = slope · x. */
+    double memVecSlope;
+    /** AIXM of the vertical MEM/MTX separator. */
+    double memMtxX;
+    /** AIXV of the horizontal VEC/MTX separator. */
+    double vecMtxY;
+};
+
+/** Compute the separator lines for a machine. */
+BordGeometry bordGeometry(const MachineConfig &mach);
+
+/** Classify a kernel point into its bounding region. */
+Bound bordClassify(const MachineConfig &mach, const KernelSignature &sig);
+
+/** A named, classified point for rendering a BORD. */
+struct BordPoint
+{
+    KernelSignature sig;
+    Bound bound;
+};
+
+/** Classify a batch of kernels. */
+std::vector<BordPoint> bordClassifyAll(
+    const MachineConfig &mach, const std::vector<KernelSignature> &sigs);
+
+/**
+ * True when the MTX region is visible within the plotted AIXM/AIXV window
+ * — on the DDR machine it is consumed by the MEM region (Fig. 5b).
+ */
+bool mtxRegionVisible(const MachineConfig &mach, double aixm_max,
+                      double aixv_max);
+
+} // namespace deca::roofsurface
+
+#endif // DECA_ROOFSURFACE_BORD_H

@@ -1,0 +1,58 @@
+#include "roofsurface/bubble_model.h"
+
+#include <cmath>
+
+#include "common/binomial.h"
+#include "common/logging.h"
+
+namespace deca::roofsurface {
+
+u32
+dequantLanes(u32 l, u32 qbits)
+{
+    DECA_ASSERT(l >= 1, "LUT count must be positive");
+    if (qbits >= 8)
+        return l;
+    if (qbits == 7)
+        return 2 * l;
+    return 4 * l;  // 6-bit and below fit in a 64-entry sub-LUT
+}
+
+u32
+bubblesForWindow(u32 nonzeros, u32 l, u32 qbits)
+{
+    if (qbits >= 16 || nonzeros == 0)
+        return 0;  // dequantization stage skipped / nothing to translate
+    const u32 lq = dequantLanes(l, qbits);
+    const u32 cycles = (nonzeros + lq - 1) / lq;  // ceil
+    return cycles > 0 ? cycles - 1 : 0;
+}
+
+double
+expectedBubblesPerVop(u32 w, u32 l, u32 qbits, double density)
+{
+    DECA_ASSERT(density > 0.0 && density <= 1.0, "density out of range");
+    if (qbits >= 16)
+        return 0.0;  // stage skipped for 16-bit elements
+
+    const u32 lq = dequantLanes(l, qbits);
+    if (density >= 1.0) {
+        const u32 cycles = (w + lq - 1) / lq;
+        return cycles > 0 ? static_cast<double>(cycles - 1) : 0.0;
+    }
+
+    // E[bpv] = sum over nonzero counts of bubbles(nz) * P(X = nz) with
+    // X ~ Binomial(W, d). This is exactly the paper's CDF bucket formula
+    // (each bucket k collects the nz values needing k bubbles); the
+    // direct sum avoids the bucket-boundary bookkeeping. A property test
+    // cross-checks it against the CDF form.
+    double expectation = 0.0;
+    for (u32 nz = 1; nz <= w; ++nz) {
+        const u32 b = bubblesForWindow(nz, l, qbits);
+        if (b > 0)
+            expectation += static_cast<double>(b) * binomialPmf(w, nz, density);
+    }
+    return expectation;
+}
+
+} // namespace deca::roofsurface

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytical pipeline-bubble model for DECA's dequantization stage
+ * (Section 6.2 of the paper).
+ *
+ * A vOp produces W output elements per cycle, but the dequantization stage
+ * can translate at most Lq codes per cycle, where Lq depends on the LUT
+ * array provisioning L and the quantized bit width:
+ *
+ *   Lq = L        for 8-bit formats,
+ *   Lq = 2L       for 7-bit,
+ *   Lq = 4L       for 6-bit and below (sub-LUTs usable independently).
+ *
+ * With sparsity, a vOp only needs to dequantize its window's nonzeros, so
+ * the expected bubbles per vOp follow from Binomial(W, d) through the CDF
+ * formula of Section 6.2. Formats that skip the dequantization stage
+ * entirely (16-bit elements) never bubble.
+ */
+
+#ifndef DECA_ROOFSURFACE_BUBBLE_MODEL_H
+#define DECA_ROOFSURFACE_BUBBLE_MODEL_H
+
+#include "common/types.h"
+
+namespace deca::roofsurface {
+
+/** Max elements dequantized per cycle for quantization width qbits. */
+u32 dequantLanes(u32 l, u32 qbits);
+
+/**
+ * Expected bubbles per vOp.
+ *
+ * @param w Output elements per vOp (DECA's W parameter).
+ * @param l Number of 256-entry LUTs (DECA's L parameter).
+ * @param qbits Quantized element width; 16 means the dequantization stage
+ *        is skipped and no bubbles occur.
+ * @param density Weight density in (0, 1]; 1.0 gives the deterministic
+ *        dense bound ceil(W/Lq) - 1.
+ */
+double expectedBubblesPerVop(u32 w, u32 l, u32 qbits, double density);
+
+/**
+ * Deterministic bubbles for a vOp whose window holds exactly `nonzeros`
+ * codes: ceil(nonzeros / Lq) - 1, clamped at zero. This is what the
+ * cycle-level DECA pipeline charges per vOp, and what the expectation
+ * above averages.
+ */
+u32 bubblesForWindow(u32 nonzeros, u32 l, u32 qbits);
+
+} // namespace deca::roofsurface
+
+#endif // DECA_ROOFSURFACE_BUBBLE_MODEL_H

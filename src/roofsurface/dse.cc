@@ -1,0 +1,74 @@
+#include "roofsurface/dse.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "roofsurface/signature.h"
+
+namespace deca::roofsurface {
+
+std::vector<DseCandidate>
+exploreDesignSpace(const MachineConfig &base_machine,
+                   const std::vector<compress::CompressionScheme> &schemes,
+                   const std::vector<u32> &ws, const std::vector<u32> &ls)
+{
+    const MachineConfig mach = base_machine.withDecaVectorEngine();
+    std::vector<DseCandidate> out;
+    for (u32 w : ws) {
+        for (u32 l : ls) {
+            if (l > w)
+                continue;  // more LUT lanes than datapath lanes is waste
+            DseCandidate c{w, l, 0, 0.0};
+            for (const auto &s : schemes) {
+                const KernelSignature sig = decaSignature(s, w, l);
+                const RoofSurfacePoint p = evaluate(mach, sig);
+                // A kernel counts as VEC-bound only when the vector rate
+                // is meaningfully below the other limits: kernels whose
+                // predicted performance sits within 2% of the MEM/MTX
+                // roof (e.g. Q8_5%, a hair under MOS due to the rare
+                // >Lq-nonzero window) have saturated for dimensioning
+                // purposes (Sec. 9.2 picks the point where performance
+                // saturates).
+                const double others =
+                    std::min(p.memRateTps, p.mtxRateTps);
+                if (p.bound == Bound::VEC &&
+                    p.vecRateTps < 0.98 * others) {
+                    ++c.vecBoundKernels;
+                }
+                c.totalTps += p.tps;
+            }
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+DseCandidate
+pickBalancedDesign(const MachineConfig &base_machine,
+                   const std::vector<compress::CompressionScheme> &schemes,
+                   const std::vector<u32> &ws, const std::vector<u32> &ls)
+{
+    auto candidates = exploreDesignSpace(base_machine, schemes, ws, ls);
+    DECA_ASSERT(!candidates.empty(), "empty design space");
+
+    const DseCandidate *best = nullptr;
+    for (const auto &c : candidates) {
+        if (c.vecBoundKernels != 0)
+            continue;
+        if (!best || c.cost() < best->cost() ||
+            (c.cost() == best->cost() && c.totalTps > best->totalTps)) {
+            best = &c;
+        }
+    }
+    if (!best) {
+        // Nothing escapes VEC entirely; fall back to fewest VEC-bound.
+        best = &*std::min_element(
+            candidates.begin(), candidates.end(),
+            [](const DseCandidate &a, const DseCandidate &b) {
+                return a.vecBoundKernels < b.vecBoundKernels;
+            });
+    }
+    return *best;
+}
+
+} // namespace deca::roofsurface

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytical design-space exploration over DECA's {W, L} parameters
+ * (Section 6.2 / 9.2): pick the cheapest PE that pushes every kernel of
+ * interest out of the VEC-bound region.
+ */
+
+#ifndef DECA_ROOFSURFACE_DSE_H
+#define DECA_ROOFSURFACE_DSE_H
+
+#include <vector>
+
+#include "compress/scheme.h"
+#include "roofsurface/bord.h"
+
+namespace deca::roofsurface {
+
+/** One evaluated {W, L} candidate. */
+struct DseCandidate
+{
+    u32 w;
+    u32 l;
+    /** Number of kernels that remain VEC-bound with this PE. */
+    u32 vecBoundKernels;
+    /** Sum over kernels of predicted TPS (for tie-breaking reports). */
+    double totalTps;
+    /** Relative hardware cost proxy: the LUT array dominates scaling, and
+     *  datapath width W sets register/crossbar cost (Sec. 8 area split). */
+    double
+    cost() const
+    {
+        return static_cast<double>(l) * 4.0 + static_cast<double>(w);
+    }
+};
+
+/**
+ * Evaluate every {W, L} pair (W from ws, L from ls with L <= W) against
+ * the kernel set on a machine whose vector engine is the DECA PE.
+ */
+std::vector<DseCandidate> exploreDesignSpace(
+    const MachineConfig &base_machine,
+    const std::vector<compress::CompressionScheme> &schemes,
+    const std::vector<u32> &ws, const std::vector<u32> &ls);
+
+/**
+ * The paper's dimensioning rule: the smallest-cost candidate for which no
+ * kernel is VEC-bound. Returns {W=32, L=8} for the paper's kernel set on
+ * HBM SPR.
+ */
+DseCandidate pickBalancedDesign(
+    const MachineConfig &base_machine,
+    const std::vector<compress::CompressionScheme> &schemes,
+    const std::vector<u32> &ws, const std::vector<u32> &ls);
+
+} // namespace deca::roofsurface
+
+#endif // DECA_ROOFSURFACE_DSE_H

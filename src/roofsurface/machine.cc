@@ -1,0 +1,23 @@
+#include "roofsurface/machine.h"
+
+namespace deca::roofsurface {
+
+MachineConfig
+sprDdr()
+{
+    MachineConfig m;
+    m.name = "SPR-DDR";
+    m.memBwBytesPerSec = gbPerSec(260.0);
+    return m;
+}
+
+MachineConfig
+sprHbm()
+{
+    MachineConfig m;
+    m.name = "SPR-HBM";
+    m.memBwBytesPerSec = gbPerSec(850.0);
+    return m;
+}
+
+} // namespace deca::roofsurface

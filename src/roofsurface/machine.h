@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Machine descriptors for the Roof-Surface model (Section 4.1): the three
+ * architecture-dependent rates — memory bandwidth (MBW), vector operation
+ * throughput (VOS), and matrix operation throughput (MOS).
+ *
+ * For the SPR-like target: VOS = freq × cores × SIMD units per core, and
+ * MOS = freq × cores / 16 since each core's TMUL takes 16 cycles per tile
+ * multiplication. A DECA-augmented machine replaces the CPU's vector
+ * engine with one DECA PE per core completing at most one vOp per cycle,
+ * so its VOS is freq × cores × 1 (Section 6.2).
+ */
+
+#ifndef DECA_ROOFSURFACE_MACHINE_H
+#define DECA_ROOFSURFACE_MACHINE_H
+
+#include <string>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace deca::roofsurface {
+
+/** TMUL latency per tile multiplication in cycles (Sec. 2.3). */
+inline constexpr u32 kTmulCyclesPerTileOp = 16;
+
+/** The architecture-dependent inputs of the Roof-Surface equation. */
+struct MachineConfig
+{
+    std::string name;
+    double freqHz = gigahertz(2.5);
+    u32 cores = 56;
+    /** Vector operations issued per core per cycle (2 AVX-512 units on
+     *  SPR; 1 for a DECA PE). */
+    double vopsPerCorePerCycle = 2.0;
+    /** Achievable memory bandwidth in bytes/second. */
+    double memBwBytesPerSec = gbPerSec(850.0);
+
+    /** VOS: vector operations per second across the machine. */
+    double
+    vosPerSec() const
+    {
+        return freqHz * cores * vopsPerCorePerCycle;
+    }
+
+    /** MOS: matrix (tile) operations per second across the machine. */
+    double
+    mosPerSec() const
+    {
+        return freqHz * cores / kTmulCyclesPerTileOp;
+    }
+
+    /** Copy with a scaled vector throughput (the Fig. 6 what-if). */
+    MachineConfig
+    withVosScale(double factor) const
+    {
+        MachineConfig m = *this;
+        m.vopsPerCorePerCycle *= factor;
+        m.name += " (VOSx" + std::to_string(factor).substr(0, 3) + ")";
+        return m;
+    }
+
+    /** Copy with a different active core count (Fig. 14 sweep). */
+    MachineConfig
+    withCores(u32 c) const
+    {
+        MachineConfig m = *this;
+        m.cores = c;
+        return m;
+    }
+
+    /** Copy describing the per-core DECA vector engine (1 vOp/cycle). */
+    MachineConfig
+    withDecaVectorEngine() const
+    {
+        MachineConfig m = *this;
+        m.vopsPerCorePerCycle = 1.0;
+        m.name += "+DECA";
+        return m;
+    }
+};
+
+/** 56-core SPR with DDR5 (~260 GB/s achievable). */
+MachineConfig sprDdr();
+
+/** 56-core SPR with HBM (~850 GB/s achievable). */
+MachineConfig sprHbm();
+
+} // namespace deca::roofsurface
+
+#endif // DECA_ROOFSURFACE_MACHINE_H

@@ -1,0 +1,73 @@
+#include "roofsurface/roof_surface.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deca::roofsurface {
+
+std::string
+boundName(Bound b)
+{
+    switch (b) {
+      case Bound::MEM:
+        return "MEM";
+      case Bound::VEC:
+        return "VEC";
+      case Bound::MTX:
+        return "MTX";
+    }
+    return "?";
+}
+
+RoofSurfacePoint
+evaluate(const MachineConfig &mach, const KernelSignature &sig)
+{
+    RoofSurfacePoint p{};
+    p.memRateTps = mach.memBwBytesPerSec * sig.aixm;
+    p.vecRateTps = mach.vosPerSec() * sig.aixv;
+    p.mtxRateTps = mach.mosPerSec();
+
+    p.tps = std::min({p.memRateTps, p.vecRateTps, p.mtxRateTps});
+    if (p.tps == p.memRateTps)
+        p.bound = Bound::MEM;
+    else if (p.tps == p.vecRateTps)
+        p.bound = Bound::VEC;
+    else
+        p.bound = Bound::MTX;
+    return p;
+}
+
+RoofSurfacePoint
+evaluateRoofline(const MachineConfig &mach, const KernelSignature &sig)
+{
+    RoofSurfacePoint p{};
+    p.memRateTps = mach.memBwBytesPerSec * sig.aixm;
+    p.vecRateTps = std::numeric_limits<double>::infinity();
+    p.mtxRateTps = mach.mosPerSec();
+    p.tps = std::min(p.memRateTps, p.mtxRateTps);
+    p.bound = p.tps == p.memRateTps ? Bound::MEM : Bound::MTX;
+    return p;
+}
+
+std::vector<SurfaceSample>
+sampleSurface(const MachineConfig &mach, u32 n, double aixm_max,
+              double aixv_max, u32 steps)
+{
+    DECA_ASSERT(steps >= 2, "need at least a 2x2 grid");
+    std::vector<SurfaceSample> out;
+    out.reserve(u64{steps} * steps);
+    for (u32 i = 0; i < steps; ++i) {
+        for (u32 j = 0; j < steps; ++j) {
+            KernelSignature sig;
+            sig.aixm = aixm_max * (i + 1) / steps;
+            sig.aixv = aixv_max * (j + 1) / steps;
+            const RoofSurfacePoint p = evaluate(mach, sig);
+            out.push_back({sig.aixm, sig.aixv, p.flops(n) / kTera,
+                           p.bound});
+        }
+    }
+    return out;
+}
+
+} // namespace deca::roofsurface

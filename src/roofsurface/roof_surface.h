@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Roof-Surface performance model (Section 4.1) and the traditional 2D
+ * roofline it generalizes.
+ *
+ * Tiles per second: TPS = min(MBW·AIXM, VOS·AIXV, MOS)          (Eq. 1)
+ * FLOPS            = 512 · N · TPS                              (Eq. 2)
+ *
+ * The three min terms define the MEM-, VEC-, and MTX-bound regions of the
+ * 3D surface; BORD (bord.h) is its 2D projection.
+ */
+
+#ifndef DECA_ROOFSURFACE_ROOF_SURFACE_H
+#define DECA_ROOFSURFACE_ROOF_SURFACE_H
+
+#include <string>
+#include <vector>
+
+#include "roofsurface/machine.h"
+#include "roofsurface/signature.h"
+
+namespace deca::roofsurface {
+
+/** Which term of the Roof-Surface equation limits a kernel. */
+enum class Bound
+{
+    MEM,  ///< memory bandwidth × AIXM is smallest
+    VEC,  ///< vector throughput × AIXV is smallest
+    MTX,  ///< matrix throughput is smallest
+};
+
+std::string boundName(Bound b);
+
+/** Roof-Surface evaluation result for one kernel on one machine. */
+struct RoofSurfacePoint
+{
+    double memRateTps;  ///< MBW · AIXM
+    double vecRateTps;  ///< VOS · AIXV
+    double mtxRateTps;  ///< MOS
+    double tps;         ///< min of the three
+    Bound bound;
+
+    /** Eq. 2: FLOPS (FMAs/s) for batch size n. */
+    double
+    flops(u32 n) const
+    {
+        return kFmasPerTileOpPerBatchRow * static_cast<double>(n) * tps;
+    }
+};
+
+/** Evaluate Eq. 1 for a kernel signature on a machine. */
+RoofSurfacePoint evaluate(const MachineConfig &mach,
+                          const KernelSignature &sig);
+
+/**
+ * Traditional 2D roofline bound (Figure 3): min(MBW·AIXM, MOS) in tiles/s
+ * — i.e. the Roof-Surface with the VEC term removed. The gap between this
+ * and evaluate() is exactly the decompression inefficiency the paper
+ * highlights.
+ */
+RoofSurfacePoint evaluateRoofline(const MachineConfig &mach,
+                                  const KernelSignature &sig);
+
+/** One sampled vertex of the 3D surface (for plotting / Figure 4a). */
+struct SurfaceSample
+{
+    double aixm;
+    double aixv;
+    double tflops;
+    Bound bound;
+};
+
+/**
+ * Sample the roofsurface z = FLOPS(aixm, aixv) over a rectangular grid,
+ * e.g. to regenerate Figure 4a as CSV.
+ */
+std::vector<SurfaceSample> sampleSurface(const MachineConfig &mach, u32 n,
+                                         double aixm_max, double aixv_max,
+                                         u32 steps);
+
+} // namespace deca::roofsurface
+
+#endif // DECA_ROOFSURFACE_ROOF_SURFACE_H

@@ -1,0 +1,79 @@
+#include "roofsurface/signature.h"
+
+#include "common/logging.h"
+#include "roofsurface/bubble_model.h"
+
+namespace deca::roofsurface {
+
+using compress::CompressionScheme;
+using compress::ElemFormat;
+
+u32
+softwareVopsPerTileRow(const CompressionScheme &scheme)
+{
+    // Unified derivation, matched op-for-op by the functional AVX
+    // emulation in kernels/sw_decompress.cc (a test enforces this):
+    //   load + store                                      : 2 ops
+    //   format widening core (see below)                  : 0..7 ops
+    //   scalar loop overhead                              : 1 op
+    //   sparse: kmov + vpexpand + popcnt (+cursor update
+    //           for sub-16-bit packing)                   : 3..4 ops
+    //   MX group scales: scale load + e8m0 insert +
+    //           multiply + fp32->BF16 convert             : 4 ops
+    const bool sparse = scheme.sparse();
+    u32 core = 0;
+    switch (scheme.format) {
+      case ElemFormat::BF16:
+        if (!sparse)
+            return 0;  // dense BF16 is loaded directly by tload
+        core = 0;
+        break;
+      case ElemFormat::BF8:
+      case ElemFormat::FP8_E4M3:
+        core = 2;  // permute-rebias + shift/insert widen
+        break;
+      case ElemFormat::FP6_E3M2:
+      case ElemFormat::FP6_E2M3:
+        core = 7;  // byte-straddling align (4) + 2x vpermb + merge
+        break;
+      case ElemFormat::FP4_E2M1:
+        core = 5;  // nibble split (2) + 2x vpermb + merge
+        break;
+    }
+    u32 total = 2 + core + 1;
+    if (sparse)
+        total += scheme.format == ElemFormat::BF16 ? 3 : 4;
+    if (scheme.groupQuant)
+        total += 4;
+    return total;
+}
+
+KernelSignature
+softwareSignature(const CompressionScheme &scheme)
+{
+    KernelSignature sig;
+    sig.name = scheme.name + "/sw";
+    sig.aixm = scheme.aixm();
+    const u32 per_row = softwareVopsPerTileRow(scheme);
+    if (per_row > 0)
+        sig.aixv = 1.0 / (static_cast<double>(per_row) * kTileRows);
+    return sig;
+}
+
+KernelSignature
+decaSignature(const CompressionScheme &scheme, u32 w, u32 l)
+{
+    DECA_ASSERT(w > 0 && kTileElems % w == 0,
+                "W must divide the 512-element tile");
+    KernelSignature sig;
+    sig.name = scheme.name + "/deca";
+    sig.aixm = scheme.aixm();
+
+    const double vops = static_cast<double>(kTileElems) / w;
+    const double bpv = expectedBubblesPerVop(w, l, scheme.quantBits(),
+                                             scheme.density);
+    sig.aixv = 1.0 / (vops * (1.0 + bpv));
+    return sig;
+}
+
+} // namespace deca::roofsurface

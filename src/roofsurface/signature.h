@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Kernel signatures for the Roof-Surface model (Section 4.1).
+ *
+ * A kernel's signature is the pair (AIXM, AIXV): matrix operations per
+ * memory byte and matrix operations per vector operation. Two kernels with
+ * the same signature have the same projected performance on a machine.
+ *
+ * AIXM comes from the compression scheme alone (1 / compressed bytes per
+ * tile). AIXV depends on *how* decompression is executed: the libxsmm AVX
+ * software sequence or a DECA PE with parameters {W, L}.
+ */
+
+#ifndef DECA_ROOFSURFACE_SIGNATURE_H
+#define DECA_ROOFSURFACE_SIGNATURE_H
+
+#include <limits>
+#include <string>
+
+#include "compress/scheme.h"
+#include "common/types.h"
+
+namespace deca::roofsurface {
+
+/** The kernel-dependent variables of the Roof-Surface equation. */
+struct KernelSignature
+{
+    std::string name;
+    /** Matrix (tile) operations per compressed byte from memory. */
+    double aixm = 0.0;
+    /** Matrix (tile) operations per vector operation; infinity when the
+     *  kernel needs no vector work (uncompressed BF16). */
+    double aixv = std::numeric_limits<double>::infinity();
+
+    /** Vector operations needed per tile (1/aixv; 0 when aixv = inf). */
+    double
+    vopsPerTile() const
+    {
+        return std::isinf(aixv) ? 0.0 : 1.0 / aixv;
+    }
+};
+
+/**
+ * AVX-512 vector operations per 32-element tile row for the libxsmm-style
+ * software decompression sequence. Derivation (one output row = one
+ * 512-bit register of 32 BF16 lanes; per-row counts are independent of
+ * density because masked expands process whole rows):
+ *
+ *  - Q16 sparse (vpexpandw path):   load nz segment, kmov mask chunk,
+ *    vpexpandw, store to L1 buffer, popcnt+pointer advance, loop overhead
+ *    => 6 ops/row.
+ *  - Q8 dense (upconvert path):     load, 2-op BF8->BF16 widen (permute +
+ *    shift/insert), store, loop overhead => 5 ops/row.
+ *  - Q8 sparse:                     load, kmov, vpexpandb, 2-op widen,
+ *    store, 2x popcnt/pointer, loop overhead => 9 ops/row.
+ *  - MXFP4 dense:                   load, nibble split (shift+mask, 2),
+ *    2x vpermb LUT lookups, merge, scale load/broadcast + e8m0 shift (3),
+ *    fp multiply, store, loop overhead => 12 ops/row.
+ *  - MXFP4 sparse:                  the above + kmov/vpexpandb/popcnt
+ *    => 15 ops/row.
+ *
+ * These counts put every kernel in the same BORD region as the paper's
+ * Figure 5 and reproduce the Figure 4b Roof-Surface bounds.
+ */
+u32 softwareVopsPerTileRow(const compress::CompressionScheme &scheme);
+
+/** Signature of the libxsmm software kernel for the scheme. */
+KernelSignature softwareSignature(const compress::CompressionScheme &scheme);
+
+/**
+ * Signature of a DECA kernel with PE parameters {W, L}: 512/W vOps per
+ * tile inflated by the expected dequantization bubbles (Section 6.2).
+ */
+KernelSignature decaSignature(const compress::CompressionScheme &scheme,
+                              u32 w, u32 l);
+
+} // namespace deca::roofsurface
+
+#endif // DECA_ROOFSURFACE_SIGNATURE_H

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Coroutine-based simulation processes.
+ *
+ * Each hardware agent (a core's kernel loop, a DECA loader, the PE
+ * pipeline) is written as a SimTask coroutine that co_awaits delays,
+ * signals, and semaphores on the shared EventQueue. This keeps the
+ * overlap/serialization structure of Sections 5.2-5.3 readable as
+ * straight-line code.
+ *
+ * SimTask coroutines start eagerly and self-destroy on completion;
+ * completion can be observed through Signal/Semaphore side effects.
+ */
+
+#ifndef DECA_SIM_CORO_H
+#define DECA_SIM_CORO_H
+
+#include <coroutine>
+#include <deque>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/event_queue.h"
+
+namespace deca::sim {
+
+/** Fire-and-forget simulation process. */
+class SimTask
+{
+  public:
+    struct promise_type
+    {
+        SimTask get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void
+        unhandled_exception()
+        {
+            // A simulation process must not throw; treat as a model bug.
+            DECA_PANIC("unhandled exception escaped a SimTask");
+        }
+    };
+};
+
+/** Awaitable: suspend for a number of cycles. */
+class Delay
+{
+  public:
+    Delay(EventQueue &q, Cycles dt) : q_(q), dt_(dt) {}
+
+    bool await_ready() const noexcept { return dt_ == 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        q_.schedule(dt_, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    EventQueue &q_;
+    Cycles dt_;
+};
+
+/**
+ * One-shot broadcast event. Awaiters resume (via the event queue, zero
+ * delay) once set(); awaiting an already-set signal does not suspend.
+ */
+class Signal
+{
+  public:
+    explicit Signal(EventQueue &q) : q_(q) {}
+
+    Signal(const Signal &) = delete;
+    Signal &operator=(const Signal &) = delete;
+
+    void
+    set()
+    {
+        if (set_)
+            return;
+        set_ = true;
+        for (auto h : waiters_)
+            q_.schedule(0, [h] { h.resume(); });
+        waiters_.clear();
+    }
+
+    /** Re-arm for reuse (only when no one is waiting). */
+    void
+    reset()
+    {
+        DECA_ASSERT(waiters_.empty(), "reset with pending waiters");
+        set_ = false;
+    }
+
+    bool isSet() const { return set_; }
+
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            Signal &s;
+            bool await_ready() const noexcept { return s.set_; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                s.waiters_.push_back(h);
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+  private:
+    EventQueue &q_;
+    bool set_ = false;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/** Counting semaphore for modelling structural hazards (ports, buffers,
+ *  MSHRs, TEPL in-flight limits). FIFO wakeup order. */
+class Semaphore
+{
+  public:
+    Semaphore(EventQueue &q, u32 initial) : q_(q), count_(initial) {}
+
+    Semaphore(const Semaphore &) = delete;
+    Semaphore &operator=(const Semaphore &) = delete;
+
+    auto
+    acquire()
+    {
+        struct Awaiter
+        {
+            Semaphore &s;
+            bool
+            await_ready() noexcept
+            {
+                if (s.count_ > 0) {
+                    --s.count_;
+                    return true;
+                }
+                return false;
+            }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                s.waiters_.push_back(h);
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    void
+    release()
+    {
+        if (!waiters_.empty()) {
+            auto h = waiters_.front();
+            waiters_.pop_front();
+            // The released token passes directly to the first waiter.
+            q_.schedule(0, [h] { h.resume(); });
+        } else {
+            ++count_;
+        }
+    }
+
+    u32 available() const { return count_; }
+    bool hasWaiters() const { return !waiters_.empty(); }
+
+  private:
+    EventQueue &q_;
+    u32 count_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Counter-valve: consumers await until at least `amount` units have been
+ * produced beyond what they already consumed. Used to gate decompression
+ * on the arrival of compressed bytes from memory.
+ */
+class ByteFlow
+{
+  public:
+    explicit ByteFlow(EventQueue &q) : q_(q) {}
+
+    ByteFlow(const ByteFlow &) = delete;
+    ByteFlow &operator=(const ByteFlow &) = delete;
+
+    /** Producer side: record `bytes` more bytes available. */
+    void
+    produce(u64 bytes)
+    {
+        produced_ += bytes;
+        wakeReady();
+    }
+
+    /** Consumer side awaitable: wait until `bytes` more can be consumed,
+     *  then consume them. Single consumer assumed. */
+    auto
+    consume(u64 bytes)
+    {
+        struct Awaiter
+        {
+            ByteFlow &f;
+            u64 need;
+            bool
+            await_ready() noexcept
+            {
+                if (f.produced_ >= f.consumed_ + need) {
+                    f.consumed_ += need;
+                    return true;
+                }
+                return false;
+            }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                DECA_ASSERT(!f.waiter_, "ByteFlow supports one consumer");
+                f.waiter_ = h;
+                f.need_ = need;
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, bytes};
+    }
+
+    u64 produced() const { return produced_; }
+    u64 consumed() const { return consumed_; }
+
+  private:
+    void
+    wakeReady()
+    {
+        if (waiter_ && produced_ >= consumed_ + need_) {
+            consumed_ += need_;
+            auto h = waiter_;
+            waiter_ = nullptr;
+            q_.schedule(0, [h] { h.resume(); });
+        }
+    }
+
+    EventQueue &q_;
+    u64 produced_ = 0;
+    u64 consumed_ = 0;
+    std::coroutine_handle<> waiter_ = nullptr;
+    u64 need_ = 0;
+};
+
+} // namespace deca::sim
+
+#endif // DECA_SIM_CORO_H

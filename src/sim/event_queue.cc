@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace deca::sim {
+
+void
+EventQueue::scheduleAt(Cycles when, Callback cb)
+{
+    DECA_ASSERT(when >= now_, "cannot schedule into the past");
+    events_.push(Event{when, seq_++, std::move(cb)});
+}
+
+Cycles
+EventQueue::run()
+{
+    return runUntil(~Cycles{0});
+}
+
+Cycles
+EventQueue::runUntil(Cycles limit)
+{
+    while (!events_.empty() && events_.top().when <= limit) {
+        // Move the callback out before popping so the event may schedule
+        // new events (including at the current cycle).
+        Event ev = std::move(const_cast<Event &>(events_.top()));
+        events_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.cb();
+    }
+    return now_;
+}
+
+} // namespace deca::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * All simulated agents (cores, DECA PEs, loaders, the memory channel)
+ * share one EventQueue and one global cycle clock. Events scheduled for
+ * the same cycle fire in insertion order, which keeps runs deterministic.
+ */
+
+#ifndef DECA_SIM_EVENT_QUEUE_H
+#define DECA_SIM_EVENT_QUEUE_H
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deca::sim {
+
+/** The global event queue / clock of one simulation. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated cycle. */
+    Cycles now() const { return now_; }
+
+    /** Schedule a callback `delta` cycles in the future (0 = this cycle,
+     *  after currently-running events). */
+    void
+    schedule(Cycles delta, Callback cb)
+    {
+        events_.push(Event{now_ + delta, seq_++, std::move(cb)});
+    }
+
+    /** Schedule at an absolute cycle (must not be in the past). */
+    void scheduleAt(Cycles when, Callback cb);
+
+    /** Run until the queue is empty. Returns the final cycle. */
+    Cycles run();
+
+    /** Run until the queue empties or `limit` cycles elapse. */
+    Cycles runUntil(Cycles limit);
+
+    bool empty() const { return events_.empty(); }
+    u64 eventsExecuted() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Cycles when;
+        u64 seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    Cycles now_ = 0;
+    u64 seq_ = 0;
+    u64 executed_ = 0;
+};
+
+} // namespace deca::sim
+
+#endif // DECA_SIM_EVENT_QUEUE_H

@@ -1,0 +1,65 @@
+#include "sim/fetch_stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deca::sim {
+
+FetchStream::FetchStream(EventQueue &q, MemorySystem &mem,
+                         const FetchStreamConfig &cfg, u64 total_bytes)
+    : q_(q), mem_(mem), cfg_(cfg), total_bytes_(total_bytes), flow_(q),
+      alive_(std::make_shared<bool>(true))
+{
+    DECA_ASSERT(cfg.mshrs >= 1, "need at least one MSHR");
+    kick();
+}
+
+FetchStream::~FetchStream()
+{
+    *alive_ = false;
+}
+
+u64
+FetchStream::windowBytes() const
+{
+    switch (cfg_.policy) {
+      case PrefetchPolicy::None:
+        return 0;
+      case PrefetchPolicy::L2Stream:
+        return u64{cfg_.prefetchLines} * kCacheLineBytes;
+      case PrefetchPolicy::DecaPf:
+        // The DECA prefetcher throttles itself to keep the L2 MSHRs
+        // occupied: lookahead effectively spans the full MSHR budget.
+        return u64{cfg_.mshrs} * kCacheLineBytes;
+    }
+    return 0;
+}
+
+void
+FetchStream::kick()
+{
+    const u64 limit =
+        std::min(total_bytes_, demand_bytes_ + windowBytes());
+    while (issued_bytes_ < limit && in_flight_ < cfg_.mshrs) {
+        const u64 line = std::min<u64>(kCacheLineBytes,
+                                       total_bytes_ - issued_bytes_);
+        issued_bytes_ += line;
+        ++in_flight_;
+        auto alive = alive_;
+        mem_.read(line, [this, alive, line] {
+            if (!*alive)
+                return;
+            // Deliver after the on-chip portion of the path.
+            q_.schedule(cfg_.onChipLatency, [this, alive, line] {
+                if (!*alive)
+                    return;
+                --in_flight_;
+                flow_.produce(line);
+                kick();
+            });
+        });
+    }
+}
+
+} // namespace deca::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-requester fetch front end: the path from a consumer (the software
+ * decompression loop or a DECA Loader) through the cache hierarchy to the
+ * shared memory channel.
+ *
+ * A FetchStream issues line-granularity reads, keeps up to `mshrs` lines
+ * in flight, and may run ahead of demand by a prefetch window:
+ *
+ *  - window = 0                : pure demand fetching (Fig. 17 "Base" —
+ *    DECA reads the LLC with no prefetcher; latency fully exposed),
+ *  - window = l2PrefetchLines  : an L2 stream prefetcher with fixed
+ *    degree (Fig. 17 "+Reads L2"; also the software kernel's default),
+ *  - window = mshrs            : DECA's own prefetcher, which adapts its
+ *    aggressiveness to keep L2 MSHR occupancy high (Fig. 17
+ *    "+DECA prefetcher", Sec. 6.1).
+ */
+
+#ifndef DECA_SIM_FETCH_STREAM_H
+#define DECA_SIM_FETCH_STREAM_H
+
+#include <memory>
+
+#include "sim/coro.h"
+#include "sim/memory_system.h"
+
+namespace deca::sim {
+
+/** Prefetch policy of a fetch stream. */
+enum class PrefetchPolicy
+{
+    None,      ///< demand fetch only
+    L2Stream,  ///< fixed-degree stream prefetcher
+    DecaPf,    ///< MSHR-occupancy-driven prefetcher (DECA's own)
+};
+
+/** Configuration of one fetch stream. */
+struct FetchStreamConfig
+{
+    PrefetchPolicy policy = PrefetchPolicy::L2Stream;
+    /** Cache lines of stream-prefetcher lookahead (L2Stream policy). */
+    u32 prefetchLines = 16;
+    /** Outstanding line fetches allowed (L2 MSHRs). */
+    u32 mshrs = 48;
+    /** On-chip latency added to every delivered line (L2 + LLC path). */
+    Cycles onChipLatency = 85;
+};
+
+/**
+ * A sequential compressed-weight stream feeding one consumer.
+ *
+ * The consumer declares the total bytes it will read up front (weights
+ * stream with no reuse, so the access pattern is fully sequential), then
+ * repeatedly awaits chunks. A producer process fetches lines from memory
+ * subject to the policy's lookahead and the MSHR budget.
+ */
+class FetchStream
+{
+  public:
+    FetchStream(EventQueue &q, MemorySystem &mem,
+                const FetchStreamConfig &cfg, u64 total_bytes);
+    ~FetchStream();
+
+    FetchStream(const FetchStream &) = delete;
+    FetchStream &operator=(const FetchStream &) = delete;
+
+    /** Awaitable: block until `bytes` more of the stream have arrived. */
+    auto
+    fetch(u64 bytes)
+    {
+        demand_bytes_ += bytes;
+        kick();
+        return flow_.consume(bytes);
+    }
+
+    /** Bytes delivered so far. */
+    u64 delivered() const { return flow_.produced(); }
+
+    u64 totalBytes() const { return total_bytes_; }
+
+  private:
+    /** Issue any lines allowed by the current demand/window, within the
+     *  MSHR budget. */
+    void kick();
+
+    /** Lookahead in bytes beyond current demand. */
+    u64 windowBytes() const;
+
+    EventQueue &q_;
+    MemorySystem &mem_;
+    FetchStreamConfig cfg_;
+    u64 total_bytes_;
+    u64 demand_bytes_ = 0;   ///< bytes the consumer has asked for
+    u64 issued_bytes_ = 0;   ///< bytes sent to the memory system
+    u32 in_flight_ = 0;      ///< line fetches outstanding (<= mshrs)
+    ByteFlow flow_;
+    /** Guards against kick() reentry from completion callbacks after
+     *  destruction; FetchStream must outlive the simulation run. */
+    std::shared_ptr<bool> alive_;
+};
+
+} // namespace deca::sim
+
+#endif // DECA_SIM_FETCH_STREAM_H

@@ -1,0 +1,44 @@
+#include "sim/memory_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deca::sim {
+
+MemorySystem::MemorySystem(EventQueue &q, double bytes_per_cycle,
+                           Cycles latency)
+    : q_(q), bytes_per_cycle_(bytes_per_cycle), latency_(latency)
+{
+    DECA_ASSERT(bytes_per_cycle > 0.0, "bandwidth must be positive");
+}
+
+void
+MemorySystem::read(u64 bytes, std::function<void()> on_done)
+{
+    DECA_ASSERT(bytes > 0, "zero-byte read");
+    const double now = static_cast<double>(q_.now());
+    const double service = static_cast<double>(bytes) / bytes_per_cycle_;
+
+    const double start = std::max(now, channel_free_);
+    channel_free_ = start + service;
+    busy_cycles_ += service;
+    bytes_served_ += bytes;
+
+    const double done = channel_free_ + static_cast<double>(latency_);
+    const Cycles when = static_cast<Cycles>(std::ceil(done));
+    q_.scheduleAt(std::max(when, q_.now()), std::move(on_done));
+}
+
+double
+MemorySystem::utilization(Cycles start, Cycles end) const
+{
+    if (end <= start)
+        return 0.0;
+    // busy_cycles_ accumulates over the whole run; callers measuring a
+    // window should snapshot busyCycles() at the window edges instead.
+    return std::min(1.0, busy_cycles_ / static_cast<double>(end - start));
+}
+
+} // namespace deca::sim

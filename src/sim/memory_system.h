@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared memory channel model.
+ *
+ * All cores and DECA loaders contend for one channel with a fixed service
+ * rate (bytes per cycle) and a fixed access latency. Requests are served
+ * FIFO at line granularity: each line occupies the channel for
+ * line_bytes / bytes_per_cycle and completes latency cycles after its
+ * channel slot. Utilization statistics feed Table 3.
+ */
+
+#ifndef DECA_SIM_MEMORY_SYSTEM_H
+#define DECA_SIM_MEMORY_SYSTEM_H
+
+#include <functional>
+
+#include "common/stats.h"
+#include "sim/coro.h"
+#include "sim/event_queue.h"
+
+namespace deca::sim {
+
+/** The shared DRAM channel (DDR5 or HBM aggregate). */
+class MemorySystem
+{
+  public:
+    /**
+     * @param q The simulation event queue.
+     * @param bytes_per_cycle Aggregate achievable bandwidth.
+     * @param latency Access latency charged after the channel slot.
+     */
+    MemorySystem(EventQueue &q, double bytes_per_cycle, Cycles latency);
+
+    /**
+     * Issue a read of `bytes` (one or more consecutive lines). `on_done`
+     * runs when the last byte arrives at the requester.
+     */
+    void read(u64 bytes, std::function<void()> on_done);
+
+    /** Awaitable form of read() for coroutine agents. */
+    auto
+    readAwait(u64 bytes)
+    {
+        struct Awaiter
+        {
+            MemorySystem &m;
+            u64 bytes;
+            bool await_ready() const noexcept { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                m.read(bytes, [h] { h.resume(); });
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, bytes};
+    }
+
+    /** Total bytes transferred so far. */
+    u64 bytesServed() const { return bytes_served_; }
+
+    /** Channel utilization over [start, end] cycles. */
+    double utilization(Cycles start, Cycles end) const;
+
+    /** Snapshot of bytesServed for windowed measurements. */
+    u64 busyCycles() const { return static_cast<u64>(busy_cycles_); }
+
+    double bytesPerCycle() const { return bytes_per_cycle_; }
+    Cycles latency() const { return latency_; }
+
+  private:
+    EventQueue &q_;
+    double bytes_per_cycle_;
+    Cycles latency_;
+    /** Next cycle at which the channel is free (fractional accumulator
+     *  kept in double to avoid rounding bias at high rates). */
+    double channel_free_ = 0.0;
+    u64 bytes_served_ = 0;
+    double busy_cycles_ = 0.0;
+};
+
+} // namespace deca::sim
+
+#endif // DECA_SIM_MEMORY_SYSTEM_H

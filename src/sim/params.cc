@@ -1,0 +1,27 @@
+#include "sim/params.h"
+
+namespace deca::sim {
+
+SimParams
+sprDdrParams()
+{
+    SimParams p;
+    p.name = "spr-ddr";
+    p.memKind = MemoryKind::DDR5;
+    p.memBwGBs = 260.0;
+    p.memLatency = 240;  // DDR5 round trip is a little longer than HBM's
+    return p;
+}
+
+SimParams
+sprHbmParams()
+{
+    SimParams p;
+    p.name = "spr-hbm";
+    p.memKind = MemoryKind::HBM;
+    p.memBwGBs = 850.0;
+    p.memLatency = 220;
+    return p;
+}
+
+} // namespace deca::sim

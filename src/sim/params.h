@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Simulated system parameters (Section 8 methodology): a 56-core SPR-like
+ * server at 2.5 GHz with either DDR5 (~260 GB/s achievable) or HBM
+ * (~850 GB/s achievable).
+ */
+
+#ifndef DECA_SIM_PARAMS_H
+#define DECA_SIM_PARAMS_H
+
+#include <string>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace deca::sim {
+
+/** Memory technology of the simulated server. */
+enum class MemoryKind
+{
+    DDR5,
+    HBM,
+};
+
+/** All timing/sizing parameters of the simulated system. */
+struct SimParams
+{
+    std::string name = "spr-hbm";
+    double freqGhz = 2.5;
+    u32 cores = 56;
+    MemoryKind memKind = MemoryKind::HBM;
+
+    /** Achievable memory bandwidth (GB/s). */
+    double memBwGBs = 850.0;
+    /** DRAM access latency beyond the on-chip hierarchy, in cycles. */
+    Cycles memLatency = 220;
+    /** Added latency of an LLC-slice hop (NoC + slice access). */
+    Cycles llcLatency = 60;
+    /** L2 hit latency. */
+    Cycles l2Latency = 25;
+    /** Miss-handling registers per L2 (bounds outstanding line fetches). */
+    u32 l2Mshrs = 48;
+
+    /** AVX-512 SIMD execution units per core. */
+    u32 avxUnitsPerCore = 2;
+    /**
+     * Upper bound on vector ops issued per cycle imposed by the core's
+     * superscalar front end. Cores already spend 40-80% of commit slots on
+     * the decompression loop (Sec. 4.2), so adding SIMD units beyond this
+     * cannot raise vector throughput without widening the whole core.
+     */
+    u32 maxVectorIssuePerCycle = 4;
+
+    /** TMUL tile-multiply occupancy (Sec. 2.3). */
+    Cycles tmulCycles = 16;
+    /** tload latency from an L1-resident software buffer (overlapped by
+     *  OoO; charged only when the pipeline has no other work). */
+    Cycles tloadL1Cycles = 8;
+
+    /** One-way core->DECA control-register store latency. */
+    Cycles coreToDecaStore = 12;
+    /** Core read of a DECA TOut register (tload over the local link). */
+    Cycles decaToCoreRead = 12;
+    /** Extra serialization cost of a memory fence draining the store
+     *  buffer (store-based invocation only, Sec. 5.2). */
+    Cycles fenceCycles = 20;
+
+    /** Stream-prefetcher lookahead in cache lines (L2 prefetcher). The
+     *  prefetcher ramps its degree on long streams; kernels with larger
+     *  per-tile footprints see a deeper effective window (modelled as
+     *  max(l2PrefetchLines, 2 x tile lines)). */
+    u32 l2PrefetchLines = 24;
+
+    /** Scalar bookkeeping between tiles in the software kernel (buffer
+     *  swap, loop control) that is not overlapped with AVX work. */
+    Cycles swTileOverhead = 6;
+
+    double
+    freqHz() const
+    {
+        return gigahertz(freqGhz);
+    }
+
+    /** Shared memory channel throughput in bytes per core cycle. */
+    double
+    memBytesPerCycle() const
+    {
+        return gbPerSec(memBwGBs) / freqHz();
+    }
+};
+
+/** The DDR5-based SPR configuration of the paper. */
+SimParams sprDdrParams();
+
+/** The HBM-based SPR configuration of the paper. */
+SimParams sprHbmParams();
+
+} // namespace deca::sim
+
+#endif // DECA_SIM_PARAMS_H

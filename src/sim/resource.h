@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Busy-time-tracked hardware resources (TMUL units, AVX engines, DECA
+ * PEs). Each resource is owned by exactly one simulation process, which
+ * serializes operations by program order; the resource only accounts busy
+ * cycles so utilization can be reported (Table 3).
+ */
+
+#ifndef DECA_SIM_RESOURCE_H
+#define DECA_SIM_RESOURCE_H
+
+#include <string>
+
+#include "sim/coro.h"
+
+namespace deca::sim {
+
+/** A single-owner functional unit with busy-cycle accounting. */
+class BusyResource
+{
+  public:
+    BusyResource(EventQueue &q, std::string name)
+        : q_(q), name_(std::move(name))
+    {}
+
+    /**
+     * Occupy the unit for `n` cycles: returns an awaitable delay and
+     * accounts the time as busy. The owning process must co_await the
+     * result immediately.
+     */
+    Delay
+    busy(Cycles n)
+    {
+        busy_cycles_ += n;
+        return Delay(q_, n);
+    }
+
+    /** Account busy time without suspending (overlapped work). */
+    void accountOnly(Cycles n) { busy_cycles_ += n; }
+
+    u64 busyCycles() const { return busy_cycles_; }
+
+    /** Utilization given a measurement window and a busy-cycle snapshot
+     *  taken at the window start. */
+    double
+    utilization(u64 busy_at_start, Cycles window) const
+    {
+        if (window == 0)
+            return 0.0;
+        const u64 delta = busy_cycles_ - busy_at_start;
+        const double u = static_cast<double>(delta) /
+                         static_cast<double>(window);
+        return u > 1.0 ? 1.0 : u;
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    EventQueue &q_;
+    std::string name_;
+    u64 busy_cycles_ = 0;
+};
+
+} // namespace deca::sim
+
+#endif // DECA_SIM_RESOURCE_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the Section 8 area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deca/area_model.h"
+
+namespace deca::accel {
+namespace {
+
+TEST(AreaModel, AnchorMatchesPaperTotal)
+{
+    // 56 PEs at {W=32, L=8} ~ 2.51 mm^2 in 7 nm.
+    EXPECT_NEAR(estimateTotalArea(decaBestConfig(), 56), 2.51, 0.01);
+}
+
+TEST(AreaModel, AnchorBreakdownMatchesPaperSplit)
+{
+    const PeArea a = estimatePeArea(decaBestConfig());
+    EXPECT_NEAR(a.loadersAndQueues / a.total(), 0.55, 0.01);
+    EXPECT_NEAR(a.lutArray / a.total(), 0.22, 0.01);
+    EXPECT_NEAR(a.datapathRest / a.total(), 0.23, 0.01);
+}
+
+TEST(AreaModel, DieOverheadBelowPaperBound)
+{
+    // Sec. 8: less than 0.2% of a ~1600 mm^2 56-core SPR die.
+    EXPECT_LT(dieOverhead(decaBestConfig(), 56), 0.002);
+    EXPECT_GT(dieOverhead(decaBestConfig(), 56), 0.001);
+}
+
+TEST(AreaModel, LutAreaLinearInL)
+{
+    const PeArea l8 = estimatePeArea(DecaConfig{32, 8, 3});
+    const PeArea l16 = estimatePeArea(DecaConfig{32, 16, 3});
+    const PeArea l32 = estimatePeArea(DecaConfig{32, 32, 3});
+    EXPECT_NEAR(l16.lutArray / l8.lutArray, 2.0, 1e-9);
+    EXPECT_NEAR(l32.lutArray / l8.lutArray, 4.0, 1e-9);
+}
+
+TEST(AreaModel, OverprovisionedCostsMuchMore)
+{
+    const double best = estimateTotalArea(decaBestConfig(), 56);
+    const double over = estimateTotalArea(decaOverConfig(), 56);
+    EXPECT_GT(over / best, 2.0);
+}
+
+TEST(AreaModel, UnderprovisionedCostsLess)
+{
+    EXPECT_LT(estimateTotalArea(decaUnderConfig(), 56),
+              estimateTotalArea(decaBestConfig(), 56));
+}
+
+TEST(AreaModel, CrossbarGrowsSuperlinearlyWithW)
+{
+    // Doubling W should more than double the datapath-rest area (the
+    // crossbar term is quadratic).
+    const PeArea w32 = estimatePeArea(DecaConfig{32, 8, 3});
+    const PeArea w64 = estimatePeArea(DecaConfig{64, 8, 3});
+    EXPECT_GT(w64.datapathRest / w32.datapathRest, 2.0);
+}
+
+TEST(AreaModel, TotalScalesWithPeCount)
+{
+    const DecaConfig cfg = decaBestConfig();
+    EXPECT_NEAR(estimateTotalArea(cfg, 112),
+                2.0 * estimateTotalArea(cfg, 56), 1e-9);
+}
+
+} // namespace
+} // namespace deca::accel

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit and property tests for the BF16 scalar type.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/bf16.h"
+#include "common/rng.h"
+
+namespace deca {
+namespace {
+
+TEST(Bf16, DefaultIsPositiveZero)
+{
+    Bf16 z;
+    EXPECT_EQ(z.bits(), 0u);
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z.toFloat(), 0.0f);
+}
+
+TEST(Bf16, NegativeZeroIsZero)
+{
+    Bf16 nz = Bf16::fromFloat(-0.0f);
+    EXPECT_TRUE(nz.isZero());
+    EXPECT_EQ(nz.bits(), 0x8000u);
+}
+
+TEST(Bf16, ExactValuesRoundTrip)
+{
+    // Values whose significand fits in 8 bits are exact in BF16.
+    const float exact[] = {1.0f,   -1.0f, 0.5f,    2.0f,  -3.5f,
+                           128.0f, 0.25f, -0.125f, 6.0f,  1.5f,
+                           0.75f,  96.0f, -192.0f, 40.0f,
+                           std::ldexp(1.0f, 100)};
+    for (float f : exact) {
+        EXPECT_EQ(Bf16::fromFloat(f).toFloat(), f) << f;
+    }
+}
+
+TEST(Bf16, RoundsToNearestEven)
+{
+    // 1 + 2^-8 is exactly halfway between 1.0 and the next BF16; RNE
+    // rounds to the even significand (1.0).
+    const float halfway = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(Bf16::fromFloat(halfway).toFloat(), 1.0f);
+    // 1 + 3*2^-8 is halfway between 1+2^-7 and 1+2^-6; even is 1+2^-6.
+    const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -8);
+    EXPECT_EQ(Bf16::fromFloat(halfway2).toFloat(),
+              1.0f + std::ldexp(1.0f, -6));
+}
+
+TEST(Bf16, RoundingErrorBounded)
+{
+    // Relative error of BF16 rounding is at most 2^-8 for normal values.
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const float f = rng.uniformFloat(-100.0f, 100.0f);
+        if (f == 0.0f)
+            continue;
+        const float g = Bf16::fromFloat(f).toFloat();
+        EXPECT_LE(std::abs(g - f), std::abs(f) * std::ldexp(1.0f, -8))
+            << f;
+    }
+}
+
+TEST(Bf16, RoundTripIsIdempotent)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const float f = rng.gaussian(5.0f);
+        const Bf16 once = Bf16::fromFloat(f);
+        const Bf16 twice = Bf16::fromFloat(once.toFloat());
+        EXPECT_EQ(once.bits(), twice.bits());
+    }
+}
+
+TEST(Bf16, InfinityPreserved)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(std::isinf(Bf16::fromFloat(inf).toFloat()));
+    EXPECT_TRUE(std::isinf(Bf16::fromFloat(-inf).toFloat()));
+    EXPECT_LT(Bf16::fromFloat(-inf).toFloat(), 0.0f);
+}
+
+TEST(Bf16, NanPreservedAsNan)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(Bf16::fromFloat(nan).toFloat()));
+}
+
+TEST(Bf16, LargeFiniteRoundsUpToInfinity)
+{
+    // Values beyond the largest BF16 (~3.39e38) overflow to inf via RNE.
+    EXPECT_TRUE(std::isinf(Bf16::fromFloat(3.4e38f).toFloat()));
+}
+
+TEST(Bf16, OrderPreserved)
+{
+    Rng rng(21);
+    for (int i = 0; i < 5000; ++i) {
+        const float a = rng.uniformFloat(-50.0f, 50.0f);
+        const float b = rng.uniformFloat(-50.0f, 50.0f);
+        const float qa = Bf16::fromFloat(a).toFloat();
+        const float qb = Bf16::fromFloat(b).toFloat();
+        if (a < b) {
+            EXPECT_LE(qa, qb);
+        }
+    }
+}
+
+TEST(Bf16, MulMatchesFloatMulRounded)
+{
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        const Bf16 a = Bf16::fromFloat(rng.gaussian(1.0f));
+        const Bf16 b = Bf16::fromFloat(rng.gaussian(1.0f));
+        const Bf16 p = mulBf16(a, b);
+        EXPECT_EQ(p.bits(),
+                  Bf16::fromFloat(a.toFloat() * b.toFloat()).bits());
+    }
+}
+
+TEST(Bf16, PowerOfTwoScalingIsExact)
+{
+    // Multiplying by powers of two only shifts the exponent, so BF16
+    // values stay exact — the property DECA's scaling stage relies on.
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const Bf16 a = Bf16::fromFloat(rng.gaussian(1.0f));
+        for (int e = -8; e <= 8; ++e) {
+            const float scale = std::ldexp(1.0f, e);
+            EXPECT_EQ(mulBf16(a, Bf16::fromFloat(scale)).toFloat(),
+                      a.toFloat() * scale);
+        }
+    }
+}
+
+} // namespace
+} // namespace deca

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the binomial helpers behind the Roof-Surface bubble model.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/binomial.h"
+#include "common/rng.h"
+
+namespace deca {
+namespace {
+
+TEST(BinomialPmf, SumsToOne)
+{
+    for (double p : {0.05, 0.2, 0.5, 0.95}) {
+        for (u32 n : {1u, 8u, 32u, 64u}) {
+            double sum = 0.0;
+            for (u32 k = 0; k <= n; ++k)
+                sum += binomialPmf(n, k, p);
+            EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << n << " p=" << p;
+        }
+    }
+}
+
+TEST(BinomialPmf, DegenerateProbabilities)
+{
+    EXPECT_EQ(binomialPmf(10, 0, 0.0), 1.0);
+    EXPECT_EQ(binomialPmf(10, 3, 0.0), 0.0);
+    EXPECT_EQ(binomialPmf(10, 10, 1.0), 1.0);
+    EXPECT_EQ(binomialPmf(10, 9, 1.0), 0.0);
+    EXPECT_EQ(binomialPmf(10, 11, 0.5), 0.0);
+}
+
+TEST(BinomialPmf, MatchesClosedFormSmallCases)
+{
+    // Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+    EXPECT_NEAR(binomialPmf(4, 0, 0.5), 1.0 / 16, 1e-12);
+    EXPECT_NEAR(binomialPmf(4, 1, 0.5), 4.0 / 16, 1e-12);
+    EXPECT_NEAR(binomialPmf(4, 2, 0.5), 6.0 / 16, 1e-12);
+}
+
+TEST(BinomialPmf, MeanMatches)
+{
+    for (double p : {0.1, 0.3, 0.7}) {
+        const u32 n = 32;
+        double mean = 0.0;
+        for (u32 k = 0; k <= n; ++k)
+            mean += k * binomialPmf(n, k, p);
+        EXPECT_NEAR(mean, n * p, 1e-9);
+    }
+}
+
+TEST(BinomialCdf, MonotonicAndBounded)
+{
+    const u32 n = 32;
+    const double p = 0.3;
+    double prev = 0.0;
+    for (i64 k = -1; k <= n + 2; ++k) {
+        const double c = binomialCdf(k, n, p);
+        EXPECT_GE(c, prev);
+        EXPECT_GE(c, 0.0);
+        EXPECT_LE(c, 1.0);
+        prev = c;
+    }
+    EXPECT_EQ(binomialCdf(-1, n, p), 0.0);
+    EXPECT_EQ(binomialCdf(n, n, p), 1.0);
+}
+
+TEST(BinomialCdfExclusive, StrictInequalityConvention)
+{
+    const u32 n = 16;
+    const double p = 0.5;
+    // P(X < 4) == P(X <= 3).
+    EXPECT_NEAR(binomialCdfExclusive(4.0, n, p), binomialCdf(3, n, p),
+                1e-12);
+    // Non-integer threshold: P(X < 3.5) == P(X <= 3).
+    EXPECT_NEAR(binomialCdfExclusive(3.5, n, p), binomialCdf(3, n, p),
+                1e-12);
+    EXPECT_EQ(binomialCdfExclusive(0.0, n, p), 0.0);
+}
+
+TEST(BinomialCdf, AgreesWithMonteCarlo)
+{
+    Rng rng(99);
+    const u32 n = 32;
+    const double p = 0.2;
+    const int trials = 200000;
+    int le_8 = 0;
+    for (int t = 0; t < trials; ++t) {
+        u32 count = 0;
+        for (u32 i = 0; i < n; ++i)
+            count += rng.bernoulli(p) ? 1 : 0;
+        if (count <= 8)
+            ++le_8;
+    }
+    EXPECT_NEAR(static_cast<double>(le_8) / trials, binomialCdf(8, n, p),
+                5e-3);
+}
+
+} // namespace
+} // namespace deca

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the 512-bit tile sparsity bitmask.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/bitmask.h"
+
+namespace deca::compress {
+namespace {
+
+TileBitmask
+randomMask(double density, u64 seed)
+{
+    Rng rng(seed);
+    TileBitmask m;
+    for (u32 i = 0; i < kTileElems; ++i)
+        m.set(i, rng.bernoulli(density));
+    return m;
+}
+
+TEST(TileBitmask, SetGetRoundTrip)
+{
+    TileBitmask m;
+    for (u32 i = 0; i < kTileElems; i += 7)
+        m.set(i, true);
+    for (u32 i = 0; i < kTileElems; ++i)
+        EXPECT_EQ(m.get(i), i % 7 == 0);
+    m.set(0, false);
+    EXPECT_FALSE(m.get(0));
+}
+
+TEST(TileBitmask, PopcountMatchesManualCount)
+{
+    const TileBitmask m = randomMask(0.3, 42);
+    u32 manual = 0;
+    for (u32 i = 0; i < kTileElems; ++i)
+        manual += m.get(i) ? 1 : 0;
+    EXPECT_EQ(m.popcount(), manual);
+}
+
+TEST(TileBitmask, WindowPopcountsSumToTotal)
+{
+    const TileBitmask m = randomMask(0.5, 43);
+    for (u32 w : {8u, 16u, 32u, 64u}) {
+        u32 sum = 0;
+        for (u32 base = 0; base < kTileElems; base += w)
+            sum += m.popcountWindow(base, w);
+        EXPECT_EQ(sum, m.popcount()) << "w=" << w;
+    }
+}
+
+TEST(TileBitmask, ExpansionIndicesAreCompaction)
+{
+    const TileBitmask m = randomMask(0.4, 44);
+    const u32 w = 32;
+    for (u32 base = 0; base < kTileElems; base += w) {
+        const auto idx = m.expansionIndices(base, w);
+        i32 expect = 0;
+        for (u32 j = 0; j < w; ++j) {
+            if (m.get(base + j)) {
+                EXPECT_EQ(idx[j], expect);
+                ++expect;
+            } else {
+                EXPECT_EQ(idx[j], -1);
+            }
+        }
+        EXPECT_EQ(static_cast<u32>(expect), m.popcountWindow(base, w));
+    }
+}
+
+TEST(TileBitmask, BytesRoundTrip)
+{
+    const TileBitmask m = randomMask(0.25, 45);
+    const auto bytes = m.toBytes();
+    EXPECT_EQ(bytes.size(), 64u);  // 512 bits
+    EXPECT_EQ(TileBitmask::fromBytes(bytes), m);
+}
+
+TEST(TileBitmask, EmptyAndFull)
+{
+    TileBitmask empty;
+    EXPECT_EQ(empty.popcount(), 0u);
+    TileBitmask full;
+    for (u32 i = 0; i < kTileElems; ++i)
+        full.set(i, true);
+    EXPECT_EQ(full.popcount(), kTileElems);
+    EXPECT_EQ(full.popcountWindow(100, 32), 32u);
+}
+
+TEST(TileBitmask, DensityStatisticsMatchBernoulli)
+{
+    // Across many random masks, mean window popcount approaches W*d.
+    double total = 0.0;
+    const u32 w = 32;
+    const double d = 0.2;
+    const int masks = 200;
+    for (int s = 0; s < masks; ++s) {
+        const TileBitmask m = randomMask(d, 1000 + s);
+        for (u32 base = 0; base < kTileElems; base += w)
+            total += m.popcountWindow(base, w);
+    }
+    const double mean = total / (masks * (kTileElems / w));
+    EXPECT_NEAR(mean, w * d, 0.2);
+}
+
+} // namespace
+} // namespace deca::compress

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for bit-level code packing (the nonzero-array memory image).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/bitpack.h"
+
+namespace deca::compress {
+namespace {
+
+class BitpackWidths : public ::testing::TestWithParam<u32>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitpackWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           12u, 16u));
+
+TEST_P(BitpackWidths, RoundTripsRandomCodes)
+{
+    const u32 bits = GetParam();
+    Rng rng(bits * 1000 + 7);
+    std::vector<u32> codes;
+    BitPacker packer;
+    for (int i = 0; i < 1000; ++i) {
+        const u32 c = static_cast<u32>(rng.below(1u << bits));
+        codes.push_back(c);
+        packer.append(c, bits);
+    }
+    const std::vector<u8> bytes = packer.finish();
+    EXPECT_EQ(bytes.size(), (1000 * bits + 7) / 8);
+
+    BitUnpacker unpacker(bytes);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(unpacker.next(bits), codes[static_cast<u32>(i)]);
+}
+
+TEST_P(BitpackWidths, RandomAccessMatchesSequential)
+{
+    const u32 bits = GetParam();
+    Rng rng(bits * 77 + 3);
+    std::vector<u32> codes;
+    BitPacker packer;
+    for (int i = 0; i < 257; ++i) {
+        const u32 c = static_cast<u32>(rng.below(1u << bits));
+        codes.push_back(c);
+        packer.append(c, bits);
+    }
+    const std::vector<u8> bytes = packer.finish();
+    BitUnpacker unpacker(bytes);
+    for (u32 i = 0; i < codes.size(); ++i)
+        EXPECT_EQ(unpacker.at(i, bits), codes[i]);
+}
+
+TEST(Bitpack, HighBitsAboveWidthIgnored)
+{
+    BitPacker p;
+    p.append(0xffu, 4);  // only low 4 bits kept
+    const auto bytes = p.finish();
+    BitUnpacker u(bytes);
+    EXPECT_EQ(u.next(4), 0x0fu);
+}
+
+TEST(Bitpack, BitCountTracksAppends)
+{
+    BitPacker p;
+    p.append(1, 3);
+    p.append(1, 3);
+    p.append(1, 3);
+    EXPECT_EQ(p.bitCount(), 9u);
+    EXPECT_EQ(p.finish().size(), 2u);
+}
+
+TEST(Bitpack, TailPaddedWithZeros)
+{
+    BitPacker p;
+    p.append(0b101, 3);
+    const auto bytes = p.finish();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0b00000101);
+}
+
+TEST(Bitpack, FourBitCodesPackTwoPerByte)
+{
+    BitPacker p;
+    p.append(0xA, 4);
+    p.append(0xB, 4);
+    const auto bytes = p.finish();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0xBA);  // little-endian-first packing
+}
+
+} // namespace
+} // namespace deca::compress

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the Section 6.2 bubble model: Lq rules, the dense bound, the
+ * binomial expectation, and agreement between the paper's CDF bucket
+ * formula, our direct sum, and Monte-Carlo simulation of real bitmasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/binomial.h"
+#include "common/rng.h"
+#include "roofsurface/bubble_model.h"
+
+namespace deca::roofsurface {
+namespace {
+
+TEST(DequantLanes, PaperRules)
+{
+    // Lq = L for 8-bit, 2L for 7-bit, 4L for <=6-bit.
+    EXPECT_EQ(dequantLanes(8, 8), 8u);
+    EXPECT_EQ(dequantLanes(8, 7), 16u);
+    EXPECT_EQ(dequantLanes(8, 6), 32u);
+    EXPECT_EQ(dequantLanes(8, 4), 32u);
+    EXPECT_EQ(dequantLanes(4, 8), 4u);
+    EXPECT_EQ(dequantLanes(64, 4), 256u);
+}
+
+TEST(BubblesForWindow, CeilingRule)
+{
+    // W=32, L=8, 8-bit: Lq=8 -> ceil(nz/8)-1 bubbles.
+    EXPECT_EQ(bubblesForWindow(0, 8, 8), 0u);
+    EXPECT_EQ(bubblesForWindow(1, 8, 8), 0u);
+    EXPECT_EQ(bubblesForWindow(8, 8, 8), 0u);
+    EXPECT_EQ(bubblesForWindow(9, 8, 8), 1u);
+    EXPECT_EQ(bubblesForWindow(16, 8, 8), 1u);
+    EXPECT_EQ(bubblesForWindow(17, 8, 8), 2u);
+    EXPECT_EQ(bubblesForWindow(32, 8, 8), 3u);
+}
+
+TEST(BubblesForWindow, SixteenBitSkipsDequant)
+{
+    EXPECT_EQ(bubblesForWindow(32, 8, 16), 0u);
+    EXPECT_EQ(expectedBubblesPerVop(32, 8, 16, 0.5), 0.0);
+}
+
+TEST(BubblesForWindow, FourBitUsesSubLuts)
+{
+    // 4-bit: Lq = 4*8 = 32 -> a full 32-wide dense window needs no
+    // bubbles (the MXFP4 case on the best DECA).
+    EXPECT_EQ(bubblesForWindow(32, 8, 4), 0u);
+}
+
+TEST(ExpectedBubbles, DenseDeterministicBound)
+{
+    // Dense 8-bit with W=32, L=8: ceil(32/8)-1 = 3 bubbles per vOp.
+    EXPECT_DOUBLE_EQ(expectedBubblesPerVop(32, 8, 8, 1.0), 3.0);
+    // Underprovisioned {8,4}: ceil(8/4)-1 = 1.
+    EXPECT_DOUBLE_EQ(expectedBubblesPerVop(8, 4, 8, 1.0), 1.0);
+    // Overprovisioned {64,64}: 0.
+    EXPECT_DOUBLE_EQ(expectedBubblesPerVop(64, 64, 8, 1.0), 0.0);
+}
+
+TEST(ExpectedBubbles, MonotoneInDensity)
+{
+    double prev = 0.0;
+    for (double d : {0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0}) {
+        const double b = expectedBubblesPerVop(32, 8, 8, d);
+        EXPECT_GE(b, prev) << d;
+        prev = b;
+    }
+}
+
+TEST(ExpectedBubbles, MatchesPaperCdfFormula)
+{
+    // The paper's formula: sum_k k*[F((k+1)Lq;W,d) - F(k*Lq;W,d)].
+    // Exactly nz = k*Lq nonzeros need only k cycles (k-1 bubbles), so
+    // the bucket boundaries must use the inclusive CDF convention
+    // (P(X <= x)); with that convention the formula matches our direct
+    // pmf sum to machine precision.
+    const u32 w = 32;
+    const u32 l = 8;
+    const u32 lq = dequantLanes(l, 8);
+    for (double d : {0.05, 0.2, 0.5, 0.9}) {
+        double paper = 0.0;
+        for (u32 k = 1; k < w / lq; ++k) {
+            paper += k * (binomialCdf((k + 1) * lq, w, d) -
+                          binomialCdf(k * lq, w, d));
+        }
+        EXPECT_NEAR(expectedBubblesPerVop(w, l, 8, d), paper, 1e-9)
+            << "d=" << d;
+    }
+}
+
+TEST(ExpectedBubbles, MatchesMonteCarloWindows)
+{
+    Rng rng(31);
+    const u32 w = 32;
+    const u32 l = 8;
+    for (double d : {0.1, 0.3, 0.5}) {
+        double total = 0.0;
+        const int windows = 60000;
+        for (int i = 0; i < windows; ++i) {
+            u32 nz = 0;
+            for (u32 j = 0; j < w; ++j)
+                nz += rng.bernoulli(d) ? 1 : 0;
+            total += bubblesForWindow(nz, l, 8);
+        }
+        EXPECT_NEAR(total / windows, expectedBubblesPerVop(w, l, 8, d),
+                    0.02)
+            << "d=" << d;
+    }
+}
+
+TEST(ExpectedBubbles, SparserSchemesGetFewerBubbles)
+{
+    // Section 6.1: fewer bubbles for sparse schemes on the same L, which
+    // naturally raises DECA throughput where the BORD needs it.
+    const double dense = expectedBubblesPerVop(32, 8, 8, 1.0);
+    const double half = expectedBubblesPerVop(32, 8, 8, 0.5);
+    const double sparse = expectedBubblesPerVop(32, 8, 8, 0.05);
+    EXPECT_GT(dense, half);
+    EXPECT_GT(half, sparse);
+    EXPECT_LT(sparse, 0.01);
+}
+
+TEST(ExpectedBubbles, LowerBitWidthGetsFewerBubbles)
+{
+    EXPECT_GT(expectedBubblesPerVop(32, 8, 8, 1.0),
+              expectedBubblesPerVop(32, 8, 7, 1.0));
+    EXPECT_GT(expectedBubblesPerVop(32, 8, 7, 1.0),
+              expectedBubblesPerVop(32, 8, 6, 1.0));
+}
+
+} // namespace
+} // namespace deca::roofsurface

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for lazy DECA context switching (Section 5.1): trap on foreign
+ * touch, free re-acquisition by the owner, and the win over eager
+ * save/restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deca/context.h"
+
+namespace deca::accel {
+namespace {
+
+class ContextTest : public ::testing::Test
+{
+  protected:
+    ContextTest() : pipe_(decaBestConfig()), mgr_(pipe_, costs_) {}
+
+    ContextSwitchCosts costs_{};
+    DecaPipeline pipe_;
+    DecaContextManager mgr_;
+};
+
+TEST_F(ContextTest, FirstAcquireTraps)
+{
+    const Cycles c = mgr_.acquire(1, compress::schemeQ8Dense());
+    EXPECT_GT(c, costs_.trapCycles);
+    EXPECT_EQ(mgr_.statTraps(), 1u);
+    EXPECT_EQ(mgr_.owner().value(), 1u);
+    EXPECT_TRUE(pipe_.configuredFor(compress::schemeQ8Dense()));
+}
+
+TEST_F(ContextTest, OwnerReacquiresForFree)
+{
+    mgr_.acquire(1, compress::schemeQ8Dense());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(mgr_.acquire(1, compress::schemeQ8Dense()), 0u);
+    EXPECT_EQ(mgr_.statTraps(), 1u);
+    EXPECT_EQ(mgr_.statOwnershipHits(), 10u);
+}
+
+TEST_F(ContextTest, ForeignProcessTrapsAndReconfigures)
+{
+    mgr_.acquire(1, compress::schemeQ8Dense());
+    const Cycles c = mgr_.acquire(2, compress::schemeMxfp4());
+    EXPECT_GT(c, 0u);
+    EXPECT_EQ(mgr_.owner().value(), 2u);
+    EXPECT_TRUE(pipe_.configuredFor(compress::schemeMxfp4()));
+    EXPECT_FALSE(pipe_.configuredFor(compress::schemeQ8Dense()));
+}
+
+TEST_F(ContextTest, SchemeChangeByOwnerAlsoTraps)
+{
+    // Same process, different scheme: the configuration (LUTs) must be
+    // reinstalled.
+    mgr_.acquire(1, compress::schemeQ8Dense());
+    EXPECT_GT(mgr_.acquire(1, compress::schemeMxfp4()), 0u);
+}
+
+TEST_F(ContextTest, StateBytesCoverLutArray)
+{
+    // {W=32, L=8}: 8 LUTs x 256 entries x 2B = 4 KiB of LUT state plus
+    // the control registers.
+    EXPECT_GE(mgr_.stateBytes(), u64{8} * 256 * 2);
+    EXPECT_LT(mgr_.stateBytes(), u64{8} * 256 * 2 + 256);
+}
+
+TEST_F(ContextTest, LazyBeatsEagerUnderOwnerAffinity)
+{
+    // A realistic schedule: one inference process touches DECA 100
+    // times, one other process touches twice.
+    Cycles lazy = 0;
+    lazy += mgr_.acquire(1, compress::schemeQ8Dense());
+    for (int i = 0; i < 50; ++i)
+        lazy += mgr_.acquire(1, compress::schemeQ8Dense());
+    lazy += mgr_.acquire(2, compress::schemeMxfp4());
+    for (int i = 0; i < 50; ++i)
+        lazy += mgr_.acquire(2, compress::schemeMxfp4());
+    EXPECT_LT(lazy, mgr_.eagerAlternativeCycles() / 10);
+}
+
+TEST_F(ContextTest, PingPongDegeneratesToEager)
+{
+    // Two processes alternating every acquire: lazy traps every time
+    // (minus hits none), matching eager behaviour.
+    for (int i = 0; i < 10; ++i) {
+        mgr_.acquire(1, compress::schemeQ8Dense());
+        mgr_.acquire(2, compress::schemeMxfp4());
+    }
+    EXPECT_EQ(mgr_.statTraps(), 20u);
+    EXPECT_EQ(mgr_.statOwnershipHits(), 0u);
+}
+
+} // namespace
+} // namespace deca::accel

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the analytical design-space exploration (Section 9.2 /
+ * Figure 16): the balanced design must come out as {W=32, L=8}.
+ */
+
+#include <gtest/gtest.h>
+
+#include "roofsurface/dse.h"
+#include "roofsurface/signature.h"
+
+namespace deca::roofsurface {
+namespace {
+
+std::vector<u32>
+paperWs()
+{
+    return {8, 16, 32, 64};
+}
+
+std::vector<u32>
+paperLs()
+{
+    return {4, 8, 16, 32, 64};
+}
+
+TEST(Dse, BalancedDesignIsW32L8)
+{
+    const DseCandidate best = pickBalancedDesign(
+        sprHbm(), compress::paperSchemes(), paperWs(), paperLs());
+    EXPECT_EQ(best.w, 32u);
+    EXPECT_EQ(best.l, 8u);
+    EXPECT_EQ(best.vecBoundKernels, 0u);
+}
+
+TEST(Dse, UnderprovisionedStaysVecBound)
+{
+    const auto candidates = exploreDesignSpace(
+        sprHbm(), compress::paperSchemes(), {8}, {4});
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_GT(candidates[0].vecBoundKernels, 0u);
+}
+
+TEST(Dse, OverprovisionedClearsVecButCostsMore)
+{
+    const auto over = exploreDesignSpace(
+        sprHbm(), compress::paperSchemes(), {64}, {64});
+    ASSERT_EQ(over.size(), 1u);
+    EXPECT_EQ(over[0].vecBoundKernels, 0u);
+
+    const DseCandidate best = pickBalancedDesign(
+        sprHbm(), compress::paperSchemes(), paperWs(), paperLs());
+    EXPECT_GT(over[0].cost(), best.cost());
+    // Fig. 16 commentary: 8x fewer LUTs and half the W for the best.
+    EXPECT_EQ(over[0].l / best.l, 8u);
+    EXPECT_EQ(over[0].w / best.w, 2u);
+}
+
+TEST(Dse, OverprovisionedGainsLittleThroughput)
+{
+    // Sec. 9.2: the overprovisioned design is <3% faster than the best.
+    const MachineConfig mach = sprHbm().withDecaVectorEngine();
+    double best_tps = 0.0;
+    double over_tps = 0.0;
+    for (const auto &s : compress::paperSchemes()) {
+        best_tps += evaluate(mach, decaSignature(s, 32, 8)).tps;
+        over_tps += evaluate(mach, decaSignature(s, 64, 64)).tps;
+    }
+    EXPECT_LT(over_tps / best_tps, 1.03);
+    EXPECT_GE(over_tps, best_tps);
+}
+
+TEST(Dse, UnderprovisionedRoughlyHalfThroughput)
+{
+    // Sec. 9.2: DECA-best is ~2x faster than DECA-underprovisioned.
+    const MachineConfig mach = sprHbm().withDecaVectorEngine();
+    double best_tps = 0.0;
+    double under_tps = 0.0;
+    for (const auto &s : compress::paperSchemes()) {
+        best_tps += evaluate(mach, decaSignature(s, 32, 8)).tps;
+        under_tps += evaluate(mach, decaSignature(s, 8, 4)).tps;
+    }
+    EXPECT_NEAR(best_tps / under_tps, 2.0, 0.5);
+}
+
+TEST(Dse, ExploreSkipsLGreaterThanW)
+{
+    const auto candidates = exploreDesignSpace(
+        sprHbm(), compress::paperSchemes(), {8}, {4, 8, 16, 32});
+    for (const auto &c : candidates)
+        EXPECT_LE(c.l, c.w);
+    EXPECT_EQ(candidates.size(), 2u);  // {8,4} and {8,8}
+}
+
+TEST(Dse, CostModelMonotone)
+{
+    EXPECT_LT((DseCandidate{32, 8, 0, 0}.cost()),
+              (DseCandidate{64, 64, 0, 0}.cost()));
+    EXPECT_LT((DseCandidate{8, 4, 0, 0}.cost()),
+              (DseCandidate{32, 8, 0, 0}.cost()));
+}
+
+TEST(Dse, FallbackWhenNothingEscapesVec)
+{
+    // With only tiny candidates, pick the least VEC-bound one.
+    const DseCandidate best = pickBalancedDesign(
+        sprHbm(), compress::paperSchemes(), {8}, {4, 8});
+    EXPECT_EQ(best.w, 8u);
+    EXPECT_GT(best.vecBoundKernels, 0u);
+}
+
+} // namespace
+} // namespace deca::roofsurface

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the first-order energy model behind the Section 9.1
+ * core-freeing/power-gating claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/energy_model.h"
+
+namespace deca::kernels {
+namespace {
+
+GemmResult
+fakeResult(Cycles cycles, u64 tiles, double util_deca)
+{
+    GemmResult r;
+    r.cycles = cycles;
+    r.tilesProcessed = tiles;
+    r.utilDeca = util_deca;
+    return r;
+}
+
+TEST(EnergyModel, ComponentsAddUp)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmResult r = fakeResult(2'500'000, 10000, 0.5);
+    const EnergyResult e =
+        estimateEnergy(r, compress::schemeQ8Dense(), p, 56);
+    EXPECT_NEAR(e.totalJ(),
+                e.coreJ + e.gatedJ + e.decaJ + e.uncoreJ + e.dramJ,
+                1e-12);
+    EXPECT_GT(e.coreJ, 0.0);
+    EXPECT_EQ(e.gatedJ, 0.0);  // all 56 cores active
+    EXPECT_GT(e.dramJ, 0.0);
+}
+
+TEST(EnergyModel, TimeScalesStaticComponents)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const auto s = compress::schemeQ8Dense();
+    const EnergyResult e1 =
+        estimateEnergy(fakeResult(1'000'000, 1000, 0.0), s, p, 56);
+    const EnergyResult e2 =
+        estimateEnergy(fakeResult(2'000'000, 1000, 0.0), s, p, 56);
+    EXPECT_NEAR(e2.coreJ / e1.coreJ, 2.0, 1e-9);
+    EXPECT_NEAR(e2.uncoreJ / e1.uncoreJ, 2.0, 1e-9);
+    EXPECT_NEAR(e2.dramJ, e1.dramJ, 1e-12);  // same bytes
+}
+
+TEST(EnergyModel, GatedCoresCostLess)
+{
+    sim::SimParams p16 = sim::sprHbmParams();
+    p16.cores = 16;
+    const auto s = compress::schemeQ8Dense();
+    const GemmResult r = fakeResult(1'000'000, 1000, 0.5);
+    const EnergyResult gated = estimateEnergy(r, s, p16, 56);
+    sim::SimParams p56 = sim::sprHbmParams();
+    const EnergyResult full = estimateEnergy(r, s, p56, 56);
+    // 16 active + 40 gated burns far less core power than 56 active.
+    EXPECT_LT(gated.coreJ + gated.gatedJ, full.coreJ * 0.45);
+}
+
+TEST(EnergyModel, DramEnergyTracksCompressedBytes)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmResult r = fakeResult(1'000'000, 1000, 0.0);
+    const EnergyResult bf16 =
+        estimateEnergy(r, compress::schemeBf16(), p, 56);
+    const EnergyResult q8_5 =
+        estimateEnergy(r, compress::schemeQ8(0.05), p, 56);
+    EXPECT_NEAR(bf16.dramJ / q8_5.dramJ,
+                compress::schemeBf16().bytesPerTile() /
+                    compress::schemeQ8(0.05).bytesPerTile(),
+                1e-6);
+}
+
+TEST(EnergyModel, DdrCostsMorePerByte)
+{
+    const GemmResult r = fakeResult(1'000'000, 1000, 0.0);
+    const auto s = compress::schemeQ8Dense();
+    const EnergyResult hbm =
+        estimateEnergy(r, s, sim::sprHbmParams(), 56);
+    const EnergyResult ddr =
+        estimateEnergy(r, s, sim::sprDdrParams(), 56);
+    EXPECT_GT(ddr.dramJ, hbm.dramJ);
+}
+
+TEST(EnergyModel, EdpAndPerTileHelpers)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmResult r = fakeResult(2'500'000, 1000, 0.0);
+    const EnergyResult e =
+        estimateEnergy(r, compress::schemeQ8Dense(), p, 56);
+    EXPECT_NEAR(e.seconds, 1e-3, 1e-9);  // 2.5M cycles at 2.5 GHz
+    EXPECT_NEAR(e.edp(), e.totalJ() * e.seconds, 1e-12);
+    EXPECT_NEAR(e.joulesPerTile(1000), e.totalJ() / 1000.0, 1e-12);
+}
+
+TEST(EnergyModel, EndToEndDecaSixteenCoresBeatsSoftwareFiftySix)
+{
+    // The paper's Sec. 9.1 claim, energy edition: 16 DECA cores doing
+    // the same work as 56 software cores burn less energy.
+    sim::SimParams ddr = sim::sprDdrParams();
+    GemmWorkload w;
+    w.scheme = compress::schemeQ8(0.1);
+    w.batchN = 4;
+    w.tilesPerCore = 96;
+    w.poolTiles = 16;
+
+    ddr.cores = 56;
+    GemmWorkload w56 = w;
+    const GemmResult sw = runGemmSteady(ddr, KernelConfig::software(), w56);
+    const EnergyResult sw_e = estimateEnergy(sw, w.scheme, ddr, 56);
+
+    ddr.cores = 16;
+    // Equal total work: 16 cores process 3.5x the tiles per core.
+    GemmWorkload w16 = w;
+    w16.tilesPerCore = w.tilesPerCore * 56 / 16;
+    const GemmResult deca =
+        runGemmSteady(ddr, KernelConfig::decaKernel(), w16);
+    const EnergyResult deca_e = estimateEnergy(deca, w.scheme, ddr, 56);
+
+    EXPECT_LT(deca_e.joulesPerTile(deca.tilesProcessed),
+              sw_e.joulesPerTile(sw.tilesProcessed));
+}
+
+} // namespace
+} // namespace deca::kernels

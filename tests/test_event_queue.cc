@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace deca::sim {
+namespace {
+
+TEST(EventQueue, StartsAtCycleZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, SameCycleFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(1, [&] {
+            ++fired;
+            q.schedule(0, [&] { ++fired; });
+        });
+    });
+    q.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.now(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] { ++fired; });
+    q.schedule(50, [&] { ++fired; });
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ScheduleAtAbsoluteTime)
+{
+    EventQueue q;
+    Cycles seen = 0;
+    q.schedule(3, [&] {
+        q.scheduleAt(9, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 9u);
+}
+
+TEST(EventQueue, ZeroDelayRunsThisCycleAfterCurrent)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(4, [&] {
+        order.push_back(1);
+        q.schedule(0, [&] { order.push_back(3); });
+        order.push_back(2);
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 4u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 42; ++i)
+        q.schedule(static_cast<Cycles>(i), [] {});
+    q.run();
+    EXPECT_EQ(q.eventsExecuted(), 42u);
+}
+
+} // namespace
+} // namespace deca::sim

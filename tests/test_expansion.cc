@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the expansion stage: POPCNT, parallel prefix sum (Sklansky
+ * network), and crossbar de-sparsification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/bitmask.h"
+#include "deca/expansion.h"
+
+namespace deca::accel {
+namespace {
+
+std::vector<u8>
+randomBits(u32 n, double density, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u8> bits(n);
+    for (auto &b : bits)
+        b = rng.bernoulli(density) ? 1 : 0;
+    return bits;
+}
+
+TEST(PrefixSum, MatchesSequentialScan)
+{
+    for (u32 n : {1u, 7u, 8u, 16u, 32u, 33u, 64u}) {
+        for (double d : {0.0, 0.2, 0.5, 1.0}) {
+            const auto bits = randomBits(n, d, n * 100 + 1);
+            const auto psum = parallelPrefixSum(bits);
+            u32 running = 0;
+            for (u32 i = 0; i < n; ++i) {
+                EXPECT_EQ(psum[i], running) << "n=" << n << " i=" << i;
+                running += bits[i];
+            }
+        }
+    }
+}
+
+TEST(PrefixSum, EmptyWindow)
+{
+    EXPECT_TRUE(parallelPrefixSum({}).empty());
+}
+
+TEST(Popcount, CountsOnes)
+{
+    EXPECT_EQ(popcountWindow({1, 0, 1, 1, 0}), 3u);
+    EXPECT_EQ(popcountWindow({}), 0u);
+    EXPECT_EQ(popcountWindow(std::vector<u8>(32, 1)), 32u);
+}
+
+TEST(Crossbar, ExpandsIntoDensePositions)
+{
+    const std::vector<u8> bits = {0, 1, 0, 0, 1, 1, 0, 1};
+    const std::vector<Bf16> sparse = {
+        Bf16::fromFloat(1.0f), Bf16::fromFloat(2.0f),
+        Bf16::fromFloat(3.0f), Bf16::fromFloat(4.0f)};
+    const auto dense = crossbarExpand(bits, sparse);
+    ASSERT_EQ(dense.size(), 8u);
+    EXPECT_EQ(dense[0].toFloat(), 0.0f);
+    EXPECT_EQ(dense[1].toFloat(), 1.0f);
+    EXPECT_EQ(dense[4].toFloat(), 2.0f);
+    EXPECT_EQ(dense[5].toFloat(), 3.0f);
+    EXPECT_EQ(dense[7].toFloat(), 4.0f);
+}
+
+TEST(Crossbar, AllZeroWindow)
+{
+    const auto dense = crossbarExpand(std::vector<u8>(16, 0), {});
+    for (const auto &v : dense)
+        EXPECT_TRUE(v.isZero());
+}
+
+TEST(Crossbar, FullyDenseWindowIsIdentity)
+{
+    std::vector<Bf16> vals;
+    for (int i = 0; i < 16; ++i)
+        vals.push_back(Bf16::fromFloat(static_cast<float>(i + 1)));
+    const auto dense = crossbarExpand(std::vector<u8>(16, 1), vals);
+    for (u32 i = 0; i < 16; ++i)
+        EXPECT_EQ(dense[i].bits(), vals[i].bits());
+}
+
+TEST(Crossbar, AgreesWithBitmaskExpansionIndices)
+{
+    // The hardware path (prefix sum + crossbar) must match the golden
+    // TileBitmask::expansionIndices compaction for every window.
+    Rng rng(77);
+    compress::TileBitmask mask;
+    for (u32 i = 0; i < kTileElems; ++i)
+        mask.set(i, rng.bernoulli(0.35));
+
+    const u32 w = 32;
+    for (u32 base = 0; base < kTileElems; base += w) {
+        std::vector<u8> bits(w);
+        for (u32 j = 0; j < w; ++j)
+            bits[j] = mask.get(base + j) ? 1 : 0;
+
+        const u32 nz = popcountWindow(bits);
+        std::vector<Bf16> sparse;
+        for (u32 k = 0; k < nz; ++k)
+            sparse.push_back(Bf16::fromFloat(static_cast<float>(k + 1)));
+
+        const auto dense = crossbarExpand(bits, sparse);
+        const auto idx = mask.expansionIndices(base, w);
+        for (u32 j = 0; j < w; ++j) {
+            if (idx[j] < 0) {
+                EXPECT_TRUE(dense[j].isZero());
+            } else {
+                EXPECT_EQ(dense[j].toFloat(),
+                          static_cast<float>(idx[j] + 1));
+            }
+        }
+    }
+}
+
+TEST(Crossbar, PropertyPreservesValueMultiset)
+{
+    Rng rng(91);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto bits = randomBits(32, rng.uniform(), 1000 + trial);
+        const u32 nz = popcountWindow(bits);
+        std::vector<Bf16> sparse;
+        for (u32 k = 0; k < nz; ++k)
+            sparse.push_back(Bf16::fromFloat(rng.gaussian(1.0f)));
+        const auto dense = crossbarExpand(bits, sparse);
+        // Nonzero lanes in order must reproduce the sparse sequence.
+        u32 k = 0;
+        for (u32 j = 0; j < 32; ++j) {
+            if (bits[j]) {
+                EXPECT_EQ(dense[j].bits(), sparse[k].bits());
+                ++k;
+            }
+        }
+        EXPECT_EQ(k, nz);
+    }
+}
+
+} // namespace
+} // namespace deca::accel

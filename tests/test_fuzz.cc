@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Randomized cross-model fuzzing: arbitrary (format, density, group,
+ * {W,L}) combinations pushed through compression, the DECA pipeline,
+ * and the golden decompressor must always agree bit-exactly, and the
+ * timing contract must always hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/quantizer.h"
+#include "compress/reference_decompress.h"
+#include "deca/pipeline.h"
+#include "roofsurface/bubble_model.h"
+
+namespace deca {
+namespace {
+
+compress::CompressionScheme
+randomScheme(Rng &rng)
+{
+    using compress::ElemFormat;
+    compress::CompressionScheme s;
+    const ElemFormat formats[] = {
+        ElemFormat::BF16,     ElemFormat::BF8,      ElemFormat::FP8_E4M3,
+        ElemFormat::FP6_E3M2, ElemFormat::FP6_E2M3, ElemFormat::FP4_E2M1,
+    };
+    s.format = formats[rng.below(6)];
+    // Densities from very sparse to dense, including exactly 1.0.
+    const double densities[] = {0.02, 0.05, 0.1, 0.25, 0.5, 0.8, 1.0};
+    s.density = densities[rng.below(7)];
+    // Group quantization only for sub-8-bit formats (as in MX).
+    if (s.format != ElemFormat::BF16 && rng.bernoulli(0.5)) {
+        s.groupQuant = true;
+        s.groupSize = rng.bernoulli(0.5) ? 32 : 64;
+    }
+    s.name = "fuzz";
+    return s;
+}
+
+accel::DecaConfig
+randomConfig(Rng &rng)
+{
+    const u32 ws[] = {8, 16, 32, 64};
+    accel::DecaConfig cfg;
+    cfg.w = ws[rng.below(4)];
+    const u32 ls[] = {1, 2, 4, 8, 16, 32, 64};
+    do {
+        cfg.l = ls[rng.below(7)];
+    } while (cfg.l > cfg.w);
+    return cfg;
+}
+
+compress::DenseTile
+randomTile(double density, Rng &rng)
+{
+    compress::DenseTile t;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        if (rng.bernoulli(density)) {
+            float v = rng.gaussian(0.05f);
+            t[i] = Bf16::fromFloat(v == 0.0f ? 0.05f : v);
+        }
+    }
+    return t;
+}
+
+TEST(Fuzz, PipelineAlwaysMatchesGolden)
+{
+    Rng rng(0xfeed);
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto scheme = randomScheme(rng);
+        const auto cfg = randomConfig(rng);
+        const auto tile = randomTile(scheme.density, rng);
+        const auto ct = compress::compressTile(tile, scheme);
+
+        accel::DecaPipeline pipe(cfg);
+        pipe.configure(scheme);
+        const auto out = pipe.decompress(ct);
+        const auto golden = compress::referenceDecompress(ct);
+        ASSERT_EQ(out.tile, golden)
+            << "trial " << trial << " fmt "
+            << compress::elemFormatName(scheme.format) << " d "
+            << scheme.density << " W" << cfg.w << " L" << cfg.l;
+    }
+}
+
+TEST(Fuzz, TimingContractAlwaysHolds)
+{
+    Rng rng(0xbeef);
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto scheme = randomScheme(rng);
+        const auto cfg = randomConfig(rng);
+        const auto ct = compress::compressTile(
+            randomTile(scheme.density, rng), scheme);
+
+        accel::DecaPipeline pipe(cfg);
+        pipe.configure(scheme);
+        const auto out = pipe.decompress(ct);
+
+        ASSERT_EQ(out.vops, kTileElems / cfg.w);
+        ASSERT_EQ(out.cycles,
+                  out.vops + out.bubbles + (cfg.pipelineDepth - 1));
+        ASSERT_EQ(pipe.tileCycles(ct), out.cycles);
+
+        // Per-vOp bubbles match the deterministic window rule.
+        for (const auto &v : out.trace) {
+            ASSERT_EQ(v.bubbles,
+                      roofsurface::bubblesForWindow(
+                          v.windowNonzeros, cfg.l, scheme.quantBits()));
+        }
+    }
+}
+
+TEST(Fuzz, CompressionRoundTripIdempotent)
+{
+    Rng rng(0xcafe);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto scheme = randomScheme(rng);
+        const auto tile = randomTile(scheme.density, rng);
+        const auto once = compress::roundTrip(tile, scheme);
+        const auto twice = compress::roundTrip(once, scheme);
+        ASSERT_EQ(once, twice) << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, MeasuredBytesMatchSchemeMath)
+{
+    Rng rng(0xd0d0);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto scheme = randomScheme(rng);
+        const auto ct = compress::compressTile(
+            randomTile(scheme.density, rng), scheme);
+        // Bitmask and scale sizes are exact; data size matches the
+        // actual nonzero count (bit-packed, rounded to bytes).
+        ASSERT_EQ(ct.bitmaskBytes(),
+                  scheme.sparse() ? kTileElems / 8 : 0u);
+        ASSERT_EQ(ct.scaleBytes(),
+                  scheme.groupQuant ? kTileElems / scheme.groupSize : 0u);
+        ASSERT_EQ(ct.dataBytes(),
+                  (u64{ct.numNonzeros} * scheme.quantBits() + 7) / 8);
+    }
+}
+
+} // namespace
+} // namespace deca

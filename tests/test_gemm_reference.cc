@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the functional GeMM reference (the TMUL contract).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "compress/gemm_reference.h"
+
+namespace deca::compress {
+namespace {
+
+FloatMatrix
+randomActivations(u32 n, u32 k, u64 seed)
+{
+    Rng rng(seed);
+    FloatMatrix x(n, k);
+    for (u32 r = 0; r < n; ++r)
+        for (u32 c = 0; c < k; ++c)
+            x.at(r, c) = rng.gaussian(1.0f);
+    return x;
+}
+
+TEST(TmulTileOp, MatchesNaiveDotProduct)
+{
+    Rng rng(1);
+    const WeightMatrix w = generateWeights(16, 32, 1.0, rng);
+    const DenseTile tile = w.tile(0, 0);
+    const FloatMatrix a = randomActivations(4, 32, 2);
+    FloatMatrix c(4, 16);
+    tmulTileOp(a, 0, tile, c, 0);
+    for (u32 n = 0; n < 4; ++n) {
+        for (u32 m = 0; m < 16; ++m) {
+            float expect = 0.0f;
+            for (u32 k = 0; k < 32; ++k)
+                expect += a.at(n, k) * tile.at(m, k).toFloat();
+            EXPECT_NEAR(c.at(n, m), expect, 1e-4f);
+        }
+    }
+}
+
+TEST(TmulTileOp, Accumulates)
+{
+    Rng rng(3);
+    const WeightMatrix w = generateWeights(16, 32, 1.0, rng);
+    const DenseTile tile = w.tile(0, 0);
+    const FloatMatrix a = randomActivations(2, 32, 4);
+    FloatMatrix c(2, 16);
+    tmulTileOp(a, 0, tile, c, 0);
+    FloatMatrix c2(2, 16);
+    tmulTileOp(a, 0, tile, c2, 0);
+    tmulTileOp(a, 0, tile, c2, 0);
+    for (u32 n = 0; n < 2; ++n)
+        for (u32 m = 0; m < 16; ++m)
+            EXPECT_NEAR(c2.at(n, m), 2.0f * c.at(n, m), 1e-4f);
+}
+
+TEST(GemmReference, MatchesNaiveFullMatrix)
+{
+    Rng rng(5);
+    const WeightMatrix w = generateWeights(32, 64, 1.0, rng);
+    const FloatMatrix x = randomActivations(4, 64, 6);
+    const FloatMatrix y = gemmReference(x, w);
+    ASSERT_EQ(y.rows(), 4u);
+    ASSERT_EQ(y.cols(), 32u);
+    for (u32 n = 0; n < 4; ++n) {
+        for (u32 m = 0; m < 32; ++m) {
+            float expect = 0.0f;
+            for (u32 k = 0; k < 64; ++k)
+                expect += x.at(n, k) * w.at(m, k).toFloat();
+            EXPECT_NEAR(y.at(n, m), expect, 1e-3f);
+        }
+    }
+}
+
+TEST(GemmCompressed, LosslessSchemesMatchDense)
+{
+    // BF16-based schemes are lossless, so the compressed GeMM must equal
+    // the dense one exactly.
+    Rng rng(7);
+    const WeightMatrix w = generateWeights(32, 64, 0.3, rng);
+    const FloatMatrix x = randomActivations(2, 64, 8);
+    const FloatMatrix dense = gemmReference(x, w);
+    const CompressedMatrix cm(w, schemeQ16(0.3));
+    const FloatMatrix sparse = gemmCompressed(x, cm);
+    for (u32 n = 0; n < 2; ++n)
+        for (u32 m = 0; m < 32; ++m)
+            EXPECT_EQ(sparse.at(n, m), dense.at(n, m));
+}
+
+TEST(GemmCompressed, QuantizedSchemesApproximateDense)
+{
+    Rng rng(9);
+    const WeightMatrix w = generateWeights(32, 128, 1.0, rng);
+    const FloatMatrix x = randomActivations(4, 128, 10);
+    const FloatMatrix dense = gemmReference(x, w);
+
+    for (const auto &scheme : {schemeQ8Dense(), schemeMxfp4()}) {
+        const CompressedMatrix cm(w, scheme);
+        const FloatMatrix approx = gemmCompressed(x, cm);
+        // Quantization noise partially cancels over the K=128 reduction;
+        // compare RMS error against RMS signal (SQNR-style bound).
+        double err2 = 0.0;
+        double sig2 = 0.0;
+        for (u32 n = 0; n < 4; ++n) {
+            for (u32 m = 0; m < 32; ++m) {
+                const double e = approx.at(n, m) - dense.at(n, m);
+                err2 += e * e;
+                sig2 += dense.at(n, m) * dense.at(n, m);
+            }
+        }
+        const double rel_rms = std::sqrt(err2 / sig2);
+        EXPECT_LT(rel_rms, scheme.quantBits() == 8 ? 0.10 : 0.30)
+            << scheme.name;
+        EXPECT_GT(rel_rms, 0.0) << scheme.name;  // lossy, so not exact
+    }
+}
+
+} // namespace
+} // namespace deca::compress

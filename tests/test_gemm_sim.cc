@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Integration tests for the cycle-level GeMM simulation: baseline vs
+ * roofline, software kernels vs Roof-Surface predictions, DECA speedups,
+ * TEPL vs store+fence, and the Fig. 17 ablation ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/gemm_sim.h"
+#include "roofsurface/roof_surface.h"
+#include "roofsurface/signature.h"
+
+namespace deca::kernels {
+namespace {
+
+using compress::schemeBf16;
+using compress::schemeMxfp4;
+using compress::schemeQ16;
+using compress::schemeQ8;
+using compress::schemeQ8Dense;
+
+GemmWorkload
+makeWorkload(const compress::CompressionScheme &s, u32 tiles = 160,
+             u32 pool = 24)
+{
+    GemmWorkload w;
+    w.scheme = s;
+    w.batchN = 1;
+    w.tilesPerCore = tiles;
+    w.poolTiles = pool;
+    return w;
+}
+
+TEST(GemmSim, Bf16BaselineNearRoofline)
+{
+    // The uncompressed baseline must track the memory roofline closely.
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmResult r = runGemmSteady(
+        p, KernelConfig::uncompressedBf16(), makeWorkload(schemeBf16()));
+    const auto bound = roofsurface::evaluateRoofline(
+        roofsurface::sprHbm(),
+        roofsurface::softwareSignature(schemeBf16()));
+    EXPECT_GT(r.tflops, 0.90 * bound.flops(1) / 1e12);
+    EXPECT_LE(r.tflops, 1.02 * bound.flops(1) / 1e12);
+    EXPECT_GT(r.utilMem, 0.90);
+}
+
+TEST(GemmSim, VecBoundSoftwareMatchesRoofSurface)
+{
+    // Q8_5% software on HBM is VEC-bound; simulated TFLOPS must land
+    // near (and below) the Roof-Surface bound, far from the roofline.
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmResult r = runGemmSteady(p, KernelConfig::software(),
+                                       makeWorkload(schemeQ8(0.05)));
+    const auto rs = roofsurface::evaluate(
+        roofsurface::sprHbm(),
+        roofsurface::softwareSignature(schemeQ8(0.05)));
+    EXPECT_EQ(rs.bound, roofsurface::Bound::VEC);
+    EXPECT_LT(r.tflops, rs.flops(1) / 1e12 * 1.02);
+    EXPECT_GT(r.tflops, rs.flops(1) / 1e12 * 0.80);
+    // The AVX engine is the most-utilized component.
+    EXPECT_GT(r.utilVec, r.utilMem);
+    EXPECT_GT(r.utilVec, r.utilTmul);
+}
+
+TEST(GemmSim, DecaSpeedsUpVecBoundKernels)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmWorkload w = makeWorkload(schemeQ8(0.05));
+    const GemmResult sw = runGemmSteady(p, KernelConfig::software(), w);
+    const GemmResult deca =
+        runGemmSteady(p, KernelConfig::decaKernel(), w);
+    // Paper: up to ~4x on HBM for the highest compression factors.
+    EXPECT_GT(deca.speedupOver(sw), 3.0);
+    EXPECT_LT(deca.speedupOver(sw), 5.0);
+}
+
+TEST(GemmSim, DdrMemBoundKernelsSeeLittleDecaBenefit)
+{
+    // Fig. 12: on DDR, low-compression kernels are MEM-bound and DECA
+    // cannot help much.
+    const sim::SimParams p = sim::sprDdrParams();
+    const GemmWorkload w = makeWorkload(schemeQ16(0.5));
+    const GemmResult sw = runGemmSteady(p, KernelConfig::software(), w);
+    const GemmResult deca =
+        runGemmSteady(p, KernelConfig::decaKernel(), w);
+    EXPECT_LT(deca.speedupOver(sw), 1.25);
+}
+
+TEST(GemmSim, TeplBeatsStoreFence)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmWorkload w = makeWorkload(schemeQ8(0.05));
+    DecaIntegration store_based = DecaIntegration::full();
+    store_based.invocation = Invocation::StoreFence;
+    const GemmResult tepl = runGemmSteady(
+        p, KernelConfig::decaKernel(accel::decaBestConfig()), w);
+    const GemmResult store = runGemmSteady(
+        p, KernelConfig::decaKernel(accel::decaBestConfig(), store_based),
+        w);
+    // Paper: TEPL doubles performance at 5% density.
+    EXPECT_GT(tepl.speedupOver(store), 1.6);
+}
+
+TEST(GemmSim, IntegrationFeaturesImproveMonotonically)
+{
+    // Fig. 17: Base -> +ReadsL2 -> +DECA PF -> +TOut -> +TEPL, each step
+    // at least as fast as the previous.
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmWorkload w = makeWorkload(schemeQ8(0.2));
+
+    DecaIntegration base = DecaIntegration::base();
+    DecaIntegration reads_l2 = base;
+    reads_l2.readsL2 = true;
+    DecaIntegration deca_pf = reads_l2;
+    deca_pf.decaPrefetcher = true;
+    DecaIntegration tout = deca_pf;
+    tout.toutRegs = true;
+    DecaIntegration tepl = tout;
+    tepl.invocation = Invocation::Tepl;
+
+    double prev = 0.0;
+    for (const auto &integ : {base, reads_l2, deca_pf, tout, tepl}) {
+        const GemmResult r = runGemmSteady(
+            p, KernelConfig::decaKernel(accel::decaBestConfig(), integ),
+            w);
+        EXPECT_GE(r.tflops, prev * 0.98) << integ.describe();
+        prev = r.tflops;
+    }
+}
+
+TEST(GemmSim, UnderprovisionedDecaRoughlyHalfOfBest)
+{
+    // Sec. 9.2 validation: DECA-best ~2x DECA-underprovisioned.
+    const sim::SimParams p = sim::sprHbmParams();
+    double best_total = 0.0;
+    double under_total = 0.0;
+    for (const auto &s : {schemeQ8Dense(), schemeQ8(0.5), schemeQ8(0.2),
+                          schemeMxfp4()}) {
+        const GemmWorkload w = makeWorkload(s, 128, 16);
+        best_total +=
+            runGemmSteady(p, KernelConfig::decaKernel(accel::decaBestConfig()),
+                          w)
+                .tflops;
+        under_total +=
+            runGemmSteady(p,
+                          KernelConfig::decaKernel(accel::decaUnderConfig()),
+                          w)
+                .tflops;
+    }
+    EXPECT_GT(best_total / under_total, 1.5);
+}
+
+TEST(GemmSim, OverprovisionedDecaBarelyFaster)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    double best_total = 0.0;
+    double over_total = 0.0;
+    for (const auto &s : {schemeQ8Dense(), schemeQ8(0.2), schemeMxfp4()}) {
+        const GemmWorkload w = makeWorkload(s, 128, 16);
+        best_total +=
+            runGemmSteady(p, KernelConfig::decaKernel(accel::decaBestConfig()),
+                          w)
+                .tflops;
+        over_total +=
+            runGemmSteady(p,
+                          KernelConfig::decaKernel(accel::decaOverConfig()),
+                          w)
+                .tflops;
+    }
+    EXPECT_LT(over_total / best_total, 1.10);
+    EXPECT_GE(over_total / best_total, 0.99);
+}
+
+TEST(GemmSim, UtilizationArgmaxMatchesBordClassification)
+{
+    // Table 3 logic: the component with the highest utilization is the
+    // bottleneck the BORD predicts.
+    const sim::SimParams p = sim::sprHbmParams();
+    {
+        // VEC-bound software kernel.
+        const GemmResult r = runGemmSteady(p, KernelConfig::software(),
+                                           makeWorkload(schemeQ8(0.2)));
+        EXPECT_GT(r.utilVec, r.utilMem);
+        EXPECT_GT(r.utilVec, r.utilTmul);
+    }
+    {
+        // MEM-bound DECA kernel (dense Q8).
+        const GemmResult r =
+            runGemmSteady(p, KernelConfig::decaKernel(),
+                          makeWorkload(schemeQ8Dense()));
+        EXPECT_GT(r.utilMem, r.utilTmul);
+        EXPECT_GT(r.utilMem, 0.80);
+    }
+}
+
+TEST(GemmSim, MoreCoresMoreThroughputWhenVecBound)
+{
+    // VEC-bound kernels scale with core count (each brings AVX units).
+    sim::SimParams p = sim::sprHbmParams();
+    const GemmWorkload w = makeWorkload(schemeQ8(0.05), 96, 16);
+    p.cores = 14;
+    const GemmResult small = runGemmSteady(p, KernelConfig::software(), w);
+    p.cores = 56;
+    const GemmResult big = runGemmSteady(p, KernelConfig::software(), w);
+    EXPECT_GT(big.tflops / small.tflops, 3.0);
+}
+
+TEST(GemmSim, FewDecaCoresBeatManySoftwareCores)
+{
+    // Fig. 14 headline: 16 DECA cores outperform 56 software cores
+    // (DDR, averaged over schemes; we spot-check a VEC-bound scheme).
+    sim::SimParams ddr = sim::sprDdrParams();
+    const GemmWorkload w = makeWorkload(schemeQ8(0.05), 96, 16);
+    ddr.cores = 16;
+    const GemmResult deca16 =
+        runGemmSteady(ddr, KernelConfig::decaKernel(), w);
+    ddr.cores = 56;
+    const GemmResult sw56 = runGemmSteady(ddr, KernelConfig::software(), w);
+    EXPECT_GT(deca16.tflops, sw56.tflops * 0.95);
+}
+
+TEST(GemmSim, BatchScalesReportedFlopsOnly)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    GemmWorkload w1 = makeWorkload(schemeQ8(0.2), 96, 16);
+    GemmWorkload w4 = w1;
+    w4.batchN = 4;
+    const GemmResult r1 = runGemmSteady(p, KernelConfig::software(), w1);
+    const GemmResult r4 = runGemmSteady(p, KernelConfig::software(), w4);
+    EXPECT_NEAR(r4.tflops / r1.tflops, 4.0, 0.05);
+    EXPECT_NEAR(r4.tilesPerSecond / r1.tilesPerSecond, 1.0, 0.02);
+}
+
+TEST(GemmSim, VectorScalingAlternativesFallShortOfDeca)
+{
+    // Fig. 15: 4x-units and 4x-wider AVX improve on the baseline but
+    // stay clearly below DECA for VEC-bound kernels.
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmWorkload w = makeWorkload(schemeMxfp4(), 128, 16);
+    const double base =
+        runGemmSteady(p, KernelConfig::software(), w).tflops;
+    const double more =
+        runGemmSteady(p,
+                      KernelConfig::software(VectorScaling::MoreUnits), w)
+            .tflops;
+    const double wider =
+        runGemmSteady(p,
+                      KernelConfig::software(VectorScaling::WiderUnits), w)
+            .tflops;
+    const double deca =
+        runGemmSteady(p, KernelConfig::decaKernel(), w).tflops;
+    EXPECT_GT(more, base);
+    EXPECT_GT(wider, base);
+    EXPECT_GT(deca, more * 1.2);
+    EXPECT_GT(deca, wider * 1.2);
+}
+
+TEST(GemmSim, ResultMetadataFilledIn)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    const GemmResult r = runGemm(p, KernelConfig::software(),
+                                 makeWorkload(schemeQ8(0.5), 32, 8));
+    EXPECT_EQ(r.schemeName, "Q8_50%");
+    EXPECT_EQ(r.kernel, "software");
+    EXPECT_EQ(r.tilesProcessed, u64{56} * 32);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+} // namespace
+} // namespace deca::kernels

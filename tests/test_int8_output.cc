@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for DECA's I8 output mode (Section 6).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/quantizer.h"
+#include "deca/pipeline.h"
+
+namespace deca::accel {
+namespace {
+
+compress::DenseTile
+randomTile(double density, u64 seed)
+{
+    Rng rng(seed);
+    compress::DenseTile t;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        if (rng.bernoulli(density)) {
+            float v = rng.gaussian(0.02f);
+            t[i] = Bf16::fromFloat(v == 0.0f ? 0.02f : v);
+        }
+    }
+    return t;
+}
+
+TEST(Int8Output, GoldenRequantizerRoundTrip)
+{
+    const compress::DenseTile t = randomTile(1.0, 1);
+    const float scale = chooseInt8Scale(t);
+    const Int8Tile q = requantizeToInt8(t, scale);
+    for (u32 i = 0; i < kTileElems; ++i) {
+        const float back = q.data[i] * q.scale;
+        EXPECT_NEAR(back, t[i].toFloat(), scale * 0.5f + 1e-7f) << i;
+    }
+}
+
+TEST(Int8Output, SaturatesSymmetrically)
+{
+    compress::DenseTile t;
+    t[0] = Bf16::fromFloat(100.0f);
+    t[1] = Bf16::fromFloat(-100.0f);
+    const Int8Tile q = requantizeToInt8(t, 0.1f);
+    EXPECT_EQ(q.data[0], 127);
+    EXPECT_EQ(q.data[1], -127);  // never -128 (symmetric)
+}
+
+TEST(Int8Output, ChooseScaleCoversMax)
+{
+    const compress::DenseTile t = randomTile(1.0, 2);
+    const float scale = chooseInt8Scale(t);
+    for (u32 i = 0; i < kTileElems; ++i)
+        EXPECT_LE(std::abs(t[i].toFloat()) / scale, 127.0f + 1e-3f);
+}
+
+TEST(Int8Output, ZeroTileGetsUnitScale)
+{
+    compress::DenseTile t;
+    EXPECT_EQ(chooseInt8Scale(t), 1.0f);
+}
+
+TEST(Int8Output, PipelineMatchesGoldenPath)
+{
+    const compress::CompressionScheme scheme = compress::schemeQ8(0.3);
+    const compress::DenseTile t = randomTile(0.3, 3);
+    const compress::CompressedTile ct = compress::compressTile(t, scheme);
+
+    DecaPipeline pipe(decaBestConfig());
+    pipe.configure(scheme);
+    const float scale = 0.001f;
+    pipe.configureInt8Output(scale);
+    ASSERT_TRUE(pipe.int8OutputEnabled());
+
+    const auto out = pipe.decompressInt8(ct);
+    const Int8Tile golden =
+        requantizeToInt8(pipe.decompress(ct).tile, scale);
+    EXPECT_EQ(out.tile, golden);
+}
+
+TEST(Int8Output, TimingUnchangedFromBf16Path)
+{
+    const compress::CompressionScheme scheme = compress::schemeQ8Dense();
+    const compress::CompressedTile ct =
+        compress::compressTile(randomTile(1.0, 4), scheme);
+    DecaPipeline pipe(decaBestConfig());
+    pipe.configure(scheme);
+    pipe.configureInt8Output(0.01f);
+    EXPECT_EQ(pipe.decompressInt8(ct).cycles, pipe.tileCycles(ct));
+}
+
+TEST(Int8Output, ZerosStayZeroThroughI8)
+{
+    const compress::CompressionScheme scheme = compress::schemeQ8(0.2);
+    const compress::DenseTile t = randomTile(0.2, 5);
+    const compress::CompressedTile ct = compress::compressTile(t, scheme);
+    DecaPipeline pipe(decaBestConfig());
+    pipe.configure(scheme);
+    pipe.configureInt8Output(0.0005f);
+    const auto out = pipe.decompressInt8(ct);
+    for (u32 i = 0; i < kTileElems; ++i) {
+        if (t[i].isZero()) {
+            EXPECT_EQ(out.tile.data[i], 0) << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace deca::accel

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * End-to-end integration tests tying the whole stack together:
+ * offline compression -> DECA functional decompression -> TMUL GeMM
+ * equals the golden compressed GeMM at matrix scale; plus edge cases of
+ * the cycle-level simulation (tiny runs, single core, one-tile pools).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "compress/gemm_reference.h"
+#include "deca/pipeline.h"
+#include "kernels/gemm_sim.h"
+
+namespace deca {
+namespace {
+
+using compress::CompressedMatrix;
+using compress::FloatMatrix;
+using compress::WeightMatrix;
+
+FloatMatrix
+randomActivations(u32 n, u32 k, u64 seed)
+{
+    Rng rng(seed);
+    FloatMatrix x(n, k);
+    for (u32 r = 0; r < n; ++r)
+        for (u32 c = 0; c < k; ++c)
+            x.at(r, c) = rng.gaussian(1.0f);
+    return x;
+}
+
+class E2eSchemes
+    : public ::testing::TestWithParam<compress::CompressionScheme>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, E2eSchemes,
+    ::testing::Values(compress::schemeQ8Dense(), compress::schemeQ8(0.3),
+                      compress::schemeQ8(0.05), compress::schemeMxfp4(),
+                      compress::schemeQ16(0.2)),
+    [](const auto &info) {
+        std::string n = info.param.name;
+        for (auto &c : n)
+            if (c == '%')
+                c = 'p';
+        return n;
+    });
+
+TEST_P(E2eSchemes, DecaGemmEqualsGoldenCompressedGemm)
+{
+    // Full FC-layer slice: Y = X * W^T where every W tile goes through
+    // the DECA hardware pipeline instead of the golden decompressor.
+    const auto scheme = GetParam();
+    Rng rng(11);
+    const WeightMatrix w =
+        compress::generateWeights(64, 96, scheme.density, rng);
+    const CompressedMatrix cm(w, scheme);
+    const FloatMatrix x = randomActivations(4, 96, 12);
+
+    accel::DecaPipeline pe(accel::decaBestConfig());
+    pe.configure(scheme);
+
+    FloatMatrix y_deca(4, 64);
+    for (u32 tr = 0; tr < cm.tileRows(); ++tr) {
+        for (u32 tc = 0; tc < cm.tileCols(); ++tc) {
+            const auto out = pe.decompress(cm.tile(tr, tc));
+            compress::tmulTileOp(x, tc * kTileCols, out.tile, y_deca,
+                                 tr * kTileRows);
+        }
+    }
+    const FloatMatrix y_gold = compress::gemmCompressed(x, cm);
+    for (u32 n = 0; n < 4; ++n)
+        for (u32 m = 0; m < 64; ++m)
+            ASSERT_EQ(y_deca.at(n, m), y_gold.at(n, m))
+                << scheme.name << " (" << n << "," << m << ")";
+}
+
+TEST_P(E2eSchemes, LosslessSchemesRecoverDenseGemm)
+{
+    const auto scheme = GetParam();
+    if (scheme.quantBits() != 16)
+        GTEST_SKIP() << "only BF16 schemes are lossless";
+    Rng rng(13);
+    const WeightMatrix w =
+        compress::generateWeights(32, 64, scheme.density, rng);
+    const FloatMatrix x = randomActivations(2, 64, 14);
+    const FloatMatrix dense = compress::gemmReference(x, w);
+    const FloatMatrix comp =
+        compress::gemmCompressed(x, CompressedMatrix(w, scheme));
+    for (u32 n = 0; n < 2; ++n)
+        for (u32 m = 0; m < 32; ++m)
+            ASSERT_EQ(comp.at(n, m), dense.at(n, m));
+}
+
+TEST(E2eInt8, Int8GemmApproximatesBf16Gemm)
+{
+    // The I8 output mode feeding an INT8 TMUL: results track the BF16
+    // path within requantization error.
+    const auto scheme = compress::schemeQ8(0.5);
+    Rng rng(15);
+    const WeightMatrix w =
+        compress::generateWeights(16, 32, scheme.density, rng);
+    const CompressedMatrix cm(w, scheme);
+    const FloatMatrix x = randomActivations(2, 32, 16);
+
+    accel::DecaPipeline pe(accel::decaBestConfig());
+    pe.configure(scheme);
+    const float scale = 0.0005f;
+    pe.configureInt8Output(scale);
+
+    const auto bf16 = pe.decompress(cm.tile(0, 0));
+    const auto i8 = pe.decompressInt8(cm.tile(0, 0));
+
+    for (u32 n = 0; n < 2; ++n) {
+        for (u32 m = 0; m < kTileRows; ++m) {
+            float acc_bf16 = 0.0f;
+            float acc_i8 = 0.0f;
+            for (u32 k = 0; k < kTileCols; ++k) {
+                acc_bf16 += x.at(n, k) * bf16.tile.at(m, k).toFloat();
+                acc_i8 += x.at(n, k) *
+                          static_cast<float>(
+                              i8.tile.data[m * kTileCols + k]) *
+                          i8.tile.scale;
+            }
+            EXPECT_NEAR(acc_i8, acc_bf16,
+                        kTileCols * scale * 0.5f * 4.0f + 1e-4f);
+        }
+    }
+}
+
+TEST(E2eSim, SingleTilePerCoreCompletes)
+{
+    sim::SimParams p = sim::sprHbmParams();
+    p.cores = 2;
+    kernels::GemmWorkload w;
+    w.scheme = compress::schemeQ8(0.2);
+    w.tilesPerCore = 1;
+    w.poolTiles = 1;
+    for (const auto &cfg :
+         {kernels::KernelConfig::software(),
+          kernels::KernelConfig::decaKernel()}) {
+        const kernels::GemmResult r = kernels::runGemm(p, cfg, w);
+        EXPECT_EQ(r.tilesProcessed, 2u);
+        EXPECT_GT(r.cycles, 0u);
+    }
+}
+
+TEST(E2eSim, StoreFenceSingleLoaderCompletes)
+{
+    // The degenerate configuration: one Loader, store+fence, no
+    // features — must still drain (no deadlock).
+    sim::SimParams p = sim::sprHbmParams();
+    p.cores = 4;
+    kernels::DecaIntegration integ = kernels::DecaIntegration::base();
+    integ.numLoaders = 1;
+    kernels::GemmWorkload w;
+    w.scheme = compress::schemeQ8(0.5);
+    w.tilesPerCore = 9;  // odd count exercises the tail
+    w.poolTiles = 4;
+    const kernels::GemmResult r = kernels::runGemm(
+        p, kernels::KernelConfig::decaKernel(accel::decaBestConfig(),
+                                             integ),
+        w);
+    EXPECT_EQ(r.tilesProcessed, 36u);
+}
+
+TEST(E2eSim, DeterministicAcrossRuns)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    kernels::GemmWorkload w;
+    w.scheme = compress::schemeQ8(0.2);
+    w.tilesPerCore = 32;
+    w.poolTiles = 8;
+    const auto r1 = kernels::runGemm(p, kernels::KernelConfig::decaKernel(), w);
+    const auto r2 = kernels::runGemm(p, kernels::KernelConfig::decaKernel(), w);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.tflops, r2.tflops);
+}
+
+TEST(E2eSim, SteadyStateFasterThanColdStart)
+{
+    // The warmup-differenced measurement must report a rate at least as
+    // high as the cold-start-inclusive one.
+    const sim::SimParams p = sim::sprHbmParams();
+    kernels::GemmWorkload w;
+    w.scheme = compress::schemeQ8(0.1);
+    w.tilesPerCore = 128;
+    w.poolTiles = 16;
+    const auto cold =
+        kernels::runGemm(p, kernels::KernelConfig::decaKernel(), w);
+    const auto steady =
+        kernels::runGemmSteady(p, kernels::KernelConfig::decaKernel(), w);
+    EXPECT_GE(steady.tilesPerSecond, cold.tilesPerSecond * 0.99);
+}
+
+} // namespace
+} // namespace deca

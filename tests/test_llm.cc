@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the LLM model shapes, non-GeMM calibration, and next-token
+ * latency estimation (Tables 1 and 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/inference.h"
+
+namespace deca::llm {
+namespace {
+
+TEST(ModelConfig, Llama2ParameterCount)
+{
+    const ModelConfig m = llama2_70b();
+    // FC parameters: ~68.4B (the rest of the 70B is embeddings/norms).
+    EXPECT_NEAR(static_cast<double>(m.totalFcParams()), 68.4e9, 0.4e9);
+    EXPECT_EQ(m.layers, 80u);
+    EXPECT_EQ(m.layerFc.size(), 7u);
+}
+
+TEST(ModelConfig, OptParameterCount)
+{
+    const ModelConfig m = opt_66b();
+    EXPECT_NEAR(static_cast<double>(m.totalFcParams()), 65.2e9, 0.4e9);
+    EXPECT_EQ(m.layers, 64u);
+    EXPECT_EQ(m.layerFc.size(), 6u);
+}
+
+TEST(ModelConfig, LargeFcLayersMatchPaperScale)
+{
+    // Sec. 8: the large FC layers have ~250M parameters.
+    const ModelConfig m = llama2_70b();
+    u64 largest = 0;
+    for (const auto &fc : m.layerFc)
+        largest = std::max(largest, fc.params());
+    EXPECT_NEAR(static_cast<double>(largest), 235e6, 15e6);
+}
+
+TEST(ModelConfig, TileCountConsistent)
+{
+    const ModelConfig m = llama2_70b();
+    EXPECT_EQ(m.totalFcTiles(), m.totalFcParams() / 512);
+}
+
+TEST(NonGemm, CalibrationReproducesAnchors)
+{
+    const double t_fc = 0.160;  // 160 ms
+    const NonGemmModel ng = calibrateNonGemm(t_fc, 0.898, 0.859);
+    EXPECT_NEAR(t_fc / (t_fc + ng.seconds(1, 32)), 0.898, 1e-9);
+    EXPECT_NEAR(t_fc / (t_fc + ng.seconds(16, 128)), 0.859, 1e-9);
+}
+
+TEST(NonGemm, GrowsWithBatchAndContext)
+{
+    const NonGemmModel ng = calibrateNonGemm(0.160, 0.898, 0.859);
+    EXPECT_GT(ng.seconds(16, 128), ng.seconds(1, 128));
+    EXPECT_GT(ng.seconds(1, 256), ng.seconds(1, 128));
+    EXPECT_GT(ng.aSeconds, 0.0);
+    EXPECT_GT(ng.bSeconds, 0.0);
+}
+
+class LlmInference : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        const sim::SimParams p = sim::sprHbmParams();
+        const ModelConfig m = llama2_70b();
+        ng_ = new NonGemmModel(
+            InferenceModel::calibrateForMachine(m, p));
+        model_ = new InferenceModel(m, p, *ng_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete model_;
+        delete ng_;
+        model_ = nullptr;
+        ng_ = nullptr;
+    }
+
+    static InferenceModel *model_;
+    static NonGemmModel *ng_;
+};
+
+InferenceModel *LlmInference::model_ = nullptr;
+NonGemmModel *LlmInference::ng_ = nullptr;
+
+TEST_F(LlmInference, Bf16BaselineLatencyInPaperBallpark)
+{
+    // Table 4: Llama2-70B BF16 SW at N=1 is 192.3 ms on HBM. Our
+    // simulated baseline should land within ~20%.
+    const NextTokenLatency lat = model_->nextToken(
+        compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
+        1, 128);
+    EXPECT_NEAR(lat.milliseconds(), 192.3, 40.0);
+}
+
+TEST_F(LlmInference, DecaFasterThanSoftwareForCompressed)
+{
+    const auto scheme = compress::schemeQ8(0.2);
+    const NextTokenLatency sw = model_->nextToken(
+        scheme, kernels::KernelConfig::software(), 1, 128);
+    const NextTokenLatency deca = model_->nextToken(
+        scheme, kernels::KernelConfig::decaKernel(), 1, 128);
+    // Paper: 1.6x-2.6x end-to-end.
+    const double speedup = sw.total() / deca.total();
+    EXPECT_GT(speedup, 1.4);
+    EXPECT_LT(speedup, 3.0);
+}
+
+TEST_F(LlmInference, CompressionShrinksLatencyMonotonically)
+{
+    const NextTokenLatency bf16 = model_->nextToken(
+        compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
+        1, 128);
+    const NextTokenLatency q4 = model_->nextToken(
+        compress::schemeMxfp4(), kernels::KernelConfig::decaKernel(), 1,
+        128);
+    const NextTokenLatency q8_5 = model_->nextToken(
+        compress::schemeQ8(0.05), kernels::KernelConfig::decaKernel(), 1,
+        128);
+    EXPECT_GT(bf16.total(), q4.total());
+    EXPECT_GT(q4.total(), q8_5.total());
+    // Paper: 2.5x-5.0x over the uncompressed baseline.
+    EXPECT_GT(bf16.total() / q8_5.total(), 2.5);
+    EXPECT_LT(bf16.total() / q8_5.total(), 6.5);
+}
+
+TEST_F(LlmInference, FcFractionMatchesTable1Anchor)
+{
+    const NextTokenLatency lat = model_->nextToken(
+        compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
+        1, 32);
+    EXPECT_NEAR(lat.fcFraction(), 0.898, 0.02);
+}
+
+TEST_F(LlmInference, BatchSixteenRaisesNonGemmShare)
+{
+    const NextTokenLatency n1 = model_->nextToken(
+        compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
+        1, 128);
+    const NextTokenLatency n16 = model_->nextToken(
+        compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
+        16, 128);
+    EXPECT_LT(n16.fcFraction(), n1.fcFraction());
+}
+
+TEST(LlmInferenceDdr, FcFractionHigherOnDdr)
+{
+    // Table 1: GeMM share is ~97% on DDR vs ~90% on HBM.
+    const sim::SimParams ddr = sim::sprDdrParams();
+    const ModelConfig m = llama2_70b();
+    const NonGemmModel ng = InferenceModel::calibrateForMachine(m, ddr);
+    const InferenceModel model(m, ddr, ng);
+    const NextTokenLatency lat = model.nextToken(
+        compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
+        1, 32);
+    EXPECT_GT(lat.fcFraction(), 0.95);
+}
+
+} // namespace
+} // namespace deca::llm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the shared-bandwidth memory channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.h"
+
+namespace deca::sim {
+namespace {
+
+TEST(MemorySystem, SingleReadLatency)
+{
+    EventQueue q;
+    MemorySystem mem(q, 64.0, 100);  // 64 B/cycle, 100-cycle latency
+    Cycles done_at = 0;
+    mem.read(64, [&] { done_at = q.now(); });
+    q.run();
+    // 1 cycle of channel occupancy + 100 latency.
+    EXPECT_EQ(done_at, 101u);
+    EXPECT_EQ(mem.bytesServed(), 64u);
+}
+
+TEST(MemorySystem, BandwidthSerializesRequests)
+{
+    EventQueue q;
+    MemorySystem mem(q, 64.0, 0);
+    std::vector<Cycles> done;
+    for (int i = 0; i < 4; ++i)
+        mem.read(128, [&] { done.push_back(q.now()); });
+    q.run();
+    // Each 128B request holds the channel 2 cycles; FIFO service.
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_EQ(done[0], 2u);
+    EXPECT_EQ(done[1], 4u);
+    EXPECT_EQ(done[2], 6u);
+    EXPECT_EQ(done[3], 8u);
+}
+
+TEST(MemorySystem, LatencyOverlapsAcrossRequests)
+{
+    EventQueue q;
+    MemorySystem mem(q, 64.0, 50);
+    std::vector<Cycles> done;
+    mem.read(64, [&] { done.push_back(q.now()); });
+    mem.read(64, [&] { done.push_back(q.now()); });
+    q.run();
+    // Pipelined: second completes one service slot later, not 50 later.
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], 51u);
+    EXPECT_EQ(done[1], 52u);
+}
+
+TEST(MemorySystem, QueueingDelaysLateArrivals)
+{
+    EventQueue q;
+    MemorySystem mem(q, 1.0, 0);  // 1 B/cycle: easy to saturate
+    Cycles done_at = 0;
+    mem.read(100, [] {});
+    q.schedule(10, [&] {
+        mem.read(10, [&] { done_at = q.now(); });
+    });
+    q.run();
+    // The first request occupies the channel until cycle 100; the second
+    // must wait in the queue despite arriving at cycle 10.
+    EXPECT_EQ(done_at, 110u);
+}
+
+TEST(MemorySystem, IdleChannelDoesNotAccumulateCredit)
+{
+    EventQueue q;
+    MemorySystem mem(q, 2.0, 0);
+    Cycles done_at = 0;
+    q.schedule(100, [&] {
+        mem.read(64, [&] { done_at = q.now(); });
+    });
+    q.run();
+    // Service starts when the request arrives, not earlier.
+    EXPECT_EQ(done_at, 132u);
+}
+
+TEST(MemorySystem, UtilizationTracksBusyFraction)
+{
+    EventQueue q;
+    MemorySystem mem(q, 64.0, 0);
+    mem.read(640, [] {});  // 10 cycles busy
+    q.schedule(100, [] {});  // stretch the run to 100 cycles
+    q.run();
+    EXPECT_NEAR(mem.utilization(0, 100), 0.10, 1e-9);
+}
+
+TEST(MemorySystem, FractionalServiceAccumulates)
+{
+    // 3 B/cycle with 64B lines: service 21.33 cycles; two requests
+    // complete at ceil(21.33) and ceil(42.67).
+    EventQueue q;
+    MemorySystem mem(q, 3.0, 0);
+    std::vector<Cycles> done;
+    mem.read(64, [&] { done.push_back(q.now()); });
+    mem.read(64, [&] { done.push_back(q.now()); });
+    q.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], 22u);
+    EXPECT_EQ(done[1], 43u);
+}
+
+} // namespace
+} // namespace deca::sim

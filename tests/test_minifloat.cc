@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the generic minifloat encoder/decoder across every format the
+ * DECA LUT array can host (BF8/E5M2, E4M3, FP6 variants, FP4/E2M1).
+ */
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/minifloat.h"
+#include "common/rng.h"
+
+namespace deca {
+namespace {
+
+class MinifloatFormats : public ::testing::TestWithParam<MinifloatSpec>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, MinifloatFormats,
+    ::testing::Values(kBf8Spec, kFp8E4m3Spec, kFp6E3m2Spec, kFp6E2m3Spec,
+                      kFp4Spec),
+    [](const ::testing::TestParamInfo<MinifloatSpec> &info) {
+        const auto &s = info.param;
+        return "E" + std::to_string(s.expBits) + "M" +
+               std::to_string(s.manBits) +
+               (s.hasInfNan ? "_ieee" : "_ocp");
+    });
+
+TEST_P(MinifloatFormats, AllCodesDecodeEncodeRoundTrip)
+{
+    const MinifloatSpec &spec = GetParam();
+    for (u32 code = 0; code < spec.numCodes(); ++code) {
+        const float v = minifloatDecode(spec, code);
+        if (std::isnan(v))
+            continue;  // NaN codes have no unique encoding
+        const u32 back = minifloatEncode(spec, v);
+        const float v2 = minifloatDecode(spec, back);
+        // -0 and +0 may legitimately alias.
+        if (v == 0.0f) {
+            EXPECT_EQ(v2, 0.0f);
+        } else {
+            EXPECT_EQ(v, v2) << "code=" << code;
+        }
+    }
+}
+
+TEST_P(MinifloatFormats, EncodePicksNearestRepresentable)
+{
+    const MinifloatSpec &spec = GetParam();
+    // Collect all finite representable values.
+    std::set<float> values;
+    for (u32 code = 0; code < spec.numCodes(); ++code) {
+        const float v = minifloatDecode(spec, code);
+        if (std::isfinite(v))
+            values.insert(v);
+    }
+    Rng rng(11);
+    const float max_fin = static_cast<float>(spec.maxFinite());
+    for (int i = 0; i < 4000; ++i) {
+        const float x = rng.uniformFloat(-max_fin, max_fin);
+        const float got = minifloatDecode(spec, minifloatEncode(spec, x));
+        // Nearest-by-scan reference.
+        float best = *values.begin();
+        for (float v : values) {
+            if (std::abs(v - x) < std::abs(best - x))
+                best = v;
+        }
+        EXPECT_LE(std::abs(got - x), std::abs(best - x) * (1 + 1e-6f))
+            << "x=" << x << " got=" << got << " best=" << best;
+    }
+}
+
+TEST_P(MinifloatFormats, EncodeIsMonotonic)
+{
+    const MinifloatSpec &spec = GetParam();
+    Rng rng(17);
+    const float max_fin = static_cast<float>(spec.maxFinite());
+    float prev_x = -max_fin;
+    float prev_v = minifloatDecode(spec, minifloatEncode(spec, prev_x));
+    for (int i = 1; i <= 500; ++i) {
+        const float x = -max_fin + 2 * max_fin * i / 500.0f;
+        const float v = minifloatDecode(spec, minifloatEncode(spec, x));
+        EXPECT_GE(v, prev_v) << "between " << prev_x << " and " << x;
+        prev_x = x;
+        prev_v = v;
+    }
+}
+
+TEST_P(MinifloatFormats, SaturatesAtMaxFinite)
+{
+    const MinifloatSpec &spec = GetParam();
+    if (spec.hasInfNan)
+        GTEST_SKIP() << "IEEE-style formats overflow to infinity";
+    const float max_fin = static_cast<float>(spec.maxFinite());
+    const u32 code = minifloatEncode(spec, max_fin * 100.0f);
+    EXPECT_EQ(minifloatDecode(spec, code), max_fin);
+    const u32 ncode = minifloatEncode(spec, -max_fin * 100.0f);
+    EXPECT_EQ(minifloatDecode(spec, ncode), -max_fin);
+}
+
+TEST_P(MinifloatFormats, ZeroEncodesToZero)
+{
+    const MinifloatSpec &spec = GetParam();
+    EXPECT_EQ(minifloatDecode(spec, minifloatEncode(spec, 0.0f)), 0.0f);
+}
+
+TEST(MinifloatBf8, KnownE5M2Values)
+{
+    // Spot-check E5M2 against hand-computed values.
+    EXPECT_EQ(minifloatDecode(kBf8Spec, minifloatEncode(kBf8Spec, 1.0f)),
+              1.0f);
+    EXPECT_EQ(minifloatDecode(kBf8Spec, minifloatEncode(kBf8Spec, 1.75f)),
+              1.75f);
+    EXPECT_EQ(kBf8Spec.maxFinite(), 57344.0);  // 1.75 * 2^15
+    EXPECT_EQ(kBf8Spec.bias(), 15);
+    // Smallest positive subnormal: 2^-2 * 2^-14 = 2^-16.
+    EXPECT_EQ(minifloatDecode(kBf8Spec, 0x01),
+              std::ldexp(1.0f, -16));
+}
+
+TEST(MinifloatBf8, InfinityAndNan)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const u32 icode = minifloatEncode(kBf8Spec, inf);
+    EXPECT_TRUE(std::isinf(minifloatDecode(kBf8Spec, icode)));
+    const u32 ncode =
+        minifloatEncode(kBf8Spec, std::numeric_limits<float>::quiet_NaN());
+    EXPECT_TRUE(std::isnan(minifloatDecode(kBf8Spec, ncode)));
+}
+
+TEST(MinifloatFp4, ExactValueSet)
+{
+    // E2M1 represents exactly +-{0, 0.5, 1, 1.5, 2, 3, 4, 6}.
+    std::set<float> values;
+    for (u32 code = 0; code < 16; ++code)
+        values.insert(minifloatDecode(kFp4Spec, code));
+    const std::set<float> expected = {-6.0f, -4.0f, -3.0f, -2.0f, -1.5f,
+                                      -1.0f, -0.5f, 0.0f,  0.5f,  1.0f,
+                                      1.5f,  2.0f,  3.0f,  4.0f,  6.0f};
+    EXPECT_EQ(values, expected);
+}
+
+TEST(MinifloatFp4, MaxExponentIsTwo)
+{
+    EXPECT_EQ(kFp4Spec.maxExp(), 2);
+    EXPECT_EQ(kFp4Spec.maxFinite(), 6.0);
+}
+
+TEST(MinifloatE4m3, OcpNanCodeAndMax)
+{
+    // OCP E4M3: max finite 448, NaN at exponent=15/mantissa=7.
+    EXPECT_EQ(kFp8E4m3Spec.maxFinite(), 448.0);
+    EXPECT_TRUE(std::isnan(minifloatDecode(kFp8E4m3Spec, 0x7f)));
+    EXPECT_EQ(minifloatDecode(kFp8E4m3Spec,
+                              minifloatEncode(kFp8E4m3Spec, 448.0f)),
+              448.0f);
+    // Overflow saturates to max finite, not NaN.
+    EXPECT_EQ(minifloatDecode(kFp8E4m3Spec,
+                              minifloatEncode(kFp8E4m3Spec, 1.0e6f)),
+              448.0f);
+}
+
+TEST(MinifloatE4m3, HalfwayRoundsToEven)
+{
+    // Between 1.0 (mantissa 0) and 1.125 (mantissa 1): halfway 1.0625
+    // rounds to even mantissa -> 1.0.
+    EXPECT_EQ(minifloatDecode(kFp8E4m3Spec,
+                              minifloatEncode(kFp8E4m3Spec, 1.0625f)),
+              1.0f);
+    // Between 1.125 and 1.25: halfway 1.1875 rounds to 1.25 (even).
+    EXPECT_EQ(minifloatDecode(kFp8E4m3Spec,
+                              minifloatEncode(kFp8E4m3Spec, 1.1875f)),
+              1.25f);
+}
+
+} // namespace
+} // namespace deca

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for E8M0 shared scales and the OCP MX scale-selection rule.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/mx_scale.h"
+
+namespace deca {
+namespace {
+
+TEST(E8m0, CodeBiasAndIdentity)
+{
+    EXPECT_EQ(e8m0Decode(127), 1.0f);
+    EXPECT_EQ(e8m0Decode(128), 2.0f);
+    EXPECT_EQ(e8m0Decode(126), 0.5f);
+}
+
+TEST(E8m0, AllCodesArePowersOfTwo)
+{
+    for (int code = 0; code <= 254; ++code) {
+        const float v = e8m0Decode(static_cast<u8>(code));
+        EXPECT_GT(v, 0.0f);
+        int e = 0;
+        const float m = std::frexp(v, &e);
+        EXPECT_EQ(m, 0.5f) << "code " << code;  // exact power of two
+    }
+}
+
+TEST(E8m0, EncodeClampsRange)
+{
+    EXPECT_EQ(e8m0Encode(-1000), 0);
+    EXPECT_EQ(e8m0Encode(1000), 254);
+    EXPECT_EQ(e8m0Encode(0), 127);
+}
+
+TEST(MxChooseScale, ZeroGroupGetsUnitScale)
+{
+    EXPECT_EQ(mxChooseScale(0.0f, 2), 127);
+}
+
+TEST(MxChooseScale, MatchesOcpRule)
+{
+    // scale exponent = floor(log2(max_abs)) - emax_elem. For E2M1
+    // (emax 2): a group max of 6.0 gives floor(log2 6)=2 -> scale 2^0.
+    EXPECT_EQ(e8m0Decode(mxChooseScale(6.0f, 2)), 1.0f);
+    // Max 24 -> floor(log2)=4 -> scale 2^2 = 4; 24/4 = 6 fits E2M1.
+    EXPECT_EQ(e8m0Decode(mxChooseScale(24.0f, 2)), 4.0f);
+    // Max 0.4 -> floor(log2)=-2 -> scale 2^-4.
+    EXPECT_EQ(e8m0Decode(mxChooseScale(0.4f, 2)),
+              std::ldexp(1.0f, -4));
+}
+
+TEST(MxChooseScale, ScaledMaxFitsElementRange)
+{
+    // After scaling, the group max must be representable (<= 6 for E2M1
+    // within a factor-of-2 band).
+    for (float max_abs : {0.01f, 0.3f, 1.0f, 5.9f, 6.0f, 100.0f, 3e4f}) {
+        const float scale = e8m0Decode(mxChooseScale(max_abs, 2));
+        const float scaled = max_abs / scale;
+        EXPECT_LE(scaled, 8.0f) << max_abs;  // 2^(emax+1)
+        EXPECT_GE(scaled, 2.0f) << max_abs;  // 2^emax
+    }
+}
+
+TEST(MxGroup, GroupSizeIsThirtyTwo)
+{
+    EXPECT_EQ(kMxGroupSize, 32u);
+}
+
+} // namespace
+} // namespace deca

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the DECA PE pipeline: bit-exact functional equivalence with
+ * the golden decompressor across all schemes and configurations, plus
+ * the timing contract (vOps, data-dependent bubbles, pipeline fill).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/quantizer.h"
+#include "compress/reference_decompress.h"
+#include "deca/pipeline.h"
+#include "roofsurface/bubble_model.h"
+
+namespace deca::accel {
+namespace {
+
+using compress::CompressedTile;
+using compress::CompressionScheme;
+using compress::DenseTile;
+
+DenseTile
+randomTile(double density, u64 seed)
+{
+    Rng rng(seed);
+    DenseTile t;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        if (rng.bernoulli(density)) {
+            float v = rng.gaussian(0.02f);
+            if (v == 0.0f)
+                v = 0.02f;
+            t[i] = Bf16::fromFloat(v);
+        }
+    }
+    return t;
+}
+
+struct PipelineCase
+{
+    CompressionScheme scheme;
+    DecaConfig cfg;
+};
+
+class PipelineSchemes : public ::testing::TestWithParam<PipelineCase>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndConfigs, PipelineSchemes,
+    ::testing::Values(
+        PipelineCase{compress::schemeBf16(), decaBestConfig()},
+        PipelineCase{compress::schemeQ8Dense(), decaBestConfig()},
+        PipelineCase{compress::schemeMxfp4(), decaBestConfig()},
+        PipelineCase{compress::schemeQ16(0.3), decaBestConfig()},
+        PipelineCase{compress::schemeQ8(0.5), decaBestConfig()},
+        PipelineCase{compress::schemeQ8(0.05), decaBestConfig()},
+        PipelineCase{compress::schemeMxfp4Sparse(0.3), decaBestConfig()},
+        PipelineCase{compress::schemeQ8(0.2), decaUnderConfig()},
+        PipelineCase{compress::schemeQ8(0.2), decaOverConfig()},
+        PipelineCase{compress::schemeMxfp4(), decaUnderConfig()}),
+    [](const ::testing::TestParamInfo<PipelineCase> &info) {
+        std::string n = info.param.scheme.name + "_W" +
+                        std::to_string(info.param.cfg.w) + "L" +
+                        std::to_string(info.param.cfg.l);
+        for (auto &c : n)
+            if (c == '%')
+                c = 'p';
+        return n;
+    });
+
+TEST_P(PipelineSchemes, FunctionalOutputMatchesGoldenDecompressor)
+{
+    const auto &[scheme, cfg] = GetParam();
+    DecaPipeline pipe(cfg);
+    pipe.configure(scheme);
+    for (u64 seed = 0; seed < 8; ++seed) {
+        const DenseTile t = randomTile(scheme.density, 100 + seed);
+        const CompressedTile ct = compressTile(t, scheme);
+        const TileDecompression out = pipe.decompress(ct);
+        const DenseTile golden = compress::referenceDecompress(ct);
+        EXPECT_EQ(out.tile, golden) << scheme.name << " seed " << seed;
+    }
+}
+
+TEST_P(PipelineSchemes, VopCountIsTileOverW)
+{
+    const auto &[scheme, cfg] = GetParam();
+    DecaPipeline pipe(cfg);
+    pipe.configure(scheme);
+    const CompressedTile ct =
+        compressTile(randomTile(scheme.density, 7), scheme);
+    const TileDecompression out = pipe.decompress(ct);
+    EXPECT_EQ(out.vops, kTileElems / cfg.w);
+    EXPECT_EQ(out.trace.size(), out.vops);
+}
+
+TEST_P(PipelineSchemes, CyclesEqualVopsPlusBubblesPlusFill)
+{
+    const auto &[scheme, cfg] = GetParam();
+    DecaPipeline pipe(cfg);
+    pipe.configure(scheme);
+    const CompressedTile ct =
+        compressTile(randomTile(scheme.density, 8), scheme);
+    const TileDecompression out = pipe.decompress(ct);
+    EXPECT_EQ(out.cycles,
+              out.vops + out.bubbles + (cfg.pipelineDepth - 1));
+    EXPECT_EQ(pipe.tileCycles(ct), out.cycles);
+}
+
+TEST_P(PipelineSchemes, TraceWindowsCoverAllNonzeros)
+{
+    const auto &[scheme, cfg] = GetParam();
+    DecaPipeline pipe(cfg);
+    pipe.configure(scheme);
+    const CompressedTile ct =
+        compressTile(randomTile(scheme.density, 9), scheme);
+    const TileDecompression out = pipe.decompress(ct);
+    u32 total_nz = 0;
+    for (const auto &v : out.trace)
+        total_nz += v.windowNonzeros;
+    EXPECT_EQ(total_nz, ct.numNonzeros);
+}
+
+TEST(Pipeline, DenseQ8BestDesignCycles)
+{
+    // {32,8}, dense Q8: 16 vOps, 3 bubbles each, +2 fill = 66 cycles.
+    DecaPipeline pipe(decaBestConfig());
+    pipe.configure(compress::schemeQ8Dense());
+    const CompressedTile ct =
+        compressTile(randomTile(1.0, 1), compress::schemeQ8Dense());
+    EXPECT_EQ(pipe.tileCycles(ct), 66u);
+}
+
+TEST(Pipeline, DenseMxfp4BestDesignCycles)
+{
+    // 4-bit lookups use the sub-LUTs: no bubbles, 16 vOps + 2 fill.
+    DecaPipeline pipe(decaBestConfig());
+    pipe.configure(compress::schemeMxfp4());
+    const CompressedTile ct =
+        compressTile(randomTile(1.0, 2), compress::schemeMxfp4());
+    EXPECT_EQ(pipe.tileCycles(ct), 18u);
+}
+
+TEST(Pipeline, SparserTilesDecompressFaster)
+{
+    DecaPipeline pipe(decaBestConfig());
+    Cycles prev = ~Cycles{0};
+    for (double d : {1.0, 0.5, 0.2, 0.05}) {
+        const CompressionScheme s =
+            d < 1.0 ? compress::schemeQ8(d) : compress::schemeQ8Dense();
+        pipe.configure(s);
+        // Average over several tiles: bubbles are data dependent.
+        Cycles total = 0;
+        for (u64 seed = 0; seed < 16; ++seed)
+            total += pipe.tileCycles(
+                compressTile(randomTile(d, 50 + seed), s));
+        EXPECT_LT(total, prev * 16) << d;
+        prev = total / 16;
+    }
+}
+
+TEST(Pipeline, MeasuredBubblesTrackAnalyticalExpectation)
+{
+    // The cycle-level bubble count averaged over many real bitmasks must
+    // match the Sec. 6.2 binomial expectation.
+    const CompressionScheme s = compress::schemeQ8(0.5);
+    DecaPipeline pipe(decaBestConfig());
+    pipe.configure(s);
+    double total_bubbles = 0.0;
+    double total_vops = 0.0;
+    for (u64 seed = 0; seed < 64; ++seed) {
+        const TileDecompression out =
+            pipe.decompress(compressTile(randomTile(0.5, 900 + seed), s));
+        total_bubbles += out.bubbles;
+        total_vops += out.vops;
+    }
+    const double measured_bpv = total_bubbles / total_vops;
+    const double expected =
+        roofsurface::expectedBubblesPerVop(32, 8, 8, 0.5);
+    EXPECT_NEAR(measured_bpv, expected, 0.08);
+}
+
+TEST(Pipeline, ScaledOutputUsesGroupScales)
+{
+    // A tile whose groups have very different magnitudes decompresses
+    // with per-group scaling applied (values near the originals).
+    DenseTile t;
+    t[0] = Bf16::fromFloat(48.0f);   // group 0
+    t[33] = Bf16::fromFloat(0.75f);  // group 1
+    const CompressionScheme s = compress::schemeMxfp4();
+    DecaPipeline pipe(decaBestConfig());
+    pipe.configure(s);
+    const TileDecompression out = pipe.decompress(compressTile(t, s));
+    EXPECT_NEAR(out.tile[0].toFloat(), 48.0f, 8.0f);
+    EXPECT_NEAR(out.tile[33].toFloat(), 0.75f, 0.13f);
+}
+
+TEST(Pipeline, RejectsMismatchedScheme)
+{
+    DecaPipeline pipe(decaBestConfig());
+    pipe.configure(compress::schemeQ8Dense());
+    EXPECT_TRUE(pipe.configuredFor(compress::schemeQ8Dense()));
+    EXPECT_FALSE(pipe.configuredFor(compress::schemeMxfp4()));
+}
+
+TEST(Pipeline, ReconfigurationSwitchesFormats)
+{
+    // One PE serving BF8 then MXFP4 after reprogramming (Sec. 5.1 traps
+    // reconfigure on context switch).
+    DecaPipeline pipe(decaBestConfig());
+    pipe.configure(compress::schemeQ8Dense());
+    const DenseTile t1 = randomTile(1.0, 3);
+    const CompressedTile c1 =
+        compressTile(t1, compress::schemeQ8Dense());
+    EXPECT_EQ(pipe.decompress(c1).tile,
+              compress::referenceDecompress(c1));
+
+    pipe.configure(compress::schemeMxfp4());
+    const CompressedTile c2 = compressTile(t1, compress::schemeMxfp4());
+    EXPECT_EQ(pipe.decompress(c2).tile,
+              compress::referenceDecompress(c2));
+}
+
+} // namespace
+} // namespace deca::accel

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for offline tile compression and the golden decompressor
+ * (the Figure 1 round trip).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/quantizer.h"
+#include "compress/reference_decompress.h"
+
+namespace deca::compress {
+namespace {
+
+DenseTile
+randomTile(double density, u64 seed, float sigma = 0.02f)
+{
+    Rng rng(seed);
+    DenseTile t;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        if (rng.bernoulli(density)) {
+            float v = rng.gaussian(sigma);
+            if (v == 0.0f)
+                v = sigma;
+            t[i] = Bf16::fromFloat(v);
+        }
+    }
+    return t;
+}
+
+struct SchemeCase
+{
+    CompressionScheme scheme;
+    double genDensity;
+};
+
+class QuantizerSchemes : public ::testing::TestWithParam<SchemeCase>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, QuantizerSchemes,
+    ::testing::Values(SchemeCase{schemeBf16(), 1.0},
+                      SchemeCase{schemeQ8Dense(), 1.0},
+                      SchemeCase{schemeMxfp4(), 1.0},
+                      SchemeCase{schemeQ16(0.5), 0.5},
+                      SchemeCase{schemeQ16(0.05), 0.05},
+                      SchemeCase{schemeQ8(0.5), 0.5},
+                      SchemeCase{schemeQ8(0.2), 0.2},
+                      SchemeCase{schemeQ8(0.05), 0.05},
+                      SchemeCase{schemeMxfp4Sparse(0.3), 0.3}),
+    [](const ::testing::TestParamInfo<SchemeCase> &info) {
+        std::string n = info.param.scheme.name;
+        for (auto &c : n)
+            if (c == '%')
+                c = 'p';
+        return n;
+    });
+
+TEST_P(QuantizerSchemes, NonzeroCountMatchesBitmask)
+{
+    const auto &[scheme, gen_density] = GetParam();
+    const DenseTile t = randomTile(gen_density, 1);
+    const CompressedTile ct = compressTile(t, scheme);
+    if (scheme.sparse()) {
+        EXPECT_EQ(ct.numNonzeros, ct.bitmask.popcount());
+        EXPECT_EQ(ct.numNonzeros, t.countNonzeros());
+    } else {
+        EXPECT_EQ(ct.numNonzeros, kTileElems);
+    }
+}
+
+TEST_P(QuantizerSchemes, MemoryImageSizeMatchesSchemeMath)
+{
+    const auto &[scheme, gen_density] = GetParam();
+    const DenseTile t = randomTile(gen_density, 2);
+    const CompressedTile ct = compressTile(t, scheme);
+    EXPECT_EQ(ct.dataBytes(),
+              (u64{ct.numNonzeros} * scheme.quantBits() + 7) / 8);
+    EXPECT_EQ(ct.bitmaskBytes(), scheme.sparse() ? 64u : 0u);
+    EXPECT_EQ(ct.scaleBytes(),
+              scheme.groupQuant ? kTileElems / scheme.groupSize : 0u);
+}
+
+TEST_P(QuantizerSchemes, ZerosStayZeroThroughRoundTrip)
+{
+    const auto &[scheme, gen_density] = GetParam();
+    const DenseTile t = randomTile(gen_density, 3);
+    const DenseTile rt = roundTrip(t, scheme);
+    for (u32 i = 0; i < kTileElems; ++i) {
+        if (t[i].isZero()) {
+            EXPECT_TRUE(rt[i].isZero()) << "elem " << i;
+        }
+    }
+}
+
+TEST_P(QuantizerSchemes, RoundTripIsIdempotent)
+{
+    // Quantizing an already-quantized tile must be lossless.
+    const auto &[scheme, gen_density] = GetParam();
+    const DenseTile t = randomTile(gen_density, 4);
+    const DenseTile once = roundTrip(t, scheme);
+    const DenseTile twice = roundTrip(once, scheme);
+    EXPECT_EQ(once, twice);
+}
+
+TEST_P(QuantizerSchemes, QuantizationErrorIsBounded)
+{
+    const auto &[scheme, gen_density] = GetParam();
+    const DenseTile t = randomTile(gen_density, 5);
+    const DenseTile rt = roundTrip(t, scheme);
+    // Relative error bound: 2^-(mantissa bits + 1) per element, plus
+    // BF16 rounding. Group-quantized formats share exponents, so allow
+    // the bound relative to the group max.
+    double rel_bound;
+    switch (scheme.quantBits()) {
+      case 16:
+        rel_bound = 1.0 / 256;
+        break;
+      case 8:
+        rel_bound = 1.0 / 8;  // E5M2: 2 mantissa bits
+        break;
+      default:
+        rel_bound = 1.0 / 4;  // E2M1: 1 mantissa bit
+        break;
+    }
+    for (u32 g = 0; g < kTileElems / kMxGroupSize; ++g) {
+        float group_max = 0.0f;
+        for (u32 j = 0; j < kMxGroupSize; ++j)
+            group_max = std::max(
+                group_max,
+                std::abs(t[g * kMxGroupSize + j].toFloat()));
+        for (u32 j = 0; j < kMxGroupSize; ++j) {
+            const u32 i = g * kMxGroupSize + j;
+            const double err =
+                std::abs(t[i].toFloat() - rt[i].toFloat());
+            const double ref = scheme.groupQuant
+                                   ? group_max
+                                   : std::abs(t[i].toFloat());
+            EXPECT_LE(err, rel_bound * ref + 1e-7)
+                << scheme.name << " elem " << i;
+        }
+    }
+}
+
+TEST(Quantizer, Bf16SchemeIsLossless)
+{
+    const DenseTile t = randomTile(1.0, 6);
+    EXPECT_EQ(roundTrip(t, schemeBf16()), t);
+}
+
+TEST(Quantizer, SparseBf16IsLosslessOnNonzeros)
+{
+    const DenseTile t = randomTile(0.3, 7);
+    EXPECT_EQ(roundTrip(t, schemeQ16(0.3)), t);
+}
+
+TEST(Quantizer, GroupScalesSelectedPerGroup)
+{
+    // Build a tile with a big value in group 0 only; its scale must be
+    // larger than group 1's.
+    DenseTile t;
+    t[0] = Bf16::fromFloat(100.0f);
+    t[40] = Bf16::fromFloat(0.5f);  // group 1
+    const auto scales = computeGroupScales(t, schemeMxfp4());
+    ASSERT_EQ(scales.size(), kTileElems / kMxGroupSize);
+    EXPECT_GT(scales[0], scales[1]);
+}
+
+TEST(Quantizer, LargeOutliersSurviveGroupScaling)
+{
+    DenseTile t;
+    t[5] = Bf16::fromFloat(384.0f);
+    const DenseTile rt = roundTrip(t, schemeMxfp4());
+    EXPECT_NEAR(rt[5].toFloat(), 384.0f, 384.0f / 4);
+}
+
+TEST(Quantizer, MaxAbsErrorHelper)
+{
+    DenseTile a;
+    DenseTile b;
+    a[3] = Bf16::fromFloat(1.0f);
+    b[3] = Bf16::fromFloat(1.5f);
+    EXPECT_FLOAT_EQ(maxAbsError(a, b), 0.5f);
+}
+
+} // namespace
+} // namespace deca::compress

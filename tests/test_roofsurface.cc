@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for machine descriptors, the Roof-Surface equation (Eq. 1/2), and
+ * BORD region classification — anchored against the paper's Figures 4-6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "roofsurface/bord.h"
+#include "roofsurface/roof_surface.h"
+#include "roofsurface/signature.h"
+
+namespace deca::roofsurface {
+namespace {
+
+using compress::schemeBf16;
+using compress::schemeMxfp4;
+using compress::schemeQ16;
+using compress::schemeQ8;
+using compress::schemeQ8Dense;
+
+TEST(Machine, SprRatesMatchPaper)
+{
+    const MachineConfig hbm = sprHbm();
+    // MOS = f*c/16 = 2.5e9 * 56 / 16 = 8.75e9 tile-ops/s.
+    EXPECT_NEAR(hbm.mosPerSec(), 8.75e9, 1e6);
+    // VOS = f*c*2 = 2.8e11 vector ops/s.
+    EXPECT_NEAR(hbm.vosPerSec(), 2.8e11, 1e8);
+    EXPECT_NEAR(hbm.memBwBytesPerSec, 850e9, 1.0);
+    EXPECT_NEAR(sprDdr().memBwBytesPerSec, 260e9, 1.0);
+}
+
+TEST(Machine, MtxBoundPeakFlops)
+{
+    // The N=4 compute roof of Fig. 3/4: 512*4*MOS ~ 17.9 TFLOPS.
+    const RoofSurfacePoint p =
+        evaluate(sprHbm(), KernelSignature{"x", 1.0, 1.0});
+    EXPECT_EQ(p.bound, Bound::MTX);
+    EXPECT_NEAR(p.flops(4) / 1e12, 17.92, 0.01);
+}
+
+TEST(Machine, DecaVectorEngineHasLowerVos)
+{
+    const MachineConfig deca = sprHbm().withDecaVectorEngine();
+    EXPECT_NEAR(deca.vosPerSec(), 1.4e11, 1e8);
+    EXPECT_EQ(deca.mosPerSec(), sprHbm().mosPerSec());
+}
+
+TEST(Machine, VosScaleMultiplies)
+{
+    const MachineConfig m4 = sprHbm().withVosScale(4.0);
+    EXPECT_NEAR(m4.vosPerSec(), 4.0 * sprHbm().vosPerSec(), 1.0);
+}
+
+TEST(RoofSurface, MinOfThreeTerms)
+{
+    const MachineConfig m = sprHbm();
+    KernelSignature sig;
+    sig.aixm = 1.0 / 512;   // Q8-dense-like
+    sig.aixv = 1.0 / 80;
+    const RoofSurfacePoint p = evaluate(m, sig);
+    EXPECT_NEAR(p.memRateTps, 850e9 / 512, 1e3);
+    EXPECT_NEAR(p.vecRateTps, 2.8e11 / 80, 1e3);
+    EXPECT_NEAR(p.mtxRateTps, 8.75e9, 1e3);
+    EXPECT_EQ(p.tps, std::min({p.memRateTps, p.vecRateTps, p.mtxRateTps}));
+}
+
+TEST(RoofSurface, Equation2FlopsScaling)
+{
+    KernelSignature sig{"k", 1.0 / 512, 1.0 / 80};
+    const RoofSurfacePoint p = evaluate(sprHbm(), sig);
+    EXPECT_NEAR(p.flops(4), 4.0 * p.flops(1), 1.0);
+    EXPECT_NEAR(p.flops(1), 512.0 * p.tps, 1.0);
+}
+
+TEST(RoofSurface, RooflineIgnoresVectorTerm)
+{
+    // A kernel strangled by vector work still looks fine to the 2D
+    // roofline — the Fig. 3 blind spot.
+    KernelSignature sig{"k", 1.0 / 89.6, 1e-9};
+    const RoofSurfacePoint rs = evaluate(sprHbm(), sig);
+    const RoofSurfacePoint rl = evaluateRoofline(sprHbm(), sig);
+    EXPECT_EQ(rs.bound, Bound::VEC);
+    EXPECT_GT(rl.tps / rs.tps, 100.0);
+}
+
+TEST(RoofSurface, PaperFig4bRoofSurfaceBounds)
+{
+    // Fig. 4b (N=4, HBM): R-S predictions in TFLOPS for the software
+    // kernels. Our signature model should land within ~10% of the
+    // paper's reported bounds.
+    const MachineConfig m = sprHbm();
+    const struct
+    {
+        compress::CompressionScheme scheme;
+        double rsTflops;
+    } cases[] = {
+        {schemeMxfp4(), 2.9},     {schemeQ8Dense(), 3.3},
+        {schemeQ8(0.50), 4.0},    {schemeQ8(0.30), 4.0},
+        {schemeQ8(0.20), 4.0},    {schemeQ8(0.10), 4.0},
+        {schemeQ8(0.05), 4.0},    {schemeQ16(0.50), 3.0},
+        {schemeQ16(0.30), 4.6},   {schemeQ16(0.10), 5.8},
+        {schemeQ16(0.05), 5.8},
+    };
+    for (const auto &c : cases) {
+        const RoofSurfacePoint p = evaluate(m, softwareSignature(c.scheme));
+        EXPECT_NEAR(p.flops(4) / 1e12, c.rsTflops, c.rsTflops * 0.10)
+            << c.scheme.name;
+    }
+}
+
+TEST(RoofSurface, PaperFig4bRooflineBounds)
+{
+    // Fig. 4b roofline (R-L) column, spot checks.
+    const MachineConfig m = sprHbm();
+    const struct
+    {
+        compress::CompressionScheme scheme;
+        double rlTflops;
+    } cases[] = {
+        {schemeMxfp4(), 6.3},   {schemeQ8(0.30), 7.8},
+        {schemeQ8(0.10), 14.8}, {schemeQ16(0.10), 10.2},
+        {schemeQ8(0.05), 17.5},
+    };
+    for (const auto &c : cases) {
+        const RoofSurfacePoint p =
+            evaluateRoofline(m, softwareSignature(c.scheme));
+        EXPECT_NEAR(p.flops(4) / 1e12, c.rlTflops, c.rlTflops * 0.12)
+            << c.scheme.name;
+    }
+}
+
+TEST(Bord, GeometryLinesMatchDefinition)
+{
+    const MachineConfig m = sprHbm();
+    const BordGeometry g = bordGeometry(m);
+    EXPECT_NEAR(g.memVecSlope, m.memBwBytesPerSec / m.vosPerSec(), 1e-15);
+    EXPECT_NEAR(g.memMtxX, m.mosPerSec() / m.memBwBytesPerSec, 1e-15);
+    EXPECT_NEAR(g.vecMtxY, m.mosPerSec() / m.vosPerSec(), 1e-15);
+}
+
+TEST(Bord, HbmClassifiesMostSoftwareKernelsVecBound)
+{
+    // Fig. 5a: the vast majority of software kernels are VEC-bound on
+    // HBM; BF16_50% and BF16_30% (and dense Q8) are MEM-bound.
+    const MachineConfig m = sprHbm();
+    EXPECT_EQ(bordClassify(m, softwareSignature(schemeQ16(0.5))),
+              Bound::MEM);
+    EXPECT_EQ(bordClassify(m, softwareSignature(schemeQ16(0.3))),
+              Bound::MEM);
+    EXPECT_EQ(bordClassify(m, softwareSignature(schemeQ8Dense())),
+              Bound::MEM);
+    for (const auto &s :
+         {schemeMxfp4(), schemeQ8(0.5), schemeQ8(0.3), schemeQ8(0.2),
+          schemeQ8(0.1), schemeQ8(0.05), schemeQ16(0.1), schemeQ16(0.05)}) {
+        EXPECT_EQ(bordClassify(m, softwareSignature(s)), Bound::VEC)
+            << s.name;
+    }
+}
+
+TEST(Bord, DdrClassifiesMostKernelsMemBound)
+{
+    // Fig. 5b: on DDR only the highest-compression Q8 kernels escape the
+    // MEM region.
+    const MachineConfig m = sprDdr();
+    for (const auto &s : {schemeQ16(0.5), schemeQ8Dense(), schemeQ16(0.3),
+                          schemeQ8(0.5), schemeMxfp4(), schemeQ16(0.2),
+                          schemeQ16(0.1), schemeQ16(0.05)}) {
+        EXPECT_EQ(bordClassify(m, softwareSignature(s)), Bound::MEM)
+            << s.name;
+    }
+    for (const auto &s : {schemeQ8(0.1), schemeQ8(0.05)}) {
+        EXPECT_EQ(bordClassify(m, softwareSignature(s)), Bound::VEC)
+            << s.name;
+    }
+}
+
+TEST(Bord, FourXVosStillLeavesVecBoundKernels)
+{
+    // Fig. 6: even 4x VOS does not clear the VEC region for every
+    // kernel (MXFP4 in particular).
+    const MachineConfig m4 = sprHbm().withVosScale(4.0);
+    u32 vec_bound = 0;
+    for (const auto &s : compress::paperSchemes()) {
+        if (bordClassify(m4, softwareSignature(s)) == Bound::VEC)
+            ++vec_bound;
+    }
+    EXPECT_GE(vec_bound, 1u);
+    // But fewer than on the baseline machine.
+    u32 vec_bound_base = 0;
+    for (const auto &s : compress::paperSchemes()) {
+        if (bordClassify(sprHbm(), softwareSignature(s)) == Bound::VEC)
+            ++vec_bound_base;
+    }
+    EXPECT_LT(vec_bound, vec_bound_base);
+}
+
+TEST(Bord, MtxRegionVisibleOnHbmNotDdr)
+{
+    // Fig. 5: the MTX region disappears from the DDR BORD within the
+    // plotted window.
+    const double aixm_max = 0.0155;
+    const double aixv_max = 0.045;
+    EXPECT_TRUE(mtxRegionVisible(sprHbm(), aixm_max, aixv_max));
+    EXPECT_FALSE(mtxRegionVisible(sprDdr(), aixm_max, aixv_max));
+}
+
+TEST(Bord, ClassifyAllReturnsOnePointPerKernel)
+{
+    std::vector<KernelSignature> sigs;
+    for (const auto &s : compress::paperSchemes())
+        sigs.push_back(softwareSignature(s));
+    const auto points = bordClassifyAll(sprHbm(), sigs);
+    EXPECT_EQ(points.size(), sigs.size());
+}
+
+TEST(SurfaceSampling, CoversAllThreeRegions)
+{
+    const auto samples = sampleSurface(sprHbm(), 4, 0.02, 0.04, 24);
+    u32 mem = 0;
+    u32 vec = 0;
+    u32 mtx = 0;
+    for (const auto &s : samples) {
+        switch (s.bound) {
+          case Bound::MEM:
+            ++mem;
+            break;
+          case Bound::VEC:
+            ++vec;
+            break;
+          case Bound::MTX:
+            ++mtx;
+            break;
+        }
+        EXPECT_GT(s.tflops, 0.0);
+    }
+    EXPECT_GT(mem, 0u);
+    EXPECT_GT(vec, 0u);
+    EXPECT_GT(mtx, 0u);
+}
+
+TEST(SurfaceSampling, MonotoneInBothIntensities)
+{
+    // FLOPS never decreases as either arithmetic intensity grows.
+    const MachineConfig m = sprHbm();
+    KernelSignature a{"a", 0.002, 0.01};
+    KernelSignature b{"b", 0.004, 0.01};
+    KernelSignature c{"c", 0.002, 0.02};
+    EXPECT_LE(evaluate(m, a).tps, evaluate(m, b).tps);
+    EXPECT_LE(evaluate(m, a).tps, evaluate(m, c).tps);
+}
+
+} // namespace
+} // namespace deca::roofsurface

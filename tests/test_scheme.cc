@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for compression-scheme size math (Section 2.2) and the paper's
+ * scheme list.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/scheme.h"
+
+namespace deca::compress {
+namespace {
+
+TEST(Scheme, UncompressedBf16TileIsOneKb)
+{
+    const CompressionScheme s = schemeBf16();
+    EXPECT_EQ(s.bytesPerTile(), 1024.0);
+    EXPECT_EQ(s.compressionFactor(), 1.0);
+    EXPECT_FALSE(s.sparse());
+}
+
+TEST(Scheme, DenseQ8HalvesFootprint)
+{
+    const CompressionScheme s = schemeQ8Dense();
+    EXPECT_EQ(s.bytesPerTile(), 512.0);
+    EXPECT_EQ(s.compressionFactor(), 2.0);
+}
+
+TEST(Scheme, Mxfp4IncludesScaleFactors)
+{
+    const CompressionScheme s = schemeMxfp4();
+    // 512 * 4 bits data + 16 E8M0 scales = 256 + 16 bytes.
+    EXPECT_EQ(s.dataBytesPerTile(), 256.0);
+    EXPECT_EQ(s.scaleBytesPerTile(), 16.0);
+    EXPECT_EQ(s.bytesPerTile(), 272.0);
+}
+
+TEST(Scheme, SparseSchemesMatchPaperFormula)
+{
+    // Paper: CF = 16 / (Q*d + 1) for quantized+sparse with the 1-bit
+    // bitmask (no group scales).
+    for (double d : {0.05, 0.1, 0.2, 0.3, 0.5}) {
+        const CompressionScheme q8 = schemeQ8(d);
+        EXPECT_NEAR(q8.compressionFactor(), 16.0 / (8 * d + 1), 1e-9)
+            << q8.name;
+        const CompressionScheme q16 = schemeQ16(d);
+        EXPECT_NEAR(q16.compressionFactor(), 16.0 / (16 * d + 1), 1e-9)
+            << q16.name;
+    }
+}
+
+TEST(Scheme, BitmaskOnlyForSparse)
+{
+    EXPECT_EQ(schemeQ8Dense().bitmaskBytesPerTile(), 0.0);
+    EXPECT_EQ(schemeQ8(0.5).bitmaskBytesPerTile(), 64.0);
+}
+
+TEST(Scheme, AixmIsReciprocalBytes)
+{
+    for (const auto &s : paperSchemes())
+        EXPECT_NEAR(s.aixm() * s.bytesPerTile(), 1.0, 1e-12) << s.name;
+}
+
+TEST(Scheme, FlopPerByteScalesWithBatch)
+{
+    const CompressionScheme s = schemeQ8Dense();
+    EXPECT_NEAR(s.flopPerByte(4), 4.0 * s.flopPerByte(1), 1e-12);
+    EXPECT_NEAR(s.flopPerByte(1), 512.0 / 512.0, 1e-12);
+}
+
+TEST(Scheme, PaperListOrderedByCompressionFactor)
+{
+    const auto schemes = paperSchemes();
+    ASSERT_EQ(schemes.size(), 12u);
+    EXPECT_EQ(schemes.front().name, "Q16_50%");
+    EXPECT_EQ(schemes.back().name, "Q8_5%");
+    for (size_t i = 1; i < schemes.size(); ++i) {
+        EXPECT_LE(schemes[i - 1].compressionFactor(),
+                  schemes[i].compressionFactor() + 1e-9)
+            << schemes[i - 1].name << " vs " << schemes[i].name;
+    }
+}
+
+TEST(Scheme, PaperSparseSubset)
+{
+    for (const auto &s : paperSparseSchemes())
+        EXPECT_TRUE(s.sparse()) << s.name;
+    // 12 paper schemes minus the two dense ones (Q8 and Q4).
+    EXPECT_EQ(paperSparseSchemes().size(), 10u);
+}
+
+TEST(Scheme, NamesFollowPaperConvention)
+{
+    EXPECT_EQ(schemeQ8(0.05).name, "Q8_5%");
+    EXPECT_EQ(schemeQ16(0.30).name, "Q16_30%");
+    EXPECT_EQ(schemeMxfp4().name, "Q4");
+    EXPECT_EQ(schemeQ8Dense().name, "Q8");
+}
+
+TEST(Scheme, Mxfp4SitsBetweenQ8_50AndQ16_20)
+{
+    // The paper's figures order Q4 after Q8_50% and before Q16_20%.
+    EXPECT_GT(schemeMxfp4().compressionFactor(),
+              schemeQ8(0.5).compressionFactor());
+    EXPECT_LT(schemeMxfp4().compressionFactor(),
+              schemeQ16(0.2).compressionFactor());
+}
+
+} // namespace
+} // namespace deca::compress

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for kernel signatures (AIXM/AIXV) of the software and DECA
+ * decompression paths.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "roofsurface/signature.h"
+
+namespace deca::roofsurface {
+namespace {
+
+using compress::schemeBf16;
+using compress::schemeMxfp4;
+using compress::schemeQ16;
+using compress::schemeQ8;
+using compress::schemeQ8Dense;
+
+TEST(SoftwareSignature, PerRowOpCounts)
+{
+    EXPECT_EQ(softwareVopsPerTileRow(schemeBf16()), 0u);
+    EXPECT_EQ(softwareVopsPerTileRow(schemeQ16(0.3)), 6u);
+    EXPECT_EQ(softwareVopsPerTileRow(schemeQ8Dense()), 5u);
+    EXPECT_EQ(softwareVopsPerTileRow(schemeQ8(0.3)), 9u);
+    EXPECT_EQ(softwareVopsPerTileRow(schemeMxfp4()), 12u);
+}
+
+TEST(SoftwareSignature, AixvIsReciprocalOfTileOps)
+{
+    const KernelSignature sig = softwareSignature(schemeQ8(0.2));
+    // 9 ops/row * 16 rows = 144 ops/tile.
+    EXPECT_NEAR(sig.aixv, 1.0 / 144.0, 1e-12);
+    EXPECT_NEAR(sig.vopsPerTile(), 144.0, 1e-9);
+}
+
+TEST(SoftwareSignature, UncompressedNeedsNoVectorWork)
+{
+    const KernelSignature sig = softwareSignature(schemeBf16());
+    EXPECT_TRUE(std::isinf(sig.aixv));
+    EXPECT_EQ(sig.vopsPerTile(), 0.0);
+}
+
+TEST(SoftwareSignature, AixmComesFromScheme)
+{
+    for (const auto &s : compress::paperSchemes())
+        EXPECT_DOUBLE_EQ(softwareSignature(s).aixm, s.aixm()) << s.name;
+}
+
+TEST(SoftwareSignature, SparseQ8CostIndependentOfDensity)
+{
+    // Masked expands process whole rows, so the AVX op count does not
+    // change with density — the reason all sparse Q8 kernels share one
+    // Roof-Surface VEC bound (Fig. 4b: 4.0 TFLOPS).
+    const double a = softwareSignature(schemeQ8(0.5)).aixv;
+    const double b = softwareSignature(schemeQ8(0.05)).aixv;
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(DecaSignature, DenseQ8BestDesign)
+{
+    // {W=32,L=8}, dense Q8: 16 vOps + 3 bubbles each -> 64 per tile.
+    const KernelSignature sig = decaSignature(schemeQ8Dense(), 32, 8);
+    EXPECT_NEAR(1.0 / sig.aixv, 64.0, 1e-9);
+}
+
+TEST(DecaSignature, Mxfp4BestDesignHasNoBubbles)
+{
+    // 4-bit lookups use sub-LUTs: Lq = 32 = W, so 16 vOps per tile.
+    const KernelSignature sig = decaSignature(schemeMxfp4(), 32, 8);
+    EXPECT_NEAR(1.0 / sig.aixv, 16.0, 1e-9);
+}
+
+TEST(DecaSignature, SparseTilesNeedFewerCycles)
+{
+    const double dense = 1.0 / decaSignature(schemeQ8Dense(), 32, 8).aixv;
+    const double half = 1.0 / decaSignature(schemeQ8(0.5), 32, 8).aixv;
+    const double sparse = 1.0 / decaSignature(schemeQ8(0.05), 32, 8).aixv;
+    EXPECT_GT(dense, half);
+    EXPECT_GT(half, sparse);
+    EXPECT_NEAR(sparse, 16.0, 0.5);  // near the bubble-free floor
+}
+
+TEST(DecaSignature, Q16SchemesSkipDequantStage)
+{
+    // 16-bit elements bypass the LUT array: no bubbles at any density.
+    for (double d : {0.05, 0.3, 0.5}) {
+        const KernelSignature sig = decaSignature(schemeQ16(d), 32, 8);
+        EXPECT_NEAR(1.0 / sig.aixv, 16.0, 1e-9) << d;
+    }
+}
+
+TEST(DecaSignature, WiderDatapathNeedsFewerVops)
+{
+    const double w32 = 1.0 / decaSignature(schemeQ16(0.5), 32, 8).aixv;
+    const double w64 = 1.0 / decaSignature(schemeQ16(0.5), 64, 8).aixv;
+    EXPECT_NEAR(w32 / w64, 2.0, 1e-9);
+}
+
+TEST(DecaSignature, DecaBeatsSoftwareAixv)
+{
+    // The whole point of DECA: one vOp replaces the multi-op AVX
+    // sequence, raising AIXV for every compressed scheme.
+    for (const auto &s : compress::paperSchemes()) {
+        const double sw = softwareSignature(s).aixv;
+        const double deca = decaSignature(s, 32, 8).aixv;
+        EXPECT_GT(deca, sw) << s.name;
+    }
+}
+
+} // namespace
+} // namespace deca::roofsurface

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the stats registry and table/CSV writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace deca {
+namespace {
+
+TEST(StatGroup, IncrementAndRead)
+{
+    StatGroup g("core0");
+    EXPECT_EQ(g.get("loads"), 0.0);
+    EXPECT_FALSE(g.has("loads"));
+    g.inc("loads");
+    g.inc("loads", 2.5);
+    EXPECT_EQ(g.get("loads"), 3.5);
+    EXPECT_TRUE(g.has("loads"));
+}
+
+TEST(StatGroup, ScalarReferenceIsStable)
+{
+    StatGroup g("x");
+    double &s = g.scalar("cycles");
+    s = 10;
+    g.inc("other");
+    EXPECT_EQ(g.get("cycles"), 10.0);
+    s += 5;
+    EXPECT_EQ(g.get("cycles"), 15.0);
+}
+
+TEST(StatGroup, ResetZeroesEverything)
+{
+    StatGroup g("x");
+    g.inc("a", 3);
+    g.inc("b", 4);
+    g.reset();
+    EXPECT_EQ(g.get("a"), 0.0);
+    EXPECT_EQ(g.get("b"), 0.0);
+}
+
+TEST(StatGroup, DumpContainsPrefixedLines)
+{
+    StatGroup g("mem");
+    g.inc("bytes", 64);
+    const std::string d = g.dump();
+    EXPECT_NE(d.find("mem.bytes 64"), std::string::npos);
+}
+
+TEST(TableWriter, CsvRoundTrip)
+{
+    TableWriter t("demo");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n3,4\n");
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TableWriter, RenderAlignsColumns)
+{
+    TableWriter t("demo");
+    t.setHeader({"name", "v"});
+    t.addRow({"longkernelname", "1.0"});
+    const std::string r = t.render();
+    EXPECT_NE(r.find("== demo =="), std::string::npos);
+    EXPECT_NE(r.find("longkernelname"), std::string::npos);
+}
+
+TEST(TableWriter, NumberFormatting)
+{
+    EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TableWriter::num(2.0, 0), "2");
+    EXPECT_EQ(TableWriter::pct(0.895, 1), "89.5%");
+}
+
+} // namespace
+} // namespace deca

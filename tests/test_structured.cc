@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for N:M structured sparsity (Table 2): pattern legality, DECA
+ * handling via the ordinary bitmask path, and the deterministic bubble
+ * behaviour structured patterns induce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/quantizer.h"
+#include "compress/reference_decompress.h"
+#include "compress/structured.h"
+#include "deca/pipeline.h"
+
+namespace deca::compress {
+namespace {
+
+TEST(Structured, PruneProducesLegal24Pattern)
+{
+    Rng rng(1);
+    WeightMatrix w = generateWeights(32, 64, 1.0, rng);
+    structuredPrune(w, 2, 4);
+    EXPECT_TRUE(checkStructured(w, 2, 4));
+    EXPECT_NEAR(w.density(), 0.5, 1e-9);
+}
+
+TEST(Structured, PruneKeepsLargestPerGroup)
+{
+    WeightMatrix w(16, 32);
+    // Group of 4 with known magnitudes.
+    w.at(0, 0) = Bf16::fromFloat(0.1f);
+    w.at(0, 1) = Bf16::fromFloat(0.4f);
+    w.at(0, 2) = Bf16::fromFloat(-0.3f);
+    w.at(0, 3) = Bf16::fromFloat(0.2f);
+    structuredPrune(w, 2, 4);
+    EXPECT_TRUE(w.at(0, 0).isZero());
+    EXPECT_FALSE(w.at(0, 1).isZero());
+    EXPECT_FALSE(w.at(0, 2).isZero());
+    EXPECT_TRUE(w.at(0, 3).isZero());
+}
+
+TEST(Structured, CheckRejectsIllegalPattern)
+{
+    Rng rng(2);
+    WeightMatrix w = generateWeights(16, 32, 1.0, rng);
+    EXPECT_FALSE(checkStructured(w, 2, 4));  // dense violates 2:4
+}
+
+TEST(Structured, SchemeDescriptor)
+{
+    const CompressionScheme s =
+        schemeStructured(ElemFormat::BF8, 2, 4);
+    EXPECT_EQ(s.name, "BF8_2:4");
+    EXPECT_DOUBLE_EQ(s.density, 0.5);
+    EXPECT_TRUE(s.sparse());
+    // Same memory layout math as unstructured 50%.
+    EXPECT_DOUBLE_EQ(s.bytesPerTile(), schemeQ8(0.5).bytesPerTile());
+}
+
+TEST(Structured, DecaDecompresses24Exactly)
+{
+    // DECA needs no special casing: the 2:4 bitmask flows through the
+    // same POPCNT/prefix-sum/crossbar path.
+    Rng rng(3);
+    WeightMatrix w = generateWeights(16, 32, 1.0, rng);
+    structuredPrune(w, 2, 4);
+    const CompressionScheme s = schemeStructured(ElemFormat::BF8, 2, 4);
+    const CompressedTile ct = compressTile(w.tile(0, 0), s);
+
+    accel::DecaPipeline pipe(accel::decaBestConfig());
+    pipe.configure(s);
+    EXPECT_EQ(pipe.decompress(ct).tile, referenceDecompress(ct));
+}
+
+TEST(Structured, BubblesAreDeterministicFor24)
+{
+    // Every 32-wide window of a 2:4 matrix holds exactly 16 nonzeros
+    // (2 per 4-group x 8 groups), so on {W=32, L=8} each vOp needs
+    // ceil(16/8) = 2 dequant cycles -> exactly 1 bubble per vOp.
+    Rng rng(4);
+    const CompressionScheme s = schemeStructured(ElemFormat::BF8, 2, 4);
+    accel::DecaPipeline pipe(accel::decaBestConfig());
+    pipe.configure(s);
+    for (u64 seed = 0; seed < 8; ++seed) {
+        WeightMatrix w = generateWeights(16, 32, 1.0, rng);
+        structuredPrune(w, 2, 4);
+        const CompressedTile ct = compressTile(w.tile(0, 0), s);
+        const auto out = pipe.decompress(ct);
+        for (const auto &v : out.trace) {
+            EXPECT_EQ(v.windowNonzeros, 16u);
+            EXPECT_EQ(v.bubbles, 1u);
+        }
+    }
+}
+
+TEST(Structured, UnstructuredSameDensityHasVariableWindows)
+{
+    // Contrast with 2:4: unstructured 50% windows fluctuate around 16.
+    Rng rng(5);
+    const CompressionScheme s = schemeQ8(0.5);
+    accel::DecaPipeline pipe(accel::decaBestConfig());
+    pipe.configure(s);
+    const WeightMatrix w = generateWeights(16, 32, 0.5, rng);
+    bool saw_variation = false;
+    const auto out = pipe.decompress(compressTile(w.tile(0, 0), s));
+    for (const auto &v : out.trace)
+        saw_variation |= v.windowNonzeros != 16u;
+    EXPECT_TRUE(saw_variation);
+}
+
+TEST(Structured, OneToFourPattern)
+{
+    Rng rng(6);
+    WeightMatrix w = generateWeights(16, 32, 1.0, rng);
+    structuredPrune(w, 1, 4);
+    EXPECT_TRUE(checkStructured(w, 1, 4));
+    EXPECT_NEAR(w.density(), 0.25, 1e-9);
+    // 1:4 on {32,8}: 8 nonzeros per window -> no bubbles.
+    const CompressionScheme s = schemeStructured(ElemFormat::BF8, 1, 4);
+    accel::DecaPipeline pipe(accel::decaBestConfig());
+    pipe.configure(s);
+    const auto out = pipe.decompress(compressTile(w.tile(0, 0), s));
+    EXPECT_EQ(out.bubbles, 0u);
+}
+
+} // namespace
+} // namespace deca::compress

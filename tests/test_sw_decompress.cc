@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the emulated AVX software decompression kernel: bit-exact
+ * functional equivalence with the golden decompressor, and — the key
+ * closure property — the per-row vector-op counts it *derives* match
+ * the counts the Roof-Surface signature model and the cycle-level cost
+ * model assume.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/quantizer.h"
+#include "compress/reference_decompress.h"
+#include "deca/pipeline.h"
+#include "kernels/sw_cost_model.h"
+#include "kernels/sw_decompress.h"
+#include "roofsurface/signature.h"
+
+namespace deca::kernels {
+namespace {
+
+compress::DenseTile
+randomTile(double density, u64 seed)
+{
+    Rng rng(seed);
+    compress::DenseTile t;
+    for (u32 i = 0; i < kTileElems; ++i) {
+        if (rng.bernoulli(density)) {
+            float v = rng.gaussian(0.02f);
+            t[i] = Bf16::fromFloat(v == 0.0f ? 0.02f : v);
+        }
+    }
+    return t;
+}
+
+class SwDecompressSchemes
+    : public ::testing::TestWithParam<compress::CompressionScheme>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SwDecompressSchemes,
+    ::testing::Values(compress::schemeBf16(), compress::schemeQ8Dense(),
+                      compress::schemeMxfp4(), compress::schemeQ16(0.3),
+                      compress::schemeQ8(0.5), compress::schemeQ8(0.05),
+                      compress::schemeMxfp4Sparse(0.3)),
+    [](const auto &info) {
+        std::string n = info.param.name;
+        for (auto &c : n)
+            if (c == '%')
+                c = 'p';
+        return n;
+    });
+
+TEST_P(SwDecompressSchemes, MatchesGoldenDecompressor)
+{
+    const auto scheme = GetParam();
+    for (u64 seed = 0; seed < 6; ++seed) {
+        const auto ct = compress::compressTile(
+            randomTile(scheme.density, 200 + seed), scheme);
+        EXPECT_EQ(swDecompressTile(ct), compress::referenceDecompress(ct))
+            << scheme.name << " seed " << seed;
+    }
+}
+
+TEST_P(SwDecompressSchemes, MatchesDecaPipelineOutput)
+{
+    // Software and DECA produce identical tiles — decompression is a
+    // pure function of the compressed image.
+    const auto scheme = GetParam();
+    const auto ct =
+        compress::compressTile(randomTile(scheme.density, 33), scheme);
+    accel::DecaPipeline pe(accel::decaBestConfig());
+    pe.configure(scheme);
+    EXPECT_EQ(swDecompressTile(ct), pe.decompress(ct).tile);
+}
+
+TEST_P(SwDecompressSchemes, DerivedOpCountsMatchCostModel)
+{
+    // The closure property: counts from the functional emulation ==
+    // the hardcoded cost-model breakdown == the signature model total.
+    const auto scheme = GetParam();
+    const AvxOpCounts derived = swOpCountsPerRow(scheme);
+    const VopBreakdown assumed = swVopBreakdownPerRow(scheme);
+    EXPECT_EQ(derived.memOps(), assumed.memOps) << scheme.name;
+    EXPECT_EQ(derived.computeOps(), assumed.computeOps) << scheme.name;
+    EXPECT_EQ(derived.total(),
+              roofsurface::softwareVopsPerTileRow(scheme))
+        << scheme.name;
+}
+
+TEST_P(SwDecompressSchemes, OpCountsIdenticalAcrossRowsAndDensity)
+{
+    // Masked expands process whole rows, so counts must not depend on
+    // the random tile contents.
+    const auto scheme = GetParam();
+    AvxOpCounts a;
+    AvxOpCounts b;
+    swDecompressTile(
+        compress::compressTile(randomTile(scheme.density, 1), scheme),
+        &a);
+    swDecompressTile(
+        compress::compressTile(randomTile(scheme.density, 2), scheme),
+        &b);
+    EXPECT_EQ(a.total(), b.total()) << scheme.name;
+    // Per-tile totals are 16x the per-row counts (uniform rows).
+    EXPECT_EQ(a.total() % kTileRows, 0u) << scheme.name;
+}
+
+TEST(SwDecompress, DenseBf16CountsZeroOps)
+{
+    const auto ct = compress::compressTile(randomTile(1.0, 5),
+                                           compress::schemeBf16());
+    AvxOpCounts counts;
+    const auto tile = swDecompressTile(ct, &counts);
+    EXPECT_EQ(counts.total(), 0u);
+    EXPECT_EQ(tile, compress::referenceDecompress(ct));
+}
+
+TEST(SwDecompress, ExpandOpsOnlyForSparseSchemes)
+{
+    AvxOpCounts dense;
+    swDecompressTile(compress::compressTile(randomTile(1.0, 6),
+                                            compress::schemeQ8Dense()),
+                     &dense);
+    EXPECT_EQ(dense.expands, 0u);
+    EXPECT_EQ(dense.masks, 0u);
+
+    AvxOpCounts sparse;
+    swDecompressTile(compress::compressTile(randomTile(0.5, 7),
+                                            compress::schemeQ8(0.5)),
+                     &sparse);
+    EXPECT_EQ(sparse.expands, kTileRows);
+    EXPECT_EQ(sparse.masks, kTileRows);
+}
+
+TEST(SwDecompress, PermutesOnlyForSubByteFormats)
+{
+    AvxOpCounts q8;
+    swDecompressTile(compress::compressTile(randomTile(1.0, 8),
+                                            compress::schemeQ8Dense()),
+                     &q8);
+    EXPECT_EQ(q8.permutes, 0u);
+    EXPECT_EQ(q8.converts, 2u * kTileRows);
+
+    AvxOpCounts q4;
+    swDecompressTile(compress::compressTile(randomTile(1.0, 9),
+                                            compress::schemeMxfp4()),
+                     &q4);
+    EXPECT_EQ(q4.permutes, 2u * kTileRows);
+    // MXFP4's only convert is the post-scaling fp32->BF16 downconvert.
+    EXPECT_EQ(q4.converts, kTileRows);
+}
+
+TEST(SwDecompress, Fp6GroupQuantCountsMatchModel)
+{
+    compress::CompressionScheme fp6;
+    fp6.name = "FP6_30%";
+    fp6.format = compress::ElemFormat::FP6_E3M2;
+    fp6.density = 0.3;
+    fp6.groupQuant = true;
+    const AvxOpCounts derived = swOpCountsPerRow(fp6);
+    const VopBreakdown assumed = swVopBreakdownPerRow(fp6);
+    EXPECT_EQ(derived.memOps(), assumed.memOps);
+    EXPECT_EQ(derived.computeOps(), assumed.computeOps);
+}
+
+} // namespace
+} // namespace deca::kernels

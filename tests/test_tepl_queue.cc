@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the TEPL queue: out-of-order issue, the two-port structural
+ * hazard, squash-on-flush, and safe re-issue (Section 5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "deca/tepl_queue.h"
+
+namespace deca::accel {
+namespace {
+
+TEST(TeplQueue, AllocateUntilFull)
+{
+    TeplQueue q(4, 2);
+    for (u64 s = 1; s <= 4; ++s)
+        EXPECT_TRUE(q.allocate(s, static_cast<u32>(s)));
+    EXPECT_FALSE(q.allocate(5, 5));  // front end must stall
+    EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(TeplQueue, PortStructuralHazardLimitsIssue)
+{
+    TeplQueue q(8, 2);
+    for (u64 s = 1; s <= 4; ++s) {
+        q.allocate(s, static_cast<u32>(s));
+        q.markReady(s, 0xd00d + s);
+    }
+    // Only two can issue (one per Loader).
+    EXPECT_TRUE(q.issueOldestReady().has_value());
+    EXPECT_TRUE(q.issueOldestReady().has_value());
+    EXPECT_FALSE(q.issueOldestReady().has_value());
+    EXPECT_EQ(q.freePorts(), 0u);
+    // Completing one frees a port for the next oldest.
+    q.complete(1);
+    const auto e = q.issueOldestReady();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->seqNum, 3u);
+}
+
+TEST(TeplQueue, IssueIsOldestFirstButOutOfProgramOrderAllowed)
+{
+    TeplQueue q(8, 2);
+    q.allocate(1, 1);
+    q.allocate(2, 2);
+    // The younger TEPL's source register becomes available first; it
+    // issues before the older one (speculative OoO issue).
+    q.markReady(2, 0xb);
+    const auto e = q.issueOldestReady();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->seqNum, 2u);
+}
+
+TEST(TeplQueue, RetireRequiresCompletion)
+{
+    TeplQueue q(4, 2);
+    q.allocate(1, 1);
+    q.markReady(1, 0xa);
+    q.issueOldestReady();
+    q.complete(1);
+    ASSERT_NE(q.head(), nullptr);
+    EXPECT_EQ(q.head()->state, TeplState::Completed);
+    q.retire();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.statRetired(), 1u);
+}
+
+TEST(TeplQueue, SquashReleasesPortsAndReportsLoaders)
+{
+    TeplQueue q(8, 2);
+    for (u64 s = 1; s <= 4; ++s) {
+        q.allocate(s, static_cast<u32>(s));
+        q.markReady(s, s);
+    }
+    q.issueOldestReady();  // seq 1, port 0
+    q.issueOldestReady();  // seq 2, port 1
+    // Branch at seq 1 mispredicts: squash everything younger.
+    const auto aborted = q.squashYoungerThan(1);
+    ASSERT_EQ(aborted.size(), 1u);  // only seq 2 was issued
+    EXPECT_EQ(aborted[0], 1u);      // Loader on port 1 must abort
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.statSquashed(), 3u);
+    EXPECT_EQ(q.freePorts(), 1u);   // port 1 released
+}
+
+TEST(TeplQueue, ReissueAfterSquashProducesSameResult)
+{
+    // Re-issuing the same TEPL after a squash is safe because DECA does
+    // not update memory state; the queue accepts the same metadata again.
+    TeplQueue q(8, 2);
+    q.allocate(1, 1);
+    q.markReady(1, 42);
+    q.issueOldestReady();
+    q.squashYoungerThan(0);  // flush everything
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.freePorts(), 2u);
+
+    EXPECT_TRUE(q.allocate(1, 1));
+    q.markReady(1, 42);
+    const auto e = q.issueOldestReady();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->metadata, 42u);
+}
+
+TEST(TeplQueue, SquashKeepsOlderInFlightWork)
+{
+    TeplQueue q(8, 2);
+    for (u64 s = 1; s <= 3; ++s) {
+        q.allocate(s, static_cast<u32>(s));
+        q.markReady(s, s);
+    }
+    q.issueOldestReady();
+    q.issueOldestReady();
+    q.squashYoungerThan(2);  // only seq 3 squashed; 1 and 2 keep running
+    EXPECT_EQ(q.size(), 2u);
+    q.complete(1);
+    q.complete(2);
+    q.retire();
+    q.retire();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TeplQueue, FindAndStats)
+{
+    TeplQueue q(4, 2);
+    q.allocate(7, 3);
+    EXPECT_NE(q.find(7), nullptr);
+    EXPECT_EQ(q.find(8), nullptr);
+    q.markReady(7, 1);
+    q.issueOldestReady();
+    EXPECT_EQ(q.statIssued(), 1u);
+}
+
+} // namespace
+} // namespace deca::accel

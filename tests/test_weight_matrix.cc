@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for weight generation, magnitude pruning, tiling, and
+ * whole-matrix compression.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "compress/weight_matrix.h"
+
+namespace deca::compress {
+namespace {
+
+TEST(WeightMatrix, GenerationHitsExactDensity)
+{
+    Rng rng(1);
+    for (double d : {0.05, 0.2, 0.5, 1.0}) {
+        const WeightMatrix w = generateWeights(64, 128, d, rng);
+        // The kept count is rounded to an integer, so density is exact
+        // up to one element in the matrix.
+        EXPECT_NEAR(w.density(), d,
+                    1.0 / static_cast<double>(w.numElems()))
+            << d;
+    }
+}
+
+TEST(WeightMatrix, TileExtractionMatchesElementAccess)
+{
+    Rng rng(2);
+    const WeightMatrix w = generateWeights(48, 96, 0.7, rng);
+    const DenseTile t = w.tile(1, 2);
+    for (u32 r = 0; r < kTileRows; ++r) {
+        for (u32 c = 0; c < kTileCols; ++c)
+            EXPECT_EQ(t.at(r, c).bits(),
+                      w.at(16 + r, 64 + c).bits());
+    }
+}
+
+TEST(WeightMatrix, SetTileRoundTrip)
+{
+    WeightMatrix w(32, 64);
+    Rng rng(3);
+    const WeightMatrix src = generateWeights(16, 32, 1.0, rng);
+    const DenseTile t = src.tile(0, 0);
+    w.setTile(1, 1, t);
+    EXPECT_EQ(w.tile(1, 1), t);
+    EXPECT_EQ(w.tile(0, 0).countNonzeros(), 0u);
+}
+
+TEST(WeightMatrix, MagnitudePruneKeepsLargest)
+{
+    Rng rng(4);
+    WeightMatrix w = generateWeights(32, 64, 1.0, rng);
+    // Record the magnitude threshold implied by keeping 25%.
+    std::vector<float> mags;
+    for (u32 r = 0; r < w.rows(); ++r)
+        for (u32 c = 0; c < w.cols(); ++c)
+            mags.push_back(std::abs(w.at(r, c).toFloat()));
+    std::sort(mags.begin(), mags.end());
+    const float kept_min = mags[mags.size() * 3 / 4];
+
+    magnitudePrune(w, 0.25);
+    EXPECT_NEAR(w.density(), 0.25, 1e-9);
+    for (u32 r = 0; r < w.rows(); ++r) {
+        for (u32 c = 0; c < w.cols(); ++c) {
+            if (!w.at(r, c).isZero()) {
+                EXPECT_GE(std::abs(w.at(r, c).toFloat()),
+                          kept_min * 0.999f);
+            }
+        }
+    }
+}
+
+TEST(WeightMatrix, PruneToFullDensityIsNoop)
+{
+    Rng rng(5);
+    WeightMatrix w = generateWeights(16, 32, 1.0, rng);
+    const double before = w.density();
+    magnitudePrune(w, 1.0);
+    EXPECT_EQ(w.density(), before);
+}
+
+TEST(WeightMatrix, CountsAndShapes)
+{
+    WeightMatrix w(160, 320);
+    EXPECT_EQ(w.tileRows(), 10u);
+    EXPECT_EQ(w.tileCols(), 10u);
+    EXPECT_EQ(w.numTiles(), 100u);
+    EXPECT_EQ(w.numElems(), u64{160} * 320);
+}
+
+TEST(CompressedMatrix, MeasuredCfTracksSchemeCf)
+{
+    Rng rng(6);
+    for (const auto &scheme :
+         {schemeQ8(0.2), schemeQ8Dense(), schemeMxfp4(), schemeQ16(0.5)}) {
+        const WeightMatrix w =
+            generateWeights(128, 128, scheme.density, rng);
+        const CompressedMatrix cm(w, scheme);
+        // The bit-packed data rounds up per tile, so allow a little slack.
+        EXPECT_NEAR(cm.measuredCompressionFactor(),
+                    scheme.compressionFactor(),
+                    scheme.compressionFactor() * 0.02)
+            << scheme.name;
+    }
+}
+
+TEST(CompressedMatrix, TileCountMatches)
+{
+    Rng rng(7);
+    const WeightMatrix w = generateWeights(64, 96, 0.5, rng);
+    const CompressedMatrix cm(w, schemeQ8(0.5));
+    EXPECT_EQ(cm.numTiles(), w.numTiles());
+    EXPECT_EQ(cm.tileRows(), w.tileRows());
+    EXPECT_EQ(cm.tileCols(), w.tileCols());
+}
+
+} // namespace
+} // namespace deca::compress

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the tile-pool workload synthesis and for consistency
+ * between the simulator parameters and the analytical machine model
+ * (both must describe the same machine or Fig. 4b-style comparisons
+ * would be meaningless).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernel_config.h"
+#include "kernels/workload.h"
+#include "roofsurface/machine.h"
+#include "sim/params.h"
+
+namespace deca {
+namespace {
+
+TEST(TilePool, TilesMatchSchemeDensity)
+{
+    for (const auto &s :
+         {compress::schemeQ8(0.2), compress::schemeQ16(0.5)}) {
+        kernels::TilePool pool(s, 32, 7);
+        u64 nz = 0;
+        for (u32 i = 0; i < pool.size(); ++i)
+            nz += pool.tile(i).numNonzeros;
+        const double density =
+            static_cast<double>(nz) / (pool.size() * kTileElems);
+        EXPECT_NEAR(density, s.density, 0.02) << s.name;
+    }
+}
+
+TEST(TilePool, MeanBytesTrackSchemeMath)
+{
+    for (const auto &s : compress::paperSchemes()) {
+        kernels::TilePool pool(s, 24, 11);
+        EXPECT_NEAR(pool.meanTileBytes(), s.bytesPerTile(),
+                    s.bytesPerTile() * 0.03)
+            << s.name;
+    }
+}
+
+TEST(TilePool, IndexWrapsRoundRobin)
+{
+    kernels::TilePool pool(compress::schemeQ8Dense(), 8, 3);
+    EXPECT_EQ(&pool.tile(0), &pool.tile(8));
+    EXPECT_EQ(pool.tileBytes(3), pool.tileBytes(11));
+}
+
+TEST(TilePool, DeterministicAcrossConstructions)
+{
+    kernels::TilePool a(compress::schemeQ8(0.3), 16, 99);
+    kernels::TilePool b(compress::schemeQ8(0.3), 16, 99);
+    for (u32 i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.tile(i).numNonzeros, b.tile(i).numNonzeros);
+        EXPECT_EQ(a.tile(i).data, b.tile(i).data);
+    }
+}
+
+TEST(Consistency, SimParamsAgreeWithAnalyticalMachine)
+{
+    // The cycle-level simulator and the Roof-Surface model must encode
+    // the same machine rates.
+    const sim::SimParams hbm_p = sim::sprHbmParams();
+    const roofsurface::MachineConfig hbm_m = roofsurface::sprHbm();
+    EXPECT_EQ(hbm_p.cores, hbm_m.cores);
+    EXPECT_DOUBLE_EQ(hbm_p.freqHz(), hbm_m.freqHz);
+    EXPECT_DOUBLE_EQ(gbPerSec(hbm_p.memBwGBs), hbm_m.memBwBytesPerSec);
+    EXPECT_DOUBLE_EQ(hbm_p.avxUnitsPerCore, hbm_m.vopsPerCorePerCycle);
+    EXPECT_EQ(hbm_p.tmulCycles,
+              Cycles{roofsurface::kTmulCyclesPerTileOp});
+
+    const sim::SimParams ddr_p = sim::sprDdrParams();
+    EXPECT_DOUBLE_EQ(gbPerSec(ddr_p.memBwGBs),
+                     roofsurface::sprDdr().memBwBytesPerSec);
+}
+
+TEST(Consistency, MemBytesPerCycleDerivation)
+{
+    const sim::SimParams p = sim::sprHbmParams();
+    // 850e9 B/s at 2.5 GHz = 340 B/cycle.
+    EXPECT_NEAR(p.memBytesPerCycle(), 340.0, 1e-9);
+    EXPECT_NEAR(sim::sprDdrParams().memBytesPerCycle(), 104.0, 1e-9);
+}
+
+TEST(KernelConfig, DescribeStrings)
+{
+    using kernels::KernelConfig;
+    using kernels::VectorScaling;
+    EXPECT_EQ(KernelConfig::uncompressedBf16().describe(),
+              "uncompressed-bf16");
+    EXPECT_EQ(KernelConfig::software().describe(), "software");
+    EXPECT_EQ(KernelConfig::software(VectorScaling::MoreUnits).describe(),
+              "software-4x-avx-units");
+    const std::string deca = KernelConfig::decaKernel().describe();
+    EXPECT_NE(deca.find("W=32"), std::string::npos);
+    EXPECT_NE(deca.find("+TEPL"), std::string::npos);
+}
+
+TEST(KernelConfig, BaseIntegrationDisablesEverything)
+{
+    const kernels::DecaIntegration base =
+        kernels::DecaIntegration::base();
+    EXPECT_FALSE(base.readsL2);
+    EXPECT_FALSE(base.decaPrefetcher);
+    EXPECT_FALSE(base.toutRegs);
+    EXPECT_EQ(base.invocation, kernels::Invocation::StoreFence);
+    EXPECT_NE(base.describe().find("LLC-direct"), std::string::npos);
+
+    const kernels::DecaIntegration full =
+        kernels::DecaIntegration::full();
+    EXPECT_TRUE(full.readsL2 && full.decaPrefetcher && full.toutRegs);
+    EXPECT_EQ(full.numLoaders, 2u);
+}
+
+} // namespace
+} // namespace deca
