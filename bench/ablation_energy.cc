@@ -13,8 +13,19 @@
 
 using namespace deca;
 
-int
-main()
+namespace {
+
+struct Cfg
+{
+    std::string name;
+    u32 cores;
+    bool deca;
+};
+
+} // namespace
+
+DECA_SCENARIO(ablation_energy, "Ablation: energy/EDP of power-gated "
+                               "DECA configs vs 56 software cores")
 {
     const auto scheme = compress::schemeQ8(0.1);
     const u32 n = 4;
@@ -25,36 +36,45 @@ main()
     t.setHeader({"Config", "TFLOPS", "J/Mtile", "EDP(uJ*s/Mtile)",
                  "MEM util"});
 
-    struct Cfg
+    const std::vector<Cfg> configs = {
+        {"software x56", 56, false},
+        {"DECA x56", 56, true},
+        {"DECA x24 (32 gated)", 24, true},
+        {"DECA x16 (40 gated)", 16, true}};
+    struct Row
     {
-        std::string name;
-        u32 cores;
-        bool deca;
+        kernels::GemmResult r;
+        kernels::EnergyResult e;
     };
-    for (const Cfg &c :
-         {Cfg{"software x56", 56, false}, Cfg{"DECA x56", 56, true},
-          Cfg{"DECA x24 (32 gated)", 24, true},
-          Cfg{"DECA x16 (40 gated)", 16, true}}) {
-        sim::SimParams p = sim::sprDdrParams();
-        p.cores = c.cores;
-        // Same total work for every configuration.
-        kernels::GemmWorkload w = bench::makeWorkload(scheme, n);
-        w.tilesPerCore = 128 * 56 / c.cores;
-        const kernels::GemmResult r = kernels::runGemmSteady(
-            p,
-            c.deca ? kernels::KernelConfig::decaKernel()
-                   : kernels::KernelConfig::software(),
-            w);
-        const kernels::EnergyResult e =
-            kernels::estimateEnergy(r, scheme, p, die_cores);
-        const double mtiles = static_cast<double>(r.tilesProcessed) / 1e6;
-        t.addRow({c.name, TableWriter::num(r.tflops, 2),
-                  TableWriter::num(e.totalJ() / mtiles, 2),
-                  TableWriter::num(e.edp() * 1e6 / mtiles, 2),
-                  TableWriter::pct(r.utilMem, 0)});
+    runner::SweepEngine engine(ctx.sweep("ablation_energy"));
+    const std::vector<Row> rows =
+        engine.map(configs.size(), [&](std::size_t i) {
+            const Cfg &c = configs[i];
+            sim::SimParams p = sim::sprDdrParams();
+            p.cores = c.cores;
+            // Same total work for every configuration.
+            kernels::GemmWorkload w = bench::makeWorkload(scheme, n);
+            w.tilesPerCore = 128 * 56 / c.cores;
+            const kernels::GemmResult r = kernels::runGemmSteady(
+                p,
+                c.deca ? kernels::KernelConfig::decaKernel()
+                       : kernels::KernelConfig::software(),
+                w);
+            return Row{r, kernels::estimateEnergy(r, scheme, p,
+                                                  die_cores)};
+        });
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const Row &row = rows[i];
+        const double mtiles =
+            static_cast<double>(row.r.tilesProcessed) / 1e6;
+        t.addRow({configs[i].name, TableWriter::num(row.r.tflops, 2),
+                  TableWriter::num(row.e.totalJ() / mtiles, 2),
+                  TableWriter::num(row.e.edp() * 1e6 / mtiles, 2),
+                  TableWriter::pct(row.r.utilMem, 0)});
     }
-    bench::emit(t);
-    std::cout << "paper Sec. 9.1: freed cores can be power-gated to "
+    bench::emit(ctx, t);
+    ctx.out() << "paper Sec. 9.1: freed cores can be power-gated to "
                  "save energy\n";
     return 0;
 }

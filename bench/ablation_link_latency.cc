@@ -13,36 +13,47 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(ablation_link_latency, "Ablation: core-DECA link latency "
+                                     "sensitivity, store+fence vs TEPL")
 {
     const auto scheme = compress::schemeQ8(0.05);  // latency-sensitive
     TableWriter t("Ablation: core-DECA link latency (Q8_5%, HBM, N=1, "
                   "TFLOPS)");
     t.setHeader({"LinkCycles", "Store+Fence", "TEPL", "TEPL gain"});
 
-    for (Cycles link : {6u, 12u, 24u, 48u}) {
-        sim::SimParams p = sim::sprHbmParams();
-        p.coreToDecaStore = link;
-        p.decaToCoreRead = link;
-        kernels::DecaIntegration store =
-            kernels::DecaIntegration::full();
-        store.invocation = kernels::Invocation::StoreFence;
-        const auto w = bench::makeWorkload(scheme, 1);
-        const double sf =
-            kernels::runGemmSteady(
-                p, kernels::KernelConfig::decaKernel(
-                       accel::decaBestConfig(), store),
-                w)
-                .tflops;
-        const double tepl =
-            kernels::runGemmSteady(p, kernels::KernelConfig::decaKernel(),
-                                   w)
-                .tflops;
-        t.addRow({std::to_string(link), TableWriter::num(sf, 3),
-                  TableWriter::num(tepl, 3),
-                  TableWriter::num(tepl / sf, 2)});
+    struct Row
+    {
+        double sf;
+        double tepl;
+    };
+    const std::vector<Cycles> links = {6, 12, 24, 48};
+    runner::SweepEngine engine(ctx.sweep("ablation_link_latency"));
+    const std::vector<Row> rows =
+        engine.map(links.size(), [&](std::size_t i) {
+            sim::SimParams p = sim::sprHbmParams();
+            p.coreToDecaStore = links[i];
+            p.decaToCoreRead = links[i];
+            kernels::DecaIntegration store =
+                kernels::DecaIntegration::full();
+            store.invocation = kernels::Invocation::StoreFence;
+            const auto w = bench::makeWorkload(scheme, 1);
+            return Row{kernels::runGemmSteady(
+                           p,
+                           kernels::KernelConfig::decaKernel(
+                               accel::decaBestConfig(), store),
+                           w)
+                           .tflops,
+                       kernels::runGemmSteady(
+                           p, kernels::KernelConfig::decaKernel(), w)
+                           .tflops};
+        });
+
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        t.addRow({std::to_string(links[i]),
+                  TableWriter::num(rows[i].sf, 3),
+                  TableWriter::num(rows[i].tepl, 3),
+                  TableWriter::num(rows[i].tepl / rows[i].sf, 2)});
     }
-    bench::emit(t);
+    bench::emit(ctx, t);
     return 0;
 }

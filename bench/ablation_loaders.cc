@@ -12,35 +12,45 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(ablation_loaders, "Ablation: 1 vs 2 DECA Loaders "
+                                "(HBM, N=1)")
 {
     const sim::SimParams p = sim::sprHbmParams();
     const u32 n = 1;
 
     TableWriter t("Ablation: 1 vs 2 DECA Loaders (HBM, N=1, TFLOPS)");
     t.setHeader({"Scheme", "1 Loader", "2 Loaders", "Gain"});
-    for (const auto &s :
-         {compress::schemeQ8Dense(), compress::schemeQ8(0.5),
-          compress::schemeQ8(0.2), compress::schemeQ8(0.05),
-          compress::schemeMxfp4()}) {
-        kernels::DecaIntegration one = kernels::DecaIntegration::full();
-        one.numLoaders = 1;
-        const auto w = bench::makeWorkload(s, n);
-        const double tf1 =
-            kernels::runGemmSteady(
-                p, kernels::KernelConfig::decaKernel(
-                       accel::decaBestConfig(), one),
-                w)
-                .tflops;
-        const double tf2 =
-            kernels::runGemmSteady(p, kernels::KernelConfig::decaKernel(),
-                                   w)
-                .tflops;
-        t.addRow({s.name, TableWriter::num(tf1, 3),
-                  TableWriter::num(tf2, 3),
-                  TableWriter::num(tf2 / tf1, 2)});
+    const std::vector<compress::CompressionScheme> schemes = {
+        compress::schemeQ8Dense(), compress::schemeQ8(0.5),
+        compress::schemeQ8(0.2), compress::schemeQ8(0.05),
+        compress::schemeMxfp4()};
+    struct Row
+    {
+        double tf1;
+        double tf2;
+    };
+    runner::SweepEngine engine(ctx.sweep("ablation_loaders"));
+    const std::vector<Row> rows =
+        engine.map(schemes.size(), [&](std::size_t i) {
+            kernels::DecaIntegration one =
+                kernels::DecaIntegration::full();
+            one.numLoaders = 1;
+            const auto w = bench::makeWorkload(schemes[i], n);
+            return Row{kernels::runGemmSteady(
+                           p,
+                           kernels::KernelConfig::decaKernel(
+                               accel::decaBestConfig(), one),
+                           w)
+                           .tflops,
+                       kernels::runGemmSteady(
+                           p, kernels::KernelConfig::decaKernel(), w)
+                           .tflops};
+        });
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        t.addRow({schemes[i].name, TableWriter::num(rows[i].tf1, 3),
+                  TableWriter::num(rows[i].tf2, 3),
+                  TableWriter::num(rows[i].tf2 / rows[i].tf1, 2)});
     }
-    bench::emit(t);
+    bench::emit(ctx, t);
     return 0;
 }

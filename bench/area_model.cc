@@ -11,8 +11,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(area_model, "Section 8: DECA PE area model and die "
+                          "overhead")
 {
     TableWriter t("Section 8: DECA area model (7 nm, 56 PEs)");
     t.setHeader({"Design", "Loaders+Queues", "LUT array", "Rest",
@@ -30,8 +30,8 @@ main()
                   TableWriter::num(total, 2),
                   TableWriter::pct(accel::dieOverhead(cfg, 56), 3)});
     }
-    bench::emit(t);
-    std::cout << "paper: 2.51 mm2 total, <0.2% of a ~1600 mm2 die; "
+    bench::emit(ctx, t);
+    ctx.out() << "paper: 2.51 mm2 total, <0.2% of a ~1600 mm2 die; "
                  "55% loaders/queues/TOut, 22% LUT array, 23% rest\n";
     return 0;
 }

@@ -1,8 +1,10 @@
 /**
  * @file
- * Shared helpers for the paper-reproduction bench binaries. Every bench
+ * Shared helpers for the paper-reproduction scenarios. Every scenario
  * regenerates one table or figure of the paper and prints the same
- * rows/series the paper reports, plus CSV for plotting.
+ * rows/series the paper reports; the runner's report layer renders
+ * them as aligned tables with a CSV twin (the historical format), bare
+ * CSV, or JSON.
  */
 
 #ifndef DECA_BENCH_BENCH_UTIL_H
@@ -17,6 +19,7 @@
 #include "llm/inference.h"
 #include "roofsurface/machine.h"
 #include "roofsurface/roof_surface.h"
+#include "runner/scenario_registry.h"
 
 namespace deca::bench {
 
@@ -37,11 +40,11 @@ makeWorkload(const compress::CompressionScheme &s, u32 batch_n,
     return w;
 }
 
-/** Print a table and its CSV twin. */
+/** Emit a result table in the invocation's format and stream. */
 inline void
-emit(const TableWriter &t)
+emit(const runner::ScenarioContext &ctx, const TableWriter &t)
 {
-    std::cout << t.render() << "\ncsv:\n" << t.csv() << "\n";
+    runner::emitReport(t, ctx.format, ctx.out());
 }
 
 /** Roofline-optimal TFLOPS for a scheme (all VEC overhead hidden). */

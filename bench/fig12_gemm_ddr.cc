@@ -12,8 +12,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(fig12, "Figure 12: compressed GeMM speedup vs BF16 "
+                     "(DDR, N=1)")
 {
     const sim::SimParams p = sim::sprDdrParams();
     const auto mach = roofsurface::sprDdr();
@@ -23,24 +23,38 @@ main()
         p, kernels::KernelConfig::uncompressedBf16(),
         bench::makeWorkload(compress::schemeBf16(), n));
 
+    struct Row
+    {
+        kernels::GemmResult sw;
+        kernels::GemmResult deca;
+    };
+    const auto schemes = compress::paperSchemes();
+    runner::SweepEngine engine(ctx.sweep("fig12"));
+    const std::vector<Row> rows =
+        engine.map(schemes.size(), [&](std::size_t i) {
+            const auto w = bench::makeWorkload(schemes[i], n);
+            return Row{kernels::runGemmSteady(
+                           p, kernels::KernelConfig::software(), w),
+                       kernels::runGemmSteady(
+                           p, kernels::KernelConfig::decaKernel(), w)};
+        });
+
     TableWriter t("Figure 12: compressed GeMM speedup vs BF16 (DDR, N=1)");
     t.setHeader({"Scheme", "Software", "DECA", "Optimal", "DECA/SW"});
     double max_ratio = 0.0;
-    for (const auto &s : compress::paperSchemes()) {
-        const kernels::GemmResult sw = kernels::runGemmSteady(
-            p, kernels::KernelConfig::software(), bench::makeWorkload(s, n));
-        const kernels::GemmResult deca = kernels::runGemmSteady(
-            p, kernels::KernelConfig::decaKernel(),
-            bench::makeWorkload(s, n));
-        const double opt = bench::optimalTflops(mach, s, n) / base.tflops;
-        const double ratio = deca.tflops / sw.tflops;
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const double opt =
+            bench::optimalTflops(mach, schemes[i], n) / base.tflops;
+        const double ratio = rows[i].deca.tflops / rows[i].sw.tflops;
         max_ratio = std::max(max_ratio, ratio);
-        t.addRow({s.name, TableWriter::num(sw.speedupOver(base), 2),
-                  TableWriter::num(deca.speedupOver(base), 2),
+        t.addRow({schemes[i].name,
+                  TableWriter::num(rows[i].sw.speedupOver(base), 2),
+                  TableWriter::num(rows[i].deca.speedupOver(base), 2),
                   TableWriter::num(opt, 2), TableWriter::num(ratio, 2)});
     }
-    bench::emit(t);
-    std::cout << "max DECA/SW speedup on DDR: "
-              << TableWriter::num(max_ratio, 2) << " (paper: up to 1.7x)\n";
+    bench::emit(ctx, t);
+    ctx.out() << "max DECA/SW speedup on DDR: "
+              << TableWriter::num(max_ratio, 2)
+              << " (paper: up to 1.7x)\n";
     return 0;
 }

@@ -11,43 +11,61 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(fig14, "Figure 14: avg TFLOPS vs active core count "
+                     "(DDR, N=4)")
 {
     const u32 n = 4;
     const auto schemes = compress::paperSchemes();
+    const std::vector<u32> core_counts = {8, 16, 24, 32, 40, 48, 56};
+
+    // Every (core count, scheme) cell is a pair of independent
+    // simulations; sweep the whole grid at once.
+    struct Cell
+    {
+        double sw;
+        double deca;
+    };
+    runner::SweepEngine engine(ctx.sweep("fig14"));
+    runner::ParamGrid grid;
+    grid.axis("cores", core_counts.size())
+        .axis("scheme", schemes.size());
+    const std::vector<Cell> cells =
+        engine.mapGrid(grid, [&](const std::vector<std::size_t> &c) {
+            sim::SimParams p = sim::sprDdrParams();
+            p.cores = core_counts[c[0]];
+            const auto w = bench::makeWorkload(schemes[c[1]], n, 128, 24);
+            return Cell{
+                kernels::runGemmSteady(
+                    p, kernels::KernelConfig::software(), w)
+                    .tflops,
+                kernels::runGemmSteady(
+                    p, kernels::KernelConfig::decaKernel(), w)
+                    .tflops};
+        });
 
     TableWriter t("Figure 14: avg TFLOPS vs active cores (DDR, N=4)");
     t.setHeader({"Cores", "Software", "DECA"});
-
     double sw56 = 0.0;
     double deca16 = 0.0;
-    for (u32 cores : {8u, 16u, 24u, 32u, 40u, 48u, 56u}) {
-        sim::SimParams p = sim::sprDdrParams();
-        p.cores = cores;
+    for (std::size_t ci = 0; ci < core_counts.size(); ++ci) {
         double sw_total = 0.0;
         double deca_total = 0.0;
-        for (const auto &s : schemes) {
-            const auto w = bench::makeWorkload(s, n, 128, 24);
-            sw_total +=
-                kernels::runGemmSteady(p, kernels::KernelConfig::software(),
-                                       w)
-                    .tflops;
-            deca_total += kernels::runGemmSteady(
-                              p, kernels::KernelConfig::decaKernel(), w)
-                              .tflops;
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            sw_total += cells[ci * schemes.size() + si].sw;
+            deca_total += cells[ci * schemes.size() + si].deca;
         }
         const double sw_avg = sw_total / schemes.size();
         const double deca_avg = deca_total / schemes.size();
-        if (cores == 56)
+        if (core_counts[ci] == 56)
             sw56 = sw_avg;
-        if (cores == 16)
+        if (core_counts[ci] == 16)
             deca16 = deca_avg;
-        t.addRow({std::to_string(cores), TableWriter::num(sw_avg, 3),
+        t.addRow({std::to_string(core_counts[ci]),
+                  TableWriter::num(sw_avg, 3),
                   TableWriter::num(deca_avg, 3)});
     }
-    bench::emit(t);
-    std::cout << "16 DECA cores vs 56 software cores: "
+    bench::emit(ctx, t);
+    ctx.out() << "16 DECA cores vs 56 software cores: "
               << TableWriter::num(deca16, 3) << " vs "
               << TableWriter::num(sw56, 3)
               << " TFLOPS (paper: 16 DECA cores win)\n";

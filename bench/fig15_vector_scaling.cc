@@ -11,8 +11,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(fig15, "Figure 15: DECA vs brute-force vector scaling "
+                     "(HBM, N=1)")
 {
     const sim::SimParams p = sim::sprHbmParams();
     const u32 n = 1;
@@ -21,32 +21,43 @@ main()
         p, kernels::KernelConfig::uncompressedBf16(),
         bench::makeWorkload(compress::schemeBf16(), n));
 
+    struct Row
+    {
+        double more;
+        double wider;
+        double deca;
+    };
+    const auto schemes = compress::paperSchemes();
+    runner::SweepEngine engine(ctx.sweep("fig15"));
+    const std::vector<Row> rows =
+        engine.map(schemes.size(), [&](std::size_t i) {
+            const auto w = bench::makeWorkload(schemes[i], n);
+            return Row{
+                kernels::runGemmSteady(
+                    p,
+                    kernels::KernelConfig::software(
+                        kernels::VectorScaling::MoreUnits),
+                    w)
+                    .speedupOver(base),
+                kernels::runGemmSteady(
+                    p,
+                    kernels::KernelConfig::software(
+                        kernels::VectorScaling::WiderUnits),
+                    w)
+                    .speedupOver(base),
+                kernels::runGemmSteady(
+                    p, kernels::KernelConfig::decaKernel(), w)
+                    .speedupOver(base)};
+        });
+
     TableWriter t("Figure 15: DECA vs vector scaling (HBM, N=1), "
                   "speedup vs uncompressed BF16");
     t.setHeader({"Scheme", "MoreAVXUnits", "WiderAVXUnits", "DECA"});
-    for (const auto &s : compress::paperSchemes()) {
-        const auto w = bench::makeWorkload(s, n);
-        const double more =
-            kernels::runGemmSteady(
-                p,
-                kernels::KernelConfig::software(
-                    kernels::VectorScaling::MoreUnits),
-                w)
-                .speedupOver(base);
-        const double wider =
-            kernels::runGemmSteady(
-                p,
-                kernels::KernelConfig::software(
-                    kernels::VectorScaling::WiderUnits),
-                w)
-                .speedupOver(base);
-        const double deca =
-            kernels::runGemmSteady(p, kernels::KernelConfig::decaKernel(),
-                                   w)
-                .speedupOver(base);
-        t.addRow({s.name, TableWriter::num(more, 2),
-                  TableWriter::num(wider, 2), TableWriter::num(deca, 2)});
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        t.addRow({schemes[i].name, TableWriter::num(rows[i].more, 2),
+                  TableWriter::num(rows[i].wider, 2),
+                  TableWriter::num(rows[i].deca, 2)});
     }
-    bench::emit(t);
+    bench::emit(ctx, t);
     return 0;
 }

@@ -14,8 +14,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(fig16, "Figure 16: {W, L} design-space exploration and "
+                     "simulated validation")
 {
     const auto schemes = compress::paperSchemes();
     const auto cpu_mach = roofsurface::sprHbm();
@@ -35,29 +35,42 @@ main()
                       cpu_mach, roofsurface::softwareSignature(s))),
                   cls(8, 4), cls(32, 8), cls(64, 64)});
     }
-    bench::emit(t);
+    bench::emit(ctx, t);
 
-    // (b) Analytical pick.
+    // (b) Analytical pick, fanned out across the sweep workers.
     const auto best = roofsurface::pickBalancedDesign(
-        cpu_mach, schemes, {8, 16, 32, 64}, {4, 8, 16, 32, 64});
-    std::cout << "analytical DSE pick: {W=" << best.w << ", L=" << best.l
+        cpu_mach, schemes, {8, 16, 32, 64}, {4, 8, 16, 32, 64},
+        ctx.sweep("fig16 dse"));
+    ctx.out() << "analytical DSE pick: {W=" << best.w << ", L=" << best.l
               << "} (paper: {32, 8})\n\n";
 
-    // (c) Simulated validation across the three sizes.
+    // (c) Simulated validation across the three sizes: every
+    // (design, scheme) cell is an independent simulation, swept in one
+    // grid.
     const sim::SimParams p = sim::sprHbmParams();
-    auto total = [&](const accel::DecaConfig &cfg) {
+    const std::vector<accel::DecaConfig> designs = {
+        accel::decaUnderConfig(), accel::decaBestConfig(),
+        accel::decaOverConfig()};
+    runner::SweepEngine engine(ctx.sweep("fig16 validation"));
+    runner::ParamGrid grid;
+    grid.axis("design", designs.size()).axis("scheme", schemes.size());
+    const std::vector<double> tflops =
+        engine.mapGrid(grid, [&](const std::vector<std::size_t> &c) {
+            return kernels::runGemmSteady(
+                       p,
+                       kernels::KernelConfig::decaKernel(designs[c[0]]),
+                       bench::makeWorkload(schemes[c[1]], 1, 128, 24))
+                .tflops;
+        });
+    auto avg = [&](std::size_t design) {
         double sum = 0.0;
-        for (const auto &s : schemes) {
-            sum += kernels::runGemmSteady(
-                       p, kernels::KernelConfig::decaKernel(cfg),
-                       bench::makeWorkload(s, 1, 128, 24))
-                       .tflops;
-        }
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+            sum += tflops[design * schemes.size() + s];
         return sum / schemes.size();
     };
-    const double t_under = total(accel::decaUnderConfig());
-    const double t_best = total(accel::decaBestConfig());
-    const double t_over = total(accel::decaOverConfig());
+    const double t_under = avg(0);
+    const double t_best = avg(1);
+    const double t_over = avg(2);
     TableWriter v("Simulated validation (avg TFLOPS, HBM, N=1)");
     v.setHeader({"Design", "TFLOPS", "vs best"});
     v.addRow({"{W=8,L=4} under", TableWriter::num(t_under, 3),
@@ -65,8 +78,8 @@ main()
     v.addRow({"{W=32,L=8} best", TableWriter::num(t_best, 3), "1.00"});
     v.addRow({"{W=64,L=64} over", TableWriter::num(t_over, 3),
               TableWriter::num(t_over / t_best, 2)});
-    bench::emit(v);
-    std::cout << "paper: best ~2x under-provisioned; over-provisioned "
+    bench::emit(ctx, v);
+    ctx.out() << "paper: best ~2x under-provisioned; over-provisioned "
                  "<3% above best\n";
     return 0;
 }

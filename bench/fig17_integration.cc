@@ -13,8 +13,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(fig17, "Figure 17: DECA integration-feature ablation "
+                     "(Q8, HBM, N=4)")
 {
     const sim::SimParams p = sim::sprHbmParams();
     const u32 n = 4;
@@ -39,6 +39,26 @@ main()
         {"+TOut Regs", tout},
         {"+TEPL (DECA)", tepl},
     };
+    const std::vector<double> densities = {1.0, 0.5, 0.3, 0.2, 0.1,
+                                           0.05};
+
+    // Every (density, step) cell simulates independently.
+    runner::SweepEngine engine(ctx.sweep("fig17"));
+    runner::ParamGrid grid;
+    grid.axis("density", densities.size()).axis("step", steps.size());
+    const std::vector<double> tflops =
+        engine.mapGrid(grid, [&](const std::vector<std::size_t> &c) {
+            const double d = densities[c[0]];
+            const compress::CompressionScheme s =
+                d < 1.0 ? compress::schemeQ8(d)
+                        : compress::schemeQ8Dense();
+            return kernels::runGemmSteady(
+                       p,
+                       kernels::KernelConfig::decaKernel(
+                           accel::decaBestConfig(), steps[c[1]].second),
+                       bench::makeWorkload(s, n))
+                .tflops;
+        });
 
     TableWriter t("Figure 17: integration ablation, speedup vs Base "
                   "(Q8, HBM, N=4)");
@@ -47,25 +67,16 @@ main()
         header.push_back(name);
     t.setHeader(header);
 
-    for (double d : {1.0, 0.5, 0.3, 0.2, 0.1, 0.05}) {
-        const compress::CompressionScheme s =
-            d < 1.0 ? compress::schemeQ8(d) : compress::schemeQ8Dense();
-        const auto w = bench::makeWorkload(s, n);
-        double base_tflops = 0.0;
-        std::vector<std::string> row = {TableWriter::pct(d, 0)};
-        for (const auto &[name, integ] : steps) {
-            const kernels::GemmResult r = kernels::runGemmSteady(
-                p,
-                kernels::KernelConfig::decaKernel(accel::decaBestConfig(),
-                                                  integ),
-                w);
-            if (base_tflops == 0.0)
-                base_tflops = r.tflops;
-            row.push_back(TableWriter::num(r.tflops / base_tflops, 2));
-        }
+    for (std::size_t di = 0; di < densities.size(); ++di) {
+        const double base_tflops = tflops[di * steps.size()];
+        std::vector<std::string> row = {
+            TableWriter::pct(densities[di], 0)};
+        for (std::size_t si = 0; si < steps.size(); ++si)
+            row.push_back(TableWriter::num(
+                tflops[di * steps.size() + si] / base_tflops, 2));
         t.addRow(row);
     }
-    bench::emit(t);
-    std::cout << "paper: TEPLs double performance at 5% density\n";
+    bench::emit(ctx, t);
+    ctx.out() << "paper: TEPLs double performance at 5% density\n";
     return 0;
 }

@@ -13,8 +13,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(fig3, "Figure 3: 2D roofline optimal vs observed "
+                    "(DDR + HBM, N=4)")
 {
     const u32 n = 4;
     for (const sim::SimParams &p :
@@ -29,19 +29,25 @@ main()
 
         auto schemes = compress::paperSchemes();
         schemes.insert(schemes.begin(), compress::schemeBf16());
-        for (const auto &s : schemes) {
+        runner::SweepEngine engine(ctx.sweep("fig3"));
+        const std::vector<kernels::GemmResult> observed =
+            engine.map(schemes.size(), [&](std::size_t i) {
+                const auto cfg =
+                    schemes[i].name == "BF16"
+                        ? kernels::KernelConfig::uncompressedBf16()
+                        : kernels::KernelConfig::software();
+                return kernels::runGemmSteady(
+                    p, cfg, bench::makeWorkload(schemes[i], n));
+            });
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            const auto &s = schemes[i];
             const double opt = bench::optimalTflops(mach, s, n);
-            const auto cfg = s.name == "BF16"
-                                 ? kernels::KernelConfig::uncompressedBf16()
-                                 : kernels::KernelConfig::software();
-            const kernels::GemmResult r = kernels::runGemmSteady(
-                p, cfg, bench::makeWorkload(s, n));
             t.addRow({s.name, TableWriter::num(s.flopPerByte(n), 1),
                       TableWriter::num(opt, 2),
-                      TableWriter::num(r.tflops, 2),
-                      TableWriter::num(opt / r.tflops, 2)});
+                      TableWriter::num(observed[i].tflops, 2),
+                      TableWriter::num(opt / observed[i].tflops, 2)});
         }
-        bench::emit(t);
+        bench::emit(ctx, t);
     }
     return 0;
 }

@@ -13,8 +13,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(fig4, "Figure 4: Roof-Surface samples and optimal vs "
+                    "real TFLOPS (HBM, N=4)")
 {
     const u32 n = 4;
     const roofsurface::MachineConfig mach = roofsurface::sprHbm();
@@ -30,7 +30,7 @@ main()
                      TableWriter::num(s.tflops, 2),
                      roofsurface::boundName(s.bound)});
     }
-    std::cout << "csv (fig4a surface):\n" << grid.csv() << "\n";
+    ctx.out() << "csv (fig4a surface):\n" << grid.csv() << "\n";
 
     // (b) R-L vs R-S vs real.
     TableWriter t("Figure 4b: optimal vs real TFLOPS (HBM, N=4)");
@@ -44,18 +44,23 @@ main()
         compress::schemeQ16(0.30), compress::schemeQ16(0.20),
         compress::schemeQ16(0.10), compress::schemeQ16(0.05),
     };
-    for (const auto &s : schemes) {
+    runner::SweepEngine engine(ctx.sweep("fig4"));
+    const std::vector<kernels::GemmResult> real =
+        engine.map(schemes.size(), [&](std::size_t i) {
+            return kernels::runGemmSteady(
+                p, kernels::KernelConfig::software(),
+                bench::makeWorkload(schemes[i], n));
+        });
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const auto &s = schemes[i];
         const auto sig = roofsurface::softwareSignature(s);
         const auto rl = roofsurface::evaluateRoofline(mach, sig);
         const auto rs = roofsurface::evaluate(mach, sig);
-        const kernels::GemmResult r = kernels::runGemmSteady(
-            p, kernels::KernelConfig::software(),
-            bench::makeWorkload(s, n));
         t.addRow({s.name, TableWriter::num(rl.flops(n) / kTera, 1),
                   TableWriter::num(rs.flops(n) / kTera, 1),
-                  TableWriter::num(r.tflops, 1),
+                  TableWriter::num(real[i].tflops, 1),
                   roofsurface::boundName(rs.bound)});
     }
-    bench::emit(t);
+    bench::emit(ctx, t);
     return 0;
 }

@@ -15,10 +15,11 @@ using namespace deca;
 namespace {
 
 void
-printBord(const roofsurface::MachineConfig &mach)
+printBord(const runner::ScenarioContext &ctx,
+          const roofsurface::MachineConfig &mach)
 {
     const auto g = roofsurface::bordGeometry(mach);
-    std::cout << "== Figure 5 BORD for " << mach.name << " ==\n"
+    ctx.out() << "== Figure 5 BORD for " << mach.name << " ==\n"
               << "  MEM/VEC separator: y = " << g.memVecSlope << " * x\n"
               << "  MEM/MTX separator: x = " << g.memMtxX << "\n"
               << "  VEC/MTX separator: y = " << g.vecMtxY << "\n"
@@ -38,15 +39,15 @@ printBord(const roofsurface::MachineConfig &mach)
                   roofsurface::boundName(
                       roofsurface::bordClassify(mach, sig))});
     }
-    bench::emit(t);
+    bench::emit(ctx, t);
 }
 
 } // namespace
 
-int
-main()
+DECA_SCENARIO(fig5, "Figure 5: BORD separators and software-kernel "
+                    "classification (HBM + DDR)")
 {
-    printBord(roofsurface::sprHbm());  // Fig. 5a
-    printBord(roofsurface::sprDdr());  // Fig. 5b
+    printBord(ctx, roofsurface::sprHbm());  // Fig. 5a
+    printBord(ctx, roofsurface::sprDdr());  // Fig. 5b
     return 0;
 }

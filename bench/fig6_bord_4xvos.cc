@@ -12,8 +12,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(fig6, "Figure 6: HBM BORD with hypothetical 4x vector "
+                    "throughput")
 {
     const auto base = roofsurface::sprHbm();
     const auto m4 = base.withVosScale(4.0);
@@ -31,8 +31,8 @@ main()
         t.addRow({s.name, roofsurface::boundName(b1),
                   roofsurface::boundName(b4)});
     }
-    bench::emit(t);
-    std::cout << "VEC-bound kernels: " << vec1 << " at 1x VOS, " << vec4
+    bench::emit(ctx, t);
+    ctx.out() << "VEC-bound kernels: " << vec1 << " at 1x VOS, " << vec4
               << " at 4x VOS (4x VOS is not enough; Sec. 4.2)\n";
     return 0;
 }

@@ -11,8 +11,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(table1, "Table 1: FC GeMM share of next-token time "
+                      "(Llama2-70B, BF16)")
 {
     const llm::ModelConfig model = llm::llama2_70b();
 
@@ -20,18 +20,25 @@ main()
                   "(Llama2-70B, BF16)");
     t.setHeader({"Memory", "InputTokens", "N=1", "N=4", "N=16"});
 
-    for (const sim::SimParams &p :
-         {sim::sprDdrParams(), sim::sprHbmParams()}) {
+    // One steady BF16 GeMM simulation per machine serves all cells
+    // (batch does not change tile timing); sweep the two machines.
+    const std::vector<sim::SimParams> machines = {sim::sprDdrParams(),
+                                                  sim::sprHbmParams()};
+    runner::SweepEngine engine(ctx.sweep("table1"));
+    const std::vector<kernels::GemmResult> results =
+        engine.map(machines.size(), [&](std::size_t i) {
+            kernels::GemmWorkload w =
+                bench::makeWorkload(compress::schemeBf16(), 1);
+            return kernels::runGemmSteady(
+                machines[i], kernels::KernelConfig::uncompressedBf16(),
+                w);
+        });
+
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        const sim::SimParams &p = machines[i];
         const llm::NonGemmModel ng =
             llm::InferenceModel::calibrateForMachine(model, p);
         const llm::InferenceModel inf(model, p, ng);
-
-        // One steady BF16 GeMM simulation serves all cells (batch does
-        // not change tile timing).
-        kernels::GemmWorkload w =
-            bench::makeWorkload(compress::schemeBf16(), 1);
-        const kernels::GemmResult r = kernels::runGemmSteady(
-            p, kernels::KernelConfig::uncompressedBf16(), w);
 
         const std::string mem_label =
             p.memKind == sim::MemoryKind::DDR5
@@ -41,13 +48,13 @@ main()
             std::vector<std::string> row = {mem_label,
                                             std::to_string(tokens)};
             for (u32 n : {1u, 4u, 16u}) {
-                const llm::NextTokenLatency lat =
-                    inf.nextTokenWithTps(r.tilesPerSecond, n, tokens);
+                const llm::NextTokenLatency lat = inf.nextTokenWithTps(
+                    results[i].tilesPerSecond, n, tokens);
                 row.push_back(TableWriter::pct(lat.fcFraction()));
             }
             t.addRow(row);
         }
     }
-    bench::emit(t);
+    bench::emit(ctx, t);
     return 0;
 }

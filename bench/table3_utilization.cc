@@ -12,8 +12,8 @@
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(table3, "Table 3: component utilization, software vs "
+                      "DECA (Q8, N=1, HBM)")
 {
     const sim::SimParams p = sim::sprHbmParams();
     const u32 n = 1;
@@ -22,21 +22,36 @@ main()
     t.setHeader({"Density", "SW:MEM", "SW:TMUL", "SW:AVX", "DECA:MEM",
                  "DECA:TMUL", "DECA:DECA"});
 
-    for (double d : {1.0, 0.5, 0.2, 0.05}) {
-        const compress::CompressionScheme s =
-            d < 1.0 ? compress::schemeQ8(d) : compress::schemeQ8Dense();
-        const auto w = bench::makeWorkload(s, n, 288, 32);
-        const kernels::GemmResult sw =
-            kernels::runGemmSteady(p, kernels::KernelConfig::software(), w);
-        const kernels::GemmResult deca = kernels::runGemmSteady(
-            p, kernels::KernelConfig::decaKernel(), w);
-        t.addRow({TableWriter::pct(d, 0), TableWriter::pct(sw.utilMem, 0),
-                  TableWriter::pct(sw.utilTmul, 0),
-                  TableWriter::pct(sw.utilVec, 0),
-                  TableWriter::pct(deca.utilMem, 0),
-                  TableWriter::pct(deca.utilTmul, 0),
-                  TableWriter::pct(deca.utilDeca, 0)});
+    struct Row
+    {
+        kernels::GemmResult sw;
+        kernels::GemmResult deca;
+    };
+    const std::vector<double> densities = {1.0, 0.5, 0.2, 0.05};
+    runner::SweepEngine engine(ctx.sweep("table3"));
+    const std::vector<Row> rows =
+        engine.map(densities.size(), [&](std::size_t i) {
+            const double d = densities[i];
+            const compress::CompressionScheme s =
+                d < 1.0 ? compress::schemeQ8(d)
+                        : compress::schemeQ8Dense();
+            const auto w = bench::makeWorkload(s, n, 288, 32);
+            return Row{kernels::runGemmSteady(
+                           p, kernels::KernelConfig::software(), w),
+                       kernels::runGemmSteady(
+                           p, kernels::KernelConfig::decaKernel(), w)};
+        });
+
+    for (std::size_t i = 0; i < densities.size(); ++i) {
+        const Row &r = rows[i];
+        t.addRow({TableWriter::pct(densities[i], 0),
+                  TableWriter::pct(r.sw.utilMem, 0),
+                  TableWriter::pct(r.sw.utilTmul, 0),
+                  TableWriter::pct(r.sw.utilVec, 0),
+                  TableWriter::pct(r.deca.utilMem, 0),
+                  TableWriter::pct(r.deca.utilTmul, 0),
+                  TableWriter::pct(r.deca.utilDeca, 0)});
     }
-    bench::emit(t);
+    bench::emit(ctx, t);
     return 0;
 }

@@ -21,8 +21,8 @@ struct Cell
 
 } // namespace
 
-int
-main()
+DECA_SCENARIO(table4, "Table 4: LLM next-token latency, software vs "
+                      "DECA (HBM, 128 tokens)")
 {
     const sim::SimParams p = sim::sprHbmParams();
     const std::vector<Cell> cells = {
@@ -32,14 +32,39 @@ main()
         {compress::schemeQ8(0.05), true},
     };
 
+    // Simulate each (scheme, engine) pair once; reuse across models and
+    // batch sizes (tile throughput is batch-independent).
+    struct Tps
+    {
+        double sw;
+        double deca;
+    };
+    runner::SweepEngine engine(ctx.sweep("table4"));
+    const std::vector<Tps> tps =
+        engine.map(cells.size(), [&](std::size_t i) {
+            const Cell &cell = cells[i];
+            const auto sw_cfg =
+                cell.scheme.name == "BF16"
+                    ? kernels::KernelConfig::uncompressedBf16()
+                    : kernels::KernelConfig::software();
+            return Tps{
+                kernels::runGemmSteady(
+                    p, sw_cfg, bench::makeWorkload(cell.scheme, 1))
+                    .tilesPerSecond,
+                cell.hasDeca
+                    ? kernels::runGemmSteady(
+                          p, kernels::KernelConfig::decaKernel(),
+                          bench::makeWorkload(cell.scheme, 1))
+                          .tilesPerSecond
+                    : 0.0};
+        });
+
     for (const llm::ModelConfig &model :
          {llm::llama2_70b(), llm::opt_66b()}) {
         const llm::NonGemmModel ng =
             llm::InferenceModel::calibrateForMachine(model, p);
         const llm::InferenceModel inf(model, p, ng);
 
-        // Simulate each (scheme, engine) pair once; reuse across batch
-        // sizes (tile throughput is batch-independent).
         TableWriter t("Table 4: " + model.name +
                       " next-token latency (ms), HBM, 128 tokens");
         t.setHeader({"Kernel", "BF16 N=1", "Q4 N=1", "Q8_20% N=1",
@@ -48,35 +73,17 @@ main()
 
         std::vector<std::string> sw_row = {"SW"};
         std::vector<std::string> deca_row = {"DECA"};
-        std::vector<double> sw_tps;
-        std::vector<double> deca_tps;
-        for (const auto &cell : cells) {
-            const auto sw_cfg =
-                cell.scheme.name == "BF16"
-                    ? kernels::KernelConfig::uncompressedBf16()
-                    : kernels::KernelConfig::software();
-            sw_tps.push_back(
-                kernels::runGemmSteady(p, sw_cfg,
-                                       bench::makeWorkload(cell.scheme, 1))
-                    .tilesPerSecond);
-            deca_tps.push_back(
-                cell.hasDeca
-                    ? kernels::runGemmSteady(
-                          p, kernels::KernelConfig::decaKernel(),
-                          bench::makeWorkload(cell.scheme, 1))
-                          .tilesPerSecond
-                    : 0.0);
-        }
         for (u32 batch : {1u, 16u}) {
-            for (size_t i = 0; i < cells.size(); ++i) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
                 sw_row.push_back(TableWriter::num(
-                    inf.nextTokenWithTps(sw_tps[i], batch, 128)
+                    inf.nextTokenWithTps(tps[i].sw, batch, 128)
                         .milliseconds(),
                     1));
                 deca_row.push_back(
-                    deca_tps[i] > 0.0
+                    tps[i].deca > 0.0
                         ? TableWriter::num(
-                              inf.nextTokenWithTps(deca_tps[i], batch, 128)
+                              inf.nextTokenWithTps(tps[i].deca, batch,
+                                                   128)
                                   .milliseconds(),
                               1)
                         : "-");
@@ -84,9 +91,9 @@ main()
         }
         t.addRow(sw_row);
         t.addRow(deca_row);
-        bench::emit(t);
+        bench::emit(ctx, t);
     }
-    std::cout << "paper: DECA cuts next-token time 1.6x-2.6x vs SW and "
+    ctx.out() << "paper: DECA cuts next-token time 1.6x-2.6x vs SW and "
                  "2.5x-5.0x vs the uncompressed BF16 baseline\n";
     return 0;
 }

@@ -16,11 +16,12 @@
 #include "deca/area_model.h"
 #include "roofsurface/dse.h"
 #include "roofsurface/signature.h"
+#include "runner/scenario_registry.h"
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(accelerator_dse, "Example: re-dimensioning DECA for a "
+                               "future 64-core HBM3e server")
 {
     // The future machine: HBM3e-class bandwidth on a 64-core part, so
     // bandwidth per core more than doubles and the old PE dimensioning
@@ -59,7 +60,8 @@ main()
 
     // (2) Re-run the analytical DSE.
     const auto best = roofsurface::pickBalancedDesign(
-        future, schemes, {8, 16, 32, 64, 128}, {4, 8, 16, 32, 64});
+        future, schemes, {8, 16, 32, 64, 128}, {4, 8, 16, 32, 64},
+        ctx.sweep("accelerator_dse"));
     std::printf("re-dimensioned balanced design: {W=%u, L=%u} "
                 "(%u kernels VEC-bound)\n\n",
                 best.w, best.l, best.vecBoundKernels);

@@ -21,11 +21,12 @@
 #include "deca/pipeline.h"
 #include "roofsurface/roof_surface.h"
 #include "roofsurface/signature.h"
+#include "runner/scenario_registry.h"
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(custom_format, "Example: hosting OCP FP6 + sparsity on "
+                             "unmodified DECA hardware")
 {
     // A format DECA was never "designed for": FP6 E3M2, 30% density,
     // with MX-style group scales.

@@ -17,6 +17,7 @@
 #include "compress/reference_decompress.h"
 #include "compress/weight_matrix.h"
 #include "llm/inference.h"
+#include "runner/scenario_registry.h"
 #include "sim/params.h"
 
 using namespace deca;
@@ -51,8 +52,8 @@ weightSqnrDb(const compress::CompressionScheme &scheme)
 
 } // namespace
 
-int
-main()
+DECA_SCENARIO(llm_serving, "Example: choosing a compression scheme to "
+                           "serve Llama2-70B under an SLO")
 {
     const sim::SimParams p = sim::sprHbmParams();
     const llm::ModelConfig model = llm::llama2_70b();

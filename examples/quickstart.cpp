@@ -23,12 +23,13 @@
 #include "kernels/gemm_sim.h"
 #include "roofsurface/roof_surface.h"
 #include "roofsurface/signature.h"
+#include "runner/scenario_registry.h"
 #include "sim/params.h"
 
 using namespace deca;
 
-int
-main()
+DECA_SCENARIO(quickstart, "Example: end-to-end DECA workflow on one "
+                          "weight matrix")
 {
     // --- 1. Offline compression -------------------------------------
     const compress::CompressionScheme scheme = compress::schemeQ8(0.2);

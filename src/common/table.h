@@ -39,6 +39,11 @@ class TableWriter
 
     const std::string &title() const { return title_; }
     std::size_t numRows() const { return rows_.size(); }
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
 
     /** Format a double with the given precision. */
     static std::string num(double v, int precision = 2);

@@ -1,54 +1,78 @@
 #include "roofsurface/dse.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "roofsurface/signature.h"
 
 namespace deca::roofsurface {
 
+namespace {
+
+DseCandidate
+evaluateCandidate(const MachineConfig &mach,
+                  const std::vector<compress::CompressionScheme> &schemes,
+                  u32 w, u32 l)
+{
+    DseCandidate c{w, l, 0, 0.0};
+    for (const auto &s : schemes) {
+        const KernelSignature sig = decaSignature(s, w, l);
+        const RoofSurfacePoint p = evaluate(mach, sig);
+        // A kernel counts as VEC-bound only when the vector rate
+        // is meaningfully below the other limits: kernels whose
+        // predicted performance sits within 2% of the MEM/MTX
+        // roof (e.g. Q8_5%, a hair under MOS due to the rare
+        // >Lq-nonzero window) have saturated for dimensioning
+        // purposes (Sec. 9.2 picks the point where performance
+        // saturates).
+        const double others = std::min(p.memRateTps, p.mtxRateTps);
+        if (p.bound == Bound::VEC && p.vecRateTps < 0.98 * others) {
+            ++c.vecBoundKernels;
+        }
+        c.totalTps += p.tps;
+    }
+    return c;
+}
+
+} // namespace
+
 std::vector<DseCandidate>
 exploreDesignSpace(const MachineConfig &base_machine,
                    const std::vector<compress::CompressionScheme> &schemes,
-                   const std::vector<u32> &ws, const std::vector<u32> &ls)
+                   const std::vector<u32> &ws, const std::vector<u32> &ls,
+                   const runner::SweepOptions &sweep)
 {
     const MachineConfig mach = base_machine.withDecaVectorEngine();
-    std::vector<DseCandidate> out;
+
+    // Enumerate the valid design points in the historical nesting
+    // order; the engine hands slot i back in exactly that order, so a
+    // parallel exploration ranks candidates bit-identically to the
+    // serial one.
+    std::vector<std::pair<u32, u32>> points;
     for (u32 w : ws) {
         for (u32 l : ls) {
             if (l > w)
                 continue;  // more LUT lanes than datapath lanes is waste
-            DseCandidate c{w, l, 0, 0.0};
-            for (const auto &s : schemes) {
-                const KernelSignature sig = decaSignature(s, w, l);
-                const RoofSurfacePoint p = evaluate(mach, sig);
-                // A kernel counts as VEC-bound only when the vector rate
-                // is meaningfully below the other limits: kernels whose
-                // predicted performance sits within 2% of the MEM/MTX
-                // roof (e.g. Q8_5%, a hair under MOS due to the rare
-                // >Lq-nonzero window) have saturated for dimensioning
-                // purposes (Sec. 9.2 picks the point where performance
-                // saturates).
-                const double others =
-                    std::min(p.memRateTps, p.mtxRateTps);
-                if (p.bound == Bound::VEC &&
-                    p.vecRateTps < 0.98 * others) {
-                    ++c.vecBoundKernels;
-                }
-                c.totalTps += p.tps;
-            }
-            out.push_back(c);
+            points.emplace_back(w, l);
         }
     }
-    return out;
+
+    runner::SweepEngine engine(sweep);
+    return engine.map(points.size(), [&](std::size_t i) {
+        return evaluateCandidate(mach, schemes, points[i].first,
+                                 points[i].second);
+    });
 }
 
 DseCandidate
 pickBalancedDesign(const MachineConfig &base_machine,
                    const std::vector<compress::CompressionScheme> &schemes,
-                   const std::vector<u32> &ws, const std::vector<u32> &ls)
+                   const std::vector<u32> &ws, const std::vector<u32> &ls,
+                   const runner::SweepOptions &sweep)
 {
-    auto candidates = exploreDesignSpace(base_machine, schemes, ws, ls);
+    auto candidates = exploreDesignSpace(base_machine, schemes, ws, ls,
+                                         sweep);
     DECA_ASSERT(!candidates.empty(), "empty design space");
 
     const DseCandidate *best = nullptr;

@@ -12,6 +12,7 @@
 
 #include "compress/scheme.h"
 #include "roofsurface/bord.h"
+#include "runner/sweep_engine.h"
 
 namespace deca::roofsurface {
 
@@ -36,11 +37,15 @@ struct DseCandidate
 /**
  * Evaluate every {W, L} pair (W from ws, L from ls with L <= W) against
  * the kernel set on a machine whose vector engine is the DECA PE.
+ * Candidates fan out across the SweepEngine configured by `sweep`
+ * (serial by default); the result order — and every byte of every
+ * candidate — is independent of the thread count.
  */
 std::vector<DseCandidate> exploreDesignSpace(
     const MachineConfig &base_machine,
     const std::vector<compress::CompressionScheme> &schemes,
-    const std::vector<u32> &ws, const std::vector<u32> &ls);
+    const std::vector<u32> &ws, const std::vector<u32> &ls,
+    const runner::SweepOptions &sweep = {});
 
 /**
  * The paper's dimensioning rule: the smallest-cost candidate for which no
@@ -50,7 +55,8 @@ std::vector<DseCandidate> exploreDesignSpace(
 DseCandidate pickBalancedDesign(
     const MachineConfig &base_machine,
     const std::vector<compress::CompressionScheme> &schemes,
-    const std::vector<u32> &ws, const std::vector<u32> &ls);
+    const std::vector<u32> &ws, const std::vector<u32> &ls,
+    const runner::SweepOptions &sweep = {});
 
 } // namespace deca::roofsurface
 

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * decasim: one CLI over every paper figure/table bench and example,
+ * registered as named scenarios and executed through the parallel
+ * experiment runner.
+ *
+ *   decasim list
+ *   decasim run fig16 --threads=8
+ *   decasim run all --format=json
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/scenario_registry.h"
+#include "runner/thread_pool.h"
+
+namespace {
+
+using namespace deca::runner;
+
+int
+usage(int code)
+{
+    std::cout <<
+        "decasim — DECA paper-reproduction experiment runner\n"
+        "\n"
+        "usage:\n"
+        "  decasim list                 list registered scenarios\n"
+        "  decasim run <name>... [opts] run one or more scenarios\n"
+        "  decasim run all [opts]       run every scenario\n"
+        "\n"
+        "options:\n"
+        "  --threads=N   sweep worker threads (0 = all hardware threads;"
+        " default 1)\n"
+        "  --format=F    table | csv | json (default table)\n"
+        "  --progress    draw sweep progress on stderr\n";
+    return code;
+}
+
+int
+list()
+{
+    const auto scenarios = ScenarioRegistry::instance().sorted();
+    std::size_t width = 0;
+    for (const Scenario *s : scenarios)
+        width = std::max(width, s->name.size());
+    for (const Scenario *s : scenarios)
+        std::printf("%-*s  %s\n", static_cast<int>(width),
+                    s->name.c_str(), s->description.c_str());
+    return 0;
+}
+
+int
+run(const std::vector<std::string> &args)
+{
+    ScenarioContext ctx;
+    std::vector<std::string> names;
+    for (const std::string &arg : args) {
+        if (parseCommonFlag(arg, ctx))
+            continue;
+        if (arg.rfind("--", 0) == 0) {
+            std::cerr << "decasim: unknown option " << arg << "\n";
+            return usage(2);
+        }
+        names.push_back(arg);
+    }
+    if (names.empty()) {
+        std::cerr << "decasim: run needs at least one scenario name\n";
+        return usage(2);
+    }
+
+    const ScenarioRegistry &reg = ScenarioRegistry::instance();
+    std::vector<const Scenario *> todo;
+    if (names.size() == 1 && names[0] == "all") {
+        todo = reg.sorted();
+    } else {
+        for (const std::string &n : names) {
+            const Scenario *s = reg.find(n);
+            if (!s) {
+                std::cerr << "decasim: unknown scenario '" << n
+                          << "' (try `decasim list`)\n";
+                return 2;
+            }
+            todo.push_back(s);
+        }
+    }
+
+    for (const Scenario *s : todo) {
+        if (todo.size() > 1)
+            ctx.out() << "### " << s->name << ": " << s->description
+                      << "\n\n";
+        const int rc = s->fn(ctx);
+        if (rc != 0) {
+            std::cerr << "decasim: scenario " << s->name
+                      << " failed with exit code " << rc << "\n";
+            return rc;
+        }
+        if (todo.size() > 1)
+            ctx.out() << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage(2);
+    const std::string &cmd = args[0];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help")
+        return usage(0);
+    if (cmd == "list")
+        return list();
+    if (cmd == "run")
+        return run({args.begin() + 1, args.end()});
+    std::cerr << "decasim: unknown command '" << cmd << "'\n";
+    return usage(2);
+}

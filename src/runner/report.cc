@@ -1,0 +1,101 @@
+#include "runner/report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace deca::runner {
+
+std::optional<OutputFormat>
+parseOutputFormat(const std::string &s)
+{
+    if (s == "table")
+        return OutputFormat::Table;
+    if (s == "csv")
+        return OutputFormat::Csv;
+    if (s == "json")
+        return OutputFormat::Json;
+    return std::nullopt;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    return os.str();
+}
+
+void
+emitStringArray(std::ostringstream &os,
+                const std::vector<std::string> &cells)
+{
+    os << '[';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os << ',';
+        os << '"' << jsonEscape(cells[i]) << '"';
+    }
+    os << ']';
+}
+
+} // namespace
+
+std::string
+renderJson(const TableWriter &t)
+{
+    std::ostringstream os;
+    os << "{\"title\":\"" << jsonEscape(t.title()) << "\",\"columns\":";
+    emitStringArray(os, t.header());
+    os << ",\"rows\":[";
+    for (std::size_t i = 0; i < t.rows().size(); ++i) {
+        if (i)
+            os << ',';
+        emitStringArray(os, t.rows()[i]);
+    }
+    os << "]}";
+    return os.str();
+}
+
+void
+emitReport(const TableWriter &t, OutputFormat format, std::ostream &os)
+{
+    switch (format) {
+      case OutputFormat::Table:
+        // Seed bench format: aligned table plus its CSV twin.
+        os << t.render() << "\ncsv:\n" << t.csv() << "\n";
+        break;
+      case OutputFormat::Csv:
+        os << t.csv();
+        break;
+      case OutputFormat::Json:
+        os << renderJson(t) << "\n";
+        break;
+    }
+}
+
+} // namespace deca::runner

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Result-collection layer for the experiment runner: every scenario
+ * accumulates its rows in the existing common/table.h TableWriter, and
+ * the runner renders that in the operator's choice of format — the
+ * aligned console table (with its CSV twin, matching the historical
+ * bench output byte-for-byte), bare CSV, or JSON for downstream
+ * tooling.
+ */
+
+#ifndef DECA_RUNNER_REPORT_H
+#define DECA_RUNNER_REPORT_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "common/table.h"
+
+namespace deca::runner {
+
+enum class OutputFormat
+{
+    /** Aligned console table followed by its CSV twin (seed format). */
+    Table,
+    /** CSV only. */
+    Csv,
+    /** One JSON object per table: {title, columns, rows}. */
+    Json,
+};
+
+/** Parse "table" / "csv" / "json"; nullopt on anything else. */
+std::optional<OutputFormat> parseOutputFormat(const std::string &s);
+
+/** Render one table as a JSON object (string cells, escaped). */
+std::string renderJson(const TableWriter &t);
+
+/** Emit one result table in the requested format. */
+void emitReport(const TableWriter &t, OutputFormat format,
+                std::ostream &os);
+
+} // namespace deca::runner
+
+#endif // DECA_RUNNER_REPORT_H

@@ -1,0 +1,165 @@
+#include "runner/scenario_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <iostream>
+
+#include "common/logging.h"
+
+namespace deca::runner {
+
+std::ostream &
+ScenarioContext::out() const
+{
+    return outStream ? *outStream : std::cout;
+}
+
+SweepOptions
+ScenarioContext::sweep(const std::string &label) const
+{
+    SweepOptions opts;
+    opts.threads = threads;
+    if (showProgress)
+        opts.progress = stderrProgress(label);
+    return opts;
+}
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry reg;
+    return reg;
+}
+
+void
+ScenarioRegistry::add(Scenario s)
+{
+    DECA_ASSERT(find(s.name) == nullptr,
+                "duplicate scenario name: ", s.name);
+    scenarios_.push_back(std::move(s));
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    for (const Scenario &s : scenarios_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+namespace {
+
+/** "fig3" < "fig12": compare digit runs numerically, the rest bytewise. */
+bool
+naturalLess(const std::string &a, const std::string &b)
+{
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (std::isdigit(static_cast<unsigned char>(a[i])) &&
+            std::isdigit(static_cast<unsigned char>(b[j]))) {
+            std::size_t ie = i;
+            std::size_t je = j;
+            while (ie < a.size() &&
+                   std::isdigit(static_cast<unsigned char>(a[ie])))
+                ++ie;
+            while (je < b.size() &&
+                   std::isdigit(static_cast<unsigned char>(b[je])))
+                ++je;
+            const unsigned long long va = std::stoull(a.substr(i, ie - i));
+            const unsigned long long vb = std::stoull(b.substr(j, je - j));
+            if (va != vb)
+                return va < vb;
+            i = ie;
+            j = je;
+            continue;
+        }
+        if (a[i] != b[j])
+            return a[i] < b[j];
+        ++i;
+        ++j;
+    }
+    return a.size() - i < b.size() - j;
+}
+
+} // namespace
+
+std::vector<const Scenario *>
+ScenarioRegistry::sorted() const
+{
+    std::vector<const Scenario *> out;
+    out.reserve(scenarios_.size());
+    for (const Scenario &s : scenarios_)
+        out.push_back(&s);
+    std::sort(out.begin(), out.end(),
+              [](const Scenario *a, const Scenario *b) {
+                  return naturalLess(a->name, b->name);
+              });
+    return out;
+}
+
+bool
+registerScenario(std::string name, std::string description, ScenarioFn fn)
+{
+    ScenarioRegistry::instance().add(
+        {std::move(name), std::move(description), fn});
+    return true;
+}
+
+bool
+parseCommonFlag(const std::string &arg, ScenarioContext &ctx)
+{
+    if (arg.rfind("--threads=", 0) == 0) {
+        const std::string v = arg.substr(std::strlen("--threads="));
+        char *end = nullptr;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0' || n < 0)
+            DECA_FATAL("bad --threads value: ", v);
+        ctx.threads =
+            n == 0 ? ThreadPool::hardwareThreads() : static_cast<u32>(n);
+        return true;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+        const std::string v = arg.substr(std::strlen("--format="));
+        const auto f = parseOutputFormat(v);
+        if (!f)
+            DECA_FATAL("bad --format value: ", v,
+                       " (expected table|csv|json)");
+        ctx.format = *f;
+        return true;
+    }
+    if (arg == "--progress") {
+        ctx.showProgress = true;
+        return true;
+    }
+    return false;
+}
+
+int
+standaloneScenarioMain(int argc, char **argv)
+{
+    const ScenarioRegistry &reg = ScenarioRegistry::instance();
+    DECA_ASSERT(reg.size() == 1,
+                "standalone binary must link exactly one scenario, has ",
+                reg.size());
+    const Scenario *s = reg.sorted().front();
+
+    ScenarioContext ctx;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << s->name << ": " << s->description << "\n"
+                      << "usage: " << argv[0]
+                      << " [--threads=N] [--format=table|csv|json]"
+                         " [--progress]\n";
+            return 0;
+        }
+        if (!parseCommonFlag(arg, ctx))
+            DECA_FATAL("unknown argument: ", arg);
+    }
+    return s->fn(ctx);
+}
+
+} // namespace deca::runner

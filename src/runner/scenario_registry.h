@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Named-scenario registry behind the decasim CLI. Every paper
+ * figure/table bench and every example registers itself at static-init
+ * time via DECA_SCENARIO; decasim links all of them and dispatches
+ * `decasim run <name>`, while each standalone bench binary links
+ * exactly one and runs it through the same context plumbing.
+ */
+
+#ifndef DECA_RUNNER_SCENARIO_REGISTRY_H
+#define DECA_RUNNER_SCENARIO_REGISTRY_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "runner/report.h"
+#include "runner/sweep_engine.h"
+
+namespace deca::runner {
+
+/** Per-invocation knobs a scenario receives from the CLI. */
+struct ScenarioContext
+{
+    /** Worker threads for SweepEngine fan-out; 1 = serial. */
+    u32 threads = 1;
+    /** How result tables are rendered. */
+    OutputFormat format = OutputFormat::Table;
+    /** Draw sweep progress on stderr. */
+    bool showProgress = false;
+    /** Destination stream; null means std::cout. */
+    std::ostream *outStream = nullptr;
+
+    std::ostream &out() const;
+
+    /** SweepOptions honoring --threads and --progress. */
+    SweepOptions sweep(const std::string &label = "sweep") const;
+};
+
+using ScenarioFn = int (*)(const ScenarioContext &);
+
+struct Scenario
+{
+    std::string name;
+    std::string description;
+    ScenarioFn fn = nullptr;
+};
+
+class ScenarioRegistry
+{
+  public:
+    static ScenarioRegistry &instance();
+
+    void add(Scenario s);
+
+    /** Lookup by name; null when absent. */
+    const Scenario *find(const std::string &name) const;
+
+    /** All scenarios in natural order (fig3 before fig12). */
+    std::vector<const Scenario *> sorted() const;
+
+    std::size_t size() const { return scenarios_.size(); }
+
+  private:
+    std::vector<Scenario> scenarios_;
+};
+
+/** Static-init hook used by DECA_SCENARIO; always returns true. */
+bool registerScenario(std::string name, std::string description,
+                      ScenarioFn fn);
+
+/**
+ * Parse one flag shared by decasim and the standalone binaries
+ * (--threads=N, --format=..., --progress) into ctx; false when the
+ * argument is not a common flag.
+ */
+bool parseCommonFlag(const std::string &arg, ScenarioContext &ctx);
+
+/**
+ * Entry point shared by the standalone bench/example binaries: parses
+ * the common flags (--threads, --format, --progress) and runs the
+ * single scenario linked into the binary.
+ */
+int standaloneScenarioMain(int argc, char **argv);
+
+/**
+ * Define and register a scenario. Usage:
+ *
+ *   DECA_SCENARIO(fig16, "Figure 16: {W, L} design-space exploration")
+ *   {
+ *       ... use ctx.sweep(), ctx.out() ...
+ *       return 0;
+ *   }
+ */
+#define DECA_SCENARIO(ident, desc)                                        \
+    static int decaScenario_##ident(                                      \
+        const ::deca::runner::ScenarioContext &ctx);                      \
+    static const bool decaScenarioReg_##ident =                           \
+        ::deca::runner::registerScenario(#ident, desc,                    \
+                                         &decaScenario_##ident);          \
+    static int decaScenario_##ident(                                      \
+        [[maybe_unused]] const ::deca::runner::ScenarioContext &ctx)
+
+} // namespace deca::runner
+
+#endif // DECA_RUNNER_SCENARIO_REGISTRY_H

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Shared main() for the standalone bench/example binaries: each links
+ * exactly one DECA_SCENARIO translation unit plus this file, so the
+ * historical one-binary-per-figure workflow keeps working on top of
+ * the scenario registry.
+ */
+
+#include "runner/scenario_registry.h"
+
+int
+main(int argc, char **argv)
+{
+    return deca::runner::standaloneScenarioMain(argc, argv);
+}

@@ -1,0 +1,70 @@
+#include "runner/sweep_engine.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace deca::runner {
+
+ProgressFn
+stderrProgress(std::string label)
+{
+    return [label = std::move(label)](std::size_t done,
+                                      std::size_t total) {
+        std::fprintf(stderr, "\r%s: %zu/%zu%s", label.c_str(), done,
+                     total, done == total ? "\n" : "");
+        std::fflush(stderr);
+    };
+}
+
+ParamGrid &
+ParamGrid::axis(std::string name, std::size_t size)
+{
+    DECA_ASSERT(size > 0, "grid axis '", name, "' is empty");
+    axes_.push_back({std::move(name), size});
+    return *this;
+}
+
+std::size_t
+ParamGrid::size() const
+{
+    std::size_t n = 1;
+    for (const Axis &a : axes_)
+        n *= a.size;
+    return n;
+}
+
+std::vector<std::size_t>
+ParamGrid::coords(std::size_t flat) const
+{
+    DECA_ASSERT(flat < size(), "grid index out of range");
+    std::vector<std::size_t> c(axes_.size());
+    for (std::size_t i = axes_.size(); i-- > 0;) {
+        c[i] = flat % axes_[i].size;
+        flat /= axes_[i].size;
+    }
+    return c;
+}
+
+SweepEngine::SweepEngine(SweepOptions opts) : opts_(std::move(opts)) {}
+
+SweepEngine::~SweepEngine() = default;
+
+ThreadPool &
+SweepEngine::ensurePool()
+{
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(opts_.threads);
+    return *pool_;
+}
+
+void
+SweepEngine::reportProgress(std::size_t done, std::size_t total)
+{
+    if (!opts_.progress)
+        return;
+    std::lock_guard<std::mutex> lk(progressMutex_);
+    opts_.progress(done, total);
+}
+
+} // namespace deca::runner

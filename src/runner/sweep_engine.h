@@ -1,0 +1,161 @@
+/**
+ * @file
+ * SweepEngine: fans an indexed parameter space (scheme x machine x
+ * {W, L} x kernel set, or any other grid) out across a work-stealing
+ * thread pool while keeping result ordering deterministic. Slot i of
+ * the output always holds fn(i), so a parallel sweep is bit-identical
+ * to the serial loop it replaced — the property the DSE tests pin.
+ */
+
+#ifndef DECA_RUNNER_SWEEP_ENGINE_H
+#define DECA_RUNNER_SWEEP_ENGINE_H
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.h"
+#include "runner/thread_pool.h"
+
+namespace deca::runner {
+
+/** Called after every finished sweep point with (done, total). */
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+struct SweepOptions
+{
+    /** Worker threads. 0 or 1 evaluates serially on the caller. */
+    u32 threads = 1;
+    /** Optional progress sink; invoked under a lock, in completion
+     *  (not index) order. */
+    ProgressFn progress;
+};
+
+/** A progress sink that draws `label: done/total` on stderr. */
+ProgressFn stderrProgress(std::string label);
+
+/**
+ * One axis x another x ... flattened to a single index space. Axis 0
+ * varies slowest (matching the nesting order of the serial loops the
+ * engine replaces).
+ */
+class ParamGrid
+{
+  public:
+    ParamGrid &axis(std::string name, std::size_t size);
+
+    /** Product of all axis sizes. */
+    std::size_t size() const;
+
+    /** Per-axis coordinates of the flat index. */
+    std::vector<std::size_t> coords(std::size_t flat) const;
+
+    std::size_t numAxes() const { return axes_.size(); }
+    const std::string &axisName(std::size_t i) const
+    {
+        return axes_[i].name;
+    }
+    std::size_t axisSize(std::size_t i) const { return axes_[i].size; }
+
+  private:
+    struct Axis
+    {
+        std::string name;
+        std::size_t size;
+    };
+    std::vector<Axis> axes_;
+};
+
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions opts = {});
+    ~SweepEngine();
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    u32 threads() const { return opts_.threads; }
+
+    /**
+     * Evaluate fn(i) for every i in [0, n) and return the results in
+     * index order. Exceptions rethrow in index order too, so the first
+     * failing index wins no matter which worker hit it first.
+     */
+    template <typename F>
+    auto
+    map(std::size_t n, F &&fn)
+        -> std::vector<std::invoke_result_t<F, std::size_t>>
+    {
+        using R = std::invoke_result_t<F, std::size_t>;
+        std::vector<R> out;
+        out.reserve(n);
+        if (!parallel() || n <= 1) {
+            for (std::size_t i = 0; i < n; ++i) {
+                out.push_back(fn(i));
+                reportProgress(i + 1, n);
+            }
+            return out;
+        }
+        ThreadPool &pool = ensurePool();
+        std::vector<std::future<R>> futs;
+        futs.reserve(n);
+        std::shared_ptr<std::atomic<std::size_t>> done =
+            std::make_shared<std::atomic<std::size_t>>(0);
+        for (std::size_t i = 0; i < n; ++i) {
+            futs.push_back(pool.submit([this, &fn, i, n, done]() -> R {
+                R r = fn(i);
+                reportProgress(done->fetch_add(1) + 1, n);
+                return r;
+            }));
+        }
+        // Harvest in index order, but never leave the function while
+        // tasks still reference fn (a dangling reference once map's
+        // frame unwinds): drain every future, remember the
+        // lowest-index exception, rethrow it only after all tasks
+        // finished.
+        std::exception_ptr first_error;
+        for (auto &f : futs) {
+            try {
+                if (!first_error)
+                    out.push_back(f.get());
+                else
+                    f.wait();
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return out;
+    }
+
+    /** map() over a grid; fn receives the per-axis coordinates. */
+    template <typename F>
+    auto
+    mapGrid(const ParamGrid &grid, F &&fn)
+        -> std::vector<
+            std::invoke_result_t<F, const std::vector<std::size_t> &>>
+    {
+        return map(grid.size(), [&grid, &fn](std::size_t flat) {
+            return fn(grid.coords(flat));
+        });
+    }
+
+  private:
+    bool parallel() const { return opts_.threads > 1; }
+    ThreadPool &ensurePool();
+    void reportProgress(std::size_t done, std::size_t total);
+
+    SweepOptions opts_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::mutex progressMutex_;
+};
+
+} // namespace deca::runner
+
+#endif // DECA_RUNNER_SWEEP_ENGINE_H

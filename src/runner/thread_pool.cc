@@ -1,0 +1,99 @@
+#include "runner/thread_pool.h"
+
+namespace deca::runner {
+
+ThreadPool::ThreadPool(u32 num_threads)
+{
+    workers_.reserve(num_threads);
+    for (u32 i = 0; i < num_threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(num_threads);
+    for (u32 i = 0; i < num_threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        stop_.store(true);
+    }
+    wakeup_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+u32
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : static_cast<u32>(hw);
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    const u64 slot = nextWorker_.fetch_add(1) % workers_.size();
+    {
+        std::lock_guard<std::mutex> lk(workers_[slot]->mutex);
+        workers_[slot]->tasks.push_back(std::move(task));
+    }
+    {
+        // Publish under sleepMutex_ so a worker between evaluating the
+        // wait predicate and blocking cannot miss this task: either it
+        // sees queued_ > 0 in the predicate, or it is already blocked
+        // and the notify wakes it.
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        queued_.fetch_add(1);
+    }
+    wakeup_.notify_one();
+}
+
+bool
+ThreadPool::findTask(u32 id, std::function<void()> &task)
+{
+    // Own deque first, newest-first: the task most likely still warm.
+    {
+        Worker &own = *workers_[id];
+        std::lock_guard<std::mutex> lk(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            queued_.fetch_sub(1);
+            return true;
+        }
+    }
+    // Steal oldest-first from the other workers.
+    const u32 n = static_cast<u32>(workers_.size());
+    for (u32 k = 1; k < n; ++k) {
+        Worker &victim = *workers_[(id + k) % n];
+        std::lock_guard<std::mutex> lk(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            queued_.fetch_sub(1);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(u32 id)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (findTask(id, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(sleepMutex_);
+        if (stop_.load())
+            return;  // no work left anywhere and shutting down
+        wakeup_.wait(lk, [this] {
+            return stop_.load() || queued_.load() > 0;
+        });
+    }
+}
+
+} // namespace deca::runner

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment runner.
+ *
+ * Each worker owns a deque: it pushes and pops work at the back (LIFO,
+ * cache-friendly) and idle workers steal from the front of a victim's
+ * deque (FIFO, oldest-first). Tasks are submitted round-robin so a
+ * burst of coarse sweep points spreads across workers even before
+ * stealing kicks in. Results and exceptions travel through
+ * std::future, so a throwing task never takes down a worker.
+ */
+
+#ifndef DECA_RUNNER_THREAD_POOL_H
+#define DECA_RUNNER_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deca::runner {
+
+/** Fixed-size work-stealing pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn `num_threads` workers. Zero is a valid degenerate pool:
+     * every submitted task runs inline on the caller's thread (useful
+     * for forcing strictly serial execution through the same API).
+     */
+    explicit ThreadPool(u32 num_threads);
+
+    /** Drains all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    u32 numWorkers() const { return static_cast<u32>(workers_.size()); }
+
+    /**
+     * Schedule a callable; the returned future carries its result or
+     * exception. With zero workers the callable runs before submit
+     * returns.
+     */
+    template <typename F>
+    auto
+    submit(F &&f) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        std::future<R> fut = task->get_future();
+        if (workers_.empty()) {
+            (*task)();
+            return fut;
+        }
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+    /** Number of hardware threads, at least 1. */
+    static u32 hardwareThreads();
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void enqueue(std::function<void()> task);
+    void workerLoop(u32 id);
+    bool findTask(u32 id, std::function<void()> &task);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::atomic<u64> nextWorker_{0};
+    std::atomic<u64> queued_{0};
+    std::atomic<bool> stop_{false};
+    std::mutex sleepMutex_;
+    std::condition_variable wakeup_;
+};
+
+} // namespace deca::runner
+
+#endif // DECA_RUNNER_THREAD_POOL_H

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the SweepEngine: deterministic (index-order) results
+ * regardless of thread count, grid flattening, progress reporting, and
+ * — the property the runner exists to preserve — parallel DSE results
+ * bit-identical to the serial path.
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "roofsurface/dse.h"
+#include "roofsurface/signature.h"
+#include "runner/sweep_engine.h"
+
+namespace deca::runner {
+namespace {
+
+TEST(SweepEngine, MapReturnsResultsInIndexOrder)
+{
+    SweepEngine serial;
+    SweepEngine wide({/*threads=*/8, nullptr});
+    auto fn = [](std::size_t i) { return 3 * static_cast<int>(i) + 1; };
+    const auto a = serial.map(100, fn);
+    const auto b = wide.map(100, fn);
+    ASSERT_EQ(a.size(), 100u);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a[41], 124);
+}
+
+TEST(SweepEngine, ZeroThreadsBehavesLikeSerial)
+{
+    SweepEngine engine({/*threads=*/0, nullptr});
+    const auto r =
+        engine.map(5, [](std::size_t i) { return static_cast<int>(i); });
+    EXPECT_EQ(r, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SweepEngine, LowestIndexExceptionWins)
+{
+    SweepEngine engine({/*threads=*/4, nullptr});
+    try {
+        engine.map(32, [](std::size_t i) -> int {
+            if (i >= 5)
+                throw std::runtime_error(std::to_string(i));
+            return static_cast<int>(i);
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        // Futures are harvested in index order, so the failure the
+        // caller sees is always index 5, not whichever worker threw
+        // first on the wall clock.
+        EXPECT_EQ(std::string(e.what()), "5");
+    }
+}
+
+TEST(SweepEngine, ProgressSeesEveryCompletionAndTheTotal)
+{
+    std::atomic<std::size_t> calls{0};
+    std::atomic<std::size_t> max_done{0};
+    SweepOptions opts;
+    opts.threads = 4;
+    opts.progress = [&](std::size_t done, std::size_t total) {
+        calls.fetch_add(1);
+        if (done > max_done.load())
+            max_done.store(done);
+        EXPECT_EQ(total, 40u);
+    };
+    SweepEngine engine(opts);
+    engine.map(40, [](std::size_t i) { return i; });
+    EXPECT_EQ(calls.load(), 40u);
+    EXPECT_EQ(max_done.load(), 40u);
+}
+
+TEST(ParamGrid, FlattensRowMajorWithLastAxisFastest)
+{
+    ParamGrid g;
+    g.axis("a", 2).axis("b", 3).axis("c", 4);
+    EXPECT_EQ(g.size(), 24u);
+    EXPECT_EQ(g.coords(0), (std::vector<std::size_t>{0, 0, 0}));
+    EXPECT_EQ(g.coords(1), (std::vector<std::size_t>{0, 0, 1}));
+    EXPECT_EQ(g.coords(4), (std::vector<std::size_t>{0, 1, 0}));
+    EXPECT_EQ(g.coords(23), (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(SweepEngine, MapGridMatchesNestedLoops)
+{
+    ParamGrid g;
+    g.axis("x", 3).axis("y", 5);
+    SweepEngine engine({/*threads=*/3, nullptr});
+    const auto r =
+        engine.mapGrid(g, [](const std::vector<std::size_t> &c) {
+            return static_cast<int>(10 * c[0] + c[1]);
+        });
+    std::vector<int> expect;
+    for (int x = 0; x < 3; ++x)
+        for (int y = 0; y < 5; ++y)
+            expect.push_back(10 * x + y);
+    EXPECT_EQ(r, expect);
+}
+
+// The contract the decasim CLI advertises: a parallel design-space
+// exploration ranks candidates bit-identically to the serial one.
+TEST(SweepEngine, ParallelDseIsBitIdenticalToSerial)
+{
+    const auto schemes = compress::paperSchemes();
+    const std::vector<u32> ws = {8, 16, 32, 64};
+    const std::vector<u32> ls = {4, 8, 16, 32, 64};
+    const auto mach = roofsurface::sprHbm();
+
+    const auto serial =
+        roofsurface::exploreDesignSpace(mach, schemes, ws, ls);
+    const auto parallel = roofsurface::exploreDesignSpace(
+        mach, schemes, ws, ls, {/*threads=*/8, nullptr});
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].w, parallel[i].w);
+        EXPECT_EQ(serial[i].l, parallel[i].l);
+        EXPECT_EQ(serial[i].vecBoundKernels, parallel[i].vecBoundKernels);
+        // Bit-identical, not approximately equal: the parallel path
+        // must not reassociate any floating-point accumulation.
+        EXPECT_EQ(serial[i].totalTps, parallel[i].totalTps);
+    }
+
+    const auto pick_serial =
+        roofsurface::pickBalancedDesign(mach, schemes, ws, ls);
+    const auto pick_parallel = roofsurface::pickBalancedDesign(
+        mach, schemes, ws, ls, {/*threads=*/8, nullptr});
+    EXPECT_EQ(pick_serial.w, pick_parallel.w);
+    EXPECT_EQ(pick_serial.l, pick_parallel.l);
+    EXPECT_EQ(pick_serial.w, 32u);
+    EXPECT_EQ(pick_serial.l, 8u);
+}
+
+} // namespace
+} // namespace deca::runner

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the runner's work-stealing thread pool: results and
+ * exceptions travel through futures, a zero-worker pool degenerates to
+ * inline execution, and oversubscription (far more workers than
+ * hardware threads) neither deadlocks nor drops tasks.
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/thread_pool.h"
+
+namespace deca::runner {
+namespace {
+
+TEST(ThreadPool, EveryTaskMapsToItsOwnResult)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 200; ++i)
+        futs.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnCaller)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numWorkers(), 0u);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<int> ran{0};
+    auto fut = pool.submit([&] {
+        ran.store(1);
+        return std::this_thread::get_id();
+    });
+    // Inline execution: the task already ran by the time submit
+    // returned, on the calling thread itself.
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(fut.get(), caller);
+}
+
+TEST(ThreadPool, OversubscribedWorkersCompleteAllTasks)
+{
+    // Far more workers than this machine has hardware threads.
+    ThreadPool pool(32);
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 1000; ++i)
+        futs.push_back(pool.submit([&done] { done.fetch_add(1); }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(done.load(), 1000);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task and keeps serving.
+    EXPECT_EQ(pool.submit([] { return 11; }).get(), 11);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&done] { done.fetch_add(1); });
+    }  // destructor joins only after every queued task ran
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+} // namespace
+} // namespace deca::runner
