@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_energy.dir/bench/ablation_energy.cc.o"
+  "CMakeFiles/ablation_energy.dir/bench/ablation_energy.cc.o.d"
+  "CMakeFiles/ablation_energy.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/ablation_energy.dir/src/runner/standalone_main.cc.o.d"
+  "bench/ablation_energy"
+  "bench/ablation_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

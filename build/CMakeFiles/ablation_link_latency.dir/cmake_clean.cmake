@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link_latency.dir/bench/ablation_link_latency.cc.o"
+  "CMakeFiles/ablation_link_latency.dir/bench/ablation_link_latency.cc.o.d"
+  "CMakeFiles/ablation_link_latency.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/ablation_link_latency.dir/src/runner/standalone_main.cc.o.d"
+  "bench/ablation_link_latency"
+  "bench/ablation_link_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

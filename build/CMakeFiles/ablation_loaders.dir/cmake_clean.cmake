@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loaders.dir/bench/ablation_loaders.cc.o"
+  "CMakeFiles/ablation_loaders.dir/bench/ablation_loaders.cc.o.d"
+  "CMakeFiles/ablation_loaders.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/ablation_loaders.dir/src/runner/standalone_main.cc.o.d"
+  "bench/ablation_loaders"
+  "bench/ablation_loaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_dse.dir/examples/accelerator_dse.cpp.o"
+  "CMakeFiles/accelerator_dse.dir/examples/accelerator_dse.cpp.o.d"
+  "CMakeFiles/accelerator_dse.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/accelerator_dse.dir/src/runner/standalone_main.cc.o.d"
+  "examples/accelerator_dse"
+  "examples/accelerator_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_model.dir/bench/area_model.cc.o"
+  "CMakeFiles/area_model.dir/bench/area_model.cc.o.d"
+  "CMakeFiles/area_model.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/area_model.dir/src/runner/standalone_main.cc.o.d"
+  "bench/area_model"
+  "bench/area_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_format.dir/examples/custom_format.cpp.o"
+  "CMakeFiles/custom_format.dir/examples/custom_format.cpp.o.d"
+  "CMakeFiles/custom_format.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/custom_format.dir/src/runner/standalone_main.cc.o.d"
+  "examples/custom_format"
+  "examples/custom_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

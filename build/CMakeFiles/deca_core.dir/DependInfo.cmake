@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/binomial.cc" "CMakeFiles/deca_core.dir/src/common/binomial.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/common/binomial.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/deca_core.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/minifloat.cc" "CMakeFiles/deca_core.dir/src/common/minifloat.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/common/minifloat.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/deca_core.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/deca_core.dir/src/common/table.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/common/table.cc.o.d"
+  "/root/repo/src/compress/bitmask.cc" "CMakeFiles/deca_core.dir/src/compress/bitmask.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/compress/bitmask.cc.o.d"
+  "/root/repo/src/compress/bitpack.cc" "CMakeFiles/deca_core.dir/src/compress/bitpack.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/compress/bitpack.cc.o.d"
+  "/root/repo/src/compress/element_format.cc" "CMakeFiles/deca_core.dir/src/compress/element_format.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/compress/element_format.cc.o.d"
+  "/root/repo/src/compress/gemm_reference.cc" "CMakeFiles/deca_core.dir/src/compress/gemm_reference.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/compress/gemm_reference.cc.o.d"
+  "/root/repo/src/compress/quantizer.cc" "CMakeFiles/deca_core.dir/src/compress/quantizer.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/compress/quantizer.cc.o.d"
+  "/root/repo/src/compress/reference_decompress.cc" "CMakeFiles/deca_core.dir/src/compress/reference_decompress.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/compress/reference_decompress.cc.o.d"
+  "/root/repo/src/compress/scheme.cc" "CMakeFiles/deca_core.dir/src/compress/scheme.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/compress/scheme.cc.o.d"
+  "/root/repo/src/compress/structured.cc" "CMakeFiles/deca_core.dir/src/compress/structured.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/compress/structured.cc.o.d"
+  "/root/repo/src/compress/weight_matrix.cc" "CMakeFiles/deca_core.dir/src/compress/weight_matrix.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/compress/weight_matrix.cc.o.d"
+  "/root/repo/src/deca/area_model.cc" "CMakeFiles/deca_core.dir/src/deca/area_model.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/deca/area_model.cc.o.d"
+  "/root/repo/src/deca/context.cc" "CMakeFiles/deca_core.dir/src/deca/context.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/deca/context.cc.o.d"
+  "/root/repo/src/deca/expansion.cc" "CMakeFiles/deca_core.dir/src/deca/expansion.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/deca/expansion.cc.o.d"
+  "/root/repo/src/deca/int8_output.cc" "CMakeFiles/deca_core.dir/src/deca/int8_output.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/deca/int8_output.cc.o.d"
+  "/root/repo/src/deca/lut_array.cc" "CMakeFiles/deca_core.dir/src/deca/lut_array.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/deca/lut_array.cc.o.d"
+  "/root/repo/src/deca/pipeline.cc" "CMakeFiles/deca_core.dir/src/deca/pipeline.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/deca/pipeline.cc.o.d"
+  "/root/repo/src/deca/tepl_queue.cc" "CMakeFiles/deca_core.dir/src/deca/tepl_queue.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/deca/tepl_queue.cc.o.d"
+  "/root/repo/src/kernels/energy_model.cc" "CMakeFiles/deca_core.dir/src/kernels/energy_model.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/kernels/energy_model.cc.o.d"
+  "/root/repo/src/kernels/gemm_sim.cc" "CMakeFiles/deca_core.dir/src/kernels/gemm_sim.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/kernels/gemm_sim.cc.o.d"
+  "/root/repo/src/kernels/kernel_config.cc" "CMakeFiles/deca_core.dir/src/kernels/kernel_config.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/kernels/kernel_config.cc.o.d"
+  "/root/repo/src/kernels/sw_cost_model.cc" "CMakeFiles/deca_core.dir/src/kernels/sw_cost_model.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/kernels/sw_cost_model.cc.o.d"
+  "/root/repo/src/kernels/sw_decompress.cc" "CMakeFiles/deca_core.dir/src/kernels/sw_decompress.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/kernels/sw_decompress.cc.o.d"
+  "/root/repo/src/kernels/workload.cc" "CMakeFiles/deca_core.dir/src/kernels/workload.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/kernels/workload.cc.o.d"
+  "/root/repo/src/llm/inference.cc" "CMakeFiles/deca_core.dir/src/llm/inference.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/llm/inference.cc.o.d"
+  "/root/repo/src/llm/model_config.cc" "CMakeFiles/deca_core.dir/src/llm/model_config.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/llm/model_config.cc.o.d"
+  "/root/repo/src/llm/nongemm_model.cc" "CMakeFiles/deca_core.dir/src/llm/nongemm_model.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/llm/nongemm_model.cc.o.d"
+  "/root/repo/src/roofsurface/bord.cc" "CMakeFiles/deca_core.dir/src/roofsurface/bord.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/roofsurface/bord.cc.o.d"
+  "/root/repo/src/roofsurface/bubble_model.cc" "CMakeFiles/deca_core.dir/src/roofsurface/bubble_model.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/roofsurface/bubble_model.cc.o.d"
+  "/root/repo/src/roofsurface/dse.cc" "CMakeFiles/deca_core.dir/src/roofsurface/dse.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/roofsurface/dse.cc.o.d"
+  "/root/repo/src/roofsurface/machine.cc" "CMakeFiles/deca_core.dir/src/roofsurface/machine.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/roofsurface/machine.cc.o.d"
+  "/root/repo/src/roofsurface/roof_surface.cc" "CMakeFiles/deca_core.dir/src/roofsurface/roof_surface.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/roofsurface/roof_surface.cc.o.d"
+  "/root/repo/src/roofsurface/signature.cc" "CMakeFiles/deca_core.dir/src/roofsurface/signature.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/roofsurface/signature.cc.o.d"
+  "/root/repo/src/runner/report.cc" "CMakeFiles/deca_core.dir/src/runner/report.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/runner/report.cc.o.d"
+  "/root/repo/src/runner/scenario_registry.cc" "CMakeFiles/deca_core.dir/src/runner/scenario_registry.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/runner/scenario_registry.cc.o.d"
+  "/root/repo/src/runner/sweep_engine.cc" "CMakeFiles/deca_core.dir/src/runner/sweep_engine.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/runner/sweep_engine.cc.o.d"
+  "/root/repo/src/runner/thread_pool.cc" "CMakeFiles/deca_core.dir/src/runner/thread_pool.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/runner/thread_pool.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/deca_core.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/fetch_stream.cc" "CMakeFiles/deca_core.dir/src/sim/fetch_stream.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/sim/fetch_stream.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "CMakeFiles/deca_core.dir/src/sim/memory_system.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/sim/memory_system.cc.o.d"
+  "/root/repo/src/sim/params.cc" "CMakeFiles/deca_core.dir/src/sim/params.cc.o" "gcc" "CMakeFiles/deca_core.dir/src/sim/params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

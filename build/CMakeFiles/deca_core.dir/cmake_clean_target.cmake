@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeca_core.a"
+)

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_area_model.cc" "CMakeFiles/deca_tests.dir/tests/test_area_model.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_area_model.cc.o.d"
+  "/root/repo/tests/test_bf16.cc" "CMakeFiles/deca_tests.dir/tests/test_bf16.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_bf16.cc.o.d"
+  "/root/repo/tests/test_binomial.cc" "CMakeFiles/deca_tests.dir/tests/test_binomial.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_binomial.cc.o.d"
+  "/root/repo/tests/test_bitmask.cc" "CMakeFiles/deca_tests.dir/tests/test_bitmask.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_bitmask.cc.o.d"
+  "/root/repo/tests/test_bitpack.cc" "CMakeFiles/deca_tests.dir/tests/test_bitpack.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_bitpack.cc.o.d"
+  "/root/repo/tests/test_bubble_model.cc" "CMakeFiles/deca_tests.dir/tests/test_bubble_model.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_bubble_model.cc.o.d"
+  "/root/repo/tests/test_context.cc" "CMakeFiles/deca_tests.dir/tests/test_context.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_context.cc.o.d"
+  "/root/repo/tests/test_coro.cc" "CMakeFiles/deca_tests.dir/tests/test_coro.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_coro.cc.o.d"
+  "/root/repo/tests/test_dse.cc" "CMakeFiles/deca_tests.dir/tests/test_dse.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_dse.cc.o.d"
+  "/root/repo/tests/test_energy_model.cc" "CMakeFiles/deca_tests.dir/tests/test_energy_model.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_energy_model.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "CMakeFiles/deca_tests.dir/tests/test_event_queue.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_expansion.cc" "CMakeFiles/deca_tests.dir/tests/test_expansion.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_expansion.cc.o.d"
+  "/root/repo/tests/test_fetch_stream.cc" "CMakeFiles/deca_tests.dir/tests/test_fetch_stream.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_fetch_stream.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "CMakeFiles/deca_tests.dir/tests/test_fuzz.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_gemm_reference.cc" "CMakeFiles/deca_tests.dir/tests/test_gemm_reference.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_gemm_reference.cc.o.d"
+  "/root/repo/tests/test_gemm_sim.cc" "CMakeFiles/deca_tests.dir/tests/test_gemm_sim.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_gemm_sim.cc.o.d"
+  "/root/repo/tests/test_int8_output.cc" "CMakeFiles/deca_tests.dir/tests/test_int8_output.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_int8_output.cc.o.d"
+  "/root/repo/tests/test_integration_e2e.cc" "CMakeFiles/deca_tests.dir/tests/test_integration_e2e.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_integration_e2e.cc.o.d"
+  "/root/repo/tests/test_llm.cc" "CMakeFiles/deca_tests.dir/tests/test_llm.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_llm.cc.o.d"
+  "/root/repo/tests/test_lut_array.cc" "CMakeFiles/deca_tests.dir/tests/test_lut_array.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_lut_array.cc.o.d"
+  "/root/repo/tests/test_memory_system.cc" "CMakeFiles/deca_tests.dir/tests/test_memory_system.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_memory_system.cc.o.d"
+  "/root/repo/tests/test_minifloat.cc" "CMakeFiles/deca_tests.dir/tests/test_minifloat.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_minifloat.cc.o.d"
+  "/root/repo/tests/test_mx_scale.cc" "CMakeFiles/deca_tests.dir/tests/test_mx_scale.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_mx_scale.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "CMakeFiles/deca_tests.dir/tests/test_pipeline.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_quantizer.cc" "CMakeFiles/deca_tests.dir/tests/test_quantizer.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_quantizer.cc.o.d"
+  "/root/repo/tests/test_roofsurface.cc" "CMakeFiles/deca_tests.dir/tests/test_roofsurface.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_roofsurface.cc.o.d"
+  "/root/repo/tests/test_scheme.cc" "CMakeFiles/deca_tests.dir/tests/test_scheme.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_scheme.cc.o.d"
+  "/root/repo/tests/test_signature.cc" "CMakeFiles/deca_tests.dir/tests/test_signature.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_signature.cc.o.d"
+  "/root/repo/tests/test_stats_table.cc" "CMakeFiles/deca_tests.dir/tests/test_stats_table.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_stats_table.cc.o.d"
+  "/root/repo/tests/test_structured.cc" "CMakeFiles/deca_tests.dir/tests/test_structured.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_structured.cc.o.d"
+  "/root/repo/tests/test_sw_cost_model.cc" "CMakeFiles/deca_tests.dir/tests/test_sw_cost_model.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_sw_cost_model.cc.o.d"
+  "/root/repo/tests/test_sw_decompress.cc" "CMakeFiles/deca_tests.dir/tests/test_sw_decompress.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_sw_decompress.cc.o.d"
+  "/root/repo/tests/test_sweep_engine.cc" "CMakeFiles/deca_tests.dir/tests/test_sweep_engine.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_sweep_engine.cc.o.d"
+  "/root/repo/tests/test_tepl_queue.cc" "CMakeFiles/deca_tests.dir/tests/test_tepl_queue.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_tepl_queue.cc.o.d"
+  "/root/repo/tests/test_thread_pool.cc" "CMakeFiles/deca_tests.dir/tests/test_thread_pool.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_thread_pool.cc.o.d"
+  "/root/repo/tests/test_weight_matrix.cc" "CMakeFiles/deca_tests.dir/tests/test_weight_matrix.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_weight_matrix.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "CMakeFiles/deca_tests.dir/tests/test_workload.cc.o" "gcc" "CMakeFiles/deca_tests.dir/tests/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/deca_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_energy.cc" "CMakeFiles/decasim.dir/bench/ablation_energy.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/ablation_energy.cc.o.d"
+  "/root/repo/bench/ablation_link_latency.cc" "CMakeFiles/decasim.dir/bench/ablation_link_latency.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/ablation_link_latency.cc.o.d"
+  "/root/repo/bench/ablation_loaders.cc" "CMakeFiles/decasim.dir/bench/ablation_loaders.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/ablation_loaders.cc.o.d"
+  "/root/repo/bench/area_model.cc" "CMakeFiles/decasim.dir/bench/area_model.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/area_model.cc.o.d"
+  "/root/repo/bench/fig12_gemm_ddr.cc" "CMakeFiles/decasim.dir/bench/fig12_gemm_ddr.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig12_gemm_ddr.cc.o.d"
+  "/root/repo/bench/fig13_gemm_hbm.cc" "CMakeFiles/decasim.dir/bench/fig13_gemm_hbm.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig13_gemm_hbm.cc.o.d"
+  "/root/repo/bench/fig14_core_scaling.cc" "CMakeFiles/decasim.dir/bench/fig14_core_scaling.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig14_core_scaling.cc.o.d"
+  "/root/repo/bench/fig15_vector_scaling.cc" "CMakeFiles/decasim.dir/bench/fig15_vector_scaling.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig15_vector_scaling.cc.o.d"
+  "/root/repo/bench/fig16_dse.cc" "CMakeFiles/decasim.dir/bench/fig16_dse.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig16_dse.cc.o.d"
+  "/root/repo/bench/fig17_integration.cc" "CMakeFiles/decasim.dir/bench/fig17_integration.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig17_integration.cc.o.d"
+  "/root/repo/bench/fig3_roofline.cc" "CMakeFiles/decasim.dir/bench/fig3_roofline.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig3_roofline.cc.o.d"
+  "/root/repo/bench/fig4_roofsurface.cc" "CMakeFiles/decasim.dir/bench/fig4_roofsurface.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig4_roofsurface.cc.o.d"
+  "/root/repo/bench/fig5_bord.cc" "CMakeFiles/decasim.dir/bench/fig5_bord.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig5_bord.cc.o.d"
+  "/root/repo/bench/fig6_bord_4xvos.cc" "CMakeFiles/decasim.dir/bench/fig6_bord_4xvos.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/fig6_bord_4xvos.cc.o.d"
+  "/root/repo/bench/table1_fc_fraction.cc" "CMakeFiles/decasim.dir/bench/table1_fc_fraction.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/table1_fc_fraction.cc.o.d"
+  "/root/repo/bench/table3_utilization.cc" "CMakeFiles/decasim.dir/bench/table3_utilization.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/table3_utilization.cc.o.d"
+  "/root/repo/bench/table4_llm_latency.cc" "CMakeFiles/decasim.dir/bench/table4_llm_latency.cc.o" "gcc" "CMakeFiles/decasim.dir/bench/table4_llm_latency.cc.o.d"
+  "/root/repo/examples/accelerator_dse.cpp" "CMakeFiles/decasim.dir/examples/accelerator_dse.cpp.o" "gcc" "CMakeFiles/decasim.dir/examples/accelerator_dse.cpp.o.d"
+  "/root/repo/examples/custom_format.cpp" "CMakeFiles/decasim.dir/examples/custom_format.cpp.o" "gcc" "CMakeFiles/decasim.dir/examples/custom_format.cpp.o.d"
+  "/root/repo/examples/llm_serving.cpp" "CMakeFiles/decasim.dir/examples/llm_serving.cpp.o" "gcc" "CMakeFiles/decasim.dir/examples/llm_serving.cpp.o.d"
+  "/root/repo/examples/quickstart.cpp" "CMakeFiles/decasim.dir/examples/quickstart.cpp.o" "gcc" "CMakeFiles/decasim.dir/examples/quickstart.cpp.o.d"
+  "/root/repo/src/runner/main.cc" "CMakeFiles/decasim.dir/src/runner/main.cc.o" "gcc" "CMakeFiles/decasim.dir/src/runner/main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/deca_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

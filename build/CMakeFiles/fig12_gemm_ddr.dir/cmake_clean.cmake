@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_gemm_ddr.dir/bench/fig12_gemm_ddr.cc.o"
+  "CMakeFiles/fig12_gemm_ddr.dir/bench/fig12_gemm_ddr.cc.o.d"
+  "CMakeFiles/fig12_gemm_ddr.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig12_gemm_ddr.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig12_gemm_ddr"
+  "bench/fig12_gemm_ddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gemm_ddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_gemm_hbm.dir/bench/fig13_gemm_hbm.cc.o"
+  "CMakeFiles/fig13_gemm_hbm.dir/bench/fig13_gemm_hbm.cc.o.d"
+  "CMakeFiles/fig13_gemm_hbm.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig13_gemm_hbm.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig13_gemm_hbm"
+  "bench/fig13_gemm_hbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_gemm_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_core_scaling.dir/bench/fig14_core_scaling.cc.o"
+  "CMakeFiles/fig14_core_scaling.dir/bench/fig14_core_scaling.cc.o.d"
+  "CMakeFiles/fig14_core_scaling.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig14_core_scaling.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig14_core_scaling"
+  "bench/fig14_core_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_vector_scaling.dir/bench/fig15_vector_scaling.cc.o"
+  "CMakeFiles/fig15_vector_scaling.dir/bench/fig15_vector_scaling.cc.o.d"
+  "CMakeFiles/fig15_vector_scaling.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig15_vector_scaling.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig15_vector_scaling"
+  "bench/fig15_vector_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_vector_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_dse.dir/bench/fig16_dse.cc.o"
+  "CMakeFiles/fig16_dse.dir/bench/fig16_dse.cc.o.d"
+  "CMakeFiles/fig16_dse.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig16_dse.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig16_dse"
+  "bench/fig16_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_integration.dir/bench/fig17_integration.cc.o"
+  "CMakeFiles/fig17_integration.dir/bench/fig17_integration.cc.o.d"
+  "CMakeFiles/fig17_integration.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig17_integration.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig17_integration"
+  "bench/fig17_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_roofline.dir/bench/fig3_roofline.cc.o"
+  "CMakeFiles/fig3_roofline.dir/bench/fig3_roofline.cc.o.d"
+  "CMakeFiles/fig3_roofline.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig3_roofline.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig3_roofline"
+  "bench/fig3_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

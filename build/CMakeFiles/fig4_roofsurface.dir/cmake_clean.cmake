@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_roofsurface.dir/bench/fig4_roofsurface.cc.o"
+  "CMakeFiles/fig4_roofsurface.dir/bench/fig4_roofsurface.cc.o.d"
+  "CMakeFiles/fig4_roofsurface.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig4_roofsurface.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig4_roofsurface"
+  "bench/fig4_roofsurface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_roofsurface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

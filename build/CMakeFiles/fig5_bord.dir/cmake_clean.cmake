@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bord.dir/bench/fig5_bord.cc.o"
+  "CMakeFiles/fig5_bord.dir/bench/fig5_bord.cc.o.d"
+  "CMakeFiles/fig5_bord.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig5_bord.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig5_bord"
+  "bench/fig5_bord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bord_4xvos.dir/bench/fig6_bord_4xvos.cc.o"
+  "CMakeFiles/fig6_bord_4xvos.dir/bench/fig6_bord_4xvos.cc.o.d"
+  "CMakeFiles/fig6_bord_4xvos.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/fig6_bord_4xvos.dir/src/runner/standalone_main.cc.o.d"
+  "bench/fig6_bord_4xvos"
+  "bench/fig6_bord_4xvos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bord_4xvos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_bord_4xvos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_serving.dir/examples/llm_serving.cpp.o"
+  "CMakeFiles/llm_serving.dir/examples/llm_serving.cpp.o.d"
+  "CMakeFiles/llm_serving.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/llm_serving.dir/src/runner/standalone_main.cc.o.d"
+  "examples/llm_serving"
+  "examples/llm_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quickstart.dir/examples/quickstart.cpp.o"
+  "CMakeFiles/quickstart.dir/examples/quickstart.cpp.o.d"
+  "CMakeFiles/quickstart.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/quickstart.dir/src/runner/standalone_main.cc.o.d"
+  "examples/quickstart"
+  "examples/quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

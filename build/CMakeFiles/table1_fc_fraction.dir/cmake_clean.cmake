@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fc_fraction.dir/bench/table1_fc_fraction.cc.o"
+  "CMakeFiles/table1_fc_fraction.dir/bench/table1_fc_fraction.cc.o.d"
+  "CMakeFiles/table1_fc_fraction.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/table1_fc_fraction.dir/src/runner/standalone_main.cc.o.d"
+  "bench/table1_fc_fraction"
+  "bench/table1_fc_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fc_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_utilization.dir/bench/table3_utilization.cc.o"
+  "CMakeFiles/table3_utilization.dir/bench/table3_utilization.cc.o.d"
+  "CMakeFiles/table3_utilization.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/table3_utilization.dir/src/runner/standalone_main.cc.o.d"
+  "bench/table3_utilization"
+  "bench/table3_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

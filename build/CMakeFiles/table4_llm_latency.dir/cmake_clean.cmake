@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_llm_latency.dir/bench/table4_llm_latency.cc.o"
+  "CMakeFiles/table4_llm_latency.dir/bench/table4_llm_latency.cc.o.d"
+  "CMakeFiles/table4_llm_latency.dir/src/runner/standalone_main.cc.o"
+  "CMakeFiles/table4_llm_latency.dir/src/runner/standalone_main.cc.o.d"
+  "bench/table4_llm_latency"
+  "bench/table4_llm_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_llm_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
