@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bandwidth-contention efficiency curve shared by the cycle-level DRAM
+ * model (sim::MemorySystem) and the analytic machine descriptors
+ * (roofsurface::MachineConfig).
+ *
+ * Real DDR loses achievable bandwidth as the number of concurrent
+ * sequential streams grows: more interleaved streams mean more row-buffer
+ * misses and bank conflicts per channel. The curve is piecewise linear in
+ * requesters-per-channel (rpc): full efficiency up to a knee, then a
+ * linear droop down to a floor. A default-constructed curve is inactive
+ * (efficiency 1.0 everywhere), which is the exact-compatibility mode.
+ */
+
+#ifndef DECA_COMMON_CONTENTION_H
+#define DECA_COMMON_CONTENTION_H
+
+namespace deca {
+
+/** Piecewise-linear bandwidth-derating curve in requesters per channel. */
+struct ContentionCurve
+{
+    /** Requesters per channel sustained at full efficiency; <= 0 disables
+     *  the curve entirely. */
+    double knee = 0.0;
+    /** Efficiency lost per extra requester-per-channel beyond the knee. */
+    double slope = 0.0;
+    /** Lower bound on efficiency (bank parallelism never collapses). */
+    double floor = 1.0;
+
+    bool
+    active() const
+    {
+        return knee > 0.0 && slope > 0.0;
+    }
+
+    /** Achievable-bandwidth fraction at `rpc` requesters per channel. */
+    double
+    efficiency(double rpc) const
+    {
+        if (!active() || rpc <= knee)
+            return 1.0;
+        const double e = 1.0 - slope * (rpc - knee);
+        return e < floor ? floor : e;
+    }
+};
+
+} // namespace deca
+
+#endif // DECA_COMMON_CONTENTION_H

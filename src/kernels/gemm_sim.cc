@@ -69,8 +69,7 @@ GemmSimulation::GemmSimulation(const sim::SimParams &params,
     DECA_ASSERT(pool.scheme().name == workload.scheme.name,
                 "pool was built for a different scheme");
 
-    mem_ = std::make_unique<sim::MemorySystem>(
-        q_, params_.memBytesPerCycle(), params_.memLatency);
+    mem_ = std::make_unique<sim::MemorySystem>(q_, params_.memConfig());
 
     if (config_.engine == Engine::Deca) {
         accel::DecaPipeline pipeline(config_.deca);
@@ -386,8 +385,9 @@ GemmSimulation::run()
                static_cast<double>(workload_.batchN) * r.tilesPerSecond /
                kTera;
 
-    // Component utilizations over the whole run.
-    r.utilMem = mem_->utilization(0, end);
+    // Component utilizations over the whole run (busy snapshot at the
+    // window start is zero since the run starts at cycle 0).
+    r.utilMem = mem_->utilization(0.0, end);
     u64 tmul_busy = 0;
     u64 avx_busy = 0;
     u64 deca_busy = 0;

@@ -8,6 +8,7 @@ sprDdr()
     MachineConfig m;
     m.name = "SPR-DDR";
     m.memBwBytesPerSec = gbPerSec(260.0);
+    m.memChannels = 8;
     return m;
 }
 

@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "common/contention.h"
 #include "common/types.h"
 #include "common/units.h"
 
@@ -35,6 +36,13 @@ struct MachineConfig
     double vopsPerCorePerCycle = 2.0;
     /** Achievable memory bandwidth in bytes/second. */
     double memBwBytesPerSec = gbPerSec(850.0);
+    /** Independent DRAM channels behind that bandwidth (8 for the DDR5
+     *  configuration, 32 HBM pseudo-channels). */
+    u32 memChannels = 32;
+    /** Bandwidth derating under many-requester contention; mirrors the
+     *  curve of the cycle-level DRAM model so analytic bounds and the
+     *  simulator agree on effective bandwidth. */
+    ContentionCurve memContention{4.0, 0.015, 0.95};
 
     /** VOS: vector operations per second across the machine. */
     double
@@ -48,6 +56,29 @@ struct MachineConfig
     mosPerSec() const
     {
         return freqHz * cores / kTmulCyclesPerTileOp;
+    }
+
+    /**
+     * Bandwidth achievable by `requesters` concurrent sequential
+     * streams: the pin bandwidth derated by the contention curve at
+     * this machine's requesters-per-channel occupancy.
+     */
+    double
+    effectiveMemBwBytesPerSec(u32 requesters) const
+    {
+        const double rpc = static_cast<double>(requesters) /
+                           static_cast<double>(memChannels);
+        return memBwBytesPerSec * memContention.efficiency(rpc);
+    }
+
+    /** Copy with a different channel count (DSE what-ifs). */
+    MachineConfig
+    withMemChannels(u32 ch) const
+    {
+        MachineConfig m = *this;
+        m.memChannels = ch;
+        m.name += " (" + std::to_string(ch) + "ch)";
+        return m;
     }
 
     /** Copy with a scaled vector throughput (the Fig. 6 what-if). */

@@ -8,7 +8,9 @@ namespace deca::sim {
 
 FetchStream::FetchStream(EventQueue &q, MemorySystem &mem,
                          const FetchStreamConfig &cfg, u64 total_bytes)
-    : q_(q), mem_(mem), cfg_(cfg), total_bytes_(total_bytes), flow_(q),
+    : q_(q), mem_(mem), cfg_(cfg), total_bytes_(total_bytes),
+      id_(mem.newRequesterId()),
+      base_addr_(u64{id_} * kCacheLineBytes), flow_(q),
       alive_(std::make_shared<bool>(true))
 {
     DECA_ASSERT(cfg.mshrs >= 1, "need at least one MSHR");
@@ -44,10 +46,11 @@ FetchStream::kick()
     while (issued_bytes_ < limit && in_flight_ < cfg_.mshrs) {
         const u64 line = std::min<u64>(kCacheLineBytes,
                                        total_bytes_ - issued_bytes_);
+        const u64 addr = base_addr_ + issued_bytes_;
         issued_bytes_ += line;
         ++in_flight_;
         auto alive = alive_;
-        mem_.read(line, [this, alive, line] {
+        mem_.read(id_, addr, line, [this, alive, line] {
             if (!*alive)
                 return;
             // Deliver after the on-chip portion of the path.

@@ -78,6 +78,9 @@ class FetchStream
 
     u64 totalBytes() const { return total_bytes_; }
 
+    /** Requester id this stream registered with the memory system. */
+    u32 requesterId() const { return id_; }
+
   private:
     /** Issue any lines allowed by the current demand/window, within the
      *  MSHR budget. */
@@ -90,6 +93,12 @@ class FetchStream
     MemorySystem &mem_;
     FetchStreamConfig cfg_;
     u64 total_bytes_;
+    /** Identity of this stream in the memory system's contention
+     *  accounting. */
+    u32 id_;
+    /** Base address of the stream: staggered by id so concurrent
+     *  streams start on different channels. */
+    u64 base_addr_;
     u64 demand_bytes_ = 0;   ///< bytes the consumer has asked for
     u64 issued_bytes_ = 0;   ///< bytes sent to the memory system
     u32 in_flight_ = 0;      ///< line fetches outstanding (<= mshrs)

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Configuration of the multi-channel DRAM model. Kept in its own light
+ * header so sim/params.h can build one without pulling in the event queue
+ * or coroutine machinery.
+ */
+
+#ifndef DECA_SIM_MEM_CONFIG_H
+#define DECA_SIM_MEM_CONFIG_H
+
+#include "common/contention.h"
+#include "common/types.h"
+
+namespace deca::sim {
+
+/** All knobs of one MemorySystem instance. */
+struct MemSystemConfig
+{
+    /** Aggregate achievable bandwidth across all channels (bytes per
+     *  core cycle). Each channel serves bytesPerCycle / channels. */
+    double bytesPerCycle = 1.0;
+    /** Access latency charged after a request's channel service slot. */
+    Cycles latency = 0;
+    /** Independent DRAM channels, address-interleaved at line
+     *  granularity: channel = (addr / line) % channels. */
+    u32 channels = 1;
+    /** Per-channel bound on requests in service or queued at the
+     *  controller; extra requests wait in a backpressure list. 0 means
+     *  unbounded (the legacy single-FIFO behaviour). */
+    u32 queueDepth = 0;
+    /** XOR-fold higher line-address bits into the channel index (the
+     *  standard controller channel hash). Decorrelates phase-locked
+     *  sequential streams that would otherwise pile onto the same
+     *  channels; irrelevant when channels == 1. */
+    bool channelHash = false;
+    /** Bandwidth derating under many-requester contention. The default
+     *  curve is inactive (efficiency 1.0 at any occupancy). */
+    ContentionCurve contention{};
+
+    /**
+     * The exact-compatibility configuration: one channel, unbounded
+     * queue, no derating. Reproduces the pre-multichannel single-FIFO
+     * aggregate-rate model bit-for-bit.
+     */
+    static MemSystemConfig
+    legacy(double bytes_per_cycle, Cycles lat)
+    {
+        MemSystemConfig c;
+        c.bytesPerCycle = bytes_per_cycle;
+        c.latency = lat;
+        return c;
+    }
+};
+
+} // namespace deca::sim
+
+#endif // DECA_SIM_MEM_CONFIG_H

@@ -7,38 +7,139 @@
 
 namespace deca::sim {
 
+MemorySystem::MemorySystem(EventQueue &q, const MemSystemConfig &cfg)
+    : q_(q), cfg_(cfg),
+      per_channel_bytes_per_cycle_(cfg.bytesPerCycle /
+                                   static_cast<double>(cfg.channels)),
+      channels_(cfg.channels)
+{
+    DECA_ASSERT(cfg.bytesPerCycle > 0.0, "bandwidth must be positive");
+    DECA_ASSERT(cfg.channels >= 1, "need at least one channel");
+    requester_outstanding_.resize(8, 0);
+}
+
 MemorySystem::MemorySystem(EventQueue &q, double bytes_per_cycle,
                            Cycles latency)
-    : q_(q), bytes_per_cycle_(bytes_per_cycle), latency_(latency)
+    : MemorySystem(q, MemSystemConfig::legacy(bytes_per_cycle, latency))
+{}
+
+u32
+MemorySystem::newRequesterId()
 {
-    DECA_ASSERT(bytes_per_cycle > 0.0, "bandwidth must be positive");
+    return next_requester_++;
+}
+
+void
+MemorySystem::noteRequesterBusy(u32 requester)
+{
+    if (requester >= requester_outstanding_.size())
+        requester_outstanding_.resize(requester + 1, 0);
+    if (requester_outstanding_[requester]++ == 0) {
+        ++active_requesters_;
+        peak_active_requesters_ =
+            std::max(peak_active_requesters_, active_requesters_);
+    }
+}
+
+void
+MemorySystem::noteRequesterDone(u32 requester)
+{
+    DECA_ASSERT(requester_outstanding_[requester] > 0,
+                "requester completion underflow");
+    if (--requester_outstanding_[requester] == 0)
+        --active_requesters_;
+}
+
+void
+MemorySystem::read(u32 requester, u64 addr, u64 bytes,
+                   std::function<void()> on_done)
+{
+    DECA_ASSERT(bytes > 0, "zero-byte read");
+    noteRequesterBusy(requester);
+
+    u64 line = addr / kCacheLineBytes;
+    if (cfg_.channelHash)
+        line ^= (line >> 5) ^ (line >> 11);
+    const u32 ch = static_cast<u32>(line % cfg_.channels);
+    Channel &c = channels_[ch];
+    Pending p{requester, bytes, std::move(on_done)};
+    if (cfg_.queueDepth != 0 && c.outstanding >= cfg_.queueDepth)
+        c.waiting.push_back(std::move(p));
+    else
+        accept(ch, std::move(p));
 }
 
 void
 MemorySystem::read(u64 bytes, std::function<void()> on_done)
 {
-    DECA_ASSERT(bytes > 0, "zero-byte read");
+    const u64 addr = legacy_addr_;
+    legacy_addr_ += bytes;
+    read(0, addr, bytes, std::move(on_done));
+}
+
+void
+MemorySystem::accept(u32 ch, Pending p)
+{
+    Channel &c = channels_[ch];
+    ++c.outstanding;
+
+    // Derate the service rate by the contention efficiency at the
+    // current concurrent-requester occupancy. With the curve inactive
+    // the multiplication is exact and the legacy numbers are preserved
+    // bit-for-bit.
+    const double eff = cfg_.contention.efficiency(
+        static_cast<double>(active_requesters_) /
+        static_cast<double>(cfg_.channels));
+    const double service = static_cast<double>(p.bytes) /
+                           (per_channel_bytes_per_cycle_ * eff);
+
     const double now = static_cast<double>(q_.now());
-    const double service = static_cast<double>(bytes) / bytes_per_cycle_;
-
-    const double start = std::max(now, channel_free_);
-    channel_free_ = start + service;
+    const double start = std::max(now, c.free_time);
+    c.free_time = start + service;
     busy_cycles_ += service;
-    bytes_served_ += bytes;
+    bytes_served_ += p.bytes;
 
-    const double done = channel_free_ + static_cast<double>(latency_);
-    const Cycles when = static_cast<Cycles>(std::ceil(done));
-    q_.scheduleAt(std::max(when, q_.now()), std::move(on_done));
+    const double done = c.free_time + static_cast<double>(cfg_.latency);
+    Cycles when = static_cast<Cycles>(std::ceil(done));
+    // A read must never complete in its issuing cycle: even a
+    // sub-cycle service slot with zero latency is charged one cycle
+    // (guards the ceil against floating-point round-down at large
+    // cycle counts).
+    when = std::max(when, q_.now() + 1);
+    const u32 requester = p.requester;
+    q_.scheduleAt(when,
+                  [this, ch, requester, cb = std::move(p.on_done)] {
+                      complete(ch, requester);
+                      cb();
+                  });
+}
+
+void
+MemorySystem::complete(u32 ch, u32 requester)
+{
+    Channel &c = channels_[ch];
+    DECA_ASSERT(c.outstanding > 0, "channel completion underflow");
+    --c.outstanding;
+    noteRequesterDone(requester);
+    if (!c.waiting.empty() &&
+        (cfg_.queueDepth == 0 || c.outstanding < cfg_.queueDepth)) {
+        Pending next = std::move(c.waiting.front());
+        c.waiting.pop_front();
+        accept(ch, std::move(next));
+    }
 }
 
 double
-MemorySystem::utilization(Cycles start, Cycles end) const
+MemorySystem::utilization(double busy_at_start, Cycles window) const
 {
-    if (end <= start)
+    if (window == 0)
         return 0.0;
-    // busy_cycles_ accumulates over the whole run; callers measuring a
-    // window should snapshot busyCycles() at the window edges instead.
-    return std::min(1.0, busy_cycles_ / static_cast<double>(end - start));
+    const double delta = busy_cycles_ - busy_at_start;
+    const double u = delta / (static_cast<double>(window) *
+                              static_cast<double>(cfg_.channels));
+    if (u < 0.0)
+        return 0.0;
+    return u > 1.0 ? 1.0 : u;
 }
 
 } // namespace deca::sim

@@ -1,39 +1,72 @@
 /**
  * @file
- * Shared memory channel model.
+ * Multi-channel DRAM model shared by all cores and DECA loaders.
  *
- * All cores and DECA loaders contend for one channel with a fixed service
- * rate (bytes per cycle) and a fixed access latency. Requests are served
- * FIFO at line granularity: each line occupies the channel for
- * line_bytes / bytes_per_cycle and completes latency cycles after its
- * channel slot. Utilization statistics feed Table 3.
+ * The memory system exposes N independent channels, address-interleaved
+ * at cache-line granularity. Each channel serves its requests FIFO at
+ * bytesPerCycle / N, holds at most queueDepth requests at the controller
+ * (later arrivals wait in a backpressure list), and completes a request
+ * `latency` cycles after its service slot ends. Achievable bandwidth is
+ * derated by a contention-efficiency curve as the number of concurrent
+ * requesters per channel grows — few fat streams sustain more of the pin
+ * bandwidth than many thin ones, which is what makes 16 DECA cores beat
+ * 56 software cores on DDR (Fig. 14).
+ *
+ * The legacy constructor (bytes_per_cycle, latency) configures one
+ * channel with an unbounded queue and no derating; that mode reproduces
+ * the original single-FIFO aggregate-rate model bit-for-bit.
+ * Utilization statistics feed Table 3.
  */
 
 #ifndef DECA_SIM_MEMORY_SYSTEM_H
 #define DECA_SIM_MEMORY_SYSTEM_H
 
+#include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/stats.h"
 #include "sim/coro.h"
 #include "sim/event_queue.h"
+#include "sim/mem_config.h"
 
 namespace deca::sim {
 
-/** The shared DRAM channel (DDR5 or HBM aggregate). */
+/** The shared DRAM system (DDR5 or HBM), split into channels. */
 class MemorySystem
 {
   public:
     /**
      * @param q The simulation event queue.
-     * @param bytes_per_cycle Aggregate achievable bandwidth.
-     * @param latency Access latency charged after the channel slot.
+     * @param cfg Channel count, rates, queue bound, contention curve.
+     */
+    MemorySystem(EventQueue &q, const MemSystemConfig &cfg);
+
+    /**
+     * Exact-compatibility shorthand: one channel with aggregate rate
+     * `bytes_per_cycle`, an unbounded queue, and no derating.
      */
     MemorySystem(EventQueue &q, double bytes_per_cycle, Cycles latency);
 
     /**
-     * Issue a read of `bytes` (one or more consecutive lines). `on_done`
-     * runs when the last byte arrives at the requester.
+     * Register a new requester (one sequential stream). The returned id
+     * feeds the contention model's concurrent-requester count.
+     */
+    u32 newRequesterId();
+
+    /**
+     * Issue a read of `bytes` starting at `addr` on behalf of
+     * `requester`. The request is served whole by the channel its
+     * starting line maps to — issue line-granularity reads (as
+     * FetchStream does) to interleave a stream across channels.
+     * `on_done` runs when the last byte arrives at the requester.
+     */
+    void read(u32 requester, u64 addr, u64 bytes,
+              std::function<void()> on_done);
+
+    /**
+     * Legacy form: an anonymous requester with a rolling sequential
+     * address. `on_done` runs when the last byte arrives.
      */
     void read(u64 bytes, std::function<void()> on_done);
 
@@ -59,22 +92,73 @@ class MemorySystem
     /** Total bytes transferred so far. */
     u64 bytesServed() const { return bytes_served_; }
 
-    /** Channel utilization over [start, end] cycles. */
-    double utilization(Cycles start, Cycles end) const;
-
-    /** Snapshot of bytesServed for windowed measurements. */
+    /** Busy channel-cycles accumulated so far (truncated; use
+     *  busySnapshot() for windowed arithmetic). */
     u64 busyCycles() const { return static_cast<u64>(busy_cycles_); }
 
-    double bytesPerCycle() const { return bytes_per_cycle_; }
-    Cycles latency() const { return latency_; }
+    /** Exact busy-channel-cycle accumulator, for window snapshots. */
+    double busySnapshot() const { return busy_cycles_; }
+
+    /**
+     * Fraction of aggregate channel time busy over a window: the caller
+     * snapshots busySnapshot() at the window start and passes it here
+     * together with the window length.
+     */
+    double utilization(double busy_at_start, Cycles window) const;
+
+    /** Aggregate bandwidth across channels (bytes per cycle). */
+    double bytesPerCycle() const { return cfg_.bytesPerCycle; }
+    Cycles latency() const { return cfg_.latency; }
+    const MemSystemConfig &config() const { return cfg_; }
+
+    /** Requesters with at least one request queued or in flight. */
+    u32 activeRequesters() const { return active_requesters_; }
+    /** High-water mark of activeRequesters() over the run. */
+    u32 peakActiveRequesters() const { return peak_active_requesters_; }
 
   private:
+    /** A request accepted by read() but not yet completed. */
+    struct Pending
+    {
+        u32 requester;
+        u64 bytes;
+        std::function<void()> on_done;
+    };
+
+    /** One DRAM channel: a rate-limited FIFO with a bounded queue. */
+    struct Channel
+    {
+        /** Next cycle at which the channel is free (fractional
+         *  accumulator kept in double to avoid rounding bias). */
+        double free_time = 0.0;
+        /** Requests in service or queued at the controller. */
+        u32 outstanding = 0;
+        /** Requests waiting for a controller queue slot. */
+        std::deque<Pending> waiting;
+    };
+
+    /** Put a request into channel `ch`'s service pipeline. */
+    void accept(u32 ch, Pending p);
+    /** Bookkeeping when a request finishes (frees its queue slot). */
+    void complete(u32 ch, u32 requester);
+
+    void noteRequesterBusy(u32 requester);
+    void noteRequesterDone(u32 requester);
+
     EventQueue &q_;
-    double bytes_per_cycle_;
-    Cycles latency_;
-    /** Next cycle at which the channel is free (fractional accumulator
-     *  kept in double to avoid rounding bias at high rates). */
-    double channel_free_ = 0.0;
+    MemSystemConfig cfg_;
+    double per_channel_bytes_per_cycle_;
+    std::vector<Channel> channels_;
+
+    /** Outstanding request count per requester id. */
+    std::vector<u32> requester_outstanding_;
+    u32 active_requesters_ = 0;
+    u32 peak_active_requesters_ = 0;
+    u32 next_requester_ = 1; ///< id 0 is the anonymous legacy requester
+
+    /** Rolling address for the legacy read() form. */
+    u64 legacy_addr_ = 0;
+
     u64 bytes_served_ = 0;
     double busy_cycles_ = 0.0;
 };

@@ -10,6 +10,7 @@ sprDdrParams()
     p.memKind = MemoryKind::DDR5;
     p.memBwGBs = 260.0;
     p.memLatency = 240;  // DDR5 round trip is a little longer than HBM's
+    p.memChannels = 8;   // 8 DDR5 channels on SPR
     return p;
 }
 
@@ -21,6 +22,7 @@ sprHbmParams()
     p.memKind = MemoryKind::HBM;
     p.memBwGBs = 850.0;
     p.memLatency = 220;
+    p.memChannels = 32;  // HBM2e pseudo-channels
     return p;
 }
 

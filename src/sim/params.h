@@ -10,8 +10,10 @@
 
 #include <string>
 
+#include "common/contention.h"
 #include "common/types.h"
 #include "common/units.h"
+#include "sim/mem_config.h"
 
 namespace deca::sim {
 
@@ -34,6 +36,28 @@ struct SimParams
     double memBwGBs = 850.0;
     /** DRAM access latency beyond the on-chip hierarchy, in cycles. */
     Cycles memLatency = 220;
+    /** Independent DRAM channels (address-interleaved at line
+     *  granularity): 8 DDR5 channels on SPR, 32 pseudo-channels for the
+     *  HBM configuration. */
+    u32 memChannels = 32;
+    /** Per-channel controller queue depth: requests tracked from
+     *  acceptance to data return; 0 = unbounded. Must exceed the
+     *  channel's bandwidth-delay product (~40-50 lines here) or it caps
+     *  achievable bandwidth instead of just bounding burst pile-ups. */
+    u32 memQueueDepth = 64;
+    /** Controller channel hash (XOR-folded line address). Off by
+     *  default: plain round-robin spreads each tile's lines perfectly
+     *  across channels, which matters more for the unit-stride streams
+     *  here than decorrelating phase-locked requesters. Available for
+     *  irregular-access what-ifs. */
+    bool memChannelHash = false;
+    /** Contention derating: concurrent requesters per channel sustained
+     *  at full efficiency (row-buffer locality survives). */
+    double memContentionKnee = 4.0;
+    /** Efficiency lost per extra requester-per-channel past the knee. */
+    double memContentionSlope = 0.015;
+    /** Floor on contention efficiency (bank parallelism remains). */
+    double memContentionFloor = 0.95;
     /** Added latency of an LLC-slice hop (NoC + slice access). */
     Cycles llcLatency = 60;
     /** L2 hit latency. */
@@ -86,6 +110,31 @@ struct SimParams
     memBytesPerCycle() const
     {
         return gbPerSec(memBwGBs) / freqHz();
+    }
+
+    /** The contention-efficiency curve of this memory technology. */
+    ContentionCurve
+    memContention() const
+    {
+        ContentionCurve c;
+        c.knee = memContentionKnee;
+        c.slope = memContentionSlope;
+        c.floor = memContentionFloor;
+        return c;
+    }
+
+    /** Full configuration of the simulated DRAM system. */
+    MemSystemConfig
+    memConfig() const
+    {
+        MemSystemConfig c;
+        c.bytesPerCycle = memBytesPerCycle();
+        c.latency = memLatency;
+        c.channels = memChannels;
+        c.queueDepth = memQueueDepth;
+        c.channelHash = memChannelHash;
+        c.contention = memContention();
+        return c;
     }
 };
 

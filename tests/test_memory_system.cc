@@ -87,7 +87,45 @@ TEST(MemorySystem, UtilizationTracksBusyFraction)
     mem.read(640, [] {});  // 10 cycles busy
     q.schedule(100, [] {});  // stretch the run to 100 cycles
     q.run();
-    EXPECT_NEAR(mem.utilization(0, 100), 0.10, 1e-9);
+    EXPECT_NEAR(mem.utilization(0.0, 100), 0.10, 1e-9);
+}
+
+TEST(MemorySystem, UtilizationUsesExplicitWindowSnapshots)
+{
+    // A caller measuring a sub-window snapshots the busy accumulator at
+    // the window start; busy time outside the window cannot leak in and
+    // push the reported utilization toward (or past) 100%.
+    EventQueue q;
+    MemorySystem mem(q, 64.0, 0);
+    mem.read(64 * 90, [] {});  // 90 cycles busy before the window
+    double snap_at_100 = 0.0;
+    q.schedule(100, [&] {
+        snap_at_100 = mem.busySnapshot();
+        mem.read(64 * 10, [] {});  // 10 busy cycles inside the window
+    });
+    q.schedule(200, [] {});
+    q.run();
+    // Whole run: 100 busy cycles over 200.
+    EXPECT_NEAR(mem.utilization(0.0, 200), 0.50, 1e-9);
+    // Window [100, 200]: only the 10 cycles issued inside it.
+    EXPECT_NEAR(mem.utilization(snap_at_100, 100), 0.10, 1e-9);
+}
+
+TEST(MemorySystem, ReadNeverCompletesInIssuingCycle)
+{
+    // At huge cycle counts, now + sub-cycle-service can round back down
+    // to now in double precision; the model must still charge at least
+    // one cycle (a zero-latency same-cycle completion would let a
+    // consumer loop make progress without time advancing).
+    EventQueue q;
+    MemorySystem mem(q, 64.0, 0);
+    const Cycles huge = Cycles{1} << 53;  // 2^53: doubles step by 2 here
+    Cycles done_at = 0;
+    q.scheduleAt(huge, [&] {
+        mem.read(1, [&] { done_at = q.now(); });
+    });
+    q.run();
+    EXPECT_GE(done_at, huge + 1);
 }
 
 TEST(MemorySystem, FractionalServiceAccumulates)
