@@ -73,8 +73,9 @@ DECA_SCENARIO(ablation_energy, "Ablation: energy/EDP of power-gated "
                   TableWriter::num(row.e.edp() * 1e6 / mtiles, 2),
                   TableWriter::pct(row.r.utilMem, 0)});
     }
-    bench::emit(ctx, t);
-    ctx.out() << "paper Sec. 9.1: freed cores can be power-gated to "
+    ctx.result().table(std::move(t));
+    ctx.result().prose()
+        << "paper Sec. 9.1: freed cores can be power-gated to "
                  "save energy\n";
     return 0;
 }

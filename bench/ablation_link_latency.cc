@@ -54,6 +54,6 @@ DECA_SCENARIO(ablation_link_latency, "Ablation: core-DECA link latency "
                   TableWriter::num(rows[i].tepl, 3),
                   TableWriter::num(rows[i].tepl / rows[i].sf, 2)});
     }
-    bench::emit(ctx, t);
+    ctx.result().table(std::move(t));
     return 0;
 }

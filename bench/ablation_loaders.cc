@@ -51,6 +51,6 @@ DECA_SCENARIO(ablation_loaders, "Ablation: 1 vs 2 DECA Loaders "
                   TableWriter::num(rows[i].tf2, 3),
                   TableWriter::num(rows[i].tf2 / rows[i].tf1, 2)});
     }
-    bench::emit(ctx, t);
+    ctx.result().table(std::move(t));
     return 0;
 }

@@ -30,8 +30,8 @@ DECA_SCENARIO(area_model, "Section 8: DECA PE area model and die "
                   TableWriter::num(total, 2),
                   TableWriter::pct(accel::dieOverhead(cfg, 56), 3)});
     }
-    bench::emit(ctx, t);
-    ctx.out() << "paper: 2.51 mm2 total, <0.2% of a ~1600 mm2 die; "
+    ctx.result().table(std::move(t));
+    ctx.result().prose() << "paper: 2.51 mm2 total, <0.2% of a ~1600 mm2 die; "
                  "55% loaders/queues/TOut, 22% LUT array, 23% rest\n";
     return 0;
 }

@@ -1,16 +1,15 @@
 /**
  * @file
  * Shared helpers for the paper-reproduction scenarios. Every scenario
- * regenerates one table or figure of the paper and prints the same
- * rows/series the paper reports; the runner's report layer renders
- * them as aligned tables with a CSV twin (the historical format), bare
- * CSV, or JSON.
+ * regenerates one table or figure of the paper and accumulates the
+ * same rows/series the paper reports into its ScenarioResult; the
+ * runner's report layer renders them as aligned tables with a CSV
+ * twin (the historical format), bare CSV, or lossless JSON.
  */
 
 #ifndef DECA_BENCH_BENCH_UTIL_H
 #define DECA_BENCH_BENCH_UTIL_H
 
-#include <iostream>
 #include <string>
 
 #include "common/table.h"
@@ -38,13 +37,6 @@ makeWorkload(const compress::CompressionScheme &s, u32 batch_n,
     w.tilesPerCore = tiles;
     w.poolTiles = pool;
     return w;
-}
-
-/** Emit a result table in the invocation's format and stream. */
-inline void
-emit(const runner::ScenarioContext &ctx, const TableWriter &t)
-{
-    runner::emitReport(t, ctx.format, ctx.out());
 }
 
 /** Roofline-optimal TFLOPS for a scheme (all VEC overhead hidden). */

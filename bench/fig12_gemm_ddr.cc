@@ -52,8 +52,8 @@ DECA_SCENARIO(fig12, "Figure 12: compressed GeMM speedup vs BF16 "
                   TableWriter::num(rows[i].deca.speedupOver(base), 2),
                   TableWriter::num(opt, 2), TableWriter::num(ratio, 2)});
     }
-    bench::emit(ctx, t);
-    ctx.out() << "max DECA/SW speedup on DDR: "
+    ctx.result().table(std::move(t));
+    ctx.result().prose() << "max DECA/SW speedup on DDR: "
               << TableWriter::num(max_ratio, 2)
               << " (paper: up to 1.7x)\n";
     return 0;

@@ -52,8 +52,8 @@ DECA_SCENARIO(fig13, "Figure 13: compressed GeMM speedup vs BF16 "
                   TableWriter::num(rows[i].deca.speedupOver(base), 2),
                   TableWriter::num(opt, 2), TableWriter::num(ratio, 2)});
     }
-    bench::emit(ctx, t);
-    ctx.out() << "max DECA/SW speedup on HBM: "
+    ctx.result().table(std::move(t));
+    ctx.result().prose() << "max DECA/SW speedup on HBM: "
               << TableWriter::num(max_ratio, 2)
               << " (paper: up to 4.0x)\n";
     return 0;

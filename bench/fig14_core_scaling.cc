@@ -64,8 +64,8 @@ DECA_SCENARIO(fig14, "Figure 14: avg TFLOPS vs active core count "
                   TableWriter::num(sw_avg, 3),
                   TableWriter::num(deca_avg, 3)});
     }
-    bench::emit(ctx, t);
-    ctx.out() << "16 DECA cores vs 56 software cores: "
+    ctx.result().table(std::move(t));
+    ctx.result().prose() << "16 DECA cores vs 56 software cores: "
               << TableWriter::num(deca16, 3) << " vs "
               << TableWriter::num(sw56, 3)
               << " TFLOPS (paper: 16 DECA cores win)\n";

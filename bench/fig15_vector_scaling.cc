@@ -58,6 +58,6 @@ DECA_SCENARIO(fig15, "Figure 15: DECA vs brute-force vector scaling "
                   TableWriter::num(rows[i].wider, 2),
                   TableWriter::num(rows[i].deca, 2)});
     }
-    bench::emit(ctx, t);
+    ctx.result().table(std::move(t));
     return 0;
 }

@@ -35,13 +35,14 @@ DECA_SCENARIO(fig16, "Figure 16: {W, L} design-space exploration and "
                       cpu_mach, roofsurface::softwareSignature(s))),
                   cls(8, 4), cls(32, 8), cls(64, 64)});
     }
-    bench::emit(ctx, t);
+    ctx.result().table(std::move(t));
 
     // (b) Analytical pick, fanned out across the sweep workers.
     const auto best = roofsurface::pickBalancedDesign(
         cpu_mach, schemes, {8, 16, 32, 64}, {4, 8, 16, 32, 64},
         ctx.sweep("fig16 dse"));
-    ctx.out() << "analytical DSE pick: {W=" << best.w << ", L=" << best.l
+    ctx.result().prose()
+        << "analytical DSE pick: {W=" << best.w << ", L=" << best.l
               << "} (paper: {32, 8})\n\n";
 
     // (c) Simulated validation across the three sizes: every
@@ -78,8 +79,9 @@ DECA_SCENARIO(fig16, "Figure 16: {W, L} design-space exploration and "
     v.addRow({"{W=32,L=8} best", TableWriter::num(t_best, 3), "1.00"});
     v.addRow({"{W=64,L=64} over", TableWriter::num(t_over, 3),
               TableWriter::num(t_over / t_best, 2)});
-    bench::emit(ctx, v);
-    ctx.out() << "paper: best ~2x under-provisioned; over-provisioned "
+    ctx.result().table(std::move(v));
+    ctx.result().prose()
+        << "paper: best ~2x under-provisioned; over-provisioned "
                  "<3% above best\n";
     return 0;
 }

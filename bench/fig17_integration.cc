@@ -76,7 +76,7 @@ DECA_SCENARIO(fig17, "Figure 17: DECA integration-feature ablation "
                 tflops[di * steps.size() + si] / base_tflops, 2));
         t.addRow(row);
     }
-    bench::emit(ctx, t);
-    ctx.out() << "paper: TEPLs double performance at 5% density\n";
+    ctx.result().table(std::move(t));
+    ctx.result().prose() << "paper: TEPLs double performance at 5% density\n";
     return 0;
 }

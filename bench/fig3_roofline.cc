@@ -47,7 +47,7 @@ DECA_SCENARIO(fig3, "Figure 3: 2D roofline optimal vs observed "
                       TableWriter::num(observed[i].tflops, 2),
                       TableWriter::num(opt / observed[i].tflops, 2)});
         }
-        bench::emit(ctx, t);
+        ctx.result().table(std::move(t));
     }
     return 0;
 }

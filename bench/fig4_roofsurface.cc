@@ -30,7 +30,7 @@ DECA_SCENARIO(fig4, "Figure 4: Roof-Surface samples and optimal vs "
                      TableWriter::num(s.tflops, 2),
                      roofsurface::boundName(s.bound)});
     }
-    ctx.out() << "csv (fig4a surface):\n" << grid.csv() << "\n";
+    ctx.result().prose() << "csv (fig4a surface):\n" << grid.csv() << "\n";
 
     // (b) R-L vs R-S vs real.
     TableWriter t("Figure 4b: optimal vs real TFLOPS (HBM, N=4)");
@@ -61,6 +61,6 @@ DECA_SCENARIO(fig4, "Figure 4: Roof-Surface samples and optimal vs "
                   TableWriter::num(real[i].tflops, 1),
                   roofsurface::boundName(rs.bound)});
     }
-    bench::emit(ctx, t);
+    ctx.result().table(std::move(t));
     return 0;
 }

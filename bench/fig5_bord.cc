@@ -19,7 +19,7 @@ printBord(const runner::ScenarioContext &ctx,
           const roofsurface::MachineConfig &mach)
 {
     const auto g = roofsurface::bordGeometry(mach);
-    ctx.out() << "== Figure 5 BORD for " << mach.name << " ==\n"
+    ctx.result().prose() << "== Figure 5 BORD for " << mach.name << " ==\n"
               << "  MEM/VEC separator: y = " << g.memVecSlope << " * x\n"
               << "  MEM/MTX separator: x = " << g.memMtxX << "\n"
               << "  VEC/MTX separator: y = " << g.vecMtxY << "\n"
@@ -39,7 +39,7 @@ printBord(const runner::ScenarioContext &ctx,
                   roofsurface::boundName(
                       roofsurface::bordClassify(mach, sig))});
     }
-    bench::emit(ctx, t);
+    ctx.result().table(std::move(t));
 }
 
 } // namespace

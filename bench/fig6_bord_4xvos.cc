@@ -31,8 +31,9 @@ DECA_SCENARIO(fig6, "Figure 6: HBM BORD with hypothetical 4x vector "
         t.addRow({s.name, roofsurface::boundName(b1),
                   roofsurface::boundName(b4)});
     }
-    bench::emit(ctx, t);
-    ctx.out() << "VEC-bound kernels: " << vec1 << " at 1x VOS, " << vec4
+    ctx.result().table(std::move(t));
+    ctx.result().prose()
+        << "VEC-bound kernels: " << vec1 << " at 1x VOS, " << vec4
               << " at 4x VOS (4x VOS is not enough; Sec. 4.2)\n";
     return 0;
 }

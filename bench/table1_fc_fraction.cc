@@ -55,6 +55,6 @@ DECA_SCENARIO(table1, "Table 1: FC GeMM share of next-token time "
             t.addRow(row);
         }
     }
-    bench::emit(ctx, t);
+    ctx.result().table(std::move(t));
     return 0;
 }

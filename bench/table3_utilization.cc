@@ -52,6 +52,6 @@ DECA_SCENARIO(table3, "Table 3: component utilization, software vs "
                   TableWriter::pct(r.deca.utilTmul, 0),
                   TableWriter::pct(r.deca.utilDeca, 0)});
     }
-    bench::emit(ctx, t);
+    ctx.result().table(std::move(t));
     return 0;
 }

@@ -91,9 +91,10 @@ DECA_SCENARIO(table4, "Table 4: LLM next-token latency, software vs "
         }
         t.addRow(sw_row);
         t.addRow(deca_row);
-        bench::emit(ctx, t);
+        ctx.result().table(std::move(t));
     }
-    ctx.out() << "paper: DECA cuts next-token time 1.6x-2.6x vs SW and "
+    ctx.result().prose()
+        << "paper: DECA cuts next-token time 1.6x-2.6x vs SW and "
                  "2.5x-5.0x vs the uncompressed BF16 baseline\n";
     return 0;
 }

@@ -11,7 +11,6 @@
  * Build & run:  ./build/examples/accelerator_dse
  */
 
-#include <cstdio>
 
 #include "deca/area_model.h"
 #include "roofsurface/dse.h"
@@ -33,7 +32,8 @@ DECA_SCENARIO(accelerator_dse, "Example: re-dimensioning DECA for a "
 
     const auto schemes = compress::paperSchemes();
 
-    std::printf("Machine %s: MOS=%.2fe9 tiles/s, DECA VOS=%.2fe9 vOps/s, "
+    ctx.result().prosef(
+        "Machine %s: MOS=%.2fe9 tiles/s, DECA VOS=%.2fe9 vOps/s, "
                 "MBW=%.0f GB/s\n\n",
                 future.name.c_str(), future.mosPerSec() / 1e9,
                 future.withDecaVectorEngine().vosPerSec() / 1e9,
@@ -41,7 +41,7 @@ DECA_SCENARIO(accelerator_dse, "Example: re-dimensioning DECA for a "
 
     // (1) Does the paper's design still suffice?
     const auto deca_mach = future.withDecaVectorEngine();
-    std::printf("%-10s  %-12s %-12s\n", "kernel", "DECA{32,8}",
+    ctx.result().prosef("%-10s  %-12s %-12s\n", "kernel", "DECA{32,8}",
                 "DECA{64,16}");
     u32 vec_bound_old = 0;
     for (const auto &s : schemes) {
@@ -50,11 +50,11 @@ DECA_SCENARIO(accelerator_dse, "Example: re-dimensioning DECA for a "
         const auto b_new = roofsurface::bordClassify(
             deca_mach, roofsurface::decaSignature(s, 64, 16));
         vec_bound_old += b_old == roofsurface::Bound::VEC;
-        std::printf("%-10s  %-12s %-12s\n", s.name.c_str(),
+        ctx.result().prosef("%-10s  %-12s %-12s\n", s.name.c_str(),
                     roofsurface::boundName(b_old).c_str(),
                     roofsurface::boundName(b_new).c_str());
     }
-    std::printf("\n{32,8} leaves %u kernels VEC-bound on the bigger "
+    ctx.result().prosef("\n{32,8} leaves %u kernels VEC-bound on the bigger "
                 "machine\n\n",
                 vec_bound_old);
 
@@ -62,7 +62,7 @@ DECA_SCENARIO(accelerator_dse, "Example: re-dimensioning DECA for a "
     const auto best = roofsurface::pickBalancedDesign(
         future, schemes, {8, 16, 32, 64, 128}, {4, 8, 16, 32, 64},
         ctx.sweep("accelerator_dse"));
-    std::printf("re-dimensioned balanced design: {W=%u, L=%u} "
+    ctx.result().prosef("re-dimensioned balanced design: {W=%u, L=%u} "
                 "(%u kernels VEC-bound)\n\n",
                 best.w, best.l, best.vecBoundKernels);
 
@@ -73,7 +73,7 @@ DECA_SCENARIO(accelerator_dse, "Example: re-dimensioning DECA for a "
         designs.insert(designs.begin() + 1,
                        accel::DecaConfig{best.w, best.l, 3});
     for (const auto &cfg : designs) {
-        std::printf("area of %ux {W=%u,L=%u}: %.2f mm2 (%.3f%% of a "
+        ctx.result().prosef("area of %ux {W=%u,L=%u}: %.2f mm2 (%.3f%% of a "
                     "1600 mm2 die)\n",
                     future.cores, cfg.w, cfg.l,
                     accel::estimateTotalArea(cfg, future.cores),

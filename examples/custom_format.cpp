@@ -13,7 +13,6 @@
  * Build & run:  ./build/examples/custom_format
  */
 
-#include <cstdio>
 
 #include "common/rng.h"
 #include "compress/quantizer.h"
@@ -37,7 +36,7 @@ DECA_SCENARIO(custom_format, "Example: hosting OCP FP6 + sparsity on "
     fp6.groupQuant = true;
     fp6.groupSize = kMxGroupSize;
 
-    std::printf("scheme %s: %.1f bytes/tile, CF %.2fx\n",
+    ctx.result().prosef("scheme %s: %.1f bytes/tile, CF %.2fx\n",
                 fp6.name.c_str(), fp6.bytesPerTile(),
                 fp6.compressionFactor());
 
@@ -61,15 +60,16 @@ DECA_SCENARIO(custom_format, "Example: hosting OCP FP6 + sparsity on "
         matches += out.tile == compress::referenceDecompress(ct);
         total_cycles += out.cycles;
     }
-    std::printf("functional check: %u/%u tiles bit-exact vs golden\n",
+    ctx.result().prosef("functional check: %u/%u tiles bit-exact vs golden\n",
                 matches, trials);
 
     // (2) Sub-LUT banking: 6-bit codes use all four banks.
-    std::printf("LUT array lookups/cycle at 6 bits: %u (L=%u big LUTs "
+    ctx.result().prosef("LUT array lookups/cycle at 6 bits: %u (L=%u big LUTs "
                 "x 4 sub-LUTs)\n",
                 pipe.lutArray().lookupsPerCycle(6),
                 pipe.lutArray().numLuts());
-    std::printf("avg DECA cycles/tile: %.1f (16 vOps + rare bubbles)\n",
+    ctx.result().prosef(
+        "avg DECA cycles/tile: %.1f (16 vOps + rare bubbles)\n",
                 static_cast<double>(total_cycles) / trials);
 
     // (3) Analytic comparison vs a software path on HBM.
@@ -79,7 +79,8 @@ DECA_SCENARIO(custom_format, "Example: hosting OCP FP6 + sparsity on "
     const auto deca = roofsurface::evaluate(
         mach.withDecaVectorEngine(),
         roofsurface::decaSignature(fp6, 32, 8));
-    std::printf("Roof-Surface @N=1: software %.2f TFLOPS (%s-bound) vs "
+    ctx.result().prosef(
+        "Roof-Surface @N=1: software %.2f TFLOPS (%s-bound) vs "
                 "DECA %.2f TFLOPS (%s-bound) -> %.1fx\n",
                 sw.flops(1) / kTera,
                 roofsurface::boundName(sw.bound).c_str(),

@@ -6,13 +6,15 @@
  * For each candidate scheme the example reports next-token latency
  * (simulated), tokens/second, model footprint, and a weight-space
  * quality proxy (quantization SQNR on synthetic weights), then flags
- * the schemes meeting a latency SLO.
+ * the schemes meeting a latency SLO. The per-scheme SQNR + latency
+ * evaluation is independent per candidate, so it fans out across the
+ * SweepEngine (sharing the process-wide worker pool) while the report
+ * stays in candidate order.
  *
  * Build & run:  ./build/examples/llm_serving
  */
 
 #include <cmath>
-#include <cstdio>
 
 #include "compress/reference_decompress.h"
 #include "compress/weight_matrix.h"
@@ -62,10 +64,12 @@ DECA_SCENARIO(llm_serving, "Example: choosing a compression scheme to "
     const llm::InferenceModel inf(model, p, ng);
 
     const double slo_ms = 60.0;  // interactive serving target
-    std::printf("Serving %s on %s with DECA; SLO: %.0f ms/token\n\n",
-                model.name.c_str(), p.name.c_str(), slo_ms);
-    std::printf("%-10s %10s %10s %12s %10s %6s\n", "scheme", "ms/token",
-                "tokens/s", "weights(GB)", "SQNR(dB)", "SLO?");
+    ctx.result().prosef(
+        "Serving %s on %s with DECA; SLO: %.0f ms/token\n\n",
+        model.name.c_str(), p.name.c_str(), slo_ms);
+    ctx.result().prosef("%-10s %10s %10s %12s %10s %6s\n", "scheme",
+                        "ms/token", "tokens/s", "weights(GB)",
+                        "SQNR(dB)", "SLO?");
 
     const std::vector<compress::CompressionScheme> candidates = {
         compress::schemeBf16(),   compress::schemeQ8Dense(),
@@ -73,22 +77,43 @@ DECA_SCENARIO(llm_serving, "Example: choosing a compression scheme to "
         compress::schemeQ8(0.2),  compress::schemeQ8(0.05),
         compress::schemeQ16(0.2),
     };
-    for (const auto &s : candidates) {
-        const auto kernel = s.name == "BF16"
-                                ? kernels::KernelConfig::uncompressedBf16()
-                                : kernels::KernelConfig::decaKernel();
-        const llm::NextTokenLatency lat = inf.nextToken(s, kernel, 1, 128);
-        const double gb = static_cast<double>(model.totalFcTiles()) *
-                          s.bytesPerTile() / 1e9;
-        const double sqnr = weightSqnrDb(s);
-        std::printf("%-10s %10.1f %10.1f %12.1f %10.1f %6s\n",
-                    s.name.c_str(), lat.milliseconds(),
-                    1000.0 / lat.milliseconds(), gb, sqnr,
-                    lat.milliseconds() <= slo_ms ? "yes" : "no");
+
+    // Each candidate's simulation + SQNR sweep point is independent;
+    // fan them out and report in candidate order.
+    struct Eval
+    {
+        double latencyMs;
+        double weightsGb;
+        double sqnrDb;
+    };
+    runner::SweepEngine engine(ctx.sweep("llm_serving"));
+    const std::vector<Eval> evals =
+        engine.map(candidates.size(), [&](std::size_t i) {
+            const auto &s = candidates[i];
+            const auto kernel =
+                s.name == "BF16"
+                    ? kernels::KernelConfig::uncompressedBf16()
+                    : kernels::KernelConfig::decaKernel();
+            const llm::NextTokenLatency lat =
+                inf.nextToken(s, kernel, 1, 128);
+            const double gb =
+                static_cast<double>(model.totalFcTiles()) *
+                s.bytesPerTile() / 1e9;
+            return Eval{lat.milliseconds(), gb, weightSqnrDb(s)};
+        });
+
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const auto &s = candidates[i];
+        const Eval &e = evals[i];
+        ctx.result().prosef("%-10s %10.1f %10.1f %12.1f %10.1f %6s\n",
+                            s.name.c_str(), e.latencyMs,
+                            1000.0 / e.latencyMs, e.weightsGb, e.sqnrDb,
+                            e.latencyMs <= slo_ms ? "yes" : "no");
     }
 
-    std::printf("\nNote: SQNR is a weight-space proxy; end-task accuracy "
-                "for MXFP4 and 50-70%% unstructured sparsity is "
-                "established in the literature the paper cites.\n");
+    ctx.result().prosef(
+        "\nNote: SQNR is a weight-space proxy; end-task accuracy "
+        "for MXFP4 and 50-70%% unstructured sparsity is "
+        "established in the literature the paper cites.\n");
     return 0;
 }

@@ -14,7 +14,6 @@
  * Build & run:  ./build/examples/quickstart
  */
 
-#include <cstdio>
 
 #include "compress/quantizer.h"
 #include "compress/reference_decompress.h"
@@ -37,7 +36,7 @@ DECA_SCENARIO(quickstart, "Example: end-to-end DECA workflow on one "
     const compress::WeightMatrix weights =
         compress::generateWeights(256, 256, scheme.density, rng);
     const compress::CompressedMatrix cm(weights, scheme);
-    std::printf("compressed %u x %u weights with %s: %.2fx smaller "
+    ctx.result().prosef("compressed %u x %u weights with %s: %.2fx smaller "
                 "(paper formula: %.2fx)\n",
                 weights.rows(), weights.cols(), scheme.name.c_str(),
                 cm.measuredCompressionFactor(),
@@ -49,7 +48,7 @@ DECA_SCENARIO(quickstart, "Example: end-to-end DECA workflow on one "
     const compress::CompressedTile &ct = cm.tile(0, 0);
     const accel::TileDecompression out = pipeline.decompress(ct);
     const compress::DenseTile golden = compress::referenceDecompress(ct);
-    std::printf("DECA pipeline output %s the golden decompressor "
+    ctx.result().prosef("DECA pipeline output %s the golden decompressor "
                 "(%u vOps, %u bubbles, %llu cycles)\n",
                 out.tile == golden ? "matches" : "DIFFERS FROM",
                 out.vops, out.bubbles,
@@ -62,7 +61,7 @@ DECA_SCENARIO(quickstart, "Example: end-to-end DECA workflow on one "
     const auto sw_pred = roofsurface::evaluate(mach, sw_sig);
     const auto deca_pred = roofsurface::evaluate(
         mach.withDecaVectorEngine(), deca_sig);
-    std::printf("Roof-Surface: software is %s-bound (%.2f TFLOPS), "
+    ctx.result().prosef("Roof-Surface: software is %s-bound (%.2f TFLOPS), "
                 "DECA is %s-bound (%.2f TFLOPS)\n",
                 roofsurface::boundName(sw_pred.bound).c_str(),
                 sw_pred.flops(1) / kTera,
@@ -80,7 +79,7 @@ DECA_SCENARIO(quickstart, "Example: end-to-end DECA workflow on one "
         params, kernels::KernelConfig::software(), w);
     const kernels::GemmResult deca = kernels::runGemmSteady(
         params, kernels::KernelConfig::decaKernel(), w);
-    std::printf("simulated: software %.2f TFLOPS, DECA %.2f TFLOPS "
+    ctx.result().prosef("simulated: software %.2f TFLOPS, DECA %.2f TFLOPS "
                 "(%.2fx speedup)\n",
                 sw.tflops, deca.tflops, deca.speedupOver(sw));
     return 0;

@@ -27,8 +27,10 @@ concat(Args &&...args)
     return os.str();
 }
 
-[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
-[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 

@@ -50,7 +50,8 @@ struct MinifloatSpec
     double
     maxFinite() const
     {
-        const double man_max = 2.0 - std::ldexp(1.0, -static_cast<int>(manBits));
+        const double man_max =
+            2.0 - std::ldexp(1.0, -static_cast<int>(manBits));
         // OCP E4M3 reserves mantissa==all-ones at top exponent for NaN.
         if (!hasInfNan && expBits == 4 && manBits == 3) {
             const double man = 2.0 - 2.0 * std::ldexp(1.0, -3);

@@ -19,8 +19,8 @@ TableWriter::addRow(std::vector<std::string> row)
     rows_.push_back(std::move(row));
 }
 
-std::string
-TableWriter::render() const
+void
+TableWriter::renderInto(std::ostream &os) const
 {
     // Compute column widths over header and rows.
     std::vector<std::size_t> widths(header_.size(), 0);
@@ -34,7 +34,9 @@ TableWriter::render() const
     for (const auto &r : rows_)
         widen(r);
 
-    std::ostringstream os;
+    // setw consumes itself, but std::left persists: restore the
+    // caller's flags on exit so a shared output stream is unaffected.
+    const std::ios_base::fmtflags saved = os.flags();
     os << "== " << title_ << " ==\n";
     auto emit = [&](const std::vector<std::string> &cells) {
         for (std::size_t i = 0; i < widths.size(); ++i) {
@@ -51,13 +53,20 @@ TableWriter::render() const
     os << std::string(total, '-') << '\n';
     for (const auto &r : rows_)
         emit(r);
-    return os.str();
+    os.flags(saved);
 }
 
 std::string
-TableWriter::csv() const
+TableWriter::render() const
 {
     std::ostringstream os;
+    renderInto(os);
+    return os.str();
+}
+
+void
+TableWriter::csvInto(std::ostream &os) const
+{
     auto emit = [&](const std::vector<std::string> &cells) {
         for (std::size_t i = 0; i < cells.size(); ++i) {
             if (i)
@@ -69,6 +78,13 @@ TableWriter::csv() const
     emit(header_);
     for (const auto &r : rows_)
         emit(r);
+}
+
+std::string
+TableWriter::csv() const
+{
+    std::ostringstream os;
+    csvInto(os);
     return os.str();
 }
 

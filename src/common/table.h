@@ -34,6 +34,12 @@ class TableWriter
     /** Render as CSV (header then rows). */
     std::string csv() const;
 
+    /** Stream the aligned table directly (no temporary string). */
+    void renderInto(std::ostream &os) const;
+
+    /** Stream the CSV directly (no temporary string). */
+    void csvInto(std::ostream &os) const;
+
     /** Print the aligned table to the stream. */
     void print(std::ostream &os) const;
 

@@ -50,7 +50,8 @@ expectedBubblesPerVop(u32 w, u32 l, u32 qbits, double density)
     for (u32 nz = 1; nz <= w; ++nz) {
         const u32 b = bubblesForWindow(nz, l, qbits);
         if (b > 0)
-            expectation += static_cast<double>(b) * binomialPmf(w, nz, density);
+            expectation +=
+                static_cast<double>(b) * binomialPmf(w, nz, density);
     }
     return expectation;
 }

@@ -1,0 +1,260 @@
+#include "runner/campaign.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <future>
+#include <iostream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace deca::runner {
+
+namespace {
+
+/** Far above any sane --threads/--jobs request, far below u32 wrap. */
+constexpr unsigned long kMaxCount = 4096;
+
+u32
+parseCount(const std::string &flag, const std::string &v)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+    if (v.empty() || v[0] == '-' || end == v.c_str() || *end != '\0' ||
+        errno == ERANGE || n > kMaxCount)
+        DECA_FATAL("bad ", flag, " value: ", v, " (expected 0..",
+                   kMaxCount, ")");
+    return n == 0 ? ThreadPool::hardwareThreads() : static_cast<u32>(n);
+}
+
+} // namespace
+
+bool
+parseCommonFlag(const std::string &arg, RunOptions &opts)
+{
+    if (arg.rfind("--threads=", 0) == 0) {
+        opts.threads = parseCount(
+            "--threads", arg.substr(std::strlen("--threads=")));
+        return true;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+        opts.jobs =
+            parseCount("--jobs", arg.substr(std::strlen("--jobs=")));
+        return true;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+        const std::string v = arg.substr(std::strlen("--format="));
+        const auto f = parseOutputFormat(v);
+        if (!f)
+            DECA_FATAL("bad --format value: ", v,
+                       " (expected table|csv|json)");
+        opts.format = *f;
+        return true;
+    }
+    if (arg == "--progress") {
+        opts.showProgress = true;
+        return true;
+    }
+    return false;
+}
+
+ScenarioResult
+runScenario(const Scenario &s, const RunOptions &opts)
+{
+    ResultBuilder builder(s.name, s.description);
+    ScenarioContext ctx;
+    ctx.threads = opts.threads;
+    ctx.showProgress = opts.showProgress;
+    ctx.builder = &builder;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    int status = 0;
+    std::string error;
+    try {
+        status = s.fn(ctx);
+    } catch (const std::exception &e) {
+        status = 1;
+        error = e.what();
+    } catch (...) {
+        status = 1;
+        error = "unknown exception";
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ScenarioResult r = builder.take(status);
+    r.error = std::move(error);
+    r.elapsedMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return r;
+}
+
+namespace {
+
+/**
+ * Streams results in order, with per-format framing. Single-scenario
+ * runs emit the bare result body in every format (matching the
+ * standalone binaries); multi-scenario runs frame table/CSV output
+ * with "### name" headers and wrap JSON in the run manifest.
+ */
+class CampaignEmitter
+{
+  public:
+    CampaignEmitter(const RunOptions &opts, std::size_t count,
+                    std::ostream &os)
+        : opts_(opts), framed_(count > 1), os_(os)
+    {
+        if (manifest())
+            os_ << "{\"schema\":\"decasim-run/1\",\"jobs\":"
+                << opts_.jobs << ",\"threads\":" << opts_.threads
+                << ",\"scenario_count\":" << count
+                << ",\"scenarios\":[";
+    }
+
+    /** Emit one result; returns its status. */
+    int
+    emit(const ScenarioResult &r)
+    {
+        if (manifest()) {
+            os_ << (emitted_++ ? ",\n" : "\n") << renderJson(r);
+        } else {
+            if (framed_)
+                os_ << "### " << r.name << ": " << r.description
+                    << "\n\n";
+            renderResultBody(r, opts_.format, os_);
+            if (framed_)
+                os_ << "\n";
+        }
+        os_.flush();
+        if (r.status != 0) {
+            std::cerr << "decasim: scenario " << r.name
+                      << " failed with exit code " << r.status;
+            if (!r.error.empty())
+                std::cerr << " (" << r.error << ")";
+            std::cerr << "\n";
+        }
+        return r.status;
+    }
+
+    void
+    close()
+    {
+        // "emitted" is stamped at the end because a failure stops
+        // emission early: consumers must trust it, not
+        // scenario_count (which records what was requested).
+        if (manifest())
+            os_ << "\n],\"emitted\":" << emitted_ << "}\n";
+    }
+
+  private:
+    bool manifest() const
+    {
+        return framed_ && opts_.format == OutputFormat::Json;
+    }
+
+    const RunOptions &opts_;
+    bool framed_;
+    std::ostream &os_;
+    std::size_t emitted_ = 0;
+};
+
+} // namespace
+
+int
+runScenarios(const std::vector<const Scenario *> &todo,
+             const RunOptions &opts, std::ostream &os)
+{
+    CampaignEmitter emitter(opts, todo.size(), os);
+    int rc = 0;
+
+    if (opts.jobs <= 1 || todo.size() <= 1) {
+        // One at a time, stopping at the first failure — the behavior
+        // jobs > 1 reproduces byte-for-byte on the output stream.
+        for (const Scenario *s : todo) {
+            rc = emitter.emit(runScenario(*s, opts));
+            if (rc != 0)
+                break;
+        }
+        emitter.close();
+        return rc;
+    }
+
+    // Fan whole scenarios out on the shared pool; results are buffered
+    // objects, so emission can stay in registry order while execution
+    // completes in any order. Submission is windowed: at most
+    // opts.jobs scenarios are in flight (submitted but not yet
+    // harvested) at a time — the pool may have more workers (grown by
+    // --threads or earlier callers), and an unwindowed submit would
+    // let them all steal scenario tasks, ignoring the --jobs bound.
+    const u32 window = static_cast<u32>(
+        std::min<std::size_t>(opts.jobs, todo.size()));
+    ThreadPool &pool = globalPool(std::max(window, 2u));
+    std::vector<std::future<ScenarioResult>> futs(todo.size());
+    std::size_t next = 0;
+    auto submitNext = [&] {
+        if (next >= todo.size())
+            return;
+        const Scenario *s = todo[next];
+        futs[next] =
+            pool.submit([s, &opts] { return runScenario(*s, opts); });
+        ++next;
+    };
+    for (u32 k = 0; k < window; ++k)
+        submitNext();
+
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+        if (!futs[i].valid())
+            break;  // submission stopped after a failure
+        pool.helpWait(futs[i]);
+        const ScenarioResult r = futs[i].get();
+        if (rc != 0)
+            continue;  // drain already-submitted tasks silently
+        rc = emitter.emit(r);
+        if (rc == 0)
+            submitNext();  // keep the window full while healthy
+    }
+    emitter.close();
+    return rc;
+}
+
+int
+standaloneScenarioMain(int argc, char **argv)
+{
+    const ScenarioRegistry &reg = ScenarioRegistry::instance();
+    DECA_ASSERT(reg.size() == 1,
+                "standalone binary must link exactly one scenario, has ",
+                reg.size());
+    const Scenario *s = reg.sorted().front();
+
+    RunOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << s->name << ": " << s->description << "\n"
+                      << "usage: " << argv[0]
+                      << " [--threads=N] [--format=table|csv|json]"
+                         " [--progress]\n";
+            return 0;
+        }
+        // --jobs is scenario-level concurrency; with exactly one
+        // scenario it would be a silent no-op, so reject it rather
+        // than let a --threads typo degrade to serial unnoticed.
+        if (arg.rfind("--jobs=", 0) == 0)
+            DECA_FATAL("--jobs only applies to `decasim run` with "
+                       "multiple scenarios; use --threads=N here");
+        if (!parseCommonFlag(arg, opts))
+            DECA_FATAL("unknown argument: ", arg);
+    }
+
+    const ScenarioResult r = runScenario(*s, opts);
+    renderResultBody(r, opts.format, std::cout);
+    if (r.status != 0 && !r.error.empty())
+        std::cerr << s->name << ": " << r.error << "\n";
+    return r.status;
+}
+
+} // namespace deca::runner

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Campaign runner: executes one or many scenarios, optionally
+ * concurrently, and emits their structured results in registry order.
+ *
+ * Because scenarios buffer everything into a ScenarioResult instead of
+ * printing, `decasim run all --jobs=N` can fan whole scenarios out on
+ * the process-wide pool (shared with every SweepEngine inside them)
+ * and still stream byte-identical output: result i is always emitted
+ * before result i+1, as soon as it is ready.
+ */
+
+#ifndef DECA_RUNNER_CAMPAIGN_H
+#define DECA_RUNNER_CAMPAIGN_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "runner/report.h"
+#include "runner/scenario_registry.h"
+
+namespace deca::runner {
+
+/** CLI-level knobs for one `run` invocation. */
+struct RunOptions
+{
+    /** Worker threads for sweeps inside each scenario; 1 = serial. */
+    u32 threads = 1;
+    /** Concurrently executing scenarios; 1 = one at a time. */
+    u32 jobs = 1;
+    /** How results are rendered. */
+    OutputFormat format = OutputFormat::Table;
+    /** Draw sweep progress on stderr. */
+    bool showProgress = false;
+};
+
+/**
+ * Parse one flag shared by decasim and the standalone binaries
+ * (--threads=N, --jobs=N, --format=..., --progress) into opts; false
+ * when the argument is not a common flag.
+ */
+bool parseCommonFlag(const std::string &arg, RunOptions &opts);
+
+/**
+ * Execute one scenario to a structured result. Exceptions from the
+ * scenario body are captured into result.error with status 1; timing
+ * and status are stamped on the result.
+ */
+ScenarioResult runScenario(const Scenario &s, const RunOptions &opts);
+
+/**
+ * Execute `todo` and render each result to `os` in order. With
+ * opts.jobs > 1 the scenarios run concurrently on the process-wide
+ * pool while emission stays in `todo` order (a result is printed as
+ * soon as it and all its predecessors finished) — output is
+ * byte-identical to jobs == 1.
+ *
+ * Table/CSV formats frame each scenario with the historical
+ * "### name: description" header when todo has more than one entry;
+ * JSON emits one manifest object for the whole run. Returns the first
+ * non-zero scenario status in order (emission stops there), else 0.
+ */
+int runScenarios(const std::vector<const Scenario *> &todo,
+                 const RunOptions &opts, std::ostream &os);
+
+/**
+ * Entry point shared by the standalone bench/example binaries: parses
+ * the common flags and runs the single scenario linked into the
+ * binary, emitting its bare result body.
+ */
+int standaloneScenarioMain(int argc, char **argv);
+
+} // namespace deca::runner
+
+#endif // DECA_RUNNER_CAMPAIGN_H

@@ -6,7 +6,7 @@
  *
  *   decasim list
  *   decasim run fig16 --threads=8
- *   decasim run all --format=json
+ *   decasim run all --jobs=4 --format=json
  */
 
 #include <cstdio>
@@ -14,8 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "runner/scenario_registry.h"
-#include "runner/thread_pool.h"
+#include "runner/campaign.h"
 
 namespace {
 
@@ -33,9 +32,15 @@ usage(int code)
         "  decasim run all [opts]       run every scenario\n"
         "\n"
         "options:\n"
-        "  --threads=N   sweep worker threads (0 = all hardware threads;"
-        " default 1)\n"
-        "  --format=F    table | csv | json (default table)\n"
+        "  --threads=N   sweep worker threads inside a scenario\n"
+        "                (0 = all hardware threads; default 1)\n"
+        "  --jobs=N      scenarios executing concurrently (0 = all\n"
+        "                hardware threads; default 1); results are\n"
+        "                still emitted in order, byte-identical to\n"
+        "                --jobs=1\n"
+        "  --format=F    table | csv | json (default table); json is\n"
+        "                a lossless manifest of every scenario's\n"
+        "                prose, tables, status, and timing\n"
         "  --progress    draw sweep progress on stderr\n";
     return code;
 }
@@ -56,10 +61,10 @@ list()
 int
 run(const std::vector<std::string> &args)
 {
-    ScenarioContext ctx;
+    RunOptions opts;
     std::vector<std::string> names;
     for (const std::string &arg : args) {
-        if (parseCommonFlag(arg, ctx))
+        if (parseCommonFlag(arg, opts))
             continue;
         if (arg.rfind("--", 0) == 0) {
             std::cerr << "decasim: unknown option " << arg << "\n";
@@ -88,20 +93,7 @@ run(const std::vector<std::string> &args)
         }
     }
 
-    for (const Scenario *s : todo) {
-        if (todo.size() > 1)
-            ctx.out() << "### " << s->name << ": " << s->description
-                      << "\n\n";
-        const int rc = s->fn(ctx);
-        if (rc != 0) {
-            std::cerr << "decasim: scenario " << s->name
-                      << " failed with exit code " << rc << "\n";
-            return rc;
-        }
-        if (todo.size() > 1)
-            ctx.out() << "\n";
-    }
-    return 0;
+    return runScenarios(todo, opts, std::cout);
 }
 
 } // namespace

@@ -58,7 +58,7 @@ emitStringArray(std::ostringstream &os,
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i)
             os << ',';
-        os << '"' << jsonEscape(cells[i]) << '"';
+        os << jsonQuote(cells[i]);
     }
     os << ']';
 }
@@ -66,10 +66,16 @@ emitStringArray(std::ostringstream &os,
 } // namespace
 
 std::string
+jsonQuote(const std::string &s)
+{
+    return '"' + jsonEscape(s) + '"';
+}
+
+std::string
 renderJson(const TableWriter &t)
 {
     std::ostringstream os;
-    os << "{\"title\":\"" << jsonEscape(t.title()) << "\",\"columns\":";
+    os << "{\"title\":" << jsonQuote(t.title()) << ",\"columns\":";
     emitStringArray(os, t.header());
     os << ",\"rows\":[";
     for (std::size_t i = 0; i < t.rows().size(); ++i) {
@@ -81,19 +87,62 @@ renderJson(const TableWriter &t)
     return os.str();
 }
 
+std::string
+renderJson(const ScenarioResult &r)
+{
+    std::ostringstream os;
+    os << "{\"name\":" << jsonQuote(r.name)
+       << ",\"description\":" << jsonQuote(r.description)
+       << ",\"status\":" << r.status << ",\"elapsed_ms\":";
+    char ms[32];
+    std::snprintf(ms, sizeof ms, "%.3f", r.elapsedMs);
+    os << ms;
+    if (!r.error.empty())
+        os << ",\"error\":" << jsonQuote(r.error);
+    os << ",\"sections\":[";
+    for (std::size_t i = 0; i < r.sections.size(); ++i) {
+        if (i)
+            os << ',';
+        const ScenarioSection &s = r.sections[i];
+        if (s.kind == ScenarioSection::Kind::Prose)
+            os << "{\"type\":\"prose\",\"text\":" << jsonQuote(s.prose)
+               << '}';
+        else
+            os << "{\"type\":\"table\",\"table\":" << renderJson(s.table)
+               << '}';
+    }
+    os << "]}";
+    return os.str();
+}
+
 void
-emitReport(const TableWriter &t, OutputFormat format, std::ostream &os)
+renderResultBody(const ScenarioResult &r, OutputFormat format,
+                 std::ostream &os)
 {
     switch (format) {
       case OutputFormat::Table:
-        // Seed bench format: aligned table plus its CSV twin.
-        os << t.render() << "\ncsv:\n" << t.csv() << "\n";
+        for (const ScenarioSection &s : r.sections) {
+            if (s.kind == ScenarioSection::Kind::Prose) {
+                os << s.prose;
+            } else {
+                // Seed bench format: aligned table plus its CSV twin.
+                s.table.renderInto(os);
+                os << "\ncsv:\n";
+                s.table.csvInto(os);
+                os << "\n";
+            }
+        }
         break;
       case OutputFormat::Csv:
-        os << t.csv();
+        for (const ScenarioSection &s : r.sections) {
+            if (s.kind == ScenarioSection::Kind::Prose)
+                os << s.prose;
+            else
+                s.table.csvInto(os);
+        }
         break;
       case OutputFormat::Json:
-        os << renderJson(t) << "\n";
+        os << renderJson(r) << "\n";
         break;
     }
 }

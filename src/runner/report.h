@@ -1,11 +1,15 @@
 /**
  * @file
- * Result-collection layer for the experiment runner: every scenario
- * accumulates its rows in the existing common/table.h TableWriter, and
- * the runner renders that in the operator's choice of format — the
- * aligned console table (with its CSV twin, matching the historical
- * bench output byte-for-byte), bare CSV, or JSON for downstream
- * tooling.
+ * Rendering layer for structured scenario results. Scenarios only
+ * accumulate ScenarioResult objects; everything the operator sees is
+ * produced here, in the format of their choice:
+ *
+ *  - table: prose verbatim, each table as the aligned console table
+ *    followed by its CSV twin — byte-identical to the historical
+ *    bench output;
+ *  - csv: prose verbatim, tables as bare CSV;
+ *  - json: one lossless JSON object per scenario (metadata, status,
+ *    timing, and every prose block and table in emission order).
  */
 
 #ifndef DECA_RUNNER_REPORT_H
@@ -15,29 +19,43 @@
 #include <optional>
 #include <string>
 
-#include "common/table.h"
+#include "runner/scenario_result.h"
 
 namespace deca::runner {
 
 enum class OutputFormat
 {
-    /** Aligned console table followed by its CSV twin (seed format). */
+    /** Prose + aligned table + CSV twin per table (seed format). */
     Table,
-    /** CSV only. */
+    /** Prose + bare CSV per table. */
     Csv,
-    /** One JSON object per table: {title, columns, rows}. */
+    /** One lossless JSON object per scenario. */
     Json,
 };
 
 /** Parse "table" / "csv" / "json"; nullopt on anything else. */
 std::optional<OutputFormat> parseOutputFormat(const std::string &s);
 
-/** Render one table as a JSON object (string cells, escaped). */
+/** JSON string literal (quoted, escaped). */
+std::string jsonQuote(const std::string &s);
+
+/** One table as a JSON object: {title, columns, rows}. */
 std::string renderJson(const TableWriter &t);
 
-/** Emit one result table in the requested format. */
-void emitReport(const TableWriter &t, OutputFormat format,
-                std::ostream &os);
+/**
+ * One scenario result as a JSON object: name, description, status,
+ * elapsed_ms, optional error, and the ordered sections. Lossless: a
+ * consumer can reconstruct the table-format output byte-for-byte.
+ */
+std::string renderJson(const ScenarioResult &r);
+
+/**
+ * Emit the body of one scenario result (no inter-scenario framing) in
+ * the requested format. Table and CSV bodies are byte-identical to
+ * what the scenario used to print directly.
+ */
+void renderResultBody(const ScenarioResult &r, OutputFormat format,
+                      std::ostream &os);
 
 } // namespace deca::runner
 

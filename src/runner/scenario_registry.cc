@@ -2,17 +2,17 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstring>
-#include <iostream>
 
 #include "common/logging.h"
 
 namespace deca::runner {
 
-std::ostream &
-ScenarioContext::out() const
+ResultBuilder &
+ScenarioContext::result() const
 {
-    return outStream ? *outStream : std::cout;
+    DECA_ASSERT(builder != nullptr,
+                "scenario invoked without a result builder");
+    return *builder;
 }
 
 SweepOptions
@@ -106,60 +106,6 @@ registerScenario(std::string name, std::string description, ScenarioFn fn)
     ScenarioRegistry::instance().add(
         {std::move(name), std::move(description), fn});
     return true;
-}
-
-bool
-parseCommonFlag(const std::string &arg, ScenarioContext &ctx)
-{
-    if (arg.rfind("--threads=", 0) == 0) {
-        const std::string v = arg.substr(std::strlen("--threads="));
-        char *end = nullptr;
-        const long n = std::strtol(v.c_str(), &end, 10);
-        if (end == v.c_str() || *end != '\0' || n < 0)
-            DECA_FATAL("bad --threads value: ", v);
-        ctx.threads =
-            n == 0 ? ThreadPool::hardwareThreads() : static_cast<u32>(n);
-        return true;
-    }
-    if (arg.rfind("--format=", 0) == 0) {
-        const std::string v = arg.substr(std::strlen("--format="));
-        const auto f = parseOutputFormat(v);
-        if (!f)
-            DECA_FATAL("bad --format value: ", v,
-                       " (expected table|csv|json)");
-        ctx.format = *f;
-        return true;
-    }
-    if (arg == "--progress") {
-        ctx.showProgress = true;
-        return true;
-    }
-    return false;
-}
-
-int
-standaloneScenarioMain(int argc, char **argv)
-{
-    const ScenarioRegistry &reg = ScenarioRegistry::instance();
-    DECA_ASSERT(reg.size() == 1,
-                "standalone binary must link exactly one scenario, has ",
-                reg.size());
-    const Scenario *s = reg.sorted().front();
-
-    ScenarioContext ctx;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h") {
-            std::cout << s->name << ": " << s->description << "\n"
-                      << "usage: " << argv[0]
-                      << " [--threads=N] [--format=table|csv|json]"
-                         " [--progress]\n";
-            return 0;
-        }
-        if (!parseCommonFlag(arg, ctx))
-            DECA_FATAL("unknown argument: ", arg);
-    }
-    return s->fn(ctx);
 }
 
 } // namespace deca::runner

@@ -10,29 +10,32 @@
 #ifndef DECA_RUNNER_SCENARIO_REGISTRY_H
 #define DECA_RUNNER_SCENARIO_REGISTRY_H
 
-#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
-#include "runner/report.h"
+#include "runner/scenario_result.h"
 #include "runner/sweep_engine.h"
 
 namespace deca::runner {
 
-/** Per-invocation knobs a scenario receives from the CLI. */
+/**
+ * Per-invocation environment a scenario receives from the campaign
+ * runner. Scenarios never print: they accumulate prose and tables in
+ * the ResultBuilder via result(), and the report layer renders the
+ * finished ScenarioResult in the operator's chosen format.
+ */
 struct ScenarioContext
 {
     /** Worker threads for SweepEngine fan-out; 1 = serial. */
     u32 threads = 1;
-    /** How result tables are rendered. */
-    OutputFormat format = OutputFormat::Table;
     /** Draw sweep progress on stderr. */
     bool showProgress = false;
-    /** Destination stream; null means std::cout. */
-    std::ostream *outStream = nullptr;
+    /** Result sink for this invocation (owned by the runner). */
+    ResultBuilder *builder = nullptr;
 
-    std::ostream &out() const;
+    /** The result being built; requires a runner-provided builder. */
+    ResultBuilder &result() const;
 
     /** SweepOptions honoring --threads and --progress. */
     SweepOptions sweep(const std::string &label = "sweep") const;
@@ -71,25 +74,12 @@ bool registerScenario(std::string name, std::string description,
                       ScenarioFn fn);
 
 /**
- * Parse one flag shared by decasim and the standalone binaries
- * (--threads=N, --format=..., --progress) into ctx; false when the
- * argument is not a common flag.
- */
-bool parseCommonFlag(const std::string &arg, ScenarioContext &ctx);
-
-/**
- * Entry point shared by the standalone bench/example binaries: parses
- * the common flags (--threads, --format, --progress) and runs the
- * single scenario linked into the binary.
- */
-int standaloneScenarioMain(int argc, char **argv);
-
-/**
  * Define and register a scenario. Usage:
  *
  *   DECA_SCENARIO(fig16, "Figure 16: {W, L} design-space exploration")
  *   {
- *       ... use ctx.sweep(), ctx.out() ...
+ *       auto &rb = ctx.result();
+ *       ... use ctx.sweep(), rb.prose(), rb.table(...) ...
  *       return 0;
  *   }
  */

@@ -1,0 +1,68 @@
+#include "runner/scenario_result.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace deca::runner {
+
+std::vector<const TableWriter *>
+ScenarioResult::tables() const
+{
+    std::vector<const TableWriter *> out;
+    for (const ScenarioSection &s : sections)
+        if (s.kind == ScenarioSection::Kind::Table)
+            out.push_back(&s.table);
+    return out;
+}
+
+ResultBuilder::ResultBuilder(std::string name, std::string description)
+{
+    result_.name = std::move(name);
+    result_.description = std::move(description);
+}
+
+void
+ResultBuilder::prosef(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list measure;
+    va_copy(measure, args);
+    const int len = std::vsnprintf(nullptr, 0, fmt, measure);
+    va_end(measure);
+    if (len > 0) {
+        std::string buf(static_cast<std::size_t>(len) + 1, '\0');
+        std::vsnprintf(buf.data(), buf.size(), fmt, args);
+        buf.resize(static_cast<std::size_t>(len));
+        pending_ << buf;
+    }
+    va_end(args);
+}
+
+void
+ResultBuilder::flushProse()
+{
+    std::string text = pending_.str();
+    if (text.empty())
+        return;
+    pending_.str("");
+    result_.sections.push_back(
+        ScenarioSection::makeProse(std::move(text)));
+}
+
+void
+ResultBuilder::table(TableWriter t)
+{
+    flushProse();
+    result_.sections.push_back(ScenarioSection::makeTable(std::move(t)));
+}
+
+ScenarioResult
+ResultBuilder::take(int status)
+{
+    flushProse();
+    result_.status = status;
+    return std::move(result_);
+}
+
+} // namespace deca::runner

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Structured scenario results: instead of printing prose and tables
+ * straight to a stream, every scenario accumulates an ordered list of
+ * sections (free-text prose blocks and TableWriter tables) in a
+ * ResultBuilder handed out by its ScenarioContext. Rendering lives
+ * entirely in the report layer, which can then emit the historical
+ * aligned-table format byte-for-byte, bare CSV, or lossless JSON —
+ * and lets `decasim run all` execute scenarios concurrently while
+ * emitting their buffered results in registry order.
+ */
+
+#ifndef DECA_RUNNER_SCENARIO_RESULT_H
+#define DECA_RUNNER_SCENARIO_RESULT_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace deca::runner {
+
+/** One ordered slice of a scenario's output. */
+struct ScenarioSection
+{
+    enum class Kind
+    {
+        /** Free-text block, reproduced verbatim by the text formats. */
+        Prose,
+        /** A result table (rendered aligned + CSV twin, bare CSV, or a
+         *  JSON object depending on the output format). */
+        Table,
+    };
+
+    Kind kind = Kind::Prose;
+    /** Verbatim text; meaningful when kind == Prose. */
+    std::string prose;
+    /** Result table; meaningful when kind == Table. */
+    TableWriter table{""};
+
+    static ScenarioSection
+    makeProse(std::string text)
+    {
+        ScenarioSection s;
+        s.kind = Kind::Prose;
+        s.prose = std::move(text);
+        return s;
+    }
+
+    static ScenarioSection
+    makeTable(TableWriter t)
+    {
+        ScenarioSection s;
+        s.kind = Kind::Table;
+        s.table = std::move(t);
+        return s;
+    }
+};
+
+/** Everything one scenario invocation produced. */
+struct ScenarioResult
+{
+    std::string name;
+    std::string description;
+    /** The scenario function's return code (0 = success). */
+    int status = 0;
+    /** Wall-clock execution time of the scenario body. */
+    double elapsedMs = 0.0;
+    /** Exception text when the scenario threw instead of returning. */
+    std::string error;
+    /** Prose blocks and tables, in emission order. */
+    std::vector<ScenarioSection> sections;
+
+    /** All tables, in order (for CSV output and tests). */
+    std::vector<const TableWriter *> tables() const;
+};
+
+/**
+ * The accumulation API scenarios write to. Consecutive prose() writes
+ * merge into one prose section; adding a table seals the pending
+ * prose block so section order mirrors emission order exactly.
+ */
+class ResultBuilder
+{
+  public:
+    ResultBuilder(std::string name, std::string description);
+
+    ResultBuilder(const ResultBuilder &) = delete;
+    ResultBuilder &operator=(const ResultBuilder &) = delete;
+
+    /** Stream for free-text output (the old ctx.out()). */
+    std::ostream &prose() { return pending_; }
+
+    /** printf-style convenience for prose (the old std::printf). */
+    void prosef(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Append a result table, sealing any pending prose first. */
+    void table(TableWriter t);
+
+    /**
+     * Seal pending prose and move the accumulated result out. The
+     * builder is spent afterwards; status/timing are stamped by the
+     * campaign runner.
+     */
+    ScenarioResult take(int status);
+
+  private:
+    void flushProse();
+
+    ScenarioResult result_;
+    std::ostringstream pending_;
+};
+
+} // namespace deca::runner
+
+#endif // DECA_RUNNER_SCENARIO_RESULT_H

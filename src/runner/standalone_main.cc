@@ -3,10 +3,10 @@
  * Shared main() for the standalone bench/example binaries: each links
  * exactly one DECA_SCENARIO translation unit plus this file, so the
  * historical one-binary-per-figure workflow keeps working on top of
- * the scenario registry.
+ * the scenario registry and the structured-result campaign runner.
  */
 
-#include "runner/scenario_registry.h"
+#include "runner/campaign.h"
 
 int
 main(int argc, char **argv)

@@ -51,11 +51,9 @@ SweepEngine::SweepEngine(SweepOptions opts) : opts_(std::move(opts)) {}
 SweepEngine::~SweepEngine() = default;
 
 ThreadPool &
-SweepEngine::ensurePool()
+SweepEngine::sharedPool()
 {
-    if (!pool_)
-        pool_ = std::make_unique<ThreadPool>(opts_.threads);
-    return *pool_;
+    return globalPool(opts_.threads);
 }
 
 void

@@ -1,10 +1,18 @@
 /**
  * @file
  * SweepEngine: fans an indexed parameter space (scheme x machine x
- * {W, L} x kernel set, or any other grid) out across a work-stealing
- * thread pool while keeping result ordering deterministic. Slot i of
- * the output always holds fn(i), so a parallel sweep is bit-identical
- * to the serial loop it replaced — the property the DSE tests pin.
+ * {W, L} x kernel set, or any other grid) out across the process-wide
+ * work-stealing thread pool while keeping result ordering
+ * deterministic. Slot i of the output always holds fn(i), so a
+ * parallel sweep is bit-identical to the serial loop it replaced —
+ * the property the DSE tests pin.
+ *
+ * Engines do not own worker threads: every parallel sweep shares
+ * globalPool(), so running 21 scenarios each with their own sweeps
+ * costs one set of threads for the whole process. Harvesting uses
+ * ThreadPool::helpWait, so a sweep issued from inside a pool task (a
+ * scenario running under `decasim run all --jobs=N`) drains pending
+ * work instead of deadlocking the pool.
  */
 
 #ifndef DECA_RUNNER_SWEEP_ENGINE_H
@@ -27,7 +35,9 @@ using ProgressFn = std::function<void(std::size_t, std::size_t)>;
 
 struct SweepOptions
 {
-    /** Worker threads. 0 or 1 evaluates serially on the caller. */
+    /** Parallelism: 0 or 1 evaluates serially on the caller; N > 1
+     *  fans out on the shared pool, growing it to at least N
+     *  workers. */
     u32 threads = 1;
     /** Optional progress sink; invoked under a lock, in completion
      *  (not index) order. */
@@ -100,7 +110,7 @@ class SweepEngine
             }
             return out;
         }
-        ThreadPool &pool = ensurePool();
+        ThreadPool &pool = sharedPool();
         std::vector<std::future<R>> futs;
         futs.reserve(n);
         std::shared_ptr<std::atomic<std::size_t>> done =
@@ -116,14 +126,15 @@ class SweepEngine
         // tasks still reference fn (a dangling reference once map's
         // frame unwinds): drain every future, remember the
         // lowest-index exception, rethrow it only after all tasks
-        // finished.
+        // finished. helpWait keeps this thread working the queue, so
+        // a sweep issued from inside a pool task cannot starve the
+        // pool.
         std::exception_ptr first_error;
         for (auto &f : futs) {
+            pool.helpWait(f);
             try {
                 if (!first_error)
                     out.push_back(f.get());
-                else
-                    f.wait();
             } catch (...) {
                 if (!first_error)
                     first_error = std::current_exception();
@@ -148,11 +159,10 @@ class SweepEngine
 
   private:
     bool parallel() const { return opts_.threads > 1; }
-    ThreadPool &ensurePool();
+    ThreadPool &sharedPool();
     void reportProgress(std::size_t done, std::size_t total);
 
     SweepOptions opts_;
-    std::unique_ptr<ThreadPool> pool_;
     std::mutex progressMutex_;
 };
 

@@ -1,15 +1,16 @@
 #include "runner/thread_pool.h"
 
+#include "common/logging.h"
+
 namespace deca::runner {
 
 ThreadPool::ThreadPool(u32 num_threads)
 {
-    workers_.reserve(num_threads);
-    for (u32 i = 0; i < num_threads; ++i)
-        workers_.push_back(std::make_unique<Worker>());
-    threads_.reserve(num_threads);
-    for (u32 i = 0; i < num_threads; ++i)
-        threads_.emplace_back([this, i] { workerLoop(i); });
+    // Reserve every slot up front: findTask() and enqueue() index the
+    // vectors concurrently with grow(), so they must never reallocate.
+    workers_.reserve(kMaxWorkers);
+    threads_.reserve(kMaxWorkers);
+    grow(num_threads);
 }
 
 ThreadPool::~ThreadPool()
@@ -23,6 +24,25 @@ ThreadPool::~ThreadPool()
         t.join();
 }
 
+void
+ThreadPool::grow(u32 target)
+{
+    if (target > kMaxWorkers)
+        target = kMaxWorkers;
+    if (numWorkers() >= target)
+        return;
+    std::lock_guard<std::mutex> lk(growMutex_);
+    while (num_workers_.load() < target) {
+        const u32 id = num_workers_.load();
+        workers_.push_back(std::make_unique<Worker>());
+        threads_.emplace_back([this, id] { workerLoop(id); });
+        // Publish only after the slot is fully constructed, so
+        // concurrent readers of num_workers_ never index a
+        // half-initialized worker.
+        num_workers_.store(id + 1);
+    }
+}
+
 u32
 ThreadPool::hardwareThreads()
 {
@@ -33,7 +53,9 @@ ThreadPool::hardwareThreads()
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
-    const u64 slot = nextWorker_.fetch_add(1) % workers_.size();
+    const u32 n = numWorkers();
+    DECA_ASSERT(n > 0, "enqueue on an empty pool");
+    const u64 slot = nextWorker_.fetch_add(1) % n;
     {
         std::lock_guard<std::mutex> lk(workers_[slot]->mutex);
         workers_[slot]->tasks.push_back(std::move(task));
@@ -64,7 +86,7 @@ ThreadPool::findTask(u32 id, std::function<void()> &task)
         }
     }
     // Steal oldest-first from the other workers.
-    const u32 n = static_cast<u32>(workers_.size());
+    const u32 n = numWorkers();
     for (u32 k = 1; k < n; ++k) {
         Worker &victim = *workers_[(id + k) % n];
         std::lock_guard<std::mutex> lk(victim.mutex);
@@ -74,6 +96,27 @@ ThreadPool::findTask(u32 id, std::function<void()> &task)
             queued_.fetch_sub(1);
             return true;
         }
+    }
+    return false;
+}
+
+bool
+ThreadPool::runOnePending()
+{
+    const u32 n = numWorkers();
+    for (u32 k = 0; k < n; ++k) {
+        std::function<void()> task;
+        {
+            Worker &w = *workers_[k];
+            std::lock_guard<std::mutex> lk(w.mutex);
+            if (w.tasks.empty())
+                continue;
+            task = std::move(w.tasks.front());
+            w.tasks.pop_front();
+            queued_.fetch_sub(1);
+        }
+        task();
+        return true;
     }
     return false;
 }
@@ -94,6 +137,14 @@ ThreadPool::workerLoop(u32 id)
             return stop_.load() || queued_.load() > 0;
         });
     }
+}
+
+ThreadPool &
+globalPool(u32 min_workers)
+{
+    static ThreadPool pool(0);
+    pool.grow(min_workers);
+    return pool;
 }
 
 } // namespace deca::runner

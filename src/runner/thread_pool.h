@@ -8,12 +8,23 @@
  * burst of coarse sweep points spreads across workers even before
  * stealing kicks in. Results and exceptions travel through
  * std::future, so a throwing task never takes down a worker.
+ *
+ * The pool can grow after construction (up to kMaxWorkers), which is
+ * what the process-wide instance returned by globalPool() relies on:
+ * every sweep and every concurrent scenario shares that one pool
+ * instead of spawning its own, and the first caller that needs more
+ * workers grows it in place. Tasks that block on futures of other
+ * tasks in the same pool must wait with helpWait(), which drains
+ * pending work instead of idling — that is what lets whole scenarios
+ * run as pool tasks while their inner sweeps fan out on the same
+ * workers without deadlock.
  */
 
 #ifndef DECA_RUNNER_THREAD_POOL_H
 #define DECA_RUNNER_THREAD_POOL_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -29,14 +40,19 @@
 
 namespace deca::runner {
 
-/** Fixed-size work-stealing pool. */
+/** Work-stealing pool; grows monotonically up to kMaxWorkers. */
 class ThreadPool
 {
   public:
+    /** Hard ceiling on workers (slots are reserved up front so the
+     *  worker array never reallocates under concurrent access). */
+    static constexpr u32 kMaxWorkers = 256;
+
     /**
      * Spawn `num_threads` workers. Zero is a valid degenerate pool:
      * every submitted task runs inline on the caller's thread (useful
-     * for forcing strictly serial execution through the same API).
+     * for forcing strictly serial execution through the same API)
+     * until grow() adds workers.
      */
     explicit ThreadPool(u32 num_threads);
 
@@ -46,7 +62,13 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    u32 numWorkers() const { return static_cast<u32>(workers_.size()); }
+    u32 numWorkers() const { return num_workers_.load(); }
+
+    /**
+     * Ensure the pool has at least `target` workers (capped at
+     * kMaxWorkers). Thread-safe; never shrinks.
+     */
+    void grow(u32 target);
 
     /**
      * Schedule a callable; the returned future carries its result or
@@ -61,12 +83,40 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<R()>>(
             std::forward<F>(f));
         std::future<R> fut = task->get_future();
-        if (workers_.empty()) {
+        if (numWorkers() == 0) {
             (*task)();
             return fut;
         }
         enqueue([task] { (*task)(); });
         return fut;
+    }
+
+    /**
+     * Steal one pending task (oldest-first, scanning all workers) and
+     * run it on the calling thread. Returns false when every deque was
+     * empty at scan time.
+     */
+    bool runOnePending();
+
+    /**
+     * Wait for `fut` while helping: drain pending pool work on this
+     * thread until the future is ready. Required whenever the waiter
+     * itself runs as a pool task (a scenario waiting on its sweep
+     * points), where a blocking wait could starve the queue. When no
+     * work is pending the awaited task is already running on another
+     * thread, so blocking is safe.
+     */
+    template <typename T>
+    void
+    helpWait(std::future<T> &fut)
+    {
+        using namespace std::chrono_literals;
+        while (fut.wait_for(0s) != std::future_status::ready) {
+            if (!runOnePending()) {
+                fut.wait();
+                return;
+            }
+        }
     }
 
     /** Number of hardware threads, at least 1. */
@@ -83,14 +133,25 @@ class ThreadPool
     void workerLoop(u32 id);
     bool findTask(u32 id, std::function<void()> &task);
 
+    /** Fixed-capacity worker slots; only [0, num_workers_) are live. */
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
+    std::atomic<u32> num_workers_{0};
+    std::mutex growMutex_;
     std::atomic<u64> nextWorker_{0};
     std::atomic<u64> queued_{0};
     std::atomic<bool> stop_{false};
     std::mutex sleepMutex_;
     std::condition_variable wakeup_;
 };
+
+/**
+ * The process-wide pool shared by every SweepEngine and by the
+ * scenario campaign runner: one set of workers for the whole process
+ * instead of one pool per sweep. Grows (never shrinks) to satisfy the
+ * largest `min_workers` seen so far.
+ */
+ThreadPool &globalPool(u32 min_workers);
 
 } // namespace deca::runner
 

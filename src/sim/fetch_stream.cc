@@ -41,16 +41,22 @@ FetchStream::windowBytes() const
 void
 FetchStream::kick()
 {
+    // An inline on_accept fires while the issue loop below is still
+    // running; the guard collapses that reentry into the outer loop.
+    if (in_kick_)
+        return;
+    in_kick_ = true;
     const u64 limit =
         std::min(total_bytes_, demand_bytes_ + windowBytes());
-    while (issued_bytes_ < limit && in_flight_ < cfg_.mshrs) {
+    while (issued_bytes_ < limit && in_flight_ < cfg_.mshrs &&
+           !await_accept_) {
         const u64 line = std::min<u64>(kCacheLineBytes,
                                        total_bytes_ - issued_bytes_);
         const u64 addr = base_addr_ + issued_bytes_;
         issued_bytes_ += line;
         ++in_flight_;
         auto alive = alive_;
-        mem_.read(id_, addr, line, [this, alive, line] {
+        auto on_done = [this, alive, line] {
             if (!*alive)
                 return;
             // Deliver after the on-chip portion of the path.
@@ -61,8 +67,22 @@ FetchStream::kick()
                 flow_.produce(line);
                 kick();
             });
-        });
+        };
+        if (cfg_.boundedAcceptance) {
+            await_accept_ = true;
+            mem_.read(id_, addr, line,
+                      /*on_accept=*/[this, alive] {
+                          if (!*alive)
+                              return;
+                          await_accept_ = false;
+                          kick();
+                      },
+                      std::move(on_done));
+        } else {
+            mem_.read(id_, addr, line, std::move(on_done));
+        }
     }
+    in_kick_ = false;
 }
 
 } // namespace deca::sim

@@ -44,6 +44,12 @@ struct FetchStreamConfig
     u32 mshrs = 48;
     /** On-chip latency added to every delivered line (L2 + LLC path). */
     Cycles onChipLatency = 85;
+    /** Issue through the memory system's bounded-acceptance path: the
+     *  stream stops issuing while the controller refuses ownership
+     *  (full queue + full waiting list), like a core stalled on a full
+     *  MSHR file. Off by default — only bites when the MemSystemConfig
+     *  sets acceptDepth. */
+    bool boundedAcceptance = false;
 };
 
 /**
@@ -102,6 +108,11 @@ class FetchStream
     u64 demand_bytes_ = 0;   ///< bytes the consumer has asked for
     u64 issued_bytes_ = 0;   ///< bytes sent to the memory system
     u32 in_flight_ = 0;      ///< line fetches outstanding (<= mshrs)
+    /** A bounded-acceptance issue is awaiting controller ownership;
+     *  no further lines are issued until it is accepted. */
+    bool await_accept_ = false;
+    /** Guards kick() against reentry from an inline on_accept. */
+    bool in_kick_ = false;
     ByteFlow flow_;
     /** Guards against kick() reentry from completion callbacks after
      *  destruction; FetchStream must outlive the simulation run. */

@@ -28,6 +28,15 @@ struct MemSystemConfig
      *  controller; extra requests wait in a backpressure list. 0 means
      *  unbounded (the legacy single-FIFO behaviour). */
     u32 queueDepth = 0;
+    /** Per-channel bound on the backpressure waiting list as seen by
+     *  the bounded-acceptance read() overload: once the controller
+     *  queue is full and this many requests are already waiting, a new
+     *  bounded-acceptance request is not accepted (its on_accept is
+     *  deferred), stalling the issuing requester the way a full MSHR
+     *  file stalls a core. 0 means acceptance is always immediate (the
+     *  legacy behaviour; the plain read() path never stalls either
+     *  way). */
+    u32 acceptDepth = 0;
     /** XOR-fold higher line-address bits into the channel index (the
      *  standard controller channel hash). Decorrelates phase-locked
      *  sequential streams that would otherwise pile onto the same

@@ -50,23 +50,62 @@ MemorySystem::noteRequesterDone(u32 requester)
         --active_requesters_;
 }
 
+u32
+MemorySystem::channelOf(u64 addr) const
+{
+    u64 line = addr / kCacheLineBytes;
+    if (cfg_.channelHash)
+        line ^= (line >> 5) ^ (line >> 11);
+    return static_cast<u32>(line % cfg_.channels);
+}
+
+void
+MemorySystem::enqueueOwned(u32 ch, Pending p)
+{
+    Channel &c = channels_[ch];
+    if (cfg_.queueDepth != 0 && c.outstanding >= cfg_.queueDepth)
+        c.waiting.push_back(std::move(p));
+    else
+        accept(ch, std::move(p));
+}
+
 void
 MemorySystem::read(u32 requester, u64 addr, u64 bytes,
                    std::function<void()> on_done)
 {
     DECA_ASSERT(bytes > 0, "zero-byte read");
     noteRequesterBusy(requester);
+    enqueueOwned(channelOf(addr),
+                 Pending{requester, bytes, std::move(on_done)});
+}
 
-    u64 line = addr / kCacheLineBytes;
-    if (cfg_.channelHash)
-        line ^= (line >> 5) ^ (line >> 11);
-    const u32 ch = static_cast<u32>(line % cfg_.channels);
+void
+MemorySystem::read(u32 requester, u64 addr, u64 bytes,
+                   std::function<void()> on_accept,
+                   std::function<void()> on_done)
+{
+    DECA_ASSERT(bytes > 0, "zero-byte read");
+    noteRequesterBusy(requester);
+    const u32 ch = channelOf(addr);
     Channel &c = channels_[ch];
     Pending p{requester, bytes, std::move(on_done)};
-    if (cfg_.queueDepth != 0 && c.outstanding >= cfg_.queueDepth)
-        c.waiting.push_back(std::move(p));
-    else
-        accept(ch, std::move(p));
+
+    // Refuse ownership only when both the controller queue and the
+    // waiting list are at their bounds; acceptDepth == 0 keeps the
+    // legacy always-accept behaviour bit-for-bit.
+    const bool queue_full =
+        cfg_.queueDepth != 0 && c.outstanding >= cfg_.queueDepth;
+    if (cfg_.acceptDepth != 0 && queue_full &&
+        c.waiting.size() >= cfg_.acceptDepth) {
+        c.stalled.push_back({std::move(p), std::move(on_accept)});
+        return;
+    }
+    // Enqueue before signalling acceptance: a reentrant read() issued
+    // from inside on_accept must queue behind this request, not
+    // overtake it.
+    enqueueOwned(ch, std::move(p));
+    if (on_accept)
+        on_accept();
 }
 
 void
@@ -126,6 +165,23 @@ MemorySystem::complete(u32 ch, u32 requester)
         Pending next = std::move(c.waiting.front());
         c.waiting.pop_front();
         accept(ch, std::move(next));
+    }
+    // Waiting-list space may have freed: promote stalled
+    // bounded-acceptance requests FIFO, firing their acceptance
+    // callbacks so the issuing requesters can resume. (A non-empty
+    // stalled list implies queueDepth and acceptDepth are both set.)
+    while (!c.stalled.empty() &&
+           (c.waiting.size() < cfg_.acceptDepth ||
+            c.outstanding < cfg_.queueDepth)) {
+        Stalled next = std::move(c.stalled.front());
+        c.stalled.pop_front();
+        // Same ordering as read(): take ownership first so a read
+        // issued from inside on_accept cannot jump ahead of the
+        // promoted request (which would also push waiting past
+        // acceptDepth).
+        enqueueOwned(ch, std::move(next.pending));
+        if (next.on_accept)
+            next.on_accept();
     }
 }
 

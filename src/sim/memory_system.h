@@ -65,6 +65,22 @@ class MemorySystem
               std::function<void()> on_done);
 
     /**
+     * Bounded-acceptance form: like read(), but the issuing requester
+     * also learns when the controller takes ownership of the request.
+     * With cfg.acceptDepth == 0 acceptance is immediate (`on_accept`
+     * runs before this call returns), reproducing the plain read()
+     * path exactly. Otherwise, when the target channel's controller
+     * queue is full and its waiting list already holds acceptDepth
+     * requests, the request is parked and `on_accept` is deferred
+     * until space frees — a requester that waits for acceptance
+     * before issuing more work stalls exactly like a core whose MSHR
+     * file is full.
+     */
+    void read(u32 requester, u64 addr, u64 bytes,
+              std::function<void()> on_accept,
+              std::function<void()> on_done);
+
+    /**
      * Legacy form: an anonymous requester with a rolling sequential
      * address. `on_done` runs when the last byte arrives.
      */
@@ -125,6 +141,14 @@ class MemorySystem
         std::function<void()> on_done;
     };
 
+    /** A bounded-acceptance request the controller has not taken
+     *  ownership of yet. */
+    struct Stalled
+    {
+        Pending pending;
+        std::function<void()> on_accept;
+    };
+
     /** One DRAM channel: a rate-limited FIFO with a bounded queue. */
     struct Channel
     {
@@ -135,7 +159,18 @@ class MemorySystem
         u32 outstanding = 0;
         /** Requests waiting for a controller queue slot. */
         std::deque<Pending> waiting;
+        /** Bounded-acceptance requests refused so far (waiting list at
+         *  acceptDepth); promoted FIFO as space frees. */
+        std::deque<Stalled> stalled;
     };
+
+    /** Channel the line holding `addr` maps to (after the optional
+     *  XOR fold). */
+    u32 channelOf(u64 addr) const;
+
+    /** Route a controller-owned request: into service when the queue
+     *  has room, else onto the waiting list. */
+    void enqueueOwned(u32 ch, Pending p);
 
     /** Put a request into channel `ch`'s service pipeline. */
     void accept(u32 ch, Pending p);

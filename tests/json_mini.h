@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser used by the runner tests to
+ * validate that the report layer's JSON output is well-formed and
+ * lossless. Supports the subset the runner emits: objects, arrays,
+ * strings with \" \\ \n \t \uXXXX escapes, numbers, booleans, null.
+ * Test-only; throws std::runtime_error on malformed input.
+ */
+
+#ifndef DECA_TESTS_JSON_MINI_H
+#define DECA_TESTS_JSON_MINI_H
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace deca::testjson {
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        const auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return object.count(key) != 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        const JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing bytes after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n')
+            return parseNull();
+        return parseNumber();
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        skipWs();
+        if (consumeIf('}'))
+            return v;
+        for (;;) {
+            skipWs();
+            const JsonValue key = parseString();
+            skipWs();
+            expect(':');
+            v.object[key.str] = parseValue();
+            skipWs();
+            if (consumeIf(','))
+                continue;
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        skipWs();
+        if (consumeIf(']'))
+            return v;
+        for (;;) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (consumeIf(','))
+                continue;
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        expect('"');
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.str += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                v.str += '"';
+                break;
+              case '\\':
+                v.str += '\\';
+                break;
+              case '/':
+                v.str += '/';
+                break;
+              case 'n':
+                v.str += '\n';
+                break;
+              case 't':
+                v.str += '\t';
+                break;
+              case 'r':
+                v.str += '\r';
+                break;
+              case 'b':
+                v.str += '\b';
+                break;
+              case 'f':
+                v.str += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                const unsigned long cp =
+                    std::stoul(text_.substr(pos_, 4), nullptr, 16);
+                pos_ += 4;
+                // The runner only emits \u00XX control escapes.
+                if (cp > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                v.str += static_cast<char>(cp);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        return {};
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            fail("expected a number");
+        v.number = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+inline JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace deca::testjson
+
+#endif // DECA_TESTS_JSON_MINI_H

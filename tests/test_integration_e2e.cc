@@ -174,8 +174,10 @@ TEST(E2eSim, DeterministicAcrossRuns)
     w.scheme = compress::schemeQ8(0.2);
     w.tilesPerCore = 32;
     w.poolTiles = 8;
-    const auto r1 = kernels::runGemm(p, kernels::KernelConfig::decaKernel(), w);
-    const auto r2 = kernels::runGemm(p, kernels::KernelConfig::decaKernel(), w);
+    const auto r1 =
+        kernels::runGemm(p, kernels::KernelConfig::decaKernel(), w);
+    const auto r2 =
+        kernels::runGemm(p, kernels::KernelConfig::decaKernel(), w);
     EXPECT_EQ(r1.cycles, r2.cycles);
     EXPECT_EQ(r1.tflops, r2.tflops);
 }

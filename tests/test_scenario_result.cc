@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the structured scenario-result pipeline: ResultBuilder
+ * section accumulation, the report layer's table/CSV rendering
+ * (pinned byte-for-byte to the seed bench format), and lossless JSON
+ * (render -> parse -> compare against the source result).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "json_mini.h"
+#include "runner/report.h"
+#include "runner/scenario_result.h"
+
+namespace deca::runner {
+namespace {
+
+using testjson::JsonValue;
+using testjson::parseJson;
+
+ScenarioResult
+sampleResult()
+{
+    ResultBuilder b("fig_demo", "Demo: one table between two prose "
+                                "blocks");
+    b.prose() << "prelude line 1\n";
+    b.prose() << "prelude line 2\n";
+
+    TableWriter t("Demo table");
+    t.setHeader({"Scheme", "TFLOPS"});
+    t.addRow({"Q8_5%", "3.14"});
+    t.addRow({"MXFP4", "2.72"});
+    b.table(std::move(t));
+
+    b.prosef("postlude: %d schemes, %.2fx\n", 2, 1.50);
+    ScenarioResult r = b.take(0);
+    r.elapsedMs = 12.5;
+    return r;
+}
+
+TEST(ResultBuilder, MergesConsecutiveProseAndOrdersSections)
+{
+    const ScenarioResult r = sampleResult();
+    ASSERT_EQ(r.sections.size(), 3u);
+    EXPECT_EQ(r.sections[0].kind, ScenarioSection::Kind::Prose);
+    EXPECT_EQ(r.sections[0].prose, "prelude line 1\nprelude line 2\n");
+    EXPECT_EQ(r.sections[1].kind, ScenarioSection::Kind::Table);
+    EXPECT_EQ(r.sections[1].table.title(), "Demo table");
+    EXPECT_EQ(r.sections[2].kind, ScenarioSection::Kind::Prose);
+    EXPECT_EQ(r.sections[2].prose, "postlude: 2 schemes, 1.50x\n");
+    EXPECT_EQ(r.tables().size(), 1u);
+}
+
+TEST(ResultBuilder, TakeSealsPendingProse)
+{
+    ResultBuilder b("x", "y");
+    b.prose() << "tail with no table after it";
+    const ScenarioResult r = b.take(3);
+    ASSERT_EQ(r.sections.size(), 1u);
+    EXPECT_EQ(r.sections[0].prose, "tail with no table after it");
+    EXPECT_EQ(r.status, 3);
+}
+
+// The byte format every bench scenario historically printed: aligned
+// table, blank line, "csv:", the CSV twin, trailing blank line — with
+// prose reproduced verbatim around it. Pinned against literals so a
+// report-layer regression cannot hide behind TableWriter changes.
+TEST(Report, TableFormatMatchesSeedBytes)
+{
+    const ScenarioResult r = sampleResult();
+    std::ostringstream os;
+    renderResultBody(r, OutputFormat::Table, os);
+    EXPECT_EQ(os.str(),
+              "prelude line 1\n"
+              "prelude line 2\n"
+              "== Demo table ==\n"
+              "Scheme  TFLOPS  \n"
+              "----------------\n"
+              "Q8_5%   3.14    \n"
+              "MXFP4   2.72    \n"
+              "\n"
+              "csv:\n"
+              "Scheme,TFLOPS\n"
+              "Q8_5%,3.14\n"
+              "MXFP4,2.72\n"
+              "\n"
+              "postlude: 2 schemes, 1.50x\n");
+}
+
+TEST(Report, CsvFormatMatchesSeedBytes)
+{
+    const ScenarioResult r = sampleResult();
+    std::ostringstream os;
+    renderResultBody(r, OutputFormat::Csv, os);
+    EXPECT_EQ(os.str(),
+              "prelude line 1\n"
+              "prelude line 2\n"
+              "Scheme,TFLOPS\n"
+              "Q8_5%,3.14\n"
+              "MXFP4,2.72\n"
+              "postlude: 2 schemes, 1.50x\n");
+}
+
+TEST(Report, JsonRoundTripIsLossless)
+{
+    const ScenarioResult r = sampleResult();
+    const JsonValue v = parseJson(renderJson(r));
+
+    EXPECT_EQ(v.at("name").str, r.name);
+    EXPECT_EQ(v.at("description").str, r.description);
+    EXPECT_EQ(v.at("status").number, 0.0);
+    EXPECT_DOUBLE_EQ(v.at("elapsed_ms").number, 12.5);
+    EXPECT_FALSE(v.has("error"));
+
+    const auto &sections = v.at("sections").array;
+    ASSERT_EQ(sections.size(), r.sections.size());
+
+    EXPECT_EQ(sections[0].at("type").str, "prose");
+    EXPECT_EQ(sections[0].at("text").str, r.sections[0].prose);
+
+    EXPECT_EQ(sections[1].at("type").str, "table");
+    const JsonValue &t = sections[1].at("table");
+    EXPECT_EQ(t.at("title").str, "Demo table");
+    ASSERT_EQ(t.at("columns").array.size(), 2u);
+    EXPECT_EQ(t.at("columns").array[0].str, "Scheme");
+    ASSERT_EQ(t.at("rows").array.size(), 2u);
+    EXPECT_EQ(t.at("rows").array[0].array[0].str, "Q8_5%");
+    EXPECT_EQ(t.at("rows").array[1].array[1].str, "2.72");
+
+    EXPECT_EQ(sections[2].at("type").str, "prose");
+    EXPECT_EQ(sections[2].at("text").str, r.sections[2].prose);
+}
+
+TEST(Report, JsonEscapesHostileStrings)
+{
+    ResultBuilder b("quote\"back\\slash", "tab\there");
+    b.prose() << "line\nbreak and control \x01 byte";
+    ScenarioResult r = b.take(0);
+    r.error = "thrown \"mid\" run";
+
+    const JsonValue v = parseJson(renderJson(r));
+    EXPECT_EQ(v.at("name").str, "quote\"back\\slash");
+    EXPECT_EQ(v.at("description").str, "tab\there");
+    EXPECT_EQ(v.at("error").str, "thrown \"mid\" run");
+    EXPECT_EQ(v.at("sections").array[0].at("text").str,
+              "line\nbreak and control \x01 byte");
+}
+
+TEST(Report, ParseOutputFormatAcceptsKnownNamesOnly)
+{
+    EXPECT_EQ(parseOutputFormat("table"), OutputFormat::Table);
+    EXPECT_EQ(parseOutputFormat("csv"), OutputFormat::Csv);
+    EXPECT_EQ(parseOutputFormat("json"), OutputFormat::Json);
+    EXPECT_FALSE(parseOutputFormat("yaml").has_value());
+    EXPECT_FALSE(parseOutputFormat("").has_value());
+}
+
+} // namespace
+} // namespace deca::runner

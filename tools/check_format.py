@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Blocking format gate for the DECA tree.
+
+Enforces the mechanical style invariants every file in the tree has
+been verified against (the full pass is committed):
+
+  - no tab characters,
+  - no trailing whitespace,
+  - no carriage returns,
+  - lines at most 79 columns,
+  - files end with exactly one newline.
+
+The richer layout rules (brace placement, 4-space indent, gem5-style
+2-space case labels) are described by .clang-format, but that tool's
+dry run stays advisory: clang-format cannot express the tree's
+case-label indentation, so its diff is a review signal rather than a
+gate. This checker is the gate; it must pass on every commit.
+
+Usage: python3 tools/check_format.py [root]
+"""
+
+import pathlib
+import sys
+
+MAX_COLS = 79
+SUFFIXES = {".cc", ".h", ".cpp"}
+DIRS = ["src", "tests", "bench", "examples"]
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems = []
+    data = path.read_bytes()
+    if b"\r" in data:
+        problems.append(f"{path}: carriage return")
+    if data and not data.endswith(b"\n"):
+        problems.append(f"{path}: missing trailing newline")
+    if data.endswith(b"\n\n"):
+        problems.append(f"{path}: multiple trailing newlines")
+    for lineno, line in enumerate(data.split(b"\n"), start=1):
+        if b"\t" in line:
+            problems.append(f"{path}:{lineno}: tab character")
+        if line != line.rstrip():
+            problems.append(f"{path}:{lineno}: trailing whitespace")
+        try:
+            cols = len(line.decode("utf-8"))
+        except UnicodeDecodeError:
+            problems.append(f"{path}:{lineno}: invalid UTF-8")
+            continue
+        if cols > MAX_COLS:
+            problems.append(
+                f"{path}:{lineno}: {cols} columns (max {MAX_COLS})")
+    return problems
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    problems = []
+    checked = 0
+    for d in DIRS:
+        for path in sorted((root / d).rglob("*")):
+            if path.suffix in SUFFIXES and path.is_file():
+                checked += 1
+                problems.extend(check_file(path))
+    for p in problems:
+        print(p)
+    print(f"checked {checked} files: "
+          f"{'FAIL' if problems else 'ok'} ({len(problems)} problems)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
