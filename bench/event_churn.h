@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The event-core benchmark workload, shared verbatim by the
+ * dependency-free event_core_bench.cc (whose numbers CI archives in
+ * BENCH_event_core.json) and the google-benchmark variants in
+ * micro_kernels.cc — one definition keeps the two trajectories
+ * comparable.
+ */
+
+#ifndef DECA_BENCH_EVENT_CHURN_H
+#define DECA_BENCH_EVENT_CHURN_H
+
+#include "sim/event_queue.h"
+#include "sim/fetch_stream.h"
+
+namespace deca::bench {
+
+/** Self-rescheduling chains kept live during the churn (populates the
+ *  queue without letting it drain). */
+inline constexpr u64 kChurnChains = 64;
+
+/** Concurrent streams in the fetch-stream line-issue benchmark. */
+inline constexpr u32 kFetchBenchStreams = 8;
+
+/** Deterministic delta pattern mixing the event classes the simulator
+ *  actually produces: zero-delay wakeups (the dominant class), short
+ *  pipeline hops, on-chip/DRAM latencies, and the far-future heap
+ *  tier. */
+inline Cycles
+churnDelta(u64 i)
+{
+    switch (i % 8) {
+      case 0:
+      case 1:
+      case 2:
+        return 0;  // same-cycle resume (the dominant class)
+      case 3:
+      case 4:
+        return 1 + i % 16;  // pipeline hop
+      case 5:
+        return 85;  // on-chip latency
+      case 6:
+        return 200 + i % 97;  // DRAM service + latency
+      default:
+        return 5000 + i % 4096;  // far future: overflow-heap tier
+    }
+}
+
+struct ChurnCtx
+{
+    sim::EventQueue *q;
+    u64 remaining;
+};
+
+inline void
+churnEvent(void *vctx, u64 i)
+{
+    auto *ctx = static_cast<ChurnCtx *>(vctx);
+    if (ctx->remaining == 0)
+        return;
+    --ctx->remaining;
+    ctx->q->schedule(churnDelta(i), &churnEvent, vctx,
+                     static_cast<u32>((i * 2654435761u) % 100003));
+}
+
+/** Seed `total_events - kChurnChains` self-rescheduling events and run
+ *  the queue dry; afterwards q.eventsExecuted() == total_events. */
+inline void
+runChurn(sim::EventQueue &q, u64 total_events)
+{
+    ChurnCtx ctx{&q, total_events - kChurnChains};
+    for (u64 c = 0; c < kChurnChains; ++c)
+        q.schedule(churnDelta(c), &churnEvent, &ctx,
+                   static_cast<u32>(c));
+    q.run();
+}
+
+/** Memory system for the fetch-stream benchmark: 8 channels at DDR-ish
+ *  aggregate bandwidth with a realistic controller queue. */
+inline sim::MemSystemConfig
+fetchBenchMemConfig()
+{
+    sim::MemSystemConfig mc;
+    mc.bytesPerCycle = 32.0;
+    mc.latency = 200;
+    mc.channels = 8;
+    mc.queueDepth = 64;
+    return mc;
+}
+
+/** Stream config for the fetch-stream benchmark: the DECA prefetcher
+ *  (window = MSHRs) over the standard L2 MSHR file. */
+inline sim::FetchStreamConfig
+fetchBenchStreamConfig()
+{
+    sim::FetchStreamConfig fc;
+    fc.policy = sim::PrefetchPolicy::DecaPf;
+    fc.mshrs = 48;
+    fc.onChipLatency = 85;
+    return fc;
+}
+
+} // namespace deca::bench
+
+#endif // DECA_BENCH_EVENT_CHURN_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Self-timed event-core microbenchmarks, dependency-free so CI can run
+ * them on a bare toolchain (the google-benchmark variants of the same
+ * measurements live in micro_kernels.cc). Emits one JSON object on
+ * stdout; tools/bench_report.py folds it into BENCH_event_core.json.
+ *
+ *   event_churn   — schedule/fire 10M mixed events: same-cycle
+ *                   resumes, short pipeline delays, far-future
+ *                   completions (all three event representations).
+ *   fetch_stream  — line-issue throughput of 8 concurrent FetchStreams
+ *                   over a multi-channel MemorySystem.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "event_churn.h"
+#include "sim/coro.h"
+#include "sim/event_queue.h"
+#include "sim/fetch_stream.h"
+
+namespace {
+
+using namespace deca;
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double
+benchEventChurn(u64 total_events)
+{
+    sim::EventQueue q;
+    const auto t0 = Clock::now();
+    bench::runChurn(q, total_events);
+    const auto t1 = Clock::now();
+    if (q.eventsExecuted() != total_events)
+        std::fprintf(stderr, "event_churn: executed %llu, wanted %llu\n",
+                     static_cast<unsigned long long>(q.eventsExecuted()),
+                     static_cast<unsigned long long>(total_events));
+    return seconds(t0, t1);
+}
+
+struct FetchBenchResult
+{
+    double secs;
+    u64 lines;
+};
+
+FetchBenchResult
+benchFetchStream(u64 lines_per_stream)
+{
+    sim::EventQueue q;
+    sim::MemorySystem mem(q, bench::fetchBenchMemConfig());
+
+    constexpr u32 kStreams = bench::kFetchBenchStreams;
+    const u64 total = lines_per_stream * kCacheLineBytes;
+    std::vector<std::unique_ptr<sim::FetchStream>> streams;
+    for (u32 s = 0; s < kStreams; ++s)
+        streams.push_back(std::make_unique<sim::FetchStream>(
+            q, mem, bench::fetchBenchStreamConfig(), total));
+    auto consume = [&](u32 s) -> sim::SimTask {
+        for (u64 i = 0; i < lines_per_stream / 16; ++i)
+            co_await streams[s]->fetch(16 * kCacheLineBytes);
+    };
+    const auto t0 = Clock::now();
+    for (u32 s = 0; s < kStreams; ++s)
+        consume(s);
+    q.run();
+    const auto t1 = Clock::now();
+    return {seconds(t0, t1), u64{kStreams} * lines_per_stream};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --quick shrinks the run for smoke tests.
+    u64 churn_events = 10'000'000;
+    u64 lines_per_stream = 200'000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            churn_events = 200'000;
+            lines_per_stream = 10'000;
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const double churn_s = benchEventChurn(churn_events);
+    const FetchBenchResult fs = benchFetchStream(lines_per_stream);
+
+    std::printf(
+        "{\n"
+        "  \"event_churn\": {\n"
+        "    \"events\": %llu,\n"
+        "    \"seconds\": %.6f,\n"
+        "    \"ns_per_event\": %.2f,\n"
+        "    \"events_per_sec\": %.0f\n"
+        "  },\n"
+        "  \"fetch_stream\": {\n"
+        "    \"lines\": %llu,\n"
+        "    \"seconds\": %.6f,\n"
+        "    \"ns_per_line\": %.2f,\n"
+        "    \"lines_per_sec\": %.0f\n"
+        "  }\n"
+        "}\n",
+        static_cast<unsigned long long>(churn_events), churn_s,
+        churn_s * 1e9 / static_cast<double>(churn_events),
+        static_cast<double>(churn_events) / churn_s,
+        static_cast<unsigned long long>(fs.lines), fs.secs,
+        fs.secs * 1e9 / static_cast<double>(fs.lines),
+        static_cast<double>(fs.lines) / fs.secs);
+    return 0;
+}

@@ -8,13 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include "event_churn.h"
+
 #include "common/rng.h"
 #include "compress/quantizer.h"
 #include "compress/reference_decompress.h"
 #include "deca/pipeline.h"
 #include "deca/expansion.h"
 #include "kernels/gemm_sim.h"
+#include "sim/coro.h"
 #include "sim/event_queue.h"
+#include "sim/fetch_stream.h"
 
 namespace {
 
@@ -126,6 +130,54 @@ BM_EventQueueThroughput(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventQueueThroughput);
+
+void
+BM_EventChurn(benchmark::State &state)
+{
+    // The shared workload from event_churn.h: a mixed stream of
+    // same-cycle + future events through self-rescheduling chains,
+    // identical to what event_core_bench.cc archives in
+    // BENCH_event_core.json, so the two trajectories stay comparable.
+    const u64 events = static_cast<u64>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        bench::runChurn(q, events);
+        benchmark::DoNotOptimize(q.eventsExecuted());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<i64>(events));
+}
+BENCHMARK(BM_EventChurn)->Arg(100000)->Arg(1000000);
+
+void
+BM_FetchStreamIssue(benchmark::State &state)
+{
+    // Line-issue throughput: 8 concurrent streams over an 8-channel
+    // memory system, DECA prefetch policy (window = MSHRs); configs
+    // shared with event_core_bench.cc via event_churn.h.
+    const u64 lines_per_stream = static_cast<u64>(state.range(0));
+    constexpr u32 kStreams = bench::kFetchBenchStreams;
+    for (auto _ : state) {
+        sim::EventQueue q;
+        sim::MemorySystem mem(q, bench::fetchBenchMemConfig());
+        std::vector<std::unique_ptr<sim::FetchStream>> streams;
+        for (u32 s = 0; s < kStreams; ++s)
+            streams.push_back(std::make_unique<sim::FetchStream>(
+                q, mem, bench::fetchBenchStreamConfig(),
+                lines_per_stream * kCacheLineBytes));
+        auto consume = [&](u32 s) -> sim::SimTask {
+            for (u64 i = 0; i < lines_per_stream / 16; ++i)
+                co_await streams[s]->fetch(16 * kCacheLineBytes);
+        };
+        for (u32 s = 0; s < kStreams; ++s)
+            consume(s);
+        q.run();
+        benchmark::DoNotOptimize(mem.bytesServed());
+    }
+    state.SetItemsProcessed(state.iterations() * kStreams *
+                            static_cast<i64>(lines_per_stream));
+}
+BENCHMARK(BM_FetchStreamIssue)->Arg(10000)->Arg(50000);
 
 void
 BM_GemmSimulationSmall(benchmark::State &state)

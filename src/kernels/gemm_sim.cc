@@ -224,7 +224,9 @@ GemmSimulation::teplIssueProc(u32 c)
         // issue is speculative and out-of-order, so the issuing core
         // does not stall.
         Signal *sig = pc.invoked[t].get();
-        q_.schedule(params_.coreToDecaStore, [sig] { sig->set(); });
+        q_.schedule(
+            params_.coreToDecaStore,
+            [](void *s, u64) { static_cast<Signal *>(s)->set(); }, sig);
     }
 }
 

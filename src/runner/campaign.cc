@@ -47,6 +47,23 @@ parseCommonFlag(const std::string &arg, RunOptions &opts)
             parseCount("--jobs", arg.substr(std::strlen("--jobs=")));
         return true;
     }
+    if (arg.rfind("--pool-cap=", 0) == 0) {
+        // Unlike --threads/--jobs, 0 is not a "pick for me" alias
+        // here: RunOptions::poolCap == 0 means "flag absent, leave
+        // the pool uncapped", so an explicit 0 is rejected — same
+        // contract as the DECA_POOL_CAP environment variable.
+        const std::string v = arg.substr(std::strlen("--pool-cap="));
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+        if (v.empty() || v[0] == '-' || end == v.c_str() ||
+            *end != '\0' || errno == ERANGE || n < 1 ||
+            n > ThreadPool::kMaxWorkers)
+            DECA_FATAL("bad --pool-cap value: ", v, " (expected 1..",
+                       ThreadPool::kMaxWorkers, ")");
+        opts.poolCap = static_cast<u32>(n);
+        return true;
+    }
     if (arg.rfind("--format=", 0) == 0) {
         const std::string v = arg.substr(std::strlen("--format="));
         const auto f = parseOutputFormat(v);
@@ -66,6 +83,8 @@ parseCommonFlag(const std::string &arg, RunOptions &opts)
 ScenarioResult
 runScenario(const Scenario &s, const RunOptions &opts)
 {
+    if (opts.poolCap != 0)
+        globalPool(0).setMaxWorkers(opts.poolCap);
     ResultBuilder builder(s.name, s.description);
     ScenarioContext ctx;
     ctx.threads = opts.threads;
@@ -192,6 +211,8 @@ runScenarios(const std::vector<const Scenario *> &todo,
     // let them all steal scenario tasks, ignoring the --jobs bound.
     const u32 window = static_cast<u32>(
         std::min<std::size_t>(opts.jobs, todo.size()));
+    if (opts.poolCap != 0)
+        globalPool(0).setMaxWorkers(opts.poolCap);
     ThreadPool &pool = globalPool(std::max(window, 2u));
     std::vector<std::future<ScenarioResult>> futs(todo.size());
     std::size_t next = 0;

@@ -28,6 +28,9 @@ struct RunOptions
     u32 threads = 1;
     /** Concurrently executing scenarios; 1 = one at a time. */
     u32 jobs = 1;
+    /** Cap on the process-wide pool's worker count; 0 = uncapped
+     *  (also settable via the DECA_POOL_CAP environment variable). */
+    u32 poolCap = 0;
     /** How results are rendered. */
     OutputFormat format = OutputFormat::Table;
     /** Draw sweep progress on stderr. */
@@ -36,8 +39,8 @@ struct RunOptions
 
 /**
  * Parse one flag shared by decasim and the standalone binaries
- * (--threads=N, --jobs=N, --format=..., --progress) into opts; false
- * when the argument is not a common flag.
+ * (--threads=N, --jobs=N, --pool-cap=N, --format=..., --progress)
+ * into opts; false when the argument is not a common flag.
  */
 bool parseCommonFlag(const std::string &arg, RunOptions &opts);
 

@@ -41,6 +41,9 @@ usage(int code)
         "  --format=F    table | csv | json (default table); json is\n"
         "                a lossless manifest of every scenario's\n"
         "                prose, tables, status, and timing\n"
+        "  --pool-cap=N  cap the process-wide worker pool at N\n"
+        "                threads (env: DECA_POOL_CAP; idle workers\n"
+        "                reap after DECA_POOL_IDLE_MS of quiescence)\n"
         "  --progress    draw sweep progress on stderr\n";
     return code;
 }

@@ -1,8 +1,20 @@
 #include "runner/thread_pool.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
 #include "common/logging.h"
 
 namespace deca::runner {
+
+namespace {
+
+/** Ceiling on DECA_POOL_IDLE_MS: one week of quiescence, far above
+ *  any sane setting and far below chrono/long-long overflow. */
+constexpr unsigned long kMaxIdleReapMs = 7ul * 24 * 3600 * 1000;
+
+} // namespace
 
 ThreadPool::ThreadPool(u32 num_threads)
 {
@@ -27,6 +39,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::grow(u32 target)
 {
+    target = std::min(target, max_workers_.load());
     if (target > kMaxWorkers)
         target = kMaxWorkers;
     if (numWorkers() >= target)
@@ -34,13 +47,66 @@ ThreadPool::grow(u32 target)
     std::lock_guard<std::mutex> lk(growMutex_);
     while (num_workers_.load() < target) {
         const u32 id = num_workers_.load();
-        workers_.push_back(std::make_unique<Worker>());
-        threads_.emplace_back([this, id] { workerLoop(id); });
+        if (id < workers_.size()) {
+            // Re-arm a slot whose worker retired: its deque is empty
+            // and its old thread has returned; reap it before
+            // spawning the replacement.
+            threads_[id].join();
+            threads_[id] = std::thread([this, id] { workerLoop(id); });
+        } else {
+            workers_.push_back(std::make_unique<Worker>());
+            threads_.emplace_back([this, id] { workerLoop(id); });
+        }
         // Publish only after the slot is fully constructed, so
         // concurrent readers of num_workers_ never index a
         // half-initialized worker.
         num_workers_.store(id + 1);
     }
+}
+
+void
+ThreadPool::setMaxWorkers(u32 cap)
+{
+    if (cap < 1)
+        cap = 1;
+    if (cap > kMaxWorkers)
+        cap = kMaxWorkers;
+    max_workers_.store(cap);
+}
+
+void
+ThreadPool::setIdleReap(std::chrono::milliseconds quiescence)
+{
+    {
+        // Publish under sleepMutex_ so sleeping workers re-read the
+        // setting when notified instead of staying in an indefinite
+        // wait.
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        idle_reap_ms_.store(quiescence.count());
+    }
+    wakeup_.notify_all();
+}
+
+bool
+ThreadPool::tryRetire(u32 id)
+{
+    std::lock_guard<std::mutex> g(growMutex_);
+    if (stop_.load())
+        return false;  // shutdown joins every thread; exit via stop
+    const u32 n = num_workers_.load();
+    // Retire top-down so live slots stay contiguous, and never the
+    // last worker (submit() must keep finding a live pool).
+    if (n <= 1 || id != n - 1)
+        return false;
+    Worker &w = *workers_[id];
+    std::lock_guard<std::mutex> lk(w.mutex);
+    if (!w.tasks.empty())
+        return false;
+    // Holding w.mutex here makes the shrink atomic against enqueue():
+    // a concurrent enqueue either pushed before this lock (seen
+    // above) or re-checks num_workers_ under the lock and re-routes.
+    num_workers_.store(n - 1);
+    return true;
 }
 
 u32
@@ -53,12 +119,15 @@ ThreadPool::hardwareThreads()
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
-    const u32 n = numWorkers();
-    DECA_ASSERT(n > 0, "enqueue on an empty pool");
-    const u64 slot = nextWorker_.fetch_add(1) % n;
-    {
+    for (;;) {
+        const u32 n = numWorkers();
+        DECA_ASSERT(n > 0, "enqueue on an empty pool");
+        const u64 slot = nextWorker_.fetch_add(1) % n;
         std::lock_guard<std::mutex> lk(workers_[slot]->mutex);
+        if (slot >= numWorkers())
+            continue;  // the worker retired under us; re-route
         workers_[slot]->tasks.push_back(std::move(task));
+        break;
     }
     {
         // Publish under sleepMutex_ so a worker between evaluating the
@@ -133,9 +202,29 @@ ThreadPool::workerLoop(u32 id)
         std::unique_lock<std::mutex> lk(sleepMutex_);
         if (stop_.load())
             return;  // no work left anywhere and shutting down
-        wakeup_.wait(lk, [this] {
-            return stop_.load() || queued_.load() > 0;
-        });
+        if (queued_.load() > 0)
+            continue;  // raced with an enqueue; rescan the deques
+        const long long reap_ms = idle_reap_ms_.load();
+        if (reap_ms <= 0) {
+            // Indefinite sleep, but wake when reaping gets enabled so
+            // the quiescence clock starts.
+            wakeup_.wait(lk, [this] {
+                return stop_.load() || queued_.load() > 0 ||
+                       idle_reap_ms_.load() > 0;
+            });
+            continue;
+        }
+        const bool signaled =
+            wakeup_.wait_for(lk, std::chrono::milliseconds(reap_ms),
+                             [this] {
+                                 return stop_.load() ||
+                                        queued_.load() > 0;
+                             });
+        if (signaled)
+            continue;
+        lk.unlock();
+        if (tryRetire(id))
+            return;
     }
 }
 
@@ -143,6 +232,35 @@ ThreadPool &
 globalPool(u32 min_workers)
 {
     static ThreadPool pool(0);
+    static std::once_flag env_once;
+    std::call_once(env_once, [] {
+        if (const char *cap = std::getenv("DECA_POOL_CAP")) {
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long v = std::strtoul(cap, &end, 10);
+            if (end != cap && *end == '\0' && v >= 1 &&
+                v <= ThreadPool::kMaxWorkers)
+                pool.setMaxWorkers(static_cast<u32>(v));
+            else
+                DECA_FATAL("bad DECA_POOL_CAP value: ", cap,
+                           " (expected 1..", ThreadPool::kMaxWorkers,
+                           ")");
+        }
+        if (const char *idle = std::getenv("DECA_POOL_IDLE_MS")) {
+            // Guard ERANGE explicitly: an overflowing value would
+            // otherwise wrap to a negative quiescence and silently
+            // disable reaping instead of failing fast.
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long v = std::strtoul(idle, &end, 10);
+            if (end != idle && *end == '\0' && errno == 0 &&
+                v <= kMaxIdleReapMs)
+                pool.setIdleReap(std::chrono::milliseconds(v));
+            else
+                DECA_FATAL("bad DECA_POOL_IDLE_MS value: ", idle,
+                           " (expected 0..", kMaxIdleReapMs, ")");
+        }
+    });
     pool.grow(min_workers);
     return pool;
 }

@@ -9,15 +9,22 @@
  * stealing kicks in. Results and exceptions travel through
  * std::future, so a throwing task never takes down a worker.
  *
- * The pool can grow after construction (up to kMaxWorkers), which is
- * what the process-wide instance returned by globalPool() relies on:
- * every sweep and every concurrent scenario shares that one pool
- * instead of spawning its own, and the first caller that needs more
- * workers grows it in place. Tasks that block on futures of other
- * tasks in the same pool must wait with helpWait(), which drains
- * pending work instead of idling — that is what lets whole scenarios
- * run as pool tasks while their inner sweeps fan out on the same
- * workers without deadlock.
+ * The pool can grow after construction (up to kMaxWorkers, or a lower
+ * setMaxWorkers() cap), which is what the process-wide instance
+ * returned by globalPool() relies on: every sweep and every concurrent
+ * scenario shares that one pool instead of spawning its own, and the
+ * first caller that needs more workers grows it in place. Tasks that
+ * block on futures of other tasks in the same pool must wait with
+ * helpWait(), which drains pending work instead of idling — that is
+ * what lets whole scenarios run as pool tasks while their inner sweeps
+ * fan out on the same workers without deadlock.
+ *
+ * With setIdleReap() enabled, a worker that stays idle for the
+ * configured quiescence retires (highest-index worker first, never the
+ * last one), so a long-lived process shrinks back to one thread after
+ * a burst; grow() re-arms retired slots on demand. For the global
+ * pool both knobs come from the environment (DECA_POOL_CAP,
+ * DECA_POOL_IDLE_MS) or the decasim --pool-cap flag.
  */
 
 #ifndef DECA_RUNNER_THREAD_POOL_H
@@ -66,9 +73,25 @@ class ThreadPool
 
     /**
      * Ensure the pool has at least `target` workers (capped at
-     * kMaxWorkers). Thread-safe; never shrinks.
+     * kMaxWorkers and any setMaxWorkers() cap). Thread-safe; never
+     * shrinks directly (idle reaping does).
      */
     void grow(u32 target);
+
+    /**
+     * Cap future growth at `cap` workers (clamped to [1, kMaxWorkers]).
+     * Does not evict running workers; with idle reaping enabled an
+     * over-cap pool drains back as workers go quiescent.
+     */
+    void setMaxWorkers(u32 cap);
+    u32 maxWorkers() const { return max_workers_.load(); }
+
+    /**
+     * Retire workers that stay idle for `quiescence` (0 disables, the
+     * default). The pool never reaps below one worker, and grow()
+     * re-arms retired slots, so a shrunken pool stays fully usable.
+     */
+    void setIdleReap(std::chrono::milliseconds quiescence);
 
     /**
      * Schedule a callable; the returned future carries its result or
@@ -132,11 +155,17 @@ class ThreadPool
     void enqueue(std::function<void()> task);
     void workerLoop(u32 id);
     bool findTask(u32 id, std::function<void()> &task);
+    /** Attempt to retire worker `id` (must be the top live worker with
+     *  an empty deque). Returns true when the caller should exit. */
+    bool tryRetire(u32 id);
 
     /** Fixed-capacity worker slots; only [0, num_workers_) are live. */
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
     std::atomic<u32> num_workers_{0};
+    std::atomic<u32> max_workers_{kMaxWorkers};
+    /** Idle quiescence before a worker retires, in ms; <= 0 disables. */
+    std::atomic<long long> idle_reap_ms_{0};
     std::mutex growMutex_;
     std::atomic<u64> nextWorker_{0};
     std::atomic<u64> queued_{0};

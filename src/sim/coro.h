@@ -56,7 +56,7 @@ class Delay
     void
     await_suspend(std::coroutine_handle<> h)
     {
-        q_.schedule(dt_, [h] { h.resume(); });
+        q_.scheduleResume(dt_, h);
     }
 
     void await_resume() const noexcept {}
@@ -85,7 +85,7 @@ class Signal
             return;
         set_ = true;
         for (auto h : waiters_)
-            q_.schedule(0, [h] { h.resume(); });
+            q_.scheduleResume(0, h);
         waiters_.clear();
     }
 
@@ -164,7 +164,7 @@ class Semaphore
             auto h = waiters_.front();
             waiters_.pop_front();
             // The released token passes directly to the first waiter.
-            q_.schedule(0, [h] { h.resume(); });
+            q_.scheduleResume(0, h);
         } else {
             ++count_;
         }
@@ -241,7 +241,7 @@ class ByteFlow
             consumed_ += need_;
             auto h = waiter_;
             waiter_ = nullptr;
-            q_.schedule(0, [h] { h.resume(); });
+            q_.scheduleResume(0, h);
         }
     }
 

@@ -1,14 +1,202 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/logging.h"
 
 namespace deca::sim {
+
+EventQueue::EventQueue()
+    : slot_head_(kWheelSlots, kNil), slot_tail_(kWheelSlots, kNil),
+      occ_(kOccWords, 0)
+{}
 
 void
 EventQueue::scheduleAt(Cycles when, Callback cb)
 {
     DECA_ASSERT(when >= now_, "cannot schedule into the past");
-    events_.push(Event{when, seq_++, std::move(cb)});
+    push(makeHeavy(when, std::move(cb)));
+}
+
+void
+EventQueue::scheduleAt(Cycles when, Fn fn, void *ctx, u32 arg)
+{
+    DECA_ASSERT(when >= now_, "cannot schedule into the past");
+    Event ev;
+    ev.when = when;
+    ev.seq = seq_++;
+    ev.kind = Kind::Fn;
+    ev.u.f.fn = fn;
+    ev.u.f.ctx = ctx;
+    ev.arg = arg;
+    push(ev);
+}
+
+EventQueue::Event
+EventQueue::makeHeavy(Cycles when, Callback cb)
+{
+    Callback *slot;
+    if (!heavy_free_.empty()) {
+        slot = heavy_free_.back();
+        heavy_free_.pop_back();
+    } else {
+        heavy_slab_.emplace_back();
+        slot = &heavy_slab_.back();
+    }
+    *slot = std::move(cb);
+    Event ev;
+    ev.when = when;
+    ev.seq = seq_++;
+    ev.kind = Kind::Heavy;
+    ev.u.cb = slot;
+    ev.arg = 0;
+    return ev;
+}
+
+void
+EventQueue::push(const Event &ev)
+{
+    ++size_;
+    if (ev.when - now_ < kWheelSlots)
+        wheelInsert(ev);
+    else
+        heapPush(ev);
+}
+
+void
+EventQueue::wheelInsert(const Event &ev)
+{
+    const u32 s = static_cast<u32>(ev.when) & kWheelMask;
+    u32 idx;
+    if (free_node_ != kNil) {
+        idx = free_node_;
+        free_node_ = nodes_[idx].next;
+    } else {
+        idx = static_cast<u32>(nodes_.size());
+        nodes_.emplace_back();
+    }
+    nodes_[idx].ev = ev;
+    nodes_[idx].next = kNil;
+    if (slot_head_[s] == kNil) {
+        slot_head_[s] = idx;
+        occ_[s >> 6] |= u64{1} << (s & 63);
+    } else {
+        nodes_[slot_tail_[s]].next = idx;
+    }
+    slot_tail_[s] = idx;
+}
+
+EventQueue::Event
+EventQueue::wheelPopFront(u32 slot)
+{
+    const u32 idx = slot_head_[slot];
+    Node &n = nodes_[idx];
+    const Event ev = n.ev;
+    slot_head_[slot] = n.next;
+    if (n.next == kNil) {
+        slot_tail_[slot] = kNil;
+        occ_[slot >> 6] &= ~(u64{1} << (slot & 63));
+    }
+    n.next = free_node_;
+    free_node_ = idx;
+    return ev;
+}
+
+bool
+EventQueue::nextWheelCycle(Cycles &out) const
+{
+    // Scan the occupancy bitmap circularly from the slot after now_'s;
+    // the first set bit is the next populated cycle because slot order
+    // from now_ is cycle order within the window.
+    const u32 s = static_cast<u32>(now_) & kWheelMask;
+    const u32 start = (s + 1) & kWheelMask;
+    u32 wi = start >> 6;
+    u64 w = occ_[wi] & (~u64{0} << (start & 63));
+    for (u32 step = 0; step <= kOccWords; ++step) {
+        if (w != 0) {
+            const u32 b = (wi << 6) +
+                          static_cast<u32>(std::countr_zero(w));
+            const u32 dist = (b - s) & kWheelMask;
+            if (dist == 0)
+                return false;  // only wrap hit: slot s itself is empty
+            out = now_ + dist;
+            return true;
+        }
+        wi = (wi + 1) & (kOccWords - 1);
+        w = occ_[wi];
+    }
+    return false;
+}
+
+void
+EventQueue::heapPush(const Event &ev)
+{
+    // Hole-based sift-up in the 4-ary heap: move parents down until
+    // ev's slot is found, one copy per level instead of a swap.
+    size_t i = heap_.size();
+    heap_.push_back(ev);
+    while (i != 0) {
+        const size_t p = (i - 1) >> 2;
+        if (!firesBefore(ev, heap_[p]))
+            break;
+        heap_[i] = heap_[p];
+        i = p;
+    }
+    heap_[i] = ev;
+}
+
+EventQueue::Event
+EventQueue::heapPop()
+{
+    const Event top = heap_[0];
+    const Event last = heap_.back();
+    heap_.pop_back();
+    const size_t n = heap_.size();
+    if (n != 0) {
+        // Sift the displaced last element down through the smallest
+        // child of each 4-child block.
+        size_t i = 0;
+        for (;;) {
+            const size_t c0 = 4 * i + 1;
+            if (c0 >= n)
+                break;
+            size_t m = c0;
+            const size_t end = std::min(c0 + 4, n);
+            for (size_t c = c0 + 1; c < end; ++c) {
+                if (firesBefore(heap_[c], heap_[m]))
+                    m = c;
+            }
+            if (!firesBefore(heap_[m], last))
+                break;
+            heap_[i] = heap_[m];
+            i = m;
+        }
+        heap_[i] = last;
+    }
+    return top;
+}
+
+void
+EventQueue::fire(Event &ev)
+{
+    switch (ev.kind) {
+      case Kind::Resume:
+        std::coroutine_handle<>::from_address(ev.u.h).resume();
+        break;
+      case Kind::Fn:
+        ev.u.f.fn(ev.u.f.ctx, ev.arg);
+        break;
+      case Kind::Heavy: {
+        Callback *cb = ev.u.cb;
+        (*cb)();
+        // Drop the captured state now (it may pin shared_ptrs), then
+        // recycle the slab slot.
+        *cb = nullptr;
+        heavy_free_.push_back(cb);
+        break;
+      }
+    }
 }
 
 Cycles
@@ -20,14 +208,39 @@ EventQueue::run()
 Cycles
 EventQueue::runUntil(Cycles limit)
 {
-    while (!events_.empty() && events_.top().when <= limit) {
-        // Move the callback out before popping so the event may schedule
-        // new events (including at the current cycle).
-        Event ev = std::move(const_cast<Event &>(events_.top()));
-        events_.pop();
-        now_ = ev.when;
-        ++executed_;
-        ev.cb();
+    for (;;) {
+        // Keep the tier invariant: every event within the window sits
+        // in the wheel. Far events migrate here the moment the clock
+        // gets within kWheelSlots of them — before any younger event
+        // can be scheduled into their cycle, so slot FIFO order stays
+        // seq order.
+        while (!heap_.empty() && heap_[0].when - now_ < kWheelSlots)
+            wheelInsert(heapPop());
+
+        const u32 s = static_cast<u32>(now_) & kWheelMask;
+        if (slot_head_[s] != kNil) {
+            if (now_ > limit)
+                break;
+            Event ev = wheelPopFront(s);
+            --size_;
+            ++executed_;
+            fire(ev);
+            continue;
+        }
+        Cycles next;
+        if (nextWheelCycle(next)) {
+            if (next > limit)
+                break;
+            now_ = next;
+            continue;
+        }
+        if (!heap_.empty()) {
+            if (heap_[0].when > limit)
+                break;
+            now_ = heap_[0].when;  // migrated by the drain above
+            continue;
+        }
+        break;
     }
     return now_;
 }

@@ -5,13 +5,32 @@
  * All simulated agents (cores, DECA PEs, loaders, the memory channel)
  * share one EventQueue and one global cycle clock. Events scheduled for
  * the same cycle fire in insertion order, which keeps runs deterministic.
+ *
+ * The queue is two-tiered for speed. Near events — everything due
+ * within the next kWheelSlots cycles, which covers same-cycle coroutine
+ * resumes (Signal::set, Semaphore::release, ByteFlow) as well as every
+ * pipeline/memory latency in the model — live in a timing wheel: one
+ * FIFO list per cycle, so both insert and pop are O(1) and same-`when`
+ * order is append order by construction. Only far-future events pay
+ * for a 4-ary binary-compare min-heap, and they migrate into the wheel
+ * as the clock approaches. Both tiers hold the same 40-byte POD node:
+ * a tagged union of a bare coroutine handle (scheduleResume), a
+ * function pointer + context word (schedule(fn, ctx)), or a pointer to
+ * a slab-recycled std::function for the legacy callback API.
+ * Steady-state scheduling therefore allocates nothing.
+ *
+ * The determinism contract is exact: events fire ordered by
+ * (when, insertion seq), bit-identical to the historical single
+ * priority_queue<std::function> implementation, regardless of which
+ * tier or representation each event used.
  */
 
 #ifndef DECA_SIM_EVENT_QUEUE_H
 #define DECA_SIM_EVENT_QUEUE_H
 
+#include <coroutine>
+#include <deque>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
@@ -23,6 +42,12 @@ class EventQueue
 {
   public:
     using Callback = std::function<void()>;
+    /** Light event signature: context word plus a small payload (the
+     *  payload is stored as 32 bits in the event node; line sizes and
+     *  flags fit easily). */
+    using Fn = void (*)(void *ctx, u64 arg);
+
+    EventQueue();
 
     /** Current simulated cycle. */
     Cycles now() const { return now_; }
@@ -32,11 +57,43 @@ class EventQueue
     void
     schedule(Cycles delta, Callback cb)
     {
-        events_.push(Event{now_ + delta, seq_++, std::move(cb)});
+        push(makeHeavy(now_ + delta, std::move(cb)));
     }
 
     /** Schedule at an absolute cycle (must not be in the past). */
     void scheduleAt(Cycles when, Callback cb);
+
+    /** Allocation-free form: `fn(ctx, arg)` fires after `delta`. */
+    void
+    schedule(Cycles delta, Fn fn, void *ctx, u32 arg = 0)
+    {
+        Event ev;
+        ev.when = now_ + delta;
+        ev.seq = seq_++;
+        ev.kind = Kind::Fn;
+        ev.u.f.fn = fn;
+        ev.u.f.ctx = ctx;
+        ev.arg = arg;
+        push(ev);
+    }
+
+    /** Allocation-free absolute form (must not be in the past). */
+    void scheduleAt(Cycles when, Fn fn, void *ctx, u32 arg = 0);
+
+    /** Fast path for coroutine wakeups: resume `h` after `delta`
+     *  cycles. This is what every awaitable in coro.h uses, so waking
+     *  a waiter allocates nothing. */
+    void
+    scheduleResume(Cycles delta, std::coroutine_handle<> h)
+    {
+        Event ev;
+        ev.when = now_ + delta;
+        ev.seq = seq_++;
+        ev.kind = Kind::Resume;
+        ev.u.h = h.address();
+        ev.arg = 0;
+        push(ev);
+    }
 
     /** Run until the queue is empty. Returns the final cycle. */
     Cycles run();
@@ -44,27 +101,99 @@ class EventQueue
     /** Run until the queue empties or `limit` cycles elapse. */
     Cycles runUntil(Cycles limit);
 
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return size_ == 0; }
     u64 eventsExecuted() const { return executed_; }
 
   private:
+    /** Wheel span in cycles; every delta below this is O(1). Must be a
+     *  power of two. 4096 comfortably covers the model's on-chip and
+     *  DRAM latencies plus controller-queue backlogs. */
+    static constexpr u32 kWheelSlots = 4096;
+    static constexpr u32 kWheelMask = kWheelSlots - 1;
+    static constexpr u32 kOccWords = kWheelSlots / 64;
+    static constexpr u32 kNil = ~u32{0};
+
+    enum class Kind : u8
+    {
+        Resume,  ///< bare coroutine handle
+        Fn,      ///< function pointer + context + payload
+        Heavy,   ///< slab-recycled std::function (legacy API)
+    };
+
+    /** 40-byte POD node held by value in both tiers. */
     struct Event
     {
         Cycles when;
         u64 seq;
-        Callback cb;
-
-        bool
-        operator>(const Event &o) const
+        union U
         {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+            void *h;  ///< coroutine handle address (Kind::Resume)
+            struct
+            {
+                Fn fn;
+                void *ctx;
+            } f;          ///< Kind::Fn
+            Callback *cb; ///< Kind::Heavy, owned by the slab pool
+        } u;
+        u32 arg;
+        Kind kind;
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    /** Wheel-slot list node (pool index linkage). */
+    struct Node
+    {
+        Event ev;
+        u32 next;
+    };
+
+    /** Global firing order; inlined into every heap sift. */
+    static bool
+    firesBefore(const Event &a, const Event &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+
+    Event makeHeavy(Cycles when, Callback cb);
+    void push(const Event &ev);
+    void fire(Event &ev);
+
+    void wheelInsert(const Event &ev);
+    Event wheelPopFront(u32 slot);
+    /** Smallest populated cycle strictly after now_ within the wheel
+     *  window; false when the wheel is empty ahead of now_. */
+    bool nextWheelCycle(Cycles &out) const;
+
+    void heapPush(const Event &ev);
+    Event heapPop();
+
+    /**
+     * Near tier: slot s holds, FIFO, the events for the unique cycle
+     * in [now_, now_ + kWheelSlots) congruent to s. Append order is
+     * seq order: far-future events migrate out of the heap the moment
+     * their cycle enters the window, always before any younger event
+     * is scheduled directly into it.
+     */
+    std::vector<u32> slot_head_;
+    std::vector<u32> slot_tail_;
+    /** One bit per non-empty slot, for next-cycle scans. */
+    std::vector<u64> occ_;
+    /** Node pool + free list backing the slot lists. */
+    std::vector<Node> nodes_;
+    u32 free_node_ = kNil;
+
+    /** Far tier: 4-ary min-heap on (when, seq) for events at least
+     *  kWheelSlots cycles out. */
+    std::vector<Event> heap_;
+
+    /** Slab storage + free list recycling the std::function nodes of
+     *  the legacy callback API (stable addresses; never shrinks). */
+    std::deque<Callback> heavy_slab_;
+    std::vector<Callback *> heavy_free_;
+
     Cycles now_ = 0;
     u64 seq_ = 0;
     u64 executed_ = 0;
+    u64 size_ = 0;
 };
 
 } // namespace deca::sim

@@ -39,6 +39,24 @@ FetchStream::windowBytes() const
 }
 
 void
+FetchStream::lineFromMem(void *self, u64 bytes)
+{
+    // Deliver after the on-chip portion of the path.
+    auto *s = static_cast<FetchStream *>(self);
+    s->q_.schedule(s->cfg_.onChipLatency, &FetchStream::deliverLine,
+                   self, static_cast<u32>(bytes));
+}
+
+void
+FetchStream::deliverLine(void *self, u64 bytes)
+{
+    auto *s = static_cast<FetchStream *>(self);
+    --s->in_flight_;
+    s->flow_.produce(bytes);
+    s->kick();
+}
+
+void
 FetchStream::kick()
 {
     // An inline on_accept fires while the issue loop below is still
@@ -48,6 +66,35 @@ FetchStream::kick()
     in_kick_ = true;
     const u64 limit =
         std::min(total_bytes_, demand_bytes_ + windowBytes());
+
+    if (!cfg_.boundedAcceptance) {
+        // Fast path: coalesce every line the window and MSHR budget
+        // allow into one batched readLines() call. The batch holds one
+        // MSHR slot per line and each line keeps the exact service and
+        // delivery timing of an individual read() (the memory system
+        // decomposes it in the same address order).
+        while (issued_bytes_ < limit && in_flight_ < cfg_.mshrs) {
+            u64 lines = (limit - issued_bytes_ + kCacheLineBytes - 1) /
+                        kCacheLineBytes;
+            lines = std::min<u64>(lines, cfg_.mshrs - in_flight_);
+            if (cfg_.maxBatchLines != 0)
+                lines = std::min<u64>(lines, cfg_.maxBatchLines);
+            const u64 batch =
+                std::min(lines * kCacheLineBytes,
+                         total_bytes_ - issued_bytes_);
+            const u64 addr = base_addr_ + issued_bytes_;
+            const u32 n_lines = static_cast<u32>(
+                (batch + kCacheLineBytes - 1) / kCacheLineBytes);
+            issued_bytes_ += batch;
+            in_flight_ += n_lines;
+            peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+            mem_.readLines(id_, addr, batch, &FetchStream::lineFromMem,
+                           this);
+        }
+        in_kick_ = false;
+        return;
+    }
+
     while (issued_bytes_ < limit && in_flight_ < cfg_.mshrs &&
            !await_accept_) {
         const u64 line = std::min<u64>(kCacheLineBytes,
@@ -55,32 +102,32 @@ FetchStream::kick()
         const u64 addr = base_addr_ + issued_bytes_;
         issued_bytes_ += line;
         ++in_flight_;
+        peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
         auto alive = alive_;
-        auto on_done = [this, alive, line] {
-            if (!*alive)
-                return;
-            // Deliver after the on-chip portion of the path.
-            q_.schedule(cfg_.onChipLatency, [this, alive, line] {
-                if (!*alive)
-                    return;
-                --in_flight_;
-                flow_.produce(line);
-                kick();
-            });
-        };
-        if (cfg_.boundedAcceptance) {
-            await_accept_ = true;
-            mem_.read(id_, addr, line,
-                      /*on_accept=*/[this, alive] {
-                          if (!*alive)
-                              return;
-                          await_accept_ = false;
-                          kick();
-                      },
-                      std::move(on_done));
-        } else {
-            mem_.read(id_, addr, line, std::move(on_done));
-        }
+        await_accept_ = true;
+        mem_.read(id_, addr, line,
+                  /*on_accept=*/[this, alive] {
+                      if (!*alive)
+                          return;
+                      await_accept_ = false;
+                      kick();
+                  },
+                  /*on_done=*/[this, alive, line] {
+                      if (!*alive)
+                          return;
+                      // Deliver after the on-chip portion of the path.
+                      // Unlike the batched fast path, re-check alive_
+                      // at delivery: this is the leg the guard
+                      // documented in the header covers.
+                      q_.schedule(cfg_.onChipLatency,
+                                  [this, alive, line] {
+                                      if (!*alive)
+                                          return;
+                                      --in_flight_;
+                                      flow_.produce(line);
+                                      kick();
+                                  });
+                  });
     }
     in_kick_ = false;
 }

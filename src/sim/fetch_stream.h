@@ -14,6 +14,15 @@
  *  - window = mshrs            : DECA's own prefetcher, which adapts its
  *    aggressiveness to keep L2 MSHR occupancy high (Fig. 17
  *    "+DECA prefetcher", Sec. 6.1).
+ *
+ * On the default (always-accept) path, each kick coalesces every line
+ * the window and MSHR budget allow into one batched
+ * MemorySystem::readLines() call; the batch consumes one MSHR slot per
+ * line and each line completes with exactly the timing it would have
+ * had as an individual read. All completions ride function-pointer
+ * trampolines, so steady-state streaming allocates nothing. A stream
+ * must outlive the simulation run that drains its events (every
+ * current owner runs the queue dry before destruction).
  */
 
 #ifndef DECA_SIM_FETCH_STREAM_H
@@ -44,6 +53,11 @@ struct FetchStreamConfig
     u32 mshrs = 48;
     /** On-chip latency added to every delivered line (L2 + LLC path). */
     Cycles onChipLatency = 85;
+    /** Cap on lines coalesced into one batched readLines() call; 0 =
+     *  unlimited (whole window). 1 forces per-line issue — the timing
+     *  is identical either way (pinned by tests), so this is a
+     *  verification knob, not a tuning knob. */
+    u32 maxBatchLines = 0;
     /** Issue through the memory system's bounded-acceptance path: the
      *  stream stops issuing while the controller refuses ownership
      *  (full queue + full waiting list), like a core stalled on a full
@@ -87,10 +101,18 @@ class FetchStream
     /** Requester id this stream registered with the memory system. */
     u32 requesterId() const { return id_; }
 
+    /** High-water mark of outstanding line fetches (MSHR occupancy). */
+    u32 peakInFlight() const { return peak_in_flight_; }
+
   private:
     /** Issue any lines allowed by the current demand/window, within the
      *  MSHR budget. */
     void kick();
+
+    /** Per-line completion from the memory system (fn trampoline). */
+    static void lineFromMem(void *self, u64 bytes);
+    /** Fires after the on-chip portion of the delivery path. */
+    static void deliverLine(void *self, u64 bytes);
 
     /** Lookahead in bytes beyond current demand. */
     u64 windowBytes() const;
@@ -108,14 +130,16 @@ class FetchStream
     u64 demand_bytes_ = 0;   ///< bytes the consumer has asked for
     u64 issued_bytes_ = 0;   ///< bytes sent to the memory system
     u32 in_flight_ = 0;      ///< line fetches outstanding (<= mshrs)
+    u32 peak_in_flight_ = 0;
     /** A bounded-acceptance issue is awaiting controller ownership;
      *  no further lines are issued until it is accepted. */
     bool await_accept_ = false;
     /** Guards kick() against reentry from an inline on_accept. */
     bool in_kick_ = false;
     ByteFlow flow_;
-    /** Guards against kick() reentry from completion callbacks after
-     *  destruction; FetchStream must outlive the simulation run. */
+    /** Guards the bounded-acceptance lambdas against firing after
+     *  destruction (the batched fast path instead relies on the
+     *  outlive-the-run contract documented above). */
     std::shared_ptr<bool> alive_;
 };
 

@@ -15,7 +15,6 @@ MemorySystem::MemorySystem(EventQueue &q, const MemSystemConfig &cfg)
 {
     DECA_ASSERT(cfg.bytesPerCycle > 0.0, "bandwidth must be positive");
     DECA_ASSERT(cfg.channels >= 1, "need at least one channel");
-    requester_outstanding_.resize(8, 0);
 }
 
 MemorySystem::MemorySystem(EventQueue &q, double bytes_per_cycle,
@@ -26,7 +25,13 @@ MemorySystem::MemorySystem(EventQueue &q, double bytes_per_cycle,
 u32
 MemorySystem::newRequesterId()
 {
-    return next_requester_++;
+    const u32 id = next_requester_++;
+    // The tracking table follows registration, so its size always
+    // matches the real requester population (plus the legacy id 0,
+    // grown on demand) instead of a guessed constant.
+    if (id >= requester_outstanding_.size())
+        requester_outstanding_.resize(id + 1, 0);
+    return id;
 }
 
 void
@@ -59,24 +64,81 @@ MemorySystem::channelOf(u64 addr) const
     return static_cast<u32>(line % cfg_.channels);
 }
 
-void
-MemorySystem::enqueueOwned(u32 ch, Pending p)
+MemorySystem::Pending *
+MemorySystem::allocPending()
 {
-    Channel &c = channels_[ch];
+    if (pending_free_) {
+        Pending *p = pending_free_;
+        pending_free_ = p->next;
+        return p;
+    }
+    pending_slab_.emplace_back();
+    Pending *p = &pending_slab_.back();
+    p->owner = this;
+    return p;
+}
+
+void
+MemorySystem::freePending(Pending *p)
+{
+    // Release captured state promptly; the node may sit on the free
+    // list a long time.
+    p->heavy = nullptr;
+    p->heavy_accept = nullptr;
+    p->next = pending_free_;
+    pending_free_ = p;
+}
+
+void
+MemorySystem::enqueueOwned(Pending *p)
+{
+    Channel &c = channels_[p->ch];
     if (cfg_.queueDepth != 0 && c.outstanding >= cfg_.queueDepth)
-        c.waiting.push_back(std::move(p));
+        c.waiting.pushBack(p);
     else
-        accept(ch, std::move(p));
+        accept(p);
+}
+
+void
+MemorySystem::issue(u32 requester, u64 addr, u64 bytes, DoneFn fn,
+                    void *ctx, std::function<void()> heavy)
+{
+    DECA_ASSERT(bytes > 0, "zero-byte read");
+    noteRequesterBusy(requester);
+    Pending *p = allocPending();
+    p->bytes = bytes;
+    p->fn = fn;
+    p->ctx = ctx;
+    p->requester = requester;
+    p->ch = channelOf(addr);
+    p->heavy = std::move(heavy);
+    enqueueOwned(p);
 }
 
 void
 MemorySystem::read(u32 requester, u64 addr, u64 bytes,
                    std::function<void()> on_done)
 {
-    DECA_ASSERT(bytes > 0, "zero-byte read");
-    noteRequesterBusy(requester);
-    enqueueOwned(channelOf(addr),
-                 Pending{requester, bytes, std::move(on_done)});
+    issue(requester, addr, bytes, nullptr, nullptr, std::move(on_done));
+}
+
+void
+MemorySystem::readLines(u32 requester, u64 addr, u64 total_bytes,
+                        DoneFn on_line, void *ctx)
+{
+    DECA_ASSERT(total_bytes > 0, "zero-byte read");
+    DECA_ASSERT(on_line, "readLines needs a completion fn");
+    // Decompose in address order: byte-identical to the same lines
+    // issued as individual read() calls (channel routing, queueing,
+    // contention sampling, and float busy-time accumulation all happen
+    // in the same per-line order).
+    u64 off = 0;
+    while (off < total_bytes) {
+        const u64 line = std::min<u64>(kCacheLineBytes,
+                                       total_bytes - off);
+        issue(requester, addr + off, line, on_line, ctx, nullptr);
+        off += line;
+    }
 }
 
 void
@@ -86,9 +148,14 @@ MemorySystem::read(u32 requester, u64 addr, u64 bytes,
 {
     DECA_ASSERT(bytes > 0, "zero-byte read");
     noteRequesterBusy(requester);
-    const u32 ch = channelOf(addr);
-    Channel &c = channels_[ch];
-    Pending p{requester, bytes, std::move(on_done)};
+    Pending *p = allocPending();
+    p->bytes = bytes;
+    p->fn = nullptr;
+    p->ctx = nullptr;
+    p->requester = requester;
+    p->ch = channelOf(addr);
+    p->heavy = std::move(on_done);
+    Channel &c = channels_[p->ch];
 
     // Refuse ownership only when both the controller queue and the
     // waiting list are at their bounds; acceptDepth == 0 keeps the
@@ -96,14 +163,15 @@ MemorySystem::read(u32 requester, u64 addr, u64 bytes,
     const bool queue_full =
         cfg_.queueDepth != 0 && c.outstanding >= cfg_.queueDepth;
     if (cfg_.acceptDepth != 0 && queue_full &&
-        c.waiting.size() >= cfg_.acceptDepth) {
-        c.stalled.push_back({std::move(p), std::move(on_accept)});
+        c.waiting.size >= cfg_.acceptDepth) {
+        p->heavy_accept = std::move(on_accept);
+        c.stalled.pushBack(p);
         return;
     }
     // Enqueue before signalling acceptance: a reentrant read() issued
     // from inside on_accept must queue behind this request, not
     // overtake it.
-    enqueueOwned(ch, std::move(p));
+    enqueueOwned(p);
     if (on_accept)
         on_accept();
 }
@@ -113,14 +181,27 @@ MemorySystem::read(u64 bytes, std::function<void()> on_done)
 {
     const u64 addr = legacy_addr_;
     legacy_addr_ += bytes;
-    read(0, addr, bytes, std::move(on_done));
+    issue(0, addr, bytes, nullptr, nullptr, std::move(on_done));
 }
 
 void
-MemorySystem::accept(u32 ch, Pending p)
+MemorySystem::readResume(u64 bytes, std::coroutine_handle<> h)
 {
-    Channel &c = channels_[ch];
+    const u64 addr = legacy_addr_;
+    legacy_addr_ += bytes;
+    issue(0, addr, bytes,
+          [](void *ctx, u64) {
+              std::coroutine_handle<>::from_address(ctx).resume();
+          },
+          h.address(), nullptr);
+}
+
+void
+MemorySystem::accept(Pending *p)
+{
+    Channel &c = channels_[p->ch];
     ++c.outstanding;
+    ++c.accepted;
 
     // Derate the service rate by the contention efficiency at the
     // current concurrent-requester occupancy. With the curve inactive
@@ -129,14 +210,14 @@ MemorySystem::accept(u32 ch, Pending p)
     const double eff = cfg_.contention.efficiency(
         static_cast<double>(active_requesters_) /
         static_cast<double>(cfg_.channels));
-    const double service = static_cast<double>(p.bytes) /
+    const double service = static_cast<double>(p->bytes) /
                            (per_channel_bytes_per_cycle_ * eff);
 
     const double now = static_cast<double>(q_.now());
     const double start = std::max(now, c.free_time);
     c.free_time = start + service;
     busy_cycles_ += service;
-    bytes_served_ += p.bytes;
+    bytes_served_ += p->bytes;
 
     const double done = c.free_time + static_cast<double>(cfg_.latency);
     Cycles when = static_cast<Cycles>(std::ceil(done));
@@ -145,12 +226,29 @@ MemorySystem::accept(u32 ch, Pending p)
     // (guards the ceil against floating-point round-down at large
     // cycle counts).
     when = std::max(when, q_.now() + 1);
-    const u32 requester = p.requester;
-    q_.scheduleAt(when,
-                  [this, ch, requester, cb = std::move(p.on_done)] {
-                      complete(ch, requester);
-                      cb();
-                  });
+    q_.scheduleAt(when, &MemorySystem::completeEvent, p);
+}
+
+void
+MemorySystem::completeEvent(void *vp, u64)
+{
+    Pending *p = static_cast<Pending *>(vp);
+    MemorySystem *m = p->owner;
+    // Channel bookkeeping (which may promote waiting/stalled requests)
+    // runs before the requester's completion action, exactly as the
+    // historical completion lambda did.
+    m->complete(p->ch, p->requester);
+    if (p->fn) {
+        const DoneFn fn = p->fn;
+        void *ctx = p->ctx;
+        const u64 bytes = p->bytes;
+        m->freePending(p);
+        fn(ctx, bytes);
+    } else {
+        const std::function<void()> cb = std::move(p->heavy);
+        m->freePending(p);
+        cb();
+    }
 }
 
 void
@@ -160,28 +258,28 @@ MemorySystem::complete(u32 ch, u32 requester)
     DECA_ASSERT(c.outstanding > 0, "channel completion underflow");
     --c.outstanding;
     noteRequesterDone(requester);
-    if (!c.waiting.empty() &&
+    if (c.waiting.head &&
         (cfg_.queueDepth == 0 || c.outstanding < cfg_.queueDepth)) {
-        Pending next = std::move(c.waiting.front());
-        c.waiting.pop_front();
-        accept(ch, std::move(next));
+        accept(c.waiting.popFront());
     }
     // Waiting-list space may have freed: promote stalled
     // bounded-acceptance requests FIFO, firing their acceptance
     // callbacks so the issuing requesters can resume. (A non-empty
     // stalled list implies queueDepth and acceptDepth are both set.)
-    while (!c.stalled.empty() &&
-           (c.waiting.size() < cfg_.acceptDepth ||
+    while (c.stalled.head &&
+           (c.waiting.size < cfg_.acceptDepth ||
             c.outstanding < cfg_.queueDepth)) {
-        Stalled next = std::move(c.stalled.front());
-        c.stalled.pop_front();
+        Pending *next = c.stalled.popFront();
         // Same ordering as read(): take ownership first so a read
         // issued from inside on_accept cannot jump ahead of the
         // promoted request (which would also push waiting past
         // acceptDepth).
-        enqueueOwned(ch, std::move(next.pending));
-        if (next.on_accept)
-            next.on_accept();
+        const std::function<void()> on_accept =
+            std::move(next->heavy_accept);
+        next->heavy_accept = nullptr;
+        enqueueOwned(next);
+        if (on_accept)
+            on_accept();
     }
 }
 

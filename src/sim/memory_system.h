@@ -12,6 +12,12 @@
  * bandwidth than many thin ones, which is what makes 16 DECA cores beat
  * 56 software cores on DDR (Fig. 14).
  *
+ * Requests live in pooled intrusive Pending nodes (a per-system slab +
+ * free list); the hot completion path is a function-pointer trampoline,
+ * so line-granularity streaming (see readLines()) allocates nothing in
+ * steady state. The std::function read() overloads remain for cold
+ * callers and tests.
+ *
  * The legacy constructor (bytes_per_cycle, latency) configures one
  * channel with an unbounded queue and no derating; that mode reproduces
  * the original single-FIFO aggregate-rate model bit-for-bit.
@@ -36,6 +42,10 @@ namespace deca::sim {
 class MemorySystem
 {
   public:
+    /** Allocation-free completion signature: `fn(ctx, bytes)` runs when
+     *  the last byte of one request (one line of a batch) arrives. */
+    using DoneFn = void (*)(void *ctx, u64 bytes);
+
     /**
      * @param q The simulation event queue.
      * @param cfg Channel count, rates, queue bound, contention curve.
@@ -50,7 +60,8 @@ class MemorySystem
 
     /**
      * Register a new requester (one sequential stream). The returned id
-     * feeds the contention model's concurrent-requester count.
+     * feeds the contention model's concurrent-requester count (and
+     * sizes the per-requester tracking table).
      */
     u32 newRequesterId();
 
@@ -81,6 +92,19 @@ class MemorySystem
               std::function<void()> on_done);
 
     /**
+     * Batched line fetch: decompose [addr, addr + total_bytes) into
+     * cache lines (the final line may be partial) and issue them in
+     * address order, each routed to its own channel, with service,
+     * queueing, and completion timing identical to the equivalent
+     * sequence of per-line read() calls. `on_line(ctx, line_bytes)`
+     * fires once per line as that line's last byte arrives. One call
+     * replaces N reads and N callback allocations: every line rides a
+     * pooled Pending node and the shared trampoline.
+     */
+    void readLines(u32 requester, u64 addr, u64 total_bytes,
+                   DoneFn on_line, void *ctx);
+
+    /**
      * Legacy form: an anonymous requester with a rolling sequential
      * address. `on_done` runs when the last byte arrives.
      */
@@ -98,7 +122,7 @@ class MemorySystem
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                m.read(bytes, [h] { h.resume(); });
+                m.readResume(bytes, h);
             }
             void await_resume() const noexcept {}
         };
@@ -107,6 +131,14 @@ class MemorySystem
 
     /** Total bytes transferred so far. */
     u64 bytesServed() const { return bytes_served_; }
+
+    /** Requests accepted into channel `ch`'s service pipeline so far
+     *  (batched lines count individually). */
+    u64
+    requestsAccepted(u32 ch) const
+    {
+        return channels_[ch].accepted;
+    }
 
     /** Busy channel-cycles accumulated so far (truncated; use
      *  busySnapshot() for windowed arithmetic). */
@@ -133,20 +165,55 @@ class MemorySystem
     u32 peakActiveRequesters() const { return peak_active_requesters_; }
 
   private:
-    /** A request accepted by read() but not yet completed. */
+    /**
+     * A request accepted by read()/readLines() but not yet completed:
+     * a pooled intrusive node. The completion action is either the
+     * {fn, ctx} pair (hot path) or, when fn is null, the `heavy`
+     * std::function (legacy API). `heavy_accept` is only populated
+     * while the node sits on a channel's stalled list.
+     */
     struct Pending
     {
-        u32 requester;
+        MemorySystem *owner;
+        Pending *next;  ///< waiting/stalled/free-list linkage
         u64 bytes;
-        std::function<void()> on_done;
+        DoneFn fn;
+        void *ctx;
+        u32 requester;
+        u32 ch;
+        std::function<void()> heavy;
+        std::function<void()> heavy_accept;
     };
 
-    /** A bounded-acceptance request the controller has not taken
-     *  ownership of yet. */
-    struct Stalled
+    /** Intrusive FIFO of Pending nodes. */
+    struct PendingList
     {
-        Pending pending;
-        std::function<void()> on_accept;
+        Pending *head = nullptr;
+        Pending *tail = nullptr;
+        u64 size = 0;
+
+        void
+        pushBack(Pending *p)
+        {
+            p->next = nullptr;
+            if (tail)
+                tail->next = p;
+            else
+                head = p;
+            tail = p;
+            ++size;
+        }
+
+        Pending *
+        popFront()
+        {
+            Pending *p = head;
+            head = p->next;
+            if (!head)
+                tail = nullptr;
+            --size;
+            return p;
+        }
     };
 
     /** One DRAM channel: a rate-limited FIFO with a bounded queue. */
@@ -157,23 +224,38 @@ class MemorySystem
         double free_time = 0.0;
         /** Requests in service or queued at the controller. */
         u32 outstanding = 0;
+        /** Requests accepted into service over the run (stat). */
+        u64 accepted = 0;
         /** Requests waiting for a controller queue slot. */
-        std::deque<Pending> waiting;
+        PendingList waiting;
         /** Bounded-acceptance requests refused so far (waiting list at
          *  acceptDepth); promoted FIFO as space frees. */
-        std::deque<Stalled> stalled;
+        PendingList stalled;
     };
 
     /** Channel the line holding `addr` maps to (after the optional
      *  XOR fold). */
     u32 channelOf(u64 addr) const;
 
+    Pending *allocPending();
+    void freePending(Pending *p);
+
+    /** Build a node and route it for `addr` (shared by every public
+     *  read form). */
+    void issue(u32 requester, u64 addr, u64 bytes, DoneFn fn, void *ctx,
+               std::function<void()> heavy);
+
+    /** readAwait() helper: resume `h` when the last byte arrives. */
+    void readResume(u64 bytes, std::coroutine_handle<> h);
+
     /** Route a controller-owned request: into service when the queue
      *  has room, else onto the waiting list. */
-    void enqueueOwned(u32 ch, Pending p);
+    void enqueueOwned(Pending *p);
 
-    /** Put a request into channel `ch`'s service pipeline. */
-    void accept(u32 ch, Pending p);
+    /** Put a request into its channel's service pipeline. */
+    void accept(Pending *p);
+    /** Fires at a request's completion cycle. */
+    static void completeEvent(void *p, u64 arg);
     /** Bookkeeping when a request finishes (frees its queue slot). */
     void complete(u32 ch, u32 requester);
 
@@ -185,7 +267,12 @@ class MemorySystem
     double per_channel_bytes_per_cycle_;
     std::vector<Channel> channels_;
 
-    /** Outstanding request count per requester id. */
+    /** Slab + free list recycling Pending nodes (stable addresses). */
+    std::deque<Pending> pending_slab_;
+    Pending *pending_free_ = nullptr;
+
+    /** Outstanding request count per requester id; grown by
+     *  newRequesterId() (and on demand for the legacy id 0). */
     std::vector<u32> requester_outstanding_;
     u32 active_requesters_ = 0;
     u32 peak_active_requesters_ = 0;

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Run the event-core benchmarks and write BENCH_event_core.json.
+
+Usage:
+  tools/bench_report.py [--build-dir build] [--output BENCH_event_core.json]
+                        [--repeat N] [--quick]
+
+Collects, from an already-built tree:
+  * bench/event_core_bench — self-timed event-churn and FetchStream
+    line-issue microbenchmarks (dependency-free; emits JSON itself),
+  * wall time of `decasim run all --jobs=1` and `--jobs=8` (best of
+    --repeat runs; the scenario campaign is deterministic, so best-of
+    isolates scheduler noise).
+
+The report is one JSON object with host/git metadata so CI can archive
+one file per run and the perf trajectory stays machine-readable.
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, check=True, stdout=subprocess.PIPE,
+                          text=True, **kw)
+
+
+def git_rev(repo):
+    try:
+        out = run(["git", "-C", repo, "rev-parse", "--short", "HEAD"])
+        rev = out.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "-C", repo, "diff", "--quiet", "HEAD"]).returncode
+        return rev + ("-dirty" if dirty else "")
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def time_run_all(decasim, jobs, repeat):
+    best = None
+    for _ in range(repeat):
+        t0 = time.monotonic()
+        subprocess.run([decasim, "run", "all", f"--jobs={jobs}"],
+                       check=True, stdout=subprocess.DEVNULL)
+        dt = time.monotonic() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="event-core perf report -> BENCH_event_core.json")
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--output", default="BENCH_event_core.json")
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="timed repetitions per measurement "
+                         "(best-of; default 3)")
+    ap.add_argument("--quick", action="store_true",
+                    help="shrunken microbenchmarks and --repeat 1, "
+                         "for smoke tests")
+    args = ap.parse_args()
+    if args.quick:
+        args.repeat = 1
+
+    build = os.path.abspath(args.build_dir)
+    bench = os.path.join(build, "bench", "event_core_bench")
+    decasim = os.path.join(build, "decasim")
+    for exe in (bench, decasim):
+        if not os.access(exe, os.X_OK):
+            sys.exit(f"error: {exe} not built (cmake --build "
+                     f"{args.build_dir} first)")
+
+    repo = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.dirname(repo)
+
+    micro = None
+    for i in range(args.repeat):
+        cmd = [bench] + (["--quick"] if args.quick else [])
+        sample = json.loads(run(cmd).stdout)
+        if micro is None:
+            micro = sample
+        else:
+            for name, fields in sample.items():
+                if fields["seconds"] < micro[name]["seconds"]:
+                    micro[name] = fields
+
+    report = {
+        "schema": "deca-bench-event-core/1",
+        "git": git_rev(repo),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpus": os.cpu_count(),
+        },
+        "repeat": args.repeat,
+        "quick": args.quick,
+        "micro": micro,
+        "run_all": {
+            "jobs1_seconds": round(
+                time_run_all(decasim, 1, args.repeat), 3),
+            "jobs8_seconds": round(
+                time_run_all(decasim, 8, args.repeat), 3),
+        },
+    }
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.output}:")
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Diff two decasim-run/1 JSON manifests cell-by-cell.
+
+Usage:
+  tools/compare_runs.py A.json B.json [--rtol R] [--table-rtol GLOB=R]...
+
+Structural fields (scenario names, statuses, section order, table
+shapes, prose) must match exactly. Table cells are compared
+numerically when both sides parse as numbers (a trailing '%' or an
+embedded number like "{W=32, L=8}" is handled by tokenizing the cell);
+non-numeric tokens must match exactly. The default relative tolerance
+is 0 (bit-identical rendering); --rtol loosens every table and
+--table-rtol GLOB=R overrides it for tables whose title matches GLOB
+(fnmatch pattern, first match wins).
+
+Timing fields (elapsed_ms) and run metadata (jobs, threads) are
+ignored: two runs of the same build never agree on those.
+
+Exit status: 0 when the manifests agree, 1 on any violation (each
+violation is printed), 2 on usage/parse errors.
+"""
+
+import argparse
+import fnmatch
+import json
+import re
+import sys
+
+# A number with optional sign/decimal/exponent, as decasim renders
+# them. Splitting a cell on this yields alternating text/number
+# tokens.
+NUM_RE = re.compile(r"[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            m = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read manifest {path}: {e}")
+    if m.get("schema") != "decasim-run/1":
+        sys.exit(f"error: {path}: unexpected schema {m.get('schema')!r}")
+    return m
+
+
+def rtol_for(title, default, overrides):
+    for glob, r in overrides:
+        if fnmatch.fnmatch(title, glob):
+            return r
+    return default
+
+
+def cells_match(a, b, rtol):
+    """True when two rendered cells agree: identical non-numeric
+    structure, numeric tokens within rtol."""
+    if a == b:
+        return True
+    if NUM_RE.split(a) != NUM_RE.split(b):
+        return False
+    for na, nb in zip(NUM_RE.findall(a), NUM_RE.findall(b)):
+        fa, fb = float(na), float(nb)
+        if fa == fb:
+            continue
+        denom = max(abs(fa), abs(fb))
+        if denom == 0 or abs(fa - fb) / denom > rtol:
+            return False
+    return True
+
+
+def compare_tables(scname, idx, ta, tb, rtol, errors):
+    where = f"{scname}: section {idx} table {ta.get('title')!r}"
+    for field in ("title", "columns"):
+        if ta.get(field) != tb.get(field):
+            errors.append(f"{where}: {field} differs: "
+                          f"{ta.get(field)!r} vs {tb.get(field)!r}")
+            return
+    ra, rb = ta.get("rows", []), tb.get("rows", [])
+    if len(ra) != len(rb):
+        errors.append(f"{where}: row count {len(ra)} vs {len(rb)}")
+        return
+    for r, (rowa, rowb) in enumerate(zip(ra, rb)):
+        if len(rowa) != len(rowb):
+            errors.append(f"{where}: row {r} width "
+                          f"{len(rowa)} vs {len(rowb)}")
+            continue
+        for c, (ca, cb) in enumerate(zip(rowa, rowb)):
+            if not cells_match(ca, cb, rtol):
+                col = ta["columns"][c] if c < len(ta["columns"]) else c
+                errors.append(f"{where}: row {r} [{col}]: "
+                              f"{ca!r} vs {cb!r} (rtol {rtol:g})")
+
+
+def compare(ma, mb, default_rtol, overrides):
+    errors = []
+    sa, sb = ma.get("scenarios", []), mb.get("scenarios", [])
+    names_a = [s["name"] for s in sa]
+    names_b = [s["name"] for s in sb]
+    if names_a != names_b:
+        errors.append(f"scenario lists differ: {names_a} vs {names_b}")
+        return errors
+    for a, b in zip(sa, sb):
+        name = a["name"]
+        if a.get("status") != b.get("status"):
+            errors.append(f"{name}: status {a.get('status')} vs "
+                          f"{b.get('status')}")
+        seca, secb = a.get("sections", []), b.get("sections", [])
+        if [s["type"] for s in seca] != [s["type"] for s in secb]:
+            errors.append(f"{name}: section structure differs")
+            continue
+        for i, (xa, xb) in enumerate(zip(seca, secb)):
+            if xa["type"] == "table":
+                rtol = rtol_for(xa["table"].get("title", ""),
+                                default_rtol, overrides)
+                compare_tables(name, i, xa["table"], xb["table"],
+                               rtol, errors)
+            elif xa != xb:
+                errors.append(f"{name}: section {i} "
+                              f"({xa['type']}) differs")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="cell-by-cell diff of two decasim JSON manifests")
+    ap.add_argument("a")
+    ap.add_argument("b")
+    ap.add_argument("--rtol", type=float, default=0.0,
+                    help="relative tolerance for numeric cells "
+                         "(default 0: exact)")
+    ap.add_argument("--table-rtol", action="append", default=[],
+                    metavar="GLOB=R",
+                    help="per-table override, e.g. 'Figure 14*=0.01'")
+    args = ap.parse_args()
+
+    overrides = []
+    for spec in args.table_rtol:
+        glob, sep, r = spec.rpartition("=")
+        if not sep:
+            ap.error(f"--table-rtol needs GLOB=R, got {spec!r}")
+        try:
+            overrides.append((glob, float(r)))
+        except ValueError:
+            ap.error(f"bad tolerance in {spec!r}")
+
+    errors = compare(load(args.a), load(args.b), args.rtol, overrides)
+    for e in errors:
+        print(f"MISMATCH: {e}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} violation(s) between {args.a} and "
+              f"{args.b}", file=sys.stderr)
+        return 1
+    print(f"manifests agree: {args.a} == {args.b} "
+          f"(rtol {args.rtol:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
