@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Memory-side design-space exploration over the bank-level DRAM model:
+ * DDR5-8ch vs HBM-32ch vs a hypothetical 64-channel stack, swept over
+ * banks per channel, controller queue depth, and requester-stream
+ * population. Every analytic number comes from the closed form in
+ * common/dram_timing.h; every simulated number from cycle-level
+ * MemorySystem runs — the two columns sitting side by side is the
+ * point: the closed form must track the simulator's emergent derating
+ * (the agreement is also pinned by tests/test_dram_bank.cc).
+ */
+
+#include "bench_util.h"
+
+#include <memory>
+#include <vector>
+
+#include "roofsurface/dse.h"
+#include "sim/memory_system.h"
+#include "sim/params.h"
+
+using namespace deca;
+
+namespace {
+
+/** One memory technology of the sweep: a SimParams preset plus the
+ *  matching analytic pin bandwidth. */
+struct MemTech
+{
+    const char *name;
+    sim::SimParams params;
+};
+
+std::vector<MemTech>
+sweepTechnologies()
+{
+    sim::SimParams hyp = sim::sprHbmParams();
+    hyp.name = "hyp-64ch";
+    hyp.memChannels = 64;
+    hyp.memBwGBs = 1700.0;
+    return {{"DDR5-8ch", sim::sprDdrParams()},
+            {"HBM-32ch", sim::sprHbmParams()},
+            {"HYP-64ch", hyp}};
+}
+
+/** Analytic machine twin of a technology cell (same pin bandwidth,
+ *  channel count, and timing descriptor the simulator runs). */
+roofsurface::MachineConfig
+machineOf(const sim::SimParams &p)
+{
+    roofsurface::MachineConfig m;
+    m.name = p.name;
+    m.memBwBytesPerSec = gbPerSec(p.memBwGBs);
+    m.memChannels = p.memChannels;
+    m.memTiming = p.memTiming;
+    return m;
+}
+
+struct MeasuredCell
+{
+    double efficiency;  ///< bytes served / (window * pin bytes/cycle)
+    double hitRate;     ///< measured row-buffer hit fraction
+};
+
+/**
+ * Drive `streams` self-sustaining sequential requesters through the
+ * cycle-level DRAM model and measure achieved bandwidth over a steady
+ * window (after a warm-up that hides the cold-start latency ramp).
+ * Each stream keeps enough lines in flight that the *memory system*,
+ * not the requesters' in-flight budget, is the binding constraint —
+ * the closed form assumes demand saturation, so the measurement must
+ * provide it.
+ */
+MeasuredCell
+measureStreams(const sim::SimParams &params, u32 streams)
+{
+    constexpr Cycles kWarmup = 4096;
+    constexpr Cycles kWindow = 16384;
+
+    sim::EventQueue q;
+    sim::MemorySystem mem(q, params.memConfig());
+
+    // In-flight lines per stream needed to cover every channel's
+    // bandwidth-delay product with ~40% headroom (row switches add
+    // service time), bounded away from silly extremes.
+    const double per_ch_bpc =
+        params.memBytesPerCycle() / params.memChannels;
+    const double burst = kCacheLineBytes / per_ch_bpc;
+    const double bdp_lines = static_cast<double>(params.memChannels) *
+                             (static_cast<double>(params.memLatency) /
+                                  burst +
+                              1.0);
+    u32 budget = static_cast<u32>(1.4 * bdp_lines / streams) + 4;
+    if (budget > 512)
+        budget = 512;
+
+    struct Stream
+    {
+        sim::MemorySystem &mem;
+        u32 id;
+        u64 next_addr;
+
+        void
+        issue()
+        {
+            const u64 addr = next_addr;
+            next_addr += kCacheLineBytes;
+            mem.read(id, addr, kCacheLineBytes, [this] { issue(); });
+        }
+    };
+    std::vector<std::unique_ptr<Stream>> live;
+    // Streams are spaced a row apart per id so each walks its own
+    // rows, like the fetch-stream stagger but without the front end.
+    const u64 stride =
+        u64{params.memTiming.active()
+                ? params.memTiming.rowBytes * params.memChannels
+                : kCacheLineBytes};
+    for (u32 s = 0; s < streams; ++s) {
+        const u32 id = mem.newRequesterId();
+        live.push_back(std::make_unique<Stream>(
+            Stream{mem, id, u64{id} * (stride + kCacheLineBytes)}));
+        for (u32 j = 0; j < budget; ++j)
+            live.back()->issue();
+    }
+
+    q.runUntil(kWarmup);
+    const u64 warm_bytes = mem.bytesServed();
+    q.runUntil(kWarmup + kWindow);
+    const double served =
+        static_cast<double>(mem.bytesServed() - warm_bytes);
+    return {served / (static_cast<double>(kWindow) *
+                      params.memBytesPerCycle()),
+            mem.measuredRowHitRate()};
+}
+
+std::string
+pct(double x)
+{
+    return TableWriter::num(100.0 * x, 1) + "%";
+}
+
+} // namespace
+
+DECA_SCENARIO(dse_memory,
+              "Memory DSE: bank/queue/stream sweep over DDR5, HBM, "
+              "and a hypothetical 64-channel stack, sim vs analytic")
+{
+    const auto techs = sweepTechnologies();
+
+    // (a) Technology operating points, pure closed form: how each
+    // technology's effective bandwidth holds up as the requester
+    // population grows (the Fig. 12-14 populations).
+    const std::vector<u32> populations = {8, 32, 56, 112};
+    TableWriter a("Memory DSE: analytic technology comparison");
+    a.setHeader({"Tech", "Streams", "RowHit", "Eff", "GB/s"});
+    for (const MemTech &t : techs) {
+        const auto m = machineOf(t.params);
+        for (const u32 n : populations) {
+            a.addRow({t.name, std::to_string(n),
+                      pct(m.memTiming.expectedRowHitRate(n)),
+                      pct(m.memTiming.efficiency(
+                          n, m.lineBurstCycles())),
+                      TableWriter::num(m.effectiveMemBwBytesPerSec(n) /
+                                           gbPerSec(1.0),
+                                       1)});
+        }
+    }
+    ctx.result().table(std::move(a));
+
+    // (b) Banks x channels grid through the analytic DSE API (the
+    // SweepEngine fan-out): where bank starvation collapses a design.
+    const auto base = roofsurface::sprHbm();
+    const std::vector<u32> chans = {8, 32, 64};
+    const std::vector<u32> banks = {4, 16, 64};
+    const std::vector<u32> pops = {32, 112};
+    const auto grid_pts = roofsurface::exploreMemoryDesign(
+        base, chans, banks, pops, ctx.sweep("dse_memory analytic"));
+    TableWriter b("Memory DSE: analytic banks x channels grid "
+                  "(850 GB/s pin)");
+    b.setHeader({"Ch", "Banks", "Streams", "RowHit", "Eff", "GB/s"});
+    for (const auto &p : grid_pts)
+        b.addRow({std::to_string(p.channels), std::to_string(p.banks),
+                  std::to_string(p.streams), pct(p.rowHitRate),
+                  pct(p.efficiency),
+                  TableWriter::num(
+                      p.effectiveBwBytesPerSec / gbPerSec(1.0), 1)});
+    ctx.result().table(std::move(b));
+
+    // (c) The cycle-level twin: banks x streams per technology at the
+    // preset queue depth, simulated efficiency beside the closed form.
+    struct SimCell
+    {
+        MeasuredCell sim;
+        double analytic_eff;
+        double analytic_hit;
+    };
+    const std::vector<u32> sim_banks = {8, 32};
+    const std::vector<u32> sim_pops = {32, 112};
+    runner::SweepEngine engine(ctx.sweep("dse_memory sim"));
+    runner::ParamGrid grid;
+    grid.axis("tech", techs.size())
+        .axis("banks", sim_banks.size())
+        .axis("streams", sim_pops.size());
+    const auto cells =
+        engine.mapGrid(grid, [&](const std::vector<std::size_t> &c) {
+            sim::SimParams p = techs[c[0]].params;
+            p.memTiming.banksPerChannel = sim_banks[c[1]];
+            const u32 n = sim_pops[c[2]];
+            const auto m = machineOf(p);
+            return SimCell{measureStreams(p, n),
+                           m.memTiming.efficiency(
+                               n, m.lineBurstCycles()),
+                           m.memTiming.expectedRowHitRate(n)};
+        });
+    TableWriter c("Memory DSE: simulated vs analytic efficiency");
+    c.setHeader({"Tech", "Banks", "Streams", "SimEff", "AnaEff",
+                 "dEff", "SimHit", "AnaHit"});
+    std::size_t i = 0;
+    double worst = 0.0;
+    for (std::size_t ti = 0; ti < techs.size(); ++ti)
+        for (const u32 bk : sim_banks)
+            for (const u32 n : sim_pops) {
+                const SimCell &cell = cells[i++];
+                const double d =
+                    cell.sim.efficiency - cell.analytic_eff;
+                if (std::abs(d) > std::abs(worst))
+                    worst = d;
+                c.addRow({techs[ti].name, std::to_string(bk),
+                          std::to_string(n), pct(cell.sim.efficiency),
+                          pct(cell.analytic_eff),
+                          TableWriter::num(100.0 * d, 1),
+                          pct(cell.sim.hitRate),
+                          pct(cell.analytic_hit)});
+            }
+    ctx.result().table(std::move(c));
+    ctx.result().prose()
+        << "worst sim-analytic efficiency gap: "
+        << TableWriter::num(100.0 * worst, 1) << " points\n\n";
+
+    // (d) Controller queue depth at full population: the closed form
+    // assumes a saturating queue, so depths below the channel's
+    // bandwidth-delay product cap bandwidth in the simulator while the
+    // analytic column stands still — which is exactly why the presets
+    // ship queueDepth=64.
+    const std::vector<u32> depths = {16, 64, 256};
+    runner::SweepEngine qengine(ctx.sweep("dse_memory queue"));
+    runner::ParamGrid qgrid;
+    qgrid.axis("tech", techs.size()).axis("depth", depths.size());
+    const auto qcells =
+        qengine.mapGrid(qgrid, [&](const std::vector<std::size_t> &c) {
+            sim::SimParams p = techs[c[0]].params;
+            p.memQueueDepth = depths[c[1]];
+            return measureStreams(p, 112);
+        });
+    TableWriter d("Memory DSE: queue depth vs achieved bandwidth "
+                  "(112 streams)");
+    d.setHeader({"Tech", "QueueDepth", "SimEff", "AnaEff"});
+    i = 0;
+    for (std::size_t ti = 0; ti < techs.size(); ++ti) {
+        const auto m = machineOf(techs[ti].params);
+        const double ana =
+            m.memTiming.efficiency(112.0, m.lineBurstCycles());
+        for (const u32 depth : depths)
+            d.addRow({techs[ti].name, std::to_string(depth),
+                      pct(qcells[i++].efficiency), pct(ana)});
+    }
+    ctx.result().table(std::move(d));
+    return 0;
+}

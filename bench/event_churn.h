@@ -46,10 +46,36 @@ churnDelta(u64 i)
     }
 }
 
+/**
+ * Delta pattern of the regime the bank model makes reachable: deep
+ * controller queues at low bandwidth push most completions past the
+ * 4096-cycle wheel span, so the dominant event class lands in the
+ * overflow heap and must migrate wheel-ward as the clock approaches
+ * (the ROADMAP wheel-span concern). Only the chained wakeups stay
+ * same-cycle.
+ */
+inline Cycles
+farFutureDelta(u64 i)
+{
+    switch (i % 4) {
+      case 0:
+        return 0;  // wakeup chained to a completion
+      case 1:
+        return 4097 + i % 4096;  // just past the wheel span
+      case 2:
+        return 12000 + i % 8192;  // deep-queue completion
+      default:
+        return 40000 + i % 20000;  // the far tail
+    }
+}
+
+using ChurnDeltaFn = Cycles (*)(u64);
+
 struct ChurnCtx
 {
     sim::EventQueue *q;
     u64 remaining;
+    ChurnDeltaFn delta;
 };
 
 inline void
@@ -59,20 +85,34 @@ churnEvent(void *vctx, u64 i)
     if (ctx->remaining == 0)
         return;
     --ctx->remaining;
-    ctx->q->schedule(churnDelta(i), &churnEvent, vctx,
+    ctx->q->schedule(ctx->delta(i), &churnEvent, vctx,
                      static_cast<u32>((i * 2654435761u) % 100003));
 }
 
-/** Seed `total_events - kChurnChains` self-rescheduling events and run
- *  the queue dry; afterwards q.eventsExecuted() == total_events. */
+/** Seed `total_events - kChurnChains` self-rescheduling events drawing
+ *  deltas from `fn` and run the queue dry; afterwards
+ *  q.eventsExecuted() == total_events. */
+inline void
+runChurnWith(sim::EventQueue &q, u64 total_events, ChurnDeltaFn fn)
+{
+    ChurnCtx ctx{&q, total_events - kChurnChains, fn};
+    for (u64 c = 0; c < kChurnChains; ++c)
+        q.schedule(fn(c), &churnEvent, &ctx, static_cast<u32>(c));
+    q.run();
+}
+
+/** The standard mixed-delta churn (the archived trajectory metric). */
 inline void
 runChurn(sim::EventQueue &q, u64 total_events)
 {
-    ChurnCtx ctx{&q, total_events - kChurnChains};
-    for (u64 c = 0; c < kChurnChains; ++c)
-        q.schedule(churnDelta(c), &churnEvent, &ctx,
-                   static_cast<u32>(c));
-    q.run();
+    runChurnWith(q, total_events, &churnDelta);
+}
+
+/** The heap-dominated churn stressing the heap->wheel migration. */
+inline void
+runFarFutureChurn(sim::EventQueue &q, u64 total_events)
+{
+    runChurnWith(q, total_events, &farFutureDelta);
 }
 
 /** Memory system for the fetch-stream benchmark: 8 channels at DDR-ish

@@ -5,11 +5,17 @@
  * measurements live in micro_kernels.cc). Emits one JSON object on
  * stdout; tools/bench_report.py folds it into BENCH_event_core.json.
  *
- *   event_churn   — schedule/fire 10M mixed events: same-cycle
- *                   resumes, short pipeline delays, far-future
- *                   completions (all three event representations).
- *   fetch_stream  — line-issue throughput of 8 concurrent FetchStreams
- *                   over a multi-channel MemorySystem.
+ *   event_churn       — schedule/fire 10M mixed events: same-cycle
+ *                       resumes, short pipeline delays, far-future
+ *                       completions (all three representations).
+ *   far_future_churn  — the heap-dominated delta mix of deep-queue
+ *                       low-bandwidth configs: most events land past
+ *                       the 4096-cycle wheel span and must migrate
+ *                       heap -> wheel (the ROADMAP wheel-span
+ *                       concern, re-profiled with the bank model).
+ *   fetch_stream      — line-issue throughput of 8 concurrent
+ *                       FetchStreams over a multi-channel
+ *                       MemorySystem.
  */
 
 #include <chrono>
@@ -35,14 +41,14 @@ seconds(Clock::time_point t0, Clock::time_point t1)
 }
 
 double
-benchEventChurn(u64 total_events)
+benchChurn(u64 total_events, bench::ChurnDeltaFn fn, const char *name)
 {
     sim::EventQueue q;
     const auto t0 = Clock::now();
-    bench::runChurn(q, total_events);
+    bench::runChurnWith(q, total_events, fn);
     const auto t1 = Clock::now();
     if (q.eventsExecuted() != total_events)
-        std::fprintf(stderr, "event_churn: executed %llu, wanted %llu\n",
+        std::fprintf(stderr, "%s: executed %llu, wanted %llu\n", name,
                      static_cast<unsigned long long>(q.eventsExecuted()),
                      static_cast<unsigned long long>(total_events));
     return seconds(t0, t1);
@@ -96,12 +102,21 @@ main(int argc, char **argv)
         }
     }
 
-    const double churn_s = benchEventChurn(churn_events);
+    const double churn_s =
+        benchChurn(churn_events, &bench::churnDelta, "event_churn");
+    const double far_s = benchChurn(churn_events, &bench::farFutureDelta,
+                                    "far_future_churn");
     const FetchBenchResult fs = benchFetchStream(lines_per_stream);
 
     std::printf(
         "{\n"
         "  \"event_churn\": {\n"
+        "    \"events\": %llu,\n"
+        "    \"seconds\": %.6f,\n"
+        "    \"ns_per_event\": %.2f,\n"
+        "    \"events_per_sec\": %.0f\n"
+        "  },\n"
+        "  \"far_future_churn\": {\n"
         "    \"events\": %llu,\n"
         "    \"seconds\": %.6f,\n"
         "    \"ns_per_event\": %.2f,\n"
@@ -117,6 +132,9 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(churn_events), churn_s,
         churn_s * 1e9 / static_cast<double>(churn_events),
         static_cast<double>(churn_events) / churn_s,
+        static_cast<unsigned long long>(churn_events), far_s,
+        far_s * 1e9 / static_cast<double>(churn_events),
+        static_cast<double>(churn_events) / far_s,
         static_cast<unsigned long long>(fs.lines), fs.secs,
         fs.secs * 1e9 / static_cast<double>(fs.lines),
         static_cast<double>(fs.lines) / fs.secs);

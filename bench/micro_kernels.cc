@@ -150,6 +150,24 @@ BM_EventChurn(benchmark::State &state)
 BENCHMARK(BM_EventChurn)->Arg(100000)->Arg(1000000);
 
 void
+BM_FarFutureChurn(benchmark::State &state)
+{
+    // The heap-dominated mix of deep-queue low-bandwidth configs:
+    // most deltas land past the 4096-cycle wheel span, stressing the
+    // heap->wheel migration path (ROADMAP wheel-span note; workload
+    // shared with event_core_bench.cc's far_future_churn metric).
+    const u64 events = static_cast<u64>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        bench::runFarFutureChurn(q, events);
+        benchmark::DoNotOptimize(q.eventsExecuted());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<i64>(events));
+}
+BENCHMARK(BM_FarFutureChurn)->Arg(100000)->Arg(1000000);
+
+void
 BM_FetchStreamIssue(benchmark::State &state)
 {
     // Line-issue throughput: 8 concurrent streams over an 8-channel

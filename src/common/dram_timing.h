@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Bank-level DRAM timing descriptor shared by the cycle-level DRAM
+ * model (sim::MemorySystem) and the analytic machine descriptors
+ * (roofsurface::MachineConfig). This is the sim <-> analytic contract
+ * that replaces the hand-fit ContentionCurve: instead of dictating an
+ * efficiency-vs-requesters shape, both layers derive achievable
+ * bandwidth from the same small set of row-buffer/bank timings.
+ *
+ * Model. Each channel owns `banksPerChannel` banks; a bank keeps one
+ * row (DRAM page, `rowBytes`) open at a time. A burst that finds its
+ * row open costs only the data-bus occupancy (plus `tRowHitCycles`,
+ * normally 0 because CAS is pipelined and folded into the constant
+ * access latency). A burst to a different row must precharge and
+ * activate: the row switch steals `tRowSwitchBusCycles` from the data
+ * bus (ACT/PRE command slots, same-bank-group CAS spacing, turnaround)
+ * and re-arms the bank's activation window — no new row may open in
+ * that bank for `tRowMissCycles` (~ tRP + tRCD + CAS). Activations on
+ * *different* banks overlap with ongoing transfers, and the constant
+ * access latency absorbs the activation delay of an isolated switch;
+ * what degrades *bandwidth* is the switch's bus overhead plus banks
+ * whose rows are switched again faster than the activation window —
+ * the many-interleaved-streams ping-pong regime. Channels interleave
+ * at `channelBlockLines` granularity (the server block interleave),
+ * so a stream's consecutive lines reach one controller as same-row
+ * clumps — the locality real schedulers exploit.
+ *
+ * The controller model is FR-FCFS-lite: among the oldest
+ * `schedWindow` queued requests, serve whichever burst can start
+ * earliest (ties prefer the open row, then age); after `maxHitStreak`
+ * serves bypass the oldest request, fairness forces it.
+ *
+ * Closed form. The analytic mirror needs the same derating without
+ * running the simulator. Sequential streams interleave over every
+ * channel at once, so the bank population per channel is the total
+ * stream count n (not n / channels). With B = banksPerChannel,
+ * L = linesPerRow() and clump = channelBlockLines:
+ *
+ *   - a stream's burst finds its bank claimed by another stream with
+ *     probability  share(n) = 1 - ((B-1)/B)^(n-1), of which the
+ *     FR-FCFS window rescues about schedWindow/(n + schedWindow)
+ *     (it reunites a stream's clump before an intruder is served):
+ *       P(n) = share(n) * n / (n + schedWindow);
+ *   - an undisturbed stream misses once per row (1/L); a disturbed
+ *     one misses once per interleave clump:
+ *       m(n) = (1-P)/L + P/clump        (the expected miss rate);
+ *   - each miss steals tRowSwitchBusCycles of bus time. Activation
+ *     windows stall the bus only when the same bank is switched
+ *     again within tRowMissCycles: switches spread over B banks, so
+ *     consecutive same-bank switches are B*burst/m cycles apart and
+ *     the exposed window (with the reorder window hiding a further
+ *     1/schedWindow of it) is
+ *       act(n) = m * max(0, tRowMissCycles - B * burst / m)
+ *                / schedWindow;
+ *     at the shipped presets this is zero — the presets' derating is
+ *     pure switch overhead — but it models the collapse when a DSE
+ *     point starves the system of banks;
+ *   - efficiency(n) = burst / (burst + m * tRowSwitchBusCycles
+ *                              + act(n)).
+ *
+ * The form tracks the simulator's emergent derating to a few percent
+ * across the dse_memory sweep grid (the agreement is pinned by
+ * tests/test_dram_bank.cc); the simulator remains ground truth.
+ *
+ * The default-constructed descriptor is inactive (banksPerChannel ==
+ * 0, efficiency 1.0 everywhere): the exact-compatibility tier in which
+ * the legacy single-FIFO model and the calibrated ContentionCurve
+ * (common/contention.h) remain bit-for-bit reproducible.
+ */
+
+#ifndef DECA_COMMON_DRAM_TIMING_H
+#define DECA_COMMON_DRAM_TIMING_H
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace deca {
+
+/** Bank/row-buffer timing of one DRAM technology, in core cycles. */
+struct DramTiming
+{
+    /** Banks per channel; 0 disables the bank model entirely (the
+     *  legacy / contention-curve compatibility tiers). */
+    u32 banksPerChannel = 0;
+    /** Open-row (DRAM page) span per bank, in bytes. */
+    u32 rowBytes = 8192;
+    /** Extra cycles an open-row burst spends at the bank before data
+     *  moves; normally 0 (CAS is pipelined into the access latency). */
+    double tRowHitCycles = 0.0;
+    /** Activation window a row switch re-arms on its bank: no new
+     *  row may open there for this long (~ tRP + tRCD + CAS). Gates
+     *  switches only; hits to the open row keep streaming. */
+    double tRowMissCycles = 0.0;
+    /** Data-bus cycles a row switch steals from transfers (ACT/PRE
+     *  command slots, same-bank-group CAS spacing, turnaround). */
+    double tRowSwitchBusCycles = 0.0;
+    /** Channel-interleave granularity in cache lines (the server
+     *  block interleave, e.g. 256 B on SPR DDR5; 1 = line-granular,
+     *  as in HBM pseudo-channel mode). Must divide linesPerRow(). */
+    u32 channelBlockLines = 4;
+    /** FR-FCFS reorder window: how many of the oldest queued requests
+     *  the scheduler examines (the controller CAM depth). */
+    u32 schedWindow = 16;
+    /** Serves that may bypass the oldest queued request before
+     *  fairness forces it (starvation bound). */
+    u32 maxHitStreak = 32;
+
+    bool
+    active() const
+    {
+        return banksPerChannel > 0;
+    }
+
+    u32
+    linesPerRow() const
+    {
+        const u32 lines = rowBytes / kCacheLineBytes;
+        return lines > 0 ? lines : 1;
+    }
+
+    /** Probability that a burst finds its bank claimed by another of
+     *  the `streams - 1` concurrent streams, after the FR-FCFS
+     *  window's rescue (see the file comment's derivation). */
+    double
+    bankDisturbProbability(double streams) const
+    {
+        if (!active() || streams <= 1.0)
+            return 0.0;
+        const double b = static_cast<double>(banksPerChannel);
+        const double share =
+            1.0 - std::pow((b - 1.0) / b, streams - 1.0);
+        return share * streams /
+               (streams + static_cast<double>(schedWindow));
+    }
+
+    /** Closed-form expected row-hit rate with `streams` concurrent
+     *  sequential streams (any channel count; streams interleave
+     *  over every channel at once). */
+    double
+    expectedRowHitRate(double streams) const
+    {
+        if (!active())
+            return 1.0;
+        const double p = bankDisturbProbability(streams);
+        const double miss =
+            (1.0 - p) / static_cast<double>(linesPerRow()) +
+            p / static_cast<double>(channelBlockLines);
+        return miss < 1.0 ? 1.0 - miss : 0.0;
+    }
+
+    /**
+     * Closed-form achievable-bandwidth fraction with `streams`
+     * concurrent sequential streams, for a channel whose line burst
+     * occupies `burstCycles` of data-bus time. Mirrors the
+     * simulator's emergent derating: row switches steal bus cycles,
+     * and switches landing inside a bank's still-open activation
+     * window stall the bus.
+     */
+    double
+    efficiency(double streams, double burstCycles) const
+    {
+        if (!active() || burstCycles <= 0.0)
+            return 1.0;
+        const double m = 1.0 - expectedRowHitRate(streams);
+        if (m <= 0.0)
+            return 1.0;
+        // Same-bank switches recur every B*burst/m cycles; only the
+        // part of the activation window that spacing does not cover
+        // stalls the bus, and the reorder window hides most of that.
+        const double spacing =
+            static_cast<double>(banksPerChannel) * burstCycles / m;
+        double exposed = tRowMissCycles - spacing;
+        if (exposed < 0.0)
+            exposed = 0.0;
+        const double act =
+            m * exposed / static_cast<double>(schedWindow);
+        const double stolen = m * tRowSwitchBusCycles + act;
+        return burstCycles / (burstCycles + stolen);
+    }
+};
+
+/**
+ * DDR5 timing preset (8-channel SPR configuration), re-anchored at the
+ * Fig. 12-14 operating points the retired contention curve was fit to:
+ * 32 loader streams (16 DECA cores) sustain ~98% of pin bandwidth,
+ * 56 software streams ~97%, 112 loader streams ~95% — preserving the
+ * Fig. 14 inversion and the old curve's floor, but now extrapolating
+ * from row-buffer physics. See tests/test_dram_bank.cc.
+ */
+inline DramTiming
+ddr5DramTiming()
+{
+    DramTiming t;
+    t.banksPerChannel = 32;
+    t.rowBytes = 8192;
+    t.tRowHitCycles = 0.0;
+    t.tRowMissCycles = 75.0;      // ~30 ns tRP+tRCD+CAS at 2.5 GHz
+    t.tRowSwitchBusCycles = 1.1;  // ACT/PRE slots + tCCD_L spacing
+    t.channelBlockLines = 4;      // 256 B channel interleave
+    return t;
+}
+
+/**
+ * HBM timing preset (32 pseudo-channel configuration): smaller pages,
+ * faster activation, line-granular pseudo-channel interleave, and a
+ * far smaller per-switch bus cost (narrow per-PC bus, tCCD_S ~ burst).
+ */
+inline DramTiming
+hbmDramTiming()
+{
+    DramTiming t;
+    t.banksPerChannel = 32;
+    t.rowBytes = 4096;
+    t.tRowHitCycles = 0.0;
+    t.tRowMissCycles = 45.0;
+    t.tRowSwitchBusCycles = 0.1;
+    t.channelBlockLines = 1;
+    return t;
+}
+
+} // namespace deca
+
+#endif // DECA_COMMON_DRAM_TIMING_H

@@ -294,6 +294,7 @@ GemmSimulation::run()
         FetchStreamConfig fc;
         fc.mshrs = params_.l2Mshrs;
         fc.prefetchLines = params_.l2PrefetchLines;
+        fc.boundedAcceptance = params_.memAcceptDepth != 0;
         if (config_.engine == Engine::Deca) {
             const auto &integ = config_.integration;
             if (integ.decaPrefetcher) {

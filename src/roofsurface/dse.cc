@@ -65,6 +65,38 @@ exploreDesignSpace(const MachineConfig &base_machine,
     });
 }
 
+std::vector<MemoryDesignPoint>
+exploreMemoryDesign(const MachineConfig &base_machine,
+                    const std::vector<u32> &channel_counts,
+                    const std::vector<u32> &bank_counts,
+                    const std::vector<u32> &stream_counts,
+                    const runner::SweepOptions &sweep)
+{
+    runner::SweepEngine engine(sweep);
+    runner::ParamGrid grid;
+    grid.axis("channels", channel_counts.size())
+        .axis("banks", bank_counts.size())
+        .axis("streams", stream_counts.size());
+    return engine.mapGrid(grid, [&](const std::vector<std::size_t> &c) {
+        MachineConfig m = base_machine;
+        m.memChannels = channel_counts[c[0]];
+        m.memTiming.banksPerChannel = bank_counts[c[1]];
+        const u32 streams = stream_counts[c[2]];
+
+        MemoryDesignPoint p;
+        p.channels = m.memChannels;
+        p.banks = m.memTiming.banksPerChannel;
+        p.streams = streams;
+        p.burstCycles = m.lineBurstCycles();
+        p.rowHitRate = m.memTiming.expectedRowHitRate(
+            static_cast<double>(streams));
+        p.efficiency = m.memTiming.efficiency(
+            static_cast<double>(streams), p.burstCycles);
+        p.effectiveBwBytesPerSec = m.effectiveMemBwBytesPerSec(streams);
+        return p;
+    });
+}
+
 DseCandidate
 pickBalancedDesign(const MachineConfig &base_machine,
                    const std::vector<compress::CompressionScheme> &schemes,

@@ -58,6 +58,43 @@ DseCandidate pickBalancedDesign(
     const std::vector<u32> &ws, const std::vector<u32> &ls,
     const runner::SweepOptions &sweep = {});
 
+/**
+ * One point of the memory-side design space: a machine variant
+ * (channel count x banks per channel) evaluated at a requester-stream
+ * population, through the bank model's closed form
+ * (common/dram_timing.h). The cycle-level twin of each point lives in
+ * bench/dse_memory.cc, which sweeps the same grid through the
+ * simulator and reports the sim-vs-analytic agreement.
+ */
+struct MemoryDesignPoint
+{
+    u32 channels;
+    u32 banks;
+    u32 streams;
+    /** Data-bus cycles per line burst on one channel. */
+    double burstCycles;
+    /** Closed-form expected row-hit rate at this population. */
+    double rowHitRate;
+    /** Closed-form achievable-bandwidth fraction. */
+    double efficiency;
+    /** Effective bandwidth in bytes/second after derating. */
+    double effectiveBwBytesPerSec;
+};
+
+/**
+ * Evaluate the full channels x banks x streams grid against
+ * `base_machine` (its pin bandwidth and DRAM timing descriptor are
+ * the anchors; channel and bank counts are overridden per point).
+ * Fanned out across the SweepEngine configured by `sweep`; result
+ * order is grid order regardless of thread count.
+ */
+std::vector<MemoryDesignPoint> exploreMemoryDesign(
+    const MachineConfig &base_machine,
+    const std::vector<u32> &channel_counts,
+    const std::vector<u32> &bank_counts,
+    const std::vector<u32> &stream_counts,
+    const runner::SweepOptions &sweep = {});
+
 } // namespace deca::roofsurface
 
 #endif // DECA_ROOFSURFACE_DSE_H

@@ -9,6 +9,7 @@ sprDdr()
     m.name = "SPR-DDR";
     m.memBwBytesPerSec = gbPerSec(260.0);
     m.memChannels = 8;
+    m.memTiming = ddr5DramTiming();
     return m;
 }
 
@@ -18,6 +19,7 @@ sprHbm()
     MachineConfig m;
     m.name = "SPR-HBM";
     m.memBwBytesPerSec = gbPerSec(850.0);
+    m.memTiming = hbmDramTiming();
     return m;
 }
 

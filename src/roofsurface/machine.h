@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/contention.h"
+#include "common/dram_timing.h"
 #include "common/types.h"
 #include "common/units.h"
 
@@ -39,9 +40,15 @@ struct MachineConfig
     /** Independent DRAM channels behind that bandwidth (8 for the DDR5
      *  configuration, 32 HBM pseudo-channels). */
     u32 memChannels = 32;
-    /** Bandwidth derating under many-requester contention; mirrors the
-     *  curve of the cycle-level DRAM model so analytic bounds and the
-     *  simulator agree on effective bandwidth. */
+    /** Bank/row-buffer timing (the shared sim <-> analytic contract
+     *  of common/dram_timing.h); when active, effective bandwidth is
+     *  derived from the same closed form the simulator's bank model
+     *  is anchored to. sprDdr()/sprHbm() install the DDR5/HBM
+     *  presets. */
+    DramTiming memTiming = hbmDramTiming();
+    /** Retired curve tier: bandwidth derating under many-requester
+     *  contention, used only when memTiming is inactive (mirrors the
+     *  cycle-level model's curve compatibility tier). */
     ContentionCurve memContention{4.0, 0.015, 0.95};
 
     /** VOS: vector operations per second across the machine. */
@@ -58,14 +65,32 @@ struct MachineConfig
         return freqHz * cores / kTmulCyclesPerTileOp;
     }
 
+    /** Data-bus cycles one cache line occupies on one channel (the
+     *  burst length the bank model's closed form needs). */
+    double
+    lineBurstCycles() const
+    {
+        const double per_channel = memBwBytesPerSec / freqHz /
+                                   static_cast<double>(memChannels);
+        return static_cast<double>(kCacheLineBytes) / per_channel;
+    }
+
     /**
      * Bandwidth achievable by `requesters` concurrent sequential
-     * streams: the pin bandwidth derated by the contention curve at
-     * this machine's requesters-per-channel occupancy.
+     * streams: the pin bandwidth derated by the bank model's closed
+     * form (common/dram_timing.h) — row switches steal bus cycles,
+     * fast re-activations stall banks. When memTiming is inactive,
+     * falls back to the retired contention-curve tier.
      */
     double
     effectiveMemBwBytesPerSec(u32 requesters) const
     {
+        if (memTiming.active()) {
+            return memBwBytesPerSec *
+                   memTiming.efficiency(
+                       static_cast<double>(requesters),
+                       lineBurstCycles());
+        }
         const double rpc = static_cast<double>(requesters) /
                            static_cast<double>(memChannels);
         return memBwBytesPerSec * memContention.efficiency(rpc);
@@ -78,6 +103,25 @@ struct MachineConfig
         MachineConfig m = *this;
         m.memChannels = ch;
         m.name += " (" + std::to_string(ch) + "ch)";
+        return m;
+    }
+
+    /** Copy with a different bank count per channel (DSE what-ifs). */
+    MachineConfig
+    withMemBanks(u32 banks) const
+    {
+        MachineConfig m = *this;
+        m.memTiming.banksPerChannel = banks;
+        m.name += " (" + std::to_string(banks) + "bk)";
+        return m;
+    }
+
+    /** Copy with a different DRAM timing descriptor (DSE what-ifs). */
+    MachineConfig
+    withDramTiming(const DramTiming &t) const
+    {
+        MachineConfig m = *this;
+        m.memTiming = t;
         return m;
     }
 

@@ -6,11 +6,44 @@
 
 namespace deca::sim {
 
+namespace {
+
+/**
+ * Base-address stride between requester streams. The legacy/curve
+ * tiers stagger streams by one line so concurrent streams start on
+ * different channels (and stay bit-for-bit). The bank model instead
+ * gives each stream its own region, offset by one full bank rotation
+ * plus one-and-a-half rows (and one line): stream id still starts on
+ * channel (id mod channels), banks spread across ids, and the
+ * half-row phase term keeps equal-pace streams from sitting on the
+ * same bank *permanently* — co-residency (and the row conflicts it
+ * causes) is transient, as it is for real drifting streams.
+ */
+u64
+streamStride(const MemSystemConfig &cfg)
+{
+    if (!cfg.timing.active())
+        return kCacheLineBytes;
+    const u64 lines = cfg.timing.linesPerRow();
+    const u64 g = cfg.timing.channelBlockLines;
+    // Channel-local line offset between adjacent stream ids: a full
+    // bank rotation plus one-and-a-half rows, rounded to whole
+    // interleave blocks so the channel offset below stays exact.
+    u64 local = lines * (u64{cfg.timing.banksPerChannel} + 1) +
+                lines + lines / 2;
+    local = (local + g - 1) / g * g;
+    // channels * local keeps the channel; + one block steps stream
+    // id onto channel (id mod channels), the legacy stagger.
+    return (u64{cfg.channels} * local + g) * kCacheLineBytes;
+}
+
+} // namespace
+
 FetchStream::FetchStream(EventQueue &q, MemorySystem &mem,
                          const FetchStreamConfig &cfg, u64 total_bytes)
     : q_(q), mem_(mem), cfg_(cfg), total_bytes_(total_bytes),
       id_(mem.newRequesterId()),
-      base_addr_(u64{id_} * kCacheLineBytes), flow_(q),
+      base_addr_(u64{id_} * streamStride(mem.config())), flow_(q),
       alive_(std::make_shared<bool>(true))
 {
     DECA_ASSERT(cfg.mshrs >= 1, "need at least one MSHR");

@@ -9,6 +9,7 @@
 #define DECA_SIM_MEM_CONFIG_H
 
 #include "common/contention.h"
+#include "common/dram_timing.h"
 #include "common/types.h"
 
 namespace deca::sim {
@@ -43,8 +44,16 @@ struct MemSystemConfig
      *  channels; irrelevant when channels == 1. */
     bool channelHash = false;
     /** Bandwidth derating under many-requester contention. The default
-     *  curve is inactive (efficiency 1.0 at any occupancy). */
+     *  curve is inactive (efficiency 1.0 at any occupancy). Ignored
+     *  when the bank model (`timing`) is active. */
     ContentionCurve contention{};
+    /** Bank-level row-buffer timing. When active (banksPerChannel >
+     *  0), each channel runs the FR-FCFS-lite per-bank state machine
+     *  and bandwidth derating *emerges* from row misses and bank
+     *  conflicts; the contention curve is ignored. The default is
+     *  inactive: the legacy and curve compatibility tiers stay
+     *  bit-for-bit. */
+    DramTiming timing{};
 
     /**
      * The exact-compatibility configuration: one channel, unbounded

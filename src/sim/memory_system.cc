@@ -11,10 +11,29 @@ MemorySystem::MemorySystem(EventQueue &q, const MemSystemConfig &cfg)
     : q_(q), cfg_(cfg),
       per_channel_bytes_per_cycle_(cfg.bytesPerCycle /
                                    static_cast<double>(cfg.channels)),
-      channels_(cfg.channels)
+      bank_mode_(cfg.timing.active()),
+      lines_per_row_(cfg.timing.linesPerRow()), channels_(cfg.channels)
 {
     DECA_ASSERT(cfg.bytesPerCycle > 0.0, "bandwidth must be positive");
     DECA_ASSERT(cfg.channels >= 1, "need at least one channel");
+    if (bank_mode_) {
+        DECA_ASSERT(!cfg.contention.active(),
+                    "bank model and contention curve are exclusive");
+        // Row/bank routing derives channel-local rows from the plain
+        // round-robin block interleave; a hashed channel map would
+        // make those row tags alias. The hash what-if remains
+        // available on the curve/legacy tiers.
+        DECA_ASSERT(!cfg.channelHash,
+                    "channelHash requires the curve or legacy tier");
+        DECA_ASSERT(cfg.timing.schedWindow >= 1, "empty FR-FCFS window");
+        DECA_ASSERT(cfg.timing.channelBlockLines >= 1 &&
+                        lines_per_row_ %
+                                cfg.timing.channelBlockLines ==
+                            0,
+                    "channel block must divide the row");
+        for (Channel &c : channels_)
+            c.banks.resize(cfg.timing.banksPerChannel);
+    }
 }
 
 MemorySystem::MemorySystem(EventQueue &q, double bytes_per_cycle,
@@ -58,10 +77,17 @@ MemorySystem::noteRequesterDone(u32 requester)
 u32
 MemorySystem::channelOf(u64 addr) const
 {
-    u64 line = addr / kCacheLineBytes;
+    u64 unit = addr / kCacheLineBytes;
+    // The bank model interleaves channels at block granularity (the
+    // server's 256 B-style interleave), so a stream's consecutive
+    // lines reach one controller as same-row clumps. The legacy and
+    // curve tiers keep the historical line-granular interleave
+    // bit-for-bit.
+    if (bank_mode_)
+        unit /= cfg_.timing.channelBlockLines;
     if (cfg_.channelHash)
-        line ^= (line >> 5) ^ (line >> 11);
-    return static_cast<u32>(line % cfg_.channels);
+        unit ^= (unit >> 5) ^ (unit >> 11);
+    return static_cast<u32>(unit % cfg_.channels);
 }
 
 MemorySystem::Pending *
@@ -100,6 +126,29 @@ MemorySystem::enqueueOwned(Pending *p)
 }
 
 void
+MemorySystem::route(Pending *p, u64 addr)
+{
+    p->ch = channelOf(addr);
+    if (bank_mode_) {
+        // Rows (and the banks they interleave over) live in the
+        // channel-local line space of the block interleave: block g
+        // of every channels-th block, with the line offset inside
+        // the block preserved. The global row id doubles as the
+        // open-row tag: equal id implies equal bank and row.
+        const u64 line = addr / kCacheLineBytes;
+        const u64 g = cfg_.timing.channelBlockLines;
+        const u64 local =
+            (line / (g * cfg_.channels)) * g + line % g;
+        p->row = local / lines_per_row_;
+        p->bank =
+            static_cast<u32>(p->row % cfg_.timing.banksPerChannel);
+    } else {
+        p->row = 0;
+        p->bank = 0;
+    }
+}
+
+void
 MemorySystem::issue(u32 requester, u64 addr, u64 bytes, DoneFn fn,
                     void *ctx, std::function<void()> heavy)
 {
@@ -110,7 +159,7 @@ MemorySystem::issue(u32 requester, u64 addr, u64 bytes, DoneFn fn,
     p->fn = fn;
     p->ctx = ctx;
     p->requester = requester;
-    p->ch = channelOf(addr);
+    route(p, addr);
     p->heavy = std::move(heavy);
     enqueueOwned(p);
 }
@@ -153,7 +202,7 @@ MemorySystem::read(u32 requester, u64 addr, u64 bytes,
     p->fn = nullptr;
     p->ctx = nullptr;
     p->requester = requester;
-    p->ch = channelOf(addr);
+    route(p, addr);
     p->heavy = std::move(on_done);
     Channel &c = channels_[p->ch];
 
@@ -203,6 +252,15 @@ MemorySystem::accept(Pending *p)
     ++c.outstanding;
     ++c.accepted;
 
+    if (bank_mode_) {
+        // The controller owns the request; the per-bank scheduler
+        // decides when its burst runs.
+        p->accept_time = static_cast<double>(q_.now());
+        c.pool.pushBack(p);
+        armArbiter(p->ch, q_.now());
+        return;
+    }
+
     // Derate the service rate by the contention efficiency at the
     // current concurrent-requester occupancy. With the curve inactive
     // the multiplication is exact and the legacy numbers are preserved
@@ -227,6 +285,171 @@ MemorySystem::accept(Pending *p)
     // cycle counts).
     when = std::max(when, q_.now() + 1);
     q_.scheduleAt(when, &MemorySystem::completeEvent, p);
+}
+
+// ---------------------------------------------------------------------
+// Bank-model scheduler (FR-FCFS-lite; see common/dram_timing.h)
+// ---------------------------------------------------------------------
+
+void
+MemorySystem::armArbiter(u32 ch, Cycles when)
+{
+    Channel &c = channels_[ch];
+    when = std::max(when, q_.now());
+    // Dedupe: an arbiter event at least as early is already pending.
+    // Later-armed duplicates are harmless (serveChannel is
+    // state-driven and re-arms itself).
+    if (when >= c.next_fire)
+        return;
+    c.next_fire = when;
+    q_.scheduleAt(when, &MemorySystem::arbiterEvent, this,
+                  static_cast<u32>(ch));
+}
+
+void
+MemorySystem::arbiterEvent(void *self, u64 ch)
+{
+    auto *m = static_cast<MemorySystem *>(self);
+    Channel &c = m->channels_[ch];
+    if (c.next_fire == m->q_.now())
+        c.next_fire = kNeverFires;
+    m->serveChannel(static_cast<u32>(ch));
+}
+
+MemorySystem::Pick
+MemorySystem::scoreRequest(const Channel &c, Pending *e) const
+{
+    const Bank &b = c.banks[e->bank];
+    const bool hit = b.open_row == e->row;
+    const double bank_ready =
+        hit ? b.free_time + cfg_.timing.tRowHitCycles
+            : std::max(b.free_time, b.act_free_time);
+    return {e, nullptr,
+            std::max({c.free_time, e->accept_time, bank_ready}), hit};
+}
+
+MemorySystem::Pick
+MemorySystem::pickRequest(Channel &c)
+{
+    // Fairness: after maxHitStreak same-bank bypasses, the oldest
+    // request is served regardless of how well anything else starts.
+    if (c.bypass_streak >= cfg_.timing.maxHitStreak)
+        return scoreRequest(c, c.pool.head);
+    // Serve whatever can start its burst earliest within the
+    // scheduler window; on a tie prefer an open-row burst, then the
+    // oldest. Bursts to banks still inside a row-switch occupancy
+    // window start late, so ready banks win naturally — the FR part
+    // of FR-FCFS.
+    Pick best{nullptr, nullptr, 0.0, false};
+    Pending *prev = nullptr;
+    u32 n = 0;
+    for (Pending *e = c.pool.head; e && n < cfg_.timing.schedWindow;
+         prev = e, e = e->next, ++n) {
+        Pick cand = scoreRequest(c, e);
+        cand.prev = prev;
+        if (!best.p || cand.start < best.start ||
+            (cand.start == best.start && cand.hit && !best.hit))
+            best = cand;
+    }
+    return best;
+}
+
+void
+MemorySystem::serveChannel(u32 ch)
+{
+    Channel &c = channels_[ch];
+    const Cycles now = q_.now();
+    const double cycle_end = static_cast<double>(now) + 1.0;
+    while (c.pool.head) {
+        const Pick pick = pickRequest(c);
+        Pending *const p = pick.p;
+        Pending *const prev = pick.prev;
+        Bank &b = c.banks[p->bank];
+        const bool hit = pick.hit;
+        const double start = pick.start;
+        if (start >= cycle_end) {
+            // Not startable this cycle; try again when it is. The
+            // pick is re-evaluated then (new arrivals may beat it).
+            armArbiter(ch, static_cast<Cycles>(start));
+            return;
+        }
+
+        if (hit) {
+            ++b.hits;
+        } else if (b.open_row == kNoRow) {
+            ++b.misses;
+            b.open_row = p->row;
+        } else {
+            ++b.conflicts;
+            b.open_row = p->row;
+        }
+        // A row switch steals command/turnaround cycles from the data
+        // bus, and re-arms the bank's activation window: only rows
+        // switched again faster than tRowMissCycles serialize — the
+        // many-thin-streams ping-pong regime. Hits to the open row
+        // keep streaming. (The constant access latency absorbs the
+        // per-access activation delay of an isolated row switch.)
+        const double burst = static_cast<double>(p->bytes) /
+                             per_channel_bytes_per_cycle_;
+        const double done =
+            start + burst +
+            (hit ? 0.0 : cfg_.timing.tRowSwitchBusCycles);
+        // Busy time is pure bus occupancy (burst + stolen command
+        // slots): an idle channel waiting on a bank is not a busy
+        // channel, so utilization stays an occupancy metric.
+        busy_cycles_ += done - start;
+        bytes_served_ += p->bytes;
+        c.free_time = done;
+        b.free_time = done;
+        if (!hit)
+            b.act_free_time = start + cfg_.timing.tRowMissCycles;
+
+        // Starvation bound: any serve that bypasses the pool head
+        // counts; serving the head resets. After maxHitStreak
+        // bypasses the head is forced (by then its bank's activation
+        // window has long elapsed, so the forced serve is cheap).
+        if (prev)
+            ++c.bypass_streak;
+        else
+            c.bypass_streak = 0;
+        c.pool.remove(prev, p);
+
+        const double done_at =
+            done + static_cast<double>(cfg_.latency);
+        Cycles when = static_cast<Cycles>(std::ceil(done_at));
+        when = std::max(when, now + 1);
+        q_.scheduleAt(when, &MemorySystem::completeEvent, p);
+    }
+}
+
+u64
+MemorySystem::rowHits() const
+{
+    u64 total = 0;
+    for (const Channel &c : channels_)
+        for (const Bank &b : c.banks)
+            total += b.hits;
+    return total;
+}
+
+u64
+MemorySystem::rowMisses() const
+{
+    u64 total = 0;
+    for (const Channel &c : channels_)
+        for (const Bank &b : c.banks)
+            total += b.misses;
+    return total;
+}
+
+u64
+MemorySystem::rowConflicts() const
+{
+    u64 total = 0;
+    for (const Channel &c : channels_)
+        for (const Bank &b : c.banks)
+            total += b.conflicts;
+    return total;
 }
 
 void

@@ -3,14 +3,30 @@
  * Multi-channel DRAM model shared by all cores and DECA loaders.
  *
  * The memory system exposes N independent channels, address-interleaved
- * at cache-line granularity. Each channel serves its requests FIFO at
+ * at cache-line granularity on the legacy/curve tiers and at
+ * channelBlockLines granularity (the server block interleave) under
+ * the bank model. Each channel serves requests at
  * bytesPerCycle / N, holds at most queueDepth requests at the controller
  * (later arrivals wait in a backpressure list), and completes a request
- * `latency` cycles after its service slot ends. Achievable bandwidth is
- * derated by a contention-efficiency curve as the number of concurrent
- * requesters per channel grows — few fat streams sustain more of the pin
- * bandwidth than many thin ones, which is what makes 16 DECA cores beat
- * 56 software cores on DDR (Fig. 14).
+ * `latency` cycles after its service slot ends.
+ *
+ * Three fidelity tiers share this one class:
+ *
+ *  - **Bank model** (cfg.timing.active(), the preset default): each
+ *    channel owns banksPerChannel banks with open-row tracking and an
+ *    FR-FCFS-lite scheduler (see common/dram_timing.h). Bandwidth
+ *    derating under many interleaved streams *emerges* from row-buffer
+ *    misses and bank conflicts — few fat streams sustain more of the
+ *    pin bandwidth than many thin ones, which is what makes 16 DECA
+ *    cores beat 56 software cores on DDR (Fig. 14). Per-bank
+ *    row-hit/miss/conflict counters feed rowHits()/rowMisses()/
+ *    rowConflicts().
+ *  - **Contention curve** (cfg.contention.active()): the retired
+ *    calibrated knee/slope/floor curve, kept as a bit-for-bit
+ *    compatibility tier.
+ *  - **Legacy** (MemSystemConfig::legacy): one channel, unbounded
+ *    queue, no derating — the original single-FIFO aggregate-rate
+ *    model, bit-for-bit.
  *
  * Requests live in pooled intrusive Pending nodes (a per-system slab +
  * free list); the hot completion path is a function-pointer trampoline,
@@ -164,6 +180,27 @@ class MemorySystem
     /** High-water mark of activeRequesters() over the run. */
     u32 peakActiveRequesters() const { return peak_active_requesters_; }
 
+    /** Bank-model counters, summed over every channel and bank (all
+     *  zero unless cfg.timing.active()). A burst that finds its row
+     *  open is a hit; a burst to a bank with no open row is a (cold)
+     *  miss; a burst that must close another row first is a conflict.
+     *  Conflicts and misses both pay the full row-switch timing. */
+    u64 rowHits() const;
+    u64 rowMisses() const;
+    u64 rowConflicts() const;
+
+    /** Measured fraction of bursts that were row hits (1.0 before any
+     *  burst, or when the bank model is off). */
+    double
+    measuredRowHitRate() const
+    {
+        const u64 total = rowHits() + rowMisses() + rowConflicts();
+        if (total == 0)
+            return 1.0;
+        return static_cast<double>(rowHits()) /
+               static_cast<double>(total);
+    }
+
   private:
     /**
      * A request accepted by read()/readLines() but not yet completed:
@@ -175,12 +212,19 @@ class MemorySystem
     struct Pending
     {
         MemorySystem *owner;
-        Pending *next;  ///< waiting/stalled/free-list linkage
+        Pending *next;  ///< waiting/stalled/pool/free-list linkage
         u64 bytes;
         DoneFn fn;
         void *ctx;
         u32 requester;
         u32 ch;
+        /** Bank-model routing (global row id doubles as the open-row
+         *  tag; equal row implies equal bank). */
+        u64 row;
+        u32 bank;
+        /** Cycle the controller took ownership (bank mode): service
+         *  may start at this fractional-time floor, never before. */
+        double accept_time;
         std::function<void()> heavy;
         std::function<void()> heavy_accept;
     };
@@ -214,13 +258,50 @@ class MemorySystem
             --size;
             return p;
         }
+
+        /** Unlink `p`, whose predecessor is `prev` (null = head). */
+        void
+        remove(Pending *prev, Pending *p)
+        {
+            if (prev)
+                prev->next = p->next;
+            else
+                head = p->next;
+            if (tail == p)
+                tail = prev;
+            --size;
+        }
     };
 
-    /** One DRAM channel: a rate-limited FIFO with a bounded queue. */
+    /** Sentinel: no row open at a bank. */
+    static constexpr u64 kNoRow = ~u64{0};
+    /** Sentinel: no arbiter event pending for a channel. */
+    static constexpr Cycles kNeverFires = ~Cycles{0};
+
+    /** One DRAM bank: open-row tag, occupancy, and access counters. */
+    struct Bank
+    {
+        /** Global row id currently open (kNoRow = precharged). */
+        u64 open_row = kNoRow;
+        /** End of the bank's latest burst (gates row hits). */
+        double free_time = 0.0;
+        /** Earliest next row activation (the tRC-style window a row
+         *  switch imposes; gates switches only — hits to the open
+         *  row keep streaming). */
+        double act_free_time = 0.0;
+        u64 hits = 0;
+        u64 misses = 0;     ///< cold: no row was open
+        u64 conflicts = 0;  ///< another row had to be closed first
+    };
+
+    /** One DRAM channel: a rate-limited FIFO with a bounded queue
+     *  (legacy/curve tiers), or an FR-FCFS-lite bank scheduler when
+     *  the bank model is active. */
     struct Channel
     {
-        /** Next cycle at which the channel is free (fractional
-         *  accumulator kept in double to avoid rounding bias). */
+        /** Next cycle at which the channel's data bus is free
+         *  (fractional accumulator kept in double to avoid rounding
+         *  bias). */
         double free_time = 0.0;
         /** Requests in service or queued at the controller. */
         u32 outstanding = 0;
@@ -231,6 +312,16 @@ class MemorySystem
         /** Bounded-acceptance requests refused so far (waiting list at
          *  acceptDepth); promoted FIFO as space frees. */
         PendingList stalled;
+
+        /** Bank mode: accepted requests awaiting a service slot. */
+        PendingList pool;
+        /** Bank mode: per-bank open-row state. */
+        std::vector<Bank> banks;
+        /** Earliest pending arbiter event (kNeverFires = none). */
+        Cycles next_fire = kNeverFires;
+        /** Serves since the pool head was last chosen (starvation
+         *  bound: maxHitStreak bypasses force the head). */
+        u32 bypass_streak = 0;
     };
 
     /** Channel the line holding `addr` maps to (after the optional
@@ -239,6 +330,9 @@ class MemorySystem
 
     Pending *allocPending();
     void freePending(Pending *p);
+
+    /** Fill a node's channel/bank/row routing for `addr`. */
+    void route(Pending *p, u64 addr);
 
     /** Build a node and route it for `addr` (shared by every public
      *  read form). */
@@ -259,12 +353,44 @@ class MemorySystem
     /** Bookkeeping when a request finishes (frees its queue slot). */
     void complete(u32 ch, u32 requester);
 
+    // --- bank-model scheduler ------------------------------------
+    /** Ensure an arbiter event fires for channel `ch` by `when`. */
+    void armArbiter(u32 ch, Cycles when);
+    /** Arbiter trampoline: ctx = MemorySystem, arg = channel. */
+    static void arbiterEvent(void *self, u64 ch);
+    /** Serve every pool request whose burst starts this cycle, then
+     *  re-arm for the next service instant. */
+    void serveChannel(u32 ch);
+
+    /** One scheduling candidate: the node, its list predecessor
+     *  (null = pool head), and the shared scoring the scheduler picks
+     *  by and the server charges by — computed in one place
+     *  (scoreRequest) so the two can never diverge. */
+    struct Pick
+    {
+        Pending *p;
+        Pending *prev;
+        /** Earliest fractional cycle the burst can start. */
+        double start;
+        /** The bank's open row matches the request's. */
+        bool hit;
+    };
+    /** Score one pool entry against its bank/channel state. */
+    Pick scoreRequest(const Channel &c, Pending *e) const;
+    /** FR-FCFS-lite pick: the windowed request whose burst can start
+     *  earliest (ties prefer row hits, then age), unless the
+     *  starvation bound forces the pool head. */
+    Pick pickRequest(Channel &c);
+
     void noteRequesterBusy(u32 requester);
     void noteRequesterDone(u32 requester);
 
     EventQueue &q_;
     MemSystemConfig cfg_;
     double per_channel_bytes_per_cycle_;
+    /** cfg_.timing.active(), hoisted out of the hot paths. */
+    bool bank_mode_;
+    u64 lines_per_row_;
     std::vector<Channel> channels_;
 
     /** Slab + free list recycling Pending nodes (stable addresses). */

@@ -11,6 +11,8 @@ sprDdrParams()
     p.memBwGBs = 260.0;
     p.memLatency = 240;  // DDR5 round trip is a little longer than HBM's
     p.memChannels = 8;   // 8 DDR5 channels on SPR
+    p.memTiming = ddr5DramTiming();
+    p.memAcceptDepth = 32;
     return p;
 }
 
@@ -23,6 +25,8 @@ sprHbmParams()
     p.memBwGBs = 850.0;
     p.memLatency = 220;
     p.memChannels = 32;  // HBM2e pseudo-channels
+    p.memTiming = hbmDramTiming();
+    p.memAcceptDepth = 32;
     return p;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/contention.h"
+#include "common/dram_timing.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "sim/mem_config.h"
@@ -22,6 +23,17 @@ enum class MemoryKind
 {
     DDR5,
     HBM,
+};
+
+/** Fidelity tier of the DRAM model (see sim/memory_system.h). */
+enum class MemModel
+{
+    /** Calibrated contention curve (the retired PR-2 model), kept as
+     *  a bit-for-bit compatibility tier. */
+    Curve,
+    /** First-principles bank/row-buffer model (the default): derating
+     *  emerges from row misses and bank conflicts. */
+    Bank,
 };
 
 /** All timing/sizing parameters of the simulated system. */
@@ -45,13 +57,30 @@ struct SimParams
      *  channel's bandwidth-delay product (~40-50 lines here) or it caps
      *  achievable bandwidth instead of just bounding burst pile-ups. */
     u32 memQueueDepth = 64;
+    /** Bound on each channel's backpressure waiting list before the
+     *  controller refuses ownership entirely (MSHR-style requester
+     *  stall: streams with boundedAcceptance stop issuing until the
+     *  controller accepts). 0 = always accept, the historical
+     *  behaviour. When nonzero, every GemmSimulation fetch stream
+     *  issues through the bounded-acceptance path. */
+    u32 memAcceptDepth = 0;
     /** Controller channel hash (XOR-folded line address). Off by
      *  default: plain round-robin spreads each tile's lines perfectly
      *  across channels, which matters more for the unit-stride streams
      *  here than decorrelating phase-locked requesters. Available for
-     *  irregular-access what-ifs. */
+     *  irregular-access what-ifs on the curve/legacy tiers only — the
+     *  bank model's row geometry needs the un-hashed block interleave
+     *  (MemorySystem asserts on the combination). */
     bool memChannelHash = false;
-    /** Contention derating: concurrent requesters per channel sustained
+    /** Which DRAM fidelity tier memConfig() builds. Bank is the
+     *  preset default; Curve reproduces the retired calibrated-curve
+     *  numbers bit-for-bit. */
+    MemModel memModel = MemModel::Bank;
+    /** Bank/row-buffer timing of the selected technology (Bank model
+     *  only); sprDdrParams()/sprHbmParams() install the re-anchored
+     *  DDR5/HBM presets from common/dram_timing.h. */
+    DramTiming memTiming = hbmDramTiming();
+    /** Curve tier only — concurrent requesters per channel sustained
      *  at full efficiency (row-buffer locality survives). */
     double memContentionKnee = 4.0;
     /** Efficiency lost per extra requester-per-channel past the knee. */
@@ -132,8 +161,12 @@ struct SimParams
         c.latency = memLatency;
         c.channels = memChannels;
         c.queueDepth = memQueueDepth;
+        c.acceptDepth = memAcceptDepth;
         c.channelHash = memChannelHash;
-        c.contention = memContention();
+        if (memModel == MemModel::Bank)
+            c.timing = memTiming;
+        else
+            c.contention = memContention();
         return c;
     }
 };

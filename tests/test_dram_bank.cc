@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the bank-level DRAM model (the first-principles tier of
+ * sim::MemorySystem, contract in common/dram_timing.h): row-hit/miss/
+ * conflict accounting, open-row replacement, bandwidth invariants,
+ * sim-vs-analytic agreement across the DSE grid, and regression pins
+ * keeping the legacy and curve compatibility tiers frozen.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/dram_timing.h"
+#include "roofsurface/machine.h"
+#include "sim/memory_system.h"
+#include "sim/params.h"
+
+namespace deca::sim {
+namespace {
+
+/** Tiny descriptor with human-checkable geometry: 4 banks, 4-line
+ *  (256 B) rows, visible switch costs. */
+DramTiming
+tinyTiming()
+{
+    DramTiming t;
+    t.banksPerChannel = 4;
+    t.rowBytes = 256;
+    t.tRowMissCycles = 20.0;
+    t.tRowSwitchBusCycles = 2.0;
+    t.channelBlockLines = 4;
+    return t;
+}
+
+MemSystemConfig
+bankConfig(double bpc, Cycles latency, u32 channels, u32 queue_depth,
+           const DramTiming &t)
+{
+    MemSystemConfig c;
+    c.bytesPerCycle = bpc;
+    c.latency = latency;
+    c.channels = channels;
+    c.queueDepth = queue_depth;
+    c.timing = t;
+    return c;
+}
+
+TEST(DramBank, CountersAccountEveryBurst)
+{
+    // One channel, 64 B/cycle, 4-line rows on 4 banks. 16 sequential
+    // lines touch rows 0-3 (banks 0-3): one cold miss per row, hits
+    // for the rest. Four more lines of row 4 (bank 0 again) must
+    // close row 0 first: one conflict, then hits.
+    EventQueue q;
+    MemorySystem mem(q, bankConfig(64.0, 0, 1, 0, tinyTiming()));
+    const u32 r = mem.newRequesterId();
+    int completions = 0;
+    for (u64 line = 0; line < 20; ++line)
+        mem.read(r, line * kCacheLineBytes, kCacheLineBytes,
+                 [&] { ++completions; });
+    q.run();
+    EXPECT_EQ(completions, 20);
+    EXPECT_EQ(mem.rowMisses(), 4u);
+    EXPECT_EQ(mem.rowConflicts(), 1u);
+    EXPECT_EQ(mem.rowHits(), 15u);
+    EXPECT_EQ(mem.rowHits() + mem.rowMisses() + mem.rowConflicts(),
+              20u);
+    EXPECT_DOUBLE_EQ(mem.measuredRowHitRate(), 15.0 / 20.0);
+}
+
+TEST(DramBank, ConflictReplacesTheOpenRow)
+{
+    // Rows 0 and 4 share bank 0. Alternating between them can never
+    // hit: each access finds the other row open, closes it, and
+    // installs its own — open-row replacement, not set-associativity.
+    EventQueue q;
+    MemorySystem mem(q, bankConfig(64.0, 0, 1, 0, tinyTiming()));
+    const u32 r = mem.newRequesterId();
+    const u64 row4 = 4 * 256;
+    int done = 0;
+    auto next = [&](u64 addr, auto self) -> void {
+        ++done;
+        if (done >= 5)
+            return;
+        mem.read(r, addr, kCacheLineBytes,
+                 [&, self, addr] { self(addr == 0 ? row4 : 0, self); });
+    };
+    mem.read(r, 0, kCacheLineBytes, [&] { next(row4, next); });
+    q.run();
+    EXPECT_EQ(done, 5);
+    // First access is the cold miss; every later one is a conflict.
+    EXPECT_EQ(mem.rowMisses(), 1u);
+    EXPECT_EQ(mem.rowConflicts(), 4u);
+    EXPECT_EQ(mem.rowHits(), 0u);
+}
+
+TEST(DramBank, InactiveTimingKeepsCompatibilityDefaults)
+{
+    // The default-constructed config stays in the exact-compatibility
+    // tiers: no banks, no curve — and the presets opt into the bank
+    // model explicitly.
+    EXPECT_FALSE(MemSystemConfig{}.timing.active());
+    EXPECT_FALSE(MemSystemConfig::legacy(4.0, 10).timing.active());
+    EXPECT_FALSE(MemSystemConfig::legacy(4.0, 10).contention.active());
+    EXPECT_TRUE(sprDdrParams().memConfig().timing.active());
+    EXPECT_TRUE(sprHbmParams().memConfig().timing.active());
+
+    // With the bank model off the hit-rate telemetry reads as ideal.
+    EventQueue q;
+    MemorySystem mem(q, MemSystemConfig::legacy(4.0, 10));
+    EXPECT_DOUBLE_EQ(mem.measuredRowHitRate(), 1.0);
+    EXPECT_EQ(mem.rowHits() + mem.rowMisses() + mem.rowConflicts(),
+              0u);
+}
+
+/** Self-sustaining sequential streams against `cfg`; returns bytes
+ *  served in a post-warm-up window plus the measured row-hit rate.
+ *  `budget` lines stay in flight per stream so the DRAM system, not
+ *  the requesters, is the binding constraint. */
+struct StreamRun
+{
+    u64 window_bytes;
+    double hit_rate;
+};
+
+StreamRun
+runStreams(const MemSystemConfig &cfg, u32 streams, u32 budget,
+           u64 stream_stride, Cycles warmup, Cycles window)
+{
+    EventQueue q;
+    MemorySystem mem(q, cfg);
+    struct Stream
+    {
+        MemorySystem &mem;
+        u32 id;
+        u64 next_addr;
+
+        void
+        issue()
+        {
+            const u64 addr = next_addr;
+            next_addr += kCacheLineBytes;
+            mem.read(id, addr, kCacheLineBytes, [this] { issue(); });
+        }
+    };
+    std::vector<std::unique_ptr<Stream>> live;
+    for (u32 s = 0; s < streams; ++s) {
+        const u32 id = mem.newRequesterId();
+        live.push_back(std::make_unique<Stream>(
+            Stream{mem, id, u64{id} * stream_stride}));
+        for (u32 j = 0; j < budget; ++j)
+            live.back()->issue();
+    }
+    q.runUntil(warmup);
+    const u64 warm = mem.bytesServed();
+    q.runUntil(warmup + window);
+    return {mem.bytesServed() - warm, mem.measuredRowHitRate()};
+}
+
+/** Stream spacing that parks stream id on its own row region (one
+ *  full row per channel apart, staggered by a line). */
+u64
+rowStride(const MemSystemConfig &cfg)
+{
+    return u64{cfg.timing.rowBytes} * cfg.channels + kCacheLineBytes;
+}
+
+TEST(DramBank, SingleStreamSustainsNearFullBandwidth)
+{
+    // One sequential stream misses once per row: the derating is one
+    // row switch per 128 lines, invisible at the pin. (DDR preset:
+    // 104 B/cycle over 8 channels, 240-cycle latency.)
+    const SimParams p = sprDdrParams();
+    const MemSystemConfig cfg = p.memConfig();
+    const StreamRun r =
+        runStreams(cfg, 1, 512, rowStride(cfg), 4096, 16384);
+    const double eff = static_cast<double>(r.window_bytes) /
+                       (16384.0 * cfg.bytesPerCycle);
+    EXPECT_GT(eff, 0.97);
+    EXPECT_GT(r.hit_rate, 0.95);
+}
+
+TEST(DramBank, ManyStreamDeratingIsMonotone)
+{
+    // Adding interleaved streams can only lose bandwidth: row
+    // conflicts rise with the population, never fall. (The emergent
+    // replacement for the curve test's knee/slope shape.)
+    const SimParams p = sprDdrParams();
+    const MemSystemConfig cfg = p.memConfig();
+    u64 prev = ~u64{0};
+    double crowd_eff = 1.0;
+    for (const u32 k : {1u, 8u, 32u, 112u}) {
+        const u32 budget = k == 1 ? 512 : 600 / k + 24;
+        const StreamRun r =
+            runStreams(cfg, k, budget, rowStride(cfg), 4096, 16384);
+        EXPECT_LE(static_cast<double>(r.window_bytes),
+                  1.005 * static_cast<double>(prev))
+            << k;
+        prev = r.window_bytes;
+        crowd_eff = static_cast<double>(r.window_bytes) /
+                    (16384.0 * cfg.bytesPerCycle);
+    }
+    // The crowd pays a real toll, but bank parallelism keeps a floor
+    // (the old curve's floor, now emergent).
+    EXPECT_LT(crowd_eff, 0.97);
+    EXPECT_GT(crowd_eff, 0.90);
+}
+
+TEST(DramBank, SimTracksClosedFormAcrossDseGrid)
+{
+    // The analytic mirror must track the simulator's emergent
+    // efficiency across the dse_memory grid — this is the pinned
+    // tolerance the acceptance criteria reference. Hit-rate agreement
+    // is pinned on the DDR cells, where the block interleave makes
+    // the closed form's clump picture exact enough; on HBM's
+    // line-granular interleave the estimator is deliberately
+    // conservative between the anchor populations, and the efficiency
+    // bound alone is the contract (switch costs there are tiny, so
+    // hit rate barely moves bandwidth).
+    for (const bool hbm : {false, true}) {
+        for (const u32 banks : {8u, 32u}) {
+            for (const u32 streams : {32u, 112u}) {
+                SimParams p = hbm ? sprHbmParams() : sprDdrParams();
+                p.memTiming.banksPerChannel = banks;
+                const MemSystemConfig cfg = p.memConfig();
+
+                const double per_ch = cfg.bytesPerCycle / cfg.channels;
+                const double burst = kCacheLineBytes / per_ch;
+                const double bdp =
+                    cfg.channels *
+                    (static_cast<double>(cfg.latency) / burst + 1.0);
+                u32 budget =
+                    static_cast<u32>(1.4 * bdp / streams) + 4;
+                const StreamRun r = runStreams(
+                    cfg, streams, budget, rowStride(cfg), 2048, 8192);
+                const double sim_eff =
+                    static_cast<double>(r.window_bytes) /
+                    (8192.0 * cfg.bytesPerCycle);
+
+                const double ana_eff = cfg.timing.efficiency(
+                    static_cast<double>(streams), burst);
+                const double ana_hit = cfg.timing.expectedRowHitRate(
+                    static_cast<double>(streams));
+                EXPECT_NEAR(sim_eff, ana_eff, 0.05)
+                    << (hbm ? "hbm" : "ddr") << " banks=" << banks
+                    << " streams=" << streams;
+                if (!hbm)
+                    EXPECT_NEAR(r.hit_rate, ana_hit, 0.16)
+                        << "ddr banks=" << banks
+                        << " streams=" << streams;
+            }
+        }
+    }
+}
+
+TEST(DramBank, CurveTierPinnedBitForBit)
+{
+    // Regression pin freezing the retired contention-curve tier: a
+    // fixed 12-requester trace (3 requesters per channel, past the
+    // curve's knee of 2, so the derating genuinely bites) must
+    // reproduce these exact completion cycles, recorded when the bank
+    // model landed. Any drift means the compatibility tier broke.
+    EventQueue q;
+    MemSystemConfig cfg;
+    cfg.bytesPerCycle = 8.0;
+    cfg.latency = 50;
+    cfg.channels = 4;
+    cfg.queueDepth = 8;
+    cfg.contention = ContentionCurve{2.0, 0.05, 0.5};
+    MemorySystem mem(q, cfg);
+    std::vector<Cycles> done;
+    std::vector<u32> ids;
+    for (int i = 0; i < 12; ++i)
+        ids.push_back(mem.newRequesterId());
+    for (u64 i = 0; i < 48; ++i)
+        mem.read(ids[i % 12], i * kCacheLineBytes, kCacheLineBytes,
+                 [&] { done.push_back(q.now()); });
+    q.run();
+    const std::vector<Cycles> kPinned = {
+        82,  82,  82,  82,  114, 114, 114, 114, 147, 147, 148, 148,
+        181, 181, 181, 182, 214, 215, 215, 216, 248, 248, 249, 249,
+        282, 282, 282, 283, 315, 316, 316, 317, 349, 349, 350, 350,
+        383, 383, 384, 384, 416, 417, 417, 418, 450, 450, 451, 451};
+    EXPECT_EQ(done, kPinned);
+    EXPECT_EQ(mem.bytesServed(), 48u * kCacheLineBytes);
+}
+
+} // namespace
+} // namespace deca::sim

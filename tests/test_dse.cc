@@ -109,5 +109,59 @@ TEST(Dse, FallbackWhenNothingEscapesVec)
     EXPECT_GT(best.vecBoundKernels, 0u);
 }
 
+TEST(Dse, MemoryDesignGridMatchesDirectEvaluation)
+{
+    // exploreMemoryDesign fans the channels x banks x streams grid
+    // through the SweepEngine; every point must equal the closed form
+    // evaluated directly, in grid order, and be identical whether the
+    // sweep runs serial or parallel.
+    const auto base = sprHbm();
+    const std::vector<u32> chans = {8, 64};
+    const std::vector<u32> banks = {4, 32};
+    const std::vector<u32> streams = {1, 112};
+
+    runner::SweepOptions serial;
+    serial.threads = 1;
+    runner::SweepOptions parallel;
+    parallel.threads = 4;
+    const auto pts =
+        exploreMemoryDesign(base, chans, banks, streams, serial);
+    const auto pts_par =
+        exploreMemoryDesign(base, chans, banks, streams, parallel);
+
+    ASSERT_EQ(pts.size(), chans.size() * banks.size() * streams.size());
+    ASSERT_EQ(pts_par.size(), pts.size());
+    std::size_t i = 0;
+    for (const u32 ch : chans)
+        for (const u32 bk : banks)
+            for (const u32 n : streams) {
+                const auto m =
+                    base.withMemChannels(ch).withMemBanks(bk);
+                const MemoryDesignPoint &p = pts[i];
+                EXPECT_EQ(p.channels, ch);
+                EXPECT_EQ(p.banks, bk);
+                EXPECT_EQ(p.streams, n);
+                EXPECT_DOUBLE_EQ(p.burstCycles, m.lineBurstCycles());
+                EXPECT_DOUBLE_EQ(
+                    p.rowHitRate,
+                    m.memTiming.expectedRowHitRate(n));
+                EXPECT_DOUBLE_EQ(
+                    p.efficiency,
+                    m.memTiming.efficiency(n, m.lineBurstCycles()));
+                EXPECT_DOUBLE_EQ(p.effectiveBwBytesPerSec,
+                                 m.effectiveMemBwBytesPerSec(n));
+                // Bit-identical across thread counts.
+                EXPECT_EQ(pts_par[i].efficiency, p.efficiency);
+                EXPECT_EQ(pts_par[i].effectiveBwBytesPerSec,
+                          p.effectiveBwBytesPerSec);
+                ++i;
+            }
+
+    // A single stream on ample banks keeps nearly all the bandwidth;
+    // 112 streams on 4 banks x 8 channels collapse.
+    EXPECT_GT(pts.front().efficiency, 0.99);
+    EXPECT_LT(pts[1].efficiency, 0.90);
+}
+
 } // namespace
 } // namespace deca::roofsurface

@@ -476,29 +476,81 @@ TEST(MemoryContention, ChannelHashHelpsIrregularConflictingStrides)
               1.02 * static_cast<double>(seq_plain));
 }
 
-TEST(MemoryContention, SimAndAnalyticCurvesAgree)
+TEST(MemoryContention, SimAndAnalyticContractsAgree)
 {
     // The cycle-level DRAM presets and the analytic machine descriptors
-    // must derate bandwidth identically, or the Roof-Surface bounds and
-    // the simulator drift apart.
-    const SimParams ddr_sim = sprDdrParams();
-    const auto ddr_machine = roofsurface::sprDdr();
-    EXPECT_EQ(ddr_sim.memChannels, ddr_machine.memChannels);
+    // must share one derating contract, or the Roof-Surface bounds and
+    // the simulator drift apart. Since the bank model, that contract is
+    // the DramTiming descriptor itself: both sides must carry the same
+    // timings and evaluate the same closed form.
+    for (const bool hbm : {false, true}) {
+        const SimParams sim = hbm ? sprHbmParams() : sprDdrParams();
+        const auto machine =
+            hbm ? roofsurface::sprHbm() : roofsurface::sprDdr();
+        EXPECT_EQ(sim.memChannels, machine.memChannels);
+        ASSERT_TRUE(sim.memConfig().timing.active());
+        ASSERT_TRUE(machine.memTiming.active());
+        EXPECT_EQ(sim.memTiming.banksPerChannel,
+                  machine.memTiming.banksPerChannel);
+        EXPECT_EQ(sim.memTiming.rowBytes, machine.memTiming.rowBytes);
+        EXPECT_EQ(sim.memTiming.tRowMissCycles,
+                  machine.memTiming.tRowMissCycles);
+        EXPECT_EQ(sim.memTiming.tRowSwitchBusCycles,
+                  machine.memTiming.tRowSwitchBusCycles);
+        EXPECT_EQ(sim.memTiming.channelBlockLines,
+                  machine.memTiming.channelBlockLines);
+
+        // Same closed form, same inputs: the machine's effective
+        // bandwidth is exactly the sim descriptor's efficiency.
+        const double burst = machine.lineBurstCycles();
+        for (const u32 req : {8u, 16u, 32u, 56u, 112u}) {
+            const double analytic_eff =
+                machine.effectiveMemBwBytesPerSec(req) /
+                machine.memBwBytesPerSec;
+            EXPECT_DOUBLE_EQ(
+                sim.memTiming.efficiency(req, burst), analytic_eff)
+                << (hbm ? "hbm " : "ddr ") << req;
+        }
+    }
+
+    // The Fig. 14 mechanism, now emerging from row-buffer physics: 32
+    // loader streams (16 DECA cores) keep more of the DDR pin
+    // bandwidth than 56 software streams, which keep more than 112
+    // loaders — and even the crowd stays near the old curve's floor.
+    const auto ddr = roofsurface::sprDdr();
+    const double bw32 = ddr.effectiveMemBwBytesPerSec(32);
+    const double bw56 = ddr.effectiveMemBwBytesPerSec(56);
+    const double bw112 = ddr.effectiveMemBwBytesPerSec(112);
+    EXPECT_GT(bw32, bw56);
+    EXPECT_GT(bw56, bw112);
+    EXPECT_GT(bw32 / ddr.memBwBytesPerSec, 0.97);
+    EXPECT_GT(bw112 / ddr.memBwBytesPerSec, 0.94);
+}
+
+TEST(MemoryContention, CurveTierStillMirroredSimToAnalytic)
+{
+    // The retired curve tier stays a coherent compatibility mode: a
+    // SimParams pinned to MemModel::Curve and a MachineConfig with the
+    // bank model disabled derate through the identical curve.
+    SimParams sim = sprDdrParams();
+    sim.memModel = MemModel::Curve;
+    auto machine = roofsurface::sprDdr();
+    machine.memTiming = DramTiming{};  // inactive: curve fallback
+    ASSERT_FALSE(sim.memConfig().timing.active());
+    ASSERT_TRUE(sim.memConfig().contention.active());
     for (const u32 req : {8u, 16u, 32u, 56u, 112u}) {
         const double rpc = static_cast<double>(req) /
-                           static_cast<double>(ddr_sim.memChannels);
-        const double sim_eff =
-            ddr_sim.memConfig().contention.efficiency(rpc);
-        const double analytic_eff =
-            ddr_machine.effectiveMemBwBytesPerSec(req) /
-            ddr_machine.memBwBytesPerSec;
-        EXPECT_DOUBLE_EQ(sim_eff, analytic_eff) << req;
+                           static_cast<double>(sim.memChannels);
+        EXPECT_DOUBLE_EQ(sim.memConfig().contention.efficiency(rpc),
+                         machine.effectiveMemBwBytesPerSec(req) /
+                             machine.memBwBytesPerSec)
+            << req;
     }
-    // 16 DECA cores (32 loader streams) keep full DDR bandwidth; 56
-    // software streams are past the knee — the Fig. 14 mechanism.
+    // The curve's Fig. 14 shape is unchanged: full bandwidth at 32
+    // loader streams, derated past the knee at 56.
     EXPECT_DOUBLE_EQ(
-        ddr_sim.memConfig().contention.efficiency(32.0 / 8.0), 1.0);
-    EXPECT_LT(ddr_sim.memConfig().contention.efficiency(56.0 / 8.0),
+        sim.memConfig().contention.efficiency(32.0 / 8.0), 1.0);
+    EXPECT_LT(sim.memConfig().contention.efficiency(56.0 / 8.0),
               0.97);
 }
 

@@ -38,9 +38,13 @@ def load(path):
             m = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read manifest {path}: {e}")
-    if m.get("schema") != "decasim-run/1":
-        sys.exit(f"error: {path}: unexpected schema {m.get('schema')!r}")
-    return m
+    if m.get("schema") == "decasim-run/1":
+        return m
+    # `decasim run <one scenario> --format=json` emits the bare
+    # scenario object; wrap it so single-scenario runs diff too.
+    if "name" in m and "sections" in m:
+        return {"schema": "decasim-run/1", "scenarios": [m]}
+    sys.exit(f"error: {path}: unexpected schema {m.get('schema')!r}")
 
 
 def rtol_for(title, default, overrides):

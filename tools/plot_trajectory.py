@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Plot the perf/accuracy trajectory across archived run artifacts.
+
+Usage:
+  tools/plot_trajectory.py INPUT.json... [--svg trajectory.svg]
+                           [--csv trajectory.csv]
+                           [--cell SCENARIO:TABLE_GLOB:ROW:COL]...
+
+The consumer half of the compare_runs.py idea: compare_runs.py gates
+two runs, this tool charts many. Inputs are any mix of
+
+  * BENCH_event_core.json reports (schema deca-bench-event-core/1):
+    contributes ns-per-event/ns-per-line microbenchmark series and the
+    timed `run all` wall times, labelled by the report's git rev;
+  * decasim-run/1 manifests: contributes the summed scenario
+    elapsed_ms, labelled by the file name, plus any table cells named
+    by --cell (fnmatch on the table title; ROW/COL are 0-based row
+    index and column name) so accuracy headlines can ride the same
+    trajectory, e.g. --cell 'fig14:Figure 14*:1:DECA'.
+
+Inputs are plotted in command-line order (pass them oldest-first).
+Metrics have different units, so the SVG indexes every series to its
+first value (first = 100, one shared axis); the CSV twin carries the
+raw values and is the machine-readable/table view of the same data.
+
+Stdlib only — the SVG is written directly, styled to the validated
+default chart palette.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+
+# Validated categorical palette (fixed slot order, light surface) and
+# text/surface tokens; see the dataviz palette reference. Series
+# identity follows the metric, never its rank in a particular run.
+PALETTE = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+           "#e87ba4", "#008300", "#4a3aa7", "#e34948"]
+SURFACE = "#fcfcfb"
+TEXT = "#0b0b0b"
+TEXT2 = "#52514e"
+GRID = "#e8e7e4"
+
+WIDTH, HEIGHT = 880, 440
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 64, 200, 48, 56
+
+
+def fail(msg):
+    sys.exit(f"error: {msg}")
+
+
+def load_input(path, cells):
+    """Returns (label, {metric: value})."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+    schema = doc.get("schema")
+    if schema == "deca-bench-event-core/1":
+        label = doc.get("git", os.path.basename(path))
+        metrics = {}
+        for name, fields in doc.get("micro", {}).items():
+            for key in ("ns_per_event", "ns_per_line"):
+                if key in fields:
+                    metrics[f"{name} ({key.split('_', 1)[0]})"] = \
+                        fields[key]
+        for key, val in doc.get("run_all", {}).items():
+            metrics[f"run all {key.replace('_seconds', '')} (s)"] = val
+        return label, metrics
+    if schema == "decasim-run/1":
+        label = os.path.splitext(os.path.basename(path))[0]
+        metrics = {}
+        elapsed = sum(s.get("elapsed_ms", 0)
+                      for s in doc.get("scenarios", []))
+        metrics["scenario elapsed (ms)"] = elapsed
+        for spec in cells:
+            scen, glob, row, col = spec
+            for s in doc.get("scenarios", []):
+                if s.get("name") != scen:
+                    continue
+                for sec in s.get("sections", []):
+                    if sec.get("type") != "table":
+                        continue
+                    t = sec["table"]
+                    if not fnmatch.fnmatch(t.get("title", ""), glob):
+                        continue
+                    if col not in t.get("columns", []):
+                        fail(f"{path}: table {t['title']!r} has no "
+                             f"column {col!r}")
+                    ci = t["columns"].index(col)
+                    rows = t.get("rows", [])
+                    if row >= len(rows):
+                        fail(f"{path}: table {t['title']!r} has only "
+                             f"{len(rows)} rows")
+                    try:
+                        val = float(rows[row][ci])
+                    except ValueError:
+                        fail(f"{path}: cell {rows[row][ci]!r} is not "
+                             f"numeric")
+                    metrics[f"{scen} {col}[{row}]"] = val
+        return label, metrics
+    fail(f"{path}: unknown schema {schema!r}")
+
+
+def write_csv(path, labels, series):
+    with open(path, "w") as f:
+        f.write("index,label,metric,value\n")
+        for metric, points in series.items():
+            for i, val in points:
+                f.write(f"{i},{labels[i]},{metric},{val:g}\n")
+
+
+def svg_escape(s):
+    return (s.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def write_svg(path, labels, series):
+    n = len(labels)
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    # Index every series to its first value: one shared axis, units
+    # removed, "how did it move" preserved.
+    indexed = {}
+    for metric, points in series.items():
+        base = points[0][1]
+        if base == 0:
+            continue
+        indexed[metric] = [(i, 100.0 * v / base) for i, v in points]
+    if not indexed:
+        fail("no plottable series (all-zero bases?)")
+
+    vals = [v for pts in indexed.values() for _, v in pts]
+    lo, hi = min(vals + [100.0]), max(vals + [100.0])
+    pad = max((hi - lo) * 0.1, 2.0)
+    lo, hi = lo - pad, hi + pad
+
+    def x(i):
+        if n == 1:
+            return MARGIN_L + plot_w / 2
+        return MARGIN_L + plot_w * i / (n - 1)
+
+    def y(v):
+        return MARGIN_T + plot_h * (hi - v) / (hi - lo)
+
+    out = []
+    out.append(f'<svg xmlns="http://www.w3.org/2000/svg" '
+               f'width="{WIDTH}" height="{HEIGHT}" '
+               f'viewBox="0 0 {WIDTH} {HEIGHT}" '
+               f'font-family="system-ui, sans-serif">')
+    out.append(f'<rect width="{WIDTH}" height="{HEIGHT}" '
+               f'fill="{SURFACE}"/>')
+    out.append(f'<text x="{MARGIN_L}" y="24" font-size="15" '
+               f'fill="{TEXT}" font-weight="600">Perf trajectory '
+               f'(indexed, first = 100)</text>')
+
+    # Recessive horizontal grid + axis labels.
+    steps = 4
+    for k in range(steps + 1):
+        v = lo + (hi - lo) * k / steps
+        yy = y(v)
+        out.append(f'<line x1="{MARGIN_L}" y1="{yy:.1f}" '
+                   f'x2="{MARGIN_L + plot_w}" y2="{yy:.1f}" '
+                   f'stroke="{GRID}" stroke-width="1"/>')
+        out.append(f'<text x="{MARGIN_L - 8}" y="{yy + 4:.1f}" '
+                   f'font-size="11" fill="{TEXT2}" '
+                   f'text-anchor="end">{v:.0f}</text>')
+
+    # X labels (thinned to at most 8).
+    stride = max(1, (n + 7) // 8)
+    for i in range(0, n, stride):
+        out.append(f'<text x="{x(i):.1f}" '
+                   f'y="{MARGIN_T + plot_h + 20}" font-size="11" '
+                   f'fill="{TEXT2}" text-anchor="middle">'
+                   f'{svg_escape(labels[i][:16])}</text>')
+
+    # Series: 2px lines, 8px markers, legend + direct end labels in
+    # text ink (color carries identity via the swatch/marker only).
+    for si, (metric, pts) in enumerate(indexed.items()):
+        color = PALETTE[si % len(PALETTE)]
+        coords = [(x(i), y(v)) for i, v in pts]
+        if len(coords) > 1:
+            d = " ".join(f"{px:.1f},{py:.1f}" for px, py in coords)
+            out.append(f'<polyline points="{d}" fill="none" '
+                       f'stroke="{color}" stroke-width="2" '
+                       f'stroke-linejoin="round"/>')
+        for px, py in coords:
+            out.append(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="4" '
+                       f'fill="{color}" stroke="{SURFACE}" '
+                       f'stroke-width="2"/>')
+        ly = MARGIN_T + 16 * si
+        lx = MARGIN_L + plot_w + 16
+        out.append(f'<rect x="{lx}" y="{ly - 9}" width="10" '
+                   f'height="10" rx="2" fill="{color}"/>')
+        out.append(f'<text x="{lx + 16}" y="{ly}" font-size="11" '
+                   f'fill="{TEXT}">{svg_escape(metric[:26])}</text>')
+
+    out.append("</svg>")
+    with open(path, "w") as f:
+        f.write("\n".join(out) + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="chart BENCH_event_core.json / decasim manifest "
+                    "history as an SVG + CSV trajectory")
+    ap.add_argument("inputs", nargs="+",
+                    help="artifact JSONs, oldest first")
+    ap.add_argument("--svg", default="trajectory.svg")
+    ap.add_argument("--csv", default="trajectory.csv")
+    ap.add_argument("--cell", action="append", default=[],
+                    metavar="SCENARIO:TABLE_GLOB:ROW:COL",
+                    help="track one manifest table cell, e.g. "
+                         "'fig14:Figure 14*:1:DECA'")
+    args = ap.parse_args()
+
+    cells = []
+    for spec in args.cell:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            ap.error(f"--cell needs SCENARIO:TABLE_GLOB:ROW:COL, "
+                     f"got {spec!r}")
+        try:
+            cells.append((parts[0], parts[1], int(parts[2]),
+                          parts[3]))
+        except ValueError:
+            ap.error(f"bad row index in {spec!r}")
+
+    labels = []
+    series = {}  # metric -> [(input index, value)]
+    for path in args.inputs:
+        label, metrics = load_input(path, cells)
+        idx = len(labels)
+        labels.append(label)
+        for metric, val in metrics.items():
+            series.setdefault(metric, []).append((idx, val))
+    if not series:
+        fail("no metrics found in the inputs")
+    if len(series) > len(PALETTE):
+        fail(f"{len(series)} series exceed the {len(PALETTE)}-slot "
+             f"palette; narrow the inputs or --cell selections")
+
+    write_csv(args.csv, labels, series)
+    write_svg(args.svg, labels, series)
+    npts = sum(len(p) for p in series.values())
+    print(f"wrote {args.svg} and {args.csv}: {len(series)} series, "
+          f"{npts} points from {len(labels)} input(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
