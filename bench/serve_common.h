@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared plumbing for the serving scenarios (serve_slo_frontier,
+ * serve_saturation): machine presets with a serving-node capacity,
+ * shared --set keys, and the first-order capacity estimate that
+ * centers every arrival-rate sweep on the configuration's own
+ * saturation knee.
+ */
+
+#ifndef DECA_BENCH_SERVE_COMMON_H
+#define DECA_BENCH_SERVE_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "llm/inference.h"
+#include "runner/scenario_registry.h"
+#include "serve/serving_sim.h"
+#include "serve/trace.h"
+#include "sim/params.h"
+
+namespace deca::bench {
+
+/**
+ * Default serving-node memory capacity. A DDR socket carries hundreds
+ * of gigabytes of DIMM capacity; on-package HBM is bandwidth-rich but
+ * capacity-poor. That asymmetry is the serving capacity story: BF16
+ * Llama2-70B weights (~137 GB) do not even fit the HBM node, while a
+ * compressed model leaves most of it free for KV cache.
+ */
+inline u64
+defaultNodeCapacity(const sim::SimParams &p)
+{
+    return p.memKind == sim::MemoryKind::HBM ? 64 * kGiB : 512 * kGiB;
+}
+
+inline llm::InferenceModel
+makeServeInference(const llm::ModelConfig &model, const sim::SimParams &p)
+{
+    return llm::InferenceModel(
+        model, p, llm::InferenceModel::calibrateForMachine(model, p));
+}
+
+/**
+ * First-order serving capacity (requests/s), used to center the
+ * arrival-rate sweeps on each configuration's own knee: per-request
+ * service time is one un-amortized prefill of the mean prompt plus
+ * the remaining output tokens at the full batch's per-token rate.
+ * Chunked prefills amortize better than one-prompt-per-step, so the
+ * true knee sits near or slightly above this estimate — the sweeps
+ * span both sides either way.
+ */
+inline double
+analyticKneeRate(const serve::StepCostModel &costs,
+                 const serve::PoissonTraffic &traffic, u32 max_batch)
+{
+    const double prompt = traffic.prompt.mean();
+    const double out = traffic.output.mean();
+    const double ctx = prompt + out / 2.0;
+    const double per_token =
+        costs.decodeStepSeconds(max_batch, max_batch * ctx) / max_batch;
+    const double pairs = prompt * (prompt + 1.0) / 2.0;
+    const double per_req =
+        costs.prefillSeconds(static_cast<u64>(prompt), pairs) +
+        (out - 1.0) * per_token;
+    return 1.0 / per_req;
+}
+
+/** Traffic shared by the serving scenarios (--set seed=N to vary). */
+inline serve::PoissonTraffic
+defaultTraffic(u64 seed)
+{
+    serve::PoissonTraffic t;
+    t.seed = seed;
+    t.prompt = {32, 512};
+    t.output = {16, 256};
+    return t;
+}
+
+} // namespace deca::bench
+
+#endif // DECA_BENCH_SERVE_COMMON_H

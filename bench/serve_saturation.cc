@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Saturation sweep of one serving configuration: offered load swept
+ * densely across the analytic capacity knee, reporting achieved vs
+ * offered throughput, completion rate, tail latency and engine
+ * occupancy per rate — the classic open-loop saturation curve. The
+ * knee the measured curve exhibits (last rate with >= 99% completion)
+ * is reported against the analytic estimate.
+ *
+ * Also the determinism workhorse: CI runs it with --jobs=1 and
+ * --jobs=8 and diffs the bytes.
+ *
+ * --set keys: machine (ddr|hbm), scheme (bf16|q8_20|q8_5|mxfp4),
+ * requests, batch, queue, chunk, seed, capacity_gib, reserve_full.
+ */
+
+#include "serve_common.h"
+
+#include <stdexcept>
+
+#include "serve/candidates.h"
+
+using namespace deca;
+
+namespace {
+
+constexpr double kRateFractions[] = {0.5, 0.7, 0.85, 0.95,
+                                     1.05, 1.2,  1.5};
+
+sim::SimParams
+machineByName(const std::string &name)
+{
+    if (name == "ddr")
+        return sim::sprDdrParams();
+    if (name == "hbm")
+        return sim::sprHbmParams();
+    throw std::runtime_error("--set machine=" + name +
+                             ": expected ddr or hbm");
+}
+
+compress::CompressionScheme
+schemeByName(const std::string &name)
+{
+    if (name == "bf16")
+        return compress::schemeBf16();
+    if (name == "q8_20")
+        return compress::schemeQ8(0.20);
+    if (name == "q8_5")
+        return compress::schemeQ8(0.05);
+    if (name == "mxfp4")
+        return compress::schemeMxfp4();
+    throw std::runtime_error("--set scheme=" + name +
+                             ": expected bf16|q8_20|q8_5|mxfp4");
+}
+
+} // namespace
+
+DECA_SCENARIO(serve_saturation,
+              "Serving saturation sweep: achieved vs offered load "
+              "around the capacity knee of one configuration")
+{
+    const sim::SimParams p =
+        machineByName(ctx.params().getString("machine", "hbm"));
+    const compress::CompressionScheme scheme =
+        schemeByName(ctx.params().getString("scheme", "q8_20"));
+    const u32 requests = ctx.params().getU32("requests", 8000);
+    const u32 batch = ctx.params().getU32("batch", 16);
+    const u32 queue = ctx.params().getU32("queue", 512);
+    const u64 chunk = ctx.params().getU64("chunk", 512);
+    const u64 seed = ctx.params().getU64("seed", 1);
+    const u64 capacityGib = ctx.params().getU64(
+        "capacity_gib", bench::defaultNodeCapacity(p) / kGiB);
+    const bool reserveFull =
+        ctx.params().getBool("reserve_full", true);
+
+    const llm::ModelConfig model = llm::llama2_70b();
+    const llm::InferenceModel inf = bench::makeServeInference(model, p);
+    const serve::StepCostModel costs(inf, scheme,
+                                     serve::defaultKernelFor(scheme));
+
+    const serve::PoissonTraffic base = bench::defaultTraffic(seed);
+    const double knee = bench::analyticKneeRate(costs, base, batch);
+
+    serve::ServeNodeConfig node;
+    node.nodeCapacityBytes = capacityGib * kGiB;
+    node.sched.maxBatch = batch;
+    node.sched.maxWaitQueue = queue;
+    node.sched.prefillChunkTokens = chunk;
+    node.sched.reserveFullSequence = reserveFull;
+
+    const serve::KvCacheConfig kv =
+        makeKvConfig(costs, node.nodeCapacityBytes);
+    if (kv.capacityTokens() < u64{base.prompt.hi} + base.output.hi) {
+        ctx.result().prosef(
+            "%s weights (%.0f GB) leave no usable KV capacity on a "
+            "%llu GiB node — serving infeasible.\n",
+            scheme.name.c_str(), costs.weightBytesPerPass() / 1e9,
+            static_cast<unsigned long long>(capacityGib));
+        return 0;
+    }
+
+    // Each rate is an independent run; fan out across the sweep pool.
+    runner::SweepEngine engine(ctx.sweep("serve_saturation"));
+    const auto runs = engine.map(
+        std::size(kRateFractions), [&](std::size_t i) {
+            serve::PoissonTraffic traffic = base;
+            traffic.ratePerSec = kRateFractions[i] * knee;
+            serve::ServingSimulator sim(
+                costs, node, serve::generatePoisson(traffic, requests));
+            return sim.run();
+        });
+
+    auto &rb = ctx.result();
+    rb.prosef("Saturating %s + %s on %s (%llu GiB node, batch<=%u, "
+              "queue %u, %s KV policy), %u requests per rate.\n",
+              model.name.c_str(), scheme.name.c_str(), p.name.c_str(),
+              static_cast<unsigned long long>(capacityGib), batch,
+              queue, reserveFull ? "reserve-full" : "prompt-only",
+              requests);
+    rb.prosef("Analytic capacity estimate: %.2f req/s.\n", knee);
+
+    TableWriter t("Saturation sweep (offered rate in requests/s)");
+    t.setHeader({"rate", "off tok/s", "ach tok/s", "done%", "rejQ",
+                 "rejFit", "evict", "p50ms", "p99ms", "batch",
+                 "busy%"});
+    double measuredKnee = 0.0;
+    u64 totalCompleted = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const double rate = kRateFractions[i] * knee;
+        const serve::ServeMetrics &m = runs[i];
+        totalCompleted += m.completed;
+        const double doneFrac =
+            static_cast<double>(m.completed) /
+            static_cast<double>(m.offered);
+        if (doneFrac >= 0.99)
+            measuredKnee = rate;
+        // Offered token throughput counts the mean output length of
+        // every request the arrival process injects.
+        const double offeredTokS = rate * base.output.mean();
+        t.addRow({TableWriter::num(rate, 2),
+                  TableWriter::num(offeredTokS, 0),
+                  TableWriter::num(m.tokensPerSec, 0),
+                  TableWriter::pct(doneFrac),
+                  std::to_string(m.rejectedQueueFull),
+                  std::to_string(m.rejectedNeverFits),
+                  std::to_string(m.evictions),
+                  TableWriter::num(m.decodeLatency.percentileMs(50.0),
+                                   1),
+                  TableWriter::num(m.decodeLatency.percentileMs(99.0),
+                                   1),
+                  TableWriter::num(m.meanDecodeBatch, 1),
+                  TableWriter::pct(m.busyFraction)});
+    }
+    rb.table(std::move(t));
+
+    rb.prosef("Measured knee (last rate with >=99%% completion): "
+              "%.2f req/s vs %.2f req/s analytic.\n",
+              measuredKnee, knee);
+    rb.prosef("KV capacity: %llu tokens; peak use at the top rate: "
+              "%llu tokens.\n",
+              static_cast<unsigned long long>(kv.capacityTokens()),
+              static_cast<unsigned long long>(
+                  runs.back().peakKvTokens));
+    rb.prosef("Completed %llu requests across the sweep.\n",
+              static_cast<unsigned long long>(totalCompleted));
+    return 0;
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * SLO frontier of the serving simulator: sweep arrival rate x
+ * compression scheme x machine preset (DDR5 and HBM SPR nodes) for
+ * Llama2-70B under Poisson traffic, reporting p50/p95/p99 next-token
+ * latency, p95 TTFT, tokens/s and tokens/J per point, then the
+ * highest rate each machine sustains within the latency SLO.
+ *
+ * Rates are swept as fractions of each configuration's own analytic
+ * capacity knee, so every configuration shows both its comfortable
+ * region and the onset of saturation regardless of how fast it is.
+ *
+ * --set keys: requests (per run), slo_ms (p95 next-token target),
+ * batch, queue, chunk (prefill token budget), seed.
+ */
+
+#include "serve_common.h"
+
+#include "serve/candidates.h"
+
+using namespace deca;
+
+namespace {
+
+struct Point
+{
+    sim::SimParams params;
+    compress::CompressionScheme scheme;
+};
+
+struct RunRow
+{
+    double ratePerSec = 0.0;
+    serve::ServeMetrics m;
+};
+
+struct PointResult
+{
+    bool feasible = false;
+    double kneeRate = 0.0;
+    std::vector<RunRow> runs;
+};
+
+constexpr double kRateFractions[] = {0.25, 0.5, 0.75, 0.9, 1.1};
+
+} // namespace
+
+DECA_SCENARIO(serve_slo_frontier,
+              "Serving SLO frontier: arrival rate x scheme x machine, "
+              "tail latency and throughput per point")
+{
+    const u32 requests = ctx.params().getU32("requests", 5000);
+    const double slo_ms = ctx.params().getDouble("slo_ms", 100.0);
+    const u32 batch = ctx.params().getU32("batch", 16);
+    const u32 queue = ctx.params().getU32("queue", 512);
+    // Small chunk budget: long prompts already block decode for one
+    // whole pass; batching several at 2048 tokens doubles the tail.
+    const u64 chunk = ctx.params().getU64("chunk", 512);
+    const u64 seed = ctx.params().getU64("seed", 1);
+
+    const llm::ModelConfig model = llm::llama2_70b();
+    const std::vector<sim::SimParams> machines = {sim::sprDdrParams(),
+                                                  sim::sprHbmParams()};
+    const std::vector<compress::CompressionScheme> schemes = {
+        compress::schemeBf16(),
+        compress::schemeQ8(0.20),
+        compress::schemeMxfp4(),
+    };
+
+    std::vector<Point> points;
+    for (const auto &p : machines)
+        for (const auto &s : schemes)
+            points.push_back({p, s});
+
+    const serve::PoissonTraffic base = bench::defaultTraffic(seed);
+    const u64 maxReqTokens =
+        u64{base.prompt.hi} + base.output.hi;
+
+    runner::SweepEngine engine(ctx.sweep("serve_slo_frontier"));
+    const std::vector<PointResult> results =
+        engine.map(points.size(), [&](std::size_t i) {
+            const Point &pt = points[i];
+            PointResult r;
+            serve::KvCacheConfig kv;
+            kv.nodeCapacityBytes = bench::defaultNodeCapacity(pt.params);
+            kv.weightBytes = serve::weightBytes(model, pt.scheme);
+            kv.bytesPerToken = serve::kvBytesPerToken(model);
+            // Infeasible when even one max-length request can never
+            // hold its KV next to the weights (BF16 on the HBM node:
+            // the uncompressed weights alone exceed the capacity).
+            if (kv.capacityTokens() < maxReqTokens)
+                return r;
+            r.feasible = true;
+
+            const llm::InferenceModel inf =
+                bench::makeServeInference(model, pt.params);
+            const serve::StepCostModel costs(
+                inf, pt.scheme, serve::defaultKernelFor(pt.scheme));
+            r.kneeRate = bench::analyticKneeRate(costs, base, batch);
+
+            serve::ServeNodeConfig node;
+            node.nodeCapacityBytes = kv.nodeCapacityBytes;
+            node.sched.maxBatch = batch;
+            node.sched.maxWaitQueue = queue;
+            node.sched.prefillChunkTokens = chunk;
+            for (const double frac : kRateFractions) {
+                serve::PoissonTraffic traffic = base;
+                traffic.ratePerSec = frac * r.kneeRate;
+                serve::ServingSimulator sim(
+                    costs, node,
+                    serve::generatePoisson(traffic, requests));
+                r.runs.push_back({traffic.ratePerSec, sim.run()});
+            }
+            return r;
+        });
+
+    auto &rb = ctx.result();
+    rb.prosef("Serving %s under Poisson traffic (prompt %u-%u, output "
+              "%u-%u tokens), continuous batching (batch<=%u, queue "
+              "%u), %u requests per point.\n",
+              model.name.c_str(), base.prompt.lo, base.prompt.hi,
+              base.output.lo, base.output.hi, batch, queue, requests);
+    rb.prosef("SLO: p95 next-token latency <= %.0f ms. Node capacity: "
+              "512 GiB (DDR5) / 64 GiB (HBM) shared by weights and KV "
+              "cache.\n",
+              slo_ms);
+
+    TableWriter t("Serving SLO frontier (rates in requests/s)");
+    t.setHeader({"machine", "scheme", "rate", "p50ms", "p95ms", "p99ms",
+                 "ttft95", "tok/s", "tok/J", "done", "rej", "SLO?"});
+    u64 totalCompleted = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &pt = points[i];
+        const PointResult &r = results[i];
+        if (!r.feasible) {
+            t.addRow({pt.params.name, pt.scheme.name, "-", "-", "-",
+                      "-", "-", "-", "-", "-", "-", "no fit"});
+            continue;
+        }
+        for (const RunRow &row : r.runs) {
+            const serve::ServeMetrics &m = row.m;
+            totalCompleted += m.completed;
+            const bool ok = m.decodeLatency.percentileMs(95.0) <= slo_ms;
+            t.addRow({pt.params.name, pt.scheme.name,
+                      TableWriter::num(row.ratePerSec, 2),
+                      TableWriter::num(m.decodeLatency.percentileMs(50.0),
+                                       1),
+                      TableWriter::num(m.decodeLatency.percentileMs(95.0),
+                                       1),
+                      TableWriter::num(m.decodeLatency.percentileMs(99.0),
+                                       1),
+                      TableWriter::num(m.ttft.percentileMs(95.0), 0),
+                      TableWriter::num(m.tokensPerSec, 0),
+                      TableWriter::num(m.tokensPerJoule, 1),
+                      std::to_string(m.completed),
+                      std::to_string(m.rejected()), ok ? "yes" : "no"});
+        }
+    }
+    rb.table(std::move(t));
+
+    // The frontier: per machine, the best sustained-within-SLO rate.
+    for (const auto &mp : machines) {
+        double bestRate = 0.0;
+        std::string bestScheme = "none";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].params.name != mp.name || !results[i].feasible)
+                continue;
+            for (const RunRow &row : results[i].runs) {
+                const serve::ServeMetrics &m = row.m;
+                if (m.decodeLatency.percentileMs(95.0) <= slo_ms &&
+                    m.rejected() == 0 && row.ratePerSec > bestRate) {
+                    bestRate = row.ratePerSec;
+                    bestScheme = points[i].scheme.name;
+                }
+            }
+        }
+        if (bestRate > 0.0)
+            rb.prosef("%s frontier: %s sustains %.2f req/s within "
+                      "the SLO.\n",
+                      mp.name.c_str(), bestScheme.c_str(), bestRate);
+        else
+            rb.prosef("%s frontier: no swept point meets the SLO.\n",
+                      mp.name.c_str());
+    }
+    rb.prosef("Completed %llu requests across the sweep.\n",
+              static_cast<unsigned long long>(totalCompleted));
+    return 0;
+}

@@ -1,58 +1,26 @@
 /**
  * @file
  * Scenario: choosing a compression scheme for serving Llama2-70B on an
- * HBM CPU server with DECA.
+ * HBM CPU server with DECA — a thin client of the serve:: API.
  *
- * For each candidate scheme the example reports next-token latency
- * (simulated), tokens/second, model footprint, and a weight-space
- * quality proxy (quantization SQNR on synthetic weights), then flags
- * the schemes meeting a latency SLO. The per-scheme SQNR + latency
- * evaluation is independent per candidate, so it fans out across the
- * SweepEngine (sharing the process-wide worker pool) while the report
- * stays in candidate order.
+ * Part 1 ranks candidate schemes by next-token latency, footprint and
+ * a weight-space quality proxy (serve::evaluateCandidates). Part 2
+ * takes the request-level serving simulator for a spin on the best
+ * candidate: Poisson traffic against a continuous-batching engine
+ * whose KV cache shares the node's memory with the compressed
+ * weights (serve::ServingSimulator).
  *
  * Build & run:  ./build/examples/llm_serving
  */
 
-#include <cmath>
-
-#include "compress/reference_decompress.h"
-#include "compress/weight_matrix.h"
 #include "llm/inference.h"
 #include "runner/scenario_registry.h"
+#include "serve/candidates.h"
+#include "serve/serving_sim.h"
+#include "serve/trace.h"
 #include "sim/params.h"
 
 using namespace deca;
-
-namespace {
-
-/** Weight-space SQNR (dB) of a scheme on synthetic Gaussian weights. */
-double
-weightSqnrDb(const compress::CompressionScheme &scheme)
-{
-    Rng rng(7);
-    const compress::WeightMatrix w =
-        compress::generateWeights(64, 128, scheme.density, rng);
-    double sig = 0.0;
-    double err = 0.0;
-    for (u32 tr = 0; tr < w.tileRows(); ++tr) {
-        for (u32 tc = 0; tc < w.tileCols(); ++tc) {
-            const compress::DenseTile t = w.tile(tr, tc);
-            const compress::DenseTile rt = compress::roundTrip(t, scheme);
-            for (u32 i = 0; i < kTileElems; ++i) {
-                const double v = t[i].toFloat();
-                const double e = v - rt[i].toFloat();
-                sig += v * v;
-                err += e * e;
-            }
-        }
-    }
-    if (err == 0.0)
-        return 99.0;  // lossless
-    return 10.0 * std::log10(sig / err);
-}
-
-} // namespace
 
 DECA_SCENARIO(llm_serving, "Example: choosing a compression scheme to "
                            "serve Llama2-70B under an SLO")
@@ -71,49 +39,49 @@ DECA_SCENARIO(llm_serving, "Example: choosing a compression scheme to "
                         "ms/token", "tokens/s", "weights(GB)",
                         "SQNR(dB)", "SLO?");
 
-    const std::vector<compress::CompressionScheme> candidates = {
-        compress::schemeBf16(),   compress::schemeQ8Dense(),
-        compress::schemeMxfp4(),  compress::schemeQ8(0.5),
-        compress::schemeQ8(0.2),  compress::schemeQ8(0.05),
-        compress::schemeQ16(0.2),
-    };
-
-    // Each candidate's simulation + SQNR sweep point is independent;
-    // fan them out and report in candidate order.
-    struct Eval
-    {
-        double latencyMs;
-        double weightsGb;
-        double sqnrDb;
-    };
-    runner::SweepEngine engine(ctx.sweep("llm_serving"));
-    const std::vector<Eval> evals =
-        engine.map(candidates.size(), [&](std::size_t i) {
-            const auto &s = candidates[i];
-            const auto kernel =
-                s.name == "BF16"
-                    ? kernels::KernelConfig::uncompressedBf16()
-                    : kernels::KernelConfig::decaKernel();
-            const llm::NextTokenLatency lat =
-                inf.nextToken(s, kernel, 1, 128);
-            const double gb =
-                static_cast<double>(model.totalFcTiles()) *
-                s.bytesPerTile() / 1e9;
-            return Eval{lat.milliseconds(), gb, weightSqnrDb(s)};
-        });
+    const std::vector<compress::CompressionScheme> candidates =
+        serve::defaultCandidates();
+    const std::vector<serve::CandidateEval> evals =
+        serve::evaluateCandidates(inf, candidates, slo_ms,
+                                  ctx.sweep("llm_serving"));
 
     for (std::size_t i = 0; i < candidates.size(); ++i) {
         const auto &s = candidates[i];
-        const Eval &e = evals[i];
+        const serve::CandidateEval &e = evals[i];
         ctx.result().prosef("%-10s %10.1f %10.1f %12.1f %10.1f %6s\n",
                             s.name.c_str(), e.latencyMs,
-                            1000.0 / e.latencyMs, e.weightsGb, e.sqnrDb,
-                            e.latencyMs <= slo_ms ? "yes" : "no");
+                            e.tokensPerSec(), e.weightsGb, e.sqnrDb,
+                            e.meetsSlo ? "yes" : "no");
     }
 
     ctx.result().prosef(
         "\nNote: SQNR is a weight-space proxy; end-task accuracy "
         "for MXFP4 and 50-70%% unstructured sparsity is "
         "established in the literature the paper cites.\n");
+
+    // Part 2: serve Poisson traffic with the Q8_20% candidate on the
+    // request-level simulator — the full story, not just batch-1
+    // latency: continuous batching, KV capacity, tail latency.
+    const compress::CompressionScheme scheme = compress::schemeQ8(0.20);
+    const serve::StepCostModel costs(
+        inf, scheme, serve::defaultKernelFor(scheme));
+    serve::ServeNodeConfig nodeCfg;
+    nodeCfg.nodeCapacityBytes = 64 * kGiB;
+    serve::PoissonTraffic traffic;
+    traffic.ratePerSec = 4.0;
+    serve::ServingSimulator sim(costs, nodeCfg,
+                                serve::generatePoisson(traffic, 500));
+    const serve::ServeMetrics m = sim.run();
+    ctx.result().prosef(
+        "\nServing 500 Poisson requests at %.1f req/s with %s on a "
+        "64 GiB node:\n  %.0f tokens/s, p50/p99 next-token %.1f/%.1f "
+        "ms, p95 TTFT %.0f ms,\n  mean batch %.1f, %llu of %llu "
+        "completed.\n",
+        traffic.ratePerSec, scheme.name.c_str(), m.tokensPerSec,
+        m.decodeLatency.percentileMs(50.0),
+        m.decodeLatency.percentileMs(99.0), m.ttft.percentileMs(95.0),
+        m.meanDecodeBatch,
+        static_cast<unsigned long long>(m.completed),
+        static_cast<unsigned long long>(m.offered));
     return 0;
 }

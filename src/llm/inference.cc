@@ -1,5 +1,7 @@
 #include "llm/inference.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace deca::llm {
@@ -8,6 +10,91 @@ InferenceModel::InferenceModel(ModelConfig model, sim::SimParams params,
                                NonGemmModel ng)
     : model_(std::move(model)), params_(std::move(params)), ng_(ng)
 {}
+
+FcThroughput
+InferenceModel::fcThroughput(const compress::CompressionScheme &scheme,
+                             const kernels::KernelConfig &kernel,
+                             u32 gemm_rows) const
+{
+    const u32 rows = std::clamp(gemm_rows, 1u, kMaxSimRows);
+    kernels::GemmWorkload w;
+    w.scheme = scheme;
+    w.batchN = rows;
+    w.tilesPerCore = 256;
+    w.poolTiles = 48;
+    const kernels::GemmResult r =
+        kernels::runGemmSteady(params_, kernel, w);
+    FcThroughput fc;
+    fc.gemmRows = rows;
+    fc.tilesPerSecond = r.tilesPerSecond;
+    fc.tmulUtil = r.utilTmul;
+    return fc;
+}
+
+double
+InferenceModel::fcPassSeconds(const FcThroughput &fc, u64 gemm_rows) const
+{
+    DECA_ASSERT(fc.tilesPerSecond > 0.0);
+    const double base =
+        static_cast<double>(model_.totalFcTiles()) / fc.tilesPerSecond;
+    if (gemm_rows <= fc.gemmRows)
+        return base;
+    // Projected TMUL occupancy at the requested row count: per-tile
+    // compute grows linearly with rows while the streamed weight
+    // bytes stay constant, so the pass stays memory-bound (flat time)
+    // until the projection crosses full occupancy.
+    const double occ = fc.tmulUtil * static_cast<double>(gemm_rows) /
+                       static_cast<double>(fc.gemmRows);
+    return base * std::max(1.0, occ);
+}
+
+PhaseCost
+InferenceModel::prefillCostWith(const FcThroughput &fc, u32 batch,
+                                u32 prompt_len) const
+{
+    DECA_ASSERT(batch > 0 && prompt_len > 0);
+    PhaseCost c;
+    c.fcSeconds = fcPassSeconds(fc, u64{batch} * prompt_len);
+    // Causal attention: token t attends to t prior tokens, so one
+    // sequence costs B * sum_t t = B * L(L+1)/2, plus the fixed A.
+    const double pairs = static_cast<double>(prompt_len) *
+                         (static_cast<double>(prompt_len) + 1.0) / 2.0;
+    c.otherSeconds =
+        ng_.aSeconds + ng_.bSeconds * static_cast<double>(batch) * pairs;
+    return c;
+}
+
+PhaseCost
+InferenceModel::decodeStepCostWith(const FcThroughput &fc, u32 batch,
+                                   u32 tokens) const
+{
+    DECA_ASSERT(batch > 0);
+    PhaseCost c;
+    c.fcSeconds = fcPassSeconds(fc, batch);
+    c.otherSeconds = ng_.seconds(batch, tokens);
+    return c;
+}
+
+PhaseCost
+InferenceModel::prefillCost(const compress::CompressionScheme &scheme,
+                            const kernels::KernelConfig &kernel, u32 batch,
+                            u32 prompt_len) const
+{
+    return prefillCostWith(
+        fcThroughput(scheme, kernel,
+                     static_cast<u32>(std::min<u64>(
+                         u64{batch} * prompt_len, kMaxSimRows))),
+        batch, prompt_len);
+}
+
+PhaseCost
+InferenceModel::decodeStepCost(const compress::CompressionScheme &scheme,
+                               const kernels::KernelConfig &kernel,
+                               u32 batch, u32 tokens) const
+{
+    return decodeStepCostWith(fcThroughput(scheme, kernel, batch), batch,
+                              tokens);
+}
 
 NextTokenLatency
 InferenceModel::nextTokenWithTps(double tiles_per_second, u32 batch_n,
@@ -26,14 +113,11 @@ InferenceModel::nextToken(const compress::CompressionScheme &scheme,
                           const kernels::KernelConfig &kernel, u32 batch_n,
                           u32 tokens) const
 {
-    kernels::GemmWorkload w;
-    w.scheme = scheme;
-    w.batchN = batch_n;
-    w.tilesPerCore = 256;
-    w.poolTiles = 48;
-    const kernels::GemmResult r =
-        kernels::runGemmSteady(params_, kernel, w);
-    return nextTokenWithTps(r.tilesPerSecond, batch_n, tokens);
+    const PhaseCost c = decodeStepCost(scheme, kernel, batch_n, tokens);
+    NextTokenLatency lat;
+    lat.fcSeconds = c.fcSeconds;
+    lat.nonGemmSeconds = c.otherSeconds;
+    return lat;
 }
 
 NonGemmModel

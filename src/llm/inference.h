@@ -1,12 +1,28 @@
 /**
  * @file
- * End-to-end next-token latency estimation (Sections 3.1 and 9.4).
+ * End-to-end latency estimation for one model on one machine
+ * (Sections 3.1 and 9.4), exposed per inference *phase*:
  *
- * Next-token time = FC-GeMM time + non-GeMM time. The FC-GeMM time comes
- * from the cycle-level GeMM simulation: the model's FC tiles divided by
- * the steady-state tile throughput of the chosen (scheme, kernel) pair on
- * the chosen machine. The non-GeMM time uses the calibrated model of
- * nongemm_model.h.
+ *  - prefillCost(): one prompt-processing pass. All prompt tokens of
+ *    all batched sequences flow through the FC GeMMs together, so the
+ *    effective GeMM row count is batch x prompt tokens; the attention
+ *    term is causal (token t attends to t earlier tokens).
+ *  - decodeStepCost(): one generation step. Each sequence contributes
+ *    one GeMM row; the attention term reads the whole KV window.
+ *
+ * Both phases share the FC cost structure: the model's FC tiles
+ * divided by the steady-state tile throughput of the chosen
+ * (scheme, kernel) pair, obtained from the cycle-level GeMM
+ * simulation, plus the calibrated non-GeMM model of nongemm_model.h.
+ * The cycle simulation covers GeMM row counts up to 16 (the paper's
+ * batch range); beyond that the FC time is extrapolated from the
+ * measured TMUL occupancy: time stays flat while memory still binds
+ * and grows linearly once the projected TMUL occupancy passes 1.0
+ * (prefill passes are compute-bound in exactly this way).
+ *
+ * The historical single-token accessor nextToken() is a deprecated
+ * shim over decodeStepCost(); new callers (the serve:: layer above
+ * all) should speak phases.
  */
 
 #ifndef DECA_LLM_INFERENCE_H
@@ -33,10 +49,41 @@ struct NextTokenLatency
     double milliseconds() const { return total() * 1e3; }
 };
 
-/** Next-token latency estimator for one model on one machine. */
+/** Cost breakdown of one inference phase step (seconds). */
+struct PhaseCost
+{
+    /** FC weight-GeMM time (compressible part). */
+    double fcSeconds = 0.0;
+    /** Everything else: attention over the KV cache, softmax, norms,
+     *  framework overhead (the calibrated non-GeMM model). */
+    double otherSeconds = 0.0;
+
+    double total() const { return fcSeconds + otherSeconds; }
+    double milliseconds() const { return total() * 1e3; }
+};
+
+/**
+ * Steady-state FC tile throughput of one (scheme, kernel) pair at one
+ * GeMM row count, plus the measured TMUL occupancy that anchors the
+ * beyond-range extrapolation. Obtained from the cycle simulation once
+ * and reusable for every cost query at that row count.
+ */
+struct FcThroughput
+{
+    /** GeMM rows the simulation ran with (1..16). */
+    u32 gemmRows = 1;
+    double tilesPerSecond = 0.0;
+    /** TMUL occupancy measured at gemmRows. */
+    double tmulUtil = 0.0;
+};
+
+/** Per-phase latency estimator for one model on one machine. */
 class InferenceModel
 {
   public:
+    /** GeMM row count the cycle simulation supports directly. */
+    static constexpr u32 kMaxSimRows = 16;
+
     /**
      * @param model The transformer shape.
      * @param params The simulated machine.
@@ -46,14 +93,58 @@ class InferenceModel
                    NonGemmModel ng);
 
     /**
-     * Estimate next-token latency for a compression scheme executed with
-     * the given kernel. Runs a steady-state GeMM simulation to obtain
-     * tile throughput.
-     *
-     * @param scheme Weight compression scheme.
-     * @param kernel Kernel/engine configuration.
-     * @param batch_n Batch size (1..16).
-     * @param tokens Attended context length (input + generated so far).
+     * Measure the steady-state FC tile throughput of (scheme, kernel)
+     * at `gemm_rows` effective GeMM rows via the cycle-level GeMM
+     * simulation. Rows are clamped to kMaxSimRows; costs for larger
+     * row counts extrapolate from the throughput measured here.
+     */
+    FcThroughput fcThroughput(const compress::CompressionScheme &scheme,
+                              const kernels::KernelConfig &kernel,
+                              u32 gemm_rows) const;
+
+    /**
+     * Cost of one prompt-processing (prefill) pass: `batch` sequences
+     * of `prompt_len` tokens each flow through the FC GeMMs as
+     * batch x prompt_len rows; the causal-attention term charges the
+     * non-GeMM B coefficient for every (token, attended-token) pair.
+     * Runs one cycle simulation; use prefillCostWith() with a cached
+     * FcThroughput to avoid re-simulation.
+     */
+    PhaseCost prefillCost(const compress::CompressionScheme &scheme,
+                          const kernels::KernelConfig &kernel, u32 batch,
+                          u32 prompt_len) const;
+
+    /**
+     * Cost of one decode step: `batch` sequences each generate one
+     * token while attending to `tokens` of context. Runs one cycle
+     * simulation; use decodeStepCostWith() with a cached FcThroughput
+     * to avoid re-simulation.
+     */
+    PhaseCost decodeStepCost(const compress::CompressionScheme &scheme,
+                             const kernels::KernelConfig &kernel,
+                             u32 batch, u32 tokens) const;
+
+    /** prefillCost() from an already-measured throughput anchor. */
+    PhaseCost prefillCostWith(const FcThroughput &fc, u32 batch,
+                              u32 prompt_len) const;
+
+    /** decodeStepCost() from an already-measured throughput anchor. */
+    PhaseCost decodeStepCostWith(const FcThroughput &fc, u32 batch,
+                                 u32 tokens) const;
+
+    /**
+     * FC pass time at `gemm_rows` extrapolated from the anchor: flat
+     * while memory binds, linear in rows once the projected TMUL
+     * occupancy (anchor occupancy scaled by rows/anchor-rows) exceeds
+     * 1.0.
+     */
+    double fcPassSeconds(const FcThroughput &fc, u64 gemm_rows) const;
+
+    /**
+     * @deprecated Single-token accessor kept as a shim over the
+     * phase-aware interface: identical to composing decodeStepCost()
+     * into a NextTokenLatency (pinned by test_llm.cc). New callers
+     * should use decodeStepCost().
      */
     NextTokenLatency nextToken(const compress::CompressionScheme &scheme,
                                const kernels::KernelConfig &kernel,
@@ -71,6 +162,8 @@ class InferenceModel
                                             const sim::SimParams &params);
 
     const ModelConfig &model() const { return model_; }
+    const sim::SimParams &params() const { return params_; }
+    const NonGemmModel &nonGemm() const { return ng_; }
 
   private:
     ModelConfig model_;

@@ -73,6 +73,14 @@ parseCommonFlag(const std::string &arg, RunOptions &opts)
         opts.format = *f;
         return true;
     }
+    if (arg.rfind("--set=", 0) == 0) {
+        try {
+            opts.params.set(arg.substr(std::strlen("--set=")));
+        } catch (const std::exception &e) {
+            DECA_FATAL(e.what());
+        }
+        return true;
+    }
     if (arg == "--progress") {
         opts.showProgress = true;
         return true;
@@ -86,16 +94,30 @@ runScenario(const Scenario &s, const RunOptions &opts)
     if (opts.poolCap != 0)
         globalPool(0).setMaxWorkers(opts.poolCap);
     ResultBuilder builder(s.name, s.description);
+    // Each invocation gets its own copy of the --set overrides: the
+    // consumption marks are per-run, and `run all --jobs=N` executes
+    // scenarios concurrently against the same RunOptions.
+    ScenarioParams params = opts.params;
     ScenarioContext ctx;
     ctx.threads = opts.threads;
     ctx.showProgress = opts.showProgress;
     ctx.builder = &builder;
+    ctx.setParams = &params;
 
     const auto t0 = std::chrono::steady_clock::now();
     int status = 0;
     std::string error;
     try {
         status = s.fn(ctx);
+        if (status == 0) {
+            const auto unknown = params.unconsumedKeys();
+            if (!unknown.empty()) {
+                status = 1;
+                error = "unknown --set parameter(s) for " + s.name + ":";
+                for (const std::string &k : unknown)
+                    error += " " + k;
+            }
+        }
     } catch (const std::exception &e) {
         status = 1;
         error = e.what();
@@ -258,8 +280,16 @@ standaloneScenarioMain(int argc, char **argv)
             std::cout << s->name << ": " << s->description << "\n"
                       << "usage: " << argv[0]
                       << " [--threads=N] [--format=table|csv|json]"
-                         " [--progress]\n";
+                         " [--set key=value] [--progress]\n";
             return 0;
+        }
+        if (arg == "--set") {
+            if (i + 1 >= argc)
+                DECA_FATAL("--set needs a key=value argument");
+            const std::string kv = argv[++i];
+            if (!parseCommonFlag("--set=" + kv, opts))
+                DECA_FATAL("bad --set argument: ", kv);
+            continue;
         }
         // --jobs is scenario-level concurrency; with exactly one
         // scenario it would be a silent no-op, so reject it rather

@@ -35,12 +35,15 @@ struct RunOptions
     OutputFormat format = OutputFormat::Table;
     /** Draw sweep progress on stderr. */
     bool showProgress = false;
+    /** Typed per-scenario overrides from --set key=value. */
+    ScenarioParams params;
 };
 
 /**
  * Parse one flag shared by decasim and the standalone binaries
- * (--threads=N, --jobs=N, --pool-cap=N, --format=..., --progress)
- * into opts; false when the argument is not a common flag.
+ * (--threads=N, --jobs=N, --pool-cap=N, --format=..., --progress,
+ * --set=key=value) into opts; false when the argument is not a
+ * common flag.
  */
 bool parseCommonFlag(const std::string &arg, RunOptions &opts);
 

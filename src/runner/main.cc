@@ -44,6 +44,9 @@ usage(int code)
         "  --pool-cap=N  cap the process-wide worker pool at N\n"
         "                threads (env: DECA_POOL_CAP; idle workers\n"
         "                reap after DECA_POOL_IDLE_MS of quiescence)\n"
+        "  --set k=v     typed per-scenario parameter override\n"
+        "                (repeatable; scenarios document their keys,\n"
+        "                unknown keys fail the run)\n"
         "  --progress    draw sweep progress on stderr\n";
     return code;
 }
@@ -66,7 +69,18 @@ run(const std::vector<std::string> &args)
 {
     RunOptions opts;
     std::vector<std::string> names;
-    for (const std::string &arg : args) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        // `--set key=value` (two tokens) sugar for `--set=key=value`.
+        if (arg == "--set") {
+            if (i + 1 >= args.size()) {
+                std::cerr << "decasim: --set needs a key=value\n";
+                return usage(2);
+            }
+            if (!parseCommonFlag("--set=" + args[++i], opts))
+                return usage(2);
+            continue;
+        }
         if (parseCommonFlag(arg, opts))
             continue;
         if (arg.rfind("--", 0) == 0) {

@@ -1,0 +1,130 @@
+#include "runner/scenario_params.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace deca::runner {
+
+namespace {
+
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value,
+         const char *expected)
+{
+    throw std::runtime_error("--set " + key + "=" + value +
+                             ": expected " + expected);
+}
+
+} // namespace
+
+void
+ScenarioParams::set(const std::string &kv)
+{
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0)
+        throw std::runtime_error("--set expects key=value, got '" + kv +
+                                 "'");
+    set(kv.substr(0, eq), kv.substr(eq + 1));
+}
+
+void
+ScenarioParams::set(std::string key, std::string value)
+{
+    const auto [it, inserted] =
+        params_.emplace(std::move(key), Entry{std::move(value), false});
+    if (!inserted)
+        throw std::runtime_error("--set " + it->first +
+                                 " given more than once");
+}
+
+const ScenarioParams::Entry *
+ScenarioParams::lookup(const std::string &key) const
+{
+    const auto it = params_.find(key);
+    if (it == params_.end())
+        return nullptr;
+    it->second.consumed = true;
+    return &it->second;
+}
+
+bool
+ScenarioParams::has(const std::string &key) const
+{
+    return params_.count(key) != 0;
+}
+
+u64
+ScenarioParams::getU64(const std::string &key, u64 fallback) const
+{
+    const Entry *e = lookup(key);
+    if (!e)
+        return fallback;
+    const std::string &v = e->value;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (v.empty() || v[0] == '-' || end == v.c_str() || *end != '\0' ||
+        errno == ERANGE)
+        badValue(key, v, "a non-negative integer");
+    return n;
+}
+
+u32
+ScenarioParams::getU32(const std::string &key, u32 fallback) const
+{
+    const u64 n = getU64(key, fallback);
+    if (n > std::numeric_limits<u32>::max())
+        badValue(key, params_.at(key).value, "a 32-bit integer");
+    return static_cast<u32>(n);
+}
+
+double
+ScenarioParams::getDouble(const std::string &key, double fallback) const
+{
+    const Entry *e = lookup(key);
+    if (!e)
+        return fallback;
+    const std::string &v = e->value;
+    char *end = nullptr;
+    errno = 0;
+    const double d = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == v.c_str() || *end != '\0' || errno == ERANGE)
+        badValue(key, v, "a number");
+    return d;
+}
+
+bool
+ScenarioParams::getBool(const std::string &key, bool fallback) const
+{
+    const Entry *e = lookup(key);
+    if (!e)
+        return fallback;
+    const std::string &v = e->value;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    badValue(key, v, "a boolean (1/0, true/false, yes/no, on/off)");
+}
+
+std::string
+ScenarioParams::getString(const std::string &key,
+                          const std::string &fallback) const
+{
+    const Entry *e = lookup(key);
+    return e ? e->value : fallback;
+}
+
+std::vector<std::string>
+ScenarioParams::unconsumedKeys() const
+{
+    std::vector<std::string> keys;
+    for (const auto &[key, entry] : params_)
+        if (!entry.consumed)
+            keys.push_back(key);
+    return keys;
+}
+
+} // namespace deca::runner

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Typed per-scenario parameters for `decasim run <name> --set k=v`.
+ *
+ * A scenario reads its knobs through the typed getters
+ * (ctx.params().getU32("requests", 100000), ...); each getter marks
+ * the key consumed, and the campaign runner rejects any --set key no
+ * getter ever consumed — a typo fails the run instead of silently
+ * running the defaults. Parse failures throw std::runtime_error,
+ * which runScenario() captures into the scenario's structured error.
+ */
+
+#ifndef DECA_RUNNER_SCENARIO_PARAMS_H
+#define DECA_RUNNER_SCENARIO_PARAMS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deca::runner {
+
+/** Key=value overrides with consumption tracking. */
+class ScenarioParams
+{
+  public:
+    /** Parse one "key=value" --set argument. Throws on malformed
+     *  input or a duplicate key. */
+    void set(const std::string &kv);
+
+    /** Install one key directly. Throws on a duplicate key. */
+    void set(std::string key, std::string value);
+
+    /**
+     * Typed getters: `fallback` when the key is absent; the --set
+     * value otherwise. Each marks the key consumed. Throws
+     * std::runtime_error when the value does not parse as the
+     * requested type.
+     */
+    u32 getU32(const std::string &key, u32 fallback) const;
+    u64 getU64(const std::string &key, u64 fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    /** Accepts 1/0, true/false, yes/no, on/off. */
+    bool getBool(const std::string &key, bool fallback) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    bool empty() const { return params_.empty(); }
+    bool has(const std::string &key) const;
+
+    /** Keys no getter consumed, in sorted order (typo detection). */
+    std::vector<std::string> unconsumedKeys() const;
+
+  private:
+    struct Entry
+    {
+        std::string value;
+        /** Getters are const (scenarios see a const context); the
+         *  consumption mark is bookkeeping, not state. */
+        mutable bool consumed = false;
+    };
+
+    const Entry *lookup(const std::string &key) const;
+
+    std::map<std::string, Entry> params_;
+};
+
+} // namespace deca::runner
+
+#endif // DECA_RUNNER_SCENARIO_PARAMS_H

@@ -15,6 +15,13 @@ ScenarioContext::result() const
     return *builder;
 }
 
+const ScenarioParams &
+ScenarioContext::params() const
+{
+    static const ScenarioParams empty;
+    return setParams ? *setParams : empty;
+}
+
 SweepOptions
 ScenarioContext::sweep(const std::string &label) const
 {

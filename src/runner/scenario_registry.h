@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "runner/scenario_params.h"
 #include "runner/scenario_result.h"
 #include "runner/sweep_engine.h"
 
@@ -33,9 +34,14 @@ struct ScenarioContext
     bool showProgress = false;
     /** Result sink for this invocation (owned by the runner). */
     ResultBuilder *builder = nullptr;
+    /** --set key=value overrides (owned by the runner; may be null). */
+    const ScenarioParams *setParams = nullptr;
 
     /** The result being built; requires a runner-provided builder. */
     ResultBuilder &result() const;
+
+    /** The invocation's --set overrides (empty when none given). */
+    const ScenarioParams &params() const;
 
     /** SweepOptions honoring --threads and --progress. */
     SweepOptions sweep(const std::string &label = "sweep") const;

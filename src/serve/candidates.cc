@@ -1,0 +1,74 @@
+#include "serve/candidates.h"
+
+#include <cmath>
+
+#include "compress/reference_decompress.h"
+#include "compress/weight_matrix.h"
+
+namespace deca::serve {
+
+double
+weightSqnrDb(const compress::CompressionScheme &scheme)
+{
+    Rng rng(7);
+    const compress::WeightMatrix w =
+        compress::generateWeights(64, 128, scheme.density, rng);
+    double sig = 0.0;
+    double err = 0.0;
+    for (u32 tr = 0; tr < w.tileRows(); ++tr) {
+        for (u32 tc = 0; tc < w.tileCols(); ++tc) {
+            const compress::DenseTile t = w.tile(tr, tc);
+            const compress::DenseTile rt = compress::roundTrip(t, scheme);
+            for (u32 i = 0; i < kTileElems; ++i) {
+                const double v = t[i].toFloat();
+                const double e = v - rt[i].toFloat();
+                sig += v * v;
+                err += e * e;
+            }
+        }
+    }
+    if (err == 0.0)
+        return 99.0;  // lossless
+    return 10.0 * std::log10(sig / err);
+}
+
+kernels::KernelConfig
+defaultKernelFor(const compress::CompressionScheme &scheme)
+{
+    if (scheme.name == "BF16")
+        return kernels::KernelConfig::uncompressedBf16();
+    return kernels::KernelConfig::decaKernel();
+}
+
+std::vector<compress::CompressionScheme>
+defaultCandidates()
+{
+    return {
+        compress::schemeBf16(),   compress::schemeQ8Dense(),
+        compress::schemeMxfp4(),  compress::schemeQ8(0.5),
+        compress::schemeQ8(0.2),  compress::schemeQ8(0.05),
+        compress::schemeQ16(0.2),
+    };
+}
+
+std::vector<CandidateEval>
+evaluateCandidates(const llm::InferenceModel &inf,
+                   const std::vector<compress::CompressionScheme> &cands,
+                   double slo_ms, runner::SweepOptions sweep)
+{
+    runner::SweepEngine engine(std::move(sweep));
+    return engine.map(cands.size(), [&](std::size_t i) {
+        const compress::CompressionScheme &s = cands[i];
+        const llm::PhaseCost step =
+            inf.decodeStepCost(s, defaultKernelFor(s), 1, 128);
+        CandidateEval e;
+        e.latencyMs = step.milliseconds();
+        e.weightsGb = static_cast<double>(inf.model().totalFcTiles()) *
+                      s.bytesPerTile() / 1e9;
+        e.sqnrDb = weightSqnrDb(s);
+        e.meetsSlo = e.latencyMs <= slo_ms;
+        return e;
+    });
+}
+
+} // namespace deca::serve

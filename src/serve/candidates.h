@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Candidate-scheme evaluation for serving deployment decisions: the
+ * reusable core of the llm_serving example (latency / footprint /
+ * weight-quality per compression scheme, SLO flagging), promoted into
+ * the serve:: API so scenarios and client code share one
+ * implementation. Evaluation fans out per candidate across the
+ * SweepEngine; results always come back in candidate order.
+ */
+
+#ifndef DECA_SERVE_CANDIDATES_H
+#define DECA_SERVE_CANDIDATES_H
+
+#include <vector>
+
+#include "llm/inference.h"
+#include "runner/sweep_engine.h"
+
+namespace deca::serve {
+
+/**
+ * Weight-space SQNR (dB) of a scheme on synthetic Gaussian weights.
+ * A lossless round-trip reports 99 dB. Deterministic (fixed seed).
+ */
+double weightSqnrDb(const compress::CompressionScheme &scheme);
+
+/**
+ * The kernel a scheme is served with: BF16 streams tiles
+ * uncompressed, every compressed scheme decompresses on DECA.
+ */
+kernels::KernelConfig
+defaultKernelFor(const compress::CompressionScheme &scheme);
+
+/** The example's candidate scheme shortlist. */
+std::vector<compress::CompressionScheme> defaultCandidates();
+
+/** One candidate's serving-relevant evaluation. */
+struct CandidateEval
+{
+    /** Batch-1 next-token (decode-step) latency. */
+    double latencyMs = 0.0;
+    /** Compressed FC weight footprint. */
+    double weightsGb = 0.0;
+    /** Weight-space quality proxy. */
+    double sqnrDb = 0.0;
+    /** latencyMs meets the SLO passed to evaluateCandidates(). */
+    bool meetsSlo = false;
+
+    double tokensPerSec() const { return 1e3 / latencyMs; }
+};
+
+/**
+ * Evaluate every candidate on `inf`'s machine (batch-1 decode over a
+ * 128-token context, defaultKernelFor() kernel), in parallel under
+ * `sweep`, returning evaluations in candidate order.
+ */
+std::vector<CandidateEval>
+evaluateCandidates(const llm::InferenceModel &inf,
+                   const std::vector<compress::CompressionScheme> &cands,
+                   double slo_ms, runner::SweepOptions sweep = {});
+
+} // namespace deca::serve
+
+#endif // DECA_SERVE_CANDIDATES_H

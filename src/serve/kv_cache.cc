@@ -1,0 +1,52 @@
+#include "serve/kv_cache.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deca::serve {
+
+u64
+kvBytesPerToken(const llm::ModelConfig &model)
+{
+    const u64 head_dim = model.hidden / model.heads;
+    const u64 kv_dim = u64{model.kvHeads} * head_dim;
+    return 2 /* K and V */ * u64{model.layers} * kv_dim *
+           2 /* BF16 bytes */;
+}
+
+u64
+weightBytes(const llm::ModelConfig &model,
+            const compress::CompressionScheme &scheme)
+{
+    return static_cast<u64>(
+        std::ceil(static_cast<double>(model.totalFcTiles()) *
+                  scheme.bytesPerTile()));
+}
+
+KvCacheModel::KvCacheModel(const KvCacheConfig &config) : config_(config)
+{
+    DECA_ASSERT(config_.bytesPerToken > 0);
+}
+
+bool
+KvCacheModel::tryReserve(u64 tokens)
+{
+    if (tokens > freeTokens())
+        return false;
+    used_tokens_ += tokens;
+    if (used_tokens_ > peak_tokens_)
+        peak_tokens_ = used_tokens_;
+    return true;
+}
+
+void
+KvCacheModel::release(u64 tokens)
+{
+    DECA_ASSERT(tokens <= used_tokens_,
+                "KV release of ", tokens, " tokens exceeds the ",
+                used_tokens_, " reserved");
+    used_tokens_ -= tokens;
+}
+
+} // namespace deca::serve

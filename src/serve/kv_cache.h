@@ -1,0 +1,93 @@
+/**
+ * @file
+ * KV-cache capacity model. The serving node's memory holds the
+ * (compressed) FC weights and the KV cache of every in-flight
+ * sequence; what the weights do not occupy, the KV cache may. A
+ * stronger compression scheme therefore buys batch headroom, not just
+ * bandwidth — the capacity side of the serving story.
+ *
+ * Accounting is in tokens: one attended token costs
+ * 2 (K and V) x layers x kvHeads x headDim x 2 bytes (BF16),
+ * ~0.31 MiB/token for Llama2-70B with GQA. The model tracks
+ * reservations; the scheduler decides what to reserve (whole
+ * sequences up front, or prompt-only with eviction — see
+ * serve/scheduler.h).
+ */
+
+#ifndef DECA_SERVE_KV_CACHE_H
+#define DECA_SERVE_KV_CACHE_H
+
+#include "compress/scheme.h"
+#include "llm/model_config.h"
+
+namespace deca::serve {
+
+/** KV bytes per attended token for one model (BF16 K and V). */
+u64 kvBytesPerToken(const llm::ModelConfig &model);
+
+/** Compressed FC weight footprint of one scheme on one model. */
+u64 weightBytes(const llm::ModelConfig &model,
+                const compress::CompressionScheme &scheme);
+
+/** Sizing of the KV cache on one serving node. */
+struct KvCacheConfig
+{
+    /** Serving-node memory capacity shared by weights and KV. */
+    u64 nodeCapacityBytes = 0;
+    /** Bytes the (compressed) weights occupy. */
+    u64 weightBytes = 0;
+    /** Bytes one attended token occupies. */
+    u64 bytesPerToken = 1;
+
+    /** Capacity left for KV after the weights (0 when weights do not
+     *  fit at all — serving is infeasible). */
+    u64
+    kvCapacityBytes() const
+    {
+        return nodeCapacityBytes > weightBytes
+                   ? nodeCapacityBytes - weightBytes
+                   : 0;
+    }
+
+    /** Whole tokens the KV capacity can hold. */
+    u64 capacityTokens() const { return kvCapacityBytes() / bytesPerToken; }
+};
+
+/** Token-granular reservation tracker over the KV capacity. */
+class KvCacheModel
+{
+  public:
+    explicit KvCacheModel(const KvCacheConfig &config);
+
+    /** Reserve `tokens`; false (and no change) when they do not fit. */
+    bool tryReserve(u64 tokens);
+
+    /** Release a prior reservation of `tokens`. */
+    void release(u64 tokens);
+
+    /** Whether `tokens` could ever be reserved on an empty cache. */
+    bool
+    fitsEver(u64 tokens) const
+    {
+        return tokens <= config_.capacityTokens();
+    }
+
+    u64 usedTokens() const { return used_tokens_; }
+    u64
+    freeTokens() const
+    {
+        return config_.capacityTokens() - used_tokens_;
+    }
+    u64 usedBytes() const { return used_tokens_ * config_.bytesPerToken; }
+    u64 peakUsedTokens() const { return peak_tokens_; }
+    const KvCacheConfig &config() const { return config_; }
+
+  private:
+    KvCacheConfig config_;
+    u64 used_tokens_ = 0;
+    u64 peak_tokens_ = 0;
+};
+
+} // namespace deca::serve
+
+#endif // DECA_SERVE_KV_CACHE_H

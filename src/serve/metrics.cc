@@ -1,0 +1,67 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deca::serve {
+
+namespace {
+
+/** Smallest binnable latency. */
+constexpr double kFloorNs = 100.0;
+/** Geometric bucket ratio: 2% resolution. */
+const double kLogRatio = std::log(1.02);
+/** log1.02(1e10) + 2 sentinel buckets covers 100 ns .. 1000 s. */
+constexpr u32 kBuckets = 1165;
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+u32
+LatencyHistogram::bucketOf(Ns v) const
+{
+    if (static_cast<double>(v) <= kFloorNs)
+        return 0;
+    const double b =
+        std::log(static_cast<double>(v) / kFloorNs) / kLogRatio;
+    const u32 idx = static_cast<u32>(b) + 1;
+    return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+double
+LatencyHistogram::bucketMidNs(u32 b) const
+{
+    if (b == 0)
+        return kFloorNs;
+    // Geometric midpoint of [floor * r^(b-1), floor * r^b).
+    return kFloorNs *
+           std::exp(kLogRatio * (static_cast<double>(b) - 0.5));
+}
+
+void
+LatencyHistogram::add(Ns v)
+{
+    ++buckets_[bucketOf(v)];
+    ++count_;
+    sum_ns_ += static_cast<double>(v);
+}
+
+double
+LatencyHistogram::percentileNs(double p) const
+{
+    DECA_ASSERT(p > 0.0 && p <= 100.0);
+    if (count_ == 0)
+        return 0.0;
+    const double target = p / 100.0 * static_cast<double>(count_);
+    u64 cum = 0;
+    for (u32 b = 0; b < kBuckets; ++b) {
+        cum += buckets_[b];
+        if (static_cast<double>(cum) >= target)
+            return bucketMidNs(b);
+    }
+    return bucketMidNs(kBuckets - 1);
+}
+
+} // namespace deca::serve

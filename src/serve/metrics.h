@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Serving metrics: tail-latency percentiles without storing every
+ * sample. Decode steps at full load emit millions of token latencies
+ * per run, so the simulator folds them into a geometric histogram
+ * (2% bucket ratio: worst-case percentile error well under the
+ * latency differences the SLO tables report) and the percentile
+ * queries walk the cumulative counts. Deterministic: bucket indexing
+ * is pure double math on the same process, so jobs=8 and jobs=1 runs
+ * bin identically.
+ */
+
+#ifndef DECA_SERVE_METRICS_H
+#define DECA_SERVE_METRICS_H
+
+#include <vector>
+
+#include "serve/request.h"
+
+namespace deca::serve {
+
+/** Geometric-bucket latency histogram over [100 ns, ~1000 s]. */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram();
+
+    void add(Ns v);
+
+    u64 count() const { return count_; }
+
+    /**
+     * Smallest latency L such that at least p percent of samples are
+     * <= L's bucket (p in (0, 100]); 0 when empty. Reported as the
+     * bucket's geometric midpoint.
+     */
+    double percentileNs(double p) const;
+
+    double
+    percentileMs(double p) const
+    {
+        return percentileNs(p) / 1e6;
+    }
+
+    double meanNs() const { return count_ ? sum_ns_ / count_ : 0.0; }
+
+  private:
+    u32 bucketOf(Ns v) const;
+    double bucketMidNs(u32 b) const;
+
+    std::vector<u64> buckets_;
+    u64 count_ = 0;
+    double sum_ns_ = 0.0;
+};
+
+/** Everything one serving run reports. */
+struct ServeMetrics
+{
+    // Population.
+    u64 offered = 0;
+    u64 completed = 0;
+    u64 rejectedQueueFull = 0;
+    u64 rejectedNeverFits = 0;
+    u64 evictions = 0;
+
+    // Throughput.
+    u64 generatedTokens = 0;
+    /** First arrival to last emission, seconds. */
+    double durationSec = 0.0;
+    double tokensPerSec = 0.0;
+    double requestsPerSec = 0.0;
+
+    // Latency.
+    LatencyHistogram decodeLatency; ///< per-token inter-emission gap
+    LatencyHistogram ttft;          ///< arrival -> first token
+
+    // Batching / capacity.
+    double meanDecodeBatch = 0.0;
+    u64 decodeSteps = 0;
+    u64 prefillSteps = 0;
+    u64 peakKvTokens = 0;
+    u64 kvCapacityTokens = 0;
+
+    // Engine occupancy.
+    double busyFraction = 0.0;
+    double prefillTimeFraction = 0.0;
+
+    // Energy.
+    double energyJ = 0.0;
+    double tokensPerJoule = 0.0;
+
+    u64
+    rejected() const
+    {
+        return rejectedQueueFull + rejectedNeverFits;
+    }
+};
+
+} // namespace deca::serve
+
+#endif // DECA_SERVE_METRICS_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Request-level serving primitives: the unit of work the serving
+ * simulator schedules is one inference request — a prompt to process
+ * (prefill) and a number of tokens to generate (decode). Arrival
+ * times are absolute simulated nanoseconds; the serving layer runs
+ * the shared sim::EventQueue with a 1 ns tick, which holds hours of
+ * simulated wall-clock in a u64 with room to spare.
+ */
+
+#ifndef DECA_SERVE_REQUEST_H
+#define DECA_SERVE_REQUEST_H
+
+#include "common/types.h"
+
+namespace deca::serve {
+
+/** Simulated serving time in nanoseconds. */
+using Ns = u64;
+
+inline constexpr double kNsPerSec = 1e9;
+
+/** One inference request offered to the serving system. */
+struct Request
+{
+    /** Absolute arrival time (ns since simulation start). */
+    Ns arrivalNs = 0;
+    /** Prompt length to prefill. */
+    u32 promptTokens = 0;
+    /** Tokens to generate (including the one the prefill emits). */
+    u32 outputTokens = 0;
+
+    /** KV-cache footprint of the fully generated sequence, in tokens. */
+    u64
+    totalTokens() const
+    {
+        return u64{promptTokens} + outputTokens;
+    }
+
+    bool
+    operator==(const Request &o) const
+    {
+        return arrivalNs == o.arrivalNs &&
+               promptTokens == o.promptTokens &&
+               outputTokens == o.outputTokens;
+    }
+};
+
+/** Why a request left the system. */
+enum class RequestOutcome : u8
+{
+    Pending,   ///< still in flight (or not yet arrived)
+    Completed, ///< generated all its output tokens
+    Rejected,  ///< refused at arrival (queue full or can never fit)
+};
+
+/** Per-request lifecycle timestamps collected by the simulator. */
+struct RequestRecord
+{
+    RequestOutcome outcome = RequestOutcome::Pending;
+    /** When the scheduler admitted the request into a prefill. */
+    Ns admitNs = 0;
+    /** When the first output token was emitted (end of prefill). */
+    Ns firstTokenNs = 0;
+    /** When the last output token was emitted. */
+    Ns finishNs = 0;
+    /** Output tokens emitted so far. */
+    u32 tokensOut = 0;
+    /** Times this request was preempted (KV eviction) and re-queued. */
+    u32 preemptions = 0;
+};
+
+} // namespace deca::serve
+
+#endif // DECA_SERVE_REQUEST_H

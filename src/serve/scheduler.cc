@@ -1,0 +1,181 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deca::serve {
+
+Scheduler::Scheduler(const SchedulerConfig &config,
+                     const KvCacheConfig &kv,
+                     const std::vector<Request> &requests)
+    : config_(config), kv_(kv), requests_(requests)
+{
+    DECA_ASSERT(config_.maxBatch > 0);
+    DECA_ASSERT(config_.prefillChunkTokens > 0);
+}
+
+u64
+Scheduler::admissionReservation(const Seq &s) const
+{
+    // Prompt+output never changes across evictions: generated tokens
+    // move from `remaining` into `promptNow`, so a Queued verdict at
+    // arrival stays valid for every later re-admission.
+    if (config_.reserveFullSequence)
+        return u64{s.promptNow} + s.remaining;
+    return s.promptNow;
+}
+
+Scheduler::Admit
+Scheduler::onArrival(u32 idx)
+{
+    const Request &r = requests_[idx];
+    DECA_ASSERT(r.promptTokens > 0 && r.outputTokens > 0,
+                "request ", idx, " has empty prompt or output");
+    if (!kv_.fitsEver(r.totalTokens()))
+        return Admit::RejectedNeverFits;
+    if (wait_.size() >= config_.maxWaitQueue)
+        return Admit::RejectedQueueFull;
+    Seq s;
+    s.idx = idx;
+    s.promptNow = r.promptTokens;
+    s.remaining = r.outputTokens;
+    wait_.push_back(s);
+    return Admit::Queued;
+}
+
+bool
+Scheduler::prefillReady() const
+{
+    if (wait_.empty() || running_.size() >= config_.maxBatch)
+        return false;
+    return admissionReservation(wait_.front()) <= kv_.freeTokens();
+}
+
+PrefillPlan
+Scheduler::takePrefill()
+{
+    DECA_ASSERT(!prefill_inflight_ && !decode_inflight_);
+    DECA_ASSERT(prefillReady(), "takePrefill without prefillReady");
+    PrefillPlan plan;
+    while (!wait_.empty() &&
+           running_.size() + plan.admitted.size() < config_.maxBatch) {
+        Seq &head = wait_.front();
+        // Chunk budget: never split a prompt, but always admit at
+        // least the head even when it alone exceeds the budget.
+        if (!plan.admitted.empty() &&
+            plan.promptRows + head.promptNow > config_.prefillChunkTokens)
+            break;
+        const u64 need = admissionReservation(head);
+        if (!kv_.tryReserve(need))
+            break;  // head-blocking: nothing may overtake the head
+        head.reserved = need;
+        plan.admitted.push_back(head.idx);
+        plan.promptRows += head.promptNow;
+        const double len = static_cast<double>(head.promptNow);
+        plan.causalPairs += len * (len + 1.0) / 2.0;
+        running_.push_back(head);
+        wait_.pop_front();
+    }
+    DECA_ASSERT(!plan.admitted.empty());
+    prefill_inflight_ = true;
+    return plan;
+}
+
+std::vector<TokenEmit>
+Scheduler::completePrefill(const PrefillPlan &plan)
+{
+    DECA_ASSERT(prefill_inflight_);
+    prefill_inflight_ = false;
+    std::vector<TokenEmit> emits;
+    emits.reserve(plan.admitted.size());
+    for (const u32 idx : plan.admitted) {
+        auto it = std::find_if(running_.begin(), running_.end(),
+                               [idx](const Seq &s) {
+                                   return s.idx == idx;
+                               });
+        DECA_ASSERT(it != running_.end());
+        ++it->totalEmitted;
+        ++it->emittedSinceAdmit;
+        --it->remaining;
+        TokenEmit e;
+        e.request = idx;
+        e.firstToken = it->totalEmitted == 1;
+        e.finished = it->remaining == 0;
+        emits.push_back(e);
+        if (e.finished)
+            finishSeq(it);
+    }
+    return emits;
+}
+
+DecodePlan
+Scheduler::takeDecode()
+{
+    DECA_ASSERT(!prefill_inflight_ && !decode_inflight_);
+    DECA_ASSERT(!running_.empty(), "takeDecode with an empty batch");
+    DecodePlan plan;
+    if (!config_.reserveFullSequence) {
+        // Each sequence's previously emitted token claims a KV slot
+        // this step. Evict the youngest sequences (never the oldest,
+        // which can always finish alone thanks to the arrival-time
+        // fitsEver check) until the step fits.
+        while (!kv_.tryReserve(running_.size())) {
+            DECA_ASSERT(running_.size() > 1,
+                        "single sequence exceeded KV capacity");
+            Seq victim = running_.back();
+            running_.pop_back();
+            kv_.release(victim.reserved);
+            // Recompute semantics: generated context re-prefills, so
+            // it moves into the prompt; `remaining` is untouched.
+            victim.promptNow += victim.emittedSinceAdmit;
+            victim.emittedSinceAdmit = 0;
+            victim.reserved = 0;
+            // Youngest-first eviction + push_front keeps the wait
+            // queue in admission-age order (oldest evictee in front).
+            wait_.push_front(victim);
+            plan.evicted.push_back(victim.idx);
+            ++evictions_;
+        }
+        for (Seq &s : running_)
+            ++s.reserved;
+    }
+    plan.batch = static_cast<u32>(running_.size());
+    for (const Seq &s : running_)
+        plan.totalCtxTokens += s.ctxTokens();
+    decode_inflight_ = true;
+    return plan;
+}
+
+std::vector<TokenEmit>
+Scheduler::completeDecode()
+{
+    DECA_ASSERT(decode_inflight_);
+    decode_inflight_ = false;
+    std::vector<TokenEmit> emits;
+    emits.reserve(running_.size());
+    for (auto it = running_.begin(); it != running_.end();) {
+        ++it->totalEmitted;
+        ++it->emittedSinceAdmit;
+        --it->remaining;
+        TokenEmit e;
+        e.request = it->idx;
+        e.firstToken = it->totalEmitted == 1;
+        e.finished = it->remaining == 0;
+        emits.push_back(e);
+        if (e.finished)
+            it = finishSeq(it);
+        else
+            ++it;
+    }
+    return emits;
+}
+
+std::vector<Scheduler::Seq>::iterator
+Scheduler::finishSeq(std::vector<Seq>::iterator it)
+{
+    kv_.release(it->reserved);
+    return running_.erase(it);
+}
+
+} // namespace deca::serve

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Continuous-batching scheduler (the policy half of the serving
+ * simulator; serve/serving_sim.h owns time and metrics).
+ *
+ * The engine alternates whole steps, vLLM-v0 style:
+ *
+ *  - Prefill step: FIFO admission from the wait queue, head-blocking
+ *    (a request is never admitted past the queue head, so no request
+ *    starves). Admitted prompts are chunked together up to
+ *    prefillChunkTokens and the batch cap; each admitted sequence
+ *    emits its first output token when the chunk's pass completes.
+ *  - Decode step: every running sequence generates one token.
+ *    Prefill-ready work preempts further decode steps (decode resumes
+ *    once the queue head is admitted or blocked on KV capacity).
+ *
+ * KV capacity policies:
+ *
+ *  - reserveFullSequence = true (default): admission reserves the
+ *    sequence's whole final footprint (prompt + output tokens), so a
+ *    running sequence can never be evicted.
+ *  - reserveFullSequence = false: admission reserves only the prompt;
+ *    each decode step grows every sequence by one token, and when the
+ *    cache is full the youngest-admitted sequences are evicted back
+ *    to the front of the wait queue (recompute semantics: their
+ *    generated tokens join the prompt to re-prefill). The
+ *    oldest-running sequence is never evicted, so the batch always
+ *    makes forward progress.
+ *
+ * Requests whose total footprint can never fit, or that arrive to a
+ * full wait queue, are rejected at arrival.
+ */
+
+#ifndef DECA_SERVE_SCHEDULER_H
+#define DECA_SERVE_SCHEDULER_H
+
+#include <deque>
+#include <vector>
+
+#include "serve/kv_cache.h"
+#include "serve/request.h"
+
+namespace deca::serve {
+
+/** Policy knobs of the continuous-batching scheduler. */
+struct SchedulerConfig
+{
+    /** Concurrently decoding sequences (GeMM rows) cap. */
+    u32 maxBatch = 16;
+    /** Wait-queue bound; arrivals beyond it are rejected. */
+    u32 maxWaitQueue = 512;
+    /** Prompt tokens one prefill step may chunk together (a single
+     *  longer prompt is still admitted alone). */
+    u64 prefillChunkTokens = 2048;
+    /** Reserve prompt+output KV at admission (no eviction) vs
+     *  prompt-only with eviction of the youngest on pressure. */
+    bool reserveFullSequence = true;
+};
+
+/** One committed prefill step. */
+struct PrefillPlan
+{
+    /** Request indices admitted into this chunk, FIFO order. */
+    std::vector<u32> admitted;
+    /** Total prompt rows flowing through the FC GeMMs. */
+    u64 promptRows = 0;
+    /** Causal (token, attended) pairs: sum of L(L+1)/2 per prompt. */
+    double causalPairs = 0.0;
+};
+
+/** One committed decode step. */
+struct DecodePlan
+{
+    /** Sequences decoding this step (after any evictions). */
+    u32 batch = 0;
+    /** Sum of per-sequence attended context lengths. */
+    u64 totalCtxTokens = 0;
+    /** Request indices evicted (prompt-only mode) to fit the step. */
+    std::vector<u32> evicted;
+};
+
+/** One token emission reported back to the simulator. */
+struct TokenEmit
+{
+    u32 request = 0;
+    /** This was the request's first output token (end of prefill). */
+    bool firstToken = false;
+    /** The request completed with this token. */
+    bool finished = false;
+};
+
+class Scheduler
+{
+  public:
+    enum class Admit
+    {
+        Queued,
+        RejectedQueueFull,
+        /** prompt+output KV footprint exceeds the whole capacity. */
+        RejectedNeverFits,
+    };
+
+    Scheduler(const SchedulerConfig &config, const KvCacheConfig &kv,
+              const std::vector<Request> &requests);
+
+    /** Offer request `idx`; Queued means it will eventually run. */
+    Admit onArrival(u32 idx);
+
+    /** Any admitted-or-waiting work left? */
+    bool
+    hasWork() const
+    {
+        return !wait_.empty() || !running_.empty();
+    }
+
+    /** Would takePrefill() admit at least one request right now? */
+    bool prefillReady() const;
+
+    /** Admit a FIFO chunk from the wait queue (requires
+     *  prefillReady()); reserves KV and moves sequences to running. */
+    PrefillPlan takePrefill();
+
+    /** The chunk's pass finished: emit each admitted sequence's next
+     *  token; sequences with nothing left to generate complete. */
+    std::vector<TokenEmit> completePrefill(const PrefillPlan &plan);
+
+    /** Start a decode step over all running sequences (requires a
+     *  non-empty batch); grows KV in prompt-only mode, evicting the
+     *  youngest sequences if the cache cannot hold the step. */
+    DecodePlan takeDecode();
+
+    /** The decode pass finished: one token per running sequence. */
+    std::vector<TokenEmit> completeDecode();
+
+    u32 runningBatch() const { return static_cast<u32>(running_.size()); }
+    std::size_t waitDepth() const { return wait_.size(); }
+    u64 evictions() const { return evictions_; }
+    const KvCacheModel &kv() const { return kv_; }
+
+  private:
+    /** Per-sequence mutable scheduling state. */
+    struct Seq
+    {
+        u32 idx = 0;
+        /** Tokens to (re-)prefill: original prompt plus any tokens
+         *  generated before an eviction. */
+        u32 promptNow = 0;
+        /** Output tokens still to emit. */
+        u32 remaining = 0;
+        /** Tokens emitted since admission or last eviction. */
+        u32 emittedSinceAdmit = 0;
+        /** Output tokens emitted over the request's whole life. */
+        u32 totalEmitted = 0;
+        /** KV tokens this sequence currently has reserved. */
+        u64 reserved = 0;
+
+        /** Attended context at the next decode step. */
+        u64
+        ctxTokens() const
+        {
+            return u64{promptNow} + emittedSinceAdmit;
+        }
+    };
+
+    /** KV tokens admission must reserve for `s`. */
+    u64 admissionReservation(const Seq &s) const;
+    /** Release KV and erase; returns the iterator past the erased. */
+    std::vector<Seq>::iterator finishSeq(std::vector<Seq>::iterator it);
+
+    SchedulerConfig config_;
+    KvCacheModel kv_;
+    const std::vector<Request> &requests_;
+
+    /** Waiting sequences, FIFO (front = next to admit). Evicted
+     *  sequences re-enter at the front. */
+    std::deque<Seq> wait_;
+    /** Running sequences in admission order (front = oldest). */
+    std::vector<Seq> running_;
+    /** Indices into running_ of the in-flight decode step. */
+    bool decode_inflight_ = false;
+    bool prefill_inflight_ = false;
+    u64 evictions_ = 0;
+};
+
+} // namespace deca::serve
+
+#endif // DECA_SERVE_SCHEDULER_H

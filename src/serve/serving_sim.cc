@@ -1,0 +1,235 @@
+#include "serve/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "serve/kv_cache.h"
+
+namespace deca::serve {
+
+KvCacheConfig
+makeKvConfig(const StepCostModel &costs, u64 capacity_bytes)
+{
+    KvCacheConfig kv;
+    kv.nodeCapacityBytes = capacity_bytes;
+    kv.weightBytes =
+        weightBytes(costs.inference().model(), costs.scheme());
+    kv.bytesPerToken = costs.kvBytesPerToken();
+    return kv;
+}
+
+ServingSimulator::ServingSimulator(const StepCostModel &costs,
+                                   const ServeNodeConfig &node,
+                                   std::vector<Request> requests)
+    : costs_(costs), node_(node), requests_(std::move(requests)),
+      records_(requests_.size()), last_token_ns_(requests_.size(), 0),
+      sched_(node_.sched,
+             makeKvConfig(costs, node_.nodeCapacityBytes), requests_)
+{
+    DECA_ASSERT(node_.nodeCapacityBytes > 0,
+                "serving node needs a memory capacity");
+    for (std::size_t i = 1; i < requests_.size(); ++i)
+        DECA_ASSERT(requests_[i - 1].arrivalNs <= requests_[i].arrivalNs,
+                    "request stream must be arrival-ordered");
+}
+
+Ns
+ServingSimulator::toNs(double seconds)
+{
+    DECA_ASSERT(seconds > 0.0 && std::isfinite(seconds));
+    const double ns = seconds * kNsPerSec;
+    return std::max<Ns>(1, static_cast<Ns>(std::llround(ns)));
+}
+
+void
+ServingSimulator::scheduleNextArrival()
+{
+    if (next_arrival_ >= requests_.size())
+        return;
+    q_.scheduleAt(requests_[next_arrival_].arrivalNs,
+                  [this] { onArrival(); });
+}
+
+void
+ServingSimulator::onArrival()
+{
+    const u32 idx = next_arrival_++;
+    switch (sched_.onArrival(idx)) {
+      case Scheduler::Admit::Queued:
+        break; // resolved when its last token emits
+      case Scheduler::Admit::RejectedQueueFull:
+        records_[idx].outcome = RequestOutcome::Rejected;
+        ++m_.rejectedQueueFull;
+        break;
+      case Scheduler::Admit::RejectedNeverFits:
+        records_[idx].outcome = RequestOutcome::Rejected;
+        ++m_.rejectedNeverFits;
+        break;
+    }
+    scheduleNextArrival();
+    maybeStartStep();
+}
+
+void
+ServingSimulator::maybeStartStep()
+{
+    if (busy_)
+        return;
+    if (sched_.prefillReady())
+        startPrefill();
+    else if (sched_.runningBatch() > 0)
+        startDecode();
+}
+
+void
+ServingSimulator::chargeStep(double seconds, double dram_bytes)
+{
+    const sim::SimParams &p = costs_.inference().params();
+    const kernels::EnergyParams &ep = node_.energy;
+    double power_w = p.cores * ep.corePowerW + ep.uncorePowerW;
+    if (costs_.kernel().engine == kernels::Engine::Deca)
+        power_w += p.cores * ep.decaPePowerW;
+    const double per_byte = p.memKind == sim::MemoryKind::HBM
+                                ? ep.hbmEnergyPerByte
+                                : ep.ddrEnergyPerByte;
+    m_.energyJ += seconds * power_w + dram_bytes * per_byte;
+}
+
+void
+ServingSimulator::startPrefill()
+{
+    prefill_plan_ = sched_.takePrefill();
+    for (const u32 idx : prefill_plan_.admitted) {
+        // First admission; re-admissions after an eviction already
+        // have their first token stamped.
+        if (records_[idx].firstTokenNs == 0 &&
+            records_[idx].tokensOut == 0)
+            records_[idx].admitNs = q_.now();
+    }
+    const double sec = costs_.prefillSeconds(prefill_plan_.promptRows,
+                                             prefill_plan_.causalPairs);
+    // DRAM traffic: one pass over the compressed weights plus the KV
+    // writes of the prefilled tokens (the causal attention reads stay
+    // within the chunk's freshly written, cache-warm KV).
+    const double bytes =
+        costs_.weightBytesPerPass() +
+        static_cast<double>(prefill_plan_.promptRows) *
+            static_cast<double>(costs_.kvBytesPerToken());
+    chargeStep(sec, bytes);
+    busy_prefill_sec_ += sec;
+    ++m_.prefillSteps;
+    busy_ = true;
+    step_is_prefill_ = true;
+    q_.schedule(toNs(sec), [this] { onPrefillDone(); });
+}
+
+void
+ServingSimulator::startDecode()
+{
+    decode_plan_ = sched_.takeDecode();
+    for (const u32 idx : decode_plan_.evicted)
+        ++records_[idx].preemptions;
+    DECA_ASSERT(decode_plan_.batch > 0);
+    const double sec = costs_.decodeStepSeconds(
+        decode_plan_.batch,
+        static_cast<double>(decode_plan_.totalCtxTokens));
+    // Weights stream once per step; each sequence reads its whole KV
+    // window and writes one new token.
+    const double bytes =
+        costs_.weightBytesPerPass() +
+        static_cast<double>(decode_plan_.totalCtxTokens +
+                            decode_plan_.batch) *
+            static_cast<double>(costs_.kvBytesPerToken());
+    chargeStep(sec, bytes);
+    busy_decode_sec_ += sec;
+    ++m_.decodeSteps;
+    decode_batch_sum_ += decode_plan_.batch;
+    busy_ = true;
+    step_is_prefill_ = false;
+    q_.schedule(toNs(sec), [this] { onDecodeDone(); });
+}
+
+void
+ServingSimulator::onPrefillDone()
+{
+    DECA_ASSERT(busy_ && step_is_prefill_);
+    busy_ = false;
+    emitTokens(sched_.completePrefill(prefill_plan_), q_.now());
+    maybeStartStep();
+}
+
+void
+ServingSimulator::onDecodeDone()
+{
+    DECA_ASSERT(busy_ && !step_is_prefill_);
+    busy_ = false;
+    emitTokens(sched_.completeDecode(), q_.now());
+    maybeStartStep();
+}
+
+void
+ServingSimulator::emitTokens(const std::vector<TokenEmit> &emits, Ns now)
+{
+    for (const TokenEmit &e : emits) {
+        RequestRecord &rec = records_[e.request];
+        ++rec.tokensOut;
+        ++m_.generatedTokens;
+        if (e.firstToken) {
+            rec.firstTokenNs = now;
+            m_.ttft.add(now - requests_[e.request].arrivalNs);
+        } else {
+            // Every non-first emission is a next-token wait the user
+            // experienced — including gaps across an eviction and
+            // re-prefill, which is exactly the tail the SLO cares
+            // about.
+            m_.decodeLatency.add(now - last_token_ns_[e.request]);
+        }
+        last_token_ns_[e.request] = now;
+        if (e.finished) {
+            rec.finishNs = now;
+            rec.outcome = RequestOutcome::Completed;
+            ++m_.completed;
+        }
+    }
+}
+
+ServeMetrics
+ServingSimulator::run()
+{
+    DECA_ASSERT(!ran_, "ServingSimulator::run() may only run once");
+    ran_ = true;
+    m_.offered = requests_.size();
+    m_.kvCapacityTokens = sched_.kv().config().capacityTokens();
+    scheduleNextArrival();
+    const Ns end_ns = q_.run();
+    DECA_ASSERT(!busy_ && !sched_.hasWork(),
+                "serving run ended with work in flight");
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        DECA_ASSERT(records_[i].outcome != RequestOutcome::Pending,
+                    "request ", i, " neither completed nor rejected");
+
+    m_.evictions = sched_.evictions();
+    m_.peakKvTokens = sched_.kv().peakUsedTokens();
+    m_.durationSec = static_cast<double>(end_ns) / kNsPerSec;
+    if (m_.durationSec > 0.0) {
+        m_.tokensPerSec =
+            static_cast<double>(m_.generatedTokens) / m_.durationSec;
+        m_.requestsPerSec =
+            static_cast<double>(m_.completed) / m_.durationSec;
+        m_.busyFraction =
+            (busy_prefill_sec_ + busy_decode_sec_) / m_.durationSec;
+    }
+    const double busy_sec = busy_prefill_sec_ + busy_decode_sec_;
+    if (busy_sec > 0.0)
+        m_.prefillTimeFraction = busy_prefill_sec_ / busy_sec;
+    if (m_.decodeSteps > 0)
+        m_.meanDecodeBatch =
+            decode_batch_sum_ / static_cast<double>(m_.decodeSteps);
+    if (m_.energyJ > 0.0)
+        m_.tokensPerJoule =
+            static_cast<double>(m_.generatedTokens) / m_.energyJ;
+    return m_;
+}
+
+} // namespace deca::serve

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The request-level serving simulator: ties the continuous-batching
+ * Scheduler, the StepCostModel and the KvCacheModel together on the
+ * repo's sim::EventQueue. One queue tick is one nanosecond of wall
+ * time on the serving node.
+ *
+ * The event structure is deliberately small:
+ *
+ *  - Arrival events fire at each request's arrivalNs (chained: each
+ *    arrival schedules the next, so the queue never holds more than
+ *    one pending arrival).
+ *  - The engine runs at most one step at a time (the node's cores are
+ *    a single serially-stepped resource, matching how the cycle-level
+ *    GeMM simulation uses all cores for one pass). When idle and work
+ *    exists, the simulator commits the next step with the Scheduler,
+ *    prices it with the StepCostModel, and schedules its completion.
+ *    Prefill-ready work always preempts further decode steps.
+ *
+ * Completion events stamp per-request records (admission, first
+ * token, finish) and fold every inter-token gap into the latency
+ * histograms. Energy is accounted per busy step: core + uncore (+
+ * DECA PE) power for the step's duration plus DRAM access energy for
+ * the weight pass and the KV traffic. Everything is deterministic —
+ * a run is a pure function of (requests, costs, config).
+ */
+
+#ifndef DECA_SERVE_SERVING_SIM_H
+#define DECA_SERVE_SERVING_SIM_H
+
+#include <vector>
+
+#include "kernels/energy_model.h"
+#include "serve/metrics.h"
+#include "serve/scheduler.h"
+#include "serve/step_cost.h"
+#include "sim/event_queue.h"
+
+namespace deca::serve {
+
+/** Node-level configuration of one serving run. */
+struct ServeNodeConfig
+{
+    /** Memory capacity shared by compressed weights and KV cache. */
+    u64 nodeCapacityBytes = 0;
+    SchedulerConfig sched;
+    kernels::EnergyParams energy;
+};
+
+/** One serving run over a fixed request stream. */
+class ServingSimulator
+{
+  public:
+    /**
+     * @param costs Step-cost model of the (machine, scheme, kernel)
+     *        triple being served. Must outlive the simulator.
+     * @param node Capacity, scheduler policy and energy constants.
+     * @param requests Arrival-ordered request stream (arrivalNs
+     *        non-decreasing).
+     */
+    ServingSimulator(const StepCostModel &costs,
+                     const ServeNodeConfig &node,
+                     std::vector<Request> requests);
+
+    /** Run to completion and assemble the metrics. Call once. */
+    ServeMetrics run();
+
+    /** Per-request outcomes after run(). */
+    const std::vector<RequestRecord> &records() const { return records_; }
+
+  private:
+    void scheduleNextArrival();
+    void onArrival();
+    /** Start the next step if the engine is idle and work is ready. */
+    void maybeStartStep();
+    void startPrefill();
+    void startDecode();
+    void onPrefillDone();
+    void onDecodeDone();
+    /** Record the emissions of a completed step at time `now`. */
+    void emitTokens(const std::vector<TokenEmit> &emits, Ns now);
+    /** Charge one busy step: power x time + DRAM access energy. */
+    void chargeStep(double seconds, double dram_bytes);
+
+    static Ns toNs(double seconds);
+
+    const StepCostModel &costs_;
+    ServeNodeConfig node_;
+    std::vector<Request> requests_;
+    std::vector<RequestRecord> records_;
+    /** Timestamp of each request's latest emitted token. */
+    std::vector<Ns> last_token_ns_;
+
+    sim::EventQueue q_;
+    Scheduler sched_;
+    ServeMetrics m_;
+
+    u32 next_arrival_ = 0;
+    bool busy_ = false;
+    bool ran_ = false;
+    /** The in-flight step (valid while busy_). */
+    PrefillPlan prefill_plan_;
+    DecodePlan decode_plan_;
+    bool step_is_prefill_ = false;
+
+    double busy_prefill_sec_ = 0.0;
+    double busy_decode_sec_ = 0.0;
+    double decode_batch_sum_ = 0.0;
+};
+
+/** KvCacheConfig for `costs` on a node with `capacity_bytes`. */
+KvCacheConfig makeKvConfig(const StepCostModel &costs, u64 capacity_bytes);
+
+} // namespace deca::serve
+
+#endif // DECA_SERVE_SERVING_SIM_H

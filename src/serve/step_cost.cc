@@ -1,0 +1,97 @@
+#include "serve/step_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "serve/kv_cache.h"
+
+namespace deca::serve {
+
+namespace {
+
+/** Anchor GeMM row counts the constructor measures. */
+constexpr u32 kAnchorRows[] = {1, 2, 4, 8, 16};
+
+} // namespace
+
+StepCostModel::StepCostModel(const llm::InferenceModel &inf,
+                             const compress::CompressionScheme &scheme,
+                             const kernels::KernelConfig &kernel)
+    : inf_(inf), scheme_(scheme), kernel_(kernel)
+{
+    weight_bytes_ =
+        static_cast<double>(inf.model().totalFcTiles()) *
+        scheme.bytesPerTile();
+    kv_bytes_per_token_ = serve::kvBytesPerToken(inf.model());
+    kv_seconds_per_token_ =
+        static_cast<double>(kv_bytes_per_token_) /
+        gbPerSec(inf.params().memBwGBs);
+    anchors_.reserve(std::size(kAnchorRows));
+    for (const u32 rows : kAnchorRows)
+        anchors_.push_back(inf.fcThroughput(scheme, kernel, rows));
+}
+
+llm::FcThroughput
+StepCostModel::throughputAt(u64 rows) const
+{
+    if (rows <= anchors_.front().gemmRows)
+        return anchors_.front();
+    if (rows >= anchors_.back().gemmRows)
+        return anchors_.back();
+    std::size_t hi = 1;
+    while (anchors_[hi].gemmRows < rows)
+        ++hi;
+    const llm::FcThroughput &a = anchors_[hi - 1];
+    const llm::FcThroughput &b = anchors_[hi];
+    if (a.gemmRows == rows)
+        return a;
+    // Interpolate tiles/s and TMUL occupancy linearly in rows between
+    // the bracketing anchors, reporting the result as a synthetic
+    // anchor at `rows` so fcPassSeconds() extrapolation still works.
+    const double f = static_cast<double>(rows - a.gemmRows) /
+                     static_cast<double>(b.gemmRows - a.gemmRows);
+    llm::FcThroughput t;
+    t.gemmRows = static_cast<u32>(rows);
+    t.tilesPerSecond =
+        a.tilesPerSecond + f * (b.tilesPerSecond - a.tilesPerSecond);
+    t.tmulUtil = a.tmulUtil + f * (b.tmulUtil - a.tmulUtil);
+    return t;
+}
+
+double
+StepCostModel::otherSeconds(double linear_term_tokens) const
+{
+    const llm::NonGemmModel &ng = inf_.nonGemm();
+    // The calibrated non-GeMM term already covers KV streaming at the
+    // paper's operating points; the explicit bandwidth bound is a
+    // floor that takes over if a preset's calibration ever undercuts
+    // the raw byte-streaming time of the KV working set.
+    const double calibrated =
+        ng.aSeconds + ng.bSeconds * linear_term_tokens;
+    const double bandwidth_floor =
+        ng.aSeconds + kv_seconds_per_token_ * linear_term_tokens;
+    return std::max(calibrated, bandwidth_floor);
+}
+
+double
+StepCostModel::decodeStepSeconds(u32 batch,
+                                 double total_ctx_tokens) const
+{
+    DECA_ASSERT(batch > 0);
+    const double fc =
+        inf_.fcPassSeconds(throughputAt(batch), batch);
+    return fc + otherSeconds(total_ctx_tokens);
+}
+
+double
+StepCostModel::prefillSeconds(u64 prompt_rows, double causal_pairs) const
+{
+    DECA_ASSERT(prompt_rows > 0);
+    const double fc =
+        inf_.fcPassSeconds(throughputAt(prompt_rows), prompt_rows);
+    return fc + otherSeconds(causal_pairs);
+}
+
+} // namespace deca::serve

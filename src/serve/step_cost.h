@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Batch-size-dependent step costs for the serving simulator, derived
+ * from the phase-aware llm::InferenceModel API without paying a
+ * cycle-level GeMM simulation per scheduling decision.
+ *
+ * Construction measures FC tile throughput at a handful of anchor
+ * GeMM row counts (1, 2, 4, 8, 16 — the range the cycle simulation
+ * covers) and serving-time queries interpolate between them:
+ *
+ *  - decodeStepSeconds(batch, ctx): FC pass at `batch` rows
+ *    (log-linear between anchors, occupancy-extrapolated past 16)
+ *    plus the calibrated non-GeMM attention term over `ctx` total
+ *    attended tokens, floored by the time the KV bytes take to stream
+ *    at the machine's achievable bandwidth — the KV reads share the
+ *    same memory system the weights stream through.
+ *  - prefillSeconds(rows, pairs): FC pass at `rows` prompt tokens
+ *    plus the causal-attention term over `pairs` (token, attended)
+ *    pairs, with the same KV-bandwidth floor.
+ *
+ * The anchors are measured once per (machine, scheme, kernel); one
+ * table costs five steady-state GeMM simulations (~0.5 s) and then
+ * supports millions of scheduling decisions.
+ */
+
+#ifndef DECA_SERVE_STEP_COST_H
+#define DECA_SERVE_STEP_COST_H
+
+#include <vector>
+
+#include "llm/inference.h"
+
+namespace deca::serve {
+
+/** Cached per-phase cost evaluator for one (scheme, kernel) pair. */
+class StepCostModel
+{
+  public:
+    /**
+     * Measure the anchor throughputs (runs the cycle-level GeMM
+     * simulation once per anchor row count).
+     */
+    StepCostModel(const llm::InferenceModel &inf,
+                  const compress::CompressionScheme &scheme,
+                  const kernels::KernelConfig &kernel);
+
+    /**
+     * One decode step: `batch` sequences generate one token each
+     * while attending to `total_ctx_tokens` tokens in aggregate
+     * (the sum of per-sequence context lengths).
+     */
+    double decodeStepSeconds(u32 batch, double total_ctx_tokens) const;
+
+    /**
+     * One (possibly chunked) prefill pass over `prompt_rows` total
+     * prompt tokens whose causal attention covers `causal_pairs`
+     * (token, attended-token) pairs — sum of L_i(L_i+1)/2 over the
+     * chunk's sequences.
+     */
+    double prefillSeconds(u64 prompt_rows, double causal_pairs) const;
+
+    /** Compressed weight bytes streamed by every FC pass. */
+    double weightBytesPerPass() const { return weight_bytes_; }
+
+    /** KV bytes per attended token (for energy accounting). */
+    u64 kvBytesPerToken() const { return kv_bytes_per_token_; }
+
+    const compress::CompressionScheme &scheme() const { return scheme_; }
+    const kernels::KernelConfig &kernel() const { return kernel_; }
+    const llm::InferenceModel &inference() const { return inf_; }
+
+  private:
+    /** Interpolated FC throughput at `rows` (clamped to the anchor
+     *  range; callers extrapolate past it via fcPassSeconds). */
+    llm::FcThroughput throughputAt(u64 rows) const;
+    double otherSeconds(double linear_term_tokens) const;
+
+    const llm::InferenceModel &inf_;
+    compress::CompressionScheme scheme_;
+    kernels::KernelConfig kernel_;
+    double weight_bytes_;
+    u64 kv_bytes_per_token_;
+    /** Seconds to stream one attended token's K+V at achievable BW. */
+    double kv_seconds_per_token_;
+    std::vector<llm::FcThroughput> anchors_;
+};
+
+} // namespace deca::serve
+
+#endif // DECA_SERVE_STEP_COST_H

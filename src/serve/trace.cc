@@ -1,0 +1,104 @@
+#include "serve/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace deca::serve {
+
+u32
+LengthDist::sample(Rng &rng) const
+{
+    DECA_ASSERT(lo >= 1 && hi >= lo, "bad length distribution [", lo,
+                ", ", hi, "]");
+    if (lo == hi)
+        return lo;
+    return lo + static_cast<u32>(rng.below(u64{hi} - lo + 1));
+}
+
+std::vector<Request>
+generatePoisson(const PoissonTraffic &traffic, u64 count)
+{
+    DECA_ASSERT(traffic.ratePerSec > 0.0);
+    Rng rng(traffic.seed);
+    std::vector<Request> out;
+    out.reserve(count);
+    double t_sec = 0.0;
+    for (u64 i = 0; i < count; ++i) {
+        // Exponential gap; -log1p(-u) is exact for u near 0 and never
+        // hits log(0) because uniform() is in [0, 1).
+        t_sec += -std::log1p(-rng.uniform()) / traffic.ratePerSec;
+        Request r;
+        r.arrivalNs = static_cast<Ns>(std::llround(t_sec * kNsPerSec));
+        r.promptTokens = traffic.prompt.sample(rng);
+        r.outputTokens = traffic.output.sample(rng);
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<Request>
+loadTrace(std::istream &in)
+{
+    std::vector<Request> out;
+    std::string line;
+    u64 lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Trim trailing CR so CRLF traces load too.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        u64 arrival = 0;
+        u64 prompt = 0;
+        u64 output = 0;
+        char c1 = 0;
+        char c2 = 0;
+        if (!(ls >> arrival >> c1 >> prompt >> c2 >> output) ||
+            c1 != ',' || c2 != ',' || !(ls >> std::ws).eof())
+            DECA_FATAL("trace line ", lineno,
+                       ": expected arrival_ns,prompt_tokens,"
+                       "output_tokens, got '",
+                       line, "'");
+        if (prompt < 1 || output < 1 || prompt > ~u32{0} ||
+            output > ~u32{0})
+            DECA_FATAL("trace line ", lineno,
+                       ": prompt/output tokens must be >= 1");
+        if (!out.empty() && arrival < out.back().arrivalNs)
+            DECA_FATAL("trace line ", lineno,
+                       ": arrivals must be non-decreasing");
+        Request r;
+        r.arrivalNs = arrival;
+        r.promptTokens = static_cast<u32>(prompt);
+        r.outputTokens = static_cast<u32>(output);
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<Request>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DECA_FATAL("cannot open trace file: ", path);
+    return loadTrace(in);
+}
+
+void
+saveTrace(const std::vector<Request> &requests, std::ostream &out)
+{
+    out << "# decasim serving trace: "
+           "arrival_ns,prompt_tokens,output_tokens\n";
+    for (const Request &r : requests)
+        out << r.arrivalNs << ',' << r.promptTokens << ','
+            << r.outputTokens << '\n';
+}
+
+} // namespace deca::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Request sources for the serving simulator: synthetic Poisson
+ * arrivals with configurable prompt/output-length distributions, and
+ * a plain-text trace format so measured traces round-trip through
+ * files.
+ *
+ * Trace format: one request per line, three comma-separated fields
+ *
+ *     arrival_ns,prompt_tokens,output_tokens
+ *
+ * Lines starting with '#' and blank lines are ignored; arrivals must
+ * be non-decreasing. saveTrace() writes a '#'-prefixed header, so a
+ * saved trace loads back equal (pinned by tests/test_serve.cc).
+ */
+
+#ifndef DECA_SERVE_TRACE_H
+#define DECA_SERVE_TRACE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/request.h"
+
+namespace deca::serve {
+
+/** Uniform integer token-length distribution over [lo, hi]. */
+struct LengthDist
+{
+    u32 lo = 1;
+    u32 hi = 1;
+
+    u32 sample(Rng &rng) const;
+    double mean() const { return (static_cast<double>(lo) + hi) / 2.0; }
+};
+
+/** Synthetic open-loop traffic: Poisson arrivals, uniform lengths. */
+struct PoissonTraffic
+{
+    /** Mean request arrival rate (requests per simulated second). */
+    double ratePerSec = 1.0;
+    /** RNG seed; equal seeds generate identical workloads. */
+    u64 seed = 1;
+    LengthDist prompt{32, 512};
+    LengthDist output{16, 256};
+};
+
+/**
+ * Generate `count` requests with exponential inter-arrival gaps at
+ * the configured rate. Deterministic in (config, count).
+ */
+std::vector<Request> generatePoisson(const PoissonTraffic &traffic,
+                                     u64 count);
+
+/** Parse a trace stream; DECA_FATALs on malformed lines. */
+std::vector<Request> loadTrace(std::istream &in);
+
+/** Load a trace file by path; DECA_FATALs when unreadable. */
+std::vector<Request> loadTraceFile(const std::string &path);
+
+/** Write requests in the trace format (with a header comment). */
+void saveTrace(const std::vector<Request> &requests, std::ostream &out);
+
+} // namespace deca::serve
+
+#endif // DECA_SERVE_TRACE_H

@@ -150,6 +150,51 @@ TEST_F(LlmInference, BatchSixteenRaisesNonGemmShare)
     EXPECT_LT(n16.fcFraction(), n1.fcFraction());
 }
 
+TEST_F(LlmInference, NextTokenShimMatchesDecodeStep)
+{
+    // nextToken() is a deprecated shim over the phase API; it must
+    // stay numerically identical to composing decodeStepCost().
+    const auto scheme = compress::schemeQ8(0.2);
+    const auto kernel = kernels::KernelConfig::decaKernel();
+    const NextTokenLatency shim = model_->nextToken(scheme, kernel, 4,
+                                                    128);
+    const PhaseCost phase = model_->decodeStepCost(scheme, kernel, 4,
+                                                   128);
+    EXPECT_DOUBLE_EQ(shim.fcSeconds, phase.fcSeconds);
+    EXPECT_DOUBLE_EQ(shim.nonGemmSeconds, phase.otherSeconds);
+    EXPECT_DOUBLE_EQ(shim.total(), phase.total());
+}
+
+TEST_F(LlmInference, PhaseCostsShareTheThroughputAnchor)
+{
+    const auto scheme = compress::schemeQ8(0.2);
+    const FcThroughput fc = model_->fcThroughput(
+        scheme, kernels::KernelConfig::decaKernel(), 16);
+    const PhaseCost decode = model_->decodeStepCostWith(fc, 16, 128);
+    const PhaseCost prefill = model_->prefillCostWith(fc, 1, 128);
+    // A 128-token prompt drives 128 GeMM rows vs the decode step's 16
+    // through the same anchor, and causal attention touches
+    // L(L+1)/2 = 8256 pairs vs the decode step's 16 x 128.
+    EXPECT_GE(prefill.fcSeconds, decode.fcSeconds);
+    EXPECT_GT(prefill.otherSeconds, decode.otherSeconds);
+}
+
+TEST_F(LlmInference, FcPassExtrapolatesFlatThenLinear)
+{
+    // Pure-math pin of the beyond-anchor extrapolation: flat while
+    // the projected TMUL occupancy stays under 1.0, then linear.
+    FcThroughput fc;
+    fc.gemmRows = 16;
+    fc.tilesPerSecond = 1e9;
+    fc.tmulUtil = 0.25;
+    const double base = model_->fcPassSeconds(fc, 16);
+    EXPECT_GT(base, 0.0);
+    EXPECT_DOUBLE_EQ(model_->fcPassSeconds(fc, 8), base);
+    EXPECT_DOUBLE_EQ(model_->fcPassSeconds(fc, 32), base);
+    EXPECT_DOUBLE_EQ(model_->fcPassSeconds(fc, 64), base);
+    EXPECT_DOUBLE_EQ(model_->fcPassSeconds(fc, 128), 2.0 * base);
+}
+
 TEST(LlmInferenceDdr, FcFractionHigherOnDdr)
 {
     // Table 1: GeMM share is ~97% on DDR vs ~90% on HBM.

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the typed --set parameter plumbing: parsing, fallbacks,
+ * consumption tracking, and the campaign runner's rejection of keys
+ * no scenario getter ever consumed.
+ */
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "runner/campaign.h"
+#include "runner/scenario_params.h"
+
+namespace deca::runner {
+namespace {
+
+TEST(ScenarioParams, TypedGettersParseAndFallBack)
+{
+    ScenarioParams p;
+    p.set("requests=5000");
+    p.set("rate=2.5");
+    p.set("verbose=yes");
+    p.set("machine=hbm");
+
+    EXPECT_EQ(p.getU32("requests", 7), 5000u);
+    EXPECT_DOUBLE_EQ(p.getDouble("rate", 0.0), 2.5);
+    EXPECT_TRUE(p.getBool("verbose", false));
+    EXPECT_EQ(p.getString("machine", "ddr"), "hbm");
+
+    // Absent keys return the fallback untouched.
+    EXPECT_EQ(p.getU32("absent", 42), 42u);
+    EXPECT_DOUBLE_EQ(p.getDouble("absent", 1.5), 1.5);
+    EXPECT_FALSE(p.getBool("absent", false));
+    EXPECT_EQ(p.getString("absent", "dflt"), "dflt");
+}
+
+TEST(ScenarioParams, BoolSpellings)
+{
+    ScenarioParams p;
+    p.set("a=1");
+    p.set("b=true");
+    p.set("c=off");
+    p.set("d=no");
+    EXPECT_TRUE(p.getBool("a", false));
+    EXPECT_TRUE(p.getBool("b", false));
+    EXPECT_FALSE(p.getBool("c", true));
+    EXPECT_FALSE(p.getBool("d", true));
+}
+
+TEST(ScenarioParams, MalformedInputThrows)
+{
+    ScenarioParams p;
+    EXPECT_THROW(p.set("novalue"), std::runtime_error);
+    EXPECT_THROW(p.set("=5"), std::runtime_error);
+
+    p.set("n=12x");
+    EXPECT_THROW(p.getU32("n", 0), std::runtime_error);
+    p.set("neg=-3");
+    EXPECT_THROW(p.getU64("neg", 0), std::runtime_error);
+    p.set("f=abc");
+    EXPECT_THROW(p.getDouble("f", 0.0), std::runtime_error);
+    p.set("b=maybe");
+    EXPECT_THROW(p.getBool("b", false), std::runtime_error);
+}
+
+TEST(ScenarioParams, DuplicateKeyThrows)
+{
+    ScenarioParams p;
+    p.set("k=1");
+    EXPECT_THROW(p.set("k=2"), std::runtime_error);
+}
+
+TEST(ScenarioParams, ConsumptionTracking)
+{
+    ScenarioParams p;
+    p.set("used=1");
+    p.set("typo=2");
+    EXPECT_EQ(p.getU32("used", 0), 1u);
+    const auto unconsumed = p.unconsumedKeys();
+    ASSERT_EQ(unconsumed.size(), 1u);
+    EXPECT_EQ(unconsumed[0], "typo");
+}
+
+TEST(ScenarioParams, ParseCommonFlagSetForm)
+{
+    RunOptions opts;
+    EXPECT_TRUE(parseCommonFlag("--set=requests=9", opts));
+    EXPECT_TRUE(opts.params.has("requests"));
+    EXPECT_EQ(opts.params.getU32("requests", 0), 9u);
+    EXPECT_FALSE(parseCommonFlag("--sets=x=1", opts));
+}
+
+// A scenario that consumes exactly one key, "knob".
+const Scenario kKnobbed{
+    "knobbed", "synthetic --set consumer",
+    +[](const ScenarioContext &ctx) -> int {
+        ctx.result().prosef("knob=%u\n",
+                            ctx.params().getU32("knob", 3));
+        return 0;
+    }};
+
+TEST(ScenarioParams, RunScenarioAppliesOverrides)
+{
+    RunOptions opts;
+    opts.params.set("knob=11");
+    const ScenarioResult r = runScenario(kKnobbed, opts);
+    EXPECT_EQ(r.status, 0);
+    ASSERT_FALSE(r.sections.empty());
+    EXPECT_EQ(r.sections[0].prose, "knob=11\n");
+}
+
+TEST(ScenarioParams, RunScenarioRejectsUnknownKeys)
+{
+    RunOptions opts;
+    opts.params.set("knob=11");
+    opts.params.set("knb=12");  // typo
+    const ScenarioResult r = runScenario(kKnobbed, opts);
+    EXPECT_EQ(r.status, 1);
+    EXPECT_NE(r.error.find("knb"), std::string::npos);
+    EXPECT_EQ(r.error.find("knob=11"), std::string::npos);
+}
+
+TEST(ScenarioParams, RunScenarioReportsBadValueAsError)
+{
+    RunOptions opts;
+    opts.params.set("knob=banana");
+    const ScenarioResult r = runScenario(kKnobbed, opts);
+    EXPECT_EQ(r.status, 1);
+    EXPECT_NE(r.error.find("knob"), std::string::npos);
+}
+
+} // namespace
+} // namespace deca::runner

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for the request-level serving layer: Poisson generation and
+ * trace round-trips, KV-cache accounting, continuous-batching
+ * scheduler invariants (batch cap, FIFO no-starvation, KV admission
+ * blocking, eviction recovery), latency histograms, and end-to-end
+ * ServingSimulator determinism.
+ */
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/candidates.h"
+#include "serve/metrics.h"
+#include "serve/scheduler.h"
+#include "serve/serving_sim.h"
+#include "serve/trace.h"
+#include "sim/params.h"
+
+namespace deca::serve {
+namespace {
+
+TEST(PoissonTraffic, DeterministicAndRateAccurate)
+{
+    PoissonTraffic cfg;
+    cfg.ratePerSec = 20.0;
+    cfg.seed = 42;
+    const auto a = generatePoisson(cfg, 20000);
+    const auto b = generatePoisson(cfg, 20000);
+    ASSERT_EQ(a.size(), 20000u);
+    EXPECT_TRUE(a == b);
+
+    cfg.seed = 43;
+    const auto c = generatePoisson(cfg, 20000);
+    EXPECT_FALSE(a == c);
+
+    // Arrivals are sorted and the empirical rate matches within 5%.
+    for (std::size_t i = 1; i < a.size(); ++i)
+        ASSERT_LE(a[i - 1].arrivalNs, a[i].arrivalNs);
+    const double span_sec =
+        static_cast<double>(a.back().arrivalNs) / kNsPerSec;
+    EXPECT_NEAR(static_cast<double>(a.size()) / span_sec, 20.0, 1.0);
+
+    for (const Request &r : a) {
+        ASSERT_GE(r.promptTokens, cfg.prompt.lo);
+        ASSERT_LE(r.promptTokens, cfg.prompt.hi);
+        ASSERT_GE(r.outputTokens, cfg.output.lo);
+        ASSERT_LE(r.outputTokens, cfg.output.hi);
+    }
+}
+
+TEST(Trace, RoundTripsThroughText)
+{
+    PoissonTraffic cfg;
+    cfg.ratePerSec = 100.0;
+    const auto reqs = generatePoisson(cfg, 500);
+    std::stringstream ss;
+    saveTrace(reqs, ss);
+    const auto loaded = loadTrace(ss);
+    EXPECT_TRUE(reqs == loaded);
+}
+
+TEST(KvCache, ReservationsAndCapacity)
+{
+    KvCacheConfig cfg;
+    cfg.nodeCapacityBytes = 1000;
+    cfg.weightBytes = 400;
+    cfg.bytesPerToken = 3;
+    EXPECT_EQ(cfg.kvCapacityBytes(), 600u);
+    EXPECT_EQ(cfg.capacityTokens(), 200u);
+
+    KvCacheModel kv(cfg);
+    EXPECT_TRUE(kv.fitsEver(200));
+    EXPECT_FALSE(kv.fitsEver(201));
+    EXPECT_TRUE(kv.tryReserve(150));
+    EXPECT_FALSE(kv.tryReserve(51));
+    EXPECT_TRUE(kv.tryReserve(50));
+    EXPECT_EQ(kv.usedTokens(), 200u);
+    EXPECT_EQ(kv.freeTokens(), 0u);
+    kv.release(120);
+    EXPECT_EQ(kv.usedTokens(), 80u);
+    EXPECT_EQ(kv.peakUsedTokens(), 200u);
+}
+
+TEST(KvCache, OversizedWeightsLeaveNothing)
+{
+    KvCacheConfig cfg;
+    cfg.nodeCapacityBytes = 100;
+    cfg.weightBytes = 150;
+    cfg.bytesPerToken = 1;
+    EXPECT_EQ(cfg.capacityTokens(), 0u);
+    KvCacheModel kv(cfg);
+    EXPECT_FALSE(kv.fitsEver(1));
+}
+
+/** Drive the scheduler to completion without a clock; returns per-
+ *  request first-admission order and asserts the batch cap. */
+struct DrainResult
+{
+    std::vector<u32> admitOrder;
+    u64 emitted = 0;
+    u64 evictions = 0;
+    std::map<u32, u32> tokensPerRequest;
+};
+
+DrainResult
+drain(Scheduler &s, u32 max_batch)
+{
+    DrainResult r;
+    std::vector<bool> admitted;
+    for (int guard = 0; s.hasWork(); ++guard) {
+        EXPECT_LT(guard, 1000000) << "scheduler failed to drain";
+        if (guard >= 1000000)
+            break;
+        std::vector<TokenEmit> emits;
+        if (s.prefillReady()) {
+            const PrefillPlan plan = s.takePrefill();
+            EXPECT_LE(s.runningBatch(), max_batch);
+            for (const u32 idx : plan.admitted) {
+                if (idx >= admitted.size())
+                    admitted.resize(idx + 1, false);
+                if (!admitted[idx]) {
+                    admitted[idx] = true;
+                    r.admitOrder.push_back(idx);
+                }
+            }
+            emits = s.completePrefill(plan);
+        } else {
+            EXPECT_GT(s.runningBatch(), 0u);
+            const DecodePlan plan = s.takeDecode();
+            EXPECT_LE(plan.batch, max_batch);
+            emits = s.completeDecode();
+        }
+        for (const TokenEmit &e : emits) {
+            ++r.emitted;
+            ++r.tokensPerRequest[e.request];
+        }
+    }
+    r.evictions = s.evictions();
+    return r;
+}
+
+KvCacheConfig
+tokenCache(u64 capacity_tokens)
+{
+    KvCacheConfig cfg;
+    cfg.nodeCapacityBytes = capacity_tokens;
+    cfg.weightBytes = 0;
+    cfg.bytesPerToken = 1;
+    return cfg;
+}
+
+TEST(Scheduler, BatchCapAndFullCompletion)
+{
+    std::vector<Request> reqs;
+    for (u32 i = 0; i < 10; ++i)
+        reqs.push_back({0, 16 + i, 8 + i});
+    SchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    Scheduler s(cfg, tokenCache(1 << 20), reqs);
+    u64 expected = 0;
+    for (u32 i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(s.onArrival(i), Scheduler::Admit::Queued);
+        expected += reqs[i].outputTokens;
+    }
+    const DrainResult r = drain(s, cfg.maxBatch);
+    EXPECT_EQ(r.emitted, expected);
+    for (u32 i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(r.tokensPerRequest.at(i), reqs[i].outputTokens);
+    EXPECT_FALSE(s.hasWork());
+    EXPECT_EQ(s.kv().usedTokens(), 0u);
+}
+
+TEST(Scheduler, FifoAdmissionNeverStarves)
+{
+    // A mix of tiny and huge prompts: head-blocking FIFO admission
+    // must admit in arrival order regardless of size.
+    std::vector<Request> reqs = {
+        {0, 500, 4}, {0, 2, 4}, {0, 900, 4}, {0, 3, 4}, {0, 700, 4},
+    };
+    SchedulerConfig cfg;
+    cfg.maxBatch = 2;
+    cfg.prefillChunkTokens = 64;
+    Scheduler s(cfg, tokenCache(1 << 20), reqs);
+    for (u32 i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(s.onArrival(i), Scheduler::Admit::Queued);
+    const DrainResult r = drain(s, cfg.maxBatch);
+    const std::vector<u32> fifo = {0, 1, 2, 3, 4};
+    EXPECT_EQ(r.admitOrder, fifo);
+}
+
+TEST(Scheduler, ReserveFullBlocksAdmissionUntilSpaceFrees)
+{
+    std::vector<Request> reqs = {{0, 30, 30}, {0, 30, 30}};
+    SchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.reserveFullSequence = true;
+    Scheduler s(cfg, tokenCache(100), reqs);
+    EXPECT_EQ(s.onArrival(0), Scheduler::Admit::Queued);
+    EXPECT_EQ(s.onArrival(1), Scheduler::Admit::Queued);
+
+    // Only the head fits (60 + 60 > 100): one sequence runs alone.
+    const DrainResult r = drain(s, 1);
+    EXPECT_EQ(r.emitted, 60u);
+    EXPECT_EQ(r.admitOrder, (std::vector<u32>{0, 1}));
+}
+
+TEST(Scheduler, NeverFittingRequestRejected)
+{
+    std::vector<Request> reqs = {{0, 80, 30}};
+    Scheduler s(SchedulerConfig{}, tokenCache(100), reqs);
+    EXPECT_EQ(s.onArrival(0), Scheduler::Admit::RejectedNeverFits);
+    EXPECT_FALSE(s.hasWork());
+}
+
+TEST(Scheduler, QueueBoundRejectsOverflow)
+{
+    std::vector<Request> reqs(5, Request{0, 4, 4});
+    SchedulerConfig cfg;
+    cfg.maxWaitQueue = 3;
+    Scheduler s(cfg, tokenCache(1 << 20), reqs);
+    for (u32 i = 0; i < 3; ++i)
+        EXPECT_EQ(s.onArrival(i), Scheduler::Admit::Queued);
+    EXPECT_EQ(s.onArrival(3), Scheduler::Admit::RejectedQueueFull);
+    EXPECT_EQ(s.onArrival(4), Scheduler::Admit::RejectedQueueFull);
+}
+
+TEST(Scheduler, PromptOnlyModeEvictsAndStillFinishes)
+{
+    // Four sequences whose KV growth overflows a 100-token cache:
+    // prompt-only admission reserves 4 x 20 = 80, decode growth hits
+    // the wall, the youngest get evicted (recompute) and everything
+    // still completes — the no-livelock property.
+    std::vector<Request> reqs(4, Request{0, 20, 20});
+    SchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.reserveFullSequence = false;
+    Scheduler s(cfg, tokenCache(100), reqs);
+    for (u32 i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(s.onArrival(i), Scheduler::Admit::Queued);
+    const DrainResult r = drain(s, cfg.maxBatch);
+    EXPECT_GT(r.evictions, 0u);
+    for (u32 i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(r.tokensPerRequest.at(i), reqs[i].outputTokens);
+    EXPECT_EQ(s.kv().usedTokens(), 0u);
+}
+
+TEST(LatencyHistogram, PercentilesWithinBucketResolution)
+{
+    LatencyHistogram h;
+    for (u64 ms = 1; ms <= 1000; ++ms)
+        h.add(ms * 1000000);
+    EXPECT_EQ(h.count(), 1000u);
+    // Geometric buckets are 2% wide; allow 3% on the read-back.
+    EXPECT_NEAR(h.percentileMs(50.0), 500.0, 15.0);
+    EXPECT_NEAR(h.percentileMs(99.0), 990.0, 30.0);
+    EXPECT_NEAR(h.meanNs() / 1e6, 500.5, 0.01);
+    EXPECT_EQ(LatencyHistogram().percentileNs(99.0), 0.0);
+}
+
+/** Shares one cycle-calibrated cost model across the e2e tests. */
+class ServingE2e : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        const sim::SimParams p = sim::sprHbmParams();
+        const llm::ModelConfig m = llm::llama2_70b();
+        inf_ = new llm::InferenceModel(
+            m, p, llm::InferenceModel::calibrateForMachine(m, p));
+        const auto scheme = compress::schemeQ8(0.2);
+        costs_ = new StepCostModel(*inf_, scheme,
+                                   defaultKernelFor(scheme));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete costs_;
+        delete inf_;
+        costs_ = nullptr;
+        inf_ = nullptr;
+    }
+
+    static std::vector<Request>
+    traffic(u64 seed, u64 count, double rate)
+    {
+        PoissonTraffic cfg;
+        cfg.ratePerSec = rate;
+        cfg.seed = seed;
+        return generatePoisson(cfg, count);
+    }
+
+    static llm::InferenceModel *inf_;
+    static StepCostModel *costs_;
+};
+
+llm::InferenceModel *ServingE2e::inf_ = nullptr;
+StepCostModel *ServingE2e::costs_ = nullptr;
+
+TEST_F(ServingE2e, RunsAreDeterministic)
+{
+    ServeNodeConfig node;
+    node.nodeCapacityBytes = 64 * kGiB;
+    ServingSimulator a(*costs_, node, traffic(5, 300, 0.8));
+    ServingSimulator b(*costs_, node, traffic(5, 300, 0.8));
+    const ServeMetrics ma = a.run();
+    const ServeMetrics mb = b.run();
+    EXPECT_EQ(ma.completed, mb.completed);
+    EXPECT_EQ(ma.generatedTokens, mb.generatedTokens);
+    EXPECT_EQ(ma.decodeSteps, mb.decodeSteps);
+    EXPECT_EQ(ma.durationSec, mb.durationSec);
+    EXPECT_EQ(ma.energyJ, mb.energyJ);
+    EXPECT_EQ(ma.decodeLatency.percentileNs(99.0),
+              mb.decodeLatency.percentileNs(99.0));
+    EXPECT_EQ(ma.ttft.percentileNs(95.0), mb.ttft.percentileNs(95.0));
+}
+
+TEST_F(ServingE2e, EveryRequestResolvesAndTokensAddUp)
+{
+    ServeNodeConfig node;
+    node.nodeCapacityBytes = 64 * kGiB;
+    const auto reqs = traffic(9, 400, 1.2);
+    ServingSimulator sim(*costs_, node, reqs);
+    const ServeMetrics m = sim.run();
+    EXPECT_EQ(m.offered, reqs.size());
+    EXPECT_EQ(m.completed + m.rejected(), m.offered);
+    u64 expected = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const RequestRecord &rec = sim.records()[i];
+        if (rec.outcome != RequestOutcome::Completed)
+            continue;
+        expected += reqs[i].outputTokens;
+        EXPECT_EQ(rec.tokensOut, reqs[i].outputTokens);
+        EXPECT_GE(rec.firstTokenNs, reqs[i].arrivalNs);
+        EXPECT_GE(rec.finishNs, rec.firstTokenNs);
+    }
+    EXPECT_EQ(m.generatedTokens, expected);
+    EXPECT_GT(m.tokensPerSec, 0.0);
+    EXPECT_GT(m.tokensPerJoule, 0.0);
+}
+
+TEST_F(ServingE2e, TraceFileRoundTripReproducesTheRun)
+{
+    ServeNodeConfig node;
+    node.nodeCapacityBytes = 64 * kGiB;
+    const auto reqs = traffic(11, 200, 1.0);
+    std::stringstream ss;
+    saveTrace(reqs, ss);
+    ServingSimulator direct(*costs_, node, reqs);
+    ServingSimulator replayed(*costs_, node, loadTrace(ss));
+    const ServeMetrics md = direct.run();
+    const ServeMetrics mr = replayed.run();
+    EXPECT_EQ(md.generatedTokens, mr.generatedTokens);
+    EXPECT_EQ(md.durationSec, mr.durationSec);
+    EXPECT_EQ(md.decodeLatency.percentileNs(50.0),
+              mr.decodeLatency.percentileNs(50.0));
+}
+
+TEST_F(ServingE2e, TightKvCapacityEvictsButCompletes)
+{
+    ServeNodeConfig node;
+    // Room for the weights plus ~3000 KV tokens: far below the
+    // batch's appetite, so prompt-only decoding must evict.
+    node.nodeCapacityBytes =
+        static_cast<u64>(costs_->weightBytesPerPass()) +
+        3000 * costs_->kvBytesPerToken();
+    node.sched.reserveFullSequence = false;
+    const auto reqs = traffic(13, 150, 1.0);
+    ServingSimulator sim(*costs_, node, reqs);
+    const ServeMetrics m = sim.run();
+    EXPECT_GT(m.evictions, 0u);
+    EXPECT_EQ(m.completed + m.rejected(), m.offered);
+    EXPECT_GT(m.completed, 0u);
+    EXPECT_LE(m.peakKvTokens, m.kvCapacityTokens);
+}
+
+} // namespace
+} // namespace deca::serve
