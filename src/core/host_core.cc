@@ -1,0 +1,313 @@
+#include "core/host_core.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deca::core {
+
+using accel::TeplState;
+
+namespace {
+
+u32
+teplCapacity(const HostCoreConfig &cfg, u32 hint)
+{
+    u32 cap = cfg.teplQueueSize != 0 ? cfg.teplQueueSize
+                                     : std::max<u32>(hint, 1);
+    // The queue asserts capacity >= ports; an undersized explicit
+    // setting clamps up rather than aborting a sweep.
+    return std::max<u32>(cap, cfg.teplPorts);
+}
+
+} // namespace
+
+HostCore::HostCore(sim::EventQueue &q, const HostCoreConfig &cfg,
+                   u32 tepl_capacity_hint)
+    : q_(q), cfg_(cfg),
+      tepl_(teplCapacity(cfg, tepl_capacity_hint), cfg.teplPorts)
+{
+    DECA_ASSERT(cfg_.teplPorts > 0, "host core needs >= 1 TEPL port");
+    if (cfg_.flushPeriod > 0)
+        flushProc();
+}
+
+void
+HostCore::setTeplHandler(TeplIssueFn fn, void *ctx)
+{
+    tepl_fn_ = fn;
+    tepl_ctx_ = ctx;
+}
+
+HostCore::Verdict
+HostCore::canDispatch(const Op &op) const
+{
+    // The redirect stall also covers the re-allocation window of
+    // squashed TEPLs: no younger instruction may enter the TEPL queue
+    // before the flushed ones re-enter in program order.
+    if (q_.now() < flush_until_ || !pending_reissue_.empty())
+        return Verdict::FlushStall;
+    if (fence_pending_)
+        return Verdict::FenceStall;
+    if (cfg_.issueWidth != 0 && q_.now() == width_cycle_ &&
+        width_used_ >= cfg_.issueWidth)
+        return Verdict::WidthStall;
+    if (cfg_.robSize != 0 && rob_.size() >= cfg_.robSize)
+        return Verdict::RobFull;
+    const bool mem = op.cls == OpClass::Load || op.cls == OpClass::Store;
+    if (mem && cfg_.lsqSize != 0 && lsq_used_ >= cfg_.lsqSize)
+        return Verdict::LsqFull;
+    if (op.cls == OpClass::TeplIssue && tepl_.size() >= tepl_.capacity())
+        return Verdict::TeplFull;
+    return Verdict::Ok;
+}
+
+bool
+HostCore::tryDispatch(const Op &op, u64 &seq)
+{
+    if (canDispatch(op) != Verdict::Ok)
+        return false;
+    seq = next_seq_++;
+    commit(op, seq);
+    return true;
+}
+
+void
+HostCore::commit(const Op &op, u64 seq)
+{
+    if (q_.now() != width_cycle_) {
+        width_cycle_ = q_.now();
+        width_used_ = 0;
+    }
+    ++width_used_;
+
+    rob_.push_back(RobEntry{seq, op.cls, op.fn, op.ctx, op.arg});
+    if (op.cls == OpClass::Load || op.cls == OpClass::Store)
+        ++lsq_used_;
+    if (op.cls == OpClass::Fence)
+        fence_pending_ = true;
+    if (op.cls == OpClass::TeplIssue) {
+        const bool ok = tepl_.allocate(seq, op.teplDest);
+        DECA_ASSERT(ok, "TEPL queue full past the dispatch check");
+        tepl_.markReady(seq, op.teplMeta);
+        pumpTeplIssue();
+    }
+    pumpHead();
+}
+
+void
+HostCore::parkDispatcher(const Op &op, std::coroutine_handle<> h,
+                         u64 &seq)
+{
+    DECA_ASSERT(!waiter_, "one dispatcher coroutine per core");
+    waiter_ = h;
+    waiter_op_ = op;
+    waiter_seq_ = &seq;
+    if (canDispatch(op) == Verdict::WidthStall && !width_wake_scheduled_) {
+        width_wake_scheduled_ = true;
+        q_.schedule(
+            1,
+            [](void *c, u64) {
+                auto *hc = static_cast<HostCore *>(c);
+                hc->width_wake_scheduled_ = false;
+                hc->wakeDispatcher();
+            },
+            this);
+    }
+}
+
+void
+HostCore::wakeDispatcher()
+{
+    if (!waiter_)
+        return;
+    const Verdict v = canDispatch(waiter_op_);
+    if (v == Verdict::WidthStall) {
+        if (!width_wake_scheduled_) {
+            width_wake_scheduled_ = true;
+            q_.schedule(
+                1,
+                [](void *c, u64) {
+                    auto *hc = static_cast<HostCore *>(c);
+                    hc->width_wake_scheduled_ = false;
+                    hc->wakeDispatcher();
+                },
+                this);
+        }
+        return;
+    }
+    if (v != Verdict::Ok)
+        return;
+    const u64 seq = next_seq_++;
+    commit(waiter_op_, seq);
+    *waiter_seq_ = seq;
+    auto h = waiter_;
+    waiter_ = nullptr;
+    waiter_seq_ = nullptr;
+    q_.scheduleResume(0, h);
+}
+
+HostCore::RobEntry *
+HostCore::findRob(u64 seq)
+{
+    if (rob_.empty() || seq < rob_.front().seq || seq > rob_.back().seq)
+        return nullptr;
+    RobEntry &e = rob_[static_cast<std::size_t>(seq - rob_.front().seq)];
+    DECA_ASSERT(e.seq == seq, "ROB sequence numbers not contiguous");
+    return &e;
+}
+
+void
+HostCore::complete(u64 seq)
+{
+    RobEntry *e = findRob(seq);
+    DECA_ASSERT(e, "completion for an unknown/retired instruction");
+    DECA_ASSERT(!e->completed, "instruction completed twice");
+    e->completed = true;
+    if (e->cls == OpClass::Load || e->cls == OpClass::Store) {
+        DECA_ASSERT(lsq_used_ > 0, "LSQ underflow");
+        --lsq_used_;
+    }
+    retirePump();
+    wakeDispatcher();
+}
+
+void
+HostCore::completeOnce(u64 seq)
+{
+    RobEntry *e = findRob(seq);
+    if (!e || e->completed)
+        return;
+    complete(seq);
+}
+
+void
+HostCore::retirePump()
+{
+    while (!rob_.empty() && rob_.front().completed)
+        rob_.pop_front();
+    pumpHead();
+}
+
+void
+HostCore::pumpHead()
+{
+    if (rob_.empty())
+        return;
+    RobEntry &e = rob_.front();
+    const bool drains = e.cls == OpClass::Store || e.cls == OpClass::Fence;
+    if (!drains || e.execStarted)
+        return;
+    e.execStarted = true;
+    const Cycles lat = e.cls == OpClass::Store ? cfg_.storeLatency
+                                               : cfg_.fenceLatency;
+    // Event payloads carry 32 bits; per-core streams are far smaller.
+    DECA_ASSERT(e.seq <= 0xffffffffULL, "sequence number overflow");
+    q_.schedule(
+        lat,
+        [](void *c, u64 s) {
+            auto *hc = static_cast<HostCore *>(c);
+            RobEntry *re = hc->findRob(s);
+            DECA_ASSERT(re && !re->completed, "head drain lost its op");
+            if (re->cls == OpClass::Fence)
+                hc->fence_pending_ = false;
+            if (re->fn)
+                re->fn(re->ctx, re->arg);
+            hc->complete(s);
+        },
+        this, static_cast<u32>(e.seq));
+}
+
+void
+HostCore::pumpTeplIssue()
+{
+    if (!tepl_fn_)
+        return;
+    while (auto e = tepl_.issueOldestReady())
+        tepl_fn_(tepl_ctx_, *e);
+}
+
+void
+HostCore::teplComplete(u64 seq)
+{
+    tepl_.complete(seq);
+    while (tepl_.head() && tepl_.head()->state == TeplState::Completed)
+        tepl_.retire();
+    pumpTeplIssue();
+    wakeDispatcher();
+}
+
+bool
+HostCore::teplIssued(u64 seq) const
+{
+    const accel::TeplEntry *e = tepl_.find(seq);
+    return e != nullptr && e->state == TeplState::Issued;
+}
+
+void
+HostCore::triggerFlush()
+{
+    // A flush while the previous redirect is still resolving folds
+    // into it (the front end is already flushed).
+    if (q_.now() < flush_until_ || !pending_reissue_.empty())
+        return;
+    ++stat_flushes_;
+
+    const auto &ents = tepl_.entries();
+    if (!ents.empty()) {
+        // Entries whose output transfer finished are architecturally
+        // committed by the model (DECA invocations are idempotent);
+        // everything younger than the youngest such entry — or than
+        // the head, which always survives — is squashed.
+        u64 flush_seq = ents.front().seqNum;
+        for (const auto &e : ents)
+            if (e.state == TeplState::Completed)
+                flush_seq = std::max(flush_seq, e.seqNum);
+        for (const auto &e : ents)
+            if (e.seqNum > flush_seq)
+                pending_reissue_.push_back(
+                    Reissue{e.seqNum, e.metadata, e.destTileReg});
+        tepl_.squashYoungerThan(flush_seq);
+    }
+
+    flush_until_ = q_.now() + cfg_.flushPenalty;
+    q_.schedule(
+        cfg_.flushPenalty,
+        [](void *c, u64) {
+            static_cast<HostCore *>(c)->reissueSquashed();
+        },
+        this);
+}
+
+void
+HostCore::reissueSquashed()
+{
+    for (const Reissue &r : pending_reissue_) {
+        const bool ok = tepl_.allocate(r.seq, r.dest);
+        DECA_ASSERT(ok, "no room to re-allocate a squashed TEPL");
+        tepl_.markReady(r.seq, r.meta);
+        ++stat_reissued_;
+    }
+    pending_reissue_.clear();
+    pumpTeplIssue();
+    wakeDispatcher();
+}
+
+sim::SimTask
+HostCore::flushProc()
+{
+    while (!stopped_) {
+        co_await sim::Delay(q_, cfg_.flushPeriod);
+        if (stopped_)
+            break;
+        triggerFlush();
+    }
+}
+
+void
+HostCore::stop()
+{
+    stopped_ = true;
+}
+
+} // namespace deca::core

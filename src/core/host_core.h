@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Host-core front end: a bounded reorder buffer, an issue-width-limited
+ * dispatch stage, an LSQ-lite for memory operations, and pipeline-flush
+ * events, layered over the coroutine event queue (SimEng-style
+ * ReorderBuffer/LoadStoreQueue structures on a cycle sim).
+ *
+ * The kernel's dispatcher coroutine IS the dispatch stage: it walks the
+ * instruction stream in program order and `co_await host.dispatch(op)`
+ * stalls only on front-end structural limits (ROB full, issue width,
+ * LSQ full, TEPL queue full, a draining fence, a flush redirect).
+ * Execution completes out of band: back-end processes (fetch streams,
+ * the DECA pipeline, TMUL loops) call `complete(seq)` when an
+ * instruction's work finishes, and the core retires in order, freeing
+ * ROB entries and waking the dispatcher.
+ *
+ * Operation semantics:
+ *  - Compute / Load : dispatched speculatively; completion is driven
+ *    entirely by the back end. Loads hold an LSQ slot from dispatch to
+ *    completion.
+ *  - Store          : drains only at the ROB head (all older
+ *    instructions retired), then completes `storeLatency` later and
+ *    fires its callback. This is what serializes store+fence
+ *    invocation (Fig. 9): the next invocation store cannot leave the
+ *    core before the previous tile's TComp retires.
+ *  - Fence          : blocks dispatch of younger instructions and
+ *    completes `fenceLatency` after reaching the ROB head.
+ *  - TeplIssue      : allocated into the real `accel::TeplQueue` and
+ *    issued out of order, oldest-ready-first, onto a free Loader port
+ *    (Sec. 5.3). Speculative issue is safe because DECA never writes
+ *    memory; on a pipeline flush, queue entries younger than the
+ *    youngest completed entry are squashed (their ports abort) and
+ *    re-allocated after the redirect penalty.
+ *
+ * Every limit defaults to 0 = unbounded/ideal, which reproduces the
+ * pre-host-core simulator cycle for cycle: dispatch never suspends and
+ * only the Store/Fence head serialization (already implied by the old
+ * serial store+fence coroutine) remains. robSize=1/issueWidth=1 gives
+ * the fully in-order core.
+ */
+
+#ifndef DECA_CORE_HOST_CORE_H
+#define DECA_CORE_HOST_CORE_H
+
+#include <coroutine>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "deca/tepl_queue.h"
+#include "sim/coro.h"
+#include "sim/event_queue.h"
+
+namespace deca::core {
+
+/** Instruction classes the front end distinguishes. */
+enum class OpClass
+{
+    Compute,   ///< executes when its data arrives (back-end driven)
+    Load,      ///< LSQ slot from dispatch to completion
+    Store,     ///< drains at the ROB head; fires its callback
+    Fence,     ///< dispatch barrier; completes at the ROB head
+    TeplIssue, ///< enters the TEPL queue; issues OoO onto a Loader
+};
+
+/** One instruction handed to the dispatch stage. */
+struct Op
+{
+    OpClass cls = OpClass::Compute;
+    /** Store only: called when the drain completes (e.g. the DECA
+     *  control-register write becomes visible). */
+    void (*fn)(void *ctx, u64 arg) = nullptr;
+    void *ctx = nullptr;
+    u64 arg = 0;
+    /** TeplIssue only: opaque tile metadata and destination register
+     *  forwarded to the issue handler. */
+    u64 teplMeta = 0;
+    u32 teplDest = 0;
+};
+
+/** Front-end sizing. Every 0 means unbounded/ideal (the pre-host-core
+ *  behaviour); robSize=1 with issueWidth=1 is the in-order core. */
+struct HostCoreConfig
+{
+    u32 robSize = 0;       ///< reorder-buffer entries (0 = unbounded)
+    u32 issueWidth = 0;    ///< dispatches per cycle (0 = unbounded)
+    u32 lsqSize = 0;       ///< in-flight loads+stores (0 = unbounded)
+    u32 teplQueueSize = 0; ///< TEPL queue entries (0 = fit the stream)
+    u32 teplPorts = 2;     ///< TEPL execution ports (= DECA Loaders)
+    Cycles flushPeriod = 0;   ///< cycles between flushes (0 = never)
+    Cycles flushPenalty = 40; ///< redirect/refill stall per flush
+    Cycles storeLatency = 12; ///< ROB-head store drain latency
+    Cycles fenceLatency = 20; ///< fence drain beyond the store
+};
+
+/**
+ * One core's OoO front end. A single dispatcher coroutine per core
+ * feeds it (at most one dispatch may be suspended at a time); any
+ * number of back-end processes complete instructions.
+ */
+class HostCore
+{
+  public:
+    /** Called synchronously whenever the TEPL queue issues an entry
+     *  onto a port — the kernel schedules the control-register store
+     *  flight and eventually calls teplComplete(). Fires again, with
+     *  the same seq, when a squashed entry re-issues after a flush. */
+    using TeplIssueFn = void (*)(void *ctx, const accel::TeplEntry &e);
+
+    HostCore(sim::EventQueue &q, const HostCoreConfig &cfg,
+             u32 tepl_capacity_hint);
+
+    HostCore(const HostCore &) = delete;
+    HostCore &operator=(const HostCore &) = delete;
+
+    void setTeplHandler(TeplIssueFn fn, void *ctx);
+
+    /** Dispatch-stage awaitable; resumes with the instruction's
+     *  program-order sequence number (seqs start at 1). */
+    auto
+    dispatch(const Op &op)
+    {
+        struct Awaiter
+        {
+            HostCore &h;
+            Op op;
+            u64 seq = 0;
+            bool
+            await_ready()
+            {
+                return h.tryDispatch(op, seq);
+            }
+            void
+            await_suspend(std::coroutine_handle<> hd)
+            {
+                h.parkDispatcher(op, hd, seq);
+            }
+            u64
+            await_resume() const
+            {
+                return seq;
+            }
+        };
+        return Awaiter{*this, op};
+    }
+
+    /** Back end: instruction `seq` finished executing. */
+    void complete(u64 seq);
+    /** Like complete() but a no-op if already completed/retired (for
+     *  completion paths that can race, e.g. tload-vs-transfer). */
+    void completeOnce(u64 seq);
+
+    /** Device side: the TEPL's tile landed in its destination
+     *  register. Frees the Loader port, retires completed queue
+     *  heads, and issues the next ready entry. */
+    void teplComplete(u64 seq);
+
+    /** Is `seq` still an in-flight (Issued) TEPL queue entry? False
+     *  once squashed (a flush discarded the attempt). */
+    bool teplIssued(u64 seq) const;
+
+    /** Pipeline flush (also fired internally every flushPeriod):
+     *  squashes TEPL entries younger than the youngest completed one,
+     *  freezes dispatch for flushPenalty cycles, then re-allocates the
+     *  squashed entries in program order. */
+    void triggerFlush();
+
+    /** The kernel's stream is done: stops the periodic flush process
+     *  so the event queue can drain. */
+    void stop();
+
+    sim::EventQueue &queue() { return q_; }
+    const accel::TeplQueue &teplQueue() const { return tepl_; }
+    u64 statFlushes() const { return stat_flushes_; }
+    u64 statReissued() const { return stat_reissued_; }
+    u64 statDispatched() const { return next_seq_ - 1; }
+
+  private:
+    struct RobEntry
+    {
+        u64 seq;
+        OpClass cls;
+        void (*fn)(void *ctx, u64 arg);
+        void *ctx;
+        u64 arg;
+        bool completed = false;
+        bool execStarted = false; ///< Store/Fence head drain scheduled
+    };
+
+    enum class Verdict
+    {
+        Ok,
+        FlushStall,
+        FenceStall,
+        WidthStall,
+        RobFull,
+        LsqFull,
+        TeplFull,
+    };
+
+    Verdict canDispatch(const Op &op) const;
+    bool tryDispatch(const Op &op, u64 &seq);
+    void commit(const Op &op, u64 seq);
+    void parkDispatcher(const Op &op, std::coroutine_handle<> h,
+                        u64 &seq);
+    void wakeDispatcher();
+    RobEntry *findRob(u64 seq);
+    void retirePump();
+    void pumpHead();
+    void pumpTeplIssue();
+    void reissueSquashed();
+    sim::SimTask flushProc();
+
+    sim::EventQueue &q_;
+    HostCoreConfig cfg_;
+    accel::TeplQueue tepl_;
+    TeplIssueFn tepl_fn_ = nullptr;
+    void *tepl_ctx_ = nullptr;
+
+    std::deque<RobEntry> rob_;
+    u64 next_seq_ = 1;
+    u32 lsq_used_ = 0;
+    bool fence_pending_ = false;
+    Cycles flush_until_ = 0;
+    bool stopped_ = false;
+
+    /** Issue-width accounting for the current cycle. */
+    Cycles width_cycle_ = 0;
+    u32 width_used_ = 0;
+    bool width_wake_scheduled_ = false;
+
+    /** The (single) parked dispatcher, if any. */
+    std::coroutine_handle<> waiter_ = nullptr;
+    Op waiter_op_;
+    u64 *waiter_seq_ = nullptr;
+
+    /** Squashed TEPLs awaiting re-allocation after the redirect. */
+    struct Reissue
+    {
+        u64 seq;
+        u64 meta;
+        u32 dest;
+    };
+    std::vector<Reissue> pending_reissue_;
+
+    u64 stat_flushes_ = 0;
+    u64 stat_reissued_ = 0;
+};
+
+} // namespace deca::core
+
+#endif // DECA_CORE_HOST_CORE_H

@@ -90,6 +90,10 @@ class TeplQueue
     /** Oldest entry (program order head), if any. */
     const TeplEntry *head() const;
 
+    /** Program-order view of the live entries (oldest first) — the
+     *  flush logic walks this to pick its squash boundary. */
+    const std::deque<TeplEntry> &entries() const { return entries_; }
+
     /** Find an entry by sequence number (nullptr when squashed away). */
     const TeplEntry *find(u64 seq_num) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "core/host_core.h"
 #include "kernels/sw_cost_model.h"
 
 namespace deca::kernels {
@@ -15,14 +16,31 @@ using sim::Semaphore;
 using sim::Signal;
 using sim::SimTask;
 
-/** Per-core simulation state: resources, signals, and the fetch stream. */
+namespace {
+
+/** Store-drain callback: the invocation store became visible. */
+void
+setSignalFn(void *s, u64)
+{
+    static_cast<Signal *>(s)->set();
+}
+
+} // namespace
+
+/** Per-core simulation state: the host-core front end, resources,
+ *  signals, work queues, and the fetch streams. */
 struct GemmSimulation::Core
 {
-    Core(sim::EventQueue &q, u32 id, u32 num_tiles, u32 num_loaders)
-        : tmul(q, "tmul" + std::to_string(id)),
-          avx(q, "avx" + std::to_string(id)),
-          deca(q, "deca" + std::to_string(id)), bufSlots(q, 2),
-          readyTiles(q, 0), teplSlots(q, num_loaders)
+    Core(GemmSimulation &owner, sim::EventQueue &q, u32 core_id,
+         u32 num_tiles, u32 num_loaders,
+         const core::HostCoreConfig &hc)
+        : sim(&owner), id(core_id),
+          tmul(q, "tmul" + std::to_string(core_id)),
+          avx(q, "avx" + std::to_string(core_id)),
+          deca(q, "deca" + std::to_string(core_id)),
+          host(q, hc, num_tiles), bufSlots(q, 2), readyTiles(q, 0),
+          peJobSem(q, 0), xferJobSem(q, 0), ldTok(q, 0), vecTok(q, 0),
+          tmulTok(q, 0)
     {
         invoked.reserve(num_tiles);
         dataReady.reserve(num_tiles);
@@ -34,7 +52,18 @@ struct GemmSimulation::Core
             tileDone.push_back(std::make_unique<Signal>(q));
             tregReady.push_back(std::make_unique<Signal>(q));
         }
+        seqTepl.assign(num_tiles, 0);
+        seqLoad.assign(num_tiles, 0);
+        seqVec.assign(num_tiles, 0);
+        seqTmul.assign(num_tiles, 0);
+        issueGen.assign(num_tiles, 0);
+        arrivedGen.assign(num_tiles, 0);
+        discarded.assign(num_tiles, 0);
+        (void)num_loaders;
     }
+
+    GemmSimulation *sim;
+    u32 id;
 
     /** Software engines use one stream; the DECA engine has one stream
      *  per Loader (even/odd tiles) so the dual Loaders overlap their
@@ -46,12 +75,51 @@ struct GemmSimulation::Core
     sim::BusyResource avx;
     sim::BusyResource deca;
 
+    /** The OoO front end this core's instruction stream runs through. */
+    core::HostCore host;
+
     /** Double software buffer (libxsmm) / tile-register slots. */
     Semaphore bufSlots;
     /** Decompressed tiles waiting for the AMX loop. */
     Semaphore readyTiles;
-    /** TEPL structural hazard: one slot per DECA Loader (Sec. 5.3). */
-    Semaphore teplSlots;
+
+    /** DECA PE work queue: first-pass decompressions admitted in tile
+     *  order, redo passes (squashed TEPL attempts) at the front. */
+    struct PeJob
+    {
+        u32 tile;
+        bool redo;
+    };
+    std::deque<PeJob> peJobs;
+    Semaphore peJobSem;
+    u32 fpPrefix = 0; ///< first-pass in-order admission cursor
+
+    /** Accepted PE completions awaiting their TOut->treg transfer. */
+    std::deque<u32> xferJobs;
+    Semaphore xferJobSem;
+
+    /** Dispatch tokens: the back end may execute an instruction only
+     *  once the front end has dispatched it. Pre-released at cycle 0
+     *  when the front end is unbounded. */
+    Semaphore ldTok;
+    Semaphore vecTok;
+    Semaphore tmulTok;
+
+    /** Poison flag: the stream is done, drain the queue consumers. */
+    bool procsDone = false;
+
+    /** Per-tile ROB sequence numbers (0 = not yet dispatched). */
+    std::vector<u64> seqTepl;
+    std::vector<u64> seqLoad;
+    std::vector<u64> seqVec;
+    std::vector<u64> seqTmul;
+    /** TEPL attempt generations: bumped per issue; an arrival or a PE
+     *  completion only counts for the attempt it belongs to. */
+    std::vector<u32> issueGen;
+    std::vector<u32> arrivedGen;
+    /** A finished PE pass was thrown away (squashed attempt); the
+     *  re-arrival queues the redo. */
+    std::vector<u8> discarded;
 
     /** Per-tile lifecycle events of the DECA path. */
     std::vector<std::unique_ptr<Signal>> invoked;
@@ -118,12 +186,51 @@ GemmSimulation::outputReadLatency() const
 void
 GemmSimulation::coreFinished()
 {
-    ++cores_done_;
+    if (++cores_done_ == params_.cores)
+        done_cycle_ = q_.now();
+}
+
+void
+GemmSimulation::finishCore(u32 c)
+{
+    Core &pc = *cores_[c];
+    pc.procsDone = true;
+    // Poison tokens drain the PE and transfer queue consumers.
+    pc.peJobSem.release();
+    pc.xferJobSem.release();
+    pc.host.stop();
+    coreFinished();
 }
 
 // ---------------------------------------------------------------------
 // Software / uncompressed kernels (Fig. 2 structure)
 // ---------------------------------------------------------------------
+
+SimTask
+GemmSimulation::swDispatchProc(u32 c)
+{
+    // Program order per tile: load the compressed bytes, run the AVX
+    // decompression sequence, TMUL. The old decompress/gemm overlap
+    // needs only a handful of OoO window entries; robSize=1 serializes
+    // the whole loop.
+    Core &pc = *cores_[c];
+    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
+        core::Op ld;
+        ld.cls = core::OpClass::Load;
+        pc.seqLoad[t] = co_await pc.host.dispatch(ld);
+        pc.ldTok.release();
+        if (sw_cycles_ > 0) {
+            core::Op vec;
+            vec.cls = core::OpClass::Compute;
+            pc.seqVec[t] = co_await pc.host.dispatch(vec);
+            pc.vecTok.release();
+        }
+        core::Op mul;
+        mul.cls = core::OpClass::Compute;
+        pc.seqTmul[t] = co_await pc.host.dispatch(mul);
+        pc.tmulTok.release();
+    }
+}
 
 SimTask
 GemmSimulation::swDecompressProc(u32 c)
@@ -132,13 +239,17 @@ GemmSimulation::swDecompressProc(u32 c)
     for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
         // Wait for a free half of the double software buffer.
         co_await pc.bufSlots.acquire();
+        co_await pc.ldTok.acquire();
         // Compressed bytes must have arrived from memory.
         co_await pc.stream->fetch(tileBytes(c, t));
+        pc.host.complete(pc.seqLoad[t]);
         // The AVX decompression sequence for this tile, plus the scalar
         // loop bookkeeping that is not hidden by the vector work.
         if (sw_cycles_ > 0) {
+            co_await pc.vecTok.acquire();
             co_await pc.avx.busy(sw_cycles_);
             co_await Delay(q_, params_.swTileOverhead);
+            pc.host.complete(pc.seqVec[t]);
         }
         pc.readyTiles.release();
     }
@@ -150,13 +261,15 @@ GemmSimulation::swGemmProc(u32 c)
     Core &pc = *cores_[c];
     for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
         co_await pc.readyTiles.acquire();
+        co_await pc.tmulTok.acquire();
         // tload from the L1-resident buffer overlaps with the previous
         // TComp under out-of-order execution; the TMUL occupancy is the
         // serializing resource.
         co_await pc.tmul.busy(params_.tmulCycles);
+        pc.host.complete(pc.seqTmul[t]);
         pc.bufSlots.release();
     }
-    coreFinished();
+    finishCore(c);
 }
 
 // ---------------------------------------------------------------------
@@ -169,7 +282,8 @@ GemmSimulation::decaFeedProc(u32 c, u32 loader)
     // Each Loader handles alternating tiles with its own LDQ/prefetch
     // stream, so the fetch of tile t+1 overlaps the fetch and
     // processing of tile t even without a prefetcher (hardware double
-    // buffering, Fig. 8).
+    // buffering, Fig. 8). A tile is fetched exactly once: a squashed
+    // TEPL's lines stay in the L2 and the redo pass rereads them there.
     Core &pc = *cores_[c];
     const u32 stride = config_.integration.numLoaders;
     for (u32 t = loader; t < workload_.tilesPerCore; t += stride) {
@@ -177,6 +291,36 @@ GemmSimulation::decaFeedProc(u32 c, u32 loader)
         co_await pc.invoked[t]->wait();
         co_await pc.loaderStream[loader]->fetch(tileBytes(c, t));
         pc.dataReady[t]->set();
+        pumpFirstPass(pc);
+    }
+}
+
+void
+GemmSimulation::pumpFirstPass(Core &pc)
+{
+    // The PE consumes first-pass tiles in tile order even though the
+    // two Loaders can finish their fetches out of order.
+    while (pc.fpPrefix < workload_.tilesPerCore &&
+           pc.dataReady[pc.fpPrefix]->isSet()) {
+        pc.peJobs.push_back(Core::PeJob{pc.fpPrefix, false});
+        pc.peJobSem.release();
+        ++pc.fpPrefix;
+    }
+}
+
+void
+GemmSimulation::discardAttempt(Core &pc, u32 tile)
+{
+    // The work just finished belonged to a squashed/superseded TEPL
+    // attempt. If the re-issued invocation already arrived, redo the
+    // decompression now (at the queue front: it is the oldest work);
+    // otherwise remember it for the re-arrival.
+    if (pc.arrivedGen[tile] == pc.issueGen[tile] &&
+        pc.host.teplIssued(pc.seqTepl[tile])) {
+        pc.peJobs.push_front(Core::PeJob{tile, true});
+        pc.peJobSem.release();
+    } else {
+        pc.discarded[tile] = 1;
     }
 }
 
@@ -185,15 +329,33 @@ GemmSimulation::decaPeProc(u32 c)
 {
     Core &pc = *cores_[c];
     const bool via_l2 = !config_.integration.toutRegs;
-    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
-        co_await pc.dataReady[t]->wait();
-        Cycles cycles = decaTileCycles(c, t);
+    const bool tepl =
+        config_.integration.invocation == Invocation::Tepl;
+    while (true) {
+        co_await pc.peJobSem.acquire();
+        if (pc.procsDone)
+            break;
+        const Core::PeJob job = pc.peJobs.front();
+        pc.peJobs.pop_front();
+        Cycles cycles = decaTileCycles(c, job.tile);
         // Without TOut registers the PE must also push the 16 output
         // lines of the decompressed tile into the L2.
         if (via_l2)
             cycles += kTileRows;
         co_await pc.deca.busy(cycles);
-        pc.tileDone[t]->set();
+        if (!job.redo)
+            pc.tileDone[job.tile]->set();
+        if (!tepl)
+            continue; // store+fence: the core polls tileDone itself
+        // The completion only counts for a live TEPL attempt whose
+        // invocation store has arrived.
+        if (pc.host.teplIssued(pc.seqTepl[job.tile]) &&
+            pc.arrivedGen[job.tile] == pc.issueGen[job.tile]) {
+            pc.xferJobs.push_back(job.tile);
+            pc.xferJobSem.release();
+        } else {
+            discardAttempt(pc, job.tile);
+        }
     }
 }
 
@@ -205,28 +367,91 @@ GemmSimulation::decaTransferProc(u32 c)
     // overlap with TComp execution (this is what hides the
     // communication latency, Sec. 5.3).
     Core &pc = *cores_[c];
-    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
-        co_await pc.tileDone[t]->wait();
+    while (true) {
+        co_await pc.xferJobSem.acquire();
+        if (pc.procsDone)
+            break;
+        const u32 t = pc.xferJobs.front();
+        pc.xferJobs.pop_front();
+        const u32 gen = pc.issueGen[t];
         co_await Delay(q_, outputReadLatency());
-        pc.tregReady[t]->set();
-        pc.teplSlots.release();  // the Loader/TOut pair is free again
+        if (pc.host.teplIssued(pc.seqTepl[t]) &&
+            pc.issueGen[t] == gen) {
+            pc.tregReady[t]->set();
+            // The tload-from-TOut instruction has its data.
+            if (pc.seqLoad[t] != 0)
+                pc.host.completeOnce(pc.seqLoad[t]);
+            // Frees the Loader port and issues the next ready TEPL.
+            pc.host.teplComplete(pc.seqTepl[t]);
+        } else {
+            discardAttempt(pc, t);
+        }
+    }
+}
+
+void
+GemmSimulation::onTeplIssue(void *ctx, const accel::TeplEntry &e)
+{
+    // The TEPL queue issued an entry onto a Loader port: the control
+    // register store travels to DECA. Re-issues (after a squash) take
+    // a fresh generation so stale arrivals cannot complete them.
+    Core &pc = *static_cast<Core *>(ctx);
+    const u32 tile = static_cast<u32>(e.metadata);
+    const u32 gen = ++pc.issueGen[tile];
+    DECA_ASSERT(tile < 0x10000u && gen < 0x10000u,
+                "tile/generation exceed the packed event payload");
+    pc.sim->q_.schedule(pc.sim->params_.coreToDecaStore, &teplArrival,
+                        &pc, tile | (gen << 16));
+}
+
+void
+GemmSimulation::teplArrival(void *ctx, u64 arg)
+{
+    Core &pc = *static_cast<Core *>(ctx);
+    const u32 tile = static_cast<u32>(arg) & 0xffffu;
+    const u32 gen = static_cast<u32>(arg) >> 16;
+    // Even a stale arrival (the store left before its TEPL was
+    // squashed) starts the Loader fetch — the in-flight work drains,
+    // its bytes are simply wasted.
+    pc.invoked[tile]->set();
+    if (gen != pc.issueGen[tile])
+        return; // superseded by a newer issue of this tile
+    if (!pc.host.teplIssued(pc.seqTepl[tile]))
+        return; // squashed after this issue; the re-issue completes it
+    pc.arrivedGen[tile] = gen;
+    // The TeplIssue instruction itself is done once its store is out.
+    pc.host.completeOnce(pc.seqTepl[tile]);
+    if (pc.discarded[tile]) {
+        pc.discarded[tile] = 0;
+        pc.peJobs.push_front(Core::PeJob{tile, true});
+        pc.peJobSem.release();
     }
 }
 
 SimTask
-GemmSimulation::teplIssueProc(u32 c)
+GemmSimulation::teplDispatchProc(u32 c)
 {
+    // Program order per tile: TEPL (invoke DECA), tload the TOut
+    // register, TMUL. The TEPL enters the real TeplQueue at dispatch
+    // and issues out of order onto a free Loader port; dispatch stalls
+    // only on front-end structural limits.
     Core &pc = *cores_[c];
     for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
-        // Structural hazard: at most #Loaders TEPLs in flight.
-        co_await pc.teplSlots.acquire();
-        // The metadata store reaches the Loader after the link latency;
-        // issue is speculative and out-of-order, so the issuing core
-        // does not stall.
-        Signal *sig = pc.invoked[t].get();
-        q_.schedule(
-            params_.coreToDecaStore,
-            [](void *s, u64) { static_cast<Signal *>(s)->set(); }, sig);
+        core::Op tepl;
+        tepl.cls = core::OpClass::TeplIssue;
+        tepl.teplMeta = t;
+        tepl.teplDest = t % 8;
+        pc.seqTepl[t] = co_await pc.host.dispatch(tepl);
+        core::Op ld;
+        ld.cls = core::OpClass::Load;
+        pc.seqLoad[t] = co_await pc.host.dispatch(ld);
+        // The transfer may already have landed the tile.
+        if (pc.tregReady[t]->isSet())
+            pc.host.completeOnce(pc.seqLoad[t]);
+        core::Op mul;
+        mul.cls = core::OpClass::Compute;
+        pc.seqTmul[t] = co_await pc.host.dispatch(mul);
+        pc.tmulTok.release();
     }
 }
 
@@ -235,41 +460,76 @@ GemmSimulation::teplGemmProc(u32 c)
 {
     Core &pc = *cores_[c];
     for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
+        co_await pc.tmulTok.acquire();
         co_await pc.tregReady[t]->wait();
         co_await pc.tmul.busy(params_.tmulCycles);
+        pc.host.complete(pc.seqTmul[t]);
     }
-    coreFinished();
+    finishCore(c);
 }
 
 SimTask
-GemmSimulation::storeFenceCoreProc(u32 c)
+GemmSimulation::storeFenceDispatchProc(u32 c)
 {
     // Figure 9: every iteration executes ST M(i+1); Fence; TLoad T(i);
-    // TComp serially — the fence and the ROB-head store expose the full
-    // core-DECA communication latency each iteration.
+    // TComp. The store drains only at the ROB head and the fence
+    // blocks dispatch until it completes, so the stream serializes and
+    // exposes the full core-DECA communication latency each iteration
+    // — for ANY window size, which is exactly why the paper replaces
+    // this invocation scheme with TEPL.
     Core &pc = *cores_[c];
     const u32 total = workload_.tilesPerCore;
+    const u32 loaders = config_.integration.numLoaders;
 
     // Preamble: prime each Loader (ST M0; Fence; ST M1; Fence; ...).
-    const u32 loaders = config_.integration.numLoaders;
     for (u32 k = 0; k < std::min<u32>(loaders, total); ++k) {
-        co_await Delay(q_, params_.coreToDecaStore);
-        pc.invoked[k]->set();
-        co_await Delay(q_, params_.fenceCycles);
+        core::Op st;
+        st.cls = core::OpClass::Store;
+        st.fn = &setSignalFn;
+        st.ctx = pc.invoked[k].get();
+        co_await pc.host.dispatch(st);
+        core::Op f;
+        f.cls = core::OpClass::Fence;
+        co_await pc.host.dispatch(f);
     }
 
     for (u32 t = 0; t < total; ++t) {
+        core::Op ld;
+        ld.cls = core::OpClass::Load;
+        pc.seqLoad[t] = co_await pc.host.dispatch(ld);
+        pc.ldTok.release();
+        core::Op mul;
+        mul.cls = core::OpClass::Compute;
+        pc.seqTmul[t] = co_await pc.host.dispatch(mul);
+        pc.tmulTok.release();
+        if (t + loaders < total) {
+            core::Op st;
+            st.cls = core::OpClass::Store;
+            st.fn = &setSignalFn;
+            st.ctx = pc.invoked[t + loaders].get();
+            co_await pc.host.dispatch(st);
+            core::Op f;
+            f.cls = core::OpClass::Fence;
+            co_await pc.host.dispatch(f);
+        }
+    }
+}
+
+SimTask
+GemmSimulation::storeFenceExecProc(u32 c)
+{
+    Core &pc = *cores_[c];
+    for (u32 t = 0; t < workload_.tilesPerCore; ++t) {
+        co_await pc.ldTok.acquire();
         co_await pc.tileDone[t]->wait();
         // TLoad from TOut (or via the L2) executes at the ROB head.
         co_await Delay(q_, outputReadLatency());
+        pc.host.complete(pc.seqLoad[t]);
+        co_await pc.tmulTok.acquire();
         co_await pc.tmul.busy(params_.tmulCycles);
-        if (t + loaders < total) {
-            co_await Delay(q_, params_.coreToDecaStore);
-            pc.invoked[t + loaders]->set();
-            co_await Delay(q_, params_.fenceCycles);
-        }
+        pc.host.complete(pc.seqTmul[t]);
     }
-    coreFinished();
+    finishCore(c);
 }
 
 // ---------------------------------------------------------------------
@@ -282,6 +542,19 @@ GemmSimulation::run()
     const u32 n_cores = params_.cores;
     const u32 tiles = workload_.tilesPerCore;
 
+    core::HostCoreConfig hc;
+    hc.robSize = params_.robSize;
+    hc.issueWidth = params_.issueWidth;
+    hc.lsqSize = params_.lsqSize;
+    hc.teplQueueSize = params_.teplQueueSize;
+    hc.teplPorts = config_.engine == Engine::Deca
+                       ? config_.integration.numLoaders
+                       : 2;
+    hc.flushPeriod = params_.flushPeriodCycles;
+    hc.flushPenalty = params_.flushPenaltyCycles;
+    hc.storeLatency = params_.coreToDecaStore;
+    hc.fenceLatency = params_.fenceCycles;
+
     // Per-core total stream length.
     cores_.clear();
     cores_.reserve(n_cores);
@@ -289,7 +562,12 @@ GemmSimulation::run()
         const u32 loaders = config_.engine == Engine::Deca
                                 ? config_.integration.numLoaders
                                 : 2;
-        auto core = std::make_unique<Core>(q_, c, tiles, loaders);
+        auto core = std::make_unique<Core>(*this, q_, c, tiles, loaders,
+                                           hc);
+        if (config_.engine == Engine::Deca &&
+            config_.integration.invocation == Invocation::Tepl)
+            core->host.setTeplHandler(&GemmSimulation::onTeplIssue,
+                                      core.get());
 
         FetchStreamConfig fc;
         fc.mshrs = params_.l2Mshrs;
@@ -350,10 +628,12 @@ GemmSimulation::run()
     }
 
     cores_done_ = 0;
+    done_cycle_ = 0;
     for (u32 c = 0; c < n_cores; ++c) {
         switch (config_.engine) {
           case Engine::None:
           case Engine::Software:
+            swDispatchProc(c);
             swDecompressProc(c);
             swGemmProc(c);
             break;
@@ -363,17 +643,25 @@ GemmSimulation::run()
             decaPeProc(c);
             if (config_.integration.invocation == Invocation::Tepl) {
                 decaTransferProc(c);
-                teplIssueProc(c);
+                teplDispatchProc(c);
                 teplGemmProc(c);
             } else {
-                storeFenceCoreProc(c);
+                storeFenceDispatchProc(c);
+                storeFenceExecProc(c);
             }
             break;
         }
     }
 
-    const Cycles end = q_.run();
+    const Cycles drained = q_.run();
     DECA_ASSERT(cores_done_ == n_cores, "a core did not finish its work");
+
+    // With periodic flushes each core's flush process outlives the
+    // kernel by up to one period, so the run is measured to the last
+    // core completion instead of event-queue drain (identical without
+    // flushes, where the kernel's events are the last to fire).
+    const Cycles end =
+        params_.flushPeriodCycles > 0 ? done_cycle_ : drained;
 
     GemmResult r;
     r.kernel = config_.describe();
@@ -398,6 +686,9 @@ GemmSimulation::run()
         tmul_busy += core->tmul.busyCycles();
         avx_busy += core->avx.busyCycles();
         deca_busy += core->deca.busyCycles();
+        r.hostFlushes += core->host.statFlushes();
+        r.teplSquashed += core->host.teplQueue().statSquashed();
+        r.teplReissued += core->host.statReissued();
     }
     const double core_cycles = static_cast<double>(end) * n_cores;
     r.utilTmul = static_cast<double>(tmul_busy) / core_cycles;

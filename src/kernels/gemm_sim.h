@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "deca/pipeline.h"
+#include "deca/tepl_queue.h"
 #include "kernels/kernel_config.h"
 #include "kernels/workload.h"
 #include "sim/coro.h"
@@ -52,6 +53,12 @@ struct GemmResult
     double utilTmul = 0.0;
     double utilVec = 0.0;  ///< AVX utilization (software engines)
     double utilDeca = 0.0; ///< DECA PE utilization (DECA engines)
+
+    // Host-core front-end statistics (all zero with the default
+    // unbounded/no-flush configuration).
+    u64 hostFlushes = 0;  ///< pipeline flushes across all cores
+    u64 teplSquashed = 0; ///< TEPL queue entries squashed by flushes
+    u64 teplReissued = 0; ///< squashed TEPLs re-allocated after redirect
 
     /** Speedup of this result over a baseline result. */
     double
@@ -86,16 +93,31 @@ class GemmSimulation
     /** Latency of the core's read of a finished output tile. */
     Cycles outputReadLatency() const;
 
-    // Simulation processes (one per core each).
+    // Simulation processes (one per core each). Every kernel's
+    // instruction stream walks through the core's HostCore front end
+    // via a dispatcher coroutine; the remaining processes are the
+    // execution back end that completes instructions out of band.
+    sim::SimTask swDispatchProc(u32 c);
     sim::SimTask swDecompressProc(u32 c);
     sim::SimTask swGemmProc(u32 c);
     sim::SimTask decaFeedProc(u32 c, u32 loader);
     sim::SimTask decaPeProc(u32 c);
     sim::SimTask decaTransferProc(u32 c);
-    sim::SimTask teplIssueProc(u32 c);
+    sim::SimTask teplDispatchProc(u32 c);
     sim::SimTask teplGemmProc(u32 c);
-    sim::SimTask storeFenceCoreProc(u32 c);
+    sim::SimTask storeFenceDispatchProc(u32 c);
+    sim::SimTask storeFenceExecProc(u32 c);
 
+    /** TEPL queue issue callback + invocation-store arrival. */
+    static void onTeplIssue(void *ctx, const accel::TeplEntry &e);
+    static void teplArrival(void *ctx, u64 arg);
+
+    /** Admit fetched tiles to the PE in program order. */
+    void pumpFirstPass(Core &pc);
+    /** A PE pass or transfer finished for a squashed/superseded TEPL
+     *  attempt: queue the redo now or flag it for the re-arrival. */
+    void discardAttempt(Core &pc, u32 tile);
+    void finishCore(u32 c);
     void coreFinished();
 
     sim::SimParams params_;
@@ -113,6 +135,11 @@ class GemmSimulation
     Cycles sw_cycles_ = 0;
 
     u32 cores_done_ = 0;
+    /** Cycle at which the last core finished its stream. With
+     *  periodic flushes the per-core flush processes outlive the
+     *  kernel by up to one period, so the run is measured to this
+     *  point rather than to event-queue drain. */
+    Cycles done_cycle_ = 0;
 };
 
 /** Convenience driver: build the pool and run one simulation. */

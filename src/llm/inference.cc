@@ -108,18 +108,6 @@ InferenceModel::nextTokenWithTps(double tiles_per_second, u32 batch_n,
     return lat;
 }
 
-NextTokenLatency
-InferenceModel::nextToken(const compress::CompressionScheme &scheme,
-                          const kernels::KernelConfig &kernel, u32 batch_n,
-                          u32 tokens) const
-{
-    const PhaseCost c = decodeStepCost(scheme, kernel, batch_n, tokens);
-    NextTokenLatency lat;
-    lat.fcSeconds = c.fcSeconds;
-    lat.nonGemmSeconds = c.otherSeconds;
-    return lat;
-}
-
 NonGemmModel
 InferenceModel::calibrateForMachine(const ModelConfig &model,
                                     const sim::SimParams &params)

@@ -20,9 +20,10 @@
  * and grows linearly once the projected TMUL occupancy passes 1.0
  * (prefill passes are compute-bound in exactly this way).
  *
- * The historical single-token accessor nextToken() is a deprecated
- * shim over decodeStepCost(); new callers (the serve:: layer above
- * all) should speak phases.
+ * NextTokenLatency survives as the reporting type of the Table 1/4
+ * scenarios (nextTokenWithTps() composes one from an externally
+ * measured tile throughput); the historical nextToken() shim over
+ * decodeStepCost() is gone — callers speak phases.
  */
 
 #ifndef DECA_LLM_INFERENCE_H
@@ -139,16 +140,6 @@ class InferenceModel
      * 1.0.
      */
     double fcPassSeconds(const FcThroughput &fc, u64 gemm_rows) const;
-
-    /**
-     * @deprecated Single-token accessor kept as a shim over the
-     * phase-aware interface: identical to composing decodeStepCost()
-     * into a NextTokenLatency (pinned by test_llm.cc). New callers
-     * should use decodeStepCost().
-     */
-    NextTokenLatency nextToken(const compress::CompressionScheme &scheme,
-                               const kernels::KernelConfig &kernel,
-                               u32 batch_n, u32 tokens) const;
 
     /** Latency when the FC tile throughput is already known. */
     NextTokenLatency nextTokenWithTps(double tiles_per_second, u32 batch_n,

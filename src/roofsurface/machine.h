@@ -14,6 +14,7 @@
 #ifndef DECA_ROOFSURFACE_MACHINE_H
 #define DECA_ROOFSURFACE_MACHINE_H
 
+#include <algorithm>
 #include <string>
 
 #include "common/contention.h"
@@ -51,6 +52,20 @@ struct MachineConfig
      *  cycle-level model's curve compatibility tier). */
     ContentionCurve memContention{4.0, 0.015, 0.95};
 
+    // Host-core invocation limit (mirrors the cycle-level HostCore of
+    // core/host_core.h): a bounded front end caps how fast a core can
+    // hand tile operations to its matrix/DECA engine. All zero =
+    // unlimited, the classic three-rate Roof-Surface.
+    /** Instructions the core dispatches per cycle (0 = unlimited). */
+    double invIssueWidth = 0.0;
+    /** Reorder-buffer entries (0 = unlimited). */
+    double invRobSize = 0.0;
+    /** Instructions per tile operation (TEPL/store + tload + TComp). */
+    double invInstrsPerOp = 3.0;
+    /** Cycles an invocation's instructions stay in the window: the
+     *  core->accelerator round trip a blocked ROB head waits out. */
+    double invRoundTripCycles = 0.0;
+
     /** VOS: vector operations per second across the machine. */
     double
     vosPerSec() const
@@ -58,11 +73,34 @@ struct MachineConfig
         return freqHz * cores * vopsPerCorePerCycle;
     }
 
-    /** MOS: matrix (tile) operations per second across the machine. */
+    /**
+     * Invocation cap on per-core tile-op rate in ops/cycle (Little's
+     * law on the front end): issue width bounds the dispatch rate at
+     * width/instrsPerOp, and a bounded ROB holding each op's
+     * instructions for the accelerator round trip bounds it at
+     * rob/(instrsPerOp x roundTrip). Returns +inf when unlimited.
+     */
+    double
+    invocationOpsPerCorePerCycle() const
+    {
+        double cap = 1e300;
+        if (invIssueWidth > 0.0)
+            cap = std::min(cap, invIssueWidth / invInstrsPerOp);
+        if (invRobSize > 0.0 && invRoundTripCycles > 0.0)
+            cap = std::min(cap, invRobSize / (invInstrsPerOp *
+                                              invRoundTripCycles));
+        return cap;
+    }
+
+    /** MOS: matrix (tile) operations per second across the machine,
+     *  including the host-core invocation cap when configured. */
     double
     mosPerSec() const
     {
-        return freqHz * cores / kTmulCyclesPerTileOp;
+        const double per_core =
+            std::min(1.0 / kTmulCyclesPerTileOp,
+                     invocationOpsPerCorePerCycle());
+        return freqHz * cores * per_core;
     }
 
     /** Data-bus cycles one cache line occupies on one channel (the
@@ -151,6 +189,20 @@ struct MachineConfig
         MachineConfig m = *this;
         m.vopsPerCorePerCycle = 1.0;
         m.name += "+DECA";
+        return m;
+    }
+
+    /** Copy with a bounded invocation front end (OoO what-ifs):
+     *  `rob`/`width` 0 leaves that limit off. */
+    MachineConfig
+    withHostInvocation(double rob, double width,
+                       double round_trip_cycles) const
+    {
+        MachineConfig m = *this;
+        m.invRobSize = rob;
+        m.invIssueWidth = width;
+        m.invRoundTripCycles = round_trip_cycles;
+        m.name += " (inv)";
         return m;
     }
 };

@@ -128,6 +128,25 @@ struct SimParams
      *  swap, loop control) that is not overlapped with AVX work. */
     Cycles swTileOverhead = 6;
 
+    // Host-core front end (core/host_core.h). Every 0 means
+    // unbounded/ideal and reproduces the pre-host-core simulator
+    // cycle for cycle; robSize=1 with issueWidth=1 is the fully
+    // in-order core. Store+fence invocation is knob-invariant by
+    // construction (the fences serialize regardless of window size).
+    /** Reorder-buffer entries (0 = unbounded). */
+    u32 robSize = 0;
+    /** Instructions dispatched per cycle (0 = unbounded). */
+    u32 issueWidth = 0;
+    /** In-flight loads+stores (0 = unbounded). */
+    u32 lsqSize = 0;
+    /** TEPL queue entries (0 = sized to the tile stream). */
+    u32 teplQueueSize = 0;
+    /** Cycles between pipeline flushes (0 = never): each flush
+     *  squashes speculative TEPLs and stalls dispatch. */
+    Cycles flushPeriodCycles = 0;
+    /** Front-end redirect/refill stall charged per flush. */
+    Cycles flushPenaltyCycles = 40;
+
     double
     freqHz() const
     {

@@ -268,5 +268,163 @@ TEST(GemmSim, ResultMetadataFilledIn)
     EXPECT_GT(r.cycles, 0u);
 }
 
+// ----- Host-core front-end integration (core/host_core.h) -----
+
+namespace {
+
+/** The golden-pin workload of the host-core equivalence tests. */
+GemmWorkload
+pinWorkload(const compress::CompressionScheme &s)
+{
+    GemmWorkload w;
+    w.scheme = s;
+    w.batchN = 4;
+    w.tilesPerCore = 64;
+    w.poolTiles = 8;
+    w.seed = 7;
+    return w;
+}
+
+sim::SimParams
+eightCoreHbm()
+{
+    sim::SimParams p = sim::sprHbmParams();
+    p.cores = 8;
+    return p;
+}
+
+} // namespace
+
+TEST(GemmSimHostCore, DefaultKnobsPinnedToPreHostCoreCycles)
+{
+    // The unbounded front end must reproduce the pre-host-core
+    // simulator cycle for cycle: these pins were captured from the
+    // last build before the HostCore refactor.
+    const sim::SimParams p = eightCoreHbm();
+    const GemmWorkload w = pinWorkload(schemeQ8(0.2));
+    DecaIntegration sf = DecaIntegration::full();
+    sf.invocation = Invocation::StoreFence;
+
+    EXPECT_EQ(runGemm(p, KernelConfig::decaKernel(), w).cycles, 1818u);
+    EXPECT_EQ(runGemm(p,
+                      KernelConfig::decaKernel(accel::decaBestConfig(),
+                                               sf),
+                      w)
+                  .cycles,
+              4152u);
+}
+
+TEST(GemmSimHostCore, StoreFenceIsWindowSizeInvariant)
+{
+    // Fig. 9's pathology is architectural: the fence serializes the
+    // stream no matter how large the window, so every knob setting
+    // lands on the same cycle count.
+    const sim::SimParams base = eightCoreHbm();
+    const GemmWorkload w = pinWorkload(schemeQ8(0.2));
+    DecaIntegration integ = DecaIntegration::full();
+    integ.invocation = Invocation::StoreFence;
+    const auto k = KernelConfig::decaKernel(accel::decaBestConfig(),
+                                            integ);
+
+    const Cycles def = runGemm(base, k, w).cycles;
+    sim::SimParams io = base;
+    io.robSize = 1;
+    io.issueWidth = 1;
+    EXPECT_EQ(runGemm(io, k, w).cycles, def);
+    sim::SimParams mid = base;
+    mid.robSize = 8;
+    mid.issueWidth = 2;
+    EXPECT_EQ(runGemm(mid, k, w).cycles, def);
+}
+
+TEST(GemmSimHostCore, InOrderCoreCollapsesTeplToStoreFenceLevel)
+{
+    // The whole point of the OoO study: TEPL's win needs a window. A
+    // robSize=1/issueWidth=1 core serializes each invocation round
+    // trip and gives the TEPL advantage back.
+    const sim::SimParams base = eightCoreHbm();
+    const GemmWorkload w = pinWorkload(schemeQ8(0.2));
+    const auto tepl = KernelConfig::decaKernel();
+    DecaIntegration sfi = DecaIntegration::full();
+    sfi.invocation = Invocation::StoreFence;
+    const auto sf = KernelConfig::decaKernel(accel::decaBestConfig(),
+                                             sfi);
+
+    const Cycles ideal = runGemm(base, tepl, w).cycles;
+    const Cycles fence = runGemm(base, sf, w).cycles;
+    sim::SimParams io = base;
+    io.robSize = 1;
+    io.issueWidth = 1;
+    const Cycles inorder = runGemm(io, tepl, w).cycles;
+
+    EXPECT_GT(fence, ideal * 2);          // TEPL's headroom exists
+    EXPECT_GT(inorder, ideal * 2);        // ...and in-order loses it
+    EXPECT_NEAR(static_cast<double>(inorder),
+                static_cast<double>(fence),
+                0.10 * static_cast<double>(fence));
+}
+
+TEST(GemmSimHostCore, ModestWindowRecoversTeplHeadroom)
+{
+    const sim::SimParams base = eightCoreHbm();
+    const GemmWorkload w = pinWorkload(schemeQ8(0.2));
+    const auto tepl = KernelConfig::decaKernel();
+    const Cycles ideal = runGemm(base, tepl, w).cycles;
+    sim::SimParams oo = base;
+    oo.robSize = 64;
+    oo.issueWidth = 4;
+    EXPECT_EQ(runGemm(oo, tepl, w).cycles, ideal);
+}
+
+TEST(GemmSimHostCore, PeriodicFlushesSquashAndReissueButComplete)
+{
+    const sim::SimParams base = eightCoreHbm();
+    const GemmWorkload w = pinWorkload(schemeQ8(0.2));
+    const auto tepl = KernelConfig::decaKernel();
+    sim::SimParams oo = base;
+    oo.robSize = 64;
+    oo.issueWidth = 4;
+    const GemmResult clean = runGemm(oo, tepl, w);
+    sim::SimParams fl = oo;
+    fl.flushPeriodCycles = 400;
+    const GemmResult flushed = runGemm(fl, tepl, w);
+
+    // Flushes happened, squashed speculative TEPLs were re-issued
+    // (every squash has its redo), and every tile still completed.
+    EXPECT_GT(flushed.hostFlushes, 0u);
+    EXPECT_GT(flushed.teplSquashed, 0u);
+    EXPECT_EQ(flushed.teplSquashed, flushed.teplReissued);
+    EXPECT_EQ(flushed.tilesProcessed, clean.tilesProcessed);
+    // The redirects cost time but nowhere near the in-order collapse.
+    EXPECT_GT(flushed.cycles, clean.cycles);
+    EXPECT_LT(flushed.cycles, clean.cycles * 2);
+    // And the clean OoO run reports no flush activity at all.
+    EXPECT_EQ(clean.hostFlushes, 0u);
+    EXPECT_EQ(clean.teplSquashed, 0u);
+}
+
+TEST(GemmSimHostCore, SoftwareKernelTightWindowOnlySlows)
+{
+    // The software pipeline needs only a small window to keep its
+    // decompress/GeMM overlap; rob=1 serializes it, a modest window
+    // restores the overlap.
+    const sim::SimParams base = eightCoreHbm();
+    const GemmWorkload w = pinWorkload(schemeQ8(0.2));
+    const Cycles ideal =
+        runGemm(base, KernelConfig::software(), w).cycles;
+    sim::SimParams io = base;
+    io.robSize = 1;
+    io.issueWidth = 1;
+    const Cycles inorder =
+        runGemm(io, KernelConfig::software(), w).cycles;
+    sim::SimParams oo = base;
+    oo.robSize = 64;
+    oo.issueWidth = 4;
+    const Cycles windowed =
+        runGemm(oo, KernelConfig::software(), w).cycles;
+    EXPECT_GT(inorder, ideal);
+    EXPECT_EQ(windowed, ideal);
+}
+
 } // namespace
 } // namespace deca::kernels

@@ -94,7 +94,7 @@ TEST_F(LlmInference, Bf16BaselineLatencyInPaperBallpark)
 {
     // Table 4: Llama2-70B BF16 SW at N=1 is 192.3 ms on HBM. Our
     // simulated baseline should land within ~20%.
-    const NextTokenLatency lat = model_->nextToken(
+    const PhaseCost lat = model_->decodeStepCost(
         compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
         1, 128);
     EXPECT_NEAR(lat.milliseconds(), 192.3, 40.0);
@@ -103,9 +103,9 @@ TEST_F(LlmInference, Bf16BaselineLatencyInPaperBallpark)
 TEST_F(LlmInference, DecaFasterThanSoftwareForCompressed)
 {
     const auto scheme = compress::schemeQ8(0.2);
-    const NextTokenLatency sw = model_->nextToken(
+    const PhaseCost sw = model_->decodeStepCost(
         scheme, kernels::KernelConfig::software(), 1, 128);
-    const NextTokenLatency deca = model_->nextToken(
+    const PhaseCost deca = model_->decodeStepCost(
         scheme, kernels::KernelConfig::decaKernel(), 1, 128);
     // Paper: 1.6x-2.6x end-to-end.
     const double speedup = sw.total() / deca.total();
@@ -115,13 +115,13 @@ TEST_F(LlmInference, DecaFasterThanSoftwareForCompressed)
 
 TEST_F(LlmInference, CompressionShrinksLatencyMonotonically)
 {
-    const NextTokenLatency bf16 = model_->nextToken(
+    const PhaseCost bf16 = model_->decodeStepCost(
         compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
         1, 128);
-    const NextTokenLatency q4 = model_->nextToken(
+    const PhaseCost q4 = model_->decodeStepCost(
         compress::schemeMxfp4(), kernels::KernelConfig::decaKernel(), 1,
         128);
-    const NextTokenLatency q8_5 = model_->nextToken(
+    const PhaseCost q8_5 = model_->decodeStepCost(
         compress::schemeQ8(0.05), kernels::KernelConfig::decaKernel(), 1,
         128);
     EXPECT_GT(bf16.total(), q4.total());
@@ -133,36 +133,21 @@ TEST_F(LlmInference, CompressionShrinksLatencyMonotonically)
 
 TEST_F(LlmInference, FcFractionMatchesTable1Anchor)
 {
-    const NextTokenLatency lat = model_->nextToken(
+    const PhaseCost lat = model_->decodeStepCost(
         compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
         1, 32);
-    EXPECT_NEAR(lat.fcFraction(), 0.898, 0.02);
+    EXPECT_NEAR(lat.fcSeconds / lat.total(), 0.898, 0.02);
 }
 
 TEST_F(LlmInference, BatchSixteenRaisesNonGemmShare)
 {
-    const NextTokenLatency n1 = model_->nextToken(
+    const PhaseCost n1 = model_->decodeStepCost(
         compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
         1, 128);
-    const NextTokenLatency n16 = model_->nextToken(
+    const PhaseCost n16 = model_->decodeStepCost(
         compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
         16, 128);
-    EXPECT_LT(n16.fcFraction(), n1.fcFraction());
-}
-
-TEST_F(LlmInference, NextTokenShimMatchesDecodeStep)
-{
-    // nextToken() is a deprecated shim over the phase API; it must
-    // stay numerically identical to composing decodeStepCost().
-    const auto scheme = compress::schemeQ8(0.2);
-    const auto kernel = kernels::KernelConfig::decaKernel();
-    const NextTokenLatency shim = model_->nextToken(scheme, kernel, 4,
-                                                    128);
-    const PhaseCost phase = model_->decodeStepCost(scheme, kernel, 4,
-                                                   128);
-    EXPECT_DOUBLE_EQ(shim.fcSeconds, phase.fcSeconds);
-    EXPECT_DOUBLE_EQ(shim.nonGemmSeconds, phase.otherSeconds);
-    EXPECT_DOUBLE_EQ(shim.total(), phase.total());
+    EXPECT_LT(n16.fcSeconds / n16.total(), n1.fcSeconds / n1.total());
 }
 
 TEST_F(LlmInference, PhaseCostsShareTheThroughputAnchor)
@@ -202,10 +187,10 @@ TEST(LlmInferenceDdr, FcFractionHigherOnDdr)
     const ModelConfig m = llama2_70b();
     const NonGemmModel ng = InferenceModel::calibrateForMachine(m, ddr);
     const InferenceModel model(m, ddr, ng);
-    const NextTokenLatency lat = model.nextToken(
+    const PhaseCost lat = model.decodeStepCost(
         compress::schemeBf16(), kernels::KernelConfig::uncompressedBf16(),
         1, 32);
-    EXPECT_GT(lat.fcFraction(), 0.95);
+    EXPECT_GT(lat.fcSeconds / lat.total(), 0.95);
 }
 
 } // namespace
