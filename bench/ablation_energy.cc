@@ -46,11 +46,13 @@ DECA_SCENARIO(ablation_energy, "Ablation: energy/EDP of power-gated "
         kernels::GemmResult r;
         kernels::EnergyResult e;
     };
+    const sim::SimParams base =
+        bench::withSampleParam(ctx, sim::sprDdrParams());
     runner::SweepEngine engine(ctx.sweep("ablation_energy"));
     const std::vector<Row> rows =
         engine.map(configs.size(), [&](std::size_t i) {
             const Cfg &c = configs[i];
-            sim::SimParams p = sim::sprDdrParams();
+            sim::SimParams p = base;
             p.cores = c.cores;
             // Same total work for every configuration.
             kernels::GemmWorkload w = bench::makeWorkload(scheme, n);

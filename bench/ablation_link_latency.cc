@@ -27,10 +27,12 @@ DECA_SCENARIO(ablation_link_latency, "Ablation: core-DECA link latency "
         double tepl;
     };
     const std::vector<Cycles> links = {6, 12, 24, 48};
+    const sim::SimParams base =
+        bench::withSampleParam(ctx, sim::sprHbmParams());
     runner::SweepEngine engine(ctx.sweep("ablation_link_latency"));
     const std::vector<Row> rows =
         engine.map(links.size(), [&](std::size_t i) {
-            sim::SimParams p = sim::sprHbmParams();
+            sim::SimParams p = base;
             p.coreToDecaStore = links[i];
             p.decaToCoreRead = links[i];
             kernels::DecaIntegration store =

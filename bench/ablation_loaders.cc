@@ -15,7 +15,8 @@ using namespace deca;
 DECA_SCENARIO(ablation_loaders, "Ablation: 1 vs 2 DECA Loaders "
                                 "(HBM, N=1)")
 {
-    const sim::SimParams p = sim::sprHbmParams();
+    const sim::SimParams p =
+        bench::withSampleParam(ctx, sim::sprHbmParams());
     const u32 n = 1;
 
     TableWriter t("Ablation: 1 vs 2 DECA Loaders (HBM, N=1, TFLOPS)");

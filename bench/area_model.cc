@@ -14,6 +14,7 @@ using namespace deca;
 DECA_SCENARIO(area_model, "Section 8: DECA PE area model and die "
                           "overhead")
 {
+    bench::consumeSampleParam(ctx);
     TableWriter t("Section 8: DECA area model (7 nm, 56 PEs)");
     t.setHeader({"Design", "Loaders+Queues", "LUT array", "Rest",
                  "Total mm2", "Die overhead"});

@@ -26,6 +26,30 @@ namespace deca::bench {
 inline constexpr u32 kBenchTiles = 224;
 inline constexpr u32 kBenchPool = 32;
 
+/**
+ * Consume the shared `sample` scenario parameter and apply it to a
+ * machine description: `--set sample=1` switches every cycle
+ * simulation the scenario launches to the sampled tier
+ * (sim/sampling.h) — same tables, order-of-magnitude fewer events,
+ * CI-gated error bound. Every scenario routes its SimParams through
+ * this so `decasim run all --set sample=1` is accepted everywhere.
+ */
+inline sim::SimParams
+withSampleParam(const runner::ScenarioContext &ctx, sim::SimParams p)
+{
+    p.sampleMode = ctx.params().getBool("sample", false);
+    return p;
+}
+
+/** Analytic-only scenarios run no cycle simulation, so `sample` has
+ *  nothing to change — they still consume the shared key so
+ *  campaign-wide `--set sample=1` runs are accepted. */
+inline void
+consumeSampleParam(const runner::ScenarioContext &ctx)
+{
+    (void)ctx.params().getBool("sample", false);
+}
+
 /** Build the standard workload for a scheme at batch N. */
 inline kernels::GemmWorkload
 makeWorkload(const compress::CompressionScheme &s, u32 batch_n,

@@ -15,7 +15,8 @@ using namespace deca;
 DECA_SCENARIO(fig12, "Figure 12: compressed GeMM speedup vs BF16 "
                      "(DDR, N=1)")
 {
-    const sim::SimParams p = sim::sprDdrParams();
+    const sim::SimParams p =
+        bench::withSampleParam(ctx, sim::sprDdrParams());
     const auto mach = roofsurface::sprDdr();
     const u32 n = 1;
 

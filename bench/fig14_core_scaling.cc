@@ -25,13 +25,15 @@ DECA_SCENARIO(fig14, "Figure 14: avg TFLOPS vs active core count "
         double sw;
         double deca;
     };
+    const sim::SimParams base =
+        bench::withSampleParam(ctx, sim::sprDdrParams());
     runner::SweepEngine engine(ctx.sweep("fig14"));
     runner::ParamGrid grid;
     grid.axis("cores", core_counts.size())
         .axis("scheme", schemes.size());
     const std::vector<Cell> cells =
         engine.mapGrid(grid, [&](const std::vector<std::size_t> &c) {
-            sim::SimParams p = sim::sprDdrParams();
+            sim::SimParams p = base;
             p.cores = core_counts[c[0]];
             const auto w = bench::makeWorkload(schemes[c[1]], n, 128, 24);
             return Cell{

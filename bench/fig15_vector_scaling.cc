@@ -14,7 +14,8 @@ using namespace deca;
 DECA_SCENARIO(fig15, "Figure 15: DECA vs brute-force vector scaling "
                      "(HBM, N=1)")
 {
-    const sim::SimParams p = sim::sprHbmParams();
+    const sim::SimParams p =
+        bench::withSampleParam(ctx, sim::sprHbmParams());
     const u32 n = 1;
 
     const kernels::GemmResult base = kernels::runGemmSteady(

@@ -48,7 +48,8 @@ DECA_SCENARIO(fig16, "Figure 16: {W, L} design-space exploration and "
     // (c) Simulated validation across the three sizes: every
     // (design, scheme) cell is an independent simulation, swept in one
     // grid.
-    const sim::SimParams p = sim::sprHbmParams();
+    const sim::SimParams p =
+        bench::withSampleParam(ctx, sim::sprHbmParams());
     const std::vector<accel::DecaConfig> designs = {
         accel::decaUnderConfig(), accel::decaBestConfig(),
         accel::decaOverConfig()};

@@ -16,7 +16,8 @@ using namespace deca;
 DECA_SCENARIO(fig17, "Figure 17: DECA integration-feature ablation "
                      "(Q8, HBM, N=4)")
 {
-    const sim::SimParams p = sim::sprHbmParams();
+    const sim::SimParams p =
+        bench::withSampleParam(ctx, sim::sprHbmParams());
     const u32 n = 4;
 
     using kernels::DecaIntegration;

@@ -17,8 +17,9 @@ DECA_SCENARIO(fig3, "Figure 3: 2D roofline optimal vs observed "
                     "(DDR + HBM, N=4)")
 {
     const u32 n = 4;
-    for (const sim::SimParams &p :
+    for (const sim::SimParams &base :
          {sim::sprDdrParams(), sim::sprHbmParams()}) {
+        const sim::SimParams p = bench::withSampleParam(ctx, base);
         const roofsurface::MachineConfig mach =
             p.memKind == sim::MemoryKind::DDR5 ? roofsurface::sprDdr()
                                                : roofsurface::sprHbm();

@@ -18,7 +18,8 @@ DECA_SCENARIO(fig4, "Figure 4: Roof-Surface samples and optimal vs "
 {
     const u32 n = 4;
     const roofsurface::MachineConfig mach = roofsurface::sprHbm();
-    const sim::SimParams p = sim::sprHbmParams();
+    const sim::SimParams p =
+        bench::withSampleParam(ctx, sim::sprHbmParams());
 
     // (a) Surface samples.
     TableWriter grid("Figure 4a: Roof-Surface samples (HBM, N=4)");

@@ -47,6 +47,7 @@ printBord(const runner::ScenarioContext &ctx,
 DECA_SCENARIO(fig5, "Figure 5: BORD separators and software-kernel "
                     "classification (HBM + DDR)")
 {
+    bench::consumeSampleParam(ctx);
     printBord(ctx, roofsurface::sprHbm());  // Fig. 5a
     printBord(ctx, roofsurface::sprDdr());  // Fig. 5b
     return 0;

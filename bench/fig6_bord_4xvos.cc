@@ -15,6 +15,7 @@ using namespace deca;
 DECA_SCENARIO(fig6, "Figure 6: HBM BORD with hypothetical 4x vector "
                     "throughput")
 {
+    bench::consumeSampleParam(ctx);
     const auto base = roofsurface::sprHbm();
     const auto m4 = base.withVosScale(4.0);
 

@@ -14,6 +14,7 @@
  * requests, batch, queue, chunk, seed, capacity_gib, reserve_full.
  */
 
+#include "bench_util.h"
 #include "serve_common.h"
 
 #include <stdexcept>
@@ -59,8 +60,8 @@ DECA_SCENARIO(serve_saturation,
               "Serving saturation sweep: achieved vs offered load "
               "around the capacity knee of one configuration")
 {
-    const sim::SimParams p =
-        machineByName(ctx.params().getString("machine", "hbm"));
+    const sim::SimParams p = bench::withSampleParam(
+        ctx, machineByName(ctx.params().getString("machine", "hbm")));
     const compress::CompressionScheme scheme =
         schemeByName(ctx.params().getString("scheme", "q8_20"));
     const u32 requests = ctx.params().getU32("requests", 8000);

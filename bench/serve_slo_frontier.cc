@@ -14,6 +14,7 @@
  * batch, queue, chunk (prefill token budget), seed.
  */
 
+#include "bench_util.h"
 #include "serve_common.h"
 
 #include "serve/candidates.h"
@@ -59,8 +60,9 @@ DECA_SCENARIO(serve_slo_frontier,
     const u64 seed = ctx.params().getU64("seed", 1);
 
     const llm::ModelConfig model = llm::llama2_70b();
-    const std::vector<sim::SimParams> machines = {sim::sprDdrParams(),
-                                                  sim::sprHbmParams()};
+    const std::vector<sim::SimParams> machines = {
+        bench::withSampleParam(ctx, sim::sprDdrParams()),
+        bench::withSampleParam(ctx, sim::sprHbmParams())};
     const std::vector<compress::CompressionScheme> schemes = {
         compress::schemeBf16(),
         compress::schemeQ8(0.20),

@@ -22,8 +22,9 @@ DECA_SCENARIO(table1, "Table 1: FC GeMM share of next-token time "
 
     // One steady BF16 GeMM simulation per machine serves all cells
     // (batch does not change tile timing); sweep the two machines.
-    const std::vector<sim::SimParams> machines = {sim::sprDdrParams(),
-                                                  sim::sprHbmParams()};
+    const std::vector<sim::SimParams> machines = {
+        bench::withSampleParam(ctx, sim::sprDdrParams()),
+        bench::withSampleParam(ctx, sim::sprHbmParams())};
     runner::SweepEngine engine(ctx.sweep("table1"));
     const std::vector<kernels::GemmResult> results =
         engine.map(machines.size(), [&](std::size_t i) {

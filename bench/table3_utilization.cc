@@ -15,7 +15,8 @@ using namespace deca;
 DECA_SCENARIO(table3, "Table 3: component utilization, software vs "
                       "DECA (Q8, N=1, HBM)")
 {
-    const sim::SimParams p = sim::sprHbmParams();
+    const sim::SimParams p =
+        bench::withSampleParam(ctx, sim::sprHbmParams());
     const u32 n = 1;
 
     TableWriter t("Table 3: component utilization (Q8, N=1, HBM)");

@@ -24,7 +24,8 @@ struct Cell
 DECA_SCENARIO(table4, "Table 4: LLM next-token latency, software vs "
                       "DECA (HBM, 128 tokens)")
 {
-    const sim::SimParams p = sim::sprHbmParams();
+    const sim::SimParams p =
+        bench::withSampleParam(ctx, sim::sprHbmParams());
     const std::vector<Cell> cells = {
         {compress::schemeBf16(), false},
         {compress::schemeMxfp4(), true},

@@ -22,6 +22,10 @@ using namespace deca;
 DECA_SCENARIO(accelerator_dse, "Example: re-dimensioning DECA for a "
                                "future 64-core HBM3e server")
 {
+    // Analytic-only walkthrough: consume the campaign-wide `sample`
+    // key (no cycle simulation here for it to redirect).
+    (void)ctx.params().getBool("sample", false);
+
     // The future machine: HBM3e-class bandwidth on a 64-core part, so
     // bandwidth per core more than doubles and the old PE dimensioning
     // becomes the bottleneck.

@@ -27,6 +27,10 @@ using namespace deca;
 DECA_SCENARIO(custom_format, "Example: hosting OCP FP6 + sparsity on "
                              "unmodified DECA hardware")
 {
+    // Compression-layer walkthrough: consume the campaign-wide
+    // `sample` key (no cycle simulation here for it to redirect).
+    (void)ctx.params().getBool("sample", false);
+
     // A format DECA was never "designed for": FP6 E3M2, 30% density,
     // with MX-style group scales.
     compress::CompressionScheme fp6;

@@ -25,7 +25,9 @@ using namespace deca;
 DECA_SCENARIO(llm_serving, "Example: choosing a compression scheme to "
                            "serve Llama2-70B under an SLO")
 {
-    const sim::SimParams p = sim::sprHbmParams();
+    sim::SimParams p = sim::sprHbmParams();
+    // `--set sample=1`: run the cycle simulations on the sampled tier.
+    p.sampleMode = ctx.params().getBool("sample", false);
     const llm::ModelConfig model = llm::llama2_70b();
     const llm::NonGemmModel ng =
         llm::InferenceModel::calibrateForMachine(model, p);

@@ -69,7 +69,9 @@ DECA_SCENARIO(quickstart, "Example: end-to-end DECA workflow on one "
                 deca_pred.flops(1) / kTera);
 
     // --- 4. Cycle-level simulation ------------------------------------
-    const sim::SimParams params = sim::sprHbmParams();
+    sim::SimParams params = sim::sprHbmParams();
+    // `--set sample=1`: run the cycle simulations on the sampled tier.
+    params.sampleMode = ctx.params().getBool("sample", false);
     kernels::GemmWorkload w;
     w.scheme = scheme;
     w.batchN = 1;

@@ -181,6 +181,33 @@ struct DramTiming
 };
 
 /**
+ * Queue-limited throughput fraction of one channel: a controller that
+ * tracks at most `queue_depth` requests from acceptance to data
+ * return can, by Little's law, sustain depth / round-trip requests
+ * per cycle, against a data bus that moves one line per `burstCycles`.
+ * The fraction is therefore
+ *
+ *   min(1, queue_depth * burstCycles / (latency + burstCycles))
+ *
+ * — 1.0 whenever the queue covers the channel's bandwidth-delay
+ * product (the shipped presets, depth 64), and the below-BDP collapse
+ * the dse_memory queue-depth table isolates otherwise. Composes with
+ * DramTiming::efficiency() as min(bank-limited, queue-limited);
+ * depth 0 means an unbounded queue.
+ */
+inline double
+queueLimitedFraction(u32 queue_depth, double latency_cycles,
+                     double burstCycles)
+{
+    if (queue_depth == 0 || burstCycles <= 0.0)
+        return 1.0;
+    const double round_trip = latency_cycles + burstCycles;
+    const double frac =
+        static_cast<double>(queue_depth) * burstCycles / round_trip;
+    return frac < 1.0 ? frac : 1.0;
+}
+
+/**
  * DDR5 timing preset (8-channel SPR configuration), re-anchored at the
  * Fig. 12-14 operating points the retired contention curve was fit to:
  * 32 loader streams (16 DECA cores) sustain ~98% of pin bandwidth,
@@ -215,6 +242,26 @@ hbmDramTiming()
     t.tRowHitCycles = 0.0;
     t.tRowMissCycles = 45.0;
     t.tRowSwitchBusCycles = 0.1;
+    t.channelBlockLines = 1;
+    return t;
+}
+
+/**
+ * HBM3e-class / 3D-stacked timing preset: the stacked generation
+ * doubles the bank population behind each pseudo-channel, halves the
+ * page (finer activation granularity keeps the energy budget), and
+ * shortens the activation window thanks to the shorter in-stack wire
+ * lengths. Pseudo-channel interleave stays line-granular.
+ */
+inline DramTiming
+hbm3eDramTiming()
+{
+    DramTiming t;
+    t.banksPerChannel = 64;
+    t.rowBytes = 2048;
+    t.tRowHitCycles = 0.0;
+    t.tRowMissCycles = 38.0;
+    t.tRowSwitchBusCycles = 0.08;
     t.channelBlockLines = 1;
     return t;
 }

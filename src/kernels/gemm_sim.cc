@@ -1,10 +1,17 @@
 #include "kernels/gemm_sim.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
 
 #include "common/logging.h"
 #include "core/host_core.h"
 #include "kernels/sw_cost_model.h"
+#include "sim/sampling.h"
 
 namespace deca::kernels {
 
@@ -154,11 +161,23 @@ GemmSimulation::GemmSimulation(const sim::SimParams &params,
 GemmSimulation::~GemmSimulation() = default;
 
 u32
-GemmSimulation::poolIndex(u32 c, u32 t) const
+scheduledPoolIndex(u32 c, u32 t, u32 pool_size)
 {
     // Offset each core into the pool so cores do not process identical
     // tile sequences in lockstep.
-    return (c * 17 + t) % pool_.size();
+    return (c * 17 + t) % pool_size;
+}
+
+u64
+scheduledTileBytes(const TilePool &pool, u32 c, u32 t)
+{
+    return pool.tileBytes(scheduledPoolIndex(c, t, pool.size()));
+}
+
+u32
+GemmSimulation::poolIndex(u32 c, u32 t) const
+{
+    return scheduledPoolIndex(c, t, pool_.size());
 }
 
 u64
@@ -181,6 +200,13 @@ GemmSimulation::outputReadLatency() const
     // Without TOut registers the tile takes the longer path through the
     // L2: the core's tload hits the L2 where DECA deposited it.
     return params_.l2Latency + params_.tloadL1Cycles;
+}
+
+void
+GemmSimulation::noteTileDone(Core &pc, u32 t)
+{
+    if (probe_ != nullptr)
+        probe_->tileEnd[pc.id][t] = q_.now();
 }
 
 void
@@ -267,6 +293,7 @@ GemmSimulation::swGemmProc(u32 c)
         // serializing resource.
         co_await pc.tmul.busy(params_.tmulCycles);
         pc.host.complete(pc.seqTmul[t]);
+        noteTileDone(pc, t);
         pc.bufSlots.release();
     }
     finishCore(c);
@@ -464,6 +491,7 @@ GemmSimulation::teplGemmProc(u32 c)
         co_await pc.tregReady[t]->wait();
         co_await pc.tmul.busy(params_.tmulCycles);
         pc.host.complete(pc.seqTmul[t]);
+        noteTileDone(pc, t);
     }
     finishCore(c);
 }
@@ -528,6 +556,7 @@ GemmSimulation::storeFenceExecProc(u32 c)
         co_await pc.tmulTok.acquire();
         co_await pc.tmul.busy(params_.tmulCycles);
         pc.host.complete(pc.seqTmul[t]);
+        noteTileDone(pc, t);
     }
     finishCore(c);
 }
@@ -696,14 +725,373 @@ GemmSimulation::run()
     // to the full vector engine (all units).
     r.utilVec = static_cast<double>(avx_busy) / core_cycles;
     r.utilDeca = static_cast<double>(deca_busy) / core_cycles;
+
+    // Sampled tier: hand the busy totals to the driver, which scales
+    // them by the target window's schedule (see SampleProbe).
+    if (probe_ != nullptr) {
+        probe_->memBusy = mem_->busySnapshot();
+        probe_->memBytes = mem_->bytesServed();
+        probe_->tmulBusy = tmul_busy;
+        probe_->avxBusy = avx_busy;
+        probe_->decaBusy = deca_busy;
+        probe_->decaPoolCycles = deca_cycles_;
+    }
     return r;
 }
+
+// ---------------------------------------------------------------------
+// Sampled tier (sim/sampling.h): two truncated runs replace the full
+// tile stream, and the full run's completion time is extrapolated
+// from the difference of their endings. Differencing two run *ends*
+// is the load-bearing choice: cores sharing DRAM drift apart
+// linearly (a core slightly ahead stays ahead), and the slowest core
+// speeds up near the end of a run as faster cores finish and stop
+// contending — a relief credit proportional to the accumulated
+// spread, i.e. linear in the run length. Both effects bias every
+// interior-window rate, but cancel exactly in (T(n2) - T(n1)) /
+// (n2 - n1) because a shorter run is a cycle-exact prefix of a
+// longer one until its own end-game. The two lengths are a whole
+// number of pool periods apart so both ends see the same schedule
+// phase. Convergence is judged on the reported quantity: the
+// aggregate and the per-core extrapolations of the full-run end must
+// agree (rank churn or a still-ramping window makes them diverge).
+// A failed check grows the second run by pool periods — while that
+// still undercuts the full path, and up to maxErrorCheckTiles —
+// before the driver falls back to the full simulation.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Everything one truncated, instrumented run yields. */
+struct TruncatedRun
+{
+    u32 tiles = 0;     ///< tiles per core this run executed
+    GemmResult raw;    ///< measurements of the truncated run itself
+    SampleProbe probe; ///< completion timestamps + busy totals
+    sim::RunEndPoint end; ///< per-core completion times
+};
+
+/** Sampling knobs from SimParams, floored so the window always has
+ *  enough tiles to difference and to split into halves. */
+sim::SamplingConfig
+samplingConfigOf(const sim::SimParams &params)
+{
+    sim::SamplingConfig sc;
+    sc.warmupTiles = std::max<u32>(2, params.warmupTiles);
+    sc.measureTiles = std::max<u32>(8, params.measureTiles);
+    sc.maxErrorCheckTiles =
+        std::max(sc.measureTiles, params.maxErrorCheckTiles);
+    return sc;
+}
+
+/** Run one truncated instrumented simulation of `tiles` per core. */
+void
+runTruncated(const sim::SimParams &params, const KernelConfig &config,
+             const GemmWorkload &workload, const TilePool &pool,
+             u32 tiles, TruncatedRun &out)
+{
+    GemmWorkload wk = workload;
+    wk.tilesPerCore = tiles;
+    GemmSimulation sim(params, config, wk, pool);
+    out.probe.tileEnd.assign(params.cores,
+                             std::vector<Cycles>(tiles, 0));
+    sim.attachProbe(&out.probe);
+    out.raw = sim.run();
+    out.tiles = tiles;
+    out.end.tiles = tiles;
+    out.end.coreEnd.resize(params.cores);
+    for (u32 c = 0; c < params.cores; ++c)
+        out.end.coreEnd[c] =
+            static_cast<double>(out.probe.tileEnd[c][tiles - 1]);
+}
+
+/**
+ * Judge one extrapolation on the reported quantity: the aggregate
+ * and per-core full-run estimates must agree within the tolerance
+ * (per-tile, or per-byte of the target window's schedule).
+ */
+bool
+estimateConverged(const sim::RunEndEstimate &est, const TilePool &pool,
+                  u32 target_first, u32 target_last, double tol)
+{
+    if (!est.valid)
+        return false;
+    double bytes_t = 0.0;
+    for (u32 t = target_first; t < target_last; ++t)
+        bytes_t += static_cast<double>(scheduledTileBytes(pool, 0, t));
+    const u32 target_tiles = target_last - target_first;
+    sim::SteadyStateDetector det(tol);
+    det.addWindow({est.perCore, bytes_t, target_tiles});
+    det.addWindow({est.aggregate, bytes_t, target_tiles});
+    return det.converged();
+}
+
+/** Round `v` up to a whole multiple of `m`. */
+u32
+ceilToMultiple(u32 v, u32 m)
+{
+    return (v + m - 1) / m * m;
+}
+
+/** Clamp a utilization estimate into [0, 1]. */
+double
+clampUtil(double u)
+{
+    if (u < 0.0)
+        return 0.0;
+    return u > 1.0 ? 1.0 : u;
+}
+
+/**
+ * Assemble the extrapolated GemmResult: `cycles_est` for the target
+ * window of tiles [util_first, util_last) per core, utilizations
+ * scaled from the truncated run's busy totals by the target window's
+ * schedule (busy time per byte / tile op / PE pass is stationary even
+ * when a short run's wall-clock windows are not), and host-core
+ * statistics scaled from the truncated run to the equivalent full
+ * run's estimated length (flushes are periodic in time, so counts
+ * scale with cycles).
+ */
+GemmResult
+assembleEstimate(const sim::SimParams &params,
+                 const GemmWorkload &workload, const TilePool &pool,
+                 const TruncatedRun &run, double cycles_est,
+                 double run_end_est, u32 util_first, u32 util_last,
+                 u32 total_simulated)
+{
+    const u32 n_cores = params.cores;
+    const u32 tiles = util_last - util_first;
+
+    GemmResult r = run.raw;
+    r.sampled = true;
+    r.sampledTilesPerCore = total_simulated;
+    r.cycles = static_cast<Cycles>(
+        std::max<long long>(1, std::llround(cycles_est)));
+    r.tilesProcessed = u64{n_cores} * tiles;
+    const double seconds =
+        static_cast<double>(r.cycles) / params.freqHz();
+    r.tilesPerSecond = static_cast<double>(r.tilesProcessed) / seconds;
+    r.tflops = kFmasPerTileOpPerBatchRow *
+               static_cast<double>(workload.batchN) * r.tilesPerSecond /
+               kTera;
+
+    // Schedule weights of the truncated run vs the target window.
+    double budget_bytes = 0.0;
+    double target_bytes = 0.0;
+    double budget_deca = 0.0;
+    double target_deca = 0.0;
+    const auto &deca_pool = run.probe.decaPoolCycles;
+    const u32 pool_size = pool.size();
+    for (u32 c = 0; c < n_cores; ++c) {
+        for (u32 t = 0; t < run.tiles; ++t) {
+            budget_bytes += static_cast<double>(
+                scheduledTileBytes(pool, c, t));
+            if (!deca_pool.empty())
+                budget_deca += static_cast<double>(
+                    deca_pool[scheduledPoolIndex(c, t, pool_size)]);
+        }
+        for (u32 t = util_first; t < util_last; ++t) {
+            target_bytes += static_cast<double>(
+                scheduledTileBytes(pool, c, t));
+            if (!deca_pool.empty())
+                target_deca += static_cast<double>(
+                    deca_pool[scheduledPoolIndex(c, t, pool_size)]);
+        }
+    }
+    const double tile_ratio =
+        static_cast<double>(tiles) / static_cast<double>(run.tiles);
+    const double byte_ratio =
+        budget_bytes > 0.0 ? target_bytes / budget_bytes : 0.0;
+    const double deca_ratio =
+        budget_deca > 0.0 ? target_deca / budget_deca : 0.0;
+    const double channels =
+        static_cast<double>(params.memConfig().channels);
+    const double core_cycles = cycles_est * n_cores;
+    r.utilMem = clampUtil(run.probe.memBusy * byte_ratio /
+                          (cycles_est * channels));
+    r.utilTmul = clampUtil(
+        static_cast<double>(run.probe.tmulBusy) * tile_ratio /
+        core_cycles);
+    r.utilVec = clampUtil(
+        static_cast<double>(run.probe.avxBusy) * tile_ratio /
+        core_cycles);
+    r.utilDeca = clampUtil(
+        static_cast<double>(run.probe.decaBusy) * deca_ratio /
+        core_cycles);
+
+    const double factor =
+        run_end_est / static_cast<double>(run.raw.cycles);
+    auto scale = [&](u64 count) {
+        return static_cast<u64>(std::llround(
+            static_cast<double>(count) * std::max(1.0, factor)));
+    };
+    r.hostFlushes = scale(run.raw.hostFlushes);
+    r.teplSquashed = scale(run.raw.teplSquashed);
+    r.teplReissued = scale(run.raw.teplReissued);
+    return r;
+}
+
+/**
+ * First measurement distance between the two run ends: the requested
+ * tiles rounded up to whole pool periods, at least two so pool-phase
+ * wobble (the schedule's 2-period beat) averages out of the rate.
+ */
+u32
+initialDelta(u32 measure, u32 pool_tiles)
+{
+    return ceilToMultiple(std::max(measure, 2 * pool_tiles),
+                          pool_tiles);
+}
+
+/**
+ * Sampled replacement for the two-run steady-state measurement: the
+ * warm-up baseline run T(n1) is simulated exactly (it is the first
+ * rate point *and* the quantity the full path subtracts), a second
+ * truncated run T(n2) fixes the end-to-end rate, and the steady
+ * window is est_T(full) - T(n1). Returns false (caller runs the full
+ * path) when the runs would not undercut the full stream or steady
+ * state is never detected.
+ */
+bool
+sampledSteady(const sim::SimParams &params, const KernelConfig &config,
+              const GemmWorkload &workload, const TilePool &pool,
+              u32 steady_warmup, GemmResult &out)
+{
+    const sim::SamplingConfig sc = samplingConfigOf(params);
+    const u32 period = pool.size();
+    const u32 full_tiles = workload.tilesPerCore + steady_warmup;
+    const u32 n1 = steady_warmup;
+    if (n1 == 0)
+        return false;
+    // The full path simulates full_tiles plus the warm-up baseline.
+    const u32 full_cost = full_tiles + n1;
+
+    TruncatedRun base;
+    bool have_base = false;
+    u32 spent = 0;
+    for (u32 delta = initialDelta(sc.measureTiles, period);
+         delta <= sc.maxErrorCheckTiles; delta += 2 * period) {
+        const u32 n2 = n1 + delta;
+        const u32 next = spent + n2 + (have_base ? 0 : n1);
+        // Sampling must undercut the full path by a real margin (two
+        // pool periods): near break-even the extrapolated remainder
+        // is short, so the relative error of the steady *difference*
+        // is amplified while the saving is nil — run exactly instead.
+        if (n2 >= full_tiles || next + 2 * period >= full_cost)
+            break;
+        if (!have_base) {
+            runTruncated(params, config, workload, pool, n1, base);
+            have_base = true;
+            spent += n1;
+        }
+        TruncatedRun r2;
+        runTruncated(params, config, workload, pool, n2, r2);
+        spent += n2;
+        const sim::RunEndEstimate est =
+            sim::extrapolateRunEnd(base.end, r2.end, full_tiles);
+        // Agreement within d only bounds either estimate's error from
+        // the truth by about d, so demand half the user tolerance.
+        if (!estimateConverged(est, pool, steady_warmup, full_tiles,
+                               0.5 * sc.tolerance))
+            continue;
+        const double steady =
+            est.aggregate - static_cast<double>(base.raw.cycles);
+        out = assembleEstimate(params, workload, pool, r2, steady,
+                               est.aggregate, steady_warmup,
+                               full_tiles, spent);
+        return true;
+    }
+    return false;
+}
+
+/** Sampled replacement for one full run (runGemm semantics): two
+ *  truncated runs fix the end-to-end rate, and the full run's
+ *  completion extrapolates from the second run's ending. */
+bool
+sampledFull(const sim::SimParams &params, const KernelConfig &config,
+            const GemmWorkload &workload, const TilePool &pool,
+            GemmResult &out)
+{
+    const sim::SamplingConfig sc = samplingConfigOf(params);
+    const u32 period = pool.size();
+    const u32 full_tiles = workload.tilesPerCore;
+    // First rate point: whole pool periods clear of the cold-start
+    // ramp (one period past the configured warm-up).
+    const u32 n1 = ceilToMultiple(
+        std::max(sc.warmupTiles, period) + period, period);
+
+    TruncatedRun base;
+    bool have_base = false;
+    u32 spent = 0;
+    for (u32 delta = initialDelta(sc.measureTiles, period);
+         delta <= sc.maxErrorCheckTiles; delta += 2 * period) {
+        const u32 n2 = n1 + delta;
+        const u32 next = spent + n2 + (have_base ? 0 : n1);
+        // Same real-margin rule as the steady driver: stop once the
+        // remaining saving is within two pool periods of break-even.
+        if (n2 >= full_tiles || next + 2 * period >= full_tiles)
+            break;
+        if (!have_base) {
+            runTruncated(params, config, workload, pool, n1, base);
+            have_base = true;
+            spent += n1;
+        }
+        TruncatedRun r2;
+        runTruncated(params, config, workload, pool, n2, r2);
+        spent += n2;
+        const sim::RunEndEstimate est =
+            sim::extrapolateRunEnd(base.end, r2.end, full_tiles);
+        if (!estimateConverged(est, pool, 0, full_tiles,
+                               0.5 * sc.tolerance))
+            continue;
+        out = assembleEstimate(params, workload, pool, r2,
+                               est.aggregate, est.aggregate, 0,
+                               full_tiles, spent);
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Process-wide pool cache: sweeps re-request the same (scheme, size,
+ * seed) pool for every machine/core-count/kernel cell, and the
+ * construction (compress a synthetic matrix tile by tile) costs more
+ * than a short sampled run. Construction is deterministic and pools
+ * are immutable, so sharing cannot change any result.
+ */
+const TilePool &
+cachedPool(const compress::CompressionScheme &scheme, u32 num_tiles,
+           u64 seed)
+{
+    static std::mutex mu;
+    static std::map<std::string, std::unique_ptr<TilePool>> pools;
+    char num[64];
+    std::snprintf(num, sizeof num, "|%d|%.17g|%d|%u|%u|%llu",
+                  static_cast<int>(scheme.format), scheme.density,
+                  scheme.groupQuant ? 1 : 0, scheme.groupSize,
+                  num_tiles,
+                  static_cast<unsigned long long>(seed));
+    const std::string key = scheme.name + num;
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = pools[key];
+    if (!slot)
+        slot = std::make_unique<TilePool>(scheme, num_tiles, seed);
+    return *slot;
+}
+
+} // namespace
 
 GemmResult
 runGemm(const sim::SimParams &params, const KernelConfig &config,
         const GemmWorkload &workload)
 {
-    TilePool pool(workload.scheme, workload.poolTiles, workload.seed);
+    const TilePool &pool =
+        cachedPool(workload.scheme, workload.poolTiles, workload.seed);
+    if (params.sampleMode) {
+        GemmResult sampled;
+        if (sampledFull(params, config, workload, pool, sampled))
+            return sampled;
+    }
     GemmSimulation sim(params, config, workload, pool);
     return sim.run();
 }
@@ -712,7 +1100,14 @@ GemmResult
 runGemmSteady(const sim::SimParams &params, const KernelConfig &config,
               const GemmWorkload &workload, u32 warmup_tiles)
 {
-    TilePool pool(workload.scheme, workload.poolTiles, workload.seed);
+    const TilePool &pool =
+        cachedPool(workload.scheme, workload.poolTiles, workload.seed);
+    if (params.sampleMode) {
+        GemmResult sampled;
+        if (sampledSteady(params, config, workload, pool, warmup_tiles,
+                          sampled))
+            return sampled;
+    }
 
     GemmWorkload full = workload;
     full.tilesPerCore = workload.tilesPerCore + warmup_tiles;

@@ -16,6 +16,17 @@
  *
  * The simulation reports steady-state tiles/s, TFLOPS, and component
  * utilizations (memory channel, TMUL, AVX or DECA) for Table 3.
+ *
+ * Two fidelity tiers share this entry point. The default simulates
+ * every tile. With sim::SimParams::sampleMode set, runGemm and
+ * runGemmSteady simulate only warmupTiles + measureTiles tiles per
+ * core, verify the measurement window reached steady state
+ * (sim/sampling.h), fit the per-tile cost against each tile's
+ * compressed footprint, and integrate the fit over the exact byte
+ * schedule of the remaining tiles — reproducing the full-simulation
+ * numbers within the CI-pinned error bound at a fraction of the
+ * events. Non-convergent windows escalate and finally fall back to
+ * the full simulation.
  */
 
 #ifndef DECA_KERNELS_GEMM_SIM_H
@@ -60,6 +71,12 @@ struct GemmResult
     u64 teplSquashed = 0; ///< TEPL queue entries squashed by flushes
     u64 teplReissued = 0; ///< squashed TEPLs re-allocated after redirect
 
+    // Sampled-tier provenance (untouched by the full simulation; the
+    // scenario output never prints these, so full and sampled runs
+    // stay structurally identical).
+    bool sampled = false;     ///< result was extrapolated, not run out
+    u32 sampledTilesPerCore = 0; ///< tiles actually simulated per core
+
     /** Speedup of this result over a baseline result. */
     double
     speedupOver(const GemmResult &base) const
@@ -67,6 +84,38 @@ struct GemmResult
         return tflops / base.tflops;
     }
 };
+
+/**
+ * Completion probe of the sampled tier: the simulation records every
+ * core's tile-completion timestamps plus end-of-run busy totals.
+ * Busy time is deterministic per unit of scheduled work (bytes moved,
+ * tile operations executed, PE passes run) no matter when it happens,
+ * so the driver estimates the target window's utilizations by
+ * dividing each engine's busy total by the truncated run's scheduled
+ * work and re-multiplying by the target window's schedule — immune to
+ * the ramp/drain timing skew a short run's wall-clock windows suffer.
+ */
+struct SampleProbe
+{
+    /** Per-core, per-tile completion cycle. */
+    std::vector<std::vector<Cycles>> tileEnd;
+
+    // End-of-run totals, filled by run().
+    double memBusy = 0.0; ///< busy channel-cycles
+    u64 memBytes = 0;     ///< bytes served
+    u64 tmulBusy = 0;     ///< summed over cores
+    u64 avxBusy = 0;
+    u64 decaBusy = 0;
+    /** Per-pool-tile DECA PE cycles (the simulation's precomputed
+     *  schedule, needed to weigh the PE's per-tile work). */
+    std::vector<Cycles> decaPoolCycles;
+};
+
+/** Pool tile index / compressed byte footprint of the t-th tile core
+ *  `c` processes (the schedule both fidelity tiers share; cores are
+ *  offset into the pool so they do not run in lockstep). */
+u32 scheduledPoolIndex(u32 c, u32 t, u32 pool_size);
+u64 scheduledTileBytes(const TilePool &pool, u32 c, u32 t);
 
 /** One compressed-GeMM run on the simulated multicore. */
 class GemmSimulation
@@ -78,6 +127,13 @@ class GemmSimulation
 
     GemmSimulation(const GemmSimulation &) = delete;
     GemmSimulation &operator=(const GemmSimulation &) = delete;
+
+    /** Attach the sampled-tier completion probe (before run()). */
+    void
+    attachProbe(SampleProbe *probe)
+    {
+        probe_ = probe;
+    }
 
     /** Execute the run and return the measurements. */
     GemmResult run();
@@ -112,6 +168,8 @@ class GemmSimulation
     static void onTeplIssue(void *ctx, const accel::TeplEntry &e);
     static void teplArrival(void *ctx, u64 arg);
 
+    /** Record a per-core tile completion into the attached probe. */
+    void noteTileDone(Core &pc, u32 t);
     /** Admit fetched tiles to the PE in program order. */
     void pumpFirstPass(Core &pc);
     /** A PE pass or transfer finished for a squashed/superseded TEPL
@@ -134,6 +192,9 @@ class GemmSimulation
     /** Software decompression cycles per tile (scheme-constant). */
     Cycles sw_cycles_ = 0;
 
+    /** Sampled-tier probe (null in full-fidelity runs). */
+    SampleProbe *probe_ = nullptr;
+
     u32 cores_done_ = 0;
     /** Cycle at which the last core finished its stream. With
      *  periodic flushes the per-core flush processes outlive the
@@ -142,7 +203,10 @@ class GemmSimulation
     Cycles done_cycle_ = 0;
 };
 
-/** Convenience driver: build the pool and run one simulation. */
+/** Convenience driver: build the pool and run one simulation. With
+ *  params.sampleMode the run is truncated and extrapolated instead of
+ *  executed to the last tile (deferring to the exact full run when
+ *  sampling would not save a real margin). */
 GemmResult runGemm(const sim::SimParams &params, const KernelConfig &config,
                    const GemmWorkload &workload);
 
@@ -153,6 +217,14 @@ GemmResult runGemm(const sim::SimParams &params, const KernelConfig &config,
  * (empty prefetch windows, initial channel burst) from rates and
  * utilizations. This mirrors measuring the paper's ~250M-parameter FC
  * cascades in their bandwidth-steady regime.
+ *
+ * With params.sampleMode the long run is replaced by two truncated
+ * runs — the warm-up run itself (which the full path also needs) and
+ * a second ending measureTiles later — whose completion-time
+ * difference gives the exact steady growth rate to extrapolate the
+ * full finish from (sim/sampling.h). When sampling would not undercut
+ * the full path by a real margin the sampled path defers to the full
+ * one and the result is byte-identical.
  */
 GemmResult runGemmSteady(const sim::SimParams &params,
                          const KernelConfig &config,

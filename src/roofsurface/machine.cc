@@ -10,6 +10,7 @@ sprDdr()
     m.memBwBytesPerSec = gbPerSec(260.0);
     m.memChannels = 8;
     m.memTiming = ddr5DramTiming();
+    m.memLatencyCycles = 240.0;
     return m;
 }
 
@@ -20,6 +21,18 @@ sprHbm()
     m.name = "SPR-HBM";
     m.memBwBytesPerSec = gbPerSec(850.0);
     m.memTiming = hbmDramTiming();
+    return m;
+}
+
+MachineConfig
+sprHbm3e()
+{
+    MachineConfig m;
+    m.name = "SPR-HBM3e";
+    m.memBwBytesPerSec = gbPerSec(1200.0);
+    m.memChannels = 64;
+    m.memTiming = hbm3eDramTiming();
+    m.memLatencyCycles = 200.0;
     return m;
 }
 

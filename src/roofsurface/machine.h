@@ -51,6 +51,14 @@ struct MachineConfig
      *  contention, used only when memTiming is inactive (mirrors the
      *  cycle-level model's curve compatibility tier). */
     ContentionCurve memContention{4.0, 0.015, 0.95};
+    /** Per-channel controller queue depth (0 = unbounded), mirroring
+     *  sim::SimParams::memQueueDepth: a queue below the channel's
+     *  bandwidth-delay product caps achievable bandwidth via the
+     *  queue-limited term of common/dram_timing.h. */
+    u32 memQueueDepth = 64;
+    /** DRAM round-trip latency the queue must cover, in core cycles
+     *  (sim::SimParams::memLatency's analytic twin). */
+    double memLatencyCycles = 220.0;
 
     // Host-core invocation limit (mirrors the cycle-level HostCore of
     // core/host_core.h): a bounded front end caps how fast a core can
@@ -117,17 +125,21 @@ struct MachineConfig
      * Bandwidth achievable by `requesters` concurrent sequential
      * streams: the pin bandwidth derated by the bank model's closed
      * form (common/dram_timing.h) — row switches steal bus cycles,
-     * fast re-activations stall banks. When memTiming is inactive,
-     * falls back to the retired contention-curve tier.
+     * fast re-activations stall banks — and by the queue-limited term
+     * min(bank-limited, queueDepth / round-trip) when the controller
+     * queue sits below the channel's bandwidth-delay product. When
+     * memTiming is inactive, falls back to the retired
+     * contention-curve tier (which predates the queue model).
      */
     double
     effectiveMemBwBytesPerSec(u32 requesters) const
     {
         if (memTiming.active()) {
-            return memBwBytesPerSec *
-                   memTiming.efficiency(
-                       static_cast<double>(requesters),
-                       lineBurstCycles());
+            const double bank = memTiming.efficiency(
+                static_cast<double>(requesters), lineBurstCycles());
+            const double queue = queueLimitedFraction(
+                memQueueDepth, memLatencyCycles, lineBurstCycles());
+            return memBwBytesPerSec * std::min(bank, queue);
         }
         const double rpc = static_cast<double>(requesters) /
                            static_cast<double>(memChannels);
@@ -212,6 +224,9 @@ MachineConfig sprDdr();
 
 /** 56-core SPR with HBM (~850 GB/s achievable). */
 MachineConfig sprHbm();
+
+/** 56-core part with HBM3e-class stacked memory (~1.2 TB/s). */
+MachineConfig sprHbm3e();
 
 } // namespace deca::roofsurface
 

@@ -30,4 +30,18 @@ sprHbmParams()
     return p;
 }
 
+SimParams
+sprHbm3eParams()
+{
+    SimParams p;
+    p.name = "spr-hbm3e";
+    p.memKind = MemoryKind::HBM;
+    p.memBwGBs = 1200.0;
+    p.memLatency = 200;  // shorter stack traversal than HBM2e
+    p.memChannels = 64;  // HBM3e pseudo-channels across the stacks
+    p.memTiming = hbm3eDramTiming();
+    p.memAcceptDepth = 32;
+    return p;
+}
+
 } // namespace deca::sim

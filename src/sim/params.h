@@ -147,6 +147,27 @@ struct SimParams
     /** Front-end redirect/refill stall charged per flush. */
     Cycles flushPenaltyCycles = 40;
 
+    // Sampled simulation tier (sim/sampling.h). When sampleMode is
+    // set, runGemm/runGemmSteady simulate two truncated runs — a
+    // warm-up-clearing baseline and a second ending measureTiles
+    // later — difference their completion times to get the exact
+    // steady growth rate, and extrapolate the full-run finish. Only
+    // engaged when it undercuts the full path by a real margin; off
+    // by default, so the full simulation stays byte-identical.
+    /** Enable the truncated-run extrapolation sampled tier. */
+    bool sampleMode = false;
+    /** Sampled tier: cold-start ramp tiles per core the first
+     *  truncated run must clear (rounded up to pool periods). */
+    u32 warmupTiles = 8;
+    /** Sampled tier: distance in tiles per core between the two
+     *  truncated-run end points (rounded up to at least two whole
+     *  pool periods). */
+    u32 measureTiles = 32;
+    /** Sampled tier: ceiling the end-point distance escalates to when
+     *  steady-state detection fails before the controller falls back
+     *  to the full simulation. */
+    u32 maxErrorCheckTiles = 192;
+
     double
     freqHz() const
     {
@@ -195,6 +216,10 @@ SimParams sprDdrParams();
 
 /** The HBM-based SPR configuration of the paper. */
 SimParams sprHbmParams();
+
+/** A forward-looking HBM3e-class / 3D-stacked configuration: more
+ *  pseudo-channels and banks, smaller rows, faster activation. */
+SimParams sprHbm3eParams();
 
 } // namespace deca::sim
 

@@ -1,0 +1,57 @@
+#include "sim/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deca::sim {
+
+double
+relativeDifference(double a, double b)
+{
+    const double mag = std::max(std::abs(a), std::abs(b));
+    if (mag == 0.0)
+        return 0.0;
+    return std::abs(a - b) / mag;
+}
+
+double
+RunEndPoint::end() const
+{
+    DECA_ASSERT(!coreEnd.empty(), "empty run end point");
+    return *std::max_element(coreEnd.begin(), coreEnd.end());
+}
+
+RunEndEstimate
+extrapolateRunEnd(const RunEndPoint &a, const RunEndPoint &b,
+                  u32 full_tiles)
+{
+    RunEndEstimate est;
+    if (b.tiles <= a.tiles || full_tiles < b.tiles ||
+        a.coreEnd.size() != b.coreEnd.size() || b.coreEnd.empty())
+        return est;
+
+    const double delta = static_cast<double>(b.tiles - a.tiles);
+    const double rem = static_cast<double>(full_tiles - b.tiles);
+
+    const double end_a = a.end();
+    const double end_b = b.end();
+    if (end_b <= end_a)
+        return est; // non-monotone aggregate: not usable
+
+    est.aggregate = end_b + (end_b - end_a) / delta * rem;
+
+    est.perCore = 0.0;
+    for (std::size_t c = 0; c < b.coreEnd.size(); ++c) {
+        const double rate = (b.coreEnd[c] - a.coreEnd[c]) / delta;
+        if (rate <= 0.0)
+            return est; // a core went backwards: not usable
+        est.perCore =
+            std::max(est.perCore, b.coreEnd[c] + rate * rem);
+    }
+    est.valid = true;
+    return est;
+}
+
+} // namespace deca::sim

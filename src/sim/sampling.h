@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Sampled-simulation controller: truncated-run end-point differencing
+ * with steady-state detection, and the window aggregates the detector
+ * judges.
+ *
+ * The GEMM kernels process a cyclic pool of compressed tiles, so each
+ * core's completion time grows linearly once the cold-start ramp is
+ * over (prefetch windows filled, DRAM queues at operating depth, the
+ * host-core window primed). Two effects make the obvious estimator —
+ * measure an interior window, extrapolate its rate — systematically
+ * wrong on this simulator:
+ *
+ *  - Cores sharing DRAM drift apart linearly even on uniform tile
+ *    streams (a core slightly ahead stays ahead; nothing equalizes
+ *    the queues), so the spread between the fastest and slowest core
+ *    grows with run length.
+ *  - A run's completion is the slowest core's finish, and that core
+ *    speeds up near the end as faster cores finish and stop
+ *    contending. The relief is proportional to the spread — i.e. it
+ *    grows linearly with run length — so the end-to-end cycles/tile
+ *    slope is measurably below any interior window's rate, and no
+ *    interior measurement can recover it.
+ *
+ * Both effects are linear in the tile count, so differencing the
+ * *completion times of two truncated runs* cancels them exactly along
+ * with the cold-start ramp (the shorter run is a cycle-exact prefix
+ * of the longer until its own end-game): the slope
+ * (T(n2) - T(n1)) / (n2 - n1) is the true end-to-end growth rate, and
+ * T(full) extrapolates from T(n2) with it. The two run lengths are a
+ * whole number of pool periods apart so both ends see the same byte
+ * schedule phase.
+ *
+ * Steady state is judged on the reported quantity itself: the
+ * aggregate extrapolation (from the two completion times) and the
+ * per-core extrapolation (each core advanced at its own rate, then
+ * the max taken) must agree on the full-run estimate
+ * (SteadyStateDetector). A window still riding the ramp, or a stream
+ * whose critical core changes rank mid-run, fails the check; the
+ * caller escalates the second run length (up to `maxErrorCheckTiles`
+ * of measured tiles) and finally falls back to the full simulation —
+ * the sampled tier degrades to exactness, never to silent error.
+ */
+
+#ifndef DECA_SIM_SAMPLING_H
+#define DECA_SIM_SAMPLING_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace deca::sim {
+
+/** Knobs of the sampled tier (mirrored from sim::SimParams). */
+struct SamplingConfig
+{
+    /** Tiles per core of cold-start ramp the first measurement point
+     *  must clear (the controller rounds the first truncated run up
+     *  to whole pool periods past this). */
+    u32 warmupTiles = 8;
+    /** Requested distance, in tiles per core, between the two
+     *  truncated-run end points; rounded up to a whole number of pool
+     *  periods (at least two, so pool-phase wobble averages out). */
+    u32 measureTiles = 32;
+    /** Ceiling on the escalated measurement distance: when
+     *  steady-state detection fails, the second run grows by pool
+     *  periods up to this many tiles before the controller falls
+     *  back to the full simulation. */
+    u32 maxErrorCheckTiles = 192;
+    /** Relative agreement the convergence checks must reach. */
+    double tolerance = 0.02;
+
+    u32
+    budgetTiles() const
+    {
+        return warmupTiles + measureTiles;
+    }
+};
+
+/** Relative difference |a-b| / max(|a|,|b|); 0 when both are 0. */
+double relativeDifference(double a, double b);
+
+/** Per-core completion times of one truncated run: `coreEnd[c]` is
+ *  the cycle core c finished its last (tiles-th) tile. */
+struct RunEndPoint
+{
+    u32 tiles = 0; ///< tiles per core this run executed
+    std::vector<double> coreEnd;
+
+    /** The run's completion: the slowest core's finish. */
+    double end() const;
+};
+
+/** Full-run completion-time estimates extrapolated from two
+ *  truncated-run end points. */
+struct RunEndEstimate
+{
+    bool valid = false; ///< points usable (b after a, same core count)
+    /** Aggregate extrapolation: the slowest-core finish advanced at
+     *  the aggregate end-to-end rate (T(b) - T(a)) / (b - a). */
+    double aggregate = 0.0;
+    /** Per-core extrapolation: each core advanced at its own rate,
+     *  then the slowest taken. Agrees with `aggregate` when the
+     *  critical core's rank is stable; diverges on rank churn or a
+     *  window still riding the cold-start ramp. */
+    double perCore = 0.0;
+};
+
+/**
+ * Extrapolate the completion time of a `full_tiles`-per-core run from
+ * the end points of two truncated runs `a` and `b` (a.tiles <
+ * b.tiles <= full_tiles). Linear per-core growth is exact for this
+ * simulator's steady state — including the linear cross-core drift
+ * and the end-game relief credit, both of which cancel in the
+ * difference of two run *endings* but contaminate any interior
+ * window (see the file header).
+ */
+RunEndEstimate extrapolateRunEnd(const RunEndPoint &a,
+                                 const RunEndPoint &b, u32 full_tiles);
+
+/** Aggregate deltas of one measurement (half-)window. */
+struct WindowSample
+{
+    double cycles = 0.0;
+    double bytes = 0.0;
+    u32 tiles = 0;
+
+    double
+    cyclesPerTile() const
+    {
+        return tiles > 0 ? cycles / static_cast<double>(tiles) : 0.0;
+    }
+
+    double
+    cyclesPerByte() const
+    {
+        return bytes > 0.0 ? cycles / bytes : 0.0;
+    }
+};
+
+/**
+ * Detects steady state from a sequence of per-window aggregates: the
+ * stream is steady once the two most recent windows agree on their
+ * normalized rates within the tolerance. Rates are compared both
+ * per-tile and per-byte — consecutive windows of a cyclic pool cover
+ * different tile subsets, so whichever normalization matches the
+ * binding resource (bytes for memory-bound phases, tiles for
+ * compute-bound ones) is the one that converges.
+ */
+class SteadyStateDetector
+{
+  public:
+    explicit SteadyStateDetector(double tolerance = 0.02)
+        : tol_(tolerance)
+    {}
+
+    void
+    addWindow(const WindowSample &w)
+    {
+        prev_ = last_;
+        last_ = w;
+        if (++windows_ < 2)
+            return;
+        const double d_tile = relativeDifference(prev_.cyclesPerTile(),
+                                                 last_.cyclesPerTile());
+        const double d_byte = relativeDifference(prev_.cyclesPerByte(),
+                                                 last_.cyclesPerByte());
+        converged_ = d_tile <= tol_ || d_byte <= tol_;
+    }
+
+    /** The last two windows agree within the tolerance. */
+    bool
+    converged() const
+    {
+        return converged_;
+    }
+
+    u32
+    windows() const
+    {
+        return windows_;
+    }
+
+    double
+    tolerance() const
+    {
+        return tol_;
+    }
+
+  private:
+    double tol_;
+    u32 windows_ = 0;
+    bool converged_ = false;
+    WindowSample prev_;
+    WindowSample last_;
+};
+
+} // namespace deca::sim
+
+#endif // DECA_SIM_SAMPLING_H

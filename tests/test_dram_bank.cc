@@ -255,6 +255,101 @@ TEST(DramBank, SimTracksClosedFormAcrossDseGrid)
     }
 }
 
+TEST(DramBank, QueueLimitedFractionClosedForm)
+{
+    // Unlimited queue (depth 0) and degenerate bursts mean no cap.
+    EXPECT_DOUBLE_EQ(queueLimitedFraction(0, 240.0, 4.9), 1.0);
+    EXPECT_DOUBLE_EQ(queueLimitedFraction(16, 240.0, 0.0), 1.0);
+
+    // DDR preset geometry: 104 B/cycle over 8 channels -> a line
+    // occupies the channel 64/13 cycles. The shipped depth of 64
+    // covers the 240-cycle round trip with headroom (the term
+    // saturates at 1, so presets are untouched by the new factor),
+    // while depth 16 caps bandwidth at ~32% — the dse_memory table
+    // (d) collapse, now in closed form.
+    const double burst = kCacheLineBytes / (104.0 / 8.0);
+    EXPECT_DOUBLE_EQ(queueLimitedFraction(64, 240.0, burst), 1.0);
+    EXPECT_NEAR(queueLimitedFraction(16, 240.0, burst), 0.322, 0.001);
+
+    // Monotone in depth, strictly below 1 while latency-starved.
+    double prev = 0.0;
+    for (const u32 d : {4u, 8u, 16u, 32u}) {
+        const double f = queueLimitedFraction(d, 240.0, burst);
+        EXPECT_GT(f, prev);
+        EXPECT_LT(f, 1.0);
+        prev = f;
+    }
+
+    // Every preset ships a saturating queue: the bank model alone
+    // governs, so adding the queue term changed no preset number.
+    for (const SimParams &p :
+         {sprDdrParams(), sprHbmParams(), sprHbm3eParams()}) {
+        const double b =
+            kCacheLineBytes / (p.memBytesPerCycle() / p.memChannels);
+        EXPECT_DOUBLE_EQ(
+            queueLimitedFraction(p.memQueueDepth,
+                                 static_cast<double>(p.memLatency),
+                                 b),
+            1.0)
+            << p.name;
+    }
+}
+
+TEST(DramBank, ShallowQueueSimTracksQueueLimitedForm)
+{
+    // Depth 16 on the DDR and HBM presets starves the round trip; the
+    // simulator's achieved bandwidth must land on the composed closed
+    // form min(bank efficiency, queue-limited fraction) — the pin
+    // behind dse_memory table (d)'s analytic column.
+    for (const bool hbm : {false, true}) {
+        SimParams p = hbm ? sprHbmParams() : sprDdrParams();
+        p.memQueueDepth = 16;
+        const MemSystemConfig cfg = p.memConfig();
+        const double burst =
+            kCacheLineBytes / (cfg.bytesPerCycle / cfg.channels);
+        const double bdp =
+            cfg.channels *
+            (static_cast<double>(cfg.latency) / burst + 1.0);
+        const u32 budget = static_cast<u32>(1.4 * bdp / 112.0) + 4;
+        const StreamRun r = runStreams(cfg, 112, budget,
+                                       rowStride(cfg), 2048, 8192);
+        const double sim_eff = static_cast<double>(r.window_bytes) /
+                               (8192.0 * cfg.bytesPerCycle);
+        const double ana = std::min(
+            cfg.timing.efficiency(112.0, burst),
+            queueLimitedFraction(16,
+                                 static_cast<double>(cfg.latency),
+                                 burst));
+        EXPECT_NEAR(sim_eff, ana, 0.05) << (hbm ? "hbm" : "ddr");
+        EXPECT_LT(sim_eff, 0.5) << (hbm ? "hbm" : "ddr");
+    }
+}
+
+TEST(DramBank, Hbm3ePresetGeometry)
+{
+    // The HBM3e-class preset: more, narrower channels than the HBM2e
+    // part, shallower rows, faster row turnaround — and the bank model
+    // active so dse_memory's extra arm runs first-principles timing.
+    const SimParams p = sprHbm3eParams();
+    EXPECT_TRUE(p.memConfig().timing.active());
+    EXPECT_EQ(p.memChannels, 64u);
+    EXPECT_EQ(p.memTiming.banksPerChannel, 64u);
+    EXPECT_EQ(p.memTiming.rowBytes, 2048u);
+    EXPECT_LT(p.memTiming.tRowMissCycles,
+              sprHbmParams().memTiming.tRowMissCycles);
+
+    // Closed-form sanity at the Fig. 12-14 populations: the dense
+    // bank pool keeps efficiency above the HBM2e preset's at the
+    // crowded end.
+    const double b3e =
+        kCacheLineBytes / (p.memBytesPerCycle() / p.memChannels);
+    const SimParams h = sprHbmParams();
+    const double bh =
+        kCacheLineBytes / (h.memBytesPerCycle() / h.memChannels);
+    EXPECT_GE(p.memTiming.efficiency(112.0, b3e),
+              h.memTiming.efficiency(112.0, bh));
+}
+
 TEST(DramBank, CurveTierPinnedBitForBit)
 {
     // Regression pin freezing the retired contention-curve tier: a

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the sampled simulation tier (sim/sampling.h + the sampled
+ * drivers of kernels/gemm_sim.cc): the extrapolation/detector
+ * primitives on synthetic streams, exact-equality when the sampling
+ * budget covers the full tile stream, warm-up sensitivity, and
+ * per-cell error pins against the full simulation at the Fig. 12/13
+ * operating points.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/gemm_sim.h"
+#include "llm/inference.h"
+#include "sim/params.h"
+#include "sim/sampling.h"
+
+namespace deca::kernels {
+namespace {
+
+using compress::schemeBf16;
+using compress::schemeMxfp4;
+using compress::schemeQ16;
+using compress::schemeQ8;
+
+GemmWorkload
+makeWorkload(const compress::CompressionScheme &s, u32 tiles = 224,
+             u32 pool = 32)
+{
+    GemmWorkload w;
+    w.scheme = s;
+    w.batchN = 1;
+    w.tilesPerCore = tiles;
+    w.poolTiles = pool;
+    return w;
+}
+
+double
+relErr(double est, double ref)
+{
+    return std::abs(est - ref) / std::abs(ref);
+}
+
+// ---------------------------------------------------------------
+// Primitives: relativeDifference, extrapolateRunEnd,
+// SteadyStateDetector
+// ---------------------------------------------------------------
+
+TEST(Sampling, RelativeDifference)
+{
+    EXPECT_DOUBLE_EQ(sim::relativeDifference(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(sim::relativeDifference(100.0, 100.0), 0.0);
+    EXPECT_NEAR(sim::relativeDifference(98.0, 100.0), 0.02, 1e-12);
+    EXPECT_NEAR(sim::relativeDifference(100.0, 98.0), 0.02, 1e-12);
+}
+
+TEST(Sampling, ExtrapolationExactOnLinearDriftingCores)
+{
+    // Three cores growing linearly at different rates (the measured
+    // cross-core drift): both extrapolations recover the slowest
+    // core's finish exactly, including the growing spread.
+    sim::RunEndPoint a;
+    a.tiles = 48;
+    sim::RunEndPoint b;
+    b.tiles = 112;
+    const double off[3] = {500.0, 900.0, 700.0};
+    const double rate[3] = {150.0, 172.0, 160.0};
+    for (int c = 0; c < 3; ++c) {
+        a.coreEnd.push_back(off[c] + rate[c] * 48.0);
+        b.coreEnd.push_back(off[c] + rate[c] * 112.0);
+    }
+    const sim::RunEndEstimate est =
+        sim::extrapolateRunEnd(a, b, 272);
+    ASSERT_TRUE(est.valid);
+    EXPECT_NEAR(est.perCore, 900.0 + 172.0 * 272.0, 1e-9);
+    EXPECT_NEAR(est.aggregate, 900.0 + 172.0 * 272.0, 1e-9);
+}
+
+TEST(Sampling, ExtrapolationFlagsRankChurn)
+{
+    // The critical core changes between the two end points: the
+    // aggregate slope mixes two cores' trajectories and disagrees
+    // with the per-core extrapolation — the detector's cue that the
+    // window cannot be trusted yet.
+    sim::RunEndPoint a;
+    a.tiles = 48;
+    a.coreEnd = {9000.0, 7000.0};
+    sim::RunEndPoint b;
+    b.tiles = 112;
+    b.coreEnd = {16000.0, 19000.0}; // core 1 overtakes, rate 187.5
+    const sim::RunEndEstimate est =
+        sim::extrapolateRunEnd(a, b, 272);
+    ASSERT_TRUE(est.valid);
+    // Aggregate slope (19000-9000)/64 = 156.25 undershoots the new
+    // critical core's own 187.5.
+    EXPECT_GT(sim::relativeDifference(est.perCore, est.aggregate),
+              0.02);
+}
+
+TEST(Sampling, ExtrapolationRejectsDegeneratePoints)
+{
+    sim::RunEndPoint a;
+    a.tiles = 112;
+    a.coreEnd = {1000.0};
+    sim::RunEndPoint b;
+    b.tiles = 48;
+    b.coreEnd = {500.0};
+    // Reversed order, mismatched core counts, or a non-advancing
+    // aggregate: all unusable.
+    EXPECT_FALSE(sim::extrapolateRunEnd(a, b, 272).valid);
+    sim::RunEndPoint c;
+    c.tiles = 160;
+    c.coreEnd = {900.0}; // earlier than a: non-monotone
+    EXPECT_FALSE(sim::extrapolateRunEnd(a, c, 272).valid);
+    sim::RunEndPoint d;
+    d.tiles = 160;
+    d.coreEnd = {1200.0, 1300.0};
+    EXPECT_FALSE(sim::extrapolateRunEnd(a, d, 272).valid);
+}
+
+TEST(Sampling, DetectorConvergesOnSteadyStream)
+{
+    sim::SteadyStateDetector det(0.02);
+    EXPECT_FALSE(det.converged());
+    sim::WindowSample a{16000.0, 32768.0, 16};
+    sim::WindowSample b{16100.0, 32768.0, 16};
+    det.addWindow(a);
+    EXPECT_FALSE(det.converged()); // one window: nothing to compare
+    det.addWindow(b);
+    EXPECT_TRUE(det.converged()); // 0.6% per-tile delta
+}
+
+TEST(Sampling, DetectorRejectsDriftingStream)
+{
+    sim::SteadyStateDetector det(0.02);
+    det.addWindow({16000.0, 32768.0, 16});
+    det.addWindow({18000.0, 32768.0, 16}); // 12% slower: still ramping
+    EXPECT_FALSE(det.converged());
+}
+
+TEST(Sampling, DetectorAcceptsByteRateOnAperiodicTiles)
+{
+    // Windows whose tile mix differs (aperiodic pool walk) disagree
+    // per-tile but agree per-byte — the byte-rate arm must accept.
+    sim::SteadyStateDetector det(0.02);
+    det.addWindow({10000.0, 20000.0, 16});
+    det.addWindow({15000.0, 30000.0, 16}); // same cycles/byte
+    EXPECT_TRUE(det.converged());
+}
+
+// ---------------------------------------------------------------
+// Exact-equality: budget covering the stream defers to the full path
+// ---------------------------------------------------------------
+
+void
+expectIdentical(const GemmResult &a, const GemmResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.tilesProcessed, b.tilesProcessed);
+    EXPECT_DOUBLE_EQ(a.tflops, b.tflops);
+    EXPECT_DOUBLE_EQ(a.tilesPerSecond, b.tilesPerSecond);
+    EXPECT_DOUBLE_EQ(a.utilMem, b.utilMem);
+    EXPECT_DOUBLE_EQ(a.utilTmul, b.utilTmul);
+    EXPECT_DOUBLE_EQ(a.utilVec, b.utilVec);
+    EXPECT_DOUBLE_EQ(a.utilDeca, b.utilDeca);
+    EXPECT_EQ(a.hostFlushes, b.hostFlushes);
+    EXPECT_EQ(a.teplSquashed, b.teplSquashed);
+    EXPECT_EQ(a.teplReissued, b.teplReissued);
+}
+
+TEST(Sampling, BudgetCoveringStreamIsByteIdentical)
+{
+    // 8 + 32 default budget >= 30-tile stream: runGemm must take the
+    // full path and match the non-sampled run field for field.
+    sim::SimParams full = sim::sprHbmParams();
+    sim::SimParams sampled = full;
+    sampled.sampleMode = true;
+    const GemmWorkload w = makeWorkload(schemeQ8(0.1), 30, 8);
+    const GemmResult a = runGemm(full, KernelConfig::software(), w);
+    const GemmResult b = runGemm(sampled, KernelConfig::software(), w);
+    EXPECT_FALSE(a.sampled);
+    EXPECT_FALSE(b.sampled);
+    expectIdentical(a, b);
+}
+
+TEST(Sampling, SteadyBudgetCoveringStreamIsByteIdentical)
+{
+    sim::SimParams full = sim::sprDdrParams();
+    sim::SimParams sampled = full;
+    sampled.sampleMode = true;
+    const GemmWorkload w = makeWorkload(schemeQ16(0.5), 16, 8);
+    const GemmResult a =
+        runGemmSteady(full, KernelConfig::decaKernel(), w, 16);
+    const GemmResult b =
+        runGemmSteady(sampled, KernelConfig::decaKernel(), w, 16);
+    EXPECT_FALSE(b.sampled);
+    expectIdentical(a, b);
+}
+
+// ---------------------------------------------------------------
+// Per-cell error pins vs the full simulation (the ISSUE's <= 2%)
+// ---------------------------------------------------------------
+
+void
+expectSampledWithinBound(const sim::SimParams &base,
+                         const KernelConfig &config,
+                         const GemmWorkload &w, double rtol = 0.02)
+{
+    sim::SimParams sampled = base;
+    sampled.sampleMode = true;
+    const GemmResult ref = runGemmSteady(base, config, w);
+    const GemmResult est = runGemmSteady(sampled, config, w);
+    EXPECT_TRUE(est.sampled);
+    // Total simulated tiles (both truncated runs) must undercut the
+    // full path's two runs: (tiles + warmup) + warmup with the
+    // default 48-tile steady warm-up.
+    EXPECT_LT(est.sampledTilesPerCore, w.tilesPerCore + 96);
+    EXPECT_LT(relErr(est.tflops, ref.tflops), rtol)
+        << "tflops " << est.tflops << " vs " << ref.tflops;
+    EXPECT_LT(relErr(static_cast<double>(est.cycles),
+                     static_cast<double>(ref.cycles)),
+              rtol);
+    EXPECT_NEAR(est.utilMem, ref.utilMem, 0.02);
+    EXPECT_NEAR(est.utilTmul, ref.utilTmul, 0.02);
+    EXPECT_NEAR(est.utilVec, ref.utilVec, 0.02);
+    EXPECT_NEAR(est.utilDeca, ref.utilDeca, 0.02);
+}
+
+TEST(Sampling, Fig12CellsWithinBound)
+{
+    // DDR machine, the Fig. 12 tile geometry (224 tiles, 32-tile
+    // pool): BF16 base, a software cell, and a DECA cell.
+    const sim::SimParams p = sim::sprDdrParams();
+    expectSampledWithinBound(p, KernelConfig::uncompressedBf16(),
+                             makeWorkload(schemeBf16()));
+    expectSampledWithinBound(p, KernelConfig::software(),
+                             makeWorkload(schemeQ8(0.1)));
+    expectSampledWithinBound(p, KernelConfig::decaKernel(),
+                             makeWorkload(schemeMxfp4()));
+}
+
+TEST(Sampling, Fig13CellsWithinBound)
+{
+    // HBM machine: the VEC-bound software cell and the high-speedup
+    // DECA cell the fig13 prose line depends on.
+    const sim::SimParams p = sim::sprHbmParams();
+    expectSampledWithinBound(p, KernelConfig::software(),
+                             makeWorkload(schemeQ8(0.05)));
+    expectSampledWithinBound(p, KernelConfig::decaKernel(),
+                             makeWorkload(schemeQ8(0.05)));
+    expectSampledWithinBound(p, KernelConfig::decaKernel(),
+                             makeWorkload(schemeQ16(0.5)));
+}
+
+TEST(Sampling, CoreScalingCellWithinBound)
+{
+    // A Fig. 14 geometry point (128 tiles, 24-tile pool, batch 4) at
+    // a reduced core count.
+    sim::SimParams p = sim::sprDdrParams();
+    p.cores = 16;
+    GemmWorkload w = makeWorkload(schemeQ8(0.1), 128, 24);
+    w.batchN = 4;
+    expectSampledWithinBound(p, KernelConfig::decaKernel(), w);
+}
+
+TEST(Sampling, WarmupSettingInsensitive)
+{
+    // The steady-state answer must not depend on the warm-up choice:
+    // both a short and a long warm-up land within the bound.
+    const sim::SimParams base = sim::sprHbmParams();
+    const GemmWorkload w = makeWorkload(schemeQ8(0.05));
+    const GemmResult ref =
+        runGemmSteady(base, KernelConfig::decaKernel(), w);
+    for (u32 warm : {4u, 16u}) {
+        sim::SimParams p = base;
+        p.sampleMode = true;
+        p.warmupTiles = warm;
+        const GemmResult est =
+            runGemmSteady(p, KernelConfig::decaKernel(), w);
+        EXPECT_TRUE(est.sampled);
+        EXPECT_LT(relErr(est.tflops, ref.tflops), 0.02)
+            << "warmup " << warm;
+    }
+}
+
+TEST(Sampling, InferenceAnchorWithinBound)
+{
+    // llm::InferenceModel::fcThroughput runs through runGemmSteady,
+    // so the sampled tier threads through the LLM layer untouched.
+    sim::SimParams full = sim::sprHbmParams();
+    sim::SimParams sampled = full;
+    sampled.sampleMode = true;
+    const llm::ModelConfig m = llm::llama2_70b();
+    const llm::NonGemmModel ng =
+        llm::calibrateNonGemm(0.160, 0.898, 0.859);
+    const llm::InferenceModel mf(m, full, ng);
+    const llm::InferenceModel ms(m, sampled, ng);
+    const llm::FcThroughput a =
+        mf.fcThroughput(schemeQ8(0.1), KernelConfig::decaKernel(), 1);
+    const llm::FcThroughput b =
+        ms.fcThroughput(schemeQ8(0.1), KernelConfig::decaKernel(), 1);
+    EXPECT_LT(relErr(b.tilesPerSecond, a.tilesPerSecond), 0.02);
+}
+
+} // namespace
+} // namespace deca::kernels

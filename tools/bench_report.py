@@ -10,7 +10,10 @@ Collects, from an already-built tree:
     line-issue microbenchmarks (dependency-free; emits JSON itself),
   * wall time of `decasim run all --jobs=1` and `--jobs=8` (best of
     --repeat runs; the scenario campaign is deterministic, so best-of
-    isolates scheduler noise).
+    isolates scheduler noise),
+  * wall time of the sampled tier: `run all --set sample=1` and the
+    Fig. 12-14 trio in both tiers, so the trajectory tracks the
+    full-vs-sampled gap alongside the event-core numbers.
 
 The report is one JSON object with host/git metadata so CI can archive
 one file per run and the perf trajectory stays machine-readable.
@@ -41,12 +44,12 @@ def git_rev(repo):
         return "unknown"
 
 
-def time_run_all(decasim, jobs, repeat):
+def time_decasim(decasim, args, repeat):
     best = None
     for _ in range(repeat):
         t0 = time.monotonic()
-        subprocess.run([decasim, "run", "all", f"--jobs={jobs}"],
-                       check=True, stdout=subprocess.DEVNULL)
+        subprocess.run([decasim, "run"] + args, check=True,
+                       stdout=subprocess.DEVNULL)
         dt = time.monotonic() - t0
         best = dt if best is None else min(best, dt)
     return best
@@ -102,9 +105,27 @@ def main():
         "micro": micro,
         "run_all": {
             "jobs1_seconds": round(
-                time_run_all(decasim, 1, args.repeat), 3),
+                time_decasim(decasim, ["all", "--jobs=1"],
+                             args.repeat), 3),
             "jobs8_seconds": round(
-                time_run_all(decasim, 8, args.repeat), 3),
+                time_decasim(decasim, ["all", "--jobs=8"],
+                             args.repeat), 3),
+            "sampled_jobs1_seconds": round(
+                time_decasim(decasim,
+                             ["all", "--jobs=1", "--set", "sample=1"],
+                             args.repeat), 3),
+        },
+        # Fig. 12-14 in both tiers: the pair the sampled tier's
+        # wall-clock acceptance is stated against.
+        "fig_trio": {
+            "full_seconds": round(
+                time_decasim(decasim, ["fig12", "fig13", "fig14"],
+                             args.repeat), 3),
+            "sampled_seconds": round(
+                time_decasim(decasim,
+                             ["fig12", "fig13", "fig14",
+                              "--set", "sample=1"],
+                             args.repeat), 3),
         },
     }
 

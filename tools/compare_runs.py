@@ -11,7 +11,13 @@ embedded number like "{W=32, L=8}" is handled by tokenizing the cell);
 non-numeric tokens must match exactly. The default relative tolerance
 is 0 (bit-identical rendering); --rtol loosens every table and
 --table-rtol GLOB=R overrides it for tables whose title matches GLOB
-(fnmatch pattern, first match wins).
+(fnmatch pattern, first match wins). --atol adds an absolute slack a
+numeric pair may differ by regardless of magnitude (for discrete
+count cells where one scheduling quantum shifts the value). Prose
+sections match exactly by default; --prose-rtol compares their
+numeric tokens with a tolerance too (the surrounding text must still
+match exactly), which lets a sampled-tier manifest diff cleanly
+against a full-simulation one.
 
 Timing fields (elapsed_ms) and run metadata (jobs, threads) are
 ignored: two runs of the same build never agree on those.
@@ -47,23 +53,24 @@ def load(path):
     sys.exit(f"error: {path}: unexpected schema {m.get('schema')!r}")
 
 
-def rtol_for(title, default, overrides):
+def tol_for(title, default, overrides):
     for glob, r in overrides:
         if fnmatch.fnmatch(title, glob):
             return r
     return default
 
 
-def cells_match(a, b, rtol):
+def cells_match(a, b, rtol, atol=0.0):
     """True when two rendered cells agree: identical non-numeric
-    structure, numeric tokens within rtol."""
+    structure, numeric tokens within rtol (or within atol
+    absolutely)."""
     if a == b:
         return True
     if NUM_RE.split(a) != NUM_RE.split(b):
         return False
     for na, nb in zip(NUM_RE.findall(a), NUM_RE.findall(b)):
         fa, fb = float(na), float(nb)
-        if fa == fb:
+        if fa == fb or abs(fa - fb) <= atol:
             continue
         denom = max(abs(fa), abs(fb))
         if denom == 0 or abs(fa - fb) / denom > rtol:
@@ -71,7 +78,7 @@ def cells_match(a, b, rtol):
     return True
 
 
-def compare_tables(scname, idx, ta, tb, rtol, errors):
+def compare_tables(scname, idx, ta, tb, rtol, atol, errors):
     where = f"{scname}: section {idx} table {ta.get('title')!r}"
     for field in ("title", "columns"):
         if ta.get(field) != tb.get(field):
@@ -88,13 +95,14 @@ def compare_tables(scname, idx, ta, tb, rtol, errors):
                           f"{len(rowa)} vs {len(rowb)}")
             continue
         for c, (ca, cb) in enumerate(zip(rowa, rowb)):
-            if not cells_match(ca, cb, rtol):
+            if not cells_match(ca, cb, rtol, atol):
                 col = ta["columns"][c] if c < len(ta["columns"]) else c
                 errors.append(f"{where}: row {r} [{col}]: "
                               f"{ca!r} vs {cb!r} (rtol {rtol:g})")
 
 
-def compare(ma, mb, default_rtol, overrides):
+def compare(ma, mb, default_rtol, overrides, atol=0.0,
+            prose_rtol=None, atol_overrides=()):
     errors = []
     sa, sb = ma.get("scenarios", []), mb.get("scenarios", [])
     names_a = [s["name"] for s in sa]
@@ -113,11 +121,18 @@ def compare(ma, mb, default_rtol, overrides):
             continue
         for i, (xa, xb) in enumerate(zip(seca, secb)):
             if xa["type"] == "table":
-                rtol = rtol_for(xa["table"].get("title", ""),
-                                default_rtol, overrides)
+                title = xa["table"].get("title", "")
+                rtol = tol_for(title, default_rtol, overrides)
+                t_atol = tol_for(title, atol, atol_overrides)
                 compare_tables(name, i, xa["table"], xb["table"],
-                               rtol, errors)
+                               rtol, t_atol, errors)
             elif xa != xb:
+                if (prose_rtol is not None
+                        and xa.get("type") == "prose"
+                        and cells_match(xa.get("text", ""),
+                                        xb.get("text", ""),
+                                        prose_rtol, atol)):
+                    continue
                 errors.append(f"{name}: section {i} "
                               f"({xa['type']}) differs")
     return errors
@@ -134,19 +149,37 @@ def main():
     ap.add_argument("--table-rtol", action="append", default=[],
                     metavar="GLOB=R",
                     help="per-table override, e.g. 'Figure 14*=0.01'")
+    ap.add_argument("--atol", type=float, default=0.0,
+                    help="absolute slack for numeric tokens "
+                         "(default 0), for discrete count cells")
+    ap.add_argument("--table-atol", action="append", default=[],
+                    metavar="GLOB=A",
+                    help="per-table absolute slack, e.g. "
+                         "'Table 3*=1' for integer-percent cells "
+                         "that flip one rendering quantum")
+    ap.add_argument("--prose-rtol", type=float, default=None,
+                    metavar="R",
+                    help="compare numeric tokens inside prose "
+                         "sections within R instead of exactly")
     args = ap.parse_args()
 
-    overrides = []
-    for spec in args.table_rtol:
-        glob, sep, r = spec.rpartition("=")
-        if not sep:
-            ap.error(f"--table-rtol needs GLOB=R, got {spec!r}")
-        try:
-            overrides.append((glob, float(r)))
-        except ValueError:
-            ap.error(f"bad tolerance in {spec!r}")
+    def parse_overrides(specs, flag):
+        out = []
+        for spec in specs:
+            glob, sep, r = spec.rpartition("=")
+            if not sep:
+                ap.error(f"{flag} needs GLOB=VALUE, got {spec!r}")
+            try:
+                out.append((glob, float(r)))
+            except ValueError:
+                ap.error(f"bad tolerance in {spec!r}")
+        return out
 
-    errors = compare(load(args.a), load(args.b), args.rtol, overrides)
+    overrides = parse_overrides(args.table_rtol, "--table-rtol")
+    atol_overrides = parse_overrides(args.table_atol, "--table-atol")
+
+    errors = compare(load(args.a), load(args.b), args.rtol, overrides,
+                     args.atol, args.prose_rtol, atol_overrides)
     for e in errors:
         print(f"MISMATCH: {e}", file=sys.stderr)
     if errors:

@@ -69,6 +69,14 @@ def load_input(path, cells):
                         fields[key]
         for key, val in doc.get("run_all", {}).items():
             metrics[f"run all {key.replace('_seconds', '')} (s)"] = val
+        # The Fig. 12-14 tier pair charts as one derived series (the
+        # sampled tier's speedup) to stay inside the palette budget
+        # and survive machine-speed changes across the history.
+        trio = doc.get("fig_trio", {})
+        full = trio.get("full_seconds", 0)
+        samp = trio.get("sampled_seconds", 0)
+        if full > 0 and samp > 0:
+            metrics["fig trio sampled speedup (x)"] = full / samp
         return label, metrics
     if schema == "decasim-run/1":
         label = os.path.splitext(os.path.basename(path))[0]
