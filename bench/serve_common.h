@@ -66,6 +66,43 @@ analyticKneeRate(const serve::StepCostModel &costs,
     return 1.0 / per_req;
 }
 
+/**
+ * Consume the shared fault-layer --set keys (serve/fault.h) into a
+ * FaultConfig. Every serving scenario routes its node config through
+ * this, so campaign-wide fault settings are accepted everywhere and
+ * CI can pin that explicitly setting the defaults injects nothing:
+ *
+ *   fault_seed, crash_mtbf, crash_mttr, stall_mtbf, stall_mttr,
+ *   accel_mtbf, accel_mttr, slow_mtbf, slow_mttr, slow_factor,
+ *   deadline_sec, retry, retry_base, retry_jitter, shed_depth
+ *
+ * (MTBF/MTTR/deadline/backoff values in seconds; `deadline_sec` maps
+ * to FaultConfig::timeoutSec — the name avoids colliding with the
+ * runner's --timeout-sec watchdog flag.)
+ */
+inline serve::FaultConfig
+faultConfigFromParams(const runner::ScenarioContext &ctx)
+{
+    serve::FaultConfig fc;
+    const runner::ScenarioParams &ps = ctx.params();
+    fc.seed = ps.getU64("fault_seed", fc.seed);
+    fc.crashMtbfSec = ps.getDouble("crash_mtbf", fc.crashMtbfSec);
+    fc.crashMttrSec = ps.getDouble("crash_mttr", fc.crashMttrSec);
+    fc.stallMtbfSec = ps.getDouble("stall_mtbf", fc.stallMtbfSec);
+    fc.stallMttrSec = ps.getDouble("stall_mttr", fc.stallMttrSec);
+    fc.accelMtbfSec = ps.getDouble("accel_mtbf", fc.accelMtbfSec);
+    fc.accelMttrSec = ps.getDouble("accel_mttr", fc.accelMttrSec);
+    fc.slowMtbfSec = ps.getDouble("slow_mtbf", fc.slowMtbfSec);
+    fc.slowMttrSec = ps.getDouble("slow_mttr", fc.slowMttrSec);
+    fc.slowFactor = ps.getDouble("slow_factor", fc.slowFactor);
+    fc.timeoutSec = ps.getDouble("deadline_sec", fc.timeoutSec);
+    fc.retryMax = ps.getU32("retry", fc.retryMax);
+    fc.retryBaseSec = ps.getDouble("retry_base", fc.retryBaseSec);
+    fc.retryJitter = ps.getDouble("retry_jitter", fc.retryJitter);
+    fc.shedQueueDepth = ps.getU32("shed_depth", fc.shedQueueDepth);
+    return fc;
+}
+
 /** Traffic shared by the serving scenarios (--set seed=N to vary). */
 inline serve::PoissonTraffic
 defaultTraffic(u64 seed)

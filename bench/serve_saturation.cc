@@ -11,12 +11,16 @@
  * --jobs=8 and diffs the bytes.
  *
  * --set keys: machine (ddr|hbm), scheme (bf16|q8_20|q8_5|mxfp4),
- * requests, batch, queue, chunk, seed, capacity_gib, reserve_full.
+ * requests, batch, queue, chunk, seed, capacity_gib, reserve_full,
+ * plus the shared fault-layer keys (serve_common.h) — all inert at
+ * their defaults, so the fault-free output is byte-identical with or
+ * without them.
  */
 
 #include "bench_util.h"
 #include "serve_common.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "serve/candidates.h"
@@ -88,6 +92,11 @@ DECA_SCENARIO(serve_saturation,
     node.sched.maxWaitQueue = queue;
     node.sched.prefillChunkTokens = chunk;
     node.sched.reserveFullSequence = reserveFull;
+    node.faults = bench::faultConfigFromParams(ctx);
+    std::optional<serve::StepCostModel> swFallback;
+    if (node.faults.accelMtbfSec > 0.0)
+        swFallback.emplace(inf, scheme,
+                           serve::swFallbackKernelFor(scheme));
 
     const serve::KvCacheConfig kv =
         makeKvConfig(costs, node.nodeCapacityBytes);
@@ -107,7 +116,8 @@ DECA_SCENARIO(serve_saturation,
             serve::PoissonTraffic traffic = base;
             traffic.ratePerSec = kRateFractions[i] * knee;
             serve::ServingSimulator sim(
-                costs, node, serve::generatePoisson(traffic, requests));
+                costs, node, serve::generatePoisson(traffic, requests),
+                swFallback ? &*swFallback : nullptr);
             return sim.run();
         });
 

@@ -11,11 +11,14 @@
  * region and the onset of saturation regardless of how fast it is.
  *
  * --set keys: requests (per run), slo_ms (p95 next-token target),
- * batch, queue, chunk (prefill token budget), seed.
+ * batch, queue, chunk (prefill token budget), seed, plus the shared
+ * fault-layer keys (serve_common.h) — inert at their defaults.
  */
 
 #include "bench_util.h"
 #include "serve_common.h"
+
+#include <optional>
 
 #include "serve/candidates.h"
 
@@ -77,6 +80,10 @@ DECA_SCENARIO(serve_slo_frontier,
     const serve::PoissonTraffic base = bench::defaultTraffic(seed);
     const u64 maxReqTokens =
         u64{base.prompt.hi} + base.output.hi;
+    // Consumed once here (the getters mark keys consumed, which must
+    // not race across the sweep pool's threads).
+    const serve::FaultConfig faults =
+        bench::faultConfigFromParams(ctx);
 
     runner::SweepEngine engine(ctx.sweep("serve_slo_frontier"));
     const std::vector<PointResult> results =
@@ -105,12 +112,19 @@ DECA_SCENARIO(serve_slo_frontier,
             node.sched.maxBatch = batch;
             node.sched.maxWaitQueue = queue;
             node.sched.prefillChunkTokens = chunk;
+            node.faults = faults;
+            std::optional<serve::StepCostModel> swFallback;
+            if (faults.accelMtbfSec > 0.0)
+                swFallback.emplace(
+                    inf, pt.scheme,
+                    serve::swFallbackKernelFor(pt.scheme));
             for (const double frac : kRateFractions) {
                 serve::PoissonTraffic traffic = base;
                 traffic.ratePerSec = frac * r.kneeRate;
                 serve::ServingSimulator sim(
                     costs, node,
-                    serve::generatePoisson(traffic, requests));
+                    serve::generatePoisson(traffic, requests),
+                    swFallback ? &*swFallback : nullptr);
                 r.runs.push_back({traffic.ratePerSec, sim.run()});
             }
             return r;

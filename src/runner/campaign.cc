@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <ostream>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -64,6 +67,21 @@ parseCommonFlag(const std::string &arg, RunOptions &opts)
         opts.poolCap = static_cast<u32>(n);
         return true;
     }
+    if (arg.rfind("--timeout-sec=", 0) == 0) {
+        // 0 would mean "no watchdog", which is the flag-absent
+        // default already; an explicit 0 is almost certainly a typo.
+        const std::string v =
+            arg.substr(std::strlen("--timeout-sec="));
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+        if (v.empty() || v[0] == '-' || end == v.c_str() ||
+            *end != '\0' || errno == ERANGE || n < 1 || n > 86400)
+            DECA_FATAL("bad --timeout-sec value: ", v,
+                       " (expected 1..86400 seconds)");
+        opts.timeoutSec = static_cast<u32>(n);
+        return true;
+    }
     if (arg.rfind("--format=", 0) == 0) {
         const std::string v = arg.substr(std::strlen("--format="));
         const auto f = parseOutputFormat(v);
@@ -88,8 +106,11 @@ parseCommonFlag(const std::string &arg, RunOptions &opts)
     return false;
 }
 
+namespace {
+
+/** The un-watchdogged scenario execution (always runs to the end). */
 ScenarioResult
-runScenario(const Scenario &s, const RunOptions &opts)
+runScenarioInner(const Scenario &s, const RunOptions &opts)
 {
     if (opts.poolCap != 0)
         globalPool(0).setMaxWorkers(opts.poolCap);
@@ -131,6 +152,49 @@ runScenario(const Scenario &s, const RunOptions &opts)
     r.error = std::move(error);
     r.elapsedMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return r;
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const Scenario &s, const RunOptions &opts)
+{
+    if (opts.timeoutSec == 0)
+        return runScenarioInner(s, opts);
+
+    // Watchdog: run the body on its own thread and wait with a
+    // budget. The promise outlives a timeout via the shared_ptr, and
+    // the thread owns copies of everything it touches (the Scenario
+    // itself is a registry/file-scope static), so an abandoned body
+    // can finish harmlessly whenever it likes.
+    auto prom = std::make_shared<std::promise<ScenarioResult>>();
+    std::future<ScenarioResult> fut = prom->get_future();
+    const auto t0 = std::chrono::steady_clock::now();
+    const Scenario *sp = &s;
+    std::thread([prom, sp, opts_copy = opts] {
+        prom->set_value(runScenarioInner(*sp, opts_copy));
+    }).detach();
+
+    if (fut.wait_for(std::chrono::seconds(opts.timeoutSec)) ==
+        std::future_status::ready)
+        return fut.get();
+
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    ScenarioResult r;
+    r.name = s.name;
+    r.description = s.description;
+    r.status = 1;
+    r.elapsedMs = elapsed_ms;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "watchdog: scenario still running after %.1f s "
+                  "(--timeout-sec=%u); marking it failed",
+                  elapsed_ms / 1e3, opts.timeoutSec);
+    r.error = buf;
     return r;
 }
 
@@ -279,7 +343,8 @@ standaloneScenarioMain(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             std::cout << s->name << ": " << s->description << "\n"
                       << "usage: " << argv[0]
-                      << " [--threads=N] [--format=table|csv|json]"
+                      << " [--threads=N] [--timeout-sec=N]"
+                         " [--format=table|csv|json]"
                          " [--set key=value] [--progress]\n";
             return 0;
         }

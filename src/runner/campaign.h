@@ -35,15 +35,19 @@ struct RunOptions
     OutputFormat format = OutputFormat::Table;
     /** Draw sweep progress on stderr. */
     bool showProgress = false;
+    /** Per-scenario watchdog (seconds; 0 = none): a scenario still
+     *  running after this long is marked failed with elapsed-time
+     *  diagnostics instead of hanging the campaign forever. */
+    u32 timeoutSec = 0;
     /** Typed per-scenario overrides from --set key=value. */
     ScenarioParams params;
 };
 
 /**
  * Parse one flag shared by decasim and the standalone binaries
- * (--threads=N, --jobs=N, --pool-cap=N, --format=..., --progress,
- * --set=key=value) into opts; false when the argument is not a
- * common flag.
+ * (--threads=N, --jobs=N, --pool-cap=N, --timeout-sec=N,
+ * --format=..., --progress, --set=key=value) into opts; false when
+ * the argument is not a common flag.
  */
 bool parseCommonFlag(const std::string &arg, RunOptions &opts);
 
@@ -51,6 +55,13 @@ bool parseCommonFlag(const std::string &arg, RunOptions &opts);
  * Execute one scenario to a structured result. Exceptions from the
  * scenario body are captured into result.error with status 1; timing
  * and status are stamped on the result.
+ *
+ * With opts.timeoutSec > 0 the scenario body runs under a watchdog:
+ * when it is still running after the budget, a failed result (status
+ * 1, error naming the scenario, budget and elapsed time) is returned
+ * immediately. The abandoned body keeps running on a detached thread
+ * until process exit — the watchdog unblocks the campaign, it cannot
+ * reclaim a wedged computation.
  */
 ScenarioResult runScenario(const Scenario &s, const RunOptions &opts);
 

@@ -44,6 +44,10 @@ usage(int code)
         "  --pool-cap=N  cap the process-wide worker pool at N\n"
         "                threads (env: DECA_POOL_CAP; idle workers\n"
         "                reap after DECA_POOL_IDLE_MS of quiescence)\n"
+        "  --timeout-sec=N  per-scenario watchdog: a scenario still\n"
+        "                running after N seconds is marked failed\n"
+        "                with elapsed-time diagnostics instead of\n"
+        "                hanging the campaign (default: none)\n"
         "  --set k=v     typed per-scenario parameter override\n"
         "                (repeatable; scenarios document their keys,\n"
         "                unknown keys fail the run)\n"

@@ -40,6 +40,14 @@ defaultKernelFor(const compress::CompressionScheme &scheme)
     return kernels::KernelConfig::decaKernel();
 }
 
+kernels::KernelConfig
+swFallbackKernelFor(const compress::CompressionScheme &scheme)
+{
+    if (scheme.name == "BF16")
+        return kernels::KernelConfig::uncompressedBf16();
+    return kernels::KernelConfig::software();
+}
+
 std::vector<compress::CompressionScheme>
 defaultCandidates()
 {

@@ -31,6 +31,15 @@ double weightSqnrDb(const compress::CompressionScheme &scheme);
 kernels::KernelConfig
 defaultKernelFor(const compress::CompressionScheme &scheme);
 
+/**
+ * The kernel the same node falls back to when its DECA accelerator
+ * is faulted (serve/fault.h): AVX software decompression from
+ * kernels/sw_cost_model for compressed schemes, the uncompressed
+ * streaming path for BF16.
+ */
+kernels::KernelConfig
+swFallbackKernelFor(const compress::CompressionScheme &scheme);
+
 /** The example's candidate scheme shortlist. */
 std::vector<compress::CompressionScheme> defaultCandidates();
 

@@ -1,0 +1,94 @@
+#include "serve/fault.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deca::serve {
+
+u64
+mixSeed(u64 seed, u64 tag)
+{
+    // splitmix64 finalizer over the combined value: cheap, and any
+    // two (seed, tag) pairs land in decorrelated mt19937_64 streams.
+    u64 z = seed + tag * 0x9e3779b97f4a7c15ull + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+void
+FaultConfig::validate() const
+{
+    DECA_ASSERT(crashMtbfSec >= 0.0 && stallMtbfSec >= 0.0 &&
+                    accelMtbfSec >= 0.0 && slowMtbfSec >= 0.0,
+                "fault MTBF must be non-negative");
+    DECA_ASSERT(crashMtbfSec == 0.0 || crashMttrSec > 0.0,
+                "crash faults need a positive MTTR");
+    DECA_ASSERT(stallMtbfSec == 0.0 || stallMttrSec > 0.0,
+                "stall faults need a positive MTTR");
+    DECA_ASSERT(accelMtbfSec == 0.0 || accelMttrSec > 0.0,
+                "accelerator faults need a positive MTTR");
+    DECA_ASSERT(slowMtbfSec == 0.0 || slowMttrSec > 0.0,
+                "slowdown faults need a positive MTTR");
+    DECA_ASSERT(slowFactor >= 1.0, "slowFactor must be >= 1");
+    DECA_ASSERT(timeoutSec >= 0.0, "timeoutSec must be non-negative");
+    DECA_ASSERT(retryMax == 0 || retryBaseSec > 0.0,
+                "retries need a positive backoff base");
+    DECA_ASSERT(retryJitter >= 0.0, "retryJitter must be non-negative");
+}
+
+namespace {
+
+/** Exponential draw with the given mean (strictly positive). */
+double
+drawExp(Rng &rng, double mean_sec)
+{
+    // -log(1-u) with u in [0,1); clamp away u=1-eps blowups by the
+    // log itself (finite for any representable 1-u > 0).
+    const double u = rng.uniform();
+    return -std::log1p(-u) * mean_sec;
+}
+
+} // namespace
+
+FaultProcess::FaultProcess(double mtbf_sec, double mttr_sec, u64 seed)
+    : mtbf_sec_(mtbf_sec), mttr_sec_(mttr_sec), rng_(seed)
+{
+    if (mtbf_sec_ > 0.0)
+        DECA_ASSERT(mttr_sec_ > 0.0,
+                    "enabled fault process needs a positive MTTR");
+}
+
+FaultTransition
+FaultProcess::next()
+{
+    DECA_ASSERT(enabled(), "next() on a disabled fault process");
+    const double mean = down_ ? mttr_sec_ : mtbf_sec_;
+    t_sec_ += drawExp(rng_, mean);
+    down_ = !down_;
+    FaultTransition tr;
+    tr.down = down_;
+    // Strictly-increasing integer timestamps keep event ordering (and
+    // therefore the whole run) well defined even for tiny draws.
+    const Ns at = static_cast<Ns>(std::llround(t_sec_ * 1e9));
+    tr.at = at > last_ns_ ? at : last_ns_ + 1;
+    last_ns_ = tr.at;
+    return tr;
+}
+
+Ns
+retryDelayNs(const FaultConfig &config, u32 attempt, Rng &rng)
+{
+    DECA_ASSERT(config.retryBaseSec > 0.0, "retry without backoff base");
+    // Cap the exponent so pathological retryMax settings cannot
+    // overflow the double; 2^30 x base is already "never".
+    const u32 e = attempt < 30 ? attempt : 30;
+    double sec = config.retryBaseSec * static_cast<double>(1u << e);
+    if (config.retryJitter > 0.0)
+        sec *= 1.0 + config.retryJitter * rng.uniform();
+    const Ns ns = static_cast<Ns>(std::llround(sec * 1e9));
+    return ns > 0 ? ns : 1;
+}
+
+} // namespace deca::serve

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving simulator. Four
+ * independent seeded on/off processes disturb one serving node:
+ *
+ *  - crash: the node goes down, every in-flight and resident KV state
+ *    is lost, and running sequences re-enter the wait queue with
+ *    recompute semantics (their generated tokens must re-prefill on
+ *    recovery). No steps run until the repair completes.
+ *  - stall: the node pauses (no new step starts) without losing
+ *    state — a transient hang, GC pause, or thermal throttle.
+ *  - accel: the DECA accelerator alone fails. The node keeps serving,
+ *    but steps are repriced from the SW-kernel anchors
+ *    (kernels/sw_cost_model via a Software-kernel StepCostModel)
+ *    until the accelerator recovers — graceful degradation, the
+ *    DECA-specific resilience story.
+ *  - slow: transient slowdown; step costs are multiplied by
+ *    slowFactor while active.
+ *
+ * Each process draws exponential up (MTBF) and down (MTTR) intervals
+ * from its own Rng, sub-seeded from FaultConfig::seed, so a serving
+ * run stays a pure function of (requests, costs, config, fault seed).
+ * All knobs default to "off": a default FaultConfig leaves the
+ * simulator byte-identical to the fault-free implementation.
+ *
+ * The client side lives here too: request deadlines (a global timeout
+ * applied from each request's arrival, or a per-request deadline on
+ * the Request itself), retry with exponential backoff and
+ * deterministic jitter for shed / queue-full arrivals, and load
+ * shedding of new arrivals while the node is degraded.
+ */
+
+#ifndef DECA_SERVE_FAULT_H
+#define DECA_SERVE_FAULT_H
+
+#include "common/rng.h"
+#include "serve/request.h"
+
+namespace deca::serve {
+
+/** Decorrelate per-process seeds from one user seed (splitmix64). */
+u64 mixSeed(u64 seed, u64 tag);
+
+/** All fault-layer knobs. Defaults disable every mechanism. */
+struct FaultConfig
+{
+    /** Master seed; every fault process and the retry jitter draw
+     *  from independent streams sub-seeded from it. */
+    u64 seed = 1;
+
+    // On/off fault processes (per process: mean seconds between
+    // failures and mean seconds to repair; MTBF 0 disables).
+    double crashMtbfSec = 0.0;
+    double crashMttrSec = 30.0;
+    double stallMtbfSec = 0.0;
+    double stallMttrSec = 5.0;
+    double accelMtbfSec = 0.0;
+    double accelMttrSec = 60.0;
+    double slowMtbfSec = 0.0;
+    double slowMttrSec = 10.0;
+    /** Step-cost multiplier while a slowdown is active. */
+    double slowFactor = 2.0;
+
+    /** Completion deadline applied from each request's arrival
+     *  (seconds; 0 = none). A nonzero Request::deadlineNs wins. */
+    double timeoutSec = 0.0;
+
+    /** Client retries after a shed / queue-full arrival (0 = the
+     *  request is rejected outright, the pre-fault behavior). */
+    u32 retryMax = 0;
+    /** Backoff base: attempt k waits retryBaseSec x 2^k, plus
+     *  jitter. */
+    double retryBaseSec = 1.0;
+    /** Uniform jitter fraction added to each backoff (0 = none). */
+    double retryJitter = 0.5;
+
+    /** Shed new arrivals while the node is degraded (crashed,
+     *  stalled, accelerator-faulted, or slowed) and the wait queue
+     *  is at least this deep (0 = never shed). */
+    u32 shedQueueDepth = 0;
+
+    /** Any fault process configured to fire? */
+    bool
+    anyProcess() const
+    {
+        return crashMtbfSec > 0.0 || stallMtbfSec > 0.0 ||
+               accelMtbfSec > 0.0 || slowMtbfSec > 0.0;
+    }
+
+    /** Panic on nonsensical knob combinations. */
+    void validate() const;
+};
+
+/** One up/down flip of a fault process. */
+struct FaultTransition
+{
+    /** Absolute simulated time of the flip. */
+    Ns at = 0;
+    /** The flip enters the down (faulted) state. */
+    bool down = false;
+};
+
+/**
+ * Seeded exponential on/off process. next() yields the strictly
+ * increasing, alternating transition times starting with the first
+ * failure; the sequence is a pure function of (mtbf, mttr, seed).
+ */
+class FaultProcess
+{
+  public:
+    FaultProcess() : rng_(0) {}
+    FaultProcess(double mtbf_sec, double mttr_sec, u64 seed);
+
+    bool enabled() const { return mtbf_sec_ > 0.0; }
+
+    /** The next transition (call only when enabled()). */
+    FaultTransition next();
+
+  private:
+    double mtbf_sec_ = 0.0;
+    double mttr_sec_ = 0.0;
+    double t_sec_ = 0.0;
+    Ns last_ns_ = 0;
+    bool down_ = false;
+    Rng rng_;
+};
+
+/**
+ * Deterministic client backoff before retry `attempt` (0-based):
+ * retryBaseSec x 2^attempt, stretched by a uniform jitter draw from
+ * `rng` when FaultConfig::retryJitter is nonzero.
+ */
+Ns retryDelayNs(const FaultConfig &config, u32 attempt, Rng &rng);
+
+} // namespace deca::serve
+
+#endif // DECA_SERVE_FAULT_H

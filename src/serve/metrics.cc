@@ -51,10 +51,16 @@ LatencyHistogram::add(Ns v)
 double
 LatencyHistogram::percentileNs(double p) const
 {
-    DECA_ASSERT(p > 0.0 && p <= 100.0);
+    DECA_ASSERT(std::isfinite(p), "percentile must be finite");
+    // Clamp out-of-range queries to the nearest meaningful one (the
+    // smallest / largest sample's bucket) instead of walking past the
+    // data; empty histograms report 0 for every percentile.
+    if (p > 100.0)
+        p = 100.0;
     if (count_ == 0)
         return 0.0;
-    const double target = p / 100.0 * static_cast<double>(count_);
+    const double target =
+        p <= 0.0 ? 1.0 : p / 100.0 * static_cast<double>(count_);
     u64 cum = 0;
     for (u32 b = 0; b < kBuckets; ++b) {
         cum += buckets_[b];

@@ -31,8 +31,9 @@ class LatencyHistogram
 
     /**
      * Smallest latency L such that at least p percent of samples are
-     * <= L's bucket (p in (0, 100]); 0 when empty. Reported as the
-     * bucket's geometric midpoint.
+     * <= L's bucket; 0 when empty. Reported as the bucket's geometric
+     * midpoint. p outside (0, 100] clamps to the smallest / largest
+     * sample's bucket, so every query is well defined.
      */
     double percentileNs(double p) const;
 
@@ -89,10 +90,45 @@ struct ServeMetrics
     double energyJ = 0.0;
     double tokensPerJoule = 0.0;
 
+    // Resilience (serve/fault.h). All stay at these defaults when the
+    // fault layer is off, so fault-free metrics are unchanged.
+    u64 shed = 0;            ///< dropped by load shedding (final)
+    u64 timedOut = 0;        ///< cancelled past their deadline
+    u64 deadlineMisses = 0;  ///< timedOut + completions past deadline
+    u64 retries = 0;         ///< client re-offers after shed/full
+    u64 crashes = 0;         ///< node crash events
+    u64 stalls = 0;          ///< node stall events
+    u64 accelFaults = 0;     ///< accelerator failure events
+    u64 slowdowns = 0;       ///< transient slowdown events
+    u64 degradedSteps = 0;   ///< steps priced from SW-kernel anchors
+    u64 slowedSteps = 0;     ///< steps stretched by slowFactor
+    /** Crash-lost generated tokens that had to re-prefill. */
+    u64 rePrefillTokens = 0;
+    /** rePrefillTokens plus tokens generated for requests that later
+     *  timed out — work the node did that no client kept. */
+    u64 wastedTokens = 0;
+    /** Tokens of requests completed within their deadline. */
+    u64 goodputTokens = 0;
+    double goodputTokensPerSec = 0.0;
+    /** 1 - (crash+stall downtime)/duration; 1.0 when faults are off
+     *  (accel faults and slowdowns degrade but do not count as
+     *  downtime — the node still serves). */
+    double availability = 1.0;
+    double downtimeSec = 0.0;
+    /** deadlineMisses / offered (0 when no deadlines are set). */
+    double deadlineMissRate = 0.0;
+
     u64
     rejected() const
     {
         return rejectedQueueFull + rejectedNeverFits;
+    }
+
+    /** Requests that left the system one way or another. */
+    u64
+    resolved() const
+    {
+        return completed + rejected() + shed + timedOut;
     }
 };
 

@@ -29,6 +29,9 @@ struct Request
     u32 promptTokens = 0;
     /** Tokens to generate (including the one the prefill emits). */
     u32 outputTokens = 0;
+    /** Absolute completion deadline (ns since simulation start;
+     *  0 = none). Overrides FaultConfig::timeoutSec when nonzero. */
+    Ns deadlineNs = 0;
 
     /** KV-cache footprint of the fully generated sequence, in tokens. */
     u64
@@ -42,7 +45,8 @@ struct Request
     {
         return arrivalNs == o.arrivalNs &&
                promptTokens == o.promptTokens &&
-               outputTokens == o.outputTokens;
+               outputTokens == o.outputTokens &&
+               deadlineNs == o.deadlineNs;
     }
 };
 
@@ -52,6 +56,8 @@ enum class RequestOutcome : u8
     Pending,   ///< still in flight (or not yet arrived)
     Completed, ///< generated all its output tokens
     Rejected,  ///< refused at arrival (queue full or can never fit)
+    TimedOut,  ///< cancelled after missing its completion deadline
+    Shed,      ///< dropped by load shedding while the node is degraded
 };
 
 /** Per-request lifecycle timestamps collected by the simulator. */
@@ -68,6 +74,11 @@ struct RequestRecord
     u32 tokensOut = 0;
     /** Times this request was preempted (KV eviction) and re-queued. */
     u32 preemptions = 0;
+    /** Client retries after shed / queue-full arrivals. */
+    u32 retries = 0;
+    /** Times a node crash lost this request's KV state while it was
+     *  running (its generated tokens re-prefill on recovery). */
+    u32 crashLosses = 0;
 };
 
 } // namespace deca::serve

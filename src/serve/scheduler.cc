@@ -171,6 +171,50 @@ Scheduler::completeDecode()
     return emits;
 }
 
+Scheduler::Cancel
+Scheduler::cancel(u32 idx)
+{
+    DECA_ASSERT(!prefill_inflight_ && !decode_inflight_,
+                "cancel with a step in flight");
+    for (auto it = wait_.begin(); it != wait_.end(); ++it) {
+        if (it->idx == idx) {
+            wait_.erase(it);
+            return Cancel::Waiting;
+        }
+    }
+    for (auto it = running_.begin(); it != running_.end(); ++it) {
+        if (it->idx == idx) {
+            finishSeq(it);
+            return Cancel::Running;
+        }
+    }
+    return Cancel::NotFound;
+}
+
+CrashLoss
+Scheduler::onCrash()
+{
+    // The crash drops any in-flight step with the node.
+    prefill_inflight_ = false;
+    decode_inflight_ = false;
+    CrashLoss loss;
+    // Walk youngest-first so push_front leaves the wait queue in
+    // admission-age order (oldest victim at the very front), the same
+    // invariant evictions maintain.
+    for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
+        Seq s = *it;
+        kv_.release(s.reserved);
+        loss.lostTokens += s.emittedSinceAdmit;
+        loss.lost.push_back(s.idx);
+        s.promptNow += s.emittedSinceAdmit;
+        s.emittedSinceAdmit = 0;
+        s.reserved = 0;
+        wait_.push_front(s);
+    }
+    running_.clear();
+    return loss;
+}
+
 std::vector<Scheduler::Seq>::iterator
 Scheduler::finishSeq(std::vector<Seq>::iterator it)
 {

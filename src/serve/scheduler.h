@@ -79,6 +79,16 @@ struct DecodePlan
     std::vector<u32> evicted;
 };
 
+/** What a node crash cost: running sequences demoted to the wait
+ *  queue with recompute semantics (serve/fault.h). */
+struct CrashLoss
+{
+    /** Requests that lost their running KV state, youngest first. */
+    std::vector<u32> lost;
+    /** Generated-since-admission tokens that must re-prefill. */
+    u64 lostTokens = 0;
+};
+
 /** One token emission reported back to the simulator. */
 struct TokenEmit
 {
@@ -131,6 +141,29 @@ class Scheduler
 
     /** The decode pass finished: one token per running sequence. */
     std::vector<TokenEmit> completeDecode();
+
+    /** Where cancel() found (and removed) the request. */
+    enum class Cancel
+    {
+        NotFound,
+        Waiting,
+        Running,
+    };
+
+    /** Remove request `idx` (deadline expiry). Releases its KV when
+     *  it was running. Only legal between steps. */
+    Cancel cancel(u32 idx);
+
+    /**
+     * The node crashed: all resident KV state is lost. Every running
+     * sequence re-enters the front of the wait queue in admission-age
+     * order with recompute semantics — tokens generated since
+     * admission rejoin the prompt and re-prefill on recovery (tokens
+     * already emitted to the client are never re-emitted; emission
+     * bookkeeping lives in `totalEmitted`). Any in-flight step is
+     * dropped with the state.
+     */
+    CrashLoss onCrash();
 
     u32 runningBatch() const { return static_cast<u32>(running_.size()); }
     std::size_t waitDepth() const { return wait_.size(); }

@@ -8,6 +8,17 @@
 
 namespace deca::serve {
 
+namespace {
+
+/** Sub-seed tags decorrelating the fault-layer RNG streams. */
+constexpr u64 kSeedTagCrash = 1;
+constexpr u64 kSeedTagStall = 2;
+constexpr u64 kSeedTagAccel = 3;
+constexpr u64 kSeedTagSlow = 4;
+constexpr u64 kSeedTagRetry = 5;
+
+} // namespace
+
 KvCacheConfig
 makeKvConfig(const StepCostModel &costs, u64 capacity_bytes)
 {
@@ -21,17 +32,34 @@ makeKvConfig(const StepCostModel &costs, u64 capacity_bytes)
 
 ServingSimulator::ServingSimulator(const StepCostModel &costs,
                                    const ServeNodeConfig &node,
-                                   std::vector<Request> requests)
-    : costs_(costs), node_(node), requests_(std::move(requests)),
-      records_(requests_.size()), last_token_ns_(requests_.size(), 0),
+                                   std::vector<Request> requests,
+                                   const StepCostModel *sw_fallback)
+    : costs_(costs), sw_fallback_(sw_fallback), node_(node),
+      requests_(std::move(requests)), records_(requests_.size()),
+      last_token_ns_(requests_.size(), 0),
       sched_(node_.sched,
-             makeKvConfig(costs, node_.nodeCapacityBytes), requests_)
+             makeKvConfig(costs, node_.nodeCapacityBytes), requests_),
+      retry_rng_(mixSeed(node.faults.seed, kSeedTagRetry))
 {
     DECA_ASSERT(node_.nodeCapacityBytes > 0,
                 "serving node needs a memory capacity");
     for (std::size_t i = 1; i < requests_.size(); ++i)
         DECA_ASSERT(requests_[i - 1].arrivalNs <= requests_[i].arrivalNs,
                     "request stream must be arrival-ordered");
+    const FaultConfig &fc = node_.faults;
+    fc.validate();
+    if (sw_fallback_)
+        DECA_ASSERT(sw_fallback_->kernel().engine !=
+                        kernels::Engine::Deca,
+                    "SW fallback model must not use the DECA engine");
+    procs_[static_cast<u32>(Fault::Crash)] = FaultProcess(
+        fc.crashMtbfSec, fc.crashMttrSec, mixSeed(fc.seed, kSeedTagCrash));
+    procs_[static_cast<u32>(Fault::Stall)] = FaultProcess(
+        fc.stallMtbfSec, fc.stallMttrSec, mixSeed(fc.seed, kSeedTagStall));
+    procs_[static_cast<u32>(Fault::Accel)] = FaultProcess(
+        fc.accelMtbfSec, fc.accelMttrSec, mixSeed(fc.seed, kSeedTagAccel));
+    procs_[static_cast<u32>(Fault::Slow)] = FaultProcess(
+        fc.slowMtbfSec, fc.slowMttrSec, mixSeed(fc.seed, kSeedTagSlow));
 }
 
 Ns
@@ -40,6 +68,37 @@ ServingSimulator::toNs(double seconds)
     DECA_ASSERT(seconds > 0.0 && std::isfinite(seconds));
     const double ns = seconds * kNsPerSec;
     return std::max<Ns>(1, static_cast<Ns>(std::llround(ns)));
+}
+
+void
+ServingSimulator::touchProgress()
+{
+    last_progress_ns_ = q_.now();
+}
+
+Ns
+ServingSimulator::deadlineOf(u32 idx) const
+{
+    const Request &r = requests_[idx];
+    if (r.deadlineNs != 0)
+        return r.deadlineNs;
+    if (node_.faults.timeoutSec > 0.0)
+        return r.arrivalNs + toNs(node_.faults.timeoutSec);
+    return 0;
+}
+
+bool
+ServingSimulator::degraded() const
+{
+    return node_down_ || stalled_ || accel_down_ || slowed_;
+}
+
+const StepCostModel &
+ServingSimulator::activeCosts() const
+{
+    if (accel_down_ && sw_fallback_)
+        return *sw_fallback_;
+    return costs_;
 }
 
 void
@@ -52,29 +111,111 @@ ServingSimulator::scheduleNextArrival()
 }
 
 void
-ServingSimulator::onArrival()
+ServingSimulator::resolve(u32 idx)
 {
-    const u32 idx = next_arrival_++;
+    DECA_ASSERT(records_[idx].outcome != RequestOutcome::Pending);
+    DECA_ASSERT(unresolved_ > 0);
+    --unresolved_;
+    touchProgress();
+}
+
+void
+ServingSimulator::rejectOrRetry(u32 idx, bool was_shed)
+{
+    const FaultConfig &fc = node_.faults;
+    RequestRecord &rec = records_[idx];
+    if (fc.retryMax > 0 && rec.retries < fc.retryMax) {
+        const Ns delay = retryDelayNs(fc, rec.retries, retry_rng_);
+        ++rec.retries;
+        ++m_.retries;
+        q_.schedule(delay, [this, idx] {
+            // The client may have given up (deadline) mid-backoff.
+            if (records_[idx].outcome != RequestOutcome::Pending)
+                return;
+            touchProgress();
+            offerRequest(idx);
+            maybeStartStep();
+        });
+        return;
+    }
+    rec.outcome =
+        was_shed ? RequestOutcome::Shed : RequestOutcome::Rejected;
+    if (was_shed)
+        ++m_.shed;
+    else
+        ++m_.rejectedQueueFull;
+    resolve(idx);
+}
+
+void
+ServingSimulator::offerRequest(u32 idx)
+{
+    const FaultConfig &fc = node_.faults;
+    // Load shedding: while the node is degraded, refuse new work
+    // beyond a shallow queue so the backlog stays drainable.
+    if (fc.shedQueueDepth > 0 && degraded() &&
+        sched_.waitDepth() >= fc.shedQueueDepth) {
+        rejectOrRetry(idx, /*was_shed=*/true);
+        return;
+    }
     switch (sched_.onArrival(idx)) {
       case Scheduler::Admit::Queued:
-        break; // resolved when its last token emits
+        break; // resolved when its last token emits (or it times out)
       case Scheduler::Admit::RejectedQueueFull:
-        records_[idx].outcome = RequestOutcome::Rejected;
-        ++m_.rejectedQueueFull;
+        rejectOrRetry(idx, /*was_shed=*/false);
         break;
       case Scheduler::Admit::RejectedNeverFits:
         records_[idx].outcome = RequestOutcome::Rejected;
         ++m_.rejectedNeverFits;
+        resolve(idx);
         break;
     }
+}
+
+void
+ServingSimulator::onArrival()
+{
+    touchProgress();
+    const u32 idx = next_arrival_++;
+    const Ns deadline = deadlineOf(idx);
+    if (deadline != 0)
+        deadlines_.push({deadline, idx});
+    offerRequest(idx);
     scheduleNextArrival();
     maybeStartStep();
 }
 
 void
+ServingSimulator::expireDeadlines()
+{
+    const Ns now = q_.now();
+    while (!deadlines_.empty() && deadlines_.top().first <= now) {
+        const u32 idx = deadlines_.top().second;
+        deadlines_.pop();
+        RequestRecord &rec = records_[idx];
+        if (rec.outcome != RequestOutcome::Pending)
+            continue; // resolved before its deadline
+        // Cancel wherever the request sits: wait queue, running
+        // batch, or mid-backoff on the client (NotFound — the retry
+        // event will see the resolved outcome and drop it).
+        sched_.cancel(idx);
+        rec.outcome = RequestOutcome::TimedOut;
+        ++m_.timedOut;
+        ++m_.deadlineMisses;
+        // Whatever the node already generated for it is wasted.
+        m_.wastedTokens += rec.tokensOut;
+        resolve(idx);
+    }
+}
+
+void
 ServingSimulator::maybeStartStep()
 {
-    if (busy_)
+    // Deadlines are checked whenever the engine is between steps (a
+    // running sequence cannot be cancelled mid-pass).
+    if (!busy_)
+        expireDeadlines();
+    if (busy_ || node_down_ || stalled_)
         return;
     if (sched_.prefillReady())
         startPrefill();
@@ -83,12 +224,13 @@ ServingSimulator::maybeStartStep()
 }
 
 void
-ServingSimulator::chargeStep(double seconds, double dram_bytes)
+ServingSimulator::chargeStep(const StepCostModel &model, double seconds,
+                             double dram_bytes)
 {
-    const sim::SimParams &p = costs_.inference().params();
+    const sim::SimParams &p = model.inference().params();
     const kernels::EnergyParams &ep = node_.energy;
     double power_w = p.cores * ep.corePowerW + ep.uncorePowerW;
-    if (costs_.kernel().engine == kernels::Engine::Deca)
+    if (model.kernel().engine == kernels::Engine::Deca)
         power_w += p.cores * ep.decaPePowerW;
     const double per_byte = p.memKind == sim::MemoryKind::HBM
                                 ? ep.hbmEnergyPerByte
@@ -99,6 +241,7 @@ ServingSimulator::chargeStep(double seconds, double dram_bytes)
 void
 ServingSimulator::startPrefill()
 {
+    const StepCostModel &costs = activeCosts();
     prefill_plan_ = sched_.takePrefill();
     for (const u32 idx : prefill_plan_.admitted) {
         // First admission; re-admissions after an eviction already
@@ -107,47 +250,70 @@ ServingSimulator::startPrefill()
             records_[idx].tokensOut == 0)
             records_[idx].admitNs = q_.now();
     }
-    const double sec = costs_.prefillSeconds(prefill_plan_.promptRows,
-                                             prefill_plan_.causalPairs);
+    double sec = costs.prefillSeconds(prefill_plan_.promptRows,
+                                      prefill_plan_.causalPairs);
+    if (slowed_) {
+        sec *= node_.faults.slowFactor;
+        ++m_.slowedSteps;
+    }
+    if (&costs != &costs_)
+        ++m_.degradedSteps;
     // DRAM traffic: one pass over the compressed weights plus the KV
     // writes of the prefilled tokens (the causal attention reads stay
     // within the chunk's freshly written, cache-warm KV).
     const double bytes =
-        costs_.weightBytesPerPass() +
+        costs.weightBytesPerPass() +
         static_cast<double>(prefill_plan_.promptRows) *
-            static_cast<double>(costs_.kvBytesPerToken());
-    chargeStep(sec, bytes);
+            static_cast<double>(costs.kvBytesPerToken());
+    chargeStep(costs, sec, bytes);
     busy_prefill_sec_ += sec;
     ++m_.prefillSteps;
     busy_ = true;
     step_is_prefill_ = true;
-    q_.schedule(toNs(sec), [this] { onPrefillDone(); });
+    step_start_ns_ = q_.now();
+    step_sec_ = sec;
+    q_.schedule(toNs(sec), [this, e = epoch_] {
+        if (e == epoch_)
+            onPrefillDone();
+    });
 }
 
 void
 ServingSimulator::startDecode()
 {
+    const StepCostModel &costs = activeCosts();
     decode_plan_ = sched_.takeDecode();
     for (const u32 idx : decode_plan_.evicted)
         ++records_[idx].preemptions;
     DECA_ASSERT(decode_plan_.batch > 0);
-    const double sec = costs_.decodeStepSeconds(
+    double sec = costs.decodeStepSeconds(
         decode_plan_.batch,
         static_cast<double>(decode_plan_.totalCtxTokens));
+    if (slowed_) {
+        sec *= node_.faults.slowFactor;
+        ++m_.slowedSteps;
+    }
+    if (&costs != &costs_)
+        ++m_.degradedSteps;
     // Weights stream once per step; each sequence reads its whole KV
     // window and writes one new token.
     const double bytes =
-        costs_.weightBytesPerPass() +
+        costs.weightBytesPerPass() +
         static_cast<double>(decode_plan_.totalCtxTokens +
                             decode_plan_.batch) *
-            static_cast<double>(costs_.kvBytesPerToken());
-    chargeStep(sec, bytes);
+            static_cast<double>(costs.kvBytesPerToken());
+    chargeStep(costs, sec, bytes);
     busy_decode_sec_ += sec;
     ++m_.decodeSteps;
     decode_batch_sum_ += decode_plan_.batch;
     busy_ = true;
     step_is_prefill_ = false;
-    q_.schedule(toNs(sec), [this] { onDecodeDone(); });
+    step_start_ns_ = q_.now();
+    step_sec_ = sec;
+    q_.schedule(toNs(sec), [this, e = epoch_] {
+        if (e == epoch_)
+            onDecodeDone();
+    });
 }
 
 void
@@ -171,6 +337,7 @@ ServingSimulator::onDecodeDone()
 void
 ServingSimulator::emitTokens(const std::vector<TokenEmit> &emits, Ns now)
 {
+    touchProgress();
     for (const TokenEmit &e : emits) {
         RequestRecord &rec = records_[e.request];
         ++rec.tokensOut;
@@ -190,8 +357,112 @@ ServingSimulator::emitTokens(const std::vector<TokenEmit> &emits, Ns now)
             rec.finishNs = now;
             rec.outcome = RequestOutcome::Completed;
             ++m_.completed;
+            const Ns deadline = deadlineOf(e.request);
+            if (deadline == 0 || now <= deadline)
+                m_.goodputTokens += rec.tokensOut;
+            else
+                ++m_.deadlineMisses;
+            resolve(e.request);
         }
     }
+}
+
+void
+ServingSimulator::armFault(Fault f)
+{
+    FaultProcess &p = procs_[static_cast<u32>(f)];
+    if (!p.enabled())
+        return;
+    const FaultTransition tr = p.next();
+    q_.scheduleAt(tr.at,
+                  [this, f, down = tr.down] { onFault(f, down); });
+}
+
+void
+ServingSimulator::downEnter()
+{
+    if (down_count_++ == 0)
+        down_start_ns_ = q_.now();
+}
+
+void
+ServingSimulator::downExit()
+{
+    DECA_ASSERT(down_count_ > 0);
+    if (--down_count_ == 0)
+        down_total_ns_ += q_.now() - down_start_ns_;
+}
+
+void
+ServingSimulator::onFault(Fault f, bool down)
+{
+    // Once every request is resolved the run is over; let the fault
+    // process die out so the event queue drains.
+    if (unresolved_ == 0)
+        return;
+    switch (f) {
+      case Fault::Crash:
+        if (down) {
+            node_down_ = true;
+            ++m_.crashes;
+            downEnter();
+            if (busy_) {
+                // Abort the in-flight step: its completion event sees
+                // a stale epoch and no-ops. Credit back the planned
+                // busy time the crash cut short.
+                busy_ = false;
+                ++epoch_;
+                const double done =
+                    static_cast<double>(q_.now() - step_start_ns_) /
+                    kNsPerSec;
+                const double unused =
+                    step_sec_ > done ? step_sec_ - done : 0.0;
+                if (step_is_prefill_)
+                    busy_prefill_sec_ -= unused;
+                else
+                    busy_decode_sec_ -= unused;
+            }
+            const CrashLoss loss = sched_.onCrash();
+            m_.rePrefillTokens += loss.lostTokens;
+            m_.wastedTokens += loss.lostTokens;
+            for (const u32 idx : loss.lost)
+                ++records_[idx].crashLosses;
+        } else {
+            node_down_ = false;
+            downExit();
+        }
+        break;
+      case Fault::Stall:
+        if (down) {
+            stalled_ = true;
+            ++m_.stalls;
+            downEnter();
+        } else {
+            stalled_ = false;
+            downExit();
+        }
+        break;
+      case Fault::Accel:
+        // An in-flight step keeps its committed price; repricing
+        // starts with the next step.
+        if (down) {
+            accel_down_ = true;
+            ++m_.accelFaults;
+        } else {
+            accel_down_ = false;
+        }
+        break;
+      case Fault::Slow:
+        if (down) {
+            slowed_ = true;
+            ++m_.slowdowns;
+        } else {
+            slowed_ = false;
+        }
+        break;
+    }
+    armFault(f);
+    maybeStartStep();
 }
 
 ServeMetrics
@@ -201,17 +472,30 @@ ServingSimulator::run()
     ran_ = true;
     m_.offered = requests_.size();
     m_.kvCapacityTokens = sched_.kv().config().capacityTokens();
+    unresolved_ = requests_.size();
     scheduleNextArrival();
-    const Ns end_ns = q_.run();
+    armFault(Fault::Crash);
+    armFault(Fault::Stall);
+    armFault(Fault::Accel);
+    armFault(Fault::Slow);
+    q_.run();
     DECA_ASSERT(!busy_ && !sched_.hasWork(),
                 "serving run ended with work in flight");
+    DECA_ASSERT(unresolved_ == 0);
     for (std::size_t i = 0; i < records_.size(); ++i)
         DECA_ASSERT(records_[i].outcome != RequestOutcome::Pending,
                     "request ", i, " neither completed nor rejected");
 
     m_.evictions = sched_.evictions();
     m_.peakKvTokens = sched_.kv().peakUsedTokens();
-    m_.durationSec = static_cast<double>(end_ns) / kNsPerSec;
+    // Duration runs to the last client-visible instant; with faults
+    // enabled the queue can drain later no-op events (stale step
+    // completions, fault transitions past the last resolution).
+    m_.durationSec =
+        static_cast<double>(last_progress_ns_) / kNsPerSec;
+    if (down_count_ > 0 && last_progress_ns_ > down_start_ns_)
+        down_total_ns_ += last_progress_ns_ - down_start_ns_;
+    m_.downtimeSec = static_cast<double>(down_total_ns_) / kNsPerSec;
     if (m_.durationSec > 0.0) {
         m_.tokensPerSec =
             static_cast<double>(m_.generatedTokens) / m_.durationSec;
@@ -219,7 +503,14 @@ ServingSimulator::run()
             static_cast<double>(m_.completed) / m_.durationSec;
         m_.busyFraction =
             (busy_prefill_sec_ + busy_decode_sec_) / m_.durationSec;
+        m_.goodputTokensPerSec =
+            static_cast<double>(m_.goodputTokens) / m_.durationSec;
+        m_.availability =
+            std::max(0.0, 1.0 - m_.downtimeSec / m_.durationSec);
     }
+    if (m_.offered > 0)
+        m_.deadlineMissRate = static_cast<double>(m_.deadlineMisses) /
+                              static_cast<double>(m_.offered);
     const double busy_sec = busy_prefill_sec_ + busy_decode_sec_;
     if (busy_sec > 0.0)
         m_.prefillTimeFraction = busy_prefill_sec_ / busy_sec;

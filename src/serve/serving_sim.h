@@ -21,16 +21,34 @@
  * token, finish) and fold every inter-token gap into the latency
  * histograms. Energy is accounted per busy step: core + uncore (+
  * DECA PE) power for the step's duration plus DRAM access energy for
- * the weight pass and the KV traffic. Everything is deterministic —
- * a run is a pure function of (requests, costs, config).
+ * the weight pass and the KV traffic.
+ *
+ * Fault injection (serve/fault.h) composes with the same queue. Each
+ * enabled fault process chains its own transition events (like
+ * arrivals, one pending event per process); crashes abort the
+ * in-flight step via an epoch counter (the completion event of a
+ * pre-crash step sees a stale epoch and does nothing), lose all
+ * resident KV state and re-queue the running sequences for re-prefill
+ * on recovery. While the accelerator alone is faulted, steps are
+ * priced from the SW-kernel fallback model. Deadline expiry, client
+ * retries and load shedding ride the arrival/completion events.
+ * Everything remains deterministic — a run is a pure function of
+ * (requests, costs, config, fault seed) — and with the default
+ * (all-off) FaultConfig the event sequence is identical to the
+ * fault-free simulator's.
  */
 
 #ifndef DECA_SERVE_SERVING_SIM_H
 #define DECA_SERVE_SERVING_SIM_H
 
+#include <functional>
+#include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "kernels/energy_model.h"
+#include "serve/fault.h"
 #include "serve/metrics.h"
 #include "serve/scheduler.h"
 #include "serve/step_cost.h"
@@ -45,6 +63,8 @@ struct ServeNodeConfig
     u64 nodeCapacityBytes = 0;
     SchedulerConfig sched;
     kernels::EnergyParams energy;
+    /** Fault / resilience knobs; the default injects nothing. */
+    FaultConfig faults;
 };
 
 /** One serving run over a fixed request stream. */
@@ -54,13 +74,19 @@ class ServingSimulator
     /**
      * @param costs Step-cost model of the (machine, scheme, kernel)
      *        triple being served. Must outlive the simulator.
-     * @param node Capacity, scheduler policy and energy constants.
+     * @param node Capacity, scheduler policy, energy constants and
+     *        fault knobs.
      * @param requests Arrival-ordered request stream (arrivalNs
      *        non-decreasing).
+     * @param sw_fallback Optional SW-kernel step-cost model (same
+     *        machine and scheme) used to reprice steps while the
+     *        accelerator is faulted; must outlive the simulator.
+     *        Without one, accelerator faults only count events.
      */
     ServingSimulator(const StepCostModel &costs,
                      const ServeNodeConfig &node,
-                     std::vector<Request> requests);
+                     std::vector<Request> requests,
+                     const StepCostModel *sw_fallback = nullptr);
 
     /** Run to completion and assemble the metrics. Call once. */
     ServeMetrics run();
@@ -69,8 +95,27 @@ class ServingSimulator
     const std::vector<RequestRecord> &records() const { return records_; }
 
   private:
+    /** Which fault process an event belongs to. */
+    enum class Fault : u32
+    {
+        Crash,
+        Stall,
+        Accel,
+        Slow,
+    };
+
     void scheduleNextArrival();
     void onArrival();
+    /** Offer request `idx` to the node (first arrival or retry). */
+    void offerRequest(u32 idx);
+    /** Retry after backoff, or finalize the rejection. */
+    void rejectOrRetry(u32 idx, bool was_shed);
+    /** Mark request `idx` resolved (outcome must be set). */
+    void resolve(u32 idx);
+    /** Cancel every expired waiting/running request (engine idle). */
+    void expireDeadlines();
+    /** Absolute deadline of request `idx` (0 = none). */
+    Ns deadlineOf(u32 idx) const;
     /** Start the next step if the engine is idle and work is ready. */
     void maybeStartStep();
     void startPrefill();
@@ -79,12 +124,26 @@ class ServingSimulator
     void onDecodeDone();
     /** Record the emissions of a completed step at time `now`. */
     void emitTokens(const std::vector<TokenEmit> &emits, Ns now);
-    /** Charge one busy step: power x time + DRAM access energy. */
-    void chargeStep(double seconds, double dram_bytes);
+    /** Charge one busy step priced by `model`. */
+    void chargeStep(const StepCostModel &model, double seconds,
+                    double dram_bytes);
+    /** The cost model pricing the next step (SW under accel fault). */
+    const StepCostModel &activeCosts() const;
+    /** Schedule the next transition of fault process `f`. */
+    void armFault(Fault f);
+    void onFault(Fault f, bool down);
+    /** The node serves at reduced capability right now? */
+    bool degraded() const;
+    /** Availability bookkeeping around crash/stall transitions. */
+    void downEnter();
+    void downExit();
+    /** Stamp simulated progress (arrival/emission/resolution). */
+    void touchProgress();
 
     static Ns toNs(double seconds);
 
     const StepCostModel &costs_;
+    const StepCostModel *sw_fallback_ = nullptr;
     ServeNodeConfig node_;
     std::vector<Request> requests_;
     std::vector<RequestRecord> records_;
@@ -102,10 +161,41 @@ class ServingSimulator
     PrefillPlan prefill_plan_;
     DecodePlan decode_plan_;
     bool step_is_prefill_ = false;
+    /** Start time / planned length of the in-flight step, so a crash
+     *  can credit back the busy time it cut short. */
+    Ns step_start_ns_ = 0;
+    double step_sec_ = 0.0;
 
     double busy_prefill_sec_ = 0.0;
     double busy_decode_sec_ = 0.0;
     double decode_batch_sum_ = 0.0;
+
+    // Fault state.
+    FaultProcess procs_[4];
+    bool node_down_ = false;
+    bool stalled_ = false;
+    bool accel_down_ = false;
+    bool slowed_ = false;
+    /** Bumped on every crash; step completions scheduled before the
+     *  crash carry the old epoch and turn into no-ops. */
+    u64 epoch_ = 0;
+    /** Requests not yet resolved; fault events stop re-arming once it
+     *  hits zero so the event queue always drains. */
+    u64 unresolved_ = 0;
+    /** Deadline min-heap (deadline, request); resolved entries are
+     *  skipped lazily on pop. */
+    std::priority_queue<std::pair<Ns, u32>,
+                        std::vector<std::pair<Ns, u32>>,
+                        std::greater<std::pair<Ns, u32>>>
+        deadlines_;
+    Rng retry_rng_;
+    /** Last simulated instant of client-visible progress; run
+     *  duration (the queue can hold later no-op fault events). */
+    Ns last_progress_ns_ = 0;
+    /** Crash/stall downtime accounting (union of both). */
+    u32 down_count_ = 0;
+    Ns down_start_ns_ = 0;
+    Ns down_total_ns_ = 0;
 };
 
 /** KvCacheConfig for `costs` on a node with `capacity_bytes`. */

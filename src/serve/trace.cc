@@ -1,10 +1,13 @@
 #include "serve/trace.h"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
+#include <system_error>
 
 #include "common/logging.h"
 
@@ -41,6 +44,36 @@ generatePoisson(const PoissonTraffic &traffic, u64 count)
     return out;
 }
 
+namespace {
+
+[[noreturn]] void
+traceFail(u64 lineno, const std::string &line, const char *why)
+{
+    std::ostringstream msg;
+    msg << "trace line " << lineno << ": " << why << " in '" << line
+        << "'";
+    throw TraceError(msg.str());
+}
+
+/**
+ * Strict decimal u64: the whole field, no sign, no whitespace, no
+ * overflow. std::from_chars never reads past the range and never
+ * accepts '-' for an unsigned target, so every hostile byte sequence
+ * resolves to a clean parse failure.
+ */
+bool
+parseU64Field(std::string_view field, u64 &out)
+{
+    if (field.empty() || field[0] == '+' || field[0] == '-')
+        return false;
+    const char *first = field.data();
+    const char *last = field.data() + field.size();
+    const auto res = std::from_chars(first, last, out);
+    return res.ec == std::errc() && res.ptr == last;
+}
+
+} // namespace
+
 std::vector<Request>
 loadTrace(std::istream &in)
 {
@@ -54,29 +87,45 @@ loadTrace(std::istream &in)
             line.pop_back();
         if (line.empty() || line[0] == '#')
             continue;
-        std::istringstream ls(line);
-        u64 arrival = 0;
-        u64 prompt = 0;
-        u64 output = 0;
-        char c1 = 0;
-        char c2 = 0;
-        if (!(ls >> arrival >> c1 >> prompt >> c2 >> output) ||
-            c1 != ',' || c2 != ',' || !(ls >> std::ws).eof())
-            DECA_FATAL("trace line ", lineno,
-                       ": expected arrival_ns,prompt_tokens,"
-                       "output_tokens, got '",
-                       line, "'");
+        // Split on commas: 3 fields, or 4 when a deadline rides along.
+        u64 fields[4] = {0, 0, 0, 0};
+        std::size_t nfields = 0;
+        std::string_view rest(line);
+        while (true) {
+            const std::size_t comma = rest.find(',');
+            const std::string_view field = rest.substr(0, comma);
+            if (nfields >= 4)
+                traceFail(lineno, line, "too many fields");
+            if (!parseU64Field(field, fields[nfields]))
+                traceFail(lineno, line,
+                          "expected a plain decimal u64 field");
+            ++nfields;
+            if (comma == std::string_view::npos)
+                break;
+            rest.remove_prefix(comma + 1);
+        }
+        if (nfields < 3)
+            traceFail(lineno, line,
+                      "expected arrival_ns,prompt_tokens,output_tokens"
+                      "[,deadline_ns]");
+        const u64 arrival = fields[0];
+        const u64 prompt = fields[1];
+        const u64 output = fields[2];
+        const u64 deadline = fields[3];
         if (prompt < 1 || output < 1 || prompt > ~u32{0} ||
             output > ~u32{0})
-            DECA_FATAL("trace line ", lineno,
-                       ": prompt/output tokens must be >= 1");
+            traceFail(lineno, line,
+                      "prompt/output tokens must be in [1, 2^32)");
         if (!out.empty() && arrival < out.back().arrivalNs)
-            DECA_FATAL("trace line ", lineno,
-                       ": arrivals must be non-decreasing");
+            traceFail(lineno, line, "arrivals must be non-decreasing");
+        if (deadline != 0 && deadline <= arrival)
+            traceFail(lineno, line,
+                      "deadline_ns must exceed arrival_ns");
         Request r;
         r.arrivalNs = arrival;
         r.promptTokens = static_cast<u32>(prompt);
         r.outputTokens = static_cast<u32>(output);
+        r.deadlineNs = deadline;
         out.push_back(r);
     }
     return out;
@@ -87,7 +136,7 @@ loadTraceFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        DECA_FATAL("cannot open trace file: ", path);
+        throw TraceError("cannot open trace file: " + path);
     return loadTrace(in);
 }
 
@@ -95,10 +144,14 @@ void
 saveTrace(const std::vector<Request> &requests, std::ostream &out)
 {
     out << "# decasim serving trace: "
-           "arrival_ns,prompt_tokens,output_tokens\n";
-    for (const Request &r : requests)
+           "arrival_ns,prompt_tokens,output_tokens[,deadline_ns]\n";
+    for (const Request &r : requests) {
         out << r.arrivalNs << ',' << r.promptTokens << ','
-            << r.outputTokens << '\n';
+            << r.outputTokens;
+        if (r.deadlineNs != 0)
+            out << ',' << r.deadlineNs;
+        out << '\n';
+    }
 }
 
 } // namespace deca::serve

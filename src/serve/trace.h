@@ -6,18 +6,29 @@
  * files.
  *
  * Trace format: one request per line, three comma-separated fields
+ * plus an optional fourth
  *
- *     arrival_ns,prompt_tokens,output_tokens
+ *     arrival_ns,prompt_tokens,output_tokens[,deadline_ns]
  *
  * Lines starting with '#' and blank lines are ignored; arrivals must
- * be non-decreasing. saveTrace() writes a '#'-prefixed header, so a
- * saved trace loads back equal (pinned by tests/test_serve.cc).
+ * be non-decreasing; deadline_ns (absolute, 0 = none) must exceed
+ * the arrival when set. saveTrace() writes a '#'-prefixed header and
+ * the deadline field only for requests that have one, so a saved
+ * trace loads back equal (pinned by tests/test_serve.cc).
+ *
+ * Parsing is strict and total: every field must be a plain decimal
+ * u64 (no signs, no whitespace inside a field, no trailing garbage,
+ * no overflow). Malformed input — truncated lines, non-numeric
+ * fields, out-of-order arrivals — raises TraceError with the line
+ * number; it never crashes the process or invokes UB, so campaign
+ * code can surface the message as a structured scenario failure.
  */
 
 #ifndef DECA_SERVE_TRACE_H
 #define DECA_SERVE_TRACE_H
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,6 +36,13 @@
 #include "serve/request.h"
 
 namespace deca::serve {
+
+/** Malformed trace input (message carries the offending line). */
+class TraceError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Uniform integer token-length distribution over [lo, hi]. */
 struct LengthDist
@@ -54,10 +72,11 @@ struct PoissonTraffic
 std::vector<Request> generatePoisson(const PoissonTraffic &traffic,
                                      u64 count);
 
-/** Parse a trace stream; DECA_FATALs on malformed lines. */
+/** Parse a trace stream; throws TraceError on malformed lines. */
 std::vector<Request> loadTrace(std::istream &in);
 
-/** Load a trace file by path; DECA_FATALs when unreadable. */
+/** Load a trace file by path; throws TraceError when unreadable or
+ *  malformed. */
 std::vector<Request> loadTraceFile(const std::string &path);
 
 /** Write requests in the trace format (with a header comment). */

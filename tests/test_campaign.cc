@@ -275,5 +275,62 @@ TEST(Campaign, NestedSweepsUnderJobsShareThePoolWithoutDeadlock)
     EXPECT_EQ(serial, wide);
 }
 
+const Scenario kSleeping{
+    "sleeping", "sleeps well past the watchdog budget",
+    +[](const ScenarioContext &ctx) -> int {
+        ctx.result().prose() << "still asleep\n";
+        std::this_thread::sleep_for(std::chrono::milliseconds(2500));
+        return 0;
+    }};
+
+TEST(Campaign, WatchdogFailsScenariosThatOverrun)
+{
+    RunOptions o = options(1, OutputFormat::Table);
+    o.timeoutSec = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const ScenarioResult r = runScenario(kSleeping, o);
+    const double waited_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_EQ(r.status, 1);
+    EXPECT_EQ(r.name, "sleeping");
+    EXPECT_NE(r.error.find("watchdog"), std::string::npos);
+    EXPECT_NE(r.error.find("--timeout-sec"), std::string::npos);
+    // The campaign unblocked at the budget, not at the sleep's end.
+    EXPECT_LT(waited_sec, 2.4);
+    EXPECT_GE(r.elapsedMs, 900.0);
+    // The abandoned body keeps running detached; give it time to
+    // finish before the test binary exits.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1800));
+}
+
+TEST(Campaign, WatchdogLeavesFastScenariosUntouched)
+{
+    RunOptions plain = options(1, OutputFormat::Table);
+    RunOptions guarded = plain;
+    guarded.timeoutSec = 600;
+    const ScenarioResult a = runScenario(kAlpha, plain);
+    const ScenarioResult b = runScenario(kAlpha, guarded);
+    EXPECT_EQ(b.status, 0);
+    EXPECT_EQ(b.error, "");
+    ASSERT_EQ(b.sections.size(), a.sections.size());
+    EXPECT_EQ(b.sections[0].prose, a.sections[0].prose);
+    EXPECT_EQ(b.sections[1].table.numRows(),
+              a.sections[1].table.numRows());
+}
+
+TEST(Campaign, TimeoutFlagParses)
+{
+    // Bad values DECA_FATAL like every other common flag; only the
+    // accepting path is testable in-process.
+    RunOptions o;
+    EXPECT_TRUE(parseCommonFlag("--timeout-sec=90", o));
+    EXPECT_EQ(o.timeoutSec, 90u);
+    EXPECT_TRUE(parseCommonFlag("--timeout-sec=86400", o));
+    EXPECT_EQ(o.timeoutSec, 86400u);
+    EXPECT_FALSE(parseCommonFlag("--timeout=90", o));
+}
+
 } // namespace
 } // namespace deca::runner

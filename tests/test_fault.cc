@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Tests for the fault-injection / resilience layer (serve/fault.h):
+ * fault-process determinism, faults-off byte-identity with the
+ * pre-fault simulator (exact golden pins), retry/backoff schedule
+ * pins, crash-recovery re-prefill accounting, deadline and shedding
+ * semantics, and degraded-mode repricing against the SW-kernel
+ * anchors.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/candidates.h"
+#include "serve/fault.h"
+#include "serve/serving_sim.h"
+#include "serve/trace.h"
+#include "sim/params.h"
+
+namespace deca::serve {
+namespace {
+
+TEST(FaultSeed, MixSeedDecorrelatesAndIsPure)
+{
+    EXPECT_EQ(mixSeed(1, 1), mixSeed(1, 1));
+    EXPECT_NE(mixSeed(1, 1), mixSeed(1, 2));
+    EXPECT_NE(mixSeed(1, 1), mixSeed(2, 1));
+    // Adjacent seeds must not land in adjacent streams.
+    EXPECT_NE(mixSeed(1, 1) + 1, mixSeed(2, 1));
+}
+
+TEST(FaultProcess, TransitionsAreDeterministicPerSeed)
+{
+    FaultProcess a(100.0, 10.0, 7);
+    FaultProcess b(100.0, 10.0, 7);
+    FaultProcess c(100.0, 10.0, 8);
+    bool diverged = false;
+    for (int i = 0; i < 64; ++i) {
+        const FaultTransition ta = a.next();
+        const FaultTransition tb = b.next();
+        const FaultTransition tc = c.next();
+        EXPECT_EQ(ta.at, tb.at);
+        EXPECT_EQ(ta.down, tb.down);
+        diverged = diverged || ta.at != tc.at;
+    }
+    EXPECT_TRUE(diverged) << "seed must change the transition times";
+}
+
+TEST(FaultProcess, AlternatesDownUpStrictlyIncreasing)
+{
+    FaultProcess p(50.0, 5.0, 3);
+    ASSERT_TRUE(p.enabled());
+    Ns prev = 0;
+    bool expect_down = true;
+    double down_sec = 0.0, up_sec = 0.0;
+    Ns down_at = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const FaultTransition t = p.next();
+        ASSERT_GT(t.at, prev);
+        ASSERT_EQ(t.down, expect_down);
+        if (t.down)
+            down_at = t.at;
+        else
+            down_sec += static_cast<double>(t.at - down_at) / 1e9;
+        if (!t.down)
+            up_sec = static_cast<double>(t.at) / 1e9 - down_sec;
+        prev = t.at;
+        expect_down = !expect_down;
+    }
+    // Empirical MTBF / MTTR within 15% of the configured means over
+    // 1000 cycles (exponential, so the tolerance is generous).
+    EXPECT_NEAR(up_sec / 1000.0, 50.0, 7.5);
+    EXPECT_NEAR(down_sec / 1000.0, 5.0, 0.75);
+}
+
+TEST(FaultProcess, DisabledByZeroMtbf)
+{
+    FaultProcess p(0.0, 10.0, 1);
+    EXPECT_FALSE(p.enabled());
+    EXPECT_FALSE(FaultProcess().enabled());
+}
+
+TEST(FaultRetry, BackoffDoublesExactlyWithoutJitter)
+{
+    FaultConfig cfg;
+    cfg.retryBaseSec = 0.25;
+    cfg.retryJitter = 0.0;
+    Rng rng(1);
+    EXPECT_EQ(retryDelayNs(cfg, 0, rng), 250000000u);
+    EXPECT_EQ(retryDelayNs(cfg, 1, rng), 500000000u);
+    EXPECT_EQ(retryDelayNs(cfg, 2, rng), 1000000000u);
+    EXPECT_EQ(retryDelayNs(cfg, 5, rng), 8000000000u);
+    // The exponent caps at 30: attempt 31 equals attempt 30.
+    EXPECT_EQ(retryDelayNs(cfg, 31, rng), retryDelayNs(cfg, 30, rng));
+}
+
+TEST(FaultRetry, JitterStretchesWithinBoundsDeterministically)
+{
+    FaultConfig cfg;
+    cfg.retryBaseSec = 1.0;
+    cfg.retryJitter = 0.5;
+    Rng a(9), b(9);
+    for (u32 attempt = 0; attempt < 8; ++attempt) {
+        const Ns da = retryDelayNs(cfg, attempt, a);
+        const Ns db = retryDelayNs(cfg, attempt, b);
+        EXPECT_EQ(da, db);
+        const double base = 1e9 * static_cast<double>(1u << attempt);
+        EXPECT_GE(static_cast<double>(da), base - 1.0);
+        EXPECT_LE(static_cast<double>(da), base * 1.5 + 1.0);
+    }
+}
+
+TEST(FaultConfigTest, DefaultsAreInert)
+{
+    const FaultConfig cfg;
+    EXPECT_FALSE(cfg.anyProcess());
+    EXPECT_EQ(cfg.retryMax, 0u);
+    EXPECT_EQ(cfg.shedQueueDepth, 0u);
+    EXPECT_EQ(cfg.timeoutSec, 0.0);
+    cfg.validate();
+}
+
+/** Shares the DECA and SW-fallback cost models across the e2e tests. */
+class FaultE2e : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        const sim::SimParams p = sim::sprHbmParams();
+        const llm::ModelConfig m = llm::llama2_70b();
+        inf_ = new llm::InferenceModel(
+            m, p, llm::InferenceModel::calibrateForMachine(m, p));
+        const auto scheme = compress::schemeQ8(0.2);
+        costs_ = new StepCostModel(*inf_, scheme,
+                                   defaultKernelFor(scheme));
+        sw_ = new StepCostModel(*inf_, scheme,
+                                swFallbackKernelFor(scheme));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete sw_;
+        delete costs_;
+        delete inf_;
+        sw_ = nullptr;
+        costs_ = nullptr;
+        inf_ = nullptr;
+    }
+
+    static std::vector<Request>
+    traffic(u64 seed, u64 count, double rate)
+    {
+        PoissonTraffic cfg;
+        cfg.ratePerSec = rate;
+        cfg.seed = seed;
+        return generatePoisson(cfg, count);
+    }
+
+    static ServeNodeConfig
+    bigNode()
+    {
+        ServeNodeConfig node;
+        node.nodeCapacityBytes = 64 * kGiB;
+        return node;
+    }
+
+    static llm::InferenceModel *inf_;
+    static StepCostModel *costs_;
+    static StepCostModel *sw_;
+};
+
+llm::InferenceModel *FaultE2e::inf_ = nullptr;
+StepCostModel *FaultE2e::costs_ = nullptr;
+StepCostModel *FaultE2e::sw_ = nullptr;
+
+/**
+ * Byte-identity with the pre-fault-layer simulator: these exact
+ * values were captured from the implementation before serve/fault.h
+ * existed (same configs as ServingE2e's determinism / eviction
+ * tests). A default FaultConfig must reproduce every bit.
+ */
+TEST_F(FaultE2e, FaultsOffMatchesPreFaultGoldenA)
+{
+    ServingSimulator sim(*costs_, bigNode(), traffic(5, 300, 0.8));
+    const ServeMetrics m = sim.run();
+    EXPECT_EQ(m.completed, 300u);
+    EXPECT_EQ(m.generatedTokens, 40573u);
+    EXPECT_EQ(m.decodeSteps, 4397u);
+    EXPECT_EQ(m.prefillSteps, 285u);
+    EXPECT_EQ(m.evictions, 0u);
+    EXPECT_EQ(m.rejected(), 0u);
+    EXPECT_EQ(m.durationSec, 403.40152728700002);
+    EXPECT_EQ(m.energyJ, 105207.19265806982);
+    EXPECT_EQ(m.busyFraction, 0.98275588956811522);
+    EXPECT_EQ(m.decodeLatency.percentileNs(99.0), 991379030.00957012);
+    EXPECT_EQ(m.ttft.percentileNs(95.0), 3126437063.0538592);
+    // Resilience metrics stay at their inert values.
+    EXPECT_EQ(m.shed, 0u);
+    EXPECT_EQ(m.timedOut, 0u);
+    EXPECT_EQ(m.retries, 0u);
+    EXPECT_EQ(m.crashes, 0u);
+    EXPECT_EQ(m.wastedTokens, 0u);
+    EXPECT_EQ(m.goodputTokens, m.generatedTokens);
+    EXPECT_EQ(m.availability, 1.0);
+    EXPECT_EQ(m.downtimeSec, 0.0);
+    EXPECT_EQ(m.deadlineMissRate, 0.0);
+}
+
+TEST_F(FaultE2e, FaultsOffMatchesPreFaultGoldenB)
+{
+    ServeNodeConfig node;
+    node.nodeCapacityBytes =
+        static_cast<u64>(costs_->weightBytesPerPass()) +
+        3000 * costs_->kvBytesPerToken();
+    node.sched.reserveFullSequence = false;
+    ServingSimulator sim(*costs_, node, traffic(13, 150, 1.0));
+    const ServeMetrics m = sim.run();
+    EXPECT_EQ(m.completed, 150u);
+    EXPECT_EQ(m.generatedTokens, 20281u);
+    EXPECT_EQ(m.decodeSteps, 2858u);
+    EXPECT_EQ(m.prefillSteps, 133u);
+    EXPECT_EQ(m.evictions, 66u);
+    EXPECT_EQ(m.rejected(), 0u);
+    EXPECT_EQ(m.durationSec, 271.72425462199999);
+    EXPECT_EQ(m.energyJ, 71605.082504413076);
+    EXPECT_EQ(m.busyFraction, 0.99653199832271444);
+    EXPECT_EQ(m.decodeLatency.percentileNs(99.0), 1094562555.7286036);
+    EXPECT_EQ(m.ttft.percentileNs(95.0), 121921828267.16852);
+}
+
+/** Explicitly spelling out the default knobs is still faults-off. */
+TEST_F(FaultE2e, ExplicitDefaultKnobsAreByteIdentical)
+{
+    ServeNodeConfig node = bigNode();
+    node.faults.seed = 1;
+    node.faults.crashMttrSec = 30.0;
+    node.faults.stallMttrSec = 5.0;
+    node.faults.accelMttrSec = 60.0;
+    node.faults.slowMttrSec = 10.0;
+    node.faults.slowFactor = 2.0;
+    node.faults.retryBaseSec = 1.0;
+    node.faults.retryJitter = 0.5;
+    ServingSimulator a(*costs_, bigNode(), traffic(5, 300, 0.8));
+    ServingSimulator b(*costs_, node, traffic(5, 300, 0.8), sw_);
+    const ServeMetrics ma = a.run();
+    const ServeMetrics mb = b.run();
+    EXPECT_EQ(ma.durationSec, mb.durationSec);
+    EXPECT_EQ(ma.energyJ, mb.energyJ);
+    EXPECT_EQ(ma.generatedTokens, mb.generatedTokens);
+    EXPECT_EQ(ma.decodeLatency.percentileNs(99.0),
+              mb.decodeLatency.percentileNs(99.0));
+}
+
+TEST_F(FaultE2e, CrashRunsAreDeterministicAndSeedSensitive)
+{
+    ServeNodeConfig node = bigNode();
+    node.faults.crashMtbfSec = 60.0;
+    node.faults.crashMttrSec = 10.0;
+    node.faults.seed = 42;
+    ServingSimulator a(*costs_, node, traffic(5, 300, 0.8));
+    ServingSimulator b(*costs_, node, traffic(5, 300, 0.8));
+    const ServeMetrics ma = a.run();
+    const ServeMetrics mb = b.run();
+    EXPECT_EQ(ma.durationSec, mb.durationSec);
+    EXPECT_EQ(ma.energyJ, mb.energyJ);
+    EXPECT_EQ(ma.crashes, mb.crashes);
+    EXPECT_EQ(ma.rePrefillTokens, mb.rePrefillTokens);
+    EXPECT_GT(ma.crashes, 0u);
+
+    node.faults.seed = 43;
+    ServingSimulator c(*costs_, node, traffic(5, 300, 0.8));
+    const ServeMetrics mc = c.run();
+    EXPECT_NE(ma.durationSec, mc.durationSec);
+}
+
+TEST_F(FaultE2e, CrashLossesReprefillAndTokensStillAddUp)
+{
+    ServeNodeConfig node = bigNode();
+    node.faults.crashMtbfSec = 45.0;
+    node.faults.crashMttrSec = 10.0;
+    node.faults.seed = 7;
+    const auto reqs = traffic(5, 300, 0.8);
+    ServingSimulator sim(*costs_, node, reqs);
+    const ServeMetrics m = sim.run();
+    ASSERT_GT(m.crashes, 0u);
+    EXPECT_GT(m.rePrefillTokens, 0u);
+    EXPECT_GE(m.wastedTokens, m.rePrefillTokens);
+    EXPECT_EQ(m.resolved(), m.offered);
+    EXPECT_LT(m.availability, 1.0);
+    EXPECT_GT(m.downtimeSec, 0.0);
+
+    // Conservation: every completed request emitted exactly its
+    // outputTokens once — crash-lost tokens re-prefill, never
+    // re-emit — and per-record crash losses sum to rePrefillTokens.
+    u64 lost = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const RequestRecord &rec = sim.records()[i];
+        if (rec.crashLosses > 0)
+            lost += rec.crashLosses;
+        if (rec.outcome != RequestOutcome::Completed)
+            continue;
+        EXPECT_EQ(rec.tokensOut, reqs[i].outputTokens);
+    }
+    EXPECT_GT(lost, 0u);
+    // Longer wall clock than the fault-free run: repair time plus
+    // re-prefill work both stretch the same request stream.
+    EXPECT_GT(m.durationSec, 403.40152728700002);
+}
+
+TEST_F(FaultE2e, StallPausesWithoutLosingState)
+{
+    ServeNodeConfig node = bigNode();
+    node.faults.stallMtbfSec = 40.0;
+    node.faults.stallMttrSec = 8.0;
+    node.faults.seed = 11;
+    ServingSimulator sim(*costs_, node, traffic(5, 300, 0.8));
+    const ServeMetrics m = sim.run();
+    EXPECT_GT(m.stalls, 0u);
+    EXPECT_EQ(m.crashes, 0u);
+    EXPECT_EQ(m.rePrefillTokens, 0u);
+    EXPECT_EQ(m.completed, 300u);
+    EXPECT_EQ(m.generatedTokens, 40573u);
+    EXPECT_LT(m.availability, 1.0);
+    EXPECT_GT(m.durationSec, 403.40152728700002);
+}
+
+TEST_F(FaultE2e, AccelFaultWithoutFallbackOnlyCounts)
+{
+    ServeNodeConfig node = bigNode();
+    node.faults.accelMtbfSec = 50.0;
+    node.faults.accelMttrSec = 20.0;
+    node.faults.seed = 5;
+    ServingSimulator plain(*costs_, bigNode(), traffic(5, 300, 0.8));
+    ServingSimulator faulted(*costs_, node, traffic(5, 300, 0.8));
+    const ServeMetrics mp = plain.run();
+    const ServeMetrics mf = faulted.run();
+    EXPECT_GT(mf.accelFaults, 0u);
+    EXPECT_EQ(mf.degradedSteps, 0u);
+    // No fallback model: pricing is unchanged, so the run's timing
+    // and energy are bit-identical to the healthy node's.
+    EXPECT_EQ(mf.durationSec, mp.durationSec);
+    EXPECT_EQ(mf.energyJ, mp.energyJ);
+    // Accelerator faults are degradation, not downtime.
+    EXPECT_EQ(mf.availability, 1.0);
+}
+
+TEST_F(FaultE2e, AccelFaultRepricesFromSwAnchors)
+{
+    ServeNodeConfig node = bigNode();
+    node.faults.accelMtbfSec = 50.0;
+    node.faults.accelMttrSec = 20.0;
+    node.faults.seed = 5;
+    ServingSimulator healthy(*costs_, bigNode(), traffic(5, 300, 0.8));
+    ServingSimulator degraded(*costs_, node, traffic(5, 300, 0.8),
+                              sw_);
+    ServingSimulator swOnly(*sw_, bigNode(), traffic(5, 300, 0.8));
+    const ServeMetrics mh = healthy.run();
+    const ServeMetrics md = degraded.run();
+    const ServeMetrics ms = swOnly.run();
+    EXPECT_GT(md.accelFaults, 0u);
+    EXPECT_GT(md.degradedSteps, 0u);
+    EXPECT_LT(md.degradedSteps, md.decodeSteps + md.prefillSteps);
+    // The SW anchors are strictly slower on this machine, so the
+    // degraded run lands strictly between healthy DECA and all-SW.
+    EXPECT_GT(md.durationSec, mh.durationSec);
+    EXPECT_LT(md.durationSec, ms.durationSec);
+    EXPECT_EQ(md.completed, mh.completed);
+}
+
+TEST_F(FaultE2e, SlowdownStretchesStepsByFactor)
+{
+    ServeNodeConfig node = bigNode();
+    node.faults.slowMtbfSec = 40.0;
+    node.faults.slowMttrSec = 15.0;
+    node.faults.slowFactor = 3.0;
+    node.faults.seed = 21;
+    ServingSimulator sim(*costs_, node, traffic(5, 300, 0.8));
+    const ServeMetrics m = sim.run();
+    EXPECT_GT(m.slowdowns, 0u);
+    EXPECT_GT(m.slowedSteps, 0u);
+    EXPECT_EQ(m.completed, 300u);
+    EXPECT_GT(m.durationSec, 403.40152728700002);
+    EXPECT_EQ(m.availability, 1.0);
+}
+
+TEST_F(FaultE2e, GlobalTimeoutCancelsAndCountsMisses)
+{
+    ServeNodeConfig node = bigNode();
+    // Far below the mean service time at this load: most requests
+    // cannot finish in time.
+    node.faults.timeoutSec = 20.0;
+    const auto reqs = traffic(5, 300, 0.8);
+    ServingSimulator sim(*costs_, node, reqs);
+    const ServeMetrics m = sim.run();
+    EXPECT_GT(m.timedOut, 0u);
+    EXPECT_EQ(m.resolved(), m.offered);
+    EXPECT_GE(m.deadlineMisses, m.timedOut);
+    EXPECT_GT(m.deadlineMissRate, 0.0);
+    // Tokens generated for requests that later timed out are wasted;
+    // goodput only counts in-deadline completions. (Completions that
+    // land past their deadline are in neither bucket, so the two sum
+    // to at most the generated total.)
+    EXPECT_GT(m.wastedTokens, 0u);
+    EXPECT_LE(m.goodputTokens + m.wastedTokens, m.generatedTokens);
+    EXPECT_LT(m.goodputTokens, m.generatedTokens);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const RequestRecord &rec = sim.records()[i];
+        if (rec.outcome == RequestOutcome::TimedOut) {
+            EXPECT_LT(rec.tokensOut, reqs[i].outputTokens);
+        }
+    }
+}
+
+TEST_F(FaultE2e, PerRequestDeadlineBeatsGlobalTimeout)
+{
+    ServeNodeConfig node = bigNode();
+    node.faults.timeoutSec = 10000.0; // effectively infinite
+    auto reqs = traffic(5, 40, 0.5);
+    // First request gets an impossible 1 ms deadline.
+    reqs[0].deadlineNs = reqs[0].arrivalNs + 1000000;
+    ServingSimulator sim(*costs_, node, reqs);
+    const ServeMetrics m = sim.run();
+    EXPECT_EQ(sim.records()[0].outcome, RequestOutcome::TimedOut);
+    EXPECT_EQ(m.timedOut, 1u);
+    EXPECT_EQ(m.completed, 39u);
+}
+
+TEST_F(FaultE2e, RetryRecoversQueueFullArrivals)
+{
+    ServeNodeConfig node = bigNode();
+    node.sched.maxWaitQueue = 4;
+    const auto reqs = traffic(5, 200, 4.0); // well above capacity
+    ServingSimulator noRetry(*costs_, node, reqs);
+    const ServeMetrics m0 = noRetry.run();
+    ASSERT_GT(m0.rejectedQueueFull, 0u);
+
+    node.faults.retryMax = 3;
+    node.faults.retryBaseSec = 20.0;
+    ServingSimulator withRetry(*costs_, node, reqs);
+    const ServeMetrics m1 = withRetry.run();
+    EXPECT_GT(m1.retries, 0u);
+    EXPECT_GT(m1.completed, m0.completed);
+    EXPECT_EQ(m1.resolved(), m1.offered);
+    u64 retried = 0;
+    for (const RequestRecord &rec : withRetry.records())
+        retried += rec.retries;
+    EXPECT_EQ(retried, m1.retries);
+}
+
+TEST_F(FaultE2e, DegradedNodeShedsDeepQueues)
+{
+    ServeNodeConfig node = bigNode();
+    node.faults.stallMtbfSec = 30.0;
+    node.faults.stallMttrSec = 30.0;
+    node.faults.shedQueueDepth = 4;
+    node.faults.seed = 3;
+    ServingSimulator sim(*costs_, node, traffic(5, 300, 0.8));
+    const ServeMetrics m = sim.run();
+    EXPECT_GT(m.shed, 0u);
+    EXPECT_EQ(m.resolved(), m.offered);
+}
+
+} // namespace
+} // namespace deca::serve

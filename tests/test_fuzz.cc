@@ -3,8 +3,14 @@
  * Randomized cross-model fuzzing: arbitrary (format, density, group,
  * {W,L}) combinations pushed through compression, the DECA pipeline,
  * and the golden decompressor must always agree bit-exactly, and the
- * timing contract must always hold.
+ * timing contract must always hold. The serve-trace parser is fuzzed
+ * the same way: arbitrarily mutated trace text must either parse to
+ * valid requests or raise TraceError — never crash or produce
+ * out-of-contract values.
  */
+
+#include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -13,6 +19,7 @@
 #include "compress/reference_decompress.h"
 #include "deca/pipeline.h"
 #include "roofsurface/bubble_model.h"
+#include "serve/trace.h"
 
 namespace deca {
 namespace {
@@ -139,6 +146,86 @@ TEST(Fuzz, MeasuredBytesMatchSchemeMath)
                   scheme.groupQuant ? kTileElems / scheme.groupSize : 0u);
         ASSERT_EQ(ct.dataBytes(),
                   (u64{ct.numNonzeros} * scheme.quantBits() + 7) / 8);
+    }
+}
+
+/** Parse `text`; passes iff the parser keeps its total contract. */
+void
+expectParsesOrRejects(const std::string &text)
+{
+    std::istringstream in(text);
+    std::vector<serve::Request> reqs;
+    try {
+        reqs = serve::loadTrace(in);
+    } catch (const serve::TraceError &) {
+        return; // clean structured rejection
+    }
+    // Accepted input must satisfy every documented invariant.
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        ASSERT_GE(reqs[i].promptTokens, 1u);
+        ASSERT_GE(reqs[i].outputTokens, 1u);
+        if (i > 0)
+            ASSERT_GE(reqs[i].arrivalNs, reqs[i - 1].arrivalNs);
+        if (reqs[i].deadlineNs != 0)
+            ASSERT_GT(reqs[i].deadlineNs, reqs[i].arrivalNs);
+    }
+}
+
+TEST(Fuzz, TraceParserTotalOnMutatedTraces)
+{
+    serve::PoissonTraffic cfg;
+    cfg.ratePerSec = 50.0;
+    Rng rng(0xace5);
+    for (int trial = 0; trial < 400; ++trial) {
+        cfg.seed = 1 + trial;
+        auto reqs = serve::generatePoisson(cfg, 20);
+        // Give some requests deadlines so the 4-field form is hit.
+        for (auto &r : reqs)
+            if (rng.bernoulli(0.3))
+                r.deadlineNs = r.arrivalNs + 1 + rng.below(1u << 20);
+        std::ostringstream out;
+        serve::saveTrace(reqs, out);
+        std::string text = out.str();
+
+        // Mutate: byte flips, deletions, insertions, truncation.
+        const u64 edits = 1 + rng.below(8);
+        static const char junk[] = "0123456789,-+. \teXx#\n\0\xff";
+        for (u64 e = 0; e < edits && !text.empty(); ++e) {
+            const u64 pos = rng.below(text.size());
+            switch (rng.below(4)) {
+            case 0:
+                text[pos] = junk[rng.below(sizeof(junk) - 1)];
+                break;
+            case 1:
+                text.erase(pos, 1 + rng.below(3));
+                break;
+            case 2:
+                text.insert(pos, 1,
+                            junk[rng.below(sizeof(junk) - 1)]);
+                break;
+            default:
+                text.resize(pos); // truncate mid-line
+                break;
+            }
+        }
+        expectParsesOrRejects(text);
+    }
+}
+
+TEST(Fuzz, TraceParserTotalOnRandomGarbage)
+{
+    Rng rng(0x6a5b);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string text;
+        const u64 len = rng.below(256);
+        for (u64 i = 0; i < len; ++i) {
+            // Bias toward digits, commas and newlines so some lines
+            // get deep into the field parser.
+            static const char alphabet[] =
+                "000111223456789,,,\n\n#- +.eE\tx\xff";
+            text += alphabet[rng.below(sizeof(alphabet) - 1)];
+        }
+        expectParsesOrRejects(text);
     }
 }
 

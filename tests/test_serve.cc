@@ -7,6 +7,7 @@
  * ServingSimulator determinism.
  */
 
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -61,6 +62,81 @@ TEST(Trace, RoundTripsThroughText)
     saveTrace(reqs, ss);
     const auto loaded = loadTrace(ss);
     EXPECT_TRUE(reqs == loaded);
+}
+
+TEST(Trace, DeadlinesRoundTrip)
+{
+    PoissonTraffic cfg;
+    cfg.ratePerSec = 100.0;
+    auto reqs = generatePoisson(cfg, 100);
+    for (std::size_t i = 0; i < reqs.size(); i += 3)
+        reqs[i].deadlineNs = reqs[i].arrivalNs + 1000000 + i;
+    std::stringstream ss;
+    saveTrace(reqs, ss);
+    const auto loaded = loadTrace(ss);
+    ASSERT_TRUE(reqs == loaded);
+    EXPECT_EQ(loaded[0].deadlineNs, reqs[0].deadlineNs);
+    EXPECT_EQ(loaded[1].deadlineNs, 0u);
+}
+
+/** Expect loadTrace(text) to throw TraceError mentioning `where`. */
+void
+expectTraceError(const std::string &text, const std::string &where)
+{
+    std::istringstream in(text);
+    try {
+        loadTrace(in);
+        FAIL() << "accepted malformed trace: " << text;
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find(where), std::string::npos)
+            << "message '" << e.what() << "' lacks '" << where << "'";
+    }
+}
+
+TEST(Trace, MalformedInputRaisesTraceError)
+{
+    // Too few / too many fields.
+    expectTraceError("100,32\n", "line 1");
+    expectTraceError("100,32,16,200,9\n", "line 1");
+    // Non-numeric, signed, embedded-space and empty fields.
+    expectTraceError("abc,32,16\n", "line 1");
+    expectTraceError("100,3x2,16\n", "line 1");
+    expectTraceError("-100,32,16\n", "line 1");
+    expectTraceError("+100,32,16\n", "line 1");
+    expectTraceError("100, 32,16\n", "line 1");
+    expectTraceError("100,,16\n", "line 1");
+    expectTraceError("100,32,\n", "line 1");
+    // u64 overflow (2^64 = 18446744073709551616).
+    expectTraceError("18446744073709551616,32,16\n", "line 1");
+    // Zero-token requests are meaningless.
+    expectTraceError("100,0,16\n", "line 1");
+    expectTraceError("100,32,0\n", "line 1");
+    // Arrivals must be non-decreasing (error names line 2).
+    expectTraceError("100,32,16\n99,32,16\n", "line 2");
+    // A deadline at or before the arrival can never be met.
+    expectTraceError("100,32,16,100\n", "line 1");
+    expectTraceError("100,32,16,50\n", "line 1");
+}
+
+TEST(Trace, CommentsBlanksAndValidDeadlinesAccepted)
+{
+    std::istringstream in("# header\n"
+                          "\n"
+                          "100,32,16\n"
+                          "200,8,4,5000\n"
+                          "# trailing comment\n");
+    const auto reqs = loadTrace(in);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].arrivalNs, 100u);
+    EXPECT_EQ(reqs[0].deadlineNs, 0u);
+    EXPECT_EQ(reqs[1].promptTokens, 8u);
+    EXPECT_EQ(reqs[1].deadlineNs, 5000u);
+}
+
+TEST(Trace, MissingFileRaisesTraceError)
+{
+    EXPECT_THROW(loadTraceFile("/nonexistent/deca-trace.txt"),
+                 TraceError);
 }
 
 TEST(KvCache, ReservationsAndCapacity)
@@ -261,6 +337,55 @@ TEST(LatencyHistogram, PercentilesWithinBucketResolution)
     EXPECT_EQ(LatencyHistogram().percentileNs(99.0), 0.0);
 }
 
+TEST(LatencyHistogram, EmptyAndSingleSampleEdges)
+{
+    // Empty: every query is 0, mean included.
+    const LatencyHistogram empty;
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_EQ(empty.percentileNs(0.0), 0.0);
+    EXPECT_EQ(empty.percentileNs(50.0), 0.0);
+    EXPECT_EQ(empty.percentileNs(100.0), 0.0);
+    EXPECT_EQ(empty.meanNs(), 0.0);
+
+    // One sample: every percentile lands in its bucket.
+    LatencyHistogram one;
+    one.add(5000000); // 5 ms
+    EXPECT_EQ(one.count(), 1u);
+    const double v = one.percentileNs(50.0);
+    EXPECT_NEAR(v / 1e6, 5.0, 0.2);
+    EXPECT_EQ(one.percentileNs(0.001), v);
+    EXPECT_EQ(one.percentileNs(100.0), v);
+    EXPECT_EQ(one.meanNs(), 5000000.0);
+}
+
+TEST(LatencyHistogram, OutOfRangePercentilesClamp)
+{
+    LatencyHistogram h;
+    h.add(1000000);
+    h.add(100000000);
+    // p <= 0 clamps to the smallest sample's bucket, p > 100 to the
+    // largest — no out-of-bounds walk either way.
+    EXPECT_EQ(h.percentileNs(0.0), h.percentileNs(0.001));
+    EXPECT_EQ(h.percentileNs(-5.0), h.percentileNs(0.0));
+    EXPECT_EQ(h.percentileNs(150.0), h.percentileNs(100.0));
+    EXPECT_GT(h.percentileNs(100.0), h.percentileNs(0.0));
+}
+
+TEST(LatencyHistogram, ExtremeSamplesStayFinite)
+{
+    LatencyHistogram h;
+    h.add(0);
+    h.add(1);
+    h.add(~u64{0}); // beyond the last bucket: clamps, no overflow
+    EXPECT_EQ(h.count(), 3u);
+    for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+        const double v = h.percentileNs(p);
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0);
+    }
+    EXPECT_LE(h.percentileNs(1.0), h.percentileNs(99.0));
+}
+
 /** Shares one cycle-calibrated cost model across the e2e tests. */
 class ServingE2e : public ::testing::Test
 {
@@ -359,6 +484,24 @@ TEST_F(ServingE2e, TraceFileRoundTripReproducesTheRun)
     EXPECT_EQ(md.durationSec, mr.durationSec);
     EXPECT_EQ(md.decodeLatency.percentileNs(50.0),
               mr.decodeLatency.percentileNs(50.0));
+}
+
+TEST_F(ServingE2e, AllRejectedRunHasWellDefinedMetrics)
+{
+    ServeNodeConfig node;
+    // Less than the weights alone: nothing ever fits.
+    node.nodeCapacityBytes =
+        static_cast<u64>(costs_->weightBytesPerPass()) / 2;
+    ServingSimulator sim(*costs_, node, traffic(3, 50, 2.0));
+    const ServeMetrics m = sim.run();
+    EXPECT_EQ(m.completed, 0u);
+    EXPECT_EQ(m.rejectedNeverFits, 50u);
+    EXPECT_EQ(m.generatedTokens, 0u);
+    EXPECT_EQ(m.tokensPerSec, 0.0);
+    EXPECT_EQ(m.decodeLatency.percentileNs(99.0), 0.0);
+    EXPECT_EQ(m.ttft.percentileNs(95.0), 0.0);
+    EXPECT_TRUE(std::isfinite(m.busyFraction));
+    EXPECT_TRUE(std::isfinite(m.tokensPerJoule));
 }
 
 TEST_F(ServingE2e, TightKvCapacityEvictsButCompletes)
