@@ -805,6 +805,156 @@ runTruncated(const sim::SimParams &params, const KernelConfig &config,
             static_cast<double>(out.probe.tileEnd[c][tiles - 1]);
 }
 
+// ---------------------------------------------------------------------
+// Warm-up baseline cache: sweeps (and the campaign's top-K
+// validation) call the sampled tier many times with identical
+// (machine, kernel, workload) cells differing only in the swept knob
+// — usually the stream length — so the n1-tile baseline run is
+// re-simulated unchanged per cell. Simulation is deterministic and
+// cached runs are immutable, so sharing one TruncatedRun cannot
+// change any byte of any result; the cost accounting in the sampled
+// drivers still charges the baseline as if it ran, so cache-on and
+// cache-off take identical decisions and produce identical results —
+// the cache only removes wall-clock.
+// ---------------------------------------------------------------------
+
+struct BaselineCache
+{
+    std::mutex mu;
+    std::map<std::string, std::unique_ptr<TruncatedRun>> runs;
+    u64 hits = 0;
+    u64 misses = 0;
+};
+
+BaselineCache &
+baselineCache()
+{
+    static BaselineCache c;
+    return c;
+}
+
+/** Cache key: every field that shapes a truncated run's dynamics.
+ *  Deliberately absent: workload.tilesPerCore (the baseline replaces
+ *  it with `tiles`) and the sampling knobs (sampleMode, warmupTiles,
+ *  measureTiles, maxErrorCheckTiles, sampleBaselineCache), which pick
+ *  run lengths but never change a fixed-length run. */
+std::string
+baselineKey(const sim::SimParams &p, const KernelConfig &c,
+            const GemmWorkload &w, u32 tiles)
+{
+    std::string k = p.name;
+    k.reserve(512);
+    const auto u = [&k](u64 v) {
+        k += '|';
+        k += std::to_string(v);
+    };
+    const auto d = [&k](double v) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "|%.17g", v);
+        k += buf;
+    };
+    // Machine.
+    d(p.freqGhz);
+    u(p.cores);
+    u(static_cast<u64>(p.memKind));
+    d(p.memBwGBs);
+    u(p.memLatency);
+    u(p.memChannels);
+    u(p.memQueueDepth);
+    u(p.memAcceptDepth);
+    u(p.memChannelHash ? 1 : 0);
+    u(static_cast<u64>(p.memModel));
+    const DramTiming &t = p.memTiming;
+    u(t.banksPerChannel);
+    u(t.rowBytes);
+    d(t.tRowHitCycles);
+    d(t.tRowMissCycles);
+    d(t.tRowSwitchBusCycles);
+    u(t.channelBlockLines);
+    u(t.schedWindow);
+    u(t.maxHitStreak);
+    d(p.memContentionKnee);
+    d(p.memContentionSlope);
+    d(p.memContentionFloor);
+    u(p.llcLatency);
+    u(p.l2Latency);
+    u(p.l2Mshrs);
+    u(p.avxUnitsPerCore);
+    u(p.maxVectorIssuePerCycle);
+    u(p.tmulCycles);
+    u(p.tloadL1Cycles);
+    u(p.coreToDecaStore);
+    u(p.decaToCoreRead);
+    u(p.fenceCycles);
+    u(p.l2PrefetchLines);
+    u(p.swTileOverhead);
+    u(p.robSize);
+    u(p.issueWidth);
+    u(p.lsqSize);
+    u(p.teplQueueSize);
+    u(p.flushPeriodCycles);
+    u(p.flushPenaltyCycles);
+    // Kernel.
+    u(static_cast<u64>(c.engine));
+    u(static_cast<u64>(c.vectorScaling));
+    u(c.deca.w);
+    u(c.deca.l);
+    u(c.deca.pipelineDepth);
+    u(c.integration.readsL2 ? 1 : 0);
+    u(c.integration.decaPrefetcher ? 1 : 0);
+    u(c.integration.toutRegs ? 1 : 0);
+    u(static_cast<u64>(c.integration.invocation));
+    u(c.integration.numLoaders);
+    // Workload (tilesPerCore replaced by the baseline length).
+    k += '|';
+    k += w.scheme.name;
+    u(static_cast<u64>(w.scheme.format));
+    d(w.scheme.density);
+    u(w.scheme.groupQuant ? 1 : 0);
+    u(w.scheme.groupSize);
+    u(w.batchN);
+    u(w.poolTiles);
+    u(w.seed);
+    u(tiles);
+    return k;
+}
+
+/** runTruncated through the process-wide baseline cache. The run is
+ *  simulated outside the lock (determinism makes a racing duplicate
+ *  byte-identical, so the loser is simply dropped); `local` backs the
+ *  cache-off path. */
+const TruncatedRun &
+cachedBaseline(const sim::SimParams &params, const KernelConfig &config,
+               const GemmWorkload &workload, const TilePool &pool,
+               u32 tiles, TruncatedRun &local)
+{
+    if (!params.sampleBaselineCache) {
+        runTruncated(params, config, workload, pool, tiles, local);
+        return local;
+    }
+    BaselineCache &cache = baselineCache();
+    const std::string key = baselineKey(params, config, workload, tiles);
+    {
+        std::lock_guard<std::mutex> lock(cache.mu);
+        auto it = cache.runs.find(key);
+        if (it != cache.runs.end()) {
+            ++cache.hits;
+            return *it->second;
+        }
+    }
+    auto run = std::make_unique<TruncatedRun>();
+    runTruncated(params, config, workload, pool, tiles, *run);
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto &slot = cache.runs[key];
+    if (!slot) {
+        ++cache.misses;
+        slot = std::move(run);
+    } else {
+        ++cache.hits; // another worker raced us to an identical run
+    }
+    return *slot;
+}
+
 /**
  * Judge one extrapolation on the reported quantity: the aggregate
  * and per-core full-run estimates must agree within the tolerance
@@ -966,36 +1116,39 @@ sampledSteady(const sim::SimParams &params, const KernelConfig &config,
     // The full path simulates full_tiles plus the warm-up baseline.
     const u32 full_cost = full_tiles + n1;
 
-    TruncatedRun base;
-    bool have_base = false;
+    TruncatedRun base_local;
+    const TruncatedRun *base = nullptr;
     u32 spent = 0;
     for (u32 delta = initialDelta(sc.measureTiles, period);
          delta <= sc.maxErrorCheckTiles; delta += 2 * period) {
         const u32 n2 = n1 + delta;
-        const u32 next = spent + n2 + (have_base ? 0 : n1);
+        const u32 next = spent + n2 + (base ? 0 : n1);
         // Sampling must undercut the full path by a real margin (two
         // pool periods): near break-even the extrapolated remainder
         // is short, so the relative error of the steady *difference*
         // is amplified while the saving is nil — run exactly instead.
         if (n2 >= full_tiles || next + 2 * period >= full_cost)
             break;
-        if (!have_base) {
-            runTruncated(params, config, workload, pool, n1, base);
-            have_base = true;
+        if (!base) {
+            // A cache hit skips the simulation but is still charged
+            // as `n1` spent tiles, so every downstream decision (and
+            // byte of the result) matches the cache-off path.
+            base = &cachedBaseline(params, config, workload, pool, n1,
+                                   base_local);
             spent += n1;
         }
         TruncatedRun r2;
         runTruncated(params, config, workload, pool, n2, r2);
         spent += n2;
         const sim::RunEndEstimate est =
-            sim::extrapolateRunEnd(base.end, r2.end, full_tiles);
+            sim::extrapolateRunEnd(base->end, r2.end, full_tiles);
         // Agreement within d only bounds either estimate's error from
         // the truth by about d, so demand half the user tolerance.
         if (!estimateConverged(est, pool, steady_warmup, full_tiles,
                                0.5 * sc.tolerance))
             continue;
         const double steady =
-            est.aggregate - static_cast<double>(base.raw.cycles);
+            est.aggregate - static_cast<double>(base->raw.cycles);
         out = assembleEstimate(params, workload, pool, r2, steady,
                                est.aggregate, steady_warmup,
                                full_tiles, spent);
@@ -1020,27 +1173,27 @@ sampledFull(const sim::SimParams &params, const KernelConfig &config,
     const u32 n1 = ceilToMultiple(
         std::max(sc.warmupTiles, period) + period, period);
 
-    TruncatedRun base;
-    bool have_base = false;
+    TruncatedRun base_local;
+    const TruncatedRun *base = nullptr;
     u32 spent = 0;
     for (u32 delta = initialDelta(sc.measureTiles, period);
          delta <= sc.maxErrorCheckTiles; delta += 2 * period) {
         const u32 n2 = n1 + delta;
-        const u32 next = spent + n2 + (have_base ? 0 : n1);
+        const u32 next = spent + n2 + (base ? 0 : n1);
         // Same real-margin rule as the steady driver: stop once the
         // remaining saving is within two pool periods of break-even.
         if (n2 >= full_tiles || next + 2 * period >= full_tiles)
             break;
-        if (!have_base) {
-            runTruncated(params, config, workload, pool, n1, base);
-            have_base = true;
+        if (!base) {
+            base = &cachedBaseline(params, config, workload, pool, n1,
+                                   base_local);
             spent += n1;
         }
         TruncatedRun r2;
         runTruncated(params, config, workload, pool, n2, r2);
         spent += n2;
         const sim::RunEndEstimate est =
-            sim::extrapolateRunEnd(base.end, r2.end, full_tiles);
+            sim::extrapolateRunEnd(base->end, r2.end, full_tiles);
         if (!estimateConverged(est, pool, 0, full_tiles,
                                0.5 * sc.tolerance))
             continue;
@@ -1080,6 +1233,14 @@ cachedPool(const compress::CompressionScheme &scheme, u32 num_tiles,
 }
 
 } // namespace
+
+BaselineCacheStats
+sampleBaselineCacheStats()
+{
+    BaselineCache &c = baselineCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return {c.hits, c.misses};
+}
 
 GemmResult
 runGemm(const sim::SimParams &params, const KernelConfig &config,

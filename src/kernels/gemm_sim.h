@@ -117,6 +117,17 @@ struct SampleProbe
 u32 scheduledPoolIndex(u32 c, u32 t, u32 pool_size);
 u64 scheduledTileBytes(const TilePool &pool, u32 c, u32 t);
 
+/** Process-wide hit/miss counters of the sampled tier's warm-up
+ *  baseline cache (params.sampleBaselineCache): sweeps that share
+ *  (machine, kernel, workload, baseline length) modulo the swept knob
+ *  re-use one baseline run instead of re-simulating it per cell. */
+struct BaselineCacheStats
+{
+    u64 hits = 0;
+    u64 misses = 0;
+};
+BaselineCacheStats sampleBaselineCacheStats();
+
 /** One compressed-GeMM run on the simulated multicore. */
 class GemmSimulation
 {

@@ -1,0 +1,504 @@
+#include "roofsurface/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "deca/area_model.h"
+#include "kernels/gemm_sim.h"
+#include "roofsurface/signature.h"
+#include "sim/params.h"
+
+namespace deca::roofsurface {
+
+namespace {
+
+// Die-area proxy constants (mm^2, 7 nm-class, order-of-magnitude):
+// the DECA PE term is the calibrated Section 8 model; the rest exists
+// so the area objective prices what each axis actually spends —
+// cores, memory-controller/PHY slices, controller queue CAM entries,
+// and per-bank open-row tracking state. Absolute values are proxies;
+// the frontier only needs the relative cost to prune configurations
+// that buy nothing with their extra hardware.
+constexpr double kCoreAreaMm2 = 7.0;       ///< big core + private L2
+constexpr double kChannelAreaMm2 = 1.25;   ///< controller + PHY slice
+constexpr double kQueueEntryAreaMm2 = 0.004;
+constexpr double kBankTrackAreaMm2 = 0.002;
+
+/** True when the scheme runs the uncompressed BF16 kernel path. */
+bool
+isBf16Path(const compress::CompressionScheme &s)
+{
+    return s.format == compress::ElemFormat::BF16 && s.density >= 1.0 &&
+           !s.groupQuant;
+}
+
+} // namespace
+
+u64
+CampaignSpec::gridSize() const
+{
+    return u64{schemes.size()} * techs.size() * coreCounts.size() *
+           channelCounts.size() * bankCounts.size() * queueDepths.size();
+}
+
+CampaignSpec
+CampaignSpec::shipped()
+{
+    CampaignSpec s;
+    s.base = sprHbm();
+    // Per-channel pin bandwidths reproduce the preset machines at
+    // their native channel counts: 8 x 32.5 = 260 GB/s DDR5,
+    // 32 x 26.5625 = 850 GB/s HBM, 64 x 18.75 = 1200 GB/s HBM3e.
+    s.techs = {{"DDR5", ddr5DramTiming(), 32.5, 240.0},
+               {"HBM", hbmDramTiming(), 26.5625, 220.0},
+               {"HBM3e", hbm3eDramTiming(), 18.75, 200.0}};
+    s.channelCounts = {2,  4,  6,  8,  12, 16, 20,  24,  28,
+                       32, 40, 48, 56, 64, 80, 96, 112, 128};
+    s.bankCounts = {2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128};
+    s.queueDepths = {8, 12, 16, 24, 32, 48, 64, 96, 128, 192};
+    for (u32 c = 2; c <= 64; c += 2)
+        s.coreCounts.push_back(c);
+    s.schemes.push_back(compress::schemeBf16());
+    for (const auto &sch : compress::paperSchemes())
+        s.schemes.push_back(sch);
+    s.pointsBudget = 250000;
+    return s;
+}
+
+bool
+weaklyDominates(const CampaignPoint &a, const CampaignPoint &b)
+{
+    return a.tflops >= b.tflops && a.gbPerSec >= b.gbPerSec &&
+           a.areaMm2 <= b.areaMm2;
+}
+
+void
+ParetoFrontier::add(const CampaignPoint &p)
+{
+    ++offered_;
+    for (const auto &q : pts_) {
+        if (weaklyDominates(q, p))
+            return;
+    }
+    // Nothing weakly dominates p, so every member p weakly dominates
+    // is strictly worse somewhere — evict it.
+    pts_.erase(std::remove_if(pts_.begin(), pts_.end(),
+                              [&p](const CampaignPoint &q) {
+                                  return weaklyDominates(p, q);
+                              }),
+               pts_.end());
+    pts_.push_back(p);
+}
+
+void
+ParetoFrontier::merge(const ParetoFrontier &other)
+{
+    // Members fold in via the same maximality rule; offered_ counts
+    // the other side's raw adds, not the re-insertions.
+    const u64 raw = offered_;
+    for (const auto &p : other.pts_)
+        add(p);
+    offered_ = raw + other.offered_;
+}
+
+double
+demandCoverageFraction(double streams, double windowLines, u32 channels,
+                       double latencyCycles, double burstCycles)
+{
+    if (streams <= 0.0 || windowLines <= 0.0 || channels == 0 ||
+        burstCycles <= 0.0)
+        return 1.0;
+    // Closed queueing network: n in-flight lines per channel cycle a
+    // round trip of R bursts (latency + own service) plus a queueing
+    // wait of ~0.5*rho/(1-rho) bursts at the channel. Substituting
+    // the wait into Little's law rho = n / (R + wait) yields
+    //   rho^2 (1/2 - R) + rho (R + n) - n = 0.
+    const double n = streams * windowLines /
+                     static_cast<double>(channels);
+    const double r = (latencyCycles + burstCycles) / burstCycles;
+    const double a = 0.5 - r;
+    const double b = r + n;
+    const double c = -n;
+    // a < 0 always (r >= 1), so the quadratic has one root in (0, 1].
+    const double disc = b * b - 4.0 * a * c;
+    const double rho = (-b + std::sqrt(disc)) / (2.0 * a);
+    if (!(rho > 0.0))
+        return 0.0;
+    return rho < 1.0 ? rho : 1.0;
+}
+
+double
+bankLimitedFraction(const DramTiming &timing, double streams,
+                    double burstCycles)
+{
+    if (!timing.active() || burstCycles <= 0.0)
+        return 1.0;
+    const double m = 1.0 - timing.expectedRowHitRate(streams);
+    if (m <= 0.0)
+        return 1.0;
+    const double banks =
+        static_cast<double>(timing.banksPerChannel);
+    // DramTiming::efficiency()'s bus-occupancy service time...
+    const double spacing = banks * burstCycles / m;
+    double exposed = timing.tRowMissCycles - spacing;
+    if (exposed < 0.0)
+        exposed = 0.0;
+    const double act =
+        m * exposed / static_cast<double>(timing.schedWindow);
+    const double bus =
+        burstCycles + m * timing.tRowSwitchBusCycles + act;
+    // ...floored by activation throughput: the channel's banks open at
+    // most banks/tRowMiss rows per cycle, so lines missing m times
+    // each cannot stream faster than one per m*tRowMiss/banks cycles.
+    const double act_cap = m * timing.tRowMissCycles / banks;
+    return burstCycles / (bus > act_cap ? bus : act_cap);
+}
+
+CampaignEvaluator::CampaignEvaluator(const CampaignSpec &spec,
+                                     const CampaignCalibration &calib)
+    : spec_(spec), grid_size_(spec.gridSize())
+{
+    DECA_ASSERT(grid_size_ > 0, "empty campaign grid");
+    const accel::DecaConfig pe{spec_.peW, spec_.peL, 3};
+    const double pe_area = accel::estimatePeArea(pe).total();
+    schemes_.reserve(spec_.schemes.size());
+    for (const auto &sch : spec_.schemes) {
+        SchemeEval se;
+        se.aixm = sch.aixm();
+        if (isBf16Path(sch)) {
+            se.aixv = std::numeric_limits<double>::infinity();
+            se.streamsPerCore = 1.0;
+            // One demand stream per core. The L2 stream prefetcher
+            // keeps up to max(prefetchLines, 2 x tile lines) lines in
+            // flight *beyond* demand, and the stalled consumer tops
+            // demand up to the tile footprint, so the effective
+            // window is tile + prefetch, bounded by the MSHR budget.
+            const double tile_lines =
+                sch.bytesPerTile() / static_cast<double>(kCacheLineBytes);
+            se.windowLines = std::min<double>(
+                spec_.l2Mshrs,
+                tile_lines + std::max<double>(spec_.l2PrefetchLines,
+                                              2.0 * tile_lines));
+            se.coreCyclesPerTile = calib.bf16CoreCyclesPerTile;
+            se.peAreaMm2 = 0.0;
+        } else {
+            se.aixv = decaSignature(sch, spec_.peW, spec_.peL).aixv;
+            // Dual loaders split the core's MSHR budget; DECA's own
+            // prefetcher keeps the whole share in flight.
+            se.streamsPerCore = static_cast<double>(spec_.loadersPerCore);
+            se.windowLines = static_cast<double>(std::max<u32>(
+                1, spec_.l2Mshrs / std::max<u32>(1, spec_.loadersPerCore)));
+            se.coreCyclesPerTile = calib.decaCoreCyclesPerTile;
+            se.peAreaMm2 = pe_area;
+        }
+        schemes_.push_back(se);
+    }
+    techs_.reserve(spec_.techs.size());
+    for (const auto &t : spec_.techs) {
+        TechEval te;
+        te.timing = t.timing;
+        te.bytesPerSecPerChannel = gbPerSec(t.perChannelGBs);
+        te.latencyCycles = t.latencyCycles;
+        te.burstCycles = static_cast<double>(kCacheLineBytes) *
+                         spec_.base.freqHz / te.bytesPerSecPerChannel;
+        techs_.push_back(te);
+    }
+}
+
+CampaignPoint
+CampaignEvaluator::at(u64 flat) const
+{
+    DECA_ASSERT(flat < grid_size_, "campaign index out of range");
+    CampaignPoint p;
+    p.index = flat;
+    // Axis order scheme, tech, cores, channels, banks, queue with
+    // axis 0 slowest (the ParamGrid convention).
+    u64 rem = flat;
+    const u64 nq = spec_.queueDepths.size();
+    const u64 nb = spec_.bankCounts.size();
+    const u64 nch = spec_.channelCounts.size();
+    const u64 nc = spec_.coreCounts.size();
+    const u64 nt = spec_.techs.size();
+    p.queueDepth = spec_.queueDepths[rem % nq];
+    rem /= nq;
+    p.banks = spec_.bankCounts[rem % nb];
+    rem /= nb;
+    p.channels = spec_.channelCounts[rem % nch];
+    rem /= nch;
+    p.cores = spec_.coreCounts[rem % nc];
+    rem /= nc;
+    p.tech = static_cast<u32>(rem % nt);
+    rem /= nt;
+    p.scheme = static_cast<u32>(rem);
+
+    const SchemeEval &se = schemes_[p.scheme];
+    const TechEval &te = techs_[p.tech];
+    const double streams = se.streamsPerCore * p.cores;
+    DramTiming timing = te.timing;
+    timing.banksPerChannel = p.banks;
+
+    const double bank =
+        bankLimitedFraction(timing, streams, te.burstCycles);
+    const double queue = queueLimitedFraction(
+        p.queueDepth, te.latencyCycles, te.burstCycles);
+    // MSHRs are held until on-chip delivery, so the fetch window
+    // covers the DRAM round trip plus the L2+LLC hop.
+    const double demand = demandCoverageFraction(
+        streams, se.windowLines, p.channels,
+        te.latencyCycles + spec_.onChipLatencyCycles, te.burstCycles);
+    double frac = bank < queue ? bank : queue;
+    if (demand < frac)
+        frac = demand;
+    const double eff_bw =
+        te.bytesPerSecPerChannel * p.channels * frac;
+
+    const double freq = spec_.base.freqHz;
+    double tps = eff_bw * se.aixm;
+    if (!std::isinf(se.aixv)) {
+        // One DECA PE per core completes at most one vOp per cycle.
+        const double vec = freq * p.cores * se.aixv;
+        if (vec < tps)
+            tps = vec;
+    }
+    const double mtx = freq * p.cores / se.coreCyclesPerTile;
+    if (mtx < tps)
+        tps = mtx;
+
+    p.tflops = kFmasPerTileOpPerBatchRow *
+               static_cast<double>(spec_.batchN) * tps / kTera;
+    p.gbPerSec = eff_bw / gbPerSec(1.0);
+    p.areaMm2 =
+        p.cores * (kCoreAreaMm2 + se.peAreaMm2) +
+        p.channels * (kChannelAreaMm2 +
+                      p.queueDepth * kQueueEntryAreaMm2 +
+                      p.banks * kBankTrackAreaMm2);
+    return p;
+}
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, const CampaignCalibration &calib,
+            const runner::SweepOptions &sweep)
+{
+    const CampaignEvaluator ev(spec, calib);
+    CampaignResult res;
+    res.gridPoints = ev.gridSize();
+    res.stride = spec.pointsBudget == 0
+                     ? 1
+                     : std::max<u64>(1, res.gridPoints /
+                                            spec.pointsBudget);
+    res.pointsEvaluated =
+        (res.gridPoints + res.stride - 1) / res.stride;
+
+    // Chunked fold: each chunk accumulates its own frontier (memory
+    // O(frontier), no per-point storage), chunk frontiers merge in
+    // index order below — the same slot-i-equals-fn(i) determinism
+    // contract SweepEngine::map gives point sweeps.
+    constexpr u64 kChunk = 8192;
+    const u64 n_chunks = (res.pointsEvaluated + kChunk - 1) / kChunk;
+    runner::SweepEngine engine(sweep);
+    auto fronts = engine.map(
+        static_cast<std::size_t>(n_chunks), [&](std::size_t ci) {
+            ParetoFrontier f;
+            const u64 lo = u64{ci} * kChunk;
+            const u64 hi =
+                std::min<u64>(res.pointsEvaluated, lo + kChunk);
+            for (u64 i = lo; i < hi; ++i)
+                f.add(ev.at(i * res.stride));
+            return f;
+        });
+    ParetoFrontier total;
+    for (const auto &f : fronts)
+        total.merge(f);
+    res.frontier = total.points();
+    std::sort(res.frontier.begin(), res.frontier.end(),
+              [](const CampaignPoint &a, const CampaignPoint &b) {
+                  return a.index < b.index;
+              });
+    return res;
+}
+
+std::vector<CampaignPoint>
+topByTflops(const std::vector<CampaignPoint> &frontier, std::size_t k)
+{
+    std::vector<CampaignPoint> ranked = frontier;
+    std::sort(ranked.begin(), ranked.end(),
+              [](const CampaignPoint &a, const CampaignPoint &b) {
+                  if (a.tflops != b.tflops)
+                      return a.tflops > b.tflops;
+                  if (a.gbPerSec != b.gbPerSec)
+                      return a.gbPerSec > b.gbPerSec;
+                  if (a.areaMm2 != b.areaMm2)
+                      return a.areaMm2 < b.areaMm2;
+                  return a.index < b.index;
+              });
+    if (ranked.size() > k)
+        ranked.resize(k);
+    return ranked;
+}
+
+namespace {
+
+/** SimParams twin of one campaign point (the cycle-level validator's
+ *  machine: same channels, banks, timing, queue, latency, pin
+ *  bandwidth, and core count the analytic predictor priced). */
+sim::SimParams
+simParamsOf(const CampaignSpec &spec, const CampaignPoint &pt,
+            bool sample)
+{
+    const CampaignTech &t = spec.techs[pt.tech];
+    sim::SimParams p = sim::sprHbmParams();
+    p.name = "campaign-" + t.name;
+    p.cores = pt.cores;
+    p.memBwGBs = t.perChannelGBs * pt.channels;
+    p.memChannels = pt.channels;
+    p.memQueueDepth = pt.queueDepth;
+    p.memLatency = static_cast<Cycles>(std::llround(t.latencyCycles));
+    p.memTiming = t.timing;
+    p.memTiming.banksPerChannel = pt.banks;
+    p.l2Mshrs = spec.l2Mshrs;
+    p.l2PrefetchLines = spec.l2PrefetchLines;
+    p.sampleMode = sample;
+    return p;
+}
+
+kernels::KernelConfig
+kernelOf(const CampaignSpec &spec,
+         const compress::CompressionScheme &sch)
+{
+    if (isBf16Path(sch))
+        return kernels::KernelConfig::uncompressedBf16();
+    kernels::DecaIntegration integ = kernels::DecaIntegration::full();
+    integ.numLoaders = spec.loadersPerCore;
+    return kernels::KernelConfig::decaKernel(
+        accel::DecaConfig{spec.peW, spec.peL, 3}, integ);
+}
+
+kernels::GemmWorkload
+workloadOf(const CampaignSpec &spec,
+           const compress::CompressionScheme &sch)
+{
+    kernels::GemmWorkload w;
+    w.scheme = sch;
+    w.batchN = spec.batchN;
+    w.tilesPerCore = spec.validateTilesPerCore;
+    w.poolTiles = spec.validatePoolTiles;
+    return w;
+}
+
+} // namespace
+
+CampaignCalibration
+calibrateCampaign(const CampaignSpec &spec, bool sample)
+{
+    CampaignCalibration cal;
+    // Compute-bound anchor: few cores, memory overprovisioned 4x past
+    // the HBM preset, and near-zero memory/on-chip latency so the
+    // fetch window never becomes the limiter — only the
+    // invocation/engine path binds, and the measured per-core tile
+    // rate is the floor itself.
+    sim::SimParams p = sim::sprHbmParams();
+    p.name = "campaign-anchor";
+    p.cores = 8;
+    p.memBwGBs = 3400.0;
+    p.memLatency = 4;
+    p.llcLatency = 4;
+    p.l2Latency = 2;
+    p.l2Mshrs = spec.l2Mshrs;
+    p.l2PrefetchLines = spec.l2PrefetchLines;
+    p.sampleMode = sample;
+    const double freq = p.freqHz();
+    const auto floor_of = [&](const kernels::KernelConfig &cfg,
+                              const compress::CompressionScheme &sch) {
+        const kernels::GemmResult r = kernels::runGemmSteady(
+            p, cfg, workloadOf(spec, sch), spec.validateWarmupTiles);
+        const double per_core_tps =
+            r.tilesPerSecond / static_cast<double>(p.cores);
+        return std::max<double>(kTmulCyclesPerTileOp,
+                                freq / per_core_tps);
+    };
+
+    const compress::CompressionScheme *bf16 = nullptr;
+    const compress::CompressionScheme *most_compressed = nullptr;
+    for (const auto &sch : spec.schemes) {
+        if (isBf16Path(sch)) {
+            if (!bf16)
+                bf16 = &sch;
+        } else if (!most_compressed ||
+                   sch.aixm() > most_compressed->aixm()) {
+            most_compressed = &sch;
+        }
+    }
+    if (bf16)
+        cal.bf16CoreCyclesPerTile =
+            floor_of(kernels::KernelConfig::uncompressedBf16(), *bf16);
+    if (most_compressed)
+        cal.decaCoreCyclesPerTile =
+            floor_of(kernelOf(spec, *most_compressed),
+                     *most_compressed);
+    return cal;
+}
+
+std::vector<ValidationRow>
+validateFrontier(const CampaignSpec &spec,
+                 const std::vector<CampaignPoint> &shortlist,
+                 bool sample, const runner::SweepOptions &sweep)
+{
+    runner::SweepEngine engine(sweep);
+    return engine.map(shortlist.size(), [&](std::size_t i) {
+        const CampaignPoint &pt = shortlist[i];
+        const auto &sch = spec.schemes[pt.scheme];
+        const kernels::GemmResult r = kernels::runGemmSteady(
+            simParamsOf(spec, pt, sample), kernelOf(spec, sch),
+            workloadOf(spec, sch), spec.validateWarmupTiles);
+        ValidationRow row;
+        row.point = pt;
+        row.simTflops = r.tflops;
+        row.relErr = pt.tflops > 0.0
+                         ? (r.tflops - pt.tflops) / pt.tflops
+                         : 0.0;
+        return row;
+    });
+}
+
+ErrorDistribution
+errorDistribution(const std::vector<ValidationRow> &rows)
+{
+    ErrorDistribution d;
+    if (rows.empty())
+        return d;
+    std::vector<double> abs_err;
+    abs_err.reserve(rows.size());
+    for (const auto &r : rows)
+        abs_err.push_back(std::fabs(r.relErr));
+    std::sort(abs_err.begin(), abs_err.end());
+    const auto rank = [&](double q) {
+        const double n = static_cast<double>(abs_err.size());
+        std::size_t idx =
+            static_cast<std::size_t>(std::ceil(q * n));
+        if (idx > 0)
+            --idx;
+        if (idx >= abs_err.size())
+            idx = abs_err.size() - 1;
+        return abs_err[idx];
+    };
+    d.p50 = rank(0.50);
+    d.p95 = rank(0.95);
+    d.maxAbs = abs_err.back();
+    return d;
+}
+
+u64
+validatePointsBudget(u64 points)
+{
+    constexpr u64 kMaxPoints = 10'000'000;
+    if (points == 0 || points > kMaxPoints)
+        throw std::runtime_error(
+            "dse_campaign: points budget out of range [1, 10000000] "
+            "(got " + std::to_string(points) + ")");
+    return points;
+}
+
+} // namespace deca::roofsurface

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Campaign-scale memory/compute design-space exploration (the
+ * "million-point DSE" of ROADMAP): enumerate channels x banks x DRAM
+ * technology x queue depth x core count x compression scheme as a
+ * lazily-materialized grid, evaluate every point through the analytic
+ * Roof-Surface + bank-model closed forms (~100 ns/point), prune the
+ * stream into a Pareto frontier over {TFLOPS, effective GB/s, die
+ * area}, and re-validate the top-K frontier with the cycle simulator
+ * (the sampled tier, sim/sampling.h) — spending simulator seconds only
+ * on the handful of survivors. DeepStack-style analytic-first,
+ * sim-spot-checked exploration.
+ *
+ * Memory stays O(frontier), never O(points): the grid is walked in
+ * chunks on the process-wide pool, each chunk folds its points into a
+ * chunk-local ParetoFrontier, and the chunk frontiers merge in index
+ * order — so the result is byte-identical for any thread count (the
+ * SweepEngine determinism contract).
+ *
+ * The campaign's analytic throughput predictor composes, per point:
+ *
+ *   effBw  = pinBw * min(bank-limited, queue-limited, demand-limited)
+ *   TPS    = min(effBw * AIXM, VOS * AIXV, freq * cores / coreFloor)
+ *
+ * Two terms go beyond MachineConfig::effectiveMemBwBytesPerSec, both
+ * calibrated against known analytic-vs-sim gaps so the top-K
+ * validation can hold a tight error bound:
+ *
+ *  - demandCoverageFraction(): the bank/queue closed forms assume
+ *    requesters that saturate the channels, but a real fetch stream
+ *    holds at most its prefetch-window/MSHR budget in flight across a
+ *    round trip that includes the on-chip delivery hop. The coverage
+ *    is the closed-queueing fixed point of Little's law with the
+ *    utilization's own queueing delay fed back in — exactly the
+ *    ~10-15% optimism the dse_memory top-K re-validation table
+ *    exposes at 32 streams.
+ *  - bankLimitedFraction(): DramTiming::efficiency() plus the
+ *    activation-throughput cap that bounds bank-starved points (the
+ *    closed form alone is ~2x optimistic at 2 banks x 128 streams).
+ *  - CampaignCalibration core floors: the simulator's per-core tile
+ *    rate saturates below freq/16 (TMUL occupancy) because per-tile
+ *    invocation work (TEPL dispatch, TOut reads) is not fully hidden;
+ *    calibrateCampaign() measures the floor once per kernel path with
+ *    a tiny compute-bound anchor sim, the same anchor-interpolation
+ *    idea serve::StepCostModel uses.
+ *
+ * Both refinements live here, not in MachineConfig, so every existing
+ * pinned scenario output stays byte-identical.
+ */
+
+#ifndef DECA_ROOFSURFACE_CAMPAIGN_H
+#define DECA_ROOFSURFACE_CAMPAIGN_H
+
+#include <string>
+#include <vector>
+
+#include "compress/scheme.h"
+#include "roofsurface/machine.h"
+#include "runner/sweep_engine.h"
+
+namespace deca::roofsurface {
+
+/** One memory technology of the campaign grid: a timing descriptor
+ *  plus the per-channel pin bandwidth it contributes (so the channel
+ *  axis is a real lever: pin bandwidth = channels x perChannelGBs). */
+struct CampaignTech
+{
+    std::string name;
+    DramTiming timing;
+    /** Pin bandwidth per channel (GB/s). */
+    double perChannelGBs = 26.5625;
+    /** DRAM round-trip latency in core cycles. */
+    double latencyCycles = 220.0;
+};
+
+/** The campaign's 6-axis grid plus the shared machine anchors. */
+struct CampaignSpec
+{
+    /** Frequency / vector-width anchors (memory side overridden per
+     *  point). */
+    MachineConfig base;
+    std::vector<CampaignTech> techs;
+    std::vector<u32> channelCounts;
+    std::vector<u32> bankCounts;
+    std::vector<u32> queueDepths;
+    std::vector<u32> coreCounts;
+    /** Kernel axis; schemes with density 1 and BF16 format run the
+     *  uncompressed path, everything else the DECA kernel. */
+    std::vector<compress::CompressionScheme> schemes;
+    u32 batchN = 1;
+    /** DECA PE dimensioning for the compressed schemes. */
+    u32 peW = 32;
+    u32 peL = 8;
+    /** Analytic evaluation budget: 0 evaluates the whole grid, else
+     *  the grid is subsampled with a deterministic stride so about
+     *  this many points are evaluated. */
+    u64 pointsBudget = 0;
+
+    // Fetch-demand model inputs (mirror sim::SimParams defaults).
+    u32 l2Mshrs = 48;
+    u32 l2PrefetchLines = 24;
+    u32 loadersPerCore = 2;
+    /** On-chip delivery latency (L2 + LLC hop) added to the DRAM
+     *  round trip for MSHR residency: a line's MSHR is held until the
+     *  line is *delivered*, not until DRAM returns it. */
+    double onChipLatencyCycles = 85.0;
+
+    // Cycle-level validation workload (mirrors bench defaults).
+    u32 validateTilesPerCore = 224;
+    u32 validatePoolTiles = 32;
+    u32 validateWarmupTiles = 48;
+
+    /** Full grid size (product of the six axes). */
+    u64 gridSize() const;
+
+    /** The shipped default campaign: DDR5/HBM/HBM3e x 18 channel
+     *  counts x 11 bank counts x 10 queue depths x 32 core counts x
+     *  (BF16 + the 12 paper schemes) — ~2.5M grid points. */
+    static CampaignSpec shipped();
+};
+
+/** One evaluated configuration: grid coordinates + the three
+ *  objectives. POD — chunk evaluation allocates nothing per point. */
+struct CampaignPoint
+{
+    /** Flat grid index (axis order: scheme, tech, cores, channels,
+     *  banks, queue; axis 0 slowest — the ParamGrid convention). */
+    u64 index = 0;
+    u32 scheme = 0; ///< index into CampaignSpec::schemes
+    u32 tech = 0;   ///< index into CampaignSpec::techs
+    u32 cores = 0;
+    u32 channels = 0;
+    u32 banks = 0;
+    u32 queueDepth = 0;
+    double tflops = 0.0;   ///< predicted kernel TFLOPS (maximize)
+    double gbPerSec = 0.0; ///< effective memory bandwidth (maximize)
+    double areaMm2 = 0.0;  ///< die-area proxy (minimize)
+};
+
+/** a is at least as good as b on every objective (>= TFLOPS,
+ *  >= GB/s, <= area). Weak: equal triples dominate each other. */
+bool weaklyDominates(const CampaignPoint &a, const CampaignPoint &b);
+
+/**
+ * Streaming Pareto accumulator: add() keeps the set of maximal points
+ * seen so far, in insertion order. A candidate weakly dominated by a
+ * member is dropped (so of several points with identical objectives,
+ * the first offered — the lowest grid index, given in-order feeding —
+ * survives); otherwise it evicts every member it strictly dominates.
+ * The maximal set is insertion-order-independent, which is what makes
+ * the chunked-parallel campaign byte-identical to the serial one.
+ */
+class ParetoFrontier
+{
+  public:
+    void add(const CampaignPoint &p);
+    /** Fold another frontier in, offering its members in their stored
+     *  (insertion) order. */
+    void merge(const ParetoFrontier &other);
+
+    /** Points offered to add() (directly or via merge of raw adds). */
+    u64 offered() const { return offered_; }
+    const std::vector<CampaignPoint> &points() const { return pts_; }
+
+  private:
+    std::vector<CampaignPoint> pts_;
+    u64 offered_ = 0;
+};
+
+/** Measured per-core compute floors (cycles per tile operation) of
+ *  the two kernel paths; 16 (pure TMUL occupancy) when uncalibrated. */
+struct CampaignCalibration
+{
+    double bf16CoreCyclesPerTile = static_cast<double>(
+        kTmulCyclesPerTileOp);
+    double decaCoreCyclesPerTile = static_cast<double>(
+        kTmulCyclesPerTileOp);
+};
+
+/**
+ * Fraction of the configured bandwidth that `streams` fetch streams,
+ * each holding at most `windowLines` line fetches in flight, can
+ * demand across `channels`. `latencyCycles` is the full MSHR
+ * residency beyond the burst — DRAM round trip *plus* the on-chip
+ * delivery path, since a line's MSHR frees only at delivery.
+ *
+ * This is the closed-queueing fixed point, not raw Little's law: the
+ * utilization the population sustains feeds back into its own round
+ * trip through queueing delay at the channel (modelled as an
+ * M/M/1-style half-burst wait scaled by rho/(1-rho)), which matters
+ * exactly in the 70-95% coverage band the shipped grids live in.
+ * Solving rho = n / (R + 0.5 rho/(1-rho)) for n in-flight lines per
+ * channel and a round trip of R bursts gives the quadratic
+ *   rho^2 (1/2 - R) + rho (R + n) - n = 0,
+ * whose root in (0, 1] is returned (1.0 once the population covers
+ * the bandwidth-delay product with margin).
+ */
+double demandCoverageFraction(double streams, double windowLines,
+                              u32 channels, double latencyCycles,
+                              double burstCycles);
+
+/**
+ * Campaign-side bank-limited fraction: DramTiming::efficiency()
+ * extended with the activation-throughput cap the closed form lacks —
+ * each bank re-opens a row at most once per tRowMissCycles, so a
+ * channel sustains at most banks/tRowMiss row openings per cycle and
+ * a stream population missing `m` times per line cannot stream lines
+ * faster than banks/(m * tRowMiss). The cap only bites when a grid
+ * point starves the system of banks (the regime the dse_memory
+ * closed form is documented to be optimistic in); everywhere else
+ * this returns exactly DramTiming::efficiency(). Lives here, not in
+ * DramTiming, so every pinned dse_memory byte stays put.
+ */
+double bankLimitedFraction(const DramTiming &timing, double streams,
+                           double burstCycles);
+
+/**
+ * Precomputed per-scheme/per-technology tables + the per-point
+ * analytic predictor. at(flat) is a pure function of the flat index —
+ * the property every determinism guarantee rests on.
+ */
+class CampaignEvaluator
+{
+  public:
+    CampaignEvaluator(const CampaignSpec &spec,
+                      const CampaignCalibration &calib);
+
+    u64 gridSize() const { return grid_size_; }
+    CampaignPoint at(u64 flat) const;
+
+  private:
+    struct SchemeEval
+    {
+        double aixm = 0.0;
+        /** Tile ops per vOp on the DECA PE; +inf for the BF16 path. */
+        double aixv = 0.0;
+        double streamsPerCore = 1.0;
+        double windowLines = 0.0;
+        double coreCyclesPerTile = 0.0;
+        double peAreaMm2 = 0.0; ///< per-core accelerator area
+    };
+    struct TechEval
+    {
+        DramTiming timing;
+        double bytesPerSecPerChannel = 0.0;
+        double latencyCycles = 0.0;
+        double burstCycles = 0.0;
+    };
+
+    CampaignSpec spec_;
+    std::vector<SchemeEval> schemes_;
+    std::vector<TechEval> techs_;
+    u64 grid_size_ = 0;
+};
+
+/** Outcome of the analytic sweep: the frontier plus the counts the
+ *  O(frontier) memory claim is stated against. */
+struct CampaignResult
+{
+    u64 gridPoints = 0;
+    u64 stride = 1;        ///< grid indices per evaluated point
+    u64 pointsEvaluated = 0;
+    /** Maximal points, sorted by flat grid index. */
+    std::vector<CampaignPoint> frontier;
+};
+
+/**
+ * Run the analytic campaign: walk the (strided) grid in chunks on the
+ * process-wide pool, fold each chunk into a chunk-local frontier, and
+ * merge the chunk frontiers in index order. Byte-identical for any
+ * `sweep.threads`.
+ */
+CampaignResult runCampaign(const CampaignSpec &spec,
+                           const CampaignCalibration &calib,
+                           const runner::SweepOptions &sweep = {});
+
+/** The frontier's k best points by (TFLOPS desc, GB/s desc, area
+ *  asc, index asc) — the deterministic validation shortlist. */
+std::vector<CampaignPoint> topByTflops(
+    const std::vector<CampaignPoint> &frontier, std::size_t k);
+
+/**
+ * Measure the two kernel paths' per-core compute floors with tiny
+ * compute-bound anchor simulations (few cores, memory overprovisioned
+ * so only the invocation path binds). Deterministic.
+ */
+CampaignCalibration calibrateCampaign(const CampaignSpec &spec,
+                                      bool sample);
+
+/** One frontier point re-validated by the cycle simulator. */
+struct ValidationRow
+{
+    CampaignPoint point;
+    double simTflops = 0.0;
+    /** (sim - analytic) / analytic. */
+    double relErr = 0.0;
+};
+
+/** Percentiles of |relErr| over a validation set (nearest-rank). */
+struct ErrorDistribution
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double maxAbs = 0.0;
+};
+
+/**
+ * Re-run `shortlist` through the cycle simulator (runGemmSteady, the
+ * sampled tier when `sample`) on a SimParams twin of each point and
+ * report per-point relative error. Fanned out via `sweep`; row order
+ * follows the shortlist regardless of thread count.
+ */
+std::vector<ValidationRow> validateFrontier(
+    const CampaignSpec &spec, const std::vector<CampaignPoint> &shortlist,
+    bool sample, const runner::SweepOptions &sweep = {});
+
+ErrorDistribution errorDistribution(
+    const std::vector<ValidationRow> &rows);
+
+/** Gate for the `points` scenario knob: returns `points` when it is
+ *  in [1, 10^7], throws std::runtime_error (named after the knob)
+ *  otherwise. */
+u64 validatePointsBudget(u64 points);
+
+} // namespace deca::roofsurface
+
+#endif // DECA_ROOFSURFACE_CAMPAIGN_H

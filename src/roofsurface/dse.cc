@@ -65,6 +65,36 @@ exploreDesignSpace(const MachineConfig &base_machine,
     });
 }
 
+namespace {
+
+MemoryDesignPoint
+evaluateMemoryPoint(const MachineConfig &base_machine,
+                    const std::vector<u32> &channel_counts,
+                    const std::vector<u32> &bank_counts,
+                    const std::vector<u32> &stream_counts,
+                    const runner::ParamGrid &grid, std::size_t flat)
+{
+    const std::vector<std::size_t> c = grid.coords(flat);
+    MachineConfig m = base_machine;
+    m.memChannels = channel_counts[c[0]];
+    m.memTiming.banksPerChannel = bank_counts[c[1]];
+    const u32 streams = stream_counts[c[2]];
+
+    MemoryDesignPoint p;
+    p.channels = m.memChannels;
+    p.banks = m.memTiming.banksPerChannel;
+    p.streams = streams;
+    p.burstCycles = m.lineBurstCycles();
+    p.rowHitRate = m.memTiming.expectedRowHitRate(
+        static_cast<double>(streams));
+    p.efficiency = m.memTiming.efficiency(
+        static_cast<double>(streams), p.burstCycles);
+    p.effectiveBwBytesPerSec = m.effectiveMemBwBytesPerSec(streams);
+    return p;
+}
+
+} // namespace
+
 std::vector<MemoryDesignPoint>
 exploreMemoryDesign(const MachineConfig &base_machine,
                     const std::vector<u32> &channel_counts,
@@ -72,29 +102,46 @@ exploreMemoryDesign(const MachineConfig &base_machine,
                     const std::vector<u32> &stream_counts,
                     const runner::SweepOptions &sweep)
 {
-    runner::SweepEngine engine(sweep);
+    std::vector<MemoryDesignPoint> out;
+    out.reserve(channel_counts.size() * bank_counts.size() *
+                stream_counts.size());
+    exploreMemoryDesign(
+        base_machine, channel_counts, bank_counts, stream_counts,
+        [&out](const MemoryDesignPoint &p) { out.push_back(p); },
+        sweep);
+    return out;
+}
+
+void
+exploreMemoryDesign(const MachineConfig &base_machine,
+                    const std::vector<u32> &channel_counts,
+                    const std::vector<u32> &bank_counts,
+                    const std::vector<u32> &stream_counts,
+                    const std::function<void(const MemoryDesignPoint &)> &sink,
+                    const runner::SweepOptions &sweep)
+{
     runner::ParamGrid grid;
     grid.axis("channels", channel_counts.size())
         .axis("banks", bank_counts.size())
         .axis("streams", stream_counts.size());
-    return engine.mapGrid(grid, [&](const std::vector<std::size_t> &c) {
-        MachineConfig m = base_machine;
-        m.memChannels = channel_counts[c[0]];
-        m.memTiming.banksPerChannel = bank_counts[c[1]];
-        const u32 streams = stream_counts[c[2]];
+    const std::size_t total = grid.size();
 
-        MemoryDesignPoint p;
-        p.channels = m.memChannels;
-        p.banks = m.memTiming.banksPerChannel;
-        p.streams = streams;
-        p.burstCycles = m.lineBurstCycles();
-        p.rowHitRate = m.memTiming.expectedRowHitRate(
-            static_cast<double>(streams));
-        p.efficiency = m.memTiming.efficiency(
-            static_cast<double>(streams), p.burstCycles);
-        p.effectiveBwBytesPerSec = m.effectiveMemBwBytesPerSec(streams);
-        return p;
-    });
+    // Fixed-size chunks keep memory bounded while preserving the
+    // SweepEngine contract end to end: within a chunk slot i holds
+    // fn(lo + i), and chunks drain to the sink in index order, so the
+    // delivered stream is the serial grid walk for any thread count.
+    constexpr std::size_t kChunk = 1024;
+    runner::SweepEngine engine(sweep);
+    for (std::size_t lo = 0; lo < total; lo += kChunk) {
+        const std::size_t n = std::min(kChunk, total - lo);
+        auto pts = engine.map(n, [&](std::size_t i) {
+            return evaluateMemoryPoint(base_machine, channel_counts,
+                                       bank_counts, stream_counts,
+                                       grid, lo + i);
+        });
+        for (const auto &p : pts)
+            sink(p);
+    }
 }
 
 DseCandidate

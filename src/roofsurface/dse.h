@@ -8,6 +8,7 @@
 #ifndef DECA_ROOFSURFACE_DSE_H
 #define DECA_ROOFSURFACE_DSE_H
 
+#include <functional>
 #include <vector>
 
 #include "compress/scheme.h"
@@ -93,6 +94,23 @@ std::vector<MemoryDesignPoint> exploreMemoryDesign(
     const std::vector<u32> &channel_counts,
     const std::vector<u32> &bank_counts,
     const std::vector<u32> &stream_counts,
+    const runner::SweepOptions &sweep = {});
+
+/**
+ * Streaming overload: deliver every grid point to `sink` in grid
+ * order without ever materializing the whole point vector — the
+ * campaign path's building block (memory O(chunk), not O(points)).
+ * Points are evaluated in fixed-size chunks on the SweepEngine and
+ * handed to `sink` on the calling thread, in index order; the values
+ * delivered are byte-identical to the vector overload's elements for
+ * any thread count. `sink` must not re-enter the engine.
+ */
+void exploreMemoryDesign(
+    const MachineConfig &base_machine,
+    const std::vector<u32> &channel_counts,
+    const std::vector<u32> &bank_counts,
+    const std::vector<u32> &stream_counts,
+    const std::function<void(const MemoryDesignPoint &)> &sink,
     const runner::SweepOptions &sweep = {});
 
 } // namespace deca::roofsurface

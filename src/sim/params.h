@@ -167,6 +167,13 @@ struct SimParams
      *  steady-state detection fails before the controller falls back
      *  to the full simulation. */
     u32 maxErrorCheckTiles = 192;
+    /** Sampled tier: share the warm-up baseline truncated run across
+     *  calls whose (machine, kernel, workload, baseline length) match
+     *  — sweeps varying only the stream length or the sampling knobs
+     *  re-run byte-identical baselines otherwise. Simulation is
+     *  deterministic and cached runs are immutable, so sharing cannot
+     *  change any result; off reverts to re-simulating every time. */
+    bool sampleBaselineCache = true;
 
     double
     freqHz() const

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "roofsurface/campaign.h"
 #include "runner/campaign.h"
 #include "runner/scenario_params.h"
 
@@ -128,6 +129,37 @@ TEST(ScenarioParams, RunScenarioReportsBadValueAsError)
     const ScenarioResult r = runScenario(kKnobbed, opts);
     EXPECT_EQ(r.status, 1);
     EXPECT_NE(r.error.find("knob"), std::string::npos);
+}
+
+// The dse_campaign points gate, driven through the scenario layer the
+// way `decasim run dse_campaign --set points=...` reaches it.
+const Scenario kBudgeted{
+    "budgeted", "synthetic points-budget consumer",
+    +[](const ScenarioContext &ctx) -> int {
+        ctx.result().prosef(
+            "points=%llu\n",
+            static_cast<unsigned long long>(
+                roofsurface::validatePointsBudget(
+                    ctx.params().getU64("points", 250000))));
+        return 0;
+    }};
+
+TEST(ScenarioParams, PointsBudgetBoundsSurfaceAsNamedErrors)
+{
+    for (const char *bad : {"points=0", "points=10000001"}) {
+        RunOptions opts;
+        opts.params.set(bad);
+        const ScenarioResult r = runScenario(kBudgeted, opts);
+        EXPECT_EQ(r.status, 1);
+        EXPECT_NE(r.error.find("points"), std::string::npos);
+        EXPECT_NE(r.error.find("10000000"), std::string::npos);
+    }
+    for (const char *ok : {"points=1", "points=10000000"}) {
+        RunOptions opts;
+        opts.params.set(ok);
+        const ScenarioResult r = runScenario(kBudgeted, opts);
+        EXPECT_EQ(r.status, 0) << r.error;
+    }
 }
 
 } // namespace

@@ -13,7 +13,10 @@ Collects, from an already-built tree:
     isolates scheduler noise),
   * wall time of the sampled tier: `run all --set sample=1` and the
     Fig. 12-14 trio in both tiers, so the trajectory tracks the
-    full-vs-sampled gap alongside the event-core numbers.
+    full-vs-sampled gap alongside the event-core numbers,
+  * the dse_campaign scenario in two cuts (analytic-only via
+    `--set top_k=0`, then full), deriving analytic points/sec and the
+    sampled-validation seconds.
 
 The report is one JSON object with host/git metadata so CI can archive
 one file per run and the perf trajectory stays machine-readable.
@@ -53,6 +56,30 @@ def time_decasim(decasim, args, repeat):
         dt = time.monotonic() - t0
         best = dt if best is None else min(best, dt)
     return best
+
+
+def campaign_metrics(decasim, repeat):
+    """Time the dse_campaign scenario in two cuts — analytic-only
+    (--set top_k=0 skips the simulator validation) and full — and
+    derive analytic points/sec from the evaluated-point count the
+    scenario prints. The validation cost is the difference."""
+    analytic_args = ["dse_campaign", "--threads=8", "--set", "top_k=0"]
+    out = run([decasim, "run"] + analytic_args).stdout
+    points = None
+    for line in out.splitlines():
+        if line.startswith("points evaluated,"):
+            points = int(line.split(",", 1)[1])
+    analytic = time_decasim(decasim, analytic_args, repeat)
+    full = time_decasim(decasim, ["dse_campaign", "--threads=8"],
+                        repeat)
+    return {
+        "points_evaluated": points,
+        "analytic_seconds": round(analytic, 3),
+        "points_per_sec": (round(points / analytic)
+                           if points and analytic > 0 else None),
+        "validation_seconds": round(max(0.0, full - analytic), 3),
+        "total_seconds": round(full, 3),
+    }
 
 
 def main():
@@ -115,6 +142,9 @@ def main():
                              ["all", "--jobs=1", "--set", "sample=1"],
                              args.repeat), 3),
         },
+        # Campaign DSE: analytic sweep throughput and the sampled
+        # top-K validation's wall-clock share.
+        "dse_campaign": campaign_metrics(decasim, args.repeat),
         # Fig. 12-14 in both tiers: the pair the sampled tier's
         # wall-clock acceptance is stated against.
         "fig_trio": {
